@@ -1,0 +1,74 @@
+// Ablation: per-unit cycle breakdown of the simulated pipeline — the
+// quantitative version of the paper's profiling claims (§III): the GEMM
+// evaluation dominates, the prefetch unit hides the HBM latency in the
+// optimized design, and the sorting overhead is negligible relative to the
+// GEMM (§II-B).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "fpga/pipeline.hpp"
+#include "mimo/scenario.hpp"
+
+namespace {
+
+sd::FpgaRunReport run_one(const sd::FpgaConfig& cfg, sd::index_t m,
+                          sd::Modulation mod, double snr) {
+  using namespace sd;
+  ScenarioConfig sc;
+  sc.num_tx = m;
+  sc.num_rx = m;
+  sc.modulation = mod;
+  sc.snr_db = snr;
+  sc.seed = 71;
+  Scenario scenario(sc);
+  const Trial t = scenario.next();
+  FpgaPipeline pipeline(cfg);
+  return pipeline.run(preprocess(t.h, t.y, false),
+                      Constellation::get(mod), t.sigma2);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sd;
+  bench::print_banner("Ablation: pipeline cycle breakdown",
+                      "one decode each, SNR 8 dB", 1);
+
+  struct Config {
+    const char* label;
+    index_t m;
+    Modulation mod;
+    bool optimized;
+  };
+  const Config configs[] = {
+      {"opt 10x10 4-QAM", 10, Modulation::kQam4, true},
+      {"base 10x10 4-QAM", 10, Modulation::kQam4, false},
+      {"opt 10x10 16-QAM", 10, Modulation::kQam16, true},
+      {"opt 15x15 4-QAM", 15, Modulation::kQam4, true},
+  };
+
+  Table t({"design", "branch", "prefetch", "GEMM", "NORM", "sort", "MST",
+           "total cycles", "GEMM share"});
+  for (const Config& cfg : configs) {
+    const FpgaConfig hw = cfg.optimized
+                              ? FpgaConfig::optimized_design(cfg.m, cfg.m, cfg.mod)
+                              : FpgaConfig::baseline(cfg.m, cfg.m, cfg.mod);
+    const FpgaRunReport r = run_one(hw, cfg.m, cfg.mod, 8.0);
+    const auto& cyc = r.cycles;
+    const double total = static_cast<double>(cyc.total());
+    auto pct = [&](std::uint64_t v) {
+      return fmt_pct(static_cast<double>(v) / total);
+    };
+    t.add_row({cfg.label, pct(cyc.branch), pct(cyc.prefetch_exposed),
+               pct(cyc.gemm), pct(cyc.norm), pct(cyc.sort), pct(cyc.mst),
+               fmt(total, 0),
+               fmt_pct(static_cast<double>(cyc.gemm) / total)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("the GEMM engine dominates the optimized designs (the paper's "
+              "premise for attacking it first); in the baseline the exposed "
+              "memory latency takes over, which is what the prefetch unit "
+              "eliminates. Sorting stays a small slice (SII-B's claim).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension experiment: coded packet performance. The paper evaluates raw
+// BER; a deployed link wraps the detector in FEC. This bench measures
+// packet/info-bit error rates of the full coded pipeline (conv. K=7 r=1/2 +
+// interleaving) with hard SD decisions vs list-SD soft output, quantifying
+// the coding gain the detector's soft information buys.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "code/coded_link.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace sd;
+  const usize packets = bench::trials_or(30);
+  bench::print_banner("Extension: coded packet error rates",
+                      "4x4 MIMO 4-QAM, conv(133,171) r=1/2, 200 info bits",
+                      packets);
+
+  Table t({"SNR (dB)", "raw BER (hard SD)", "info BER hard", "info BER soft",
+           "PER hard", "PER soft"});
+  for (double snr : {4.0, 6.0, 8.0, 10.0, 12.0}) {
+    CodedLinkConfig hard_cfg;
+    hard_cfg.info_bits = 200;
+    hard_cfg.soft_detection = false;
+    hard_cfg.seed = 31;
+    CodedLinkConfig soft_cfg = hard_cfg;
+    soft_cfg.soft_detection = true;
+    CodedLink hard_link(hard_cfg);
+    CodedLink soft_link(soft_cfg);
+
+    usize raw_hard = 0, info_hard = 0, per_hard = 0;
+    usize info_soft = 0, per_soft = 0;
+    usize raw_bits = 0, info_bits = 0;
+    for (usize p = 0; p < packets; ++p) {
+      const PacketResult rh = hard_link.run_packet(snr);
+      const PacketResult rs = soft_link.run_packet(snr);
+      raw_hard += rh.raw_bit_errors;
+      info_hard += rh.info_bit_errors;
+      per_hard += rh.packet_ok ? 0 : 1;
+      info_soft += rs.info_bit_errors;
+      per_soft += rs.packet_ok ? 0 : 1;
+      raw_bits += rh.vectors_used * 8;  // 4 antennas x 2 bits
+      info_bits += 200;
+    }
+    t.add_row({fmt(snr, 0),
+               fmt_sci(static_cast<double>(raw_hard) / raw_bits),
+               fmt_sci(static_cast<double>(info_hard) / info_bits),
+               fmt_sci(static_cast<double>(info_soft) / info_bits),
+               fmt(static_cast<double>(per_hard) / packets, 2),
+               fmt(static_cast<double>(per_soft) / packets, 2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("soft list-SD output converts the same channel uses into "
+              "materially lower post-decoding error rates — the gain an\n"
+              "iterative receiver (paper ref. [11]) builds on.\n");
+  return 0;
+}

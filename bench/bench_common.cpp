@@ -1,0 +1,78 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace sd::bench {
+
+usize trials_or(usize base) {
+  const long env = env_int_or("SD_TRIALS", 0);
+  return env > 0 ? static_cast<usize>(env) : base;
+}
+
+void print_banner(const std::string& title, const std::string& config_label,
+                  usize trials) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("configuration: %s | trials/SNR point: %zu "
+              "(set SD_TRIALS to rescale)\n\n",
+              config_label.c_str(), trials);
+}
+
+void run_time_figure(const TimeFigureConfig& cfg) {
+  const usize trials = trials_or(cfg.default_trials);
+  const SystemConfig sys{cfg.num_antennas, cfg.num_antennas, cfg.modulation};
+  const std::string label =
+      std::to_string(cfg.num_antennas) + "x" + std::to_string(cfg.num_antennas) +
+      " MIMO, " + std::string(modulation_name(cfg.modulation));
+  print_banner(cfg.figure + ": execution time vs SNR (" + label + ")", label,
+               trials);
+  if (!cfg.paper_note.empty()) {
+    std::printf("paper reports: %s\n\n", cfg.paper_note.c_str());
+  }
+
+  ExperimentRunner runner(sys, trials, cfg.seed);
+
+  DecoderSpec cpu_spec;
+  cpu_spec.sd.max_nodes = cfg.max_nodes;
+  auto cpu = make_detector(sys, cpu_spec);
+
+  DecoderSpec base_spec = cpu_spec;
+  base_spec.device = TargetDevice::kFpgaBaseline;
+  auto fpga_base = make_detector(sys, base_spec);
+
+  DecoderSpec opt_spec = cpu_spec;
+  opt_spec.device = TargetDevice::kFpgaOptimized;
+  auto fpga_opt = make_detector(sys, opt_spec);
+
+  const std::vector<double> snrs = paper_snr_axis();
+
+  Table table({"SNR (dB)", "CPU (ms)", "FPGA-base (ms)", "FPGA-opt (ms)",
+               "opt vs CPU", "opt vs base", "mean nodes", "real-time"});
+  bool any_budget_hit = false;
+  for (double snr : snrs) {
+    const SweepPoint p_cpu = runner.run_point(*cpu, snr);
+    const SweepPoint p_base = runner.run_point(*fpga_base, snr);
+    const SweepPoint p_opt = runner.run_point(*fpga_opt, snr);
+    any_budget_hit |= p_cpu.budget_hit || p_base.budget_hit || p_opt.budget_hit;
+    table.add_row({fmt(snr, 0), fmt(p_cpu.mean_seconds * 1e3, 3),
+                   fmt(p_base.mean_seconds * 1e3, 3),
+                   fmt(p_opt.mean_seconds * 1e3, 3),
+                   fmt_factor(p_cpu.mean_seconds / p_opt.mean_seconds),
+                   fmt_factor(p_base.mean_seconds / p_opt.mean_seconds),
+                   fmt(p_opt.mean_nodes_expanded, 0),
+                   p_opt.mean_seconds <= kRealTimeSeconds ? "yes" : "no"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "CPU times are measured wall-clock on this host (single core); FPGA "
+      "times are the cycle-model latency of the simulated U280 designs.\n");
+  if (any_budget_hit) {
+    std::printf("NOTE: some decodes hit the %llu-node budget; their times are "
+                "lower bounds.\n",
+                static_cast<unsigned long long>(cfg.max_nodes));
+  }
+}
+
+}  // namespace sd::bench

@@ -1,0 +1,42 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every figure/table of the paper's evaluation has one binary under bench/;
+// each prints the same rows/series the paper reports, using measured CPU
+// wall-clock and the documented device models (see DESIGN.md §1 and §5).
+// Trial counts scale with the SD_TRIALS environment variable.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/sphere_decoder.hpp"
+
+namespace sd::bench {
+
+/// The paper's real-time constraint: 10 ms ([1] in its intro).
+inline constexpr double kRealTimeSeconds = 10e-3;
+
+/// Default Monte-Carlo trials per SNR point, scaled by SD_TRIALS (the env
+/// value replaces `base` when set).
+[[nodiscard]] usize trials_or(usize base);
+
+/// Prints the standard bench banner (figure id, configuration, trials).
+void print_banner(const std::string& title, const std::string& config_label,
+                  usize trials);
+
+/// One decode-time-vs-SNR figure (the template behind Figs. 6, 8, 9, 10):
+/// CPU (measured), FPGA-baseline (simulated) and FPGA-optimized (simulated)
+/// series over the paper's SNR axis, with speedups and real-time flags.
+struct TimeFigureConfig {
+  std::string figure;        ///< e.g. "Figure 6"
+  index_t num_antennas = 10; ///< M = N
+  Modulation modulation = Modulation::kQam4;
+  usize default_trials = 20;
+  std::uint64_t max_nodes = 2'000'000;  ///< per-decode expansion budget
+  std::uint64_t seed = 1;
+  std::string paper_note;    ///< the headline the paper reports for this figure
+};
+
+void run_time_figure(const TimeFigureConfig& cfg);
+
+}  // namespace sd::bench

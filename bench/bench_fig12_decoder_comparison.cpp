@@ -1,0 +1,88 @@
+// Figure 12: decoding-time comparison for 10x10 MIMO 4-QAM between this
+// work (FPGA-optimized), the linear detectors ZF and MMSE, and Geosphere on
+// the WARP v3 platform. The paper reports Geosphere at 11 ms / 20 dB vs this
+// work at ~1 ms / 4 dB (11x faster at 16 dB lower SNR).
+//
+// For each detector we report (a) the lowest SNR on the grid at which it
+// reaches the paper's BER target of 1e-2, and (b) its decode time at that
+// operating point. ZF/MMSE run measured on the CPU; Geosphere's traversal
+// runs for real (SdDfsDetector) and is charged WARP cycles.
+#include <cstdio>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "platform/warp_model.hpp"
+
+int main() {
+  using namespace sd;
+  const usize trials = bench::trials_or(300);
+  const SystemConfig sys{10, 10, Modulation::kQam4};
+  bench::print_banner("Figure 12: decoding time comparison",
+                      "10x10 MIMO, 4-QAM, BER target 1e-2", trials);
+  std::printf("paper reports: Geosphere 11 ms @ 20 dB; this work 11x faster "
+              "with the operating SNR reduced to 4 dB; ZF/MMSE are fast but "
+              "need far higher SNR for acceptable BER.\n\n");
+
+  ExperimentRunner runner(sys, trials, 12);
+  const std::vector<double> snr_grid{4,  6,  8,  10, 12, 14, 16,
+                                     18, 20, 24, 28, 32, 36, 40};
+  constexpr double kBerTarget = 1e-2;
+
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Detector> det;
+    DeviceTimeFn time_fn;
+    const char* platform;
+  };
+  std::vector<Entry> entries;
+  {
+    DecoderSpec spec;
+    spec.device = TargetDevice::kFpgaOptimized;
+    entries.push_back(
+        {"This work (SD Best-FS)", make_detector(sys, spec), {}, "U280 model"});
+  }
+  {
+    DecoderSpec spec;
+    spec.strategy = Strategy::kDfs;
+    entries.push_back({"Geosphere (DFS)", make_detector(sys, spec),
+                       [](const DecodeResult& r, Detector&) {
+                         return warp_decode_seconds(r.stats);
+                       },
+                       "WARP v3 model"});
+  }
+  {
+    DecoderSpec spec;
+    spec.strategy = Strategy::kZf;
+    entries.push_back({"ZF", make_detector(sys, spec), {}, "CPU measured"});
+  }
+  {
+    DecoderSpec spec;
+    spec.strategy = Strategy::kMmse;
+    entries.push_back({"MMSE", make_detector(sys, spec), {}, "CPU measured"});
+  }
+
+  Table t({"Detector", "platform", "SNR for BER<1e-2 (dB)", "BER there",
+           "decode time (us)"});
+  for (Entry& e : entries) {
+    std::optional<SweepPoint> operating;
+    for (double snr : snr_grid) {
+      const SweepPoint p = runner.run_point(*e.det, snr, e.time_fn);
+      if (p.ber < kBerTarget) {
+        operating = p;
+        break;
+      }
+    }
+    if (operating) {
+      t.add_row({e.name, e.platform, fmt(operating->snr_db, 0),
+                 fmt_sci(operating->ber), fmt(operating->mean_seconds * 1e6, 1)});
+    } else {
+      t.add_row({e.name, e.platform, ">40", "-", "-"});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("The exact decoders reach the BER target at the lowest SNR on "
+              "the grid; the linear detectors need much higher SNR — the "
+              "trade-off the paper's Fig. 12 illustrates.\n");
+  return 0;
+}

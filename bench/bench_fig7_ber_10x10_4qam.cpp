@@ -1,0 +1,47 @@
+// Figure 7: BER vs SNR for 10x10 MIMO with 4-QAM.
+// Paper: BER below 1e-2 across the swept range (lowest SNR 4 dB). All three
+// implementations (CPU, FPGA-baseline, FPGA-optimized) produce identical
+// BER by construction — the hardware mimics the CPU execution exactly —
+// which this bench also demonstrates by decoding the same trials on the
+// simulated FPGA.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "decode/linear.hpp"
+
+int main() {
+  using namespace sd;
+  const usize trials = bench::trials_or(400);
+  const SystemConfig sys{10, 10, Modulation::kQam4};
+  bench::print_banner("Figure 7: BER vs SNR", "10x10 MIMO, 4-QAM", trials);
+  std::printf(
+      "paper reports: BER < 1e-2 even at the lowest tested SNR of 4 dB.\n"
+      "NOTE: under this repo's per-receive-antenna SNR definition "
+      "(sigma^2 = M/snr) the same curve crosses 1e-2 near 10 dB; the axis "
+      "offset is a normalization difference documented in EXPERIMENTS.md.\n\n");
+
+  ExperimentRunner runner(sys, trials, 7);
+  auto sd_cpu = make_detector(sys, DecoderSpec{});
+  DecoderSpec fpga_spec;
+  fpga_spec.device = TargetDevice::kFpgaOptimized;
+  auto sd_fpga = make_detector(sys, fpga_spec);
+  DecoderSpec mmse_spec;
+  mmse_spec.strategy = Strategy::kMmse;
+  auto mmse = make_detector(sys, mmse_spec);
+
+  Table t({"SNR (dB)", "SD BER (CPU)", "SD BER (FPGA sim)", "MMSE BER",
+           "SD SER", "SD FER"});
+  for (double snr : {4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0}) {
+    const SweepPoint p_cpu = runner.run_point(*sd_cpu, snr);
+    const SweepPoint p_fpga = runner.run_point(*sd_fpga, snr);
+    const SweepPoint p_mmse = runner.run_point(*mmse, snr);
+    t.add_row({fmt(snr, 0), fmt_sci(p_cpu.ber), fmt_sci(p_fpga.ber),
+               fmt_sci(p_mmse.ber), fmt_sci(p_cpu.ser), fmt_sci(p_cpu.fer)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("SD BER is identical on CPU and simulated FPGA (same exact "
+              "algorithm); MMSE shows the linear-detector gap the paper's "
+              "intro motivates.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 8: execution time vs SNR, 15x15 MIMO, 4-QAM.
+// Paper: CPU breaks the 10 ms real-time constraint at 4 dB (>30 ms) and
+// recovers near 8 dB; the optimized FPGA is ~6.1x faster (5 ms at 4 dB).
+#include "bench_common.hpp"
+
+int main() {
+  sd::bench::TimeFigureConfig cfg;
+  cfg.figure = "Figure 8";
+  cfg.num_antennas = 15;
+  cfg.modulation = sd::Modulation::kQam4;
+  cfg.default_trials = 15;
+  cfg.seed = 8;
+  cfg.paper_note =
+      "CPU >30 ms @ 4 dB (real-time broken); FPGA-optimized 6.1x faster, "
+      "decoding in 5 ms and restoring real-time operation";
+  sd::bench::run_time_figure(cfg);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 9: execution time vs SNR, 20x20 MIMO, 4-QAM.
+// Paper: both platforms are slow at 4 dB; at 8 dB the FPGA decodes in
+// 9.9 ms (real-time) vs 88.8 ms on the CPU — a 9x speedup.
+#include "bench_common.hpp"
+
+int main() {
+  sd::bench::TimeFigureConfig cfg;
+  cfg.figure = "Figure 9";
+  cfg.num_antennas = 20;
+  cfg.modulation = sd::Modulation::kQam4;
+  cfg.default_trials = 10;
+  cfg.max_nodes = 1'000'000;
+  cfg.seed = 9;
+  cfg.paper_note =
+      "high decode time @ 4 dB on both platforms; @ 8 dB FPGA 9.9 ms vs CPU "
+      "88.8 ms (9x), making 20x20 real-time viable";
+  sd::bench::run_time_figure(cfg);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table I: FPGA resource utilization on the Alveo U280 for the four design
+// points (baseline/optimized x 4-QAM/16-QAM), from the calibrated synthesis
+// model (src/fpga/resources.*). The paper's measured values are printed
+// alongside for comparison.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "fpga/resources.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* metric;
+  double base4, base16, opt4, opt16;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sd;
+  bench::print_banner("Table I: FPGA resource utilization",
+                      "Alveo U280, baseline vs optimized, 4/16-QAM", 1);
+
+  const auto base4 = estimate_resources(FpgaConfig::baseline(10, 10, Modulation::kQam4));
+  const auto base16 = estimate_resources(FpgaConfig::baseline(10, 10, Modulation::kQam16));
+  const auto opt4 = estimate_resources(FpgaConfig::optimized_design(10, 10, Modulation::kQam4));
+  const auto opt16 = estimate_resources(FpgaConfig::optimized_design(10, 10, Modulation::kQam16));
+
+  Table t({"", "Baseline 4-QAM", "Baseline 16-QAM", "Optimized 4-QAM",
+           "Optimized 16-QAM"});
+  auto row = [&](const char* name, double a, double b, double c, double d,
+                 bool pct) {
+    if (pct) {
+      t.add_row({name, fmt_pct(a), fmt_pct(b), fmt_pct(c), fmt_pct(d)});
+    } else {
+      t.add_row({name, fmt(a, 0), fmt(b, 0), fmt(c, 0), fmt(d, 0)});
+    }
+  };
+  row("Freq (MHz)", base4.freq_mhz, base16.freq_mhz, opt4.freq_mhz,
+      opt16.freq_mhz, false);
+  row("LUTs", base4.lut_frac(), base16.lut_frac(), opt4.lut_frac(),
+      opt16.lut_frac(), true);
+  row("FFs", base4.ff_frac(), base16.ff_frac(), opt4.ff_frac(),
+      opt16.ff_frac(), true);
+  row("DSPs", base4.dsp_frac(), base16.dsp_frac(), opt4.dsp_frac(),
+      opt16.dsp_frac(), true);
+  row("BRAMs", base4.bram_frac(), base16.bram_frac(), opt4.bram_frac(),
+      opt16.bram_frac(), true);
+  row("URAMs", base4.uram_frac(), base16.uram_frac(), opt4.uram_frac(),
+      opt16.uram_frac(), true);
+  std::fputs(t.render().c_str(), stdout);
+
+  Table paper({"paper (measured)", "Baseline 4-QAM", "Baseline 16-QAM",
+               "Optimized 4-QAM", "Optimized 16-QAM"});
+  const PaperRow rows[] = {
+      {"Freq (MHz)", 253, 253, 300, 300}, {"LUTs %", 29, 50, 11, 23},
+      {"FFs %", 20, 27, 7, 11},           {"DSPs %", 8, 15, 3, 7},
+      {"BRAMs %", 11, 14, 8, 10},         {"URAMs %", 14, 60, 7, 30},
+  };
+  for (const PaperRow& r : rows) {
+    paper.add_row({r.metric, fmt(r.base4, 0), fmt(r.base16, 0), fmt(r.opt4, 0),
+                   fmt(r.opt16, 0)});
+  }
+  std::fputs(paper.render().c_str(), stdout);
+
+  std::printf("second pipeline fits (all classes <= 50%%): base4=%s base16=%s "
+              "opt4=%s opt16=%s\n",
+              base4.second_pipeline_fits() ? "yes" : "no",
+              base16.second_pipeline_fits() ? "yes" : "no",
+              opt4.second_pipeline_fits() ? "yes" : "no",
+              opt16.second_pipeline_fits() ? "yes" : "no");
+  return 0;
+}

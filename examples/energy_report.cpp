@@ -1,0 +1,77 @@
+// Energy report: per-decode energy of CPU vs simulated FPGA for a set of
+// configurations — the deployment-cost question behind the paper's Table II
+// (remote base stations run on tight power budgets).
+//
+//   ./energy_report [--snr=8] [--trials=5] [--decodes-per-second=1000]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "fpga/power.hpp"
+#include "platform/cpu_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sd;
+  const Cli cli(argc, argv);
+  const double snr = cli.get_double_or("snr", 8.0);
+  const auto trials = static_cast<usize>(cli.get_int_or("trials", 5));
+  const double rate = cli.get_double_or("decodes-per-second", 1000.0);
+
+  struct Config {
+    index_t m;
+    Modulation mod;
+  };
+  const std::vector<Config> configs{{10, Modulation::kQam4},
+                                    {15, Modulation::kQam4},
+                                    {20, Modulation::kQam4},
+                                    {10, Modulation::kQam16}};
+
+  std::printf("energy report @ %.0f dB, %zu trials/config, station load "
+              "%.0f decodes/s\n",
+              snr, trials, rate);
+
+  Table t({"config", "CPU mJ/decode", "FPGA mJ/decode", "reduction",
+           "CPU station W", "FPGA station W"});
+  std::vector<double> reductions;
+  for (const Config& cfg : configs) {
+    const SystemConfig sys{cfg.m, cfg.m, cfg.mod};
+    ExperimentRunner runner(sys, trials, 99);
+    DecoderSpec cpu_spec;
+    cpu_spec.sd.max_nodes = 2'000'000;
+    auto cpu = make_detector(sys, cpu_spec);
+    DecoderSpec fpga_spec = cpu_spec;
+    fpga_spec.device = TargetDevice::kFpgaOptimized;
+    auto fpga = make_detector(sys, fpga_spec);
+
+    const double t_cpu = runner.run_point(*cpu, snr).mean_seconds;
+    const double t_fpga = runner.run_point(*fpga, snr).mean_seconds;
+    const double e_cpu = cpu_energy_joules(cfg.m, cfg.mod, t_cpu);
+    const double e_fpga = fpga_energy_joules(
+        FpgaConfig::optimized_design(cfg.m, cfg.m, cfg.mod), t_fpga);
+    reductions.push_back(e_cpu / e_fpga);
+
+    // Average station power if the platform decodes `rate` vectors/s and
+    // idles (at model static power) otherwise.
+    const double duty_cpu = std::min(1.0, rate * t_cpu);
+    const double duty_fpga = std::min(1.0, rate * t_fpga);
+    const double station_cpu =
+        cpu_power_watts(cfg.m, cfg.mod) * duty_cpu + 70.0 * (1 - duty_cpu);
+    const double station_fpga =
+        fpga_power_watts(FpgaConfig::optimized_design(cfg.m, cfg.m, cfg.mod)) *
+            duty_fpga +
+        5.0 * (1 - duty_fpga);
+
+    t.add_row({std::to_string(cfg.m) + "x" + std::to_string(cfg.m) + " " +
+                   std::string(modulation_name(cfg.mod)),
+               fmt(e_cpu * 1e3, 4), fmt(e_fpga * 1e3, 4),
+               fmt_factor(e_cpu / e_fpga), fmt(station_cpu, 1),
+               fmt(station_fpga, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("geo-mean energy reduction: %s (paper Table II: 38.1x)\n",
+              fmt_factor(geomean(reductions)).c_str());
+  return 0;
+}

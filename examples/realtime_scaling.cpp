@@ -1,0 +1,56 @@
+// Real-time scaling study: how many antennas can each platform afford while
+// staying inside the 10 ms real-time budget at a given SNR? This is the
+// deployment question the paper's §IV-D answers (CPU breaks at 15x15 while
+// the FPGA scales to 20x20).
+//
+//   ./realtime_scaling [--mod=4qam] [--snr=8] [--trials=5]
+//                      [--max-antennas=20] [--budget-ms=10]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sd;
+  const Cli cli(argc, argv);
+  const Modulation mod = parse_modulation(cli.get_or("mod", "4qam"));
+  const double snr = cli.get_double_or("snr", 8.0);
+  const auto trials = static_cast<usize>(cli.get_int_or("trials", 5));
+  const auto max_m = static_cast<index_t>(cli.get_int_or("max-antennas", 20));
+  const double budget_s = cli.get_double_or("budget-ms", 10.0) * 1e-3;
+
+  std::printf("real-time scaling: %s @ %.0f dB, budget %.1f ms, %zu "
+              "trials/config\n",
+              std::string(modulation_name(mod)).c_str(), snr, budget_s * 1e3,
+              trials);
+
+  Table t({"antennas", "CPU (ms)", "CPU ok", "FPGA-opt (ms)", "FPGA ok",
+           "mean nodes"});
+  index_t cpu_limit = 0, fpga_limit = 0;
+  for (index_t m = 4; m <= max_m; m += 2) {
+    const SystemConfig sys{m, m, mod};
+    ExperimentRunner runner(sys, trials, 77);
+    DecoderSpec cpu_spec;
+    cpu_spec.sd.max_nodes = 2'000'000;
+    auto cpu = make_detector(sys, cpu_spec);
+    DecoderSpec fpga_spec = cpu_spec;
+    fpga_spec.device = TargetDevice::kFpgaOptimized;
+    auto fpga = make_detector(sys, fpga_spec);
+
+    const SweepPoint p_cpu = runner.run_point(*cpu, snr);
+    const SweepPoint p_fpga = runner.run_point(*fpga, snr);
+    const bool cpu_ok = p_cpu.mean_seconds <= budget_s;
+    const bool fpga_ok = p_fpga.mean_seconds <= budget_s;
+    if (cpu_ok) cpu_limit = m;
+    if (fpga_ok) fpga_limit = m;
+    t.add_row({std::to_string(m) + "x" + std::to_string(m),
+               fmt(p_cpu.mean_seconds * 1e3, 3), cpu_ok ? "yes" : "NO",
+               fmt(p_fpga.mean_seconds * 1e3, 3), fpga_ok ? "yes" : "NO",
+               fmt(p_fpga.mean_nodes_expanded, 0)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("largest real-time configuration: CPU %dx%d, FPGA %dx%d\n",
+              cpu_limit, cpu_limit, fpga_limit, fpga_limit);
+  return 0;
+}

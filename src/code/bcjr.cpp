@@ -1,0 +1,119 @@
+#include "code/bcjr.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sd {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Half-scale bit cost so that output LLRs carry the same scale as inputs:
+/// cost(b=0) = -L/2, cost(b=1) = +L/2 (L positive favours bit 0).
+double bit_cost(int bit, double llr) noexcept {
+  return bit ? llr * 0.5 : -llr * 0.5;
+}
+}  // namespace
+
+BcjrResult BcjrDecoder::decode(std::span<const double> coded_llrs,
+                               std::span<const double> info_priors) const {
+  SD_CHECK(coded_llrs.size() % 2 == 0, "LLR stream must pair up");
+  const usize steps = coded_llrs.size() / 2;
+  const int memory = code_->memory();
+  SD_CHECK(steps > static_cast<usize>(memory), "codeword shorter than tail");
+  const usize info_len = steps - static_cast<usize>(memory);
+  SD_CHECK(info_priors.empty() || info_priors.size() == info_len,
+           "prior length must match the info length");
+  const int states = code_->num_states();
+
+  auto branch_cost = [&](usize t, int state, int input) {
+    const auto e = code_->edge(state, input);
+    double cost = bit_cost(e.c0, coded_llrs[2 * t]) +
+                  bit_cost(e.c1, coded_llrs[2 * t + 1]);
+    if (!info_priors.empty() && t < info_len) {
+      cost += bit_cost(input, info_priors[t]);
+    }
+    return cost;
+  };
+  auto max_input = [&](usize t) { return t < info_len ? 1 : 0; };
+
+  // Forward (alpha) and backward (beta) min-cost passes.
+  std::vector<std::vector<double>> alpha(
+      steps + 1, std::vector<double>(static_cast<usize>(states), kInf));
+  alpha[0][0] = 0.0;
+  for (usize t = 0; t < steps; ++t) {
+    for (int s = 0; s < states; ++s) {
+      if (alpha[t][static_cast<usize>(s)] == kInf) continue;
+      for (int input = 0; input <= max_input(t); ++input) {
+        const auto e = code_->edge(s, input);
+        const double cand =
+            alpha[t][static_cast<usize>(s)] + branch_cost(t, s, input);
+        double& slot = alpha[t + 1][static_cast<usize>(e.next_state)];
+        if (cand < slot) slot = cand;
+      }
+    }
+  }
+  std::vector<std::vector<double>> beta(
+      steps + 1, std::vector<double>(static_cast<usize>(states), kInf));
+  beta[steps][0] = 0.0;  // terminated trellis
+  for (usize t = steps; t-- > 0;) {
+    for (int s = 0; s < states; ++s) {
+      for (int input = 0; input <= max_input(t); ++input) {
+        const auto e = code_->edge(s, input);
+        const double down = beta[t + 1][static_cast<usize>(e.next_state)];
+        if (down == kInf) continue;
+        const double cand = down + branch_cost(t, s, input);
+        double& slot = beta[t][static_cast<usize>(s)];
+        if (cand < slot) slot = cand;
+      }
+    }
+  }
+  SD_CHECK(alpha[steps][0] != kInf, "trellis does not terminate");
+
+  BcjrResult out;
+  out.info_llrs.resize(info_len);
+  out.coded_extrinsic.assign(coded_llrs.size(), 0.0);
+  out.info_bits.resize(info_len);
+
+  for (usize t = 0; t < steps; ++t) {
+    // Minimum path cost conditioned on each hypothesis of this step's bits.
+    double best_input[2] = {kInf, kInf};
+    double best_c0[2] = {kInf, kInf};
+    double best_c1[2] = {kInf, kInf};
+    for (int s = 0; s < states; ++s) {
+      if (alpha[t][static_cast<usize>(s)] == kInf) continue;
+      for (int input = 0; input <= max_input(t); ++input) {
+        const auto e = code_->edge(s, input);
+        const double down = beta[t + 1][static_cast<usize>(e.next_state)];
+        if (down == kInf) continue;
+        const double total = alpha[t][static_cast<usize>(s)] +
+                             branch_cost(t, s, input) + down;
+        if (total < best_input[input]) best_input[input] = total;
+        if (total < best_c0[e.c0]) best_c0[e.c0] = total;
+        if (total < best_c1[e.c1]) best_c1[e.c1] = total;
+      }
+    }
+    if (t < info_len) {
+      // Positive = bit 0 more likely (same convention as the inputs).
+      const double llr =
+          (best_input[1] == kInf ? 50.0
+                                 : best_input[1]) -
+          (best_input[0] == kInf ? 50.0 : best_input[0]);
+      out.info_llrs[t] = llr;
+      out.info_bits[t] = llr < 0 ? 1 : 0;
+    }
+    auto extrinsic = [](double b1, double b0, double channel) {
+      const double app = (b1 == kInf ? 50.0 : b1) - (b0 == kInf ? 50.0 : b0);
+      return app - channel;
+    };
+    out.coded_extrinsic[2 * t] =
+        extrinsic(best_c0[1], best_c0[0], coded_llrs[2 * t]);
+    out.coded_extrinsic[2 * t + 1] =
+        extrinsic(best_c1[1], best_c1[0], coded_llrs[2 * t + 1]);
+  }
+  return out;
+}
+
+}  // namespace sd

@@ -1,0 +1,42 @@
+// Max-log BCJR (SISO) decoding of the convolutional code.
+//
+// The Viterbi decoder returns hard info bits; an *iterative* receiver —
+// "iterative decoding for MIMO channels via modified sphere decoding"
+// (Vikalo/Hassibi/Kailath, the paper's ref. [11]) — needs soft-in/soft-out
+// decoding: a-posteriori LLRs for the info bits plus *extrinsic* LLRs for
+// the coded bits, which are fed back to the detector as priors. This is the
+// max-log approximation (forward/backward Viterbi metrics), numerically
+// robust and the standard hardware-friendly choice.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "code/convolutional.hpp"
+
+namespace sd {
+
+struct BcjrResult {
+  /// A-posteriori LLRs of the info bits (positive = bit 0), tail stripped.
+  std::vector<double> info_llrs;
+  /// Extrinsic LLRs of the coded bits: a-posteriori minus the channel
+  /// input, i.e. the new information the code structure contributed.
+  std::vector<double> coded_extrinsic;
+  /// Hard decisions on info_llrs.
+  std::vector<std::uint8_t> info_bits;
+};
+
+class BcjrDecoder {
+ public:
+  explicit BcjrDecoder(const ConvolutionalCode& code) : code_(&code) {}
+
+  /// Decodes a terminated codeword from per-coded-bit channel LLRs, with
+  /// optional a-priori LLRs on the info bits (empty = uniform prior).
+  [[nodiscard]] BcjrResult decode(std::span<const double> coded_llrs,
+                                  std::span<const double> info_priors = {}) const;
+
+ private:
+  const ConvolutionalCode* code_;
+};
+
+}  // namespace sd

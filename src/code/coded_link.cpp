@@ -1,0 +1,129 @@
+#include "code/coded_link.hpp"
+
+#include "common/error.hpp"
+#include "decode/sd_gemm.hpp"
+#include "mimo/frame.hpp"
+
+namespace sd {
+
+namespace {
+
+void accumulate(DecodeStats& into, const DecodeStats& from) {
+  into.nodes_expanded += from.nodes_expanded;
+  into.nodes_generated += from.nodes_generated;
+  into.nodes_pruned += from.nodes_pruned;
+  into.leaves_reached += from.leaves_reached;
+  into.radius_updates += from.radius_updates;
+  into.gemm_calls += from.gemm_calls;
+  into.flops += from.flops;
+  into.sort_ops += from.sort_ops;
+  into.bytes_touched += from.bytes_touched;
+  into.node_budget_hit |= from.node_budget_hit;
+  into.preprocess_seconds += from.preprocess_seconds;
+  into.search_seconds += from.search_seconds;
+}
+
+}  // namespace
+
+CodedLink::CodedLink(CodedLinkConfig config)
+    : config_(config),
+      constellation_(&Constellation::get(config.modulation)),
+      code_(),
+      coded_bits_(2 * (config.info_bits + static_cast<usize>(code_.memory()))),
+      bits_per_vector_(static_cast<usize>(config.num_tx) *
+                       static_cast<usize>(constellation_->bits_per_symbol())),
+      interleaver_(coded_bits_, config.seed ^ 0xC0DEC0DEull),
+      channel_(config.num_rx, config.num_tx, config.seed),
+      payload_rng_(config.seed ^ 0xFEEDFACEull) {
+  SD_CHECK(config_.info_bits > 0, "payload must be non-empty");
+  padded_bits_ =
+      (coded_bits_ + bits_per_vector_ - 1) / bits_per_vector_ * bits_per_vector_;
+}
+
+PacketResult CodedLink::run_packet(double snr_db) {
+  PacketResult result;
+  const double sigma2 = snr_db_to_sigma2(snr_db, config_.num_tx);
+  const int bits_per_symbol = constellation_->bits_per_symbol();
+
+  // --- Transmitter: payload -> codeword -> interleave -> pad -> map.
+  std::vector<std::uint8_t> info(config_.info_bits);
+  for (std::uint8_t& b : info) {
+    b = static_cast<std::uint8_t>(payload_rng_.next_index(2));
+  }
+  const std::vector<std::uint8_t> coded = code_.encode(info);
+  SD_ASSERT(coded.size() == coded_bits_);
+  std::vector<std::uint8_t> stream = interleaver_.interleave(coded);
+  stream.resize(padded_bits_, 0);  // pad with known zeros
+
+  // --- Channel + detection, one MIMO vector per bits_per_vector chunk.
+  SdGemmDetector hard_detector(*constellation_, SdOptions{});
+  ListSdOptions soft_opts;
+  soft_opts.list_size = config_.list_size;
+  ListSphereDecoder soft_detector(*constellation_, soft_opts);
+
+  std::vector<double> llr_stream(padded_bits_, 0.0);
+  std::vector<std::uint8_t> bit_buf(static_cast<usize>(bits_per_symbol));
+  for (usize offset = 0; offset < padded_bits_; offset += bits_per_vector_) {
+    ++result.vectors_used;
+    // Map this chunk's bits onto the M transmit symbols.
+    std::vector<index_t> tx_indices(static_cast<usize>(config_.num_tx));
+    for (index_t ant = 0; ant < config_.num_tx; ++ant) {
+      for (int b = 0; b < bits_per_symbol; ++b) {
+        bit_buf[static_cast<usize>(b)] =
+            stream[offset + static_cast<usize>(ant) * bits_per_symbol +
+                   static_cast<usize>(b)];
+      }
+      tx_indices[static_cast<usize>(ant)] =
+          constellation_->bits_to_index(bit_buf);
+    }
+    const TxVector tx = modulate(*constellation_, tx_indices);
+    const CMat h = channel_.draw_channel();
+    const CVec y = channel_.transmit(h, tx.symbols, sigma2);
+
+    if (config_.soft_detection) {
+      const SoftDecodeResult soft = soft_detector.decode_soft(h, y, sigma2);
+      accumulate(result.detection, soft.hard.stats);
+      for (usize b = 0; b < bits_per_vector_; ++b) {
+        llr_stream[offset + b] = soft.llrs[b];
+      }
+      for (index_t ant = 0; ant < config_.num_tx; ++ant) {
+        if (soft.hard.indices[static_cast<usize>(ant)] !=
+            tx_indices[static_cast<usize>(ant)]) {
+          result.raw_bit_errors += static_cast<usize>(
+              constellation_->bit_errors(tx_indices[static_cast<usize>(ant)],
+                                         soft.hard.indices[static_cast<usize>(ant)]));
+        }
+      }
+    } else {
+      const DecodeResult hard = hard_detector.decode(h, y, sigma2);
+      accumulate(result.detection, hard.stats);
+      for (index_t ant = 0; ant < config_.num_tx; ++ant) {
+        constellation_->index_to_bits(hard.indices[static_cast<usize>(ant)],
+                                      bit_buf);
+        for (int b = 0; b < bits_per_symbol; ++b) {
+          // Hard decisions become unit-magnitude LLRs.
+          llr_stream[offset + static_cast<usize>(ant) * bits_per_symbol +
+                     static_cast<usize>(b)] =
+              bit_buf[static_cast<usize>(b)] ? -1.0 : 1.0;
+        }
+        result.raw_bit_errors += static_cast<usize>(constellation_->bit_errors(
+            tx_indices[static_cast<usize>(ant)],
+            hard.indices[static_cast<usize>(ant)]));
+      }
+    }
+  }
+
+  // --- Receiver: drop padding, deinterleave LLRs, Viterbi, compare.
+  llr_stream.resize(coded_bits_);
+  const std::vector<double> deinterleaved =
+      interleaver_.deinterleave(std::span<const double>(llr_stream));
+  const std::vector<std::uint8_t> decoded = code_.decode_llr(deinterleaved);
+  SD_ASSERT(decoded.size() == info.size());
+  for (usize i = 0; i < info.size(); ++i) {
+    if (decoded[i] != info[i]) ++result.info_bit_errors;
+  }
+  result.packet_ok = result.info_bit_errors == 0;
+  return result;
+}
+
+}  // namespace sd

@@ -1,0 +1,125 @@
+#include "code/convolutional.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sd {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+ConvolutionalCode::ConvolutionalCode() : memory_(6), g0_(0133), g1_(0171) {}
+
+std::pair<std::uint8_t, std::uint8_t> ConvolutionalCode::output_bits(
+    int state, int input) const noexcept {
+  // Register layout: bit 6 = current input, bits 5..0 = previous inputs
+  // (most recent in bit 5).
+  const std::uint32_t reg =
+      (static_cast<std::uint32_t>(input) << memory_) |
+      static_cast<std::uint32_t>(state);
+  const auto c0 = static_cast<std::uint8_t>(std::popcount(reg & g0_) & 1);
+  const auto c1 = static_cast<std::uint8_t>(std::popcount(reg & g1_) & 1);
+  return {c0, c1};
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::encode(
+    std::span<const std::uint8_t> info) const {
+  std::vector<std::uint8_t> coded;
+  coded.reserve(2 * (info.size() + static_cast<usize>(memory_)));
+  int state = 0;
+  auto push = [&](int input) {
+    const auto [c0, c1] = output_bits(state, input);
+    coded.push_back(c0);
+    coded.push_back(c1);
+    state = static_cast<int>(
+        ((static_cast<std::uint32_t>(input) << memory_) |
+         static_cast<std::uint32_t>(state)) >> 1);
+  };
+  for (std::uint8_t bit : info) {
+    SD_CHECK(bit <= 1, "info bits must be 0/1");
+    push(bit);
+  }
+  for (int t = 0; t < memory_; ++t) push(0);  // terminate the trellis
+  return coded;
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::decode_llr(
+    std::span<const double> llrs) const {
+  SD_CHECK(llrs.size() % 2 == 0, "LLR stream must pair up with coded bits");
+  const usize steps = llrs.size() / 2;
+  SD_CHECK(steps > static_cast<usize>(memory_),
+           "codeword shorter than the tail");
+  const int states = num_states();
+
+  // Forward pass with survivor storage (O(steps * states) memory — fine for
+  // the packet sizes the experiments use).
+  std::vector<double> cost(static_cast<usize>(states), kInf);
+  std::vector<double> next_cost(static_cast<usize>(states), kInf);
+  std::vector<std::uint8_t> survivors(steps * static_cast<usize>(states));
+  cost[0] = 0.0;
+
+  for (usize t = 0; t < steps; ++t) {
+    std::fill(next_cost.begin(), next_cost.end(), kInf);
+    const double l0 = llrs[2 * t];
+    const double l1 = llrs[2 * t + 1];
+    const bool tail = t >= steps - static_cast<usize>(memory_);
+    for (int state = 0; state < states; ++state) {
+      if (cost[static_cast<usize>(state)] == kInf) continue;
+      const int max_input = tail ? 0 : 1;  // tail forces zeros
+      for (int input = 0; input <= max_input; ++input) {
+        const auto [c0, c1] = output_bits(state, input);
+        // LLR convention: positive favours bit 0, so sending a 1 costs +l.
+        const double branch = (c0 ? l0 : -l0) + (c1 ? l1 : -l1);
+        const int next_state = static_cast<int>(
+            ((static_cast<std::uint32_t>(input) << memory_) |
+             static_cast<std::uint32_t>(state)) >> 1);
+        const double candidate = cost[static_cast<usize>(state)] + branch;
+        if (candidate < next_cost[static_cast<usize>(next_state)]) {
+          next_cost[static_cast<usize>(next_state)] = candidate;
+          // Survivor stores the *predecessor*'s low bit discarded by the
+          // shift plus the input; we can reconstruct the predecessor as
+          // (next_state << 1 | dropped) & mask, and the input as the MSB.
+          survivors[t * static_cast<usize>(states) +
+                    static_cast<usize>(next_state)] =
+              static_cast<std::uint8_t>((input << 1) | (state & 1));
+        }
+      }
+    }
+    cost.swap(next_cost);
+  }
+
+  // Traceback from the zero state (terminated trellis).
+  SD_CHECK(cost[0] != kInf, "trellis did not terminate — corrupted input");
+  std::vector<std::uint8_t> decoded(steps);
+  int state = 0;
+  for (usize t = steps; t-- > 0;) {
+    const std::uint8_t survivor =
+        survivors[t * static_cast<usize>(states) + static_cast<usize>(state)];
+    const int input = (survivor >> 1) & 1;
+    const int dropped = survivor & 1;
+    decoded[t] = static_cast<std::uint8_t>(input);
+    // Invert the state update: predecessor = (state << 1 | dropped) without
+    // the input bit that sits at the top of the register.
+    state = static_cast<int>(
+        ((static_cast<std::uint32_t>(state) << 1) |
+         static_cast<std::uint32_t>(dropped)) &
+        ((1u << memory_) - 1));
+  }
+  decoded.resize(steps - static_cast<usize>(memory_));  // strip the tail
+  return decoded;
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::decode_hard(
+    std::span<const std::uint8_t> coded) const {
+  std::vector<double> llrs(coded.size());
+  for (usize i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -1.0 : 1.0;
+  }
+  return decode_llr(llrs);
+}
+
+}  // namespace sd

@@ -1,0 +1,61 @@
+// Convolutional coding substrate (the outer code of 802.11-class links the
+// paper's intro targets): the standard K=7, rate-1/2 code with generators
+// (133, 171) octal, plus a Viterbi decoder operating on bit LLRs — hard
+// decisions are the special case of +/-1 LLRs. Used by the coded-BER
+// experiments to show how detector soft output translates into link gains.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sd {
+
+class ConvolutionalCode {
+ public:
+  /// K=7 (memory 6), rate 1/2, generators 0o133 and 0o171.
+  ConvolutionalCode();
+
+  [[nodiscard]] int memory() const noexcept { return memory_; }
+  [[nodiscard]] int num_states() const noexcept { return 1 << memory_; }
+
+  /// Encodes `info` bits followed by `memory()` zero tail bits (trellis
+  /// termination). Output length = 2 * (info.size() + memory()).
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> info) const;
+
+  /// Viterbi decode from per-coded-bit LLRs (positive = bit 0 more likely).
+  /// `llrs` length must be even and correspond to a terminated codeword;
+  /// returns the decoded info bits (tail stripped).
+  [[nodiscard]] std::vector<std::uint8_t> decode_llr(
+      std::span<const double> llrs) const;
+
+  /// Hard-decision Viterbi: wraps each bit as an LLR of magnitude 1.
+  [[nodiscard]] std::vector<std::uint8_t> decode_hard(
+      std::span<const std::uint8_t> coded) const;
+
+  /// One trellis transition, exposed for SISO (BCJR) decoding.
+  struct TrellisEdge {
+    std::uint8_t c0;
+    std::uint8_t c1;
+    int next_state;
+  };
+  [[nodiscard]] TrellisEdge edge(int state, int input) const noexcept {
+    const auto [c0, c1] = output_bits(state, input);
+    const int next = static_cast<int>(
+        ((static_cast<std::uint32_t>(input) << memory_) |
+         static_cast<std::uint32_t>(state)) >> 1);
+    return {c0, c1, next};
+  }
+
+ private:
+  /// Coded bit pair produced when `input` enters state `state`.
+  [[nodiscard]] std::pair<std::uint8_t, std::uint8_t> output_bits(
+      int state, int input) const noexcept;
+
+  int memory_ = 6;
+  std::uint32_t g0_ = 0;
+  std::uint32_t g1_ = 0;
+};
+
+}  // namespace sd

@@ -1,0 +1,63 @@
+#include "code/interleaver.hpp"
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace sd {
+
+Interleaver::Interleaver(usize length, std::uint64_t seed)
+    : forward_(length), inverse_(length) {
+  SD_CHECK(length > 0, "interleaver length must be positive");
+  for (usize i = 0; i < length; ++i) {
+    forward_[i] = static_cast<std::uint32_t>(i);
+  }
+  // Fisher-Yates with the library PRNG so the permutation is reproducible.
+  GaussianSource rng(seed);
+  for (usize i = length - 1; i > 0; --i) {
+    const usize j = rng.next_index(static_cast<std::uint32_t>(i + 1));
+    std::swap(forward_[i], forward_[j]);
+  }
+  for (usize i = 0; i < length; ++i) {
+    inverse_[forward_[i]] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::vector<std::uint8_t> Interleaver::interleave(
+    std::span<const std::uint8_t> in) const {
+  SD_CHECK(in.size() == forward_.size(), "interleaver length mismatch");
+  std::vector<std::uint8_t> out(in.size());
+  for (usize i = 0; i < in.size(); ++i) {
+    out[i] = in[forward_[i]];
+  }
+  return out;
+}
+
+std::vector<double> Interleaver::interleave(std::span<const double> in) const {
+  SD_CHECK(in.size() == forward_.size(), "interleaver length mismatch");
+  std::vector<double> out(in.size());
+  for (usize i = 0; i < in.size(); ++i) {
+    out[i] = in[forward_[i]];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Interleaver::deinterleave(
+    std::span<const std::uint8_t> in) const {
+  SD_CHECK(in.size() == inverse_.size(), "interleaver length mismatch");
+  std::vector<std::uint8_t> out(in.size());
+  for (usize i = 0; i < in.size(); ++i) {
+    out[i] = in[inverse_[i]];
+  }
+  return out;
+}
+
+std::vector<double> Interleaver::deinterleave(std::span<const double> in) const {
+  SD_CHECK(in.size() == inverse_.size(), "interleaver length mismatch");
+  std::vector<double> out(in.size());
+  for (usize i = 0; i < in.size(); ++i) {
+    out[i] = in[inverse_[i]];
+  }
+  return out;
+}
+
+}  // namespace sd

@@ -1,0 +1,42 @@
+// Bit interleaving between the convolutional code and the QAM mapper
+// (bit-interleaved coded modulation). Breaks up the error bursts a deep
+// fade on one MIMO stream produces, so the Viterbi decoder sees scattered
+// errors it can correct.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sd {
+
+/// Deterministic pseudo-random interleaver over a fixed block length.
+class Interleaver {
+ public:
+  /// Permutation of `length` positions drawn from `seed`.
+  Interleaver(usize length, std::uint64_t seed);
+
+  [[nodiscard]] usize length() const noexcept { return forward_.size(); }
+
+  /// out[i] = in[pi(i)] — scatter the coded stream. The double overload
+  /// lets iterative receivers scatter LLR streams the same way.
+  [[nodiscard]] std::vector<std::uint8_t> interleave(
+      std::span<const std::uint8_t> in) const;
+  [[nodiscard]] std::vector<double> interleave(
+      std::span<const double> in) const;
+
+  /// Inverse permutation (restores coded order). Works for any element type
+  /// carried through the channel, so LLRs can be deinterleaved too.
+  [[nodiscard]] std::vector<std::uint8_t> deinterleave(
+      std::span<const std::uint8_t> in) const;
+  [[nodiscard]] std::vector<double> deinterleave(
+      std::span<const double> in) const;
+
+ private:
+  std::vector<std::uint32_t> forward_;  ///< pi
+  std::vector<std::uint32_t> inverse_;  ///< pi^-1
+};
+
+}  // namespace sd

@@ -1,0 +1,126 @@
+#include "code/turbo_receiver.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "mimo/frame.hpp"
+
+namespace sd {
+
+TurboReceiver::TurboReceiver(TurboConfig config)
+    : config_(config),
+      constellation_(&Constellation::get(config.modulation)),
+      code_(),
+      coded_bits_(2 * (config.info_bits + static_cast<usize>(code_.memory()))),
+      bits_per_vector_(static_cast<usize>(config.num_tx) *
+                       static_cast<usize>(constellation_->bits_per_symbol())),
+      interleaver_(coded_bits_, config.seed ^ 0x70126B0ull),
+      channel_(config.num_rx, config.num_tx, config.seed),
+      payload_rng_(config.seed ^ 0xBADC0FFEull) {
+  SD_CHECK(config_.info_bits > 0, "payload must be non-empty");
+  SD_CHECK(config_.iterations >= 1, "at least one iteration");
+  padded_bits_ =
+      (coded_bits_ + bits_per_vector_ - 1) / bits_per_vector_ * bits_per_vector_;
+}
+
+TurboPacketResult TurboReceiver::run_packet(double snr_db) {
+  TurboPacketResult result;
+  const double sigma2 = snr_db_to_sigma2(snr_db, config_.num_tx);
+  const int bits_per_symbol = constellation_->bits_per_symbol();
+
+  // --- Transmitter (same chain as CodedLink).
+  std::vector<std::uint8_t> info(config_.info_bits);
+  for (std::uint8_t& b : info) {
+    b = static_cast<std::uint8_t>(payload_rng_.next_index(2));
+  }
+  const std::vector<std::uint8_t> coded = code_.encode(info);
+  std::vector<std::uint8_t> stream = interleaver_.interleave(coded);
+  stream.resize(padded_bits_, 0);
+
+  // --- One tree search per vector; candidate lists are retained.
+  ListSdOptions lsd_opts;
+  lsd_opts.list_size = config_.list_size;
+  std::vector<ListSphereDecoder> detectors;  // one per vector, owns its list
+  std::vector<std::uint8_t> bit_buf(static_cast<usize>(bits_per_symbol));
+  const usize vectors = padded_bits_ / bits_per_vector_;
+  result.vectors_used = vectors;
+  detectors.reserve(vectors);
+
+  for (usize vi = 0; vi < vectors; ++vi) {
+    std::vector<index_t> tx_indices(static_cast<usize>(config_.num_tx));
+    for (index_t ant = 0; ant < config_.num_tx; ++ant) {
+      for (int b = 0; b < bits_per_symbol; ++b) {
+        bit_buf[static_cast<usize>(b)] =
+            stream[vi * bits_per_vector_ +
+                   static_cast<usize>(ant) * bits_per_symbol +
+                   static_cast<usize>(b)];
+      }
+      tx_indices[static_cast<usize>(ant)] =
+          constellation_->bits_to_index(bit_buf);
+    }
+    const TxVector tx = modulate(*constellation_, tx_indices);
+    const CMat h = channel_.draw_channel();
+    const CVec y = channel_.transmit(h, tx.symbols, sigma2);
+    detectors.emplace_back(*constellation_, lsd_opts);
+    (void)detectors.back().decode_soft(h, y, sigma2);
+  }
+
+  // --- Iterative exchange.
+  std::vector<double> priors(padded_bits_, 0.0);  // interleaved domain
+  BcjrDecoder bcjr(code_);
+  std::vector<std::uint8_t> decoded;
+  for (int it = 0; it < config_.iterations; ++it) {
+    // Detector pass: re-score candidate lists under the current priors.
+    std::vector<double> detector_llrs(padded_bits_, 0.0);
+    for (usize vi = 0; vi < vectors; ++vi) {
+      const std::span<const double> vector_priors(
+          priors.data() + vi * bits_per_vector_, bits_per_vector_);
+      const std::vector<double> llrs =
+          detectors[vi].llrs_from_list(vector_priors, sigma2);
+      for (usize b = 0; b < bits_per_vector_; ++b) {
+        detector_llrs[vi * bits_per_vector_ + b] = llrs[b];
+      }
+    }
+    // Detector extrinsic = a-posteriori minus what the decoder told us.
+    std::vector<double> extrinsic(coded_bits_);
+    for (usize b = 0; b < coded_bits_; ++b) {
+      extrinsic[b] = detector_llrs[b] - priors[b];
+    }
+    const std::vector<double> decoder_in =
+        interleaver_.deinterleave(std::span<const double>(extrinsic));
+
+    const BcjrResult dec = bcjr.decode(decoder_in);
+    decoded = dec.info_bits;
+
+    usize iter_errors = 0;
+    for (usize i = 0; i < info.size(); ++i) {
+      if (decoded[i] != info[i]) ++iter_errors;
+    }
+    result.errors_per_iteration.push_back(iter_errors);
+
+    if (it + 1 < config_.iterations) {
+      // Feed the decoder's coded-bit extrinsic back as detector priors
+      // (re-interleaved into the channel's bit order; padding stays at 0).
+      // Extrinsic magnitudes are clamped and damped — unbounded or
+      // full-strength feedback lets one confidently-wrong decoder decision
+      // swamp the detector's evidence and makes the loop oscillate at low
+      // SNR (the classic turbo ping-pong; 0.7 is a standard damping value
+      // for max-log extrinsics).
+      constexpr double kFeedbackClamp = 12.0;
+      constexpr double kDamping = 0.7;
+      const std::vector<double> fed = interleaver_.interleave(
+          std::span<const double>(dec.coded_extrinsic));
+      std::fill(priors.begin(), priors.end(), 0.0);
+      for (usize j = 0; j < coded_bits_; ++j) {
+        priors[j] =
+            kDamping * std::clamp(fed[j], -kFeedbackClamp, kFeedbackClamp);
+      }
+    }
+  }
+
+  result.info_bit_errors = result.errors_per_iteration.back();
+  result.packet_ok = result.info_bit_errors == 0;
+  return result;
+}
+
+}  // namespace sd

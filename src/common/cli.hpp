@@ -1,0 +1,47 @@
+// Minimal command-line / environment option parsing used by the benchmark
+// harness and the examples. Options come as "--key=value" or "--key value";
+// environment variables (e.g. SD_TRIALS) provide defaults so the whole bench
+// directory can be scaled with one knob.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sd {
+
+/// Parsed command line: named options plus positional arguments.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if --key was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] long get_int_or(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key,
+                                     double fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+/// Integer environment variable with fallback (e.g. SD_TRIALS).
+[[nodiscard]] long env_int_or(const char* name, long fallback);
+
+/// Floating-point environment variable with fallback.
+[[nodiscard]] double env_double_or(const char* name, double fallback);
+
+}  // namespace sd

@@ -1,0 +1,56 @@
+// Error handling: precondition checks that throw, used at API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sd {
+
+/// Exception thrown when a public-API precondition is violated.
+class invalid_argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when an internal invariant fails (indicates a bug).
+class internal_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Exception thrown when a fixed-capacity hardware-style structure overflows
+/// (e.g. the Meta State Table); mirrors what would be a synthesis-time sizing
+/// failure on the real FPGA.
+class capacity_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  throw invalid_argument_error(std::string("check failed: ") + expr + " at " +
+                               file + ":" + std::to_string(line) +
+                               (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace sd
+
+/// Precondition check for public entry points; throws sd::invalid_argument_error.
+#define SD_CHECK(expr, msg)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::sd::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant; violations indicate a bug in the library itself.
+#define SD_ASSERT(expr)                                                       \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      throw ::sd::internal_error(std::string("invariant failed: ") + #expr + \
+                                 " at " + __FILE__ + ":" +                    \
+                                 std::to_string(__LINE__));                   \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,46 @@
+// Tiny leveled logger. The decoders are hot-path code, so logging is kept out
+// of inner loops entirely; this exists for the harness and examples.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo, or the
+/// level named by the SD_LOG environment variable (debug/info/warn/error/off).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr as "[level] message" if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style one-shot logger: flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace sd
+
+#define SD_LOG_DEBUG ::sd::detail::LogLine(::sd::LogLevel::kDebug)
+#define SD_LOG_INFO ::sd::detail::LogLine(::sd::LogLevel::kInfo)
+#define SD_LOG_WARN ::sd::detail::LogLine(::sd::LogLevel::kWarn)
+#define SD_LOG_ERROR ::sd::detail::LogLine(::sd::LogLevel::kError)

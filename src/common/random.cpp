@@ -1,0 +1,96 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+namespace sd {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::long_jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x76E15D3EFEFDCBBFull, 0xC5004E441C522FB3ull, 0x77710069854EE241ull,
+      0x39109BB02ACBE635ull};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+double uniform01(Xoshiro256& rng) noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+double GaussianSource::next() noexcept {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Marsaglia polar method.
+  double u, v, r2;
+  do {
+    u = 2.0 * uniform01(rng_) - 1.0;
+    v = 2.0 * uniform01(rng_) - 1.0;
+    r2 = u * u + v * v;
+  } while (r2 >= 1.0 || r2 == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(r2) / r2);
+  cached_ = v * f;
+  has_cached_ = true;
+  return u * f;
+}
+
+cplx GaussianSource::next_cplx(double variance) noexcept {
+  const double sigma = std::sqrt(variance / 2.0);
+  return {static_cast<real>(sigma * next()), static_cast<real>(sigma * next())};
+}
+
+std::uint32_t GaussianSource::next_index(std::uint32_t bound) noexcept {
+  // Lemire's multiply-shift rejection-free reduction is fine here: the bias
+  // for bound << 2^32 is negligible for Monte-Carlo symbol draws.
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rng_())) * bound) >> 32);
+}
+
+}  // namespace sd

@@ -1,0 +1,64 @@
+// Seedable PRNG used by the Monte-Carlo link simulator.
+//
+// We implement xoshiro256++ (Blackman & Vigna) rather than using
+// std::mt19937 so that stream contents are identical across standard-library
+// implementations — reproducibility of the paper's Monte-Carlo experiments
+// must not depend on the host toolchain.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sd {
+
+/// xoshiro256++ generator. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from a single seed value using
+  /// splitmix64, as recommended by the xoshiro authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls of operator(); used to derive independent
+  /// streams for parallel Monte-Carlo workers.
+  void long_jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Draws a double uniformly in [0, 1).
+[[nodiscard]] double uniform01(Xoshiro256& rng) noexcept;
+
+/// Draws a standard normal via the Box-Muller transform (polar form).
+class GaussianSource {
+ public:
+  explicit GaussianSource(std::uint64_t seed) noexcept : rng_(seed) {}
+
+  /// One sample of N(0, 1).
+  [[nodiscard]] double next() noexcept;
+
+  /// One sample of circularly-symmetric complex Gaussian CN(0, variance):
+  /// real and imaginary parts are independent N(0, variance/2).
+  [[nodiscard]] cplx next_cplx(double variance) noexcept;
+
+  /// Uniform integer in [0, bound).
+  [[nodiscard]] std::uint32_t next_index(std::uint32_t bound) noexcept;
+
+  Xoshiro256& engine() noexcept { return rng_; }
+
+ private:
+  Xoshiro256 rng_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace sd

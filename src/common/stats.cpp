@@ -1,0 +1,65 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sd {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_acc = 0.0;
+  for (double x : xs) {
+    SD_CHECK(x > 0.0, "geomean requires strictly positive samples");
+    log_acc += std::log(x);
+  }
+  return std::exp(log_acc / static_cast<double>(xs.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  SD_CHECK(!xs.empty(), "percentile of empty series");
+  SD_CHECK(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double min_of(std::span<const double> xs) {
+  SD_CHECK(!xs.empty(), "min of empty series");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  SD_CHECK(!xs.empty(), "max of empty series");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double ci95_halfwidth(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+}  // namespace sd

@@ -1,0 +1,58 @@
+// Small statistics helpers for the experiment harness: the paper reports
+// means, geometric means (energy reduction, GPU speedup), and we additionally
+// report percentiles and confidence intervals for measured series.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sd {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample standard deviation; 0 for fewer than two samples.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Geometric mean of strictly positive samples; 0 for an empty span.
+/// Throws sd::invalid_argument_error if any sample is <= 0.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+[[nodiscard]] double median(std::span<const double> xs);
+
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+
+/// Half-width of the normal-approximation 95% confidence interval on the
+/// mean. 0 for fewer than two samples.
+[[nodiscard]] double ci95_halfwidth(std::span<const double> xs) noexcept;
+
+/// Accumulates a running series and exposes the summary statistics above.
+class Series {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return xs_.empty(); }
+  [[nodiscard]] std::span<const double> values() const noexcept { return xs_; }
+
+  [[nodiscard]] double mean() const noexcept { return sd::mean(xs_); }
+  [[nodiscard]] double stddev() const noexcept { return sd::stddev(xs_); }
+  [[nodiscard]] double geomean() const { return sd::geomean(xs_); }
+  [[nodiscard]] double median() const { return sd::median(xs_); }
+  [[nodiscard]] double percentile(double p) const { return sd::percentile(xs_, p); }
+  [[nodiscard]] double min() const { return sd::min_of(xs_); }
+  [[nodiscard]] double max() const { return sd::max_of(xs_); }
+  [[nodiscard]] double ci95() const noexcept { return sd::ci95_halfwidth(xs_); }
+
+  void clear() noexcept { xs_.clear(); }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace sd

@@ -1,0 +1,94 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sd {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  SD_CHECK(!headers_.empty(), "table needs at least one column");
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kRight);
+    aligns_.front() = Align::kLeft;
+  }
+  SD_CHECK(aligns_.size() == headers_.size(),
+           "alignment count must match header count");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SD_CHECK(cells.size() == headers_.size(),
+           "row cell count must match header count");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      line += " ";
+      if (aligns_[c] == Align::kRight) line += std::string(pad, ' ');
+      line += cells[c];
+      if (aligns_[c] == Align::kLeft) line += std::string(pad, ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule();
+  out += emit_row(headers_);
+  out += rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? rule() : emit_row(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_factor(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fx", precision, value);
+  return buf;
+}
+
+std::string fmt_sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, value);
+  return buf;
+}
+
+}  // namespace sd

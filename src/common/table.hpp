@@ -1,0 +1,56 @@
+// ASCII table rendering for the benchmark harness. Every bench binary prints
+// the same rows/series the paper's tables and figures report; this gives them
+// one consistent, aligned format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sd {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Fixed-column ASCII table. Usage:
+///   Table t({"SNR (dB)", "CPU (ms)", "FPGA (ms)"});
+///   t.add_row({"4", "7.0", "2.0"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> aligns = {});
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and outer borders.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given precision, trimming to fixed notation.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Formats a value as a percentage string, e.g. 0.29 -> "29%".
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 0);
+
+/// Formats "x<value>" speedup/reduction factors, e.g. 35.84 -> "35.8x".
+[[nodiscard]] std::string fmt_factor(double value, int precision = 1);
+
+/// Formats a value in scientific notation, e.g. 3.2e-03.
+[[nodiscard]] std::string fmt_sci(double value, int precision = 2);
+
+}  // namespace sd

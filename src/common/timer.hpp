@@ -1,0 +1,33 @@
+// Wall-clock timing for the measured (CPU) side of the evaluation.
+#pragma once
+
+#include <chrono>
+
+namespace sd {
+
+/// Monotonic stopwatch. start() on construction; elapsed_*() reads since the
+/// last reset without stopping the clock.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return elapsed_seconds() * 1e6;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sd

@@ -1,0 +1,32 @@
+// Fundamental scalar/complex type aliases shared across the library.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace sd {
+
+/// Real scalar used throughout the signal chain. The paper's FPGA design is
+/// single-precision (fp32 MAC units built from DSP slices), so float is the
+/// faithful choice; double is used only inside test oracles.
+using real = float;
+
+/// Complex baseband sample.
+using cplx = std::complex<real>;
+
+/// Double-precision complex, used by reference/oracle code in tests.
+using cplxd = std::complex<double>;
+
+/// Index type for matrix dimensions and tree levels.
+using index_t = std::int32_t;
+
+/// Unsigned size type for container sizes.
+using usize = std::size_t;
+
+/// Squared magnitude |z|^2 without the sqrt of std::abs.
+[[nodiscard]] constexpr real norm2(cplx z) noexcept {
+  return z.real() * z.real() + z.imag() * z.imag();
+}
+
+}  // namespace sd

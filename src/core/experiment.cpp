@@ -1,0 +1,83 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace sd {
+
+ExperimentRunner::ExperimentRunner(SystemConfig system, usize trials,
+                                   std::uint64_t seed)
+    : system_(system), trials_(trials), seed_(seed) {
+  SD_CHECK(trials > 0, "at least one trial per point");
+}
+
+SweepResult ExperimentRunner::sweep(Detector& detector,
+                                    std::span<const double> snr_list,
+                                    const DeviceTimeFn& time_fn) {
+  SweepResult result;
+  result.detector = std::string(detector.name());
+  result.points.reserve(snr_list.size());
+  for (double snr : snr_list) {
+    result.points.push_back(run_point(detector, snr, time_fn));
+  }
+  return result;
+}
+
+SweepPoint ExperimentRunner::run_point(Detector& detector, double snr_db,
+                                       const DeviceTimeFn& time_fn) {
+  ScenarioConfig sc;
+  sc.num_tx = system_.num_tx;
+  sc.num_rx = system_.num_rx;
+  sc.modulation = system_.modulation;
+  sc.snr_db = snr_db;
+  // Same seed for every detector at this (system, SNR) cell -> paired trials.
+  sc.seed = seed_ ^ (static_cast<std::uint64_t>(snr_db * 1024.0) * 0x9E3779B9ull);
+  Scenario scenario(sc);
+  const Constellation& c = scenario.constellation();
+
+  ErrorCounter errors(c);
+  Series seconds;
+  Series nodes_exp, nodes_gen, gemms, flops, metrics;
+  bool budget_hit = false;
+
+  for (usize t = 0; t < trials_; ++t) {
+    const Trial trial = scenario.next();
+    const DecodeResult r = detector.decode(trial.h, trial.y, trial.sigma2);
+    errors.record(trial.tx.indices, r.indices);
+    const double secs = time_fn ? time_fn(r, detector)
+                                : r.stats.search_seconds;
+    seconds.add(secs);
+    nodes_exp.add(static_cast<double>(r.stats.nodes_expanded));
+    nodes_gen.add(static_cast<double>(r.stats.nodes_generated));
+    gemms.add(static_cast<double>(r.stats.gemm_calls));
+    flops.add(static_cast<double>(r.stats.flops));
+    metrics.add(r.metric);
+    budget_hit |= r.stats.node_budget_hit;
+  }
+
+  SweepPoint point;
+  point.snr_db = snr_db;
+  point.trials = trials_;
+  point.ber = errors.ber();
+  // Normal-approximation binomial interval on the bit-error estimate.
+  point.ber_ci95 =
+      1.96 * std::sqrt(std::max(point.ber * (1.0 - point.ber), 0.0) /
+                       static_cast<double>(errors.bits_total()));
+  point.ser = errors.ser();
+  point.fer = errors.fer();
+  point.mean_seconds = seconds.mean();
+  point.p95_seconds = seconds.percentile(95.0);
+  point.mean_nodes_expanded = nodes_exp.mean();
+  point.mean_nodes_generated = nodes_gen.mean();
+  point.mean_gemm_calls = gemms.mean();
+  point.mean_flops = flops.mean();
+  point.mean_metric = metrics.mean();
+  point.budget_hit = budget_hit;
+  return point;
+}
+
+std::vector<double> paper_snr_axis() { return {4.0, 8.0, 12.0, 16.0, 20.0}; }
+
+}  // namespace sd

@@ -1,0 +1,75 @@
+// Experiment harness: Monte-Carlo SNR sweeps producing exactly the series
+// the paper's figures plot (decode time vs SNR, BER vs SNR) plus the work
+// counters the device models consume.
+//
+// Determinism: every detector evaluated at the same (system, seed, SNR) sees
+// byte-identical trials, so cross-detector comparisons are paired.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sphere_decoder.hpp"
+#include "mimo/metrics.hpp"
+#include "mimo/scenario.hpp"
+
+namespace sd {
+
+/// Aggregated results of one (detector, SNR) cell.
+struct SweepPoint {
+  double snr_db = 0;
+  usize trials = 0;
+  double ber = 0;
+  double ber_ci95 = 0;  ///< binomial 95% half-width on the BER estimate
+  double ser = 0;
+  double fer = 0;
+  double mean_seconds = 0;   ///< mean device decode time per received vector
+  double p95_seconds = 0;
+  double mean_nodes_expanded = 0;
+  double mean_nodes_generated = 0;
+  double mean_gemm_calls = 0;
+  double mean_flops = 0;
+  double mean_metric = 0;    ///< mean achieved ||y - Hs||^2
+  bool budget_hit = false;   ///< any trial stopped by the node budget
+};
+
+/// One detector's series across the SNR axis.
+struct SweepResult {
+  std::string detector;
+  std::vector<SweepPoint> points;
+};
+
+/// Maps a finished trial to the device time charged for it. The default
+/// reads stats.search_seconds (measured wall time for CPU detectors,
+/// simulated device time for the FPGA detector); the GPU/WARP benches pass
+/// their model here instead.
+using DeviceTimeFn = std::function<double(const DecodeResult&, Detector&)>;
+
+class ExperimentRunner {
+ public:
+  /// `trials` = Monte-Carlo vectors per SNR point.
+  ExperimentRunner(SystemConfig system, usize trials, std::uint64_t seed = 1);
+
+  [[nodiscard]] const SystemConfig& system() const noexcept { return system_; }
+  [[nodiscard]] usize trials() const noexcept { return trials_; }
+
+  /// Runs `detector` over every SNR in `snr_list`.
+  [[nodiscard]] SweepResult sweep(Detector& detector,
+                                  std::span<const double> snr_list,
+                                  const DeviceTimeFn& time_fn = {});
+
+  /// Single-point convenience.
+  [[nodiscard]] SweepPoint run_point(Detector& detector, double snr_db,
+                                     const DeviceTimeFn& time_fn = {});
+
+ private:
+  SystemConfig system_;
+  usize trials_;
+  std::uint64_t seed_;
+};
+
+/// Default SNR axis of the paper's figures: 4, 8, 12, 16, 20 dB.
+[[nodiscard]] std::vector<double> paper_snr_axis();
+
+}  // namespace sd

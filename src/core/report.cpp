@@ -1,0 +1,49 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace sd {
+
+namespace {
+
+constexpr const char* kHeader =
+    "detector,snr_db,trials,ber,ber_ci95,ser,fer,mean_seconds,p95_seconds,"
+    "mean_nodes_expanded,mean_nodes_generated,mean_gemm_calls,mean_flops\n";
+
+void write_rows(std::ostream& os, const SweepResult& result) {
+  for (const SweepPoint& p : result.points) {
+    os << result.detector << ',' << p.snr_db << ',' << p.trials << ','
+       << p.ber << ',' << p.ber_ci95 << ',' << p.ser << ',' << p.fer << ','
+       << p.mean_seconds << ',' << p.p95_seconds << ','
+       << p.mean_nodes_expanded << ',' << p.mean_nodes_generated << ','
+       << p.mean_gemm_calls << ',' << p.mean_flops << '\n';
+  }
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const SweepResult& result) {
+  os << kHeader;
+  write_rows(os, result);
+}
+
+void write_csv(std::ostream& os, std::span<const SweepResult> results) {
+  os << kHeader;
+  for (const SweepResult& r : results) {
+    write_rows(os, r);
+  }
+}
+
+std::string summarize(const DecodeStats& stats) {
+  std::ostringstream os;
+  os << stats.nodes_expanded << " expanded / " << stats.nodes_generated
+     << " generated / " << stats.nodes_pruned << " pruned, "
+     << stats.leaves_reached << " leaves, " << stats.gemm_calls << " GEMMs ("
+     << stats.flops << " flops), search "
+     << stats.search_seconds * 1e6 << " us";
+  if (stats.node_budget_hit) os << " [budget hit]";
+  return os.str();
+}
+
+}  // namespace sd

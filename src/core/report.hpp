@@ -1,0 +1,24 @@
+// Machine-readable experiment output: CSV serialization of sweep results
+// (for plotting the figures outside this repo) and a human summary of
+// decode statistics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace sd {
+
+/// Writes one detector's sweep as CSV with a header row:
+/// detector,snr_db,trials,ber,ber_ci95,ser,fer,mean_seconds,p95_seconds,
+/// mean_nodes_expanded,mean_nodes_generated,mean_gemm_calls,mean_flops
+void write_csv(std::ostream& os, const SweepResult& result);
+
+/// Appends rows for several sweeps into one CSV (single header).
+void write_csv(std::ostream& os, std::span<const SweepResult> results);
+
+/// One-line human summary of a decode's work counters.
+[[nodiscard]] std::string summarize(const DecodeStats& stats);
+
+}  // namespace sd

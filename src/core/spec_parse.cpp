@@ -1,0 +1,152 @@
+#include "core/spec_parse.hpp"
+
+#include <charconv>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sd {
+
+namespace {
+
+struct Option {
+  std::string key;
+  std::string value;  // empty for bare flags
+};
+
+std::vector<Option> parse_options(std::string_view text) {
+  std::vector<Option> out;
+  while (!text.empty()) {
+    const auto comma = text.find(',');
+    std::string_view item =
+        comma == std::string_view::npos ? text : text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      out.push_back({std::string(item), ""});
+    } else {
+      out.push_back({std::string(item.substr(0, eq)),
+                     std::string(item.substr(eq + 1))});
+    }
+  }
+  return out;
+}
+
+long to_long(const Option& opt) {
+  long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(opt.value.data(), opt.value.data() + opt.value.size(),
+                      value);
+  SD_CHECK(ec == std::errc{} && ptr == opt.value.data() + opt.value.size(),
+           "option '" + opt.key + "' needs an integer value");
+  return value;
+}
+
+[[noreturn]] void unknown_option(std::string_view name, const Option& opt) {
+  throw invalid_argument_error("detector '" + std::string(name) +
+                               "' does not accept option '" + opt.key + "'");
+}
+
+}  // namespace
+
+DecoderSpec parse_decoder_spec(std::string_view text) {
+  SD_CHECK(!text.empty(), "empty detector spec");
+
+  // Split name[@device][:options].
+  std::string_view rest = text;
+  const auto colon = rest.find(':');
+  std::string_view options_text;
+  if (colon != std::string_view::npos) {
+    options_text = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+  }
+  std::string_view device_text;
+  const auto at = rest.find('@');
+  if (at != std::string_view::npos) {
+    device_text = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+  }
+  const std::string_view name = rest;
+
+  DecoderSpec spec;
+  if (name == "sphere" || name == "bestfs") {
+    spec.strategy = Strategy::kBestFsGemm;
+  } else if (name == "sphere-scalar") {
+    spec.strategy = Strategy::kBestFsScalar;
+  } else if (name == "dfs" || name == "geosphere") {
+    spec.strategy = Strategy::kDfs;
+  } else if (name == "bfs") {
+    spec.strategy = Strategy::kGemmBfs;
+  } else if (name == "ml") {
+    spec.strategy = Strategy::kMl;
+  } else if (name == "zf") {
+    spec.strategy = Strategy::kZf;
+  } else if (name == "mmse") {
+    spec.strategy = Strategy::kMmse;
+  } else if (name == "mrc") {
+    spec.strategy = Strategy::kMrc;
+  } else if (name == "kbest") {
+    spec.strategy = Strategy::kKBest;
+  } else if (name == "fsd") {
+    spec.strategy = Strategy::kFsd;
+  } else if (name == "multipe") {
+    spec.strategy = Strategy::kMultiPe;
+  } else {
+    throw invalid_argument_error("unknown detector '" + std::string(name) +
+                                 "'; " + std::string(decoder_spec_help()));
+  }
+
+  if (!device_text.empty()) {
+    if (device_text == "cpu") {
+      spec.device = TargetDevice::kCpu;
+    } else if (device_text == "fpga" || device_text == "fpga-opt") {
+      spec.device = TargetDevice::kFpgaOptimized;
+    } else if (device_text == "fpga-base") {
+      spec.device = TargetDevice::kFpgaBaseline;
+    } else {
+      throw invalid_argument_error("unknown device '" +
+                                   std::string(device_text) +
+                                   "' (cpu, fpga, fpga-base)");
+    }
+  }
+
+  for (const Option& opt : parse_options(options_text)) {
+    if (opt.key == "sorted") {
+      spec.sd.sorted_qr = true;
+    } else if (opt.key == "scalar" &&
+               spec.strategy == Strategy::kBestFsGemm) {
+      spec.strategy = Strategy::kBestFsScalar;
+    } else if (opt.key == "max-nodes") {
+      spec.sd.max_nodes = static_cast<std::uint64_t>(to_long(opt));
+    } else if (opt.key == "fp16") {
+      spec.fpga_precision = Precision::kFp16;
+    } else if (opt.key == "k" && spec.strategy == Strategy::kKBest) {
+      spec.kbest.k = static_cast<usize>(to_long(opt));
+    } else if (opt.key == "levels" && spec.strategy == Strategy::kFsd) {
+      spec.fsd.full_levels = static_cast<index_t>(to_long(opt));
+    } else if (opt.key == "threads" && spec.strategy == Strategy::kMultiPe) {
+      spec.multi_pe.num_threads = static_cast<unsigned>(to_long(opt));
+    } else if (opt.key == "split" && spec.strategy == Strategy::kMultiPe) {
+      spec.multi_pe.split_depth = static_cast<index_t>(to_long(opt));
+    } else if (opt.key == "frontier" && spec.strategy == Strategy::kGemmBfs) {
+      spec.bfs.max_frontier = static_cast<usize>(to_long(opt));
+    } else if (opt.key == "alpha") {
+      spec.sd.radius_policy = RadiusPolicy::kNoiseScaled;
+      spec.sd.radius_alpha = static_cast<double>(to_long(opt));
+    } else {
+      unknown_option(name, opt);
+    }
+  }
+  return spec;
+}
+
+std::string_view decoder_spec_help() noexcept {
+  return "known detectors: sphere sphere-scalar dfs bfs ml zf mmse mrc "
+         "kbest:k=N fsd:levels=N multipe:threads=N,split=N; devices: "
+         "@cpu @fpga @fpga-base; common options: sorted, max-nodes=N, fp16";
+}
+
+}  // namespace sd

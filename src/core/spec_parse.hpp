@@ -1,0 +1,30 @@
+// Textual detector specifications, so tools, examples and scripts can pick
+// detectors without recompiling:
+//
+//   "sphere"                  -> GEMM/Best-FS on CPU (the paper's algorithm)
+//   "sphere@fpga"             -> ... on the simulated optimized U280 design
+//   "sphere@fpga-base"        -> ... on the baseline design point
+//   "dfs" "bfs" "ml"          -> other tree searches
+//   "zf" "mmse" "mrc"         -> linear detectors
+//   "kbest:k=32"              -> K-Best with options
+//   "fsd:levels=2"            -> FSD with two full levels
+//   "multipe:threads=4,split=2"
+//   "sphere:sorted"           -> SQRD layer ordering
+//
+// Grammar: name[@device][:opt[=value][,opt[=value]]*]
+#pragma once
+
+#include <string_view>
+
+#include "core/sphere_decoder.hpp"
+
+namespace sd {
+
+/// Parses a detector spec string. Throws sd::invalid_argument_error with a
+/// pointed message on unknown names/devices/options.
+[[nodiscard]] DecoderSpec parse_decoder_spec(std::string_view text);
+
+/// Human-readable list of accepted spec names (for --help output).
+[[nodiscard]] std::string_view decoder_spec_help() noexcept;
+
+}  // namespace sd

@@ -1,0 +1,25 @@
+#include "decode/detector.hpp"
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+
+namespace sd {
+
+double residual_metric(const CMat& h, std::span<const cplx> y,
+                       std::span<const cplx> s) {
+  SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");
+  SD_CHECK(h.cols() == static_cast<index_t>(s.size()), "s length mismatch");
+  CVec r(y.begin(), y.end());
+  gemv(Op::kNone, cplx{-1, 0}, h, s, cplx{1, 0}, r);
+  return norm2_sq(r);
+}
+
+void materialize_symbols(const Constellation& c, DecodeResult& result) {
+  result.symbols.resize(result.indices.size());
+  for (usize i = 0; i < result.indices.size(); ++i) {
+    result.symbols[i] = c.point(result.indices[i]);
+  }
+}
+
+}  // namespace sd

@@ -1,0 +1,70 @@
+// Common detector interface.
+//
+// Every decoding scheme in the paper (ZF, MMSE, MRC, ML, the sphere-decoder
+// family, and the FPGA pipeline simulation) implements this interface so the
+// experiment harness can sweep them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "mimo/constellation.hpp"
+
+namespace sd {
+
+/// Work counters recorded during one decode. These are exact algorithmic
+/// counts (not estimates); the device timing models convert them to time.
+struct DecodeStats {
+  std::uint64_t nodes_expanded = 0;   ///< tree nodes popped and branched
+  std::uint64_t nodes_generated = 0;  ///< children created (paper phase 1)
+  std::uint64_t nodes_pruned = 0;     ///< children discarded by the radius test
+  std::uint64_t leaves_reached = 0;   ///< full-depth candidates evaluated
+  std::uint64_t radius_updates = 0;   ///< times the sphere radius shrank
+  std::uint64_t gemm_calls = 0;       ///< batched evaluation GEMMs issued
+  std::uint64_t flops = 0;            ///< real FLOPs in evaluation GEMMs
+  std::uint64_t sort_ops = 0;         ///< comparisons spent ordering children
+  std::uint64_t bytes_touched = 0;    ///< evaluation operand traffic (bytes)
+  std::uint64_t tree_levels = 0;      ///< levels processed (BFS) or max depth
+  std::uint64_t peak_list_size = 0;   ///< high-water mark of the open list
+  bool node_budget_hit = false;       ///< search stopped by the node budget
+  double preprocess_seconds = 0.0;    ///< measured QR / equalizer setup time
+  double search_seconds = 0.0;        ///< measured search/slicing time
+};
+
+/// Output of one decode: hard decisions plus the achieved metric and stats.
+struct DecodeResult {
+  std::vector<index_t> indices;  ///< detected symbol index per transmit antenna
+  CVec symbols;                  ///< corresponding constellation points
+  double metric = std::numeric_limits<double>::infinity();  ///< ||y - H s||^2
+  DecodeStats stats;
+};
+
+/// Abstract detector. Implementations are stateful only in configuration;
+/// decode() is safe to call repeatedly with different channels.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Detects the transmitted vector from the received y (length N) given the
+  /// channel estimate h (N x M) and noise variance sigma2.
+  [[nodiscard]] virtual DecodeResult decode(const CMat& h,
+                                            std::span<const cplx> y,
+                                            double sigma2) = 0;
+};
+
+/// Convenience: computes ||y - H s||^2 for a candidate, used by detectors to
+/// report the achieved metric and by tests as an oracle.
+[[nodiscard]] double residual_metric(const CMat& h, std::span<const cplx> y,
+                                     std::span<const cplx> s);
+
+/// Fills result.symbols from result.indices using the constellation.
+void materialize_symbols(const Constellation& c, DecodeResult& result);
+
+}  // namespace sd

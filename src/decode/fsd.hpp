@@ -1,0 +1,38 @@
+// Fixed-complexity Sphere Decoder (Barbero & Thompson, paper ref. [9]).
+//
+// FSD trades ML optimality for a fully deterministic, embarrassingly
+// parallel workload: the first `full_levels` tree levels are expanded
+// exhaustively (|Omega|^full_levels sub-paths) and every sub-path is then
+// completed by successive interference cancellation (one slicing decision
+// per remaining level). No radius, no data-dependent control flow — which is
+// why related work likes it for massively parallel hardware, and why its
+// resource demand scales with the constellation (§II-C). Included as a
+// related-work ablation point.
+#pragma once
+
+#include "decode/detector.hpp"
+#include "decode/sphere_common.hpp"
+
+namespace sd {
+
+struct FsdOptions {
+  index_t full_levels = 1;  ///< levels expanded exhaustively from the root
+  bool sorted_qr = true;    ///< FSD conventionally relies on channel ordering
+};
+
+class FsdDetector final : public Detector {
+ public:
+  explicit FsdDetector(const Constellation& constellation,
+                       FsdOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "FSD"; }
+
+  [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
+                                    double sigma2) override;
+
+ private:
+  const Constellation* c_;
+  FsdOptions opts_;
+};
+
+}  // namespace sd

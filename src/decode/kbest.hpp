@@ -1,0 +1,34 @@
+// K-Best (breadth-limited) detector.
+//
+// A fixed-width variant of breadth-first tree search: every level keeps only
+// the K lowest-PD nodes. Deterministic complexity like FSD, better BER
+// shaping via the survivor sort. Included as the classic complexity/BER
+// trade-off ablation against the exact sphere decoders.
+#pragma once
+
+#include "decode/detector.hpp"
+#include "decode/sphere_common.hpp"
+
+namespace sd {
+
+struct KBestOptions {
+  usize k = 16;            ///< survivors kept per level
+  bool sorted_qr = true;
+};
+
+class KBestDetector final : public Detector {
+ public:
+  explicit KBestDetector(const Constellation& constellation,
+                         KBestOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "K-Best"; }
+
+  [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
+                                    double sigma2) override;
+
+ private:
+  const Constellation* c_;
+  KBestOptions opts_;
+};
+
+}  // namespace sd

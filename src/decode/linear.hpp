@@ -1,0 +1,33 @@
+// Linear detectors (paper §I): Maximum Ratio Combining, Zero Forcing, and
+// Minimum Mean Square Error. Low complexity, poor BER — the lower bar every
+// sphere decoder is compared against in Fig. 12.
+#pragma once
+
+#include "decode/detector.hpp"
+
+namespace sd {
+
+/// Which linear equalizer to apply before slicing.
+enum class LinearKind { kMrc, kZf, kMmse };
+
+[[nodiscard]] std::string_view linear_kind_name(LinearKind kind) noexcept;
+
+/// Equalize-and-slice detector: s_hat = slice(W y) with W chosen per kind.
+class LinearDetector final : public Detector {
+ public:
+  LinearDetector(LinearKind kind, const Constellation& constellation)
+      : kind_(kind), c_(&constellation) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return linear_kind_name(kind_);
+  }
+
+  [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
+                                    double sigma2) override;
+
+ private:
+  LinearKind kind_;
+  const Constellation* c_;
+};
+
+}  // namespace sd

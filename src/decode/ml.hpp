@@ -1,0 +1,28 @@
+// Exhaustive Maximum-Likelihood detector (paper Eq. 2).
+//
+// Enumerates all |Ω|^M candidate vectors; feasible only for small systems.
+// It is the ground-truth oracle the test suite holds every sphere decoder to:
+// an exact SD must return exactly the ML solution.
+#pragma once
+
+#include "decode/detector.hpp"
+
+namespace sd {
+
+class MlDetector final : public Detector {
+ public:
+  explicit MlDetector(const Constellation& constellation)
+      : c_(&constellation) {}
+
+  [[nodiscard]] std::string_view name() const override { return "ML"; }
+
+  /// Throws sd::invalid_argument_error if |Ω|^M exceeds 2^26 candidates —
+  /// beyond that the exhaustive search is a programming error, not a plan.
+  [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
+                                    double sigma2) override;
+
+ private:
+  const Constellation* c_;
+};
+
+}  // namespace sd

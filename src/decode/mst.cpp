@@ -1,0 +1,67 @@
+#include "decode/mst.hpp"
+
+#include <string>
+
+namespace sd {
+
+MetaStateTable::MetaStateTable(index_t levels, usize capacity_per_level,
+                               bool fixed_capacity)
+    : levels_(levels), capacity_(capacity_per_level), fixed_(fixed_capacity) {
+  SD_CHECK(levels > 0 && levels <= 256, "MST supports 1..256 levels");
+  SD_CHECK(capacity_per_level > 0 && capacity_per_level <= (1u << 24),
+           "MST level capacity must fit 24-bit slots");
+  partitions_.resize(static_cast<usize>(levels));
+  for (auto& p : partitions_) p.reserve(capacity_per_level);
+}
+
+NodeId MetaStateTable::insert(index_t level, const MstNode& node) {
+  SD_CHECK(level >= 0 && level < levels_, "MST level out of range");
+  auto& part = partitions_[static_cast<usize>(level)];
+  if (part.size() >= capacity_) {
+    if (fixed_) {
+      throw capacity_error("MST partition overflow at level " +
+                           std::to_string(level) + " (capacity " +
+                           std::to_string(capacity_) + ")");
+    }
+    // Soft mode: grow; the high-water mark still reports true demand.
+  }
+  SD_ASSERT(part.size() < (1u << 24));
+  const auto slot = static_cast<std::uint32_t>(part.size());
+  part.push_back(node);
+  ++total_;
+  peak_level_ = std::max(peak_level_, part.size());
+  return (static_cast<NodeId>(level) << 24) | slot;
+}
+
+const MstNode& MetaStateTable::get(NodeId id) const {
+  const index_t level = level_of(id);
+  const std::uint32_t slot = id & 0x00FFFFFFu;
+  SD_CHECK(level < levels_, "MST id level out of range");
+  const auto& part = partitions_[static_cast<usize>(level)];
+  SD_CHECK(slot < part.size(), "MST id slot out of range");
+  return part[slot];
+}
+
+usize MetaStateTable::level_count(index_t level) const {
+  SD_CHECK(level >= 0 && level < levels_, "MST level out of range");
+  return partitions_[static_cast<usize>(level)].size();
+}
+
+void MetaStateTable::path_symbols(NodeId id, std::span<index_t> out) const {
+  NodeId cur = id;
+  while (cur != kRootId) {
+    const MstNode& node = get(cur);
+    const index_t depth = level_of(cur);
+    SD_CHECK(static_cast<usize>(depth) < out.size(), "path buffer too small");
+    out[static_cast<usize>(depth)] = node.symbol;
+    cur = node.parent;
+  }
+}
+
+void MetaStateTable::reset() noexcept {
+  for (auto& p : partitions_) p.clear();
+  total_ = 0;
+  peak_level_ = 0;
+}
+
+}  // namespace sd

@@ -1,0 +1,206 @@
+#include "decode/parallel_sd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace sd {
+
+namespace {
+
+struct SubTree {
+  std::vector<index_t> prefix;  ///< symbols for depths 0..split_depth-1
+  real pd = 0;
+};
+
+struct Child {
+  index_t symbol;
+  real pd;
+};
+
+}  // namespace
+
+ParallelSdDetector::ParallelSdDetector(const Constellation& constellation,
+                                       ParallelSdOptions options)
+    : c_(&constellation), opts_(options) {
+  SD_CHECK(opts_.split_depth >= 1, "split depth must be at least 1");
+  // A finite initial radius could leave every sub-tree empty, and the
+  // retry-with-larger-radius dance is not worth the synchronization cost
+  // here; the first dispatched sub-tree (best prefix) pins the radius fast.
+  opts_.base.radius_policy = RadiusPolicy::kInfinite;
+}
+
+DecodeResult ParallelSdDetector::decode(const CMat& h, std::span<const cplx> y,
+                                        double sigma2) {
+  DecodeResult result;
+  const Preprocessed pre = preprocess(h, y, opts_.base.sorted_qr);
+  result.stats.preprocess_seconds = pre.seconds;
+  search(pre, sigma2, result);
+  materialize_symbols(*c_, result);
+  return result;
+}
+
+void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
+                                DecodeResult& result) {
+  const index_t m = pre.r.rows();
+  const index_t p = c_->order();
+  const index_t split = std::min(opts_.split_depth, m - 1);
+  result.stats.tree_levels = static_cast<std::uint64_t>(m);
+
+  Timer timer;
+
+  // --- Partitioning phase (the "offline" step in [4]): enumerate all
+  // prefixes down to the split depth with their PDs.
+  std::vector<SubTree> subtrees{SubTree{{}, real{0}}};
+  for (index_t depth = 0; depth < split; ++depth) {
+    const index_t a = m - 1 - depth;
+    std::vector<SubTree> expanded;
+    expanded.reserve(subtrees.size() * static_cast<usize>(p));
+    for (const SubTree& st : subtrees) {
+      cplx interference{0, 0};
+      for (index_t t = 1; t <= depth; ++t) {
+        interference +=
+            pre.r(a, a + t) * c_->point(st.prefix[static_cast<usize>(depth - t)]);
+      }
+      const cplx b = pre.ybar[static_cast<usize>(a)] - interference;
+      for (index_t sym = 0; sym < p; ++sym) {
+        SubTree child;
+        child.prefix = st.prefix;
+        child.prefix.push_back(sym);
+        child.pd = st.pd + norm2(b - pre.r(a, a) * c_->point(sym));
+        expanded.push_back(std::move(child));
+      }
+      result.stats.nodes_generated += static_cast<std::uint64_t>(p);
+      ++result.stats.nodes_expanded;
+    }
+    subtrees.swap(expanded);
+  }
+  // Best-first dispatch order: promising sub-trees shrink the radius early.
+  std::sort(subtrees.begin(), subtrees.end(),
+            [](const SubTree& x, const SubTree& y2) { return x.pd < y2.pd; });
+
+  // --- Shared state across PEs.
+  std::atomic<double> radius_sq{initial_radius_sq(opts_.base, sigma2, m)};
+  std::mutex best_mutex;
+  std::vector<index_t> best_path(static_cast<usize>(m), 0);
+  double best_pd = std::numeric_limits<double>::infinity();
+  bool found_leaf = false;
+  std::atomic<usize> next_subtree{0};
+  DecodeStats shared_stats;  // merged under best_mutex
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned num_threads =
+      opts_.num_threads > 0 ? opts_.num_threads : std::max(1u, hw);
+
+  auto worker = [&] {
+    DecodeStats local;
+    std::vector<index_t> path(static_cast<usize>(m), 0);
+    struct Level {
+      std::vector<Child> ordered;
+      usize next = 0;
+    };
+    std::vector<Level> levels(static_cast<usize>(m));
+
+    auto enter_depth = [&](index_t d, real parent_pd) {
+      const index_t a = m - 1 - d;
+      ++local.nodes_expanded;
+      local.nodes_generated += static_cast<std::uint64_t>(p);
+      cplx interference{0, 0};
+      for (index_t t = 1; t <= d; ++t) {
+        interference +=
+            pre.r(a, a + t) * c_->point(path[static_cast<usize>(d - t)]);
+      }
+      const cplx b = pre.ybar[static_cast<usize>(a)] - interference;
+      Level& lvl = levels[static_cast<usize>(d)];
+      lvl.ordered.clear();
+      lvl.next = 0;
+      for (index_t sym = 0; sym < p; ++sym) {
+        lvl.ordered.push_back(
+            Child{sym, parent_pd + norm2(b - pre.r(a, a) * c_->point(sym))});
+      }
+      std::sort(lvl.ordered.begin(), lvl.ordered.end(),
+                [](const Child& x, const Child& y2) { return x.pd < y2.pd; });
+    };
+
+    while (true) {
+      const usize si = next_subtree.fetch_add(1);
+      if (si >= subtrees.size()) break;
+      const SubTree& st = subtrees[si];
+      if (static_cast<double>(st.pd) >= radius_sq.load(std::memory_order_relaxed)) {
+        ++local.nodes_pruned;
+        continue;
+      }
+      std::copy(st.prefix.begin(), st.prefix.end(), path.begin());
+
+      index_t depth = split;
+      enter_depth(depth, st.pd);
+      while (depth >= split) {
+        Level& lvl = levels[static_cast<usize>(depth)];
+        if (lvl.next >= lvl.ordered.size()) {
+          --depth;
+          continue;
+        }
+        const Child child = lvl.ordered[lvl.next++];
+        if (static_cast<double>(child.pd) >=
+            radius_sq.load(std::memory_order_relaxed)) {
+          local.nodes_pruned +=
+              static_cast<std::uint64_t>(lvl.ordered.size() - lvl.next + 1);
+          lvl.next = lvl.ordered.size();
+          --depth;
+          continue;
+        }
+        path[static_cast<usize>(depth)] = child.symbol;
+        if (depth == m - 1) {
+          ++local.leaves_reached;
+          // The synchronization step of [4]: publish the improved radius.
+          std::lock_guard<std::mutex> lock(best_mutex);
+          if (static_cast<double>(child.pd) < best_pd) {
+            best_pd = static_cast<double>(child.pd);
+            best_path = path;
+            found_leaf = true;
+            radius_sq.store(best_pd, std::memory_order_relaxed);
+            ++local.radius_updates;
+          }
+          continue;
+        }
+        ++depth;
+        enter_depth(depth, child.pd);
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(best_mutex);
+    shared_stats.nodes_expanded += local.nodes_expanded;
+    shared_stats.nodes_generated += local.nodes_generated;
+    shared_stats.nodes_pruned += local.nodes_pruned;
+    shared_stats.leaves_reached += local.leaves_reached;
+    shared_stats.radius_updates += local.radius_updates;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  result.stats.nodes_expanded += shared_stats.nodes_expanded;
+  result.stats.nodes_generated += shared_stats.nodes_generated;
+  result.stats.nodes_pruned += shared_stats.nodes_pruned;
+  result.stats.leaves_reached += shared_stats.leaves_reached;
+  result.stats.radius_updates += shared_stats.radius_updates;
+
+  SD_ASSERT(found_leaf);  // infinite initial radius guarantees a leaf
+
+  std::vector<index_t> layered(static_cast<usize>(m));
+  for (index_t d = 0; d < m; ++d) {
+    layered[static_cast<usize>(m - 1 - d)] = best_path[static_cast<usize>(d)];
+  }
+  result.indices = to_antenna_order(pre, layered);
+  result.metric = best_pd;
+  result.stats.search_seconds = timer.elapsed_seconds();
+}
+
+}  // namespace sd

@@ -1,0 +1,41 @@
+// Multi-PE sphere decoding (the paper's §V future-work extension).
+//
+// The search tree is partitioned at a configurable split depth into
+// |Omega|^split_depth nearly independent sub-trees, processed by a pool of
+// worker threads ("Processing Entities"). Workers share the sphere radius
+// through an atomic so an improvement found in one sub-tree immediately
+// prunes the others — the synchronization pattern Nikitopoulos et al. [4]
+// identify as the one unavoidable coupling point. Sub-trees are dispatched
+// best-first (sorted by their root PD), which front-loads radius shrinkage.
+#pragma once
+
+#include "decode/detector.hpp"
+#include "decode/sphere_common.hpp"
+
+namespace sd {
+
+struct ParallelSdOptions {
+  SdOptions base = {};
+  unsigned num_threads = 0;   ///< 0 = std::thread::hardware_concurrency()
+  index_t split_depth = 1;    ///< tree depth at which sub-trees are cut
+};
+
+class ParallelSdDetector final : public Detector {
+ public:
+  explicit ParallelSdDetector(const Constellation& constellation,
+                              ParallelSdOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "SD-MultiPE"; }
+
+  [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
+                                    double sigma2) override;
+
+  /// Search on a preprocessed system (stats accumulate across workers).
+  void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
+
+ private:
+  const Constellation* c_;
+  ParallelSdOptions opts_;
+};
+
+}  // namespace sd

@@ -1,0 +1,38 @@
+// Classic depth-first sphere decoder with Schnorr-Euchner child ordering —
+// the traversal strategy of Geosphere [14], implemented with scalar
+// interference-cancellation arithmetic (BLAS-1/2 profile, memory-bound).
+//
+// Algorithmically it visits nodes in exactly the same order as the
+// GEMM/Best-FS decoder (sorted children + LIFO == depth-first best-child
+// descent), so the two must agree on the returned vector AND on node counts;
+// the test suite enforces both. What differs is the arithmetic shape, which
+// is what the paper's BLAS-3 refactoring is about — and what the WARP device
+// model charges for in the Fig. 12 comparison.
+#pragma once
+
+#include "decode/detector.hpp"
+#include "decode/sphere_common.hpp"
+
+namespace sd {
+
+class SdDfsDetector final : public Detector {
+ public:
+  explicit SdDfsDetector(const Constellation& constellation,
+                         SdOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "SD-DFS"; }
+
+  [[nodiscard]] const SdOptions& options() const noexcept { return opts_; }
+
+  [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
+                                    double sigma2) override;
+
+  /// Tree search on an already-preprocessed system (see SdGemmDetector).
+  void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
+
+ private:
+  const Constellation* c_;
+  SdOptions opts_;
+};
+
+}  // namespace sd

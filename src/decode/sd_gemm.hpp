@@ -1,0 +1,49 @@
+// The paper's primary contribution (CPU reference implementation):
+// a GEMM-based sphere decoder with Best-First-Search tree traversal.
+//
+// Structure follows the paper's Algorithm 1 + §III:
+//  - Phase 1 (Branching): a popped node generates P = |Ω| children, one per
+//    constellation symbol of the next transmit antenna.
+//  - Phase 2 (Evaluation): the children's partial distances are computed in
+//    one batched matrix product — the corresponding row block of R times the
+//    children's tree-state matrix — followed by a norm against ybar. This is
+//    the BLAS-2 -> BLAS-3 refactoring adopted from Arfaoui et al. [1].
+//  - Phase 3 (Pruning): children outside the sphere radius are cut; survivors
+//    are sorted by PD and inserted into the tree list so the best child is
+//    popped first (LIFO), which is the Best-FS strategy adopted from
+//    Geosphere [14]. Reaching a leaf shrinks the radius (Alg. 1 line 8).
+//
+// The search tree lives in a Meta State Table, exactly as on the FPGA.
+#pragma once
+
+#include "decode/detector.hpp"
+#include "decode/mst.hpp"
+#include "decode/sphere_common.hpp"
+
+namespace sd {
+
+class SdGemmDetector final : public Detector {
+ public:
+  explicit SdGemmDetector(const Constellation& constellation,
+                          SdOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override {
+    return opts_.gemm_eval ? "SD-GEMM-BestFS" : "SD-Scalar-BestFS";
+  }
+
+  [[nodiscard]] const SdOptions& options() const noexcept { return opts_; }
+
+  [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
+                                    double sigma2) override;
+
+  /// Runs the tree search on an already-preprocessed triangular system.
+  /// Exposed so the FPGA pipeline simulator can drive the identical search
+  /// while charging hardware cycles. Stats are accumulated into `result`.
+  void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
+
+ private:
+  const Constellation* c_;
+  SdOptions opts_;
+};
+
+}  // namespace sd

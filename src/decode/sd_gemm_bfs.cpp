@@ -1,0 +1,173 @@
+#include "decode/sd_gemm_bfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "linalg/gemm.hpp"
+
+namespace sd {
+
+namespace {
+
+struct FrontierNode {
+  NodeId id;
+  real pd;
+};
+
+}  // namespace
+
+SdGemmBfsDetector::SdGemmBfsDetector(const Constellation& constellation,
+                                     BfsOptions options)
+    : c_(&constellation), opts_(options) {
+  // BFS cannot prune without a finite radius; an unbounded sphere would make
+  // the frontier exactly |Omega|^level, i.e. exhaustive ML.
+  if (opts_.base.radius_policy == RadiusPolicy::kInfinite) {
+    opts_.base.radius_policy = RadiusPolicy::kNoiseScaled;
+  }
+}
+
+DecodeResult SdGemmBfsDetector::decode(const CMat& h, std::span<const cplx> y,
+                                       double sigma2) {
+  DecodeResult result;
+  const Preprocessed pre = preprocess(h, y, opts_.base.sorted_qr);
+  result.stats.preprocess_seconds = pre.seconds;
+  search(pre, sigma2, result);
+  materialize_symbols(*c_, result);
+  return result;
+}
+
+void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
+                               DecodeResult& result) {
+  const index_t m = pre.r.rows();
+  const index_t p = c_->order();
+  result.stats.tree_levels = static_cast<std::uint64_t>(m);
+  truncated_ = false;
+
+  Timer timer;
+
+  MetaStateTable mst(m, 4096);
+  double radius_sq = initial_radius_sq(opts_.base, sigma2, m);
+
+  std::vector<FrontierNode> frontier;
+  std::vector<FrontierNode> next;
+  std::vector<index_t> path(static_cast<usize>(m), 0);
+
+  bool solved = false;
+  std::vector<index_t> best_path(static_cast<usize>(m), 0);
+  double best_pd = std::numeric_limits<double>::infinity();
+
+  for (int attempt = 0; !solved; ++attempt) {
+    mst.reset();
+    frontier.clear();
+    frontier.push_back(FrontierNode{kRootId, real{0}});
+
+    for (index_t depth = 0; depth < m && !frontier.empty(); ++depth) {
+      const index_t a = m - 1 - depth;
+      const index_t k = m - a;  // R row-block length = depth + 1
+      const usize f = frontier.size();
+      const index_t cols = static_cast<index_t>(f) * p;
+
+      // One level = one GEMM: z = R[a:m, a:m] * S, where S packs the
+      // candidate tree-state blocks of every frontier node's every child —
+      // the large level-wide matrix product that [1] maps onto the GPU.
+      // Row 0 carries the new level's contribution (the PD increment).
+      CMat a_block(k, k);
+      for (index_t r2 = 0; r2 < k; ++r2) {
+        for (index_t t = r2; t < k; ++t) {
+          a_block(r2, t) = pre.r(a + r2, a + t);
+        }
+      }
+      CMat s_mat(k, cols);
+      for (usize ni = 0; ni < f; ++ni) {
+        if (frontier[ni].id != kRootId) {
+          mst.path_symbols(frontier[ni].id, path);
+        }
+        const index_t base_col = static_cast<index_t>(ni) * p;
+        for (index_t c = 0; c < p; ++c) {
+          s_mat(0, base_col + c) = c_->point(c);
+        }
+        for (index_t t = 1; t < k; ++t) {
+          const cplx sym = c_->point(path[static_cast<usize>(depth - t)]);
+          for (index_t c = 0; c < p; ++c) {
+            s_mat(t, base_col + c) = sym;
+          }
+        }
+      }
+      CMat z(k, cols);
+      gemm(Op::kNone, cplx{1, 0}, a_block, s_mat, cplx{0, 0}, z);
+      ++result.stats.gemm_calls;
+      result.stats.flops += gemm_flops(k, cols, k);
+      result.stats.bytes_touched +=
+          sizeof(cplx) * (static_cast<std::uint64_t>(k) * k +
+                          2ull * static_cast<std::uint64_t>(k) * cols);
+      result.stats.nodes_expanded += f;
+      result.stats.nodes_generated += static_cast<std::uint64_t>(cols);
+
+      const cplx target = pre.ybar[static_cast<usize>(a)];
+      next.clear();
+      for (usize ni = 0; ni < f; ++ni) {
+        const index_t base_col = static_cast<index_t>(ni) * p;
+        for (index_t c = 0; c < p; ++c) {
+          const real pd =
+              frontier[ni].pd + norm2(target - z(0, base_col + c));
+          if (static_cast<double>(pd) >= radius_sq) {
+            ++result.stats.nodes_pruned;
+            continue;
+          }
+          const NodeId id =
+              mst.insert(depth, MstNode{frontier[ni].id, c, pd});
+          next.push_back(FrontierNode{id, pd});
+        }
+      }
+
+      if (next.size() > opts_.max_frontier) {
+        // Memory guard: keep the best max_frontier nodes. This is the
+        // BER-costing heuristic GPU implementations fall back on.
+        truncated_ = true;
+        std::nth_element(next.begin(),
+                         next.begin() + static_cast<std::ptrdiff_t>(opts_.max_frontier),
+                         next.end(),
+                         [](const FrontierNode& x, const FrontierNode& y2) {
+                           return x.pd < y2.pd;
+                         });
+        result.stats.nodes_pruned += next.size() - opts_.max_frontier;
+        next.resize(opts_.max_frontier);
+      }
+
+      frontier.swap(next);
+      result.stats.peak_list_size =
+          std::max<std::uint64_t>(result.stats.peak_list_size, frontier.size());
+    }
+
+    if (!frontier.empty()) {
+      // Leaf level survivors: the minimum-PD one is the solution.
+      const auto best_it = std::min_element(
+          frontier.begin(), frontier.end(),
+          [](const FrontierNode& x, const FrontierNode& y2) {
+            return x.pd < y2.pd;
+          });
+      result.stats.leaves_reached += frontier.size();
+      ++result.stats.radius_updates;
+      best_pd = static_cast<double>(best_it->pd);
+      mst.path_symbols(best_it->id, best_path);
+      solved = true;
+    } else {
+      // Empty sphere: enlarge the radius and re-run the whole BFS — the
+      // standard recovery, and the cost is charged (stats accumulate).
+      radius_sq *= 2.0;
+      SD_ASSERT(attempt < 64);
+    }
+  }
+
+  std::vector<index_t> layered(static_cast<usize>(m));
+  for (index_t d = 0; d < m; ++d) {
+    layered[static_cast<usize>(m - 1 - d)] = best_path[static_cast<usize>(d)];
+  }
+  result.indices = to_antenna_order(pre, layered);
+  result.metric = best_pd;
+  result.stats.search_seconds = timer.elapsed_seconds();
+}
+
+}  // namespace sd

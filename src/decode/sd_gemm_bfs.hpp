@@ -1,0 +1,56 @@
+// GEMM-based sphere decoder with Breadth-First (level-synchronous) search —
+// the algorithm of Arfaoui et al. [1], which the paper reproduces on an
+// NVIDIA A100 as its GPU comparison point (Fig. 11).
+//
+// All nodes of a tree level are expanded together and their children are
+// evaluated in ONE large GEMM per level (R row-block times the level's whole
+// tree-state matrix), which is what makes the strategy GPU-friendly. The
+// price is pruning quality: the radius cannot shrink until the leaf level is
+// reached, so the frontier — and the GEMM volume — grows far beyond what the
+// Best-FS decoder touches. The node/GEMM counts recorded here are exact and
+// feed the A100 timing model.
+#pragma once
+
+#include "decode/detector.hpp"
+#include "decode/mst.hpp"
+#include "decode/sphere_common.hpp"
+
+namespace sd {
+
+struct BfsOptions {
+  SdOptions base = {RadiusPolicy::kNoiseScaled, 2.0};
+  /// Frontier cap (memory guard). When the surviving set of a level exceeds
+  /// it, only the best `max_frontier` nodes are kept — the "heuristic to
+  /// limit the search space" that GPU implementations resort to (§IV-F),
+  /// potentially costing BER. Exceeding the cap is reported in the stats.
+  usize max_frontier = 1u << 18;
+};
+
+class SdGemmBfsDetector final : public Detector {
+ public:
+  explicit SdGemmBfsDetector(const Constellation& constellation,
+                             BfsOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override {
+    return "SD-GEMM-BFS";
+  }
+
+  [[nodiscard]] const BfsOptions& options() const noexcept { return opts_; }
+
+  [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
+                                    double sigma2) override;
+
+  /// Tree search on an already-preprocessed system.
+  void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
+
+  /// True if the last decode had to truncate a frontier (BER no longer
+  /// guaranteed ML-optimal).
+  [[nodiscard]] bool last_truncated() const noexcept { return truncated_; }
+
+ private:
+  const Constellation* c_;
+  BfsOptions opts_;
+  bool truncated_ = false;
+};
+
+}  // namespace sd

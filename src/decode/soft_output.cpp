@@ -1,0 +1,218 @@
+#include "decode/soft_output.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace sd {
+
+namespace {
+
+struct Candidate {
+  double metric;
+  std::vector<index_t> path;  ///< depth-ordered symbols
+};
+
+struct CandidateWorse {
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    return a.metric < b.metric;  // max-heap: worst candidate on top
+  }
+};
+
+}  // namespace
+
+ListSphereDecoder::ListSphereDecoder(const Constellation& constellation,
+                                     ListSdOptions options)
+    : c_(&constellation), opts_(options) {
+  SD_CHECK(opts_.list_size >= 1, "list size must be at least 1");
+  SD_CHECK(opts_.llr_clamp > 0.0, "LLR clamp must be positive");
+}
+
+SoftDecodeResult ListSphereDecoder::decode_soft(const CMat& h,
+                                                std::span<const cplx> y,
+                                                double sigma2) {
+  SoftDecodeResult out;
+  const Preprocessed pre = preprocess(h, y, opts_.base.sorted_qr);
+  out.hard.stats.preprocess_seconds = pre.seconds;
+
+  const index_t m = pre.r.rows();
+  const index_t p = c_->order();
+  out.hard.stats.tree_levels = static_cast<std::uint64_t>(m);
+  Timer timer;
+
+  // Bounded candidate list: a max-heap so the worst current member defines
+  // the pruning radius once the list is full.
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateWorse> list;
+  auto radius_sq = [&]() {
+    if (list.size() < opts_.list_size) {
+      return initial_radius_sq(opts_.base, sigma2, m);
+    }
+    return list.top().metric;
+  };
+
+  // Depth-first search with SE child ordering, as in SdDfsDetector, but
+  // leaves feed the candidate list instead of shrinking to a single best.
+  struct Level {
+    std::vector<std::pair<index_t, real>> ordered;  // (symbol, cumulative pd)
+    usize next = 0;
+  };
+  std::vector<Level> levels(static_cast<usize>(m));
+  std::vector<index_t> path(static_cast<usize>(m), 0);
+
+  auto enter_depth = [&](index_t d, real parent_pd) {
+    const index_t a = m - 1 - d;
+    ++out.hard.stats.nodes_expanded;
+    out.hard.stats.nodes_generated += static_cast<std::uint64_t>(p);
+    cplx interference{0, 0};
+    for (index_t t = 1; t <= d; ++t) {
+      interference +=
+          pre.r(a, a + t) * c_->point(path[static_cast<usize>(d - t)]);
+    }
+    const cplx b = pre.ybar[static_cast<usize>(a)] - interference;
+    Level& lvl = levels[static_cast<usize>(d)];
+    lvl.ordered.clear();
+    lvl.next = 0;
+    for (index_t sym = 0; sym < p; ++sym) {
+      lvl.ordered.emplace_back(
+          sym, parent_pd + norm2(b - pre.r(a, a) * c_->point(sym)));
+    }
+    std::sort(lvl.ordered.begin(), lvl.ordered.end(),
+              [](const auto& x, const auto& y2) { return x.second < y2.second; });
+  };
+
+  index_t depth = 0;
+  enter_depth(0, real{0});
+  while (depth >= 0) {
+    if (out.hard.stats.nodes_expanded >= opts_.base.max_nodes) {
+      out.hard.stats.node_budget_hit = true;
+      break;
+    }
+    Level& lvl = levels[static_cast<usize>(depth)];
+    if (lvl.next >= lvl.ordered.size()) {
+      --depth;
+      continue;
+    }
+    const auto [sym, pd] = lvl.ordered[lvl.next++];
+    if (static_cast<double>(pd) >= radius_sq()) {
+      out.hard.stats.nodes_pruned +=
+          static_cast<std::uint64_t>(lvl.ordered.size() - lvl.next + 1);
+      lvl.next = lvl.ordered.size();
+      --depth;
+      continue;
+    }
+    path[static_cast<usize>(depth)] = sym;
+    if (depth == m - 1) {
+      ++out.hard.stats.leaves_reached;
+      list.push(Candidate{static_cast<double>(pd), path});
+      if (list.size() > opts_.list_size) list.pop();
+      continue;
+    }
+    ++depth;
+    enter_depth(depth, pd);
+  }
+
+  SD_CHECK(!list.empty(), "list sphere decoder found no leaf");
+  // Drain the heap into a vector (ascending metric at the end).
+  std::vector<Candidate> candidates;
+  candidates.reserve(list.size());
+  while (!list.empty()) {
+    candidates.push_back(list.top());
+    list.pop();
+  }
+  std::reverse(candidates.begin(), candidates.end());
+  out.candidates = candidates.size();
+
+  // Hard output = best candidate, converted to antenna order.
+  const Candidate& best = candidates.front();
+  std::vector<index_t> layered(static_cast<usize>(m));
+  for (index_t d = 0; d < m; ++d) {
+    layered[static_cast<usize>(m - 1 - d)] = best.path[static_cast<usize>(d)];
+  }
+  out.hard.indices = to_antenna_order(pre, layered);
+  out.hard.metric = best.metric;
+  materialize_symbols(*c_, out.hard);
+
+  // Persist the candidate list (antenna-order bit labels) and derive the
+  // max-log LLRs from it; iterative receivers re-use last_ with priors.
+  const int bits = c_->bits_per_symbol();
+  last_.metrics.clear();
+  last_.bits.clear();
+  last_.bits_per_vector = static_cast<usize>(m) * static_cast<usize>(bits);
+  std::vector<std::uint8_t> bit_buf(static_cast<usize>(bits));
+  for (const Candidate& cand : candidates) {
+    std::vector<index_t> cand_layered(static_cast<usize>(m));
+    for (index_t d = 0; d < m; ++d) {
+      cand_layered[static_cast<usize>(m - 1 - d)] =
+          cand.path[static_cast<usize>(d)];
+    }
+    const std::vector<index_t> cand_ant = to_antenna_order(pre, cand_layered);
+    std::vector<std::uint8_t> labels(last_.bits_per_vector);
+    for (index_t ant = 0; ant < m; ++ant) {
+      c_->index_to_bits(cand_ant[static_cast<usize>(ant)], bit_buf);
+      for (int b = 0; b < bits; ++b) {
+        labels[static_cast<usize>(ant) * static_cast<usize>(bits) +
+               static_cast<usize>(b)] = bit_buf[static_cast<usize>(b)];
+      }
+    }
+    last_.metrics.push_back(cand.metric);
+    last_.bits.push_back(std::move(labels));
+  }
+  out.llrs = llrs_from_list({}, sigma2);
+
+  out.hard.stats.search_seconds = timer.elapsed_seconds();
+  return out;
+}
+
+std::vector<double> ListSphereDecoder::llrs_from_list(
+    std::span<const double> priors, double sigma2) const {
+  SD_CHECK(!last_.metrics.empty(), "no candidate list: call decode_soft first");
+  SD_CHECK(priors.empty() || priors.size() == last_.bits_per_vector,
+           "prior length must match bits per vector");
+  std::vector<double> llrs(last_.bits_per_vector, 0.0);
+
+  // Candidate cost under priors: Euclidean term plus the a-priori bit costs
+  // (half-scale convention: cost(b) = b ? +L/2 : -L/2).
+  std::vector<double> cost(last_.metrics.size());
+  for (usize ci = 0; ci < last_.metrics.size(); ++ci) {
+    double acc = last_.metrics[ci] / sigma2;
+    if (!priors.empty()) {
+      for (usize b = 0; b < last_.bits_per_vector; ++b) {
+        const double half = priors[b] * 0.5;
+        acc += last_.bits[ci][b] ? half : -half;
+      }
+    }
+    cost[ci] = acc;
+  }
+
+  for (usize b = 0; b < last_.bits_per_vector; ++b) {
+    double best0 = std::numeric_limits<double>::infinity();
+    double best1 = std::numeric_limits<double>::infinity();
+    for (usize ci = 0; ci < cost.size(); ++ci) {
+      if (last_.bits[ci][b] == 0) {
+        best0 = std::min(best0, cost[ci]);
+      } else {
+        best1 = std::min(best1, cost[ci]);
+      }
+    }
+    // Clamp the *extrinsic* part (what the list adds beyond the prior):
+    // clamping the a-posteriori directly would let a strong prior flip the
+    // sign of (LLR - prior) in iterative receivers.
+    const double prior = priors.empty() ? 0.0 : priors[b];
+    double extrinsic;
+    if (!std::isfinite(best0)) {
+      extrinsic = -opts_.llr_clamp;
+    } else if (!std::isfinite(best1)) {
+      extrinsic = opts_.llr_clamp;
+    } else {
+      extrinsic = std::clamp(best1 - best0 - prior, -opts_.llr_clamp,
+                             opts_.llr_clamp);
+    }
+    llrs[b] = prior + extrinsic;
+  }
+  return llrs;
+}
+
+}  // namespace sd

@@ -1,0 +1,53 @@
+#include "decode/sphere_common.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/ordering.hpp"
+
+namespace sd {
+
+Preprocessed preprocess(const CMat& h, std::span<const cplx> y,
+                        bool sorted_qr) {
+  SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");
+  Preprocessed pre;
+  Timer timer;
+  if (sorted_qr) {
+    SortedQr sq = qr_sorted(h);
+    pre.r = std::move(sq.r);
+    pre.perm = std::move(sq.perm);
+    // ybar = Q^H y with the explicit thin Q from the sorted factorization.
+    pre.ybar.assign(static_cast<usize>(h.cols()), cplx{0, 0});
+    gemv(Op::kConjTrans, cplx{1, 0}, sq.q, y, cplx{0, 0}, pre.ybar);
+  } else {
+    const QrFactorization qr(h);
+    pre.r = qr.r();
+    pre.ybar = qr.apply_qh(y);
+  }
+  pre.seconds = timer.elapsed_seconds();
+  return pre;
+}
+
+std::vector<index_t> to_antenna_order(const Preprocessed& pre,
+                                      const std::vector<index_t>& layered) {
+  if (pre.perm.empty()) return layered;
+  SD_CHECK(pre.perm.size() == layered.size(), "permutation length mismatch");
+  std::vector<index_t> out(layered.size());
+  for (usize k = 0; k < layered.size(); ++k) {
+    out[static_cast<usize>(pre.perm[k])] = layered[k];
+  }
+  return out;
+}
+
+double initial_radius_sq(const SdOptions& opts, double sigma2, index_t num_rx) {
+  switch (opts.radius_policy) {
+    case RadiusPolicy::kInfinite:
+      return std::numeric_limits<double>::infinity();
+    case RadiusPolicy::kNoiseScaled:
+      SD_CHECK(opts.radius_alpha > 0.0, "radius_alpha must be positive");
+      return opts.radius_alpha * sigma2 * static_cast<double>(num_rx);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace sd

@@ -1,0 +1,92 @@
+// Machinery shared by the sphere-decoder family: QR preprocessing, radius
+// policies, search options, and the sorted tree-list open structure from the
+// paper's Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "decode/detector.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+
+namespace sd {
+
+/// How the initial sphere radius r is chosen (paper Eq. 3: user-set, then
+/// tightened at run time whenever a leaf improves on it).
+enum class RadiusPolicy : std::uint8_t {
+  kInfinite,   ///< start unbounded; the first leaf (Babai point) sets r
+  kNoiseScaled ///< r^2 = radius_alpha * sigma^2 * N (the heuristic used by
+               ///< the BFS/GPU variant, which needs a finite radius to prune)
+};
+
+/// Options common to all tree-search detectors.
+struct SdOptions {
+  RadiusPolicy radius_policy = RadiusPolicy::kInfinite;
+  double radius_alpha = 2.0;      ///< multiplier for kNoiseScaled
+  std::uint64_t max_nodes =
+      std::numeric_limits<std::uint64_t>::max();  ///< expansion budget
+  bool sorted_qr = false;         ///< use SQRD layer ordering (ablation)
+  bool gemm_eval = true;          ///< batched GEMM child evaluation (paper)
+                                  ///< vs scalar incremental (ablation)
+};
+
+/// Result of detection preprocessing: the triangular system ybar = R s.
+struct Preprocessed {
+  CMat r;                      ///< M x M upper triangular
+  CVec ybar;                   ///< Q^H y, first M entries
+  std::vector<index_t> perm;   ///< layer -> antenna mapping (empty = identity)
+  double seconds = 0.0;        ///< measured preprocessing time
+};
+
+/// Runs QR (plain Householder or SQRD) and computes ybar.
+[[nodiscard]] Preprocessed preprocess(const CMat& h, std::span<const cplx> y,
+                                      bool sorted_qr);
+
+/// Converts layer-ordered detected indices back to antenna order.
+[[nodiscard]] std::vector<index_t> to_antenna_order(
+    const Preprocessed& pre, const std::vector<index_t>& layered);
+
+/// Initial squared radius for the configured policy.
+[[nodiscard]] double initial_radius_sq(const SdOptions& opts, double sigma2,
+                                       index_t num_rx);
+
+/// The paper's tree-list structure (Fig. 3): an open list where each batch of
+/// children is inserted in PD-sorted order and nodes are popped LIFO, which
+/// yields depth-first descent that always follows the best child first
+/// (the Best-FS strategy adopted from Geosphere).
+template <typename Entry>
+class TreeList {
+ public:
+  /// Pushes a batch of sibling entries; `entries` must already be sorted by
+  /// ascending PD. They are pushed in reverse so the best sibling pops first.
+  void push_sorted_batch(std::span<const Entry> entries) {
+    for (usize i = entries.size(); i-- > 0;) {
+      stack_.push_back(entries[i]);
+    }
+    peak_ = std::max(peak_, stack_.size());
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return stack_.empty(); }
+  [[nodiscard]] usize size() const noexcept { return stack_.size(); }
+  [[nodiscard]] usize peak_size() const noexcept { return peak_; }
+
+  [[nodiscard]] Entry pop() {
+    Entry e = stack_.back();
+    stack_.pop_back();
+    return e;
+  }
+
+  void clear() noexcept {
+    stack_.clear();
+    peak_ = 0;
+  }
+
+ private:
+  std::vector<Entry> stack_;
+  usize peak_ = 0;
+};
+
+}  // namespace sd

@@ -1,0 +1,26 @@
+#include "fpga/fpga_detector.hpp"
+
+#include "common/error.hpp"
+
+namespace sd {
+
+FpgaDetector::FpgaDetector(const Constellation& constellation,
+                           FpgaConfig config, SdOptions search_options)
+    : c_(&constellation), opts_(search_options), pipeline_(config) {
+  SD_CHECK(constellation.modulation() == config.modulation,
+           "constellation/design modulation mismatch (the paper synthesizes "
+           "one design per modulation)");
+}
+
+DecodeResult FpgaDetector::decode(const CMat& h, std::span<const cplx> y,
+                                  double sigma2) {
+  const Preprocessed pre = preprocess(h, y, opts_.sorted_qr);
+  last_ = pipeline_.run(pre, *c_, sigma2, opts_);
+  DecodeResult result = last_.result;
+  result.stats.preprocess_seconds = pre.seconds;
+  // Simulated device latency (see header note).
+  result.stats.search_seconds = last_.total_seconds;
+  return result;
+}
+
+}  // namespace sd

@@ -1,0 +1,46 @@
+// Detector facade over the FPGA pipeline simulator.
+//
+// decode() runs the host-side preprocessing (QR of the channel estimate, as
+// the paper's system does once per channel), then drives the simulated
+// pipeline. NOTE the timing semantics: stats.search_seconds of the returned
+// result is the *simulated device time* (cycles / clock + PCIe staging), not
+// host wall-clock — that is the quantity the paper's figures plot for the
+// FPGA series. Host wall-clock spent simulating is irrelevant to the model
+// and not reported. Full per-unit detail is available via last_report().
+#pragma once
+
+#include "decode/detector.hpp"
+#include "decode/sphere_common.hpp"
+#include "fpga/pipeline.hpp"
+
+namespace sd {
+
+class FpgaDetector final : public Detector {
+ public:
+  FpgaDetector(const Constellation& constellation, FpgaConfig config,
+               SdOptions search_options = {});
+
+  [[nodiscard]] std::string_view name() const override {
+    return pipeline_.config().optimized ? "FPGA-optimized" : "FPGA-baseline";
+  }
+
+  [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
+                                    double sigma2) override;
+
+  /// Per-unit cycle breakdown and memory statistics of the last decode.
+  [[nodiscard]] const FpgaRunReport& last_report() const noexcept {
+    return last_;
+  }
+
+  [[nodiscard]] const FpgaConfig& config() const noexcept {
+    return pipeline_.config();
+  }
+
+ private:
+  const Constellation* c_;
+  SdOptions opts_;
+  FpgaPipeline pipeline_;
+  FpgaRunReport last_;
+};
+
+}  // namespace sd

@@ -1,0 +1,87 @@
+#include "fpga/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sd {
+
+std::uint16_t float_to_half_bits(float value) noexcept {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((f >> 23) & 0xFFu) - 127;
+  std::uint32_t mant = f & 0x007FFFFFu;
+
+  if (exp == 128) {  // inf or NaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x0200u : 0));
+  }
+  if (exp > 15) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp >= -14) {  // normal half
+    // Round mantissa from 23 to 10 bits, round-to-nearest-even.
+    std::uint32_t half = sign | (static_cast<std::uint32_t>(exp + 15) << 10) |
+                         (mant >> 13);
+    const std::uint32_t round_bits = mant & 0x1FFFu;
+    if (round_bits > 0x1000u || (round_bits == 0x1000u && (half & 1u))) {
+      ++half;  // may carry into the exponent; that is correct rounding
+    }
+    return static_cast<std::uint16_t>(half);
+  }
+  if (exp >= -25) {  // subnormal half
+    mant |= 0x00800000u;  // make the implicit bit explicit
+    // value = mant * 2^(exp-23); subnormal ulp is 2^-24, so the target
+    // mantissa is mant >> (-exp - 1).
+    const int shift = -exp - 1;
+    std::uint32_t half = sign | (mant >> shift);
+    const std::uint32_t round_mask = (1u << shift) - 1;
+    const std::uint32_t round_bits = mant & round_mask;
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (round_bits > halfway || (round_bits == halfway && (half & 1u))) {
+      ++half;
+    }
+    return static_cast<std::uint16_t>(half);
+  }
+  return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+}
+
+float half_bits_to_float(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x03FFu;
+
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x0400u) == 0);
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x03FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    f = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+cplx half_cmadd(cplx acc, cplx a, cplx b) noexcept {
+  // (ar + i*ai)(br + i*bi): four products and two adds, each rounded, then
+  // the accumulation, rounded.
+  const float pr1 = round_to_half(a.real() * b.real());
+  const float pr2 = round_to_half(a.imag() * b.imag());
+  const float pi1 = round_to_half(a.real() * b.imag());
+  const float pi2 = round_to_half(a.imag() * b.real());
+  const float re = round_to_half(round_to_half(pr1 - pr2) + acc.real());
+  const float im = round_to_half(round_to_half(pi1 + pi2) + acc.imag());
+  return {re, im};
+}
+
+}  // namespace sd

@@ -1,0 +1,35 @@
+// IEEE 754 binary16 ("half") emulation for the paper's §V future-work
+// precision study. Values are stored/rounded through the 16-bit format;
+// arithmetic is performed in float and re-rounded after every operation,
+// which matches an FPGA datapath built from half-precision MAC primitives
+// (round-to-nearest-even on each result).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sd {
+
+/// Converts a float to the nearest IEEE binary16 bit pattern
+/// (round-to-nearest-even; overflow saturates to +/-inf; subnormals kept).
+[[nodiscard]] std::uint16_t float_to_half_bits(float value) noexcept;
+
+/// Converts an IEEE binary16 bit pattern back to float (exact).
+[[nodiscard]] float half_bits_to_float(std::uint16_t bits) noexcept;
+
+/// Rounds a float through half precision.
+[[nodiscard]] inline float round_to_half(float value) noexcept {
+  return half_bits_to_float(float_to_half_bits(value));
+}
+
+/// Rounds both components of a complex value through half precision.
+[[nodiscard]] inline cplx round_to_half(cplx value) noexcept {
+  return {round_to_half(value.real()), round_to_half(value.imag())};
+}
+
+/// Half-precision complex multiply-accumulate: acc + a*b with every
+/// intermediate real operation rounded to fp16.
+[[nodiscard]] cplx half_cmadd(cplx acc, cplx a, cplx b) noexcept;
+
+}  // namespace sd

@@ -1,0 +1,43 @@
+#include "fpga/hw_config.hpp"
+
+namespace sd {
+
+FpgaConfig FpgaConfig::baseline(index_t num_tx, index_t num_rx,
+                                Modulation mod) {
+  FpgaConfig cfg;
+  cfg.optimized = false;
+  cfg.modulation = mod;
+  cfg.num_tx = num_tx;
+  cfg.num_rx = num_rx;
+  // Direct HLS port: lower achieved clock, no systolic mesh (a single MAC
+  // chain, modelled as a 1x1 mesh), and no prefetch unit — every operand
+  // fetch pays the HBM random-access latency.
+  cfg.clock_mhz = 253.0;
+  cfg.mesh_rows = 1;
+  cfg.mesh_cols = 1;
+  cfg.gemm_fill_latency = 8;
+  // Un-pipelined HLS loops: the fp32 accumulator's latency becomes the MAC
+  // initiation interval, and the branch/NORM loops carry the same stall.
+  cfg.mac_ii = 6;
+  cfg.branch_ii = 3;
+  // Random (un-prefetched) strides cannot use full HBM burst width.
+  cfg.hbm_words_per_cycle = 2;
+  return cfg;
+}
+
+FpgaConfig FpgaConfig::optimized_design(index_t num_tx, index_t num_rx,
+                                        Modulation mod) {
+  FpgaConfig cfg;
+  cfg.optimized = true;
+  cfg.modulation = mod;
+  cfg.num_tx = num_tx;
+  cfg.num_rx = num_rx;
+  cfg.clock_mhz = 300.0;
+  // Per-modulation specialization (§III-C4): the mesh is sized to the
+  // branching factor so one sibling batch fills exactly one tile column.
+  cfg.mesh_rows = 8;
+  cfg.mesh_cols = Constellation::get(mod).order();
+  return cfg;
+}
+
+}  // namespace sd

@@ -1,0 +1,83 @@
+// Hardware configuration of the simulated FPGA design.
+//
+// The paper deploys on a Xilinx Alveo U280 (Vitis HLS 2020.2). Two design
+// points are evaluated:
+//   * baseline  — a direct HLS port of the SD C++ code (253 MHz, sequential
+//     MAC evaluation, un-prefetched memory accesses);
+//   * optimized — the paper's contribution (300 MHz, systolic GEMM engine,
+//     prefetch/double-buffer unit, MST, per-modulation specialization).
+// Every constant here is a *model parameter*; the defaults are chosen to
+// match the U280 datasheet and the paper's reported operating points, and
+// are documented in DESIGN.md §5.
+#pragma once
+
+#include "common/types.hpp"
+#include "mimo/constellation.hpp"
+
+namespace sd {
+
+/// Totals for the Alveo U280 (XCU280 device, from the datasheet the paper
+/// cites as [23]).
+struct U280Totals {
+  static constexpr double kLuts = 1'303'680;
+  static constexpr double kFfs = 2'607'360;
+  static constexpr double kDsps = 9'024;
+  static constexpr double kBram18 = 4'032;   ///< 18 Kb blocks
+  static constexpr double kUram = 960;       ///< 288 Kb blocks
+  static constexpr double kHbmBytes = 8.0 * (1ull << 30);
+};
+
+/// Numeric precision of the evaluation datapath (paper §V future work).
+enum class Precision : std::uint8_t { kFp32, kFp16 };
+
+/// One synthesized design point.
+struct FpgaConfig {
+  // --- design identity
+  bool optimized = true;
+  Modulation modulation = Modulation::kQam4;
+  index_t num_tx = 10;
+  index_t num_rx = 10;
+  Precision precision = Precision::kFp32;
+
+  // --- clocking
+  double clock_mhz = 300.0;
+
+  // --- GEMM engine (systolic mesh of fp32 MACs built from DSP slices)
+  index_t mesh_rows = 8;
+  index_t mesh_cols = 16;
+  index_t gemm_fill_latency = 12;  ///< pipeline fill/drain per tile
+  index_t mac_ii = 1;  ///< initiation interval of the (1x1) MAC chain; a
+                       ///< direct HLS port cannot pipeline the fp32
+                       ///< accumulation and stalls for the adder latency
+
+  // --- memories
+  index_t bram_latency = 1;    ///< on-chip block RAM, single cycle
+  index_t hbm_latency = 64;    ///< random-access latency to HBM
+  index_t hbm_words_per_cycle = 8;  ///< burst width once a stream is open
+  double pcie_gbps = 12.0;     ///< effective host->card transfer rate
+  double pcie_latency_s = 10e-6;  ///< round-trip latency of one staging DMA
+
+  // --- pipeline units
+  index_t branch_ii = 1;        ///< children generated per cycle
+  index_t branch_setup = 4;     ///< per-expansion control overhead
+  index_t norm_latency = 8;     ///< |.|^2 + accumulate pipeline depth
+  index_t sort_stage_latency = 2;  ///< per bitonic stage
+  index_t mst_insert_cycles = 1;   ///< BRAM write per committed child
+  index_t radius_update_cycles = 4;
+
+  // --- capacity
+  usize mst_capacity_per_level = 1u << 16;
+
+  [[nodiscard]] double clock_hz() const noexcept { return clock_mhz * 1e6; }
+
+  /// The paper's baseline design point for a given system configuration.
+  [[nodiscard]] static FpgaConfig baseline(index_t num_tx, index_t num_rx,
+                                           Modulation mod);
+
+  /// The paper's optimized design point.
+  [[nodiscard]] static FpgaConfig optimized_design(index_t num_tx,
+                                                   index_t num_rx,
+                                                   Modulation mod);
+};
+
+}  // namespace sd

@@ -1,0 +1,55 @@
+#include "fpga/memory_bank.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sd {
+
+namespace {
+constexpr usize kWordBytes = 8;  // one complex<float> word
+}
+
+MemoryBank::MemoryBank(std::string name, usize capacity_bytes, index_t latency,
+                       index_t words_per_cycle)
+    : name_(std::move(name)), capacity_(capacity_bytes), latency_(latency),
+      words_per_cycle_(words_per_cycle) {
+  SD_CHECK(latency >= 0 && words_per_cycle >= 1, "invalid memory timing");
+}
+
+std::uint64_t MemoryBank::cycles_for(usize bytes) const noexcept {
+  const usize words = (bytes + kWordBytes - 1) / kWordBytes;
+  const usize stream =
+      (words + static_cast<usize>(words_per_cycle_) - 1) /
+      static_cast<usize>(words_per_cycle_);
+  return static_cast<std::uint64_t>(latency_) + stream;
+}
+
+std::uint64_t MemoryBank::read(usize bytes) noexcept {
+  ++reads_;
+  bytes_read_ += bytes;
+  return cycles_for(bytes);
+}
+
+std::uint64_t MemoryBank::write(usize bytes) noexcept {
+  ++writes_;
+  bytes_written_ += bytes;
+  return cycles_for(bytes);
+}
+
+void MemoryBank::reserve_bytes(usize bytes) noexcept {
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+}
+
+void MemoryBank::release_bytes(usize bytes) noexcept {
+  in_use_ -= std::min(in_use_, bytes);
+}
+
+void MemoryBank::reset_counters() noexcept {
+  reads_ = writes_ = 0;
+  bytes_read_ = bytes_written_ = 0;
+  in_use_ = peak_ = 0;
+}
+
+}  // namespace sd

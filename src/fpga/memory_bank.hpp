@@ -1,0 +1,61 @@
+// Memory models for the simulated card: on-chip BRAM/URAM partitions and the
+// off-chip HBM stacks. Each bank tracks access counts, bytes moved, and the
+// cycles those accesses cost under a simple latency + streaming-width model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace sd {
+
+class MemoryBank {
+ public:
+  /// `latency` = cycles until the first word of a request arrives;
+  /// `words_per_cycle` = streaming width once the request is open.
+  MemoryBank(std::string name, usize capacity_bytes, index_t latency,
+             index_t words_per_cycle);
+
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+  [[nodiscard]] usize capacity_bytes() const noexcept { return capacity_; }
+
+  /// Cycle cost of a contiguous read of `bytes`; counters updated.
+  std::uint64_t read(usize bytes) noexcept;
+
+  /// Cycle cost of a contiguous write of `bytes`; counters updated.
+  std::uint64_t write(usize bytes) noexcept;
+
+  /// Records buffer residency (for capacity/high-water accounting).
+  void reserve_bytes(usize bytes) noexcept;
+  void release_bytes(usize bytes) noexcept;
+
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept { return bytes_read_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+  [[nodiscard]] usize bytes_in_use() const noexcept { return in_use_; }
+  [[nodiscard]] usize peak_bytes() const noexcept { return peak_; }
+  [[nodiscard]] bool overflowed() const noexcept { return peak_ > capacity_; }
+
+  void reset_counters() noexcept;
+
+ private:
+  [[nodiscard]] std::uint64_t cycles_for(usize bytes) const noexcept;
+
+  std::string name_;
+  usize capacity_;
+  index_t latency_;
+  index_t words_per_cycle_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  usize in_use_ = 0;
+  usize peak_ = 0;
+};
+
+}  // namespace sd

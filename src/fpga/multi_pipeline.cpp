@@ -1,0 +1,59 @@
+#include "fpga/multi_pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sd {
+
+MultiPipelineFpga::MultiPipelineFpga(const FpgaConfig& config,
+                                     int num_pipelines)
+    : config_(config) {
+  SD_CHECK(num_pipelines >= 1 && num_pipelines <= 16,
+           "pipeline count must be in [1, 16]");
+  lanes_.reserve(static_cast<usize>(num_pipelines));
+  for (int i = 0; i < num_pipelines; ++i) {
+    lanes_.emplace_back(config);
+  }
+}
+
+bool MultiPipelineFpga::fits(const FpgaConfig& config, int num_pipelines) {
+  const ResourceEstimate one = estimate_resources(config);
+  const double p = num_pipelines;
+  return one.lut_frac() * p <= 1.0 && one.ff_frac() * p <= 1.0 &&
+         one.dsp_frac() * p <= 1.0 && one.bram_frac() * p <= 1.0 &&
+         one.uram_frac() * p <= 1.0;
+}
+
+MultiPipelineReport MultiPipelineFpga::decode_batch(
+    const std::vector<Preprocessed>& batch, const Constellation& constellation,
+    double sigma2, const SdOptions& search_opts) {
+  SD_CHECK(!batch.empty(), "batch must not be empty");
+  MultiPipelineReport report;
+  report.pipelines = pipelines();
+  report.vectors = batch.size();
+  report.fits_on_device = fits(config_, pipelines());
+  report.lane_busy_seconds.assign(lanes_.size(), 0.0);
+
+  // Earliest-free-lane dispatch: lane_free[i] is when lane i next idles.
+  std::vector<double> lane_free(lanes_.size(), 0.0);
+  double latency_acc = 0.0;
+  for (const Preprocessed& pre : batch) {
+    const usize lane = static_cast<usize>(
+        std::min_element(lane_free.begin(), lane_free.end()) -
+        lane_free.begin());
+    const FpgaRunReport r =
+        lanes_[lane].run(pre, constellation, sigma2, search_opts);
+    lane_free[lane] += r.total_seconds;
+    report.lane_busy_seconds[lane] += r.total_seconds;
+    latency_acc += r.total_seconds;
+  }
+  report.makespan_seconds =
+      *std::max_element(lane_free.begin(), lane_free.end());
+  report.throughput_vps =
+      static_cast<double>(batch.size()) / report.makespan_seconds;
+  report.mean_latency_seconds = latency_acc / static_cast<double>(batch.size());
+  return report;
+}
+
+}  // namespace sd

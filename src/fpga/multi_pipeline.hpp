@@ -1,0 +1,53 @@
+// Multi-pipeline FPGA deployment (paper §III-C4 / §V).
+//
+// The optimized design's resource footprint deliberately stays under 50% of
+// every class so that additional pipeline instances fit; decoding then
+// parallelizes across *received vectors* (each vector's tree search is
+// sequential, but a base station decodes many vectors concurrently). This
+// module schedules a batch of decodes over P simulated pipeline instances
+// and reports makespan/throughput, plus whether the instances actually fit
+// on the U280 according to the resource model.
+#pragma once
+
+#include <vector>
+
+#include "decode/sphere_common.hpp"
+#include "fpga/pipeline.hpp"
+#include "fpga/resources.hpp"
+
+namespace sd {
+
+struct MultiPipelineReport {
+  int pipelines = 1;
+  usize vectors = 0;
+  bool fits_on_device = true;     ///< P x resources <= 100% in every class
+  double makespan_seconds = 0;    ///< batch completion time
+  double throughput_vps = 0;      ///< vectors per second
+  double mean_latency_seconds = 0;///< per-vector decode latency (unchanged)
+  std::vector<double> lane_busy_seconds;  ///< per-pipeline utilization
+};
+
+class MultiPipelineFpga {
+ public:
+  MultiPipelineFpga(const FpgaConfig& config, int num_pipelines);
+
+  [[nodiscard]] int pipelines() const noexcept {
+    return static_cast<int>(lanes_.size());
+  }
+
+  /// True if `num_pipelines` instances of the design fit on the card.
+  [[nodiscard]] static bool fits(const FpgaConfig& config, int num_pipelines);
+
+  /// Decodes a batch of preprocessed vectors: vectors are dispatched to the
+  /// earliest-free lane in arrival order (what a streaming scheduler does).
+  [[nodiscard]] MultiPipelineReport decode_batch(
+      const std::vector<Preprocessed>& batch,
+      const Constellation& constellation, double sigma2,
+      const SdOptions& search_opts = {});
+
+ private:
+  FpgaConfig config_;
+  std::vector<FpgaPipeline> lanes_;
+};
+
+}  // namespace sd

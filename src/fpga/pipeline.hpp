@@ -1,0 +1,76 @@
+// Cycle-approximate simulation of the paper's dataflow pipeline (Fig. 4):
+//
+//   HBM -> [Pre-Fetch] -> [Branch] -> [GEMM engine] -> [NORM] -> [Sort/Prune]
+//                     (tree state in BRAM, node database in the URAM MST)
+//
+// The pipeline executes the identical Best-FS search as SdGemmDetector —
+// same traversal, same floating-point results (the paper: "we are careful to
+// mimic the execution profile and operational sequence of the CPU
+// execution") — while charging cycles to each hardware unit. The simulated
+// decode latency is total_cycles / clock + the one-time PCIe staging cost
+// the paper measures at under 3% of execution.
+#pragma once
+
+#include <cstdint>
+
+#include "decode/detector.hpp"
+#include "decode/sphere_common.hpp"
+#include "fpga/hw_config.hpp"
+#include "fpga/memory_bank.hpp"
+#include "fpga/prefetch.hpp"
+#include "fpga/sort_unit.hpp"
+#include "fpga/systolic_gemm.hpp"
+
+namespace sd {
+
+/// Per-unit cycle accounting for one decode.
+struct CycleBreakdown {
+  std::uint64_t branch = 0;
+  std::uint64_t prefetch_exposed = 0;  ///< staging cycles NOT hidden by compute
+  std::uint64_t gemm = 0;
+  std::uint64_t norm = 0;
+  std::uint64_t sort = 0;
+  std::uint64_t mst = 0;
+  std::uint64_t radius = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return branch + prefetch_exposed + gemm + norm + sort + mst + radius;
+  }
+};
+
+/// Everything the benches need from one simulated decode.
+struct FpgaRunReport {
+  DecodeResult result;          ///< decisions + algorithmic stats
+  CycleBreakdown cycles;
+  double transfer_seconds = 0;  ///< PCIe staging (one-time per decode)
+  double compute_seconds = 0;   ///< cycles / clock
+  double total_seconds = 0;
+  usize mst_peak_nodes = 0;     ///< high-water mark of one MST partition
+  bool mst_overflow = false;    ///< design capacity would have been exceeded
+  std::uint64_t hbm_bytes = 0;
+  std::uint64_t uram_bytes_written = 0;
+};
+
+class FpgaPipeline {
+ public:
+  explicit FpgaPipeline(const FpgaConfig& config);
+
+  [[nodiscard]] const FpgaConfig& config() const noexcept { return cfg_; }
+
+  /// Runs one decode on a preprocessed triangular system. `search_opts`
+  /// controls radius policy / node budget exactly as for the CPU decoders.
+  [[nodiscard]] FpgaRunReport run(const Preprocessed& pre,
+                                  const Constellation& constellation,
+                                  double sigma2,
+                                  const SdOptions& search_opts = {});
+
+ private:
+  FpgaConfig cfg_;
+  SystolicGemmEngine gemm_engine_;
+  MemoryBank hbm_;
+  MemoryBank uram_;
+  PrefetchUnit prefetch_;
+  SortUnit sorter_;
+};
+
+}  // namespace sd

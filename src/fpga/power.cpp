@@ -1,0 +1,30 @@
+#include "fpga/power.hpp"
+
+#include <algorithm>
+
+namespace sd {
+
+namespace {
+// Static rails (HBM controllers, shell, transceivers) measured on an idle
+// U280 card.
+constexpr double kStaticWatts = 5.0;
+// Dynamic scale: Watts at full activity per unit of summed resource
+// fractions, at the design clock. Calibrated to Table II.
+constexpr double kDynamicScale = 22.8;
+// Antenna count at which the pipeline reaches full occupancy.
+constexpr double kSaturationTx = 15.0;
+constexpr double kMinTx = 5.0;
+}  // namespace
+
+double fpga_power_watts(const FpgaConfig& config) {
+  const ResourceEstimate est = estimate_resources(config);
+  const double resource_sum =
+      est.lut_frac() + est.dsp_frac() + est.bram_frac() + est.uram_frac();
+  const double activity = std::clamp(
+      (static_cast<double>(config.num_tx) - kMinTx) / (kSaturationTx - kMinTx),
+      0.1, 1.0);
+  const double clock_scale = config.clock_mhz / 300.0;
+  return kStaticWatts + kDynamicScale * resource_sum * activity * clock_scale;
+}
+
+}  // namespace sd

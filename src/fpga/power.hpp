@@ -1,0 +1,25 @@
+// FPGA power model (reproduces the FPGA rows of the paper's Table II).
+//
+// Board power = static rail power + dynamic power proportional to the
+// activity-weighted resource utilization of the loaded design. The activity
+// factor saturates with the antenna count (larger systems keep the pipeline
+// busier until the datapath is fully occupied). Coefficients are calibrated
+// to the four operating points the paper measured with Vitis Analyzer
+// (8 W .. 12.8 W); see DESIGN.md §5.
+#pragma once
+
+#include "fpga/hw_config.hpp"
+#include "fpga/resources.hpp"
+
+namespace sd {
+
+/// Average board power (Watts) of a design while decoding.
+[[nodiscard]] double fpga_power_watts(const FpgaConfig& config);
+
+/// Energy (Joules) for a decode of the given duration.
+[[nodiscard]] inline double fpga_energy_joules(const FpgaConfig& config,
+                                               double seconds) {
+  return fpga_power_watts(config) * seconds;
+}
+
+}  // namespace sd

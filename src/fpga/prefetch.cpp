@@ -1,0 +1,3 @@
+// PrefetchUnit is header-only; this translation unit exists so the model has
+// a home if stateful behaviour (e.g. multi-buffer scheduling) is added.
+#include "fpga/prefetch.hpp"

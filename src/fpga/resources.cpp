@@ -1,0 +1,83 @@
+#include "fpga/resources.hpp"
+
+#include "mimo/constellation.hpp"
+
+namespace sd {
+
+namespace {
+
+// --- Calibrated per-unit coefficients (see header). Units: LUTs/FFs per
+// instance, DSPs per fp32 complex MAC (3 for the multiplier + 2 for the
+// adder on UltraScale+), BRAM18/URAM blocks per buffer.
+
+// Optimized design: shared control, systolic mesh, prefetch + MST.
+constexpr double kOptBaseLuts = 65'000;    // control, prefetch, MST indexing
+constexpr double kOptLaneLuts = 10'000;    // per child lane: branch+norm+sort
+constexpr double kOptMacLuts = 600;        // glue per mesh MAC
+constexpr double kOptBaseFfs = 147'000;
+constexpr double kOptLaneFfs = 8'750;
+constexpr double kOptBaseDsps = 20;        // address generation
+constexpr double kOptLaneDsps = 4;         // NORM datapath per lane
+constexpr double kDspsPerMac = 5;
+constexpr double kOptBaseBram = 296;       // R / ybar / ping-pong buffers
+constexpr double kOptLaneBram = 6.7;
+constexpr double kOptUramBase = 52;        // MST partitions
+constexpr double kOptUramPerP2 = 0.92;     // tree-state matrix ~ 4*Mod^2*N
+
+// Baseline design: direct HLS port — replicated control logic and per-loop
+// floating-point units, no systolic sharing, no buffer reuse (URAM 2x).
+constexpr double kBaseBaseLuts = 287'000;
+constexpr double kBaseLaneLuts = 22'800;
+constexpr double kBaseBaseFfs = 460'000;
+constexpr double kBaseLaneFfs = 15'200;
+constexpr double kBaseBaseDsps = 480;
+constexpr double kBaseLaneDsps = 60;
+constexpr double kBaseBaseBram = 403;
+constexpr double kBaseLaneBram = 10;
+constexpr double kBaseUramBase = 104;
+constexpr double kBaseUramPerP2 = 1.84;
+
+// Half precision (paper §V): the fp16 datapath halves DSP cost per MAC
+// (one DSP58-style mult + shared add), and on-chip buffers shrink 2x.
+constexpr double kFp16DspScale = 0.5;
+constexpr double kFp16MemScale = 0.5;
+
+}  // namespace
+
+bool ResourceEstimate::second_pipeline_fits() const noexcept {
+  return lut_frac() <= 0.5 && ff_frac() <= 0.5 && dsp_frac() <= 0.5 &&
+         bram_frac() <= 0.5 && uram_frac() <= 0.5;
+}
+
+ResourceEstimate estimate_resources(const FpgaConfig& config) {
+  const double p = static_cast<double>(
+      Constellation::get(config.modulation).order());
+  const double p2 = p * p;
+  const double macs =
+      static_cast<double>(config.mesh_rows) * config.mesh_cols;
+
+  ResourceEstimate est;
+  est.freq_mhz = config.clock_mhz;
+  if (config.optimized) {
+    est.luts = kOptBaseLuts + kOptLaneLuts * p + kOptMacLuts * macs;
+    est.ffs = kOptBaseFfs + kOptLaneFfs * p;
+    est.dsps = kOptBaseDsps + kOptLaneDsps * p + kDspsPerMac * macs;
+    est.bram18 = kOptBaseBram + kOptLaneBram * p;
+    est.urams = kOptUramBase + kOptUramPerP2 * p2;
+  } else {
+    est.luts = kBaseBaseLuts + kBaseLaneLuts * p;
+    est.ffs = kBaseBaseFfs + kBaseLaneFfs * p;
+    est.dsps = kBaseBaseDsps + kBaseLaneDsps * p;
+    est.bram18 = kBaseBaseBram + kBaseLaneBram * p;
+    est.urams = kBaseUramBase + kBaseUramPerP2 * p2;
+  }
+
+  if (config.precision == Precision::kFp16) {
+    est.dsps *= kFp16DspScale;
+    est.bram18 *= kFp16MemScale;
+    est.urams *= kFp16MemScale;
+  }
+  return est;
+}
+
+}  // namespace sd

@@ -1,0 +1,50 @@
+// FPGA resource-utilization estimator (reproduces the paper's Table I).
+//
+// An analytic post-synthesis model: each pipeline unit contributes LUTs /
+// FFs / DSPs / BRAMs / URAMs according to its structural parameters
+// (constellation order P, GEMM mesh size, MST capacity). The per-unit
+// coefficients are calibrated against the four design points the paper
+// reports for the Alveo U280 (baseline/optimized x 4-QAM/16-QAM); the model
+// then generalizes to other configurations (64-QAM, different meshes) for
+// the ablation benches. See DESIGN.md §5 for the calibration method.
+#pragma once
+
+#include "fpga/hw_config.hpp"
+
+namespace sd {
+
+/// Absolute resource counts for one synthesized design.
+struct ResourceEstimate {
+  double freq_mhz = 0;
+  double luts = 0;
+  double ffs = 0;
+  double dsps = 0;
+  double bram18 = 0;
+  double urams = 0;
+
+  /// Fractions of the U280 totals (what Table I reports).
+  [[nodiscard]] double lut_frac() const noexcept {
+    return luts / U280Totals::kLuts;
+  }
+  [[nodiscard]] double ff_frac() const noexcept {
+    return ffs / U280Totals::kFfs;
+  }
+  [[nodiscard]] double dsp_frac() const noexcept {
+    return dsps / U280Totals::kDsps;
+  }
+  [[nodiscard]] double bram_frac() const noexcept {
+    return bram18 / U280Totals::kBram18;
+  }
+  [[nodiscard]] double uram_frac() const noexcept {
+    return urams / U280Totals::kUram;
+  }
+
+  /// True if a second pipeline instance would fit (§III-C4's criterion:
+  /// every class must stay at or below 50%).
+  [[nodiscard]] bool second_pipeline_fits() const noexcept;
+};
+
+/// Estimates the synthesis result of a design point.
+[[nodiscard]] ResourceEstimate estimate_resources(const FpgaConfig& config);
+
+}  // namespace sd

@@ -1,0 +1,13 @@
+#include "fpga/sort_unit.hpp"
+
+#include <bit>
+
+namespace sd {
+
+std::uint64_t SortUnit::stages(usize n) noexcept {
+  if (n < 2) return 0;
+  const auto s = static_cast<std::uint64_t>(std::bit_width(n - 1));
+  return s * (s + 1) / 2;
+}
+
+}  // namespace sd

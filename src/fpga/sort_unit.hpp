@@ -1,0 +1,47 @@
+// Bitonic sorting-network model for the pruning phase (paper §II-B notes the
+// sorting overhead "depends only on the modulation parameter and is
+// dominated by the GEMM complexity" — this model makes that claim checkable).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sd {
+
+class SortUnit {
+ public:
+  explicit SortUnit(index_t stage_latency) noexcept
+      : stage_latency_(stage_latency) {}
+
+  /// Bitonic network stage count for n elements (n rounded up to a power of
+  /// two): s(s+1)/2 with s = ceil(log2 n).
+  [[nodiscard]] static std::uint64_t stages(usize n) noexcept;
+
+  /// Cycle cost of sorting one batch of n child PDs, plus counter updates.
+  std::uint64_t sort(usize n) noexcept {
+    const std::uint64_t cycles =
+        stages(n) * static_cast<std::uint64_t>(stage_latency_) +
+        static_cast<std::uint64_t>(n);  // streaming the batch through
+    total_cycles_ += cycles;
+    ++batches_;
+    return cycles;
+  }
+
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept {
+    return total_cycles_;
+  }
+  [[nodiscard]] std::uint64_t batches() const noexcept { return batches_; }
+
+  void reset_counters() noexcept {
+    total_cycles_ = 0;
+    batches_ = 0;
+  }
+
+ private:
+  index_t stage_latency_;
+  std::uint64_t total_cycles_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace sd

@@ -1,0 +1,66 @@
+#include "fpga/systolic_gemm.hpp"
+
+#include "common/error.hpp"
+#include "fpga/half.hpp"
+#include "linalg/gemm.hpp"
+
+namespace sd {
+
+SystolicGemmEngine::SystolicGemmEngine(index_t mesh_rows, index_t mesh_cols,
+                                       index_t fill_latency,
+                                       Precision precision, index_t mac_ii)
+    : rows_(mesh_rows), cols_(mesh_cols), fill_(fill_latency),
+      precision_(precision), mac_ii_(mac_ii) {
+  SD_CHECK(mesh_rows >= 1 && mesh_cols >= 1, "mesh must be at least 1x1");
+  SD_CHECK(fill_latency >= 0, "fill latency must be non-negative");
+  SD_CHECK(mac_ii >= 1, "MAC initiation interval must be at least 1");
+}
+
+std::uint64_t SystolicGemmEngine::cycles_for(index_t m, index_t n,
+                                             index_t k) const noexcept {
+  const auto tiles_m = static_cast<std::uint64_t>((m + rows_ - 1) / rows_);
+  const auto tiles_n = static_cast<std::uint64_t>((n + cols_ - 1) / cols_);
+  if (rows_ == 1 && cols_ == 1) {
+    // Baseline sequential MAC chain: one MAC per mac_ii cycles, no tiling.
+    return static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+               static_cast<std::uint64_t>(k) *
+               static_cast<std::uint64_t>(mac_ii_) +
+           static_cast<std::uint64_t>(fill_);
+  }
+  return tiles_m * tiles_n *
+         (static_cast<std::uint64_t>(k) + static_cast<std::uint64_t>(fill_));
+}
+
+std::uint64_t SystolicGemmEngine::run(const CMat& a, const CMat& b, CMat& c) {
+  SD_CHECK(a.cols() == b.rows(), "GEMM inner dimensions must agree");
+  SD_CHECK(a.rows() == c.rows() && b.cols() == c.cols(),
+           "GEMM output shape mismatch");
+  const index_t m = a.rows();
+  const index_t n = b.cols();
+  const index_t k = a.cols();
+
+  if (precision_ == Precision::kFp32) {
+    gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c);
+  } else {
+    // Half-precision datapath: operands quantized at the BRAM boundary and
+    // every MAC rounded.
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        cplx acc{0, 0};
+        for (index_t t = 0; t < k; ++t) {
+          acc = half_cmadd(acc, round_to_half(a(i, t)), round_to_half(b(t, j)));
+        }
+        c(i, j) = acc;
+      }
+    }
+  }
+
+  const std::uint64_t cycles = cycles_for(m, n, k);
+  cycles_ += cycles;
+  macs_ += static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+           static_cast<std::uint64_t>(k);
+  ++calls_;
+  return cycles;
+}
+
+}  // namespace sd

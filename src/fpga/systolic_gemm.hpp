@@ -1,0 +1,67 @@
+// Systolic-array GEMM engine model (paper §III-C1).
+//
+// The paper extracts the GEMM engine from the Xilinx Vitis BLAS library: a
+// two-dimensional mesh of floating-point MAC units (DSP slices) fed from
+// single-cycle BRAM. This module is both a *functional* GEMM (bit-exact
+// complex arithmetic, optionally rounded to fp16 between operations) and a
+// *cycle* model of the mesh:
+//
+//   tiles  = ceil(m / mesh_rows) * ceil(n / mesh_cols)
+//   cycles = tiles * (k + fill_latency)
+//
+// i.e. each output tile streams the K dimension at II=1 after a pipeline
+// fill. A 1x1 mesh degenerates to the baseline design's sequential MAC chain
+// (one MAC per cycle: m*n*k cycles plus fill).
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/hw_config.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sd {
+
+class SystolicGemmEngine {
+ public:
+  /// `mac_ii` only affects the degenerate 1x1 mesh (the baseline design's
+  /// sequential MAC chain, which stalls for the accumulator latency).
+  SystolicGemmEngine(index_t mesh_rows, index_t mesh_cols,
+                     index_t fill_latency,
+                     Precision precision = Precision::kFp32,
+                     index_t mac_ii = 1);
+
+  /// Cycle cost of an m x n x k GEMM on this mesh (no side effects).
+  [[nodiscard]] std::uint64_t cycles_for(index_t m, index_t n,
+                                         index_t k) const noexcept;
+
+  /// Functional C = A * B with cycle accounting. In fp16 mode every product
+  /// and accumulation is rounded through IEEE half precision, which is what
+  /// a half-precision DSP datapath would produce.
+  std::uint64_t run(const CMat& a, const CMat& b, CMat& c);
+
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t total_macs() const noexcept { return macs_; }
+  [[nodiscard]] std::uint64_t total_calls() const noexcept { return calls_; }
+
+  [[nodiscard]] index_t mesh_rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t mesh_cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t mac_units() const noexcept { return rows_ * cols_; }
+
+  void reset_counters() noexcept {
+    cycles_ = 0;
+    macs_ = 0;
+    calls_ = 0;
+  }
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  index_t fill_;
+  Precision precision_;
+  index_t mac_ii_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t macs_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace sd

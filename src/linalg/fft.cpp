@@ -1,0 +1,68 @@
+#include "linalg/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace sd {
+
+namespace {
+
+/// Bit-reversal permutation.
+void bit_reverse(std::span<cplx> data) {
+  const usize n = data.size();
+  usize j = 0;
+  for (usize i = 1; i < n; ++i) {
+    usize bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+void transform(std::span<cplx> data, bool inverse) {
+  const usize n = data.size();
+  SD_CHECK(is_pow2(n), "FFT length must be a power of two");
+  bit_reverse(data);
+  for (usize len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const cplx wlen{static_cast<real>(std::cos(angle)),
+                    static_cast<real>(std::sin(angle))};
+    for (usize i = 0; i < n; i += len) {
+      cplx w{1, 0};
+      for (usize k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const real scale = real{1} / static_cast<real>(n);
+    for (cplx& x : data) x *= scale;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<cplx> data) { transform(data, false); }
+
+void ifft_inplace(std::span<cplx> data) { transform(data, true); }
+
+CVec fft(std::span<const cplx> data) {
+  CVec out(data.begin(), data.end());
+  fft_inplace(out);
+  return out;
+}
+
+CVec ifft(std::span<const cplx> data) {
+  CVec out(data.begin(), data.end());
+  ifft_inplace(out);
+  return out;
+}
+
+}  // namespace sd

@@ -1,0 +1,30 @@
+// Radix-2 FFT for the OFDM frame layer.
+//
+// The frequency-selective channel model converts a tapped-delay-line
+// impulse response into per-subcarrier flat-fading matrices via an FFT of
+// the taps; the OFDM modulator/demodulator uses the transform directly.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace sd {
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+/// data.size() must be a power of two. Forward transform (no scaling).
+void fft_inplace(std::span<cplx> data);
+
+/// In-place inverse FFT, scaled by 1/N so ifft(fft(x)) == x.
+void ifft_inplace(std::span<cplx> data);
+
+/// Out-of-place convenience wrappers.
+[[nodiscard]] CVec fft(std::span<const cplx> data);
+[[nodiscard]] CVec ifft(std::span<const cplx> data);
+
+/// True if n is a power of two (and positive).
+[[nodiscard]] constexpr bool is_pow2(usize n) noexcept {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace sd

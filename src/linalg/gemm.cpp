@@ -1,0 +1,169 @@
+#include "linalg/gemm.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sd {
+
+namespace {
+
+void check_gemm_shapes(Op op_a, const CMat& a, const CMat& b, const CMat& c) {
+  const auto [am, ak] = detail::op_shape(op_a, a);
+  SD_CHECK(ak == b.rows(), "GEMM inner dimensions must agree");
+  SD_CHECK(am == c.rows() && b.cols() == c.cols(),
+           "GEMM output shape must be m x n");
+}
+
+/// Element of op(A) at logical position (r, c).
+inline cplx op_at(Op op, const CMat& a, index_t r, index_t c) noexcept {
+  return op == Op::kNone ? a(r, c) : std::conj(a(c, r));
+}
+
+}  // namespace
+
+void gemm_naive(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+                CMat& c) {
+  check_gemm_shapes(op_a, a, b, c);
+  const auto [m, k] = detail::op_shape(op_a, a);
+  const index_t n = b.cols();
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      cplx acc{0, 0};
+      for (index_t p = 0; p < k; ++p) {
+        acc += op_at(op_a, a, i, p) * b(p, j);
+      }
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+          CMat& c) {
+  check_gemm_shapes(op_a, a, b, c);
+  const auto [m, k] = detail::op_shape(op_a, a);
+  const index_t n = b.cols();
+
+  // Small-shape fast path: the sphere decoder issues millions of tiny
+  // (1 x P x k) sibling-batch products, where the packed path's buffer
+  // management dominates. The naive kernel accumulates in the same order as
+  // the packed kernel for k <= kKC, so results stay bitwise identical.
+  if (static_cast<std::uint64_t>(m) * n * k <= 4096) {
+    gemm_naive(op_a, alpha, a, b, beta, c);
+    return;
+  }
+
+  // Block sizes chosen so one (MC x KC) A-panel plus a (KC x NC) B-panel fit
+  // comfortably in L1/L2 for 8-byte complex<float>.
+  constexpr index_t kMC = 64;
+  constexpr index_t kKC = 128;
+  constexpr index_t kNC = 128;
+
+  // Pack op(A) block rows contiguously once per (i-block, p-block) so the
+  // micro-kernel streams both operands with unit stride; this is the CPU
+  // analogue of the FPGA design's prefetch/double-buffer unit.
+  std::vector<cplx> a_pack(static_cast<usize>(kMC) * kKC);
+  std::vector<cplx> b_pack(static_cast<usize>(kKC) * kNC);
+
+  // beta-scale C once up front so the kernel can accumulate with +=.
+  if (beta != cplx{1, 0}) {
+    for (cplx& v : c.flat()) v *= beta;
+  }
+
+  for (index_t pc = 0; pc < k; pc += kKC) {
+    const index_t kb = std::min(kKC, k - pc);
+    for (index_t jc = 0; jc < n; jc += kNC) {
+      const index_t nb = std::min(kNC, n - jc);
+      // Pack B block (kb x nb), row-major.
+      for (index_t p = 0; p < kb; ++p) {
+        const cplx* src = &b(pc + p, jc);
+        cplx* dst = &b_pack[static_cast<usize>(p) * nb];
+        for (index_t j = 0; j < nb; ++j) dst[j] = src[j];
+      }
+      for (index_t ic = 0; ic < m; ic += kMC) {
+        const index_t mb = std::min(kMC, m - ic);
+        // Pack op(A) block (mb x kb), row-major.
+        for (index_t i = 0; i < mb; ++i) {
+          cplx* dst = &a_pack[static_cast<usize>(i) * kb];
+          for (index_t p = 0; p < kb; ++p) {
+            dst[p] = op_at(op_a, a, ic + i, pc + p);
+          }
+        }
+        // Micro-kernel: 2x2 register tile over the packed panels.
+        index_t i = 0;
+        for (; i + 1 < mb; i += 2) {
+          const cplx* a0 = &a_pack[static_cast<usize>(i) * kb];
+          const cplx* a1 = &a_pack[static_cast<usize>(i + 1) * kb];
+          index_t j = 0;
+          for (; j + 1 < nb; j += 2) {
+            cplx c00{0, 0}, c01{0, 0}, c10{0, 0}, c11{0, 0};
+            const cplx* bp = &b_pack[j];
+            for (index_t p = 0; p < kb; ++p, bp += nb) {
+              const cplx b0 = bp[0];
+              const cplx b1 = bp[1];
+              c00 += a0[p] * b0;
+              c01 += a0[p] * b1;
+              c10 += a1[p] * b0;
+              c11 += a1[p] * b1;
+            }
+            c(ic + i, jc + j) += alpha * c00;
+            c(ic + i, jc + j + 1) += alpha * c01;
+            c(ic + i + 1, jc + j) += alpha * c10;
+            c(ic + i + 1, jc + j + 1) += alpha * c11;
+          }
+          for (; j < nb; ++j) {
+            cplx c0{0, 0}, c1{0, 0};
+            const cplx* bp = &b_pack[j];
+            for (index_t p = 0; p < kb; ++p, bp += nb) {
+              c0 += a0[p] * *bp;
+              c1 += a1[p] * *bp;
+            }
+            c(ic + i, jc + j) += alpha * c0;
+            c(ic + i + 1, jc + j) += alpha * c1;
+          }
+        }
+        for (; i < mb; ++i) {
+          const cplx* a0 = &a_pack[static_cast<usize>(i) * kb];
+          for (index_t j = 0; j < nb; ++j) {
+            cplx acc{0, 0};
+            const cplx* bp = &b_pack[j];
+            for (index_t p = 0; p < kb; ++p, bp += nb) {
+              acc += a0[p] * *bp;
+            }
+            c(ic + i, jc + j) += alpha * acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemv(Op op_a, cplx alpha, const CMat& a, std::span<const cplx> x,
+          cplx beta, std::span<cplx> y) {
+  const auto [m, k] = detail::op_shape(op_a, a);
+  SD_CHECK(static_cast<index_t>(x.size()) == k, "GEMV x length must equal k");
+  SD_CHECK(static_cast<index_t>(y.size()) == m, "GEMV y length must equal m");
+  if (op_a == Op::kNone) {
+    for (index_t i = 0; i < m; ++i) {
+      cplx acc{0, 0};
+      const auto row = a.row(i);
+      for (index_t p = 0; p < k; ++p) acc += row[p] * x[p];
+      y[i] = alpha * acc + beta * y[i];
+    }
+  } else {
+    // y = alpha * A^H x: accumulate column-wise to keep A row-major friendly.
+    std::vector<cplx> acc(static_cast<usize>(m), cplx{0, 0});
+    for (index_t r = 0; r < a.rows(); ++r) {
+      const auto row = a.row(r);
+      const cplx xr = x[r];
+      for (index_t i = 0; i < m; ++i) {
+        acc[i] += std::conj(row[i]) * xr;
+      }
+    }
+    for (index_t i = 0; i < m; ++i) {
+      y[i] = alpha * acc[i] + beta * y[i];
+    }
+  }
+}
+
+}  // namespace sd

@@ -1,0 +1,60 @@
+// Complex GEMM kernels.
+//
+// The paper refactors sphere decoding from memory-bound matrix-vector work
+// (BLAS-2) to compute-bound matrix-matrix work (BLAS-3) so it can exploit a
+// systolic GEMM engine. This module provides the CPU-side GEMM used by the
+// optimized CPU decoder (the paper used MKL; we implement a blocked, packed
+// kernel from scratch) plus a naive reference used as the correctness oracle
+// and as the "direct port" cost model for the baseline FPGA design.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace sd {
+
+/// Operation applied to the A operand of a GEMM/GEMV.
+enum class Op : std::uint8_t {
+  kNone,       ///< use A as stored
+  kConjTrans,  ///< use A^H (conjugate transpose)
+};
+
+/// C = alpha * op(A) * B + beta * C. Reference implementation, used as the
+/// test oracle and by the un-optimized "baseline" device models.
+/// Shapes: op(A) is m x k, B is k x n, C is m x n.
+void gemm_naive(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+                CMat& c);
+
+/// C = alpha * op(A) * B + beta * C. Cache-blocked, operand-packed kernel —
+/// the "optimized CPU" implementation.
+void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+          CMat& c);
+
+/// y = alpha * op(A) * x + beta * y (BLAS-2). Shapes: op(A) is m x k, x has
+/// length k, y has length m.
+void gemv(Op op_a, cplx alpha, const CMat& a, std::span<const cplx> x,
+          cplx beta, std::span<cplx> y);
+
+/// Complex multiply-add FLOP count of one m x n x k GEMM. One complex MAC is
+/// 8 real FLOPs (4 mul + 4 add); used by the device timing models.
+[[nodiscard]] constexpr std::uint64_t gemm_flops(index_t m, index_t n,
+                                                 index_t k) noexcept {
+  return 8ull * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+         static_cast<std::uint64_t>(k);
+}
+
+namespace detail {
+/// Resolves the (rows, cols) of op(A) given the stored shape of A.
+struct OpShape {
+  index_t rows;
+  index_t cols;
+};
+[[nodiscard]] inline OpShape op_shape(Op op, const CMat& a) noexcept {
+  return op == Op::kNone ? OpShape{a.rows(), a.cols()}
+                         : OpShape{a.cols(), a.rows()};
+}
+}  // namespace detail
+
+}  // namespace sd

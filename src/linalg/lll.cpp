@@ -1,0 +1,104 @@
+#include "linalg/lll.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/solve.hpp"
+
+namespace sd {
+
+LllResult lll_reduce(const CMat& b, double delta) {
+  SD_CHECK(delta > 0.5 && delta <= 1.0, "LLL delta must be in (0.5, 1]");
+  const index_t m = b.cols();
+  SD_CHECK(b.rows() >= m && m > 0, "basis must be N x M with N >= M");
+
+  // Work on the R factor; column operations on R mirror into T.
+  const QrFactorization qr(b);
+  CMat r = qr.r();
+  CMat t = CMat::identity(m);
+
+  // Size-reduces column k against column j (j < k).
+  auto size_reduce = [&](index_t k, index_t j) {
+    const cplx mu = r(j, k) / r(j, j);
+    const cplx c = round_gaussian(mu);
+    if (c == cplx{0, 0}) return;
+    for (index_t i = 0; i <= j; ++i) {
+      r(i, k) -= c * r(i, j);
+    }
+    for (index_t i = 0; i < m; ++i) {
+      t(i, k) -= c * t(i, j);
+    }
+  };
+
+  LllResult out;
+  index_t k = 1;
+  int guard = 0;
+  while (k < m) {
+    SD_ASSERT(++guard < 100000);  // termination safety net
+    size_reduce(k, k - 1);
+    const double lhs = delta * static_cast<double>(norm2(r(k - 1, k - 1)));
+    const double rhs = static_cast<double>(norm2(r(k - 1, k)) + norm2(r(k, k)));
+    if (lhs > rhs) {
+      // Lovász condition violated: swap columns k-1 and k...
+      for (index_t i = 0; i < m; ++i) {
+        std::swap(r(i, k - 1), r(i, k));
+        std::swap(t(i, k - 1), t(i, k));
+      }
+      ++out.swaps;
+      // ...and restore triangularity with a Givens rotation on the two rows.
+      const cplx a = r(k - 1, k - 1);
+      const cplx bb = r(k, k - 1);
+      const real rho = static_cast<real>(
+          std::sqrt(static_cast<double>(norm2(a) + norm2(bb))));
+      if (rho > real{0}) {
+        const cplx c0 = std::conj(a) / rho;
+        const cplx c1 = std::conj(bb) / rho;
+        for (index_t col = k - 1; col < m; ++col) {
+          const cplx top = r(k - 1, col);
+          const cplx bot = r(k, col);
+          r(k - 1, col) = c0 * top + c1 * bot;
+          r(k, col) = -bb / rho * top + a / rho * bot;
+        }
+        r(k, k - 1) = cplx{0, 0};
+      }
+      k = std::max<index_t>(1, k - 1);
+    } else {
+      for (index_t j = k - 1; j >= 0; --j) {
+        size_reduce(k, j);
+      }
+      ++k;
+    }
+  }
+
+  out.t = t;
+  out.reduced.reset(b.rows(), m);
+  gemm_naive(Op::kNone, cplx{1, 0}, b, t, cplx{0, 0}, out.reduced);
+  // T is unimodular over Z[j]; its inverse is computed numerically and
+  // snapped back onto the Gaussian integers.
+  out.t_inv = inverse(t);
+  for (cplx& v : out.t_inv.flat()) {
+    const cplx snapped = round_gaussian(v);
+    SD_ASSERT(std::abs(v - snapped) < real{1e-2});
+    v = snapped;
+  }
+  return out;
+}
+
+double orthogonality_defect(const CMat& b) {
+  const QrFactorization qr(b);
+  const CMat& r = qr.r();
+  double log_defect = 0.0;
+  for (index_t j = 0; j < b.cols(); ++j) {
+    double col_norm_sq = 0.0;
+    for (index_t i = 0; i <= j; ++i) {
+      col_norm_sq += static_cast<double>(norm2(r(i, j)));
+    }
+    log_defect += 0.5 * std::log(col_norm_sq) -
+                  std::log(static_cast<double>(r(j, j).real()));
+  }
+  return std::exp(log_defect);
+}
+
+}  // namespace sd

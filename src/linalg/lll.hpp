@@ -1,0 +1,36 @@
+// Complex LLL lattice-basis reduction (CLLL, Gan-Ling-Mow).
+//
+// Lattice-reduction-aided detection is the classic preprocessing that lets
+// low-complexity detectors approach ML diversity: reduce the channel basis
+// H -> H T (T unimodular over the Gaussian integers), detect in the reduced
+// basis with simple rounding, and map back. Included as the preprocessing
+// ablation counterpart to the paper's SQRD ordering.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace sd {
+
+/// Result of a CLLL reduction of the columns of B.
+struct LllResult {
+  CMat reduced;     ///< B * T, the reduced basis (N x M)
+  CMat t;           ///< unimodular Gaussian-integer transform (M x M)
+  CMat t_inv;       ///< exact inverse of T (also Gaussian-integer)
+  int swaps = 0;    ///< basis swaps performed (effort indicator)
+};
+
+/// Runs CLLL with parameter delta in (0.5, 1]; larger = stronger reduction.
+/// B must have full column rank.
+[[nodiscard]] LllResult lll_reduce(const CMat& b, double delta = 0.75);
+
+/// Orthogonality defect of a basis: prod ||b_i|| / |det(B^H B)|^{1/2}.
+/// 1 for orthogonal bases; LLL must not increase it.
+[[nodiscard]] double orthogonality_defect(const CMat& b);
+
+/// Rounds both components to the nearest integer (Gaussian-integer round).
+[[nodiscard]] inline cplx round_gaussian(cplx z) noexcept {
+  return {static_cast<real>(std::lround(z.real())),
+          static_cast<real>(std::lround(z.imag()))};
+}
+
+}  // namespace sd

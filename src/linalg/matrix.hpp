@@ -1,0 +1,143 @@
+// Dense row-major matrix over an arbitrary scalar, sized at runtime.
+//
+// This is the storage type for the channel matrix H, the triangular factor R,
+// and the batched "tree state" matrices of the GEMM-based sphere decoder.
+// Deliberately small: owning storage + element access + a few structural
+// helpers. All numerics live in gemm/qr/solve.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sd {
+
+template <typename T>
+class Mat {
+ public:
+  using value_type = T;
+
+  Mat() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Mat(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols)) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Mat(index_t rows, index_t cols, T fill)
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols), fill) {}
+
+  /// Row-major construction from a flat initializer list.
+  Mat(index_t rows, index_t cols, std::initializer_list<T> values)
+      : rows_(rows), cols_(cols), data_(values) {
+    SD_CHECK(data_.size() == checked_size(rows, cols),
+             "initializer size must equal rows*cols");
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] usize size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(index_t r, index_t c) noexcept {
+    return data_[static_cast<usize>(r) * static_cast<usize>(cols_) + static_cast<usize>(c)];
+  }
+  [[nodiscard]] const T& operator()(index_t r, index_t c) const noexcept {
+    return data_[static_cast<usize>(r) * static_cast<usize>(cols_) + static_cast<usize>(c)];
+  }
+
+  /// Bounds-checked access, for tests and non-hot-path code.
+  [[nodiscard]] T& at(index_t r, index_t c) {
+    SD_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "index out of range");
+    return (*this)(r, c);
+  }
+  [[nodiscard]] const T& at(index_t r, index_t c) const {
+    SD_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "index out of range");
+    return (*this)(r, c);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<T> row(index_t r) noexcept {
+    return {data_.data() + static_cast<usize>(r) * static_cast<usize>(cols_),
+            static_cast<usize>(cols_)};
+  }
+  [[nodiscard]] std::span<const T> row(index_t r) const noexcept {
+    return {data_.data() + static_cast<usize>(r) * static_cast<usize>(cols_),
+            static_cast<usize>(cols_)};
+  }
+
+  [[nodiscard]] std::span<T> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const T> flat() const noexcept { return data_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Resizes and zero-fills (contents are not preserved).
+  void reset(index_t rows, index_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(checked_size(rows, cols), T{});
+  }
+
+  /// Identity matrix of dimension n.
+  [[nodiscard]] static Mat identity(index_t n) {
+    Mat m(n, n);
+    for (index_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  friend bool operator==(const Mat& a, const Mat& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  static usize checked_size(index_t rows, index_t cols) {
+    SD_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+    return static_cast<usize>(rows) * static_cast<usize>(cols);
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Complex single-precision matrix — the signal-chain workhorse.
+using CMat = Mat<cplx>;
+/// Real single-precision matrix.
+using RMat = Mat<real>;
+/// Complex double-precision matrix, for test oracles.
+using CMatD = Mat<cplxd>;
+
+/// Complex vectors are stored as std::vector; spans are the in-API currency.
+using CVec = std::vector<cplx>;
+
+/// Conjugate transpose (out-of-place).
+template <typename T>
+[[nodiscard]] Mat<T> hermitian(const Mat<T>& a) {
+  Mat<T> out(a.cols(), a.rows());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t c = 0; c < a.cols(); ++c) {
+      out(c, r) = std::conj(a(r, c));
+    }
+  }
+  return out;
+}
+
+/// Plain transpose (out-of-place).
+template <typename T>
+[[nodiscard]] Mat<T> transpose(const Mat<T>& a) {
+  Mat<T> out(a.cols(), a.rows());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t c = 0; c < a.cols(); ++c) {
+      out(c, r) = a(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace sd

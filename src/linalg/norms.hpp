@@ -1,0 +1,56 @@
+// Vector/matrix norms and elementwise helpers.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sd {
+
+/// Squared Euclidean norm of a complex vector: sum |x_i|^2.
+[[nodiscard]] inline double norm2_sq(std::span<const cplx> x) noexcept {
+  double acc = 0.0;
+  for (cplx v : x) acc += static_cast<double>(norm2(v));
+  return acc;
+}
+
+/// Euclidean norm.
+[[nodiscard]] inline double norm2(std::span<const cplx> x) noexcept {
+  return std::sqrt(norm2_sq(x));
+}
+
+/// Squared Frobenius norm of a complex matrix.
+[[nodiscard]] inline double frobenius_sq(const CMat& a) noexcept {
+  return norm2_sq(a.flat());
+}
+
+/// Frobenius norm.
+[[nodiscard]] inline double frobenius(const CMat& a) noexcept {
+  return std::sqrt(frobenius_sq(a));
+}
+
+/// Max elementwise |a - b| over two equally-sized matrices.
+[[nodiscard]] inline double max_abs_diff(const CMat& a, const CMat& b) {
+  SD_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+           "shape mismatch in max_abs_diff");
+  double worst = 0.0;
+  for (usize i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, static_cast<double>(std::abs(a.flat()[i] - b.flat()[i])));
+  }
+  return worst;
+}
+
+/// Max elementwise |a - b| over two vectors.
+[[nodiscard]] inline double max_abs_diff(std::span<const cplx> a,
+                                         std::span<const cplx> b) {
+  SD_CHECK(a.size() == b.size(), "length mismatch in max_abs_diff");
+  double worst = 0.0;
+  for (usize i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  return worst;
+}
+
+}  // namespace sd

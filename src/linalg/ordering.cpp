@@ -1,0 +1,77 @@
+#include "linalg/ordering.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/norms.hpp"
+
+namespace sd {
+
+SortedQr qr_sorted(const CMat& h) {
+  const index_t n = h.rows();
+  const index_t m = h.cols();
+  SD_CHECK(n >= m && m > 0, "sorted QR requires N >= M > 0");
+
+  SortedQr out{CMat(n, m), CMat(m, m),
+               std::vector<index_t>(static_cast<usize>(m))};
+  std::iota(out.perm.begin(), out.perm.end(), index_t{0});
+
+  CMat v = h;  // residual columns, permuted in place
+  std::vector<double> col_norm_sq(static_cast<usize>(m), 0.0);
+  for (index_t j = 0; j < m; ++j) {
+    for (index_t i = 0; i < n; ++i) col_norm_sq[static_cast<usize>(j)] += norm2(v(i, j));
+  }
+
+  auto swap_cols = [&](index_t a, index_t b) {
+    if (a == b) return;
+    for (index_t i = 0; i < n; ++i) std::swap(v(i, a), v(i, b));
+    // R columns already produced for steps < current also permute.
+    for (index_t i = 0; i < m; ++i) std::swap(out.r(i, a), out.r(i, b));
+    std::swap(col_norm_sq[static_cast<usize>(a)], col_norm_sq[static_cast<usize>(b)]);
+    std::swap(out.perm[static_cast<usize>(a)], out.perm[static_cast<usize>(b)]);
+  };
+
+  for (index_t k = 0; k < m; ++k) {
+    // Pick the remaining column with minimum residual norm (SQRD rule).
+    index_t best = k;
+    for (index_t j = k + 1; j < m; ++j) {
+      if (col_norm_sq[static_cast<usize>(j)] < col_norm_sq[static_cast<usize>(best)]) {
+        best = j;
+      }
+    }
+    swap_cols(k, best);
+
+    // The running downdate of col_norm_sq loses precision on ill-conditioned
+    // channels (it can underflow to zero while the true residual is small
+    // but nonzero); recompute the pivot's exact residual norm before use.
+    double exact_norm_sq = 0.0;
+    for (index_t i = 0; i < n; ++i) exact_norm_sq += norm2(v(i, k));
+    col_norm_sq[static_cast<usize>(k)] = exact_norm_sq;
+    const real nrm = static_cast<real>(std::sqrt(exact_norm_sq));
+    SD_CHECK(nrm > real{0}, "rank-deficient matrix in sorted QR");
+    out.r(k, k) = cplx{nrm, 0};
+    for (index_t i = 0; i < n; ++i) out.q(i, k) = v(i, k) / nrm;
+
+    for (index_t j = k + 1; j < m; ++j) {
+      cplx dot{0, 0};
+      for (index_t i = 0; i < n; ++i) dot += std::conj(out.q(i, k)) * v(i, j);
+      out.r(k, j) = dot;
+      for (index_t i = 0; i < n; ++i) v(i, j) -= dot * out.q(i, k);
+      col_norm_sq[static_cast<usize>(j)] -= static_cast<double>(norm2(dot));
+      if (col_norm_sq[static_cast<usize>(j)] < 0.0) col_norm_sq[static_cast<usize>(j)] = 0.0;
+    }
+  }
+  return out;
+}
+
+CVec unpermute(const std::vector<index_t>& perm, const CVec& layered) {
+  SD_CHECK(perm.size() == layered.size(), "permutation length mismatch");
+  CVec out(layered.size());
+  for (usize k = 0; k < perm.size(); ++k) {
+    out[static_cast<usize>(perm[k])] = layered[k];
+  }
+  return out;
+}
+
+}  // namespace sd

@@ -1,0 +1,33 @@
+// Detection-order preprocessing (SQRD).
+//
+// Sorted QR decomposition (Wubben et al.) permutes the channel columns so
+// that the layer detected first (tree level M-1) is the most reliable one.
+// The paper's decoder detects in natural antenna order; this module is the
+// ablation knob that lets benches quantify how much ordering shrinks the
+// search tree on top of the Best-FS strategy.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace sd {
+
+/// Result of a sorted QR: H * P = Q * R where P is the column permutation.
+struct SortedQr {
+  CMat q;                    ///< thin N x M, orthonormal columns
+  CMat r;                    ///< upper-triangular M x M, real non-neg diagonal
+  std::vector<index_t> perm; ///< perm[k] = original antenna index of layer k
+};
+
+/// Sorted QR via MGS with min-norm column pivoting: at step k the remaining
+/// column with the smallest residual norm is factored next, which pushes
+/// reliable layers to the bottom of the tree (detected first).
+[[nodiscard]] SortedQr qr_sorted(const CMat& h);
+
+/// Undoes the permutation: given symbols in layer order, returns them in
+/// original antenna order.
+[[nodiscard]] CVec unpermute(const std::vector<index_t>& perm,
+                             const CVec& layered);
+
+}  // namespace sd

@@ -1,0 +1,167 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/norms.hpp"
+
+namespace sd {
+
+namespace {
+
+/// z / |z|, or 1 when z == 0. Defines the Householder reflection phase.
+cplx unit_phase(cplx z) noexcept {
+  const real mag = std::abs(z);
+  if (mag == real{0}) return cplx{1, 0};
+  return z / mag;
+}
+
+}  // namespace
+
+QrFactorization::QrFactorization(const CMat& h) : n_(h.rows()), m_(h.cols()) {
+  SD_CHECK(n_ >= m_ && m_ > 0, "QR requires an N x M matrix with N >= M > 0");
+
+  // Work on a copy that is progressively triangularized in place.
+  CMat a = h;
+  reflectors_.reset(n_, m_);
+  v_norm2_.assign(static_cast<usize>(m_), real{0});
+  row_phase_.assign(static_cast<usize>(m_), cplx{1, 0});
+
+  for (index_t k = 0; k < m_; ++k) {
+    // Build the reflector from the trailing column a[k:, k].
+    double col_norm_sq = 0.0;
+    for (index_t i = k; i < n_; ++i) col_norm_sq += norm2(a(i, k));
+    const real col_norm = static_cast<real>(std::sqrt(col_norm_sq));
+
+    const cplx x0 = a(k, k);
+    // alpha = -phase(x0) * ||x||: choosing the sign away from x0 avoids
+    // catastrophic cancellation in v[0] = x0 - alpha.
+    const cplx alpha = -unit_phase(x0) * col_norm;
+
+    real vnorm2 = real{0};
+    if (col_norm > real{0}) {
+      reflectors_(k, k) = x0 - alpha;
+      vnorm2 += norm2(reflectors_(k, k));
+      for (index_t i = k + 1; i < n_; ++i) {
+        reflectors_(i, k) = a(i, k);
+        vnorm2 += norm2(a(i, k));
+      }
+    }
+    v_norm2_[static_cast<usize>(k)] = vnorm2;
+
+    if (vnorm2 > real{0}) {
+      // Apply (I - 2 v v^H / ||v||^2) to the trailing block a[k:, k:].
+      const real scale = real{2} / vnorm2;
+      for (index_t j = k; j < m_; ++j) {
+        cplx dot{0, 0};
+        for (index_t i = k; i < n_; ++i) {
+          dot += std::conj(reflectors_(i, k)) * a(i, j);
+        }
+        dot *= scale;
+        for (index_t i = k; i < n_; ++i) {
+          a(i, j) -= dot * reflectors_(i, k);
+        }
+      }
+    }
+    // The reflection maps the column onto alpha * e_k exactly; store that to
+    // avoid the rounding noise left in a(k, k).
+    a(k, k) = alpha;
+    for (index_t i = k + 1; i < n_; ++i) a(i, k) = cplx{0, 0};
+  }
+
+  // Extract R and rotate each row so the diagonal is real non-negative.
+  // ||ybar - Rs|| is invariant under per-row unit phases as long as the same
+  // phase is applied to ybar (done in apply_qh).
+  r_.reset(m_, m_);
+  for (index_t k = 0; k < m_; ++k) {
+    const cplx d = a(k, k);
+    const cplx phase = std::conj(unit_phase(d));
+    row_phase_[static_cast<usize>(k)] = phase;
+    for (index_t j = k; j < m_; ++j) {
+      r_(k, j) = phase * a(k, j);
+    }
+    // Clamp the diagonal's residual imaginary part (exactly zero in exact
+    // arithmetic).
+    r_(k, k) = cplx{r_(k, k).real(), 0};
+  }
+}
+
+CVec QrFactorization::apply_qh(std::span<const cplx> y) const {
+  SD_CHECK(static_cast<index_t>(y.size()) == n_, "y length must equal N");
+  CVec w(y.begin(), y.end());
+  for (index_t k = 0; k < m_; ++k) {
+    const real vnorm2 = v_norm2_[static_cast<usize>(k)];
+    if (vnorm2 <= real{0}) continue;
+    const real scale = real{2} / vnorm2;
+    cplx dot{0, 0};
+    for (index_t i = k; i < n_; ++i) {
+      dot += std::conj(reflectors_(i, k)) * w[static_cast<usize>(i)];
+    }
+    dot *= scale;
+    for (index_t i = k; i < n_; ++i) {
+      w[static_cast<usize>(i)] -= dot * reflectors_(i, k);
+    }
+  }
+  CVec ybar(static_cast<usize>(m_));
+  for (index_t k = 0; k < m_; ++k) {
+    ybar[static_cast<usize>(k)] =
+        row_phase_[static_cast<usize>(k)] * w[static_cast<usize>(k)];
+  }
+  return ybar;
+}
+
+CMat QrFactorization::thin_q() const {
+  // Q = H_0 H_1 ... H_{M-1} applied to the first M columns of I, then each
+  // column k scaled by conj(row_phase_k) so that Q * R == H still holds.
+  CMat q(n_, m_);
+  for (index_t col = 0; col < m_; ++col) {
+    CVec e(static_cast<usize>(n_), cplx{0, 0});
+    e[static_cast<usize>(col)] = cplx{1, 0};
+    // Apply reflectors in reverse order (building Q rather than Q^H).
+    for (index_t k = m_ - 1; k >= 0; --k) {
+      const real vnorm2 = v_norm2_[static_cast<usize>(k)];
+      if (vnorm2 <= real{0}) continue;
+      const real scale = real{2} / vnorm2;
+      cplx dot{0, 0};
+      for (index_t i = k; i < n_; ++i) {
+        dot += std::conj(reflectors_(i, k)) * e[static_cast<usize>(i)];
+      }
+      dot *= scale;
+      for (index_t i = k; i < n_; ++i) {
+        e[static_cast<usize>(i)] -= dot * reflectors_(i, k);
+      }
+    }
+    const cplx col_phase = std::conj(row_phase_[static_cast<usize>(col)]);
+    for (index_t i = 0; i < n_; ++i) {
+      q(i, col) = col_phase * e[static_cast<usize>(i)];
+    }
+  }
+  return q;
+}
+
+QrPair qr_mgs(const CMat& h) {
+  const index_t n = h.rows();
+  const index_t m = h.cols();
+  SD_CHECK(n >= m && m > 0, "QR requires an N x M matrix with N >= M > 0");
+
+  QrPair out{CMat(n, m), CMat(m, m)};
+  CMat v = h;  // working columns
+
+  for (index_t k = 0; k < m; ++k) {
+    double nrm_sq = 0.0;
+    for (index_t i = 0; i < n; ++i) nrm_sq += norm2(v(i, k));
+    const real nrm = static_cast<real>(std::sqrt(nrm_sq));
+    SD_CHECK(nrm > real{0}, "rank-deficient matrix in MGS QR");
+    out.r(k, k) = cplx{nrm, 0};
+    for (index_t i = 0; i < n; ++i) out.q(i, k) = v(i, k) / nrm;
+    for (index_t j = k + 1; j < m; ++j) {
+      cplx dot{0, 0};
+      for (index_t i = 0; i < n; ++i) dot += std::conj(out.q(i, k)) * v(i, j);
+      out.r(k, j) = dot;
+      for (index_t i = 0; i < n; ++i) v(i, j) -= dot * out.q(i, k);
+    }
+  }
+  return out;
+}
+
+}  // namespace sd

@@ -1,0 +1,59 @@
+// QR decomposition of the channel matrix.
+//
+// Sphere decoding rewrites ||y - Hs||^2 as ||ybar - Rs||^2 with H = QR and
+// ybar = Q^H y (paper Eq. 4). This module provides a Householder QR (primary,
+// numerically robust) and a Modified Gram-Schmidt QR (used as a cross-check
+// oracle in tests). R is normalized to a non-negative real diagonal, which
+// the Schnorr-Euchner child enumeration in the decoders relies on.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace sd {
+
+/// Householder QR factorization of an N x M matrix with N >= M.
+///
+/// Stores the compact reflector representation so Q^H can be applied to
+/// received vectors in O(N*M) without forming Q, exactly the way the
+/// preprocessing step runs on the host in the paper's system.
+class QrFactorization {
+ public:
+  /// Factorizes H (N x M, N >= M). Throws on shape violations.
+  explicit QrFactorization(const CMat& h);
+
+  [[nodiscard]] index_t rows() const noexcept { return n_; }
+  [[nodiscard]] index_t cols() const noexcept { return m_; }
+
+  /// Upper-triangular M x M factor with real non-negative diagonal.
+  [[nodiscard]] const CMat& r() const noexcept { return r_; }
+
+  /// Computes ybar = (Q^H y) truncated to the first M entries — the only part
+  /// the triangular search needs. y must have length N.
+  [[nodiscard]] CVec apply_qh(std::span<const cplx> y) const;
+
+  /// Reconstructs the thin N x M Q factor (orthonormal columns). Used by
+  /// tests and by code that needs explicit Q; O(N*M^2).
+  [[nodiscard]] CMat thin_q() const;
+
+ private:
+  index_t n_ = 0;
+  index_t m_ = 0;
+  CMat reflectors_;            ///< Householder vectors, column k in rows k..N-1
+  std::vector<real> v_norm2_;  ///< squared norms of each reflector
+  std::vector<cplx> row_phase_;  ///< per-row phase applied to make diag(R) real
+  CMat r_;
+};
+
+/// Result of a one-shot (Q, R) factorization.
+struct QrPair {
+  CMat q;  ///< thin N x M with orthonormal columns
+  CMat r;  ///< upper-triangular M x M, real non-negative diagonal
+};
+
+/// Modified Gram-Schmidt QR. Simple and independent of the Householder path;
+/// tests require both to reconstruct H to tolerance.
+[[nodiscard]] QrPair qr_mgs(const CMat& h);
+
+}  // namespace sd

@@ -1,0 +1,177 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+
+namespace sd {
+
+namespace {
+constexpr real kPivotEps = real{1e-20};
+}
+
+CVec back_substitute(const CMat& r, std::span<const cplx> b) {
+  const index_t m = r.rows();
+  SD_CHECK(r.cols() == m, "back substitution needs a square matrix");
+  SD_CHECK(static_cast<index_t>(b.size()) == m, "rhs length mismatch");
+  CVec x(b.begin(), b.end());
+  for (index_t i = m - 1; i >= 0; --i) {
+    cplx acc = x[static_cast<usize>(i)];
+    for (index_t j = i + 1; j < m; ++j) {
+      acc -= r(i, j) * x[static_cast<usize>(j)];
+    }
+    SD_CHECK(norm2(r(i, i)) > kPivotEps, "zero pivot in back substitution");
+    x[static_cast<usize>(i)] = acc / r(i, i);
+  }
+  return x;
+}
+
+CVec forward_substitute(const CMat& l, std::span<const cplx> b) {
+  const index_t m = l.rows();
+  SD_CHECK(l.cols() == m, "forward substitution needs a square matrix");
+  SD_CHECK(static_cast<index_t>(b.size()) == m, "rhs length mismatch");
+  CVec x(static_cast<usize>(m));
+  for (index_t i = 0; i < m; ++i) {
+    cplx acc = b[static_cast<usize>(i)];
+    for (index_t j = 0; j < i; ++j) {
+      acc -= l(i, j) * x[static_cast<usize>(j)];
+    }
+    SD_CHECK(norm2(l(i, i)) > kPivotEps, "zero pivot in forward substitution");
+    x[static_cast<usize>(i)] = acc / l(i, i);
+  }
+  return x;
+}
+
+CMat cholesky(const CMat& a) {
+  const index_t m = a.rows();
+  SD_CHECK(a.cols() == m, "Cholesky needs a square matrix");
+  CMat l(m, m);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      cplx acc = a(i, j);
+      for (index_t k = 0; k < j; ++k) {
+        acc -= l(i, k) * std::conj(l(j, k));
+      }
+      if (i == j) {
+        SD_CHECK(acc.real() > real{0} &&
+                     std::abs(acc.imag()) < real{1e-3} * (real{1} + acc.real()),
+                 "matrix is not Hermitian positive definite");
+        l(i, i) = cplx{std::sqrt(acc.real()), 0};
+      } else {
+        l(i, j) = acc / l(j, j).real();
+      }
+    }
+  }
+  return l;
+}
+
+CVec cholesky_solve(const CMat& l, std::span<const cplx> b) {
+  // A x = b with A = L L^H: forward solve L w = b, then back solve L^H x = w.
+  CVec w = forward_substitute(l, b);
+  const CMat lh = hermitian(l);
+  return back_substitute(lh, w);
+}
+
+Lu lu_decompose(const CMat& a) {
+  const index_t m = a.rows();
+  SD_CHECK(a.cols() == m, "LU needs a square matrix");
+  Lu f{a, std::vector<index_t>(static_cast<usize>(m))};
+  for (index_t k = 0; k < m; ++k) {
+    // Partial pivoting: pick the largest-magnitude element in column k.
+    index_t pivot_row = k;
+    real best = norm2(f.lu(k, k));
+    for (index_t i = k + 1; i < m; ++i) {
+      const real mag = norm2(f.lu(i, k));
+      if (mag > best) {
+        best = mag;
+        pivot_row = i;
+      }
+    }
+    SD_CHECK(best > kPivotEps, "singular matrix in LU decomposition");
+    f.pivot[static_cast<usize>(k)] = pivot_row;
+    if (pivot_row != k) {
+      for (index_t j = 0; j < m; ++j) {
+        std::swap(f.lu(k, j), f.lu(pivot_row, j));
+      }
+    }
+    const cplx inv_pivot = cplx{1, 0} / f.lu(k, k);
+    for (index_t i = k + 1; i < m; ++i) {
+      const cplx factor = f.lu(i, k) * inv_pivot;
+      f.lu(i, k) = factor;
+      for (index_t j = k + 1; j < m; ++j) {
+        f.lu(i, j) -= factor * f.lu(k, j);
+      }
+    }
+  }
+  return f;
+}
+
+CVec lu_solve(const Lu& f, std::span<const cplx> b) {
+  const index_t m = f.lu.rows();
+  SD_CHECK(static_cast<index_t>(b.size()) == m, "rhs length mismatch");
+  CVec x(b.begin(), b.end());
+  // Apply the recorded row swaps, then unit-lower forward solve.
+  for (index_t k = 0; k < m; ++k) {
+    std::swap(x[static_cast<usize>(k)],
+              x[static_cast<usize>(f.pivot[static_cast<usize>(k)])]);
+  }
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < i; ++j) {
+      x[static_cast<usize>(i)] -= f.lu(i, j) * x[static_cast<usize>(j)];
+    }
+  }
+  for (index_t i = m - 1; i >= 0; --i) {
+    for (index_t j = i + 1; j < m; ++j) {
+      x[static_cast<usize>(i)] -= f.lu(i, j) * x[static_cast<usize>(j)];
+    }
+    x[static_cast<usize>(i)] /= f.lu(i, i);
+  }
+  return x;
+}
+
+CMat inverse(const CMat& a) {
+  const index_t m = a.rows();
+  const Lu f = lu_decompose(a);
+  CMat inv(m, m);
+  CVec e(static_cast<usize>(m));
+  for (index_t col = 0; col < m; ++col) {
+    std::fill(e.begin(), e.end(), cplx{0, 0});
+    e[static_cast<usize>(col)] = cplx{1, 0};
+    const CVec x = lu_solve(f, e);
+    for (index_t i = 0; i < m; ++i) {
+      inv(i, col) = x[static_cast<usize>(i)];
+    }
+  }
+  return inv;
+}
+
+CMat gram(const CMat& h) {
+  CMat g(h.cols(), h.cols());
+  gemm_naive(Op::kConjTrans, cplx{1, 0}, h, h, cplx{0, 0}, g);
+  return g;
+}
+
+CMat zf_equalizer(const CMat& h) {
+  const CMat g = gram(h);
+  const CMat g_inv = inverse(g);
+  const CMat hh = hermitian(h);
+  CMat w(h.cols(), h.rows());
+  gemm_naive(Op::kNone, cplx{1, 0}, g_inv, hh, cplx{0, 0}, w);
+  return w;
+}
+
+CMat mmse_equalizer(const CMat& h, real sigma2) {
+  SD_CHECK(sigma2 >= real{0}, "noise variance must be non-negative");
+  CMat g = gram(h);
+  for (index_t i = 0; i < g.rows(); ++i) {
+    g(i, i) += cplx{sigma2, 0};
+  }
+  const CMat g_inv = inverse(g);
+  const CMat hh = hermitian(h);
+  CMat w(h.cols(), h.rows());
+  gemm_naive(Op::kNone, cplx{1, 0}, g_inv, hh, cplx{0, 0}, w);
+  return w;
+}
+
+}  // namespace sd

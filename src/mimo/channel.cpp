@@ -1,0 +1,81 @@
+#include "mimo/channel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/solve.hpp"
+
+namespace sd {
+
+double snr_db_to_sigma2(double snr_db, index_t num_tx) {
+  SD_CHECK(num_tx > 0, "num_tx must be positive");
+  const double snr_linear = std::pow(10.0, snr_db / 10.0);
+  return static_cast<double>(num_tx) / snr_linear;
+}
+
+double sigma2_to_snr_db(double sigma2, index_t num_tx) {
+  SD_CHECK(num_tx > 0 && sigma2 > 0.0, "invalid sigma2 or num_tx");
+  return 10.0 * std::log10(static_cast<double>(num_tx) / sigma2);
+}
+
+namespace {
+
+/// Exponential correlation matrix R_ij = rho^|i-j| and its Cholesky root.
+CMat correlation_root(index_t n, double rho) {
+  CMat r(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      r(i, j) = cplx{static_cast<real>(std::pow(rho, std::abs(i - j))), 0};
+    }
+  }
+  return cholesky(r);
+}
+
+}  // namespace
+
+ChannelModel::ChannelModel(index_t num_rx, index_t num_tx, std::uint64_t seed,
+                           ChannelCorrelation correlation)
+    : n_(num_rx), m_(num_tx), corr_(correlation), gauss_(seed) {
+  SD_CHECK(n_ > 0 && m_ > 0, "antenna counts must be positive");
+  SD_CHECK(n_ >= m_, "this system targets N >= M (at least as many receivers)");
+  SD_CHECK(corr_.tx_rho >= 0.0 && corr_.tx_rho < 1.0 &&
+               corr_.rx_rho >= 0.0 && corr_.rx_rho < 1.0,
+           "correlation coefficients must be in [0, 1)");
+  if (corr_.rx_rho > 0.0) rx_root_ = correlation_root(n_, corr_.rx_rho);
+  if (corr_.tx_rho > 0.0) tx_root_ = correlation_root(m_, corr_.tx_rho);
+}
+
+CMat ChannelModel::draw_channel() {
+  CMat h(n_, m_);
+  for (cplx& v : h.flat()) {
+    v = gauss_.next_cplx(1.0);
+  }
+  if (rx_root_.empty() && tx_root_.empty()) return h;
+
+  // Kronecker model: H = Rr^{1/2} Hw (Rt^{1/2})^H.
+  CMat tmp = h;
+  if (!rx_root_.empty()) {
+    gemm_naive(Op::kNone, cplx{1, 0}, rx_root_, h, cplx{0, 0}, tmp);
+  }
+  if (tx_root_.empty()) return tmp;
+  const CMat tx_root_h = hermitian(tx_root_);
+  CMat out(n_, m_);
+  gemm_naive(Op::kNone, cplx{1, 0}, tmp, tx_root_h, cplx{0, 0}, out);
+  return out;
+}
+
+CVec ChannelModel::transmit(const CMat& h, std::span<const cplx> s,
+                            double sigma2) {
+  SD_CHECK(h.rows() == n_ && h.cols() == m_, "channel shape mismatch");
+  SD_CHECK(static_cast<index_t>(s.size()) == m_, "symbol vector length mismatch");
+  SD_CHECK(sigma2 >= 0.0, "noise variance must be non-negative");
+  CVec y(static_cast<usize>(n_), cplx{0, 0});
+  gemv(Op::kNone, cplx{1, 0}, h, s, cplx{0, 0}, y);
+  for (cplx& v : y) {
+    v += gauss_.next_cplx(sigma2);
+  }
+  return y;
+}
+
+}  // namespace sd

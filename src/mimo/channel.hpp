@@ -1,0 +1,59 @@
+// Channel and noise models (the paper's System Model, §II-A).
+//
+// y = H s + n with H an N x M small-scale Rayleigh fading matrix (i.i.d.
+// CN(0,1) entries) and n i.i.d. CN(0, sigma^2). SNR is defined per receive
+// antenna: with unit-energy symbols each receive antenna collects average
+// signal power M, so snr = M / sigma^2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sd {
+
+/// SNR (dB) -> noise variance sigma^2 for M transmit antennas and
+/// unit-energy symbols.
+[[nodiscard]] double snr_db_to_sigma2(double snr_db, index_t num_tx);
+
+/// Inverse of snr_db_to_sigma2.
+[[nodiscard]] double sigma2_to_snr_db(double sigma2, index_t num_tx);
+
+/// Spatial correlation applied to the i.i.d. Rayleigh channel. The paper uses
+/// the uncorrelated model; the exponential Kronecker model is an extension
+/// for stress-testing detector robustness.
+struct ChannelCorrelation {
+  double tx_rho = 0.0;  ///< exponential correlation coefficient at the transmitter
+  double rx_rho = 0.0;  ///< at the receiver
+};
+
+/// Generates channel realizations and noise from a seeded stream.
+class ChannelModel {
+ public:
+  ChannelModel(index_t num_rx, index_t num_tx, std::uint64_t seed,
+               ChannelCorrelation correlation = {});
+
+  [[nodiscard]] index_t num_rx() const noexcept { return n_; }
+  [[nodiscard]] index_t num_tx() const noexcept { return m_; }
+
+  /// One small-scale fading realization H (N x M).
+  [[nodiscard]] CMat draw_channel();
+
+  /// Receive: y = H s + n with n ~ CN(0, sigma2 I).
+  [[nodiscard]] CVec transmit(const CMat& h, std::span<const cplx> s,
+                              double sigma2);
+
+  /// Direct access to the underlying Gaussian stream (for tests).
+  [[nodiscard]] GaussianSource& noise_source() noexcept { return gauss_; }
+
+ private:
+  index_t n_;
+  index_t m_;
+  ChannelCorrelation corr_;
+  GaussianSource gauss_;
+  CMat rx_root_;  ///< matrix square root of the receive correlation (or empty)
+  CMat tx_root_;  ///< of the transmit correlation
+};
+
+}  // namespace sd

@@ -1,0 +1,140 @@
+#include "mimo/constellation.hpp"
+
+#include <bit>
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace sd {
+
+namespace {
+
+/// Binary-reflected Gray code.
+constexpr std::uint16_t gray(std::uint16_t k) noexcept {
+  return static_cast<std::uint16_t>(k ^ (k >> 1));
+}
+
+}  // namespace
+
+std::string_view modulation_name(Modulation m) noexcept {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQam4: return "4-QAM";
+    case Modulation::kQam16: return "16-QAM";
+    case Modulation::kQam64: return "64-QAM";
+  }
+  return "?";
+}
+
+Modulation parse_modulation(std::string_view name) {
+  if (name == "bpsk" || name == "BPSK") return Modulation::kBpsk;
+  if (name == "4qam" || name == "qpsk" || name == "4-QAM" || name == "QPSK") {
+    return Modulation::kQam4;
+  }
+  if (name == "16qam" || name == "16-QAM") return Modulation::kQam16;
+  if (name == "64qam" || name == "64-QAM") return Modulation::kQam64;
+  throw invalid_argument_error("unknown modulation: " + std::string(name));
+}
+
+Constellation::Constellation(Modulation m) : mod_(m) {
+  if (m == Modulation::kBpsk) {
+    bits_per_symbol_ = 1;
+    bits_per_axis_ = 0;
+    axis_scale_ = 1;
+    points_ = {cplx{-1, 0}, cplx{1, 0}};
+    labels_ = {0, 1};
+    return;
+  }
+
+  switch (m) {
+    case Modulation::kQam4: bits_per_axis_ = 1; break;
+    case Modulation::kQam16: bits_per_axis_ = 2; break;
+    case Modulation::kQam64: bits_per_axis_ = 3; break;
+    case Modulation::kBpsk: break;  // handled above
+  }
+  bits_per_symbol_ = 2 * bits_per_axis_;
+  const int levels = 1 << bits_per_axis_;
+
+  // Unit average energy: E[|s|^2] = 2 * (L^2 - 1) / 3 * scale^2 == 1.
+  axis_scale_ = static_cast<real>(
+      std::sqrt(3.0 / (2.0 * (static_cast<double>(levels) * levels - 1.0))));
+
+  points_.resize(static_cast<usize>(levels) * levels);
+  labels_.resize(points_.size());
+  for (int ki = 0; ki < levels; ++ki) {
+    const real amp_i = static_cast<real>(2 * ki - (levels - 1)) * axis_scale_;
+    for (int kq = 0; kq < levels; ++kq) {
+      const real amp_q = static_cast<real>(2 * kq - (levels - 1)) * axis_scale_;
+      const auto idx = static_cast<usize>(ki * levels + kq);
+      points_[idx] = cplx{amp_i, amp_q};
+      labels_[idx] = static_cast<std::uint16_t>(
+          (gray(static_cast<std::uint16_t>(ki)) << bits_per_axis_) |
+          gray(static_cast<std::uint16_t>(kq)));
+    }
+  }
+}
+
+const Constellation& Constellation::get(Modulation m) {
+  static std::once_flag flags[4];
+  static const Constellation* cache[4] = {};
+  const auto slot = static_cast<usize>(m);
+  std::call_once(flags[slot], [&] { cache[slot] = new Constellation(m); });
+  return *cache[slot];
+}
+
+index_t Constellation::slice(cplx z) const noexcept {
+  if (mod_ == Modulation::kBpsk) {
+    return z.real() >= real{0} ? 1 : 0;
+  }
+  const int levels = 1 << bits_per_axis_;
+  // Map each axis back to the nearest odd-integer amplitude level index.
+  auto axis_level = [&](real v) {
+    const real unscaled = v / axis_scale_;
+    int k = static_cast<int>(std::lround((unscaled + static_cast<real>(levels - 1)) / 2));
+    if (k < 0) k = 0;
+    if (k >= levels) k = levels - 1;
+    return k;
+  };
+  const int ki = axis_level(z.real());
+  const int kq = axis_level(z.imag());
+  return static_cast<index_t>(ki * levels + kq);
+}
+
+void Constellation::index_to_bits(index_t idx, std::span<std::uint8_t> bits) const {
+  SD_CHECK(idx >= 0 && idx < order(), "symbol index out of range");
+  SD_CHECK(bits.size() >= static_cast<usize>(bits_per_symbol_),
+           "bit buffer too small");
+  const std::uint16_t label = labels_[static_cast<usize>(idx)];
+  for (int b = 0; b < bits_per_symbol_; ++b) {
+    bits[static_cast<usize>(b)] =
+        static_cast<std::uint8_t>((label >> (bits_per_symbol_ - 1 - b)) & 1u);
+  }
+}
+
+index_t Constellation::bits_to_index(std::span<const std::uint8_t> bits) const {
+  SD_CHECK(bits.size() >= static_cast<usize>(bits_per_symbol_),
+           "bit buffer too small");
+  std::uint16_t label = 0;
+  for (int b = 0; b < bits_per_symbol_; ++b) {
+    label = static_cast<std::uint16_t>((label << 1) | (bits[static_cast<usize>(b)] & 1u));
+  }
+  for (usize i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return static_cast<index_t>(i);
+  }
+  throw invalid_argument_error("bit pattern does not map to a symbol");
+}
+
+int Constellation::bit_errors(index_t sent, index_t detected) const noexcept {
+  const std::uint16_t diff = static_cast<std::uint16_t>(
+      labels_[static_cast<usize>(sent)] ^ labels_[static_cast<usize>(detected)]);
+  return std::popcount(diff);
+}
+
+double Constellation::average_energy() const noexcept {
+  double acc = 0.0;
+  for (cplx p : points_) acc += static_cast<double>(norm2(p));
+  return acc / static_cast<double>(points_.size());
+}
+
+}  // namespace sd

@@ -1,0 +1,78 @@
+// Constellation alphabets (the paper's Ω): BPSK plus square Gray-mapped QAM
+// up to 64-QAM. All constellations are normalized to unit average symbol
+// energy so the SNR definition is modulation-independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sd {
+
+/// Supported modulation schemes. The paper evaluates 4-QAM and 16-QAM;
+/// BPSK appears in its Fig. 2 example and 64-QAM is the scaling extension.
+enum class Modulation : std::uint8_t { kBpsk, kQam4, kQam16, kQam64 };
+
+[[nodiscard]] std::string_view modulation_name(Modulation m) noexcept;
+
+/// Parses "bpsk" / "4qam" / "qpsk" / "16qam" / "64qam"; throws on others.
+[[nodiscard]] Modulation parse_modulation(std::string_view name);
+
+/// An immutable constellation: the point set, Gray bit labels, and a fast
+/// minimum-distance slicer.
+class Constellation {
+ public:
+  /// Cached singleton per modulation; cheap to call repeatedly.
+  [[nodiscard]] static const Constellation& get(Modulation m);
+
+  [[nodiscard]] Modulation modulation() const noexcept { return mod_; }
+  [[nodiscard]] std::string_view name() const noexcept {
+    return modulation_name(mod_);
+  }
+
+  /// Alphabet size |Ω| — the paper's modulation/branching factor P.
+  [[nodiscard]] index_t order() const noexcept {
+    return static_cast<index_t>(points_.size());
+  }
+
+  [[nodiscard]] int bits_per_symbol() const noexcept { return bits_per_symbol_; }
+
+  [[nodiscard]] cplx point(index_t idx) const noexcept {
+    return points_[static_cast<usize>(idx)];
+  }
+
+  [[nodiscard]] std::span<const cplx> points() const noexcept { return points_; }
+
+  /// Index of the constellation point nearest to z (ML slicing). Axis-wise
+  /// O(1) for QAM, exhaustive only for BPSK's trivial alphabet.
+  [[nodiscard]] index_t slice(cplx z) const noexcept;
+
+  /// Writes the Gray-coded bit label of a symbol index;
+  /// bits.size() must be >= bits_per_symbol().
+  void index_to_bits(index_t idx, std::span<std::uint8_t> bits) const;
+
+  /// Inverse of index_to_bits.
+  [[nodiscard]] index_t bits_to_index(std::span<const std::uint8_t> bits) const;
+
+  /// Number of differing label bits between two symbol indices — the
+  /// Hamming distance the BER counter accumulates.
+  [[nodiscard]] int bit_errors(index_t sent, index_t detected) const noexcept;
+
+  /// Average symbol energy (== 1 by construction; exposed for tests).
+  [[nodiscard]] double average_energy() const noexcept;
+
+ private:
+  explicit Constellation(Modulation m);
+
+  Modulation mod_;
+  int bits_per_symbol_ = 0;
+  int bits_per_axis_ = 0;       ///< per I/Q axis for square QAM, 0 for BPSK
+  real axis_scale_ = 1;         ///< normalization divisor for axis levels
+  std::vector<cplx> points_;    ///< points_[i] = symbol with index i
+  std::vector<std::uint16_t> labels_;  ///< Gray bit label for each index
+};
+
+}  // namespace sd

@@ -1,0 +1,74 @@
+#include "mimo/estimation.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+
+namespace sd {
+
+CMat orthogonal_pilots(index_t slots, index_t num_tx) {
+  SD_CHECK(slots >= num_tx && num_tx > 0,
+           "need at least as many pilot slots as transmit antennas");
+  // DFT pilot matrix: P(l, j) = e^{-j 2 pi l j / L}. Columns are exactly
+  // orthogonal with norm^2 = L, and every symbol has unit energy.
+  CMat p(slots, num_tx);
+  for (index_t l = 0; l < slots; ++l) {
+    for (index_t j = 0; j < num_tx; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(l) * static_cast<double>(j) /
+                           static_cast<double>(slots);
+      p(l, j) = cplx{static_cast<real>(std::cos(angle)),
+                     static_cast<real>(std::sin(angle))};
+    }
+  }
+  return p;
+}
+
+CMat receive_pilots(const CMat& h, const CMat& pilots, double sigma2,
+                    GaussianSource& rng) {
+  SD_CHECK(pilots.cols() == h.cols(), "pilot/channel antenna mismatch");
+  // Slot l: y_l = H p_l + n_l. Stored as rows of Y (L x N): Y = P H^T + N.
+  const CMat ht = transpose(h);
+  CMat y(pilots.rows(), h.rows());
+  gemm_naive(Op::kNone, cplx{1, 0}, pilots, ht, cplx{0, 0}, y);
+  for (cplx& v : y.flat()) {
+    v += rng.next_cplx(sigma2);
+  }
+  return y;
+}
+
+CMat estimate_ls(const CMat& pilots, const CMat& received) {
+  SD_CHECK(pilots.rows() == received.rows(), "pilot/observation slot mismatch");
+  // With orthogonal pilots, P^+ = P^H / L; H^T_ls = P^H Y / L.
+  const index_t slots = pilots.rows();
+  CMat ht(pilots.cols(), received.cols());
+  gemm_naive(Op::kConjTrans,
+             cplx{real{1} / static_cast<real>(slots), 0}, pilots, received,
+             cplx{0, 0}, ht);
+  return transpose(ht);
+}
+
+CMat estimate_lmmse(const CMat& pilots, const CMat& received, double sigma2) {
+  CMat h_ls = estimate_ls(pilots, received);
+  // Per-entry Wiener filter for unit-variance entries observed through L
+  // orthogonal pilots: E[h | h_ls] = L/(L + sigma2) * h_ls.
+  const double slots = static_cast<double>(pilots.rows());
+  const real gain = static_cast<real>(slots / (slots + sigma2));
+  for (cplx& v : h_ls.flat()) v *= gain;
+  return h_ls;
+}
+
+double estimation_mse(const CMat& h_true, const CMat& h_est) {
+  SD_CHECK(h_true.rows() == h_est.rows() && h_true.cols() == h_est.cols(),
+           "estimate shape mismatch");
+  double acc = 0.0;
+  for (usize i = 0; i < h_true.size(); ++i) {
+    acc += static_cast<double>(norm2(h_true.flat()[i] - h_est.flat()[i]));
+  }
+  return acc / static_cast<double>(h_true.size());
+}
+
+}  // namespace sd

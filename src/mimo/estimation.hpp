@@ -1,0 +1,39 @@
+// Pilot-based channel estimation.
+//
+// The paper (like most detection papers) assumes the channel estimate H is
+// given; a deployed system must estimate it from pilots. This module
+// provides least-squares and linear-MMSE estimators from orthogonal pilot
+// bursts, so the experiments can quantify how estimation error degrades the
+// sphere decoder's BER and inflates its search (imperfect CSI widens the
+// residual sphere).
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sd {
+
+/// An orthogonal pilot burst: P (L x M) with L >= M and P^H P = L * I.
+/// Rows are time slots, columns are transmit antennas.
+[[nodiscard]] CMat orthogonal_pilots(index_t slots, index_t num_tx);
+
+/// Received pilot burst Y = P H^T + N ... stored as received matrix
+/// (L x N): each pilot slot's received vector is a row.
+[[nodiscard]] CMat receive_pilots(const CMat& h, const CMat& pilots,
+                                  double sigma2, GaussianSource& rng);
+
+/// Least-squares estimate: H_ls = (P^+ Y)^T = (Y^T P*) / L for orthogonal P.
+[[nodiscard]] CMat estimate_ls(const CMat& pilots, const CMat& received);
+
+/// Linear-MMSE estimate assuming i.i.d. CN(0,1) channel entries:
+/// a per-entry Wiener shrinkage of the LS estimate,
+/// H_mmse = L / (L + sigma2) * H_ls.
+[[nodiscard]] CMat estimate_lmmse(const CMat& pilots, const CMat& received,
+                                  double sigma2);
+
+/// Mean squared error between an estimate and the true channel, per entry.
+[[nodiscard]] double estimation_mse(const CMat& h_true, const CMat& h_est);
+
+}  // namespace sd

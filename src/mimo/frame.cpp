@@ -1,0 +1,55 @@
+#include "mimo/frame.hpp"
+
+#include "common/error.hpp"
+
+namespace sd {
+
+TxVector random_tx(const Constellation& c, index_t num_tx,
+                   GaussianSource& rng) {
+  SD_CHECK(num_tx > 0, "num_tx must be positive");
+  std::vector<index_t> indices(static_cast<usize>(num_tx));
+  for (index_t& idx : indices) {
+    idx = static_cast<index_t>(
+        rng.next_index(static_cast<std::uint32_t>(c.order())));
+  }
+  return modulate(c, indices);
+}
+
+TxVector modulate(const Constellation& c, const std::vector<index_t>& indices) {
+  TxVector tx;
+  tx.indices = indices;
+  tx.symbols.resize(indices.size());
+  tx.bits.resize(indices.size() * static_cast<usize>(c.bits_per_symbol()));
+  for (usize i = 0; i < indices.size(); ++i) {
+    SD_CHECK(indices[i] >= 0 && indices[i] < c.order(),
+             "symbol index out of range");
+    tx.symbols[i] = c.point(indices[i]);
+    c.index_to_bits(indices[i],
+                    std::span<std::uint8_t>(tx.bits).subspan(
+                        i * static_cast<usize>(c.bits_per_symbol())));
+  }
+  return tx;
+}
+
+std::vector<index_t> hard_slice(const Constellation& c,
+                                std::span<const cplx> symbols) {
+  std::vector<index_t> out(symbols.size());
+  for (usize i = 0; i < symbols.size(); ++i) {
+    out[i] = c.slice(symbols[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> indices_to_bits(const Constellation& c,
+                                          const std::vector<index_t>& indices) {
+  std::vector<std::uint8_t> bits(indices.size() *
+                                 static_cast<usize>(c.bits_per_symbol()));
+  for (usize i = 0; i < indices.size(); ++i) {
+    c.index_to_bits(indices[i],
+                    std::span<std::uint8_t>(bits).subspan(
+                        i * static_cast<usize>(c.bits_per_symbol())));
+  }
+  return bits;
+}
+
+}  // namespace sd

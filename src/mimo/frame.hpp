@@ -1,0 +1,40 @@
+// Transmit-side bit/symbol handling: random payload generation, modulation,
+// and demapping back to bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "linalg/matrix.hpp"
+#include "mimo/constellation.hpp"
+
+namespace sd {
+
+/// One transmitted MIMO vector: the payload bits, the symbol indices chosen
+/// per transmit antenna, and the modulated complex symbols.
+struct TxVector {
+  std::vector<std::uint8_t> bits;     ///< M * bits_per_symbol payload bits
+  std::vector<index_t> indices;       ///< symbol index per transmit antenna
+  CVec symbols;                       ///< modulated constellation points
+};
+
+/// Draws a uniformly random payload for M transmit antennas.
+[[nodiscard]] TxVector random_tx(const Constellation& c, index_t num_tx,
+                                 GaussianSource& rng);
+
+/// Modulates explicit symbol indices.
+[[nodiscard]] TxVector modulate(const Constellation& c,
+                                const std::vector<index_t>& indices);
+
+/// Maps detected symbols (arbitrary complex values) to the nearest
+/// constellation indices — the hard-decision demapper applied to linear
+/// detector outputs.
+[[nodiscard]] std::vector<index_t> hard_slice(const Constellation& c,
+                                              std::span<const cplx> symbols);
+
+/// Expands symbol indices to their Gray bit labels.
+[[nodiscard]] std::vector<std::uint8_t> indices_to_bits(
+    const Constellation& c, const std::vector<index_t>& indices);
+
+}  // namespace sd

@@ -1,0 +1,49 @@
+#include "mimo/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace sd {
+
+void ErrorCounter::record(std::span<const index_t> sent,
+                          std::span<const index_t> detected) {
+  SD_CHECK(sent.size() == detected.size(), "vector length mismatch");
+  bool any_error = false;
+  for (usize i = 0; i < sent.size(); ++i) {
+    const int be = c_->bit_errors(sent[i], detected[i]);
+    bit_errors_ += static_cast<std::uint64_t>(be);
+    if (sent[i] != detected[i]) {
+      ++symbol_errors_;
+      any_error = true;
+    }
+  }
+  bits_total_ += sent.size() * static_cast<std::uint64_t>(c_->bits_per_symbol());
+  symbols_total_ += sent.size();
+  vectors_total_ += 1;
+  if (any_error) ++vector_errors_;
+}
+
+double ErrorCounter::ber() const noexcept {
+  return bits_total_ == 0
+             ? 0.0
+             : static_cast<double>(bit_errors_) / static_cast<double>(bits_total_);
+}
+
+double ErrorCounter::ser() const noexcept {
+  return symbols_total_ == 0 ? 0.0
+                             : static_cast<double>(symbol_errors_) /
+                                   static_cast<double>(symbols_total_);
+}
+
+double ErrorCounter::fer() const noexcept {
+  return vectors_total_ == 0 ? 0.0
+                             : static_cast<double>(vector_errors_) /
+                                   static_cast<double>(vectors_total_);
+}
+
+void ErrorCounter::reset() noexcept {
+  bit_errors_ = bits_total_ = 0;
+  symbol_errors_ = symbols_total_ = 0;
+  vector_errors_ = vectors_total_ = 0;
+}
+
+}  // namespace sd

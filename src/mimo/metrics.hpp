@@ -1,0 +1,46 @@
+// Link-quality metrics: bit / symbol / vector ("frame") error accumulation.
+// The paper's Fig. 7 reports BER vs SNR; these counters feed that bench.
+#pragma once
+
+#include <cstdint>
+
+#include "mimo/constellation.hpp"
+
+namespace sd {
+
+/// Accumulates detection errors across Monte-Carlo trials.
+class ErrorCounter {
+ public:
+  explicit ErrorCounter(const Constellation& c) : c_(&c) {}
+
+  /// Compares one detected vector with the transmitted one; both are symbol
+  /// indices of equal length.
+  void record(std::span<const index_t> sent, std::span<const index_t> detected);
+
+  [[nodiscard]] std::uint64_t bit_errors() const noexcept { return bit_errors_; }
+  [[nodiscard]] std::uint64_t bits_total() const noexcept { return bits_total_; }
+  [[nodiscard]] std::uint64_t symbol_errors() const noexcept { return symbol_errors_; }
+  [[nodiscard]] std::uint64_t symbols_total() const noexcept { return symbols_total_; }
+  [[nodiscard]] std::uint64_t vector_errors() const noexcept { return vector_errors_; }
+  [[nodiscard]] std::uint64_t vectors_total() const noexcept { return vectors_total_; }
+
+  /// Bit error rate; 0 when nothing has been recorded.
+  [[nodiscard]] double ber() const noexcept;
+  /// Symbol error rate.
+  [[nodiscard]] double ser() const noexcept;
+  /// Vector (frame) error rate.
+  [[nodiscard]] double fer() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  const Constellation* c_;
+  std::uint64_t bit_errors_ = 0;
+  std::uint64_t bits_total_ = 0;
+  std::uint64_t symbol_errors_ = 0;
+  std::uint64_t symbols_total_ = 0;
+  std::uint64_t vector_errors_ = 0;
+  std::uint64_t vectors_total_ = 0;
+};
+
+}  // namespace sd

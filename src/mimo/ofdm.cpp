@@ -1,0 +1,104 @@
+#include "mimo/ofdm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/fft.hpp"
+#include "linalg/gemm.hpp"
+#include "mimo/channel.hpp"
+
+namespace sd {
+
+std::vector<CMat> MultipathChannel::frequency_response(
+    index_t subcarriers) const {
+  SD_CHECK(is_pow2(static_cast<usize>(subcarriers)),
+           "subcarrier count must be a power of two");
+  SD_CHECK(!taps.empty(), "channel has no taps");
+  SD_CHECK(static_cast<index_t>(taps.size()) <= subcarriers,
+           "delay spread exceeds the FFT length");
+  const index_t n = taps.front().rows();
+  const index_t m = taps.front().cols();
+
+  std::vector<CMat> response(static_cast<usize>(subcarriers), CMat(n, m));
+  CVec impulse(static_cast<usize>(subcarriers));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < m; ++j) {
+      std::fill(impulse.begin(), impulse.end(), cplx{0, 0});
+      for (usize t = 0; t < taps.size(); ++t) {
+        impulse[t] = taps[t](i, j);
+      }
+      fft_inplace(impulse);
+      for (index_t f = 0; f < subcarriers; ++f) {
+        response[static_cast<usize>(f)](i, j) = impulse[static_cast<usize>(f)];
+      }
+    }
+  }
+  return response;
+}
+
+OfdmLink::OfdmLink(OfdmConfig config, std::uint64_t seed)
+    : config_(config),
+      constellation_(&Constellation::get(config.modulation)),
+      gauss_(seed) {
+  SD_CHECK(is_pow2(static_cast<usize>(config_.subcarriers)),
+           "subcarrier count must be a power of two");
+  SD_CHECK(config_.num_taps >= 1 && config_.num_taps <= config_.subcarriers,
+           "tap count must be in [1, subcarriers]");
+  SD_CHECK(config_.tap_decay > 0.0 && config_.tap_decay <= 1.0,
+           "tap decay must be in (0, 1]");
+  SD_CHECK(config_.num_rx >= config_.num_tx && config_.num_tx > 0,
+           "antenna counts must satisfy N >= M > 0");
+}
+
+MultipathChannel OfdmLink::draw_channel() {
+  // Exponential power-delay profile p_t = decay^t, normalized to sum 1 so
+  // per-subcarrier fading statistics match the flat CN(0,1) model.
+  std::vector<double> powers(static_cast<usize>(config_.num_taps));
+  double total = 0.0;
+  for (usize t = 0; t < powers.size(); ++t) {
+    powers[t] = std::pow(config_.tap_decay, static_cast<double>(t));
+    total += powers[t];
+  }
+  MultipathChannel ch;
+  ch.taps.reserve(powers.size());
+  for (usize t = 0; t < powers.size(); ++t) {
+    CMat tap(config_.num_rx, config_.num_tx);
+    const double tap_var = powers[t] / total;
+    for (cplx& v : tap.flat()) {
+      v = gauss_.next_cplx(tap_var);
+    }
+    ch.taps.push_back(std::move(tap));
+  }
+  return ch;
+}
+
+OfdmLink::TxFrame OfdmLink::random_frame() {
+  TxFrame frame;
+  frame.carriers.reserve(static_cast<usize>(config_.subcarriers));
+  for (index_t f = 0; f < config_.subcarriers; ++f) {
+    frame.carriers.push_back(random_tx(*constellation_, config_.num_tx, gauss_));
+  }
+  return frame;
+}
+
+OfdmLink::RxFrame OfdmLink::transmit(const MultipathChannel& channel,
+                                     const TxFrame& frame, double snr_db) {
+  SD_CHECK(static_cast<index_t>(frame.carriers.size()) == config_.subcarriers,
+           "frame subcarrier count mismatch");
+  RxFrame rx;
+  rx.h = channel.frequency_response(config_.subcarriers);
+  rx.sigma2 = snr_db_to_sigma2(snr_db, config_.num_tx);
+  rx.y.reserve(rx.h.size());
+  for (usize f = 0; f < rx.h.size(); ++f) {
+    CVec y(static_cast<usize>(config_.num_rx), cplx{0, 0});
+    gemv(Op::kNone, cplx{1, 0}, rx.h[f], frame.carriers[f].symbols,
+         cplx{0, 0}, y);
+    for (cplx& v : y) {
+      v += gauss_.next_cplx(rx.sigma2);
+    }
+    rx.y.push_back(std::move(y));
+  }
+  return rx;
+}
+
+}  // namespace sd

@@ -1,0 +1,81 @@
+// OFDM frame layer.
+//
+// Real MIMO deployments (802.11 / LTE, the systems the paper's intro and
+// the Geosphere comparison target) run the detector once per *subcarrier*
+// per OFDM symbol: a frequency-selective channel is turned into S parallel
+// flat-fading MIMO channels. This module provides
+//   * a tapped-delay-line MIMO channel with an exponential power-delay
+//     profile, and its per-subcarrier frequency response H[f] via FFT;
+//   * an OFDM frame abstraction (S subcarriers x M streams) with
+//     modulation, transmission, and per-subcarrier detection hooks.
+// Frame-level decode latency (S sequential vector decodes) is what the
+// Geosphere Fig. 12 comparison reports; bench_frame_latency uses this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "mimo/constellation.hpp"
+#include "mimo/frame.hpp"
+
+namespace sd {
+
+/// A multipath MIMO channel: `taps[t]` is the N x M matrix of tap t.
+struct MultipathChannel {
+  std::vector<CMat> taps;
+
+  /// Per-subcarrier frequency response: H[f] = sum_t taps[t] e^{-j2pi f t/S}.
+  /// Computed with one length-S FFT per (i, j) antenna pair; S must be a
+  /// power of two.
+  [[nodiscard]] std::vector<CMat> frequency_response(index_t subcarriers) const;
+};
+
+/// Configuration of the OFDM layer.
+struct OfdmConfig {
+  index_t subcarriers = 64;      ///< S (power of two)
+  index_t num_taps = 4;          ///< channel delay spread in taps (<= S)
+  double tap_decay = 0.5;        ///< exponential power-delay profile ratio
+  index_t num_tx = 4;            ///< M
+  index_t num_rx = 4;            ///< N
+  Modulation modulation = Modulation::kQam4;
+};
+
+/// Draws multipath channels and assembles OFDM frames.
+class OfdmLink {
+ public:
+  OfdmLink(OfdmConfig config, std::uint64_t seed);
+
+  [[nodiscard]] const OfdmConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Constellation& constellation() const noexcept {
+    return *constellation_;
+  }
+
+  /// One multipath channel realization. Tap powers follow the exponential
+  /// profile and are normalized so that E[||H[f]||_F^2] matches the flat
+  /// i.i.d. model (sum of tap powers == 1 per antenna pair).
+  [[nodiscard]] MultipathChannel draw_channel();
+
+  /// One transmitted frame: independent random payload per subcarrier.
+  struct TxFrame {
+    std::vector<TxVector> carriers;  ///< size S
+  };
+  [[nodiscard]] TxFrame random_frame();
+
+  /// Received frame: y[f] = H[f] s[f] + n[f] per subcarrier (the cyclic
+  /// prefix is assumed long enough that subcarriers do not interfere).
+  struct RxFrame {
+    std::vector<CMat> h;   ///< per-subcarrier channel (S entries)
+    std::vector<CVec> y;   ///< per-subcarrier received vector
+    double sigma2 = 0.0;
+  };
+  [[nodiscard]] RxFrame transmit(const MultipathChannel& channel,
+                                 const TxFrame& frame, double snr_db);
+
+ private:
+  OfdmConfig config_;
+  const Constellation* constellation_;
+  GaussianSource gauss_;
+};
+
+}  // namespace sd

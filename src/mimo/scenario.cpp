@@ -1,0 +1,33 @@
+#include "mimo/scenario.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sd {
+
+std::string ScenarioConfig::label() const {
+  std::ostringstream os;
+  os << num_tx << "x" << num_rx << " "
+     << modulation_name(modulation) << " @ " << snr_db << " dB";
+  return os.str();
+}
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(config),
+      constellation_(&Constellation::get(config.modulation)),
+      sigma2_(snr_db_to_sigma2(config.snr_db, config.num_tx)),
+      channel_(config.num_rx, config.num_tx, config.seed, config.correlation),
+      // Decorrelate the symbol stream from the channel/noise stream.
+      symbol_rng_(config.seed ^ 0xA5A5A5A5DEADBEEFull) {}
+
+Trial Scenario::next() {
+  Trial t;
+  t.h = channel_.draw_channel();
+  t.tx = random_tx(*constellation_, config_.num_tx, symbol_rng_);
+  t.sigma2 = sigma2_;
+  t.y = channel_.transmit(t.h, t.tx.symbols, sigma2_);
+  return t;
+}
+
+}  // namespace sd

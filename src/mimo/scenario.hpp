@@ -1,0 +1,58 @@
+// Monte-Carlo scenario generation: the paper's "testing data set is randomly
+// generated using Monte Carlo simulations to emulate the MIMO system".
+// A Scenario deterministically produces (H, s, y, sigma2) trial tuples from
+// a seed, so every decoder sees byte-identical inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "mimo/channel.hpp"
+#include "mimo/constellation.hpp"
+#include "mimo/frame.hpp"
+
+namespace sd {
+
+/// Static description of one experimental configuration, e.g.
+/// "10x10 MIMO, 4-QAM, SNR 8 dB".
+struct ScenarioConfig {
+  index_t num_tx = 10;                       ///< M (paper writes MxN as MxM)
+  index_t num_rx = 10;                       ///< N
+  Modulation modulation = Modulation::kQam4;
+  double snr_db = 8.0;
+  std::uint64_t seed = 1;
+  ChannelCorrelation correlation = {};
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// One Monte-Carlo trial: everything a detector needs plus the ground truth.
+struct Trial {
+  CMat h;                      ///< channel realization (N x M)
+  TxVector tx;                 ///< transmitted ground truth
+  CVec y;                      ///< received vector (length N)
+  double sigma2 = 0.0;         ///< noise variance used
+};
+
+/// Deterministic trial stream for a configuration.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Constellation& constellation() const noexcept {
+    return *constellation_;
+  }
+  [[nodiscard]] double sigma2() const noexcept { return sigma2_; }
+
+  /// Generates the next trial in the stream.
+  [[nodiscard]] Trial next();
+
+ private:
+  ScenarioConfig config_;
+  const Constellation* constellation_;
+  double sigma2_;
+  ChannelModel channel_;
+  GaussianSource symbol_rng_;
+};
+
+}  // namespace sd

@@ -1,0 +1,18 @@
+#include "platform/cpu_model.hpp"
+
+namespace sd {
+
+namespace {
+constexpr double kIdleWatts = 70.0;     ///< package idle + uncore
+constexpr double kPerTx2 = 0.16;        ///< W per (antenna count)^2
+constexpr double kPerOrder = 5.0;       ///< W per constellation point above 4
+}  // namespace
+
+double cpu_power_watts(index_t num_tx, Modulation modulation) {
+  const double m = static_cast<double>(num_tx);
+  const double p =
+      static_cast<double>(Constellation::get(modulation).order());
+  return kIdleWatts + kPerTx2 * m * m + kPerOrder * (p - 4.0);
+}
+
+}  // namespace sd

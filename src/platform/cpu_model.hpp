@@ -1,0 +1,28 @@
+// CPU power model (the CPU rows of the paper's Table II).
+//
+// Decode *time* on the CPU is measured for real in this repository; only
+// power is modelled, because AMD uProf is not available here. The model is
+// package power of the paper's 64-core part under the SD workload:
+// idle/uncore power plus terms growing with the working-set (antenna count
+// squared — the tree-state matrices) and the constellation order (wider
+// batched GEMMs keep more cores busy). Calibrated to the four operating
+// points in Table II; see DESIGN.md §5.
+#pragma once
+
+#include "common/types.hpp"
+#include "mimo/constellation.hpp"
+
+namespace sd {
+
+/// Average package power (Watts) of the optimized multi-core CPU
+/// implementation while decoding an M x M system.
+[[nodiscard]] double cpu_power_watts(index_t num_tx, Modulation modulation);
+
+/// Energy (Joules) for a decode of the given duration.
+[[nodiscard]] inline double cpu_energy_joules(index_t num_tx,
+                                              Modulation modulation,
+                                              double seconds) {
+  return cpu_power_watts(num_tx, modulation) * seconds;
+}
+
+}  // namespace sd

@@ -1,0 +1,28 @@
+#include "platform/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace sd {
+
+double gpu_decode_seconds(const DecodeStats& stats,
+                          const GpuModelParams& params) {
+  // One launch+sync per GEMM issued (the BFS decoder issues exactly one per
+  // tree level, plus one per retry level when the radius had to grow).
+  const double sync_time =
+      static_cast<double>(stats.gemm_calls) * params.per_level_overhead_s;
+  const double compute_time =
+      static_cast<double>(stats.flops) /
+      (params.peak_fp32_flops * params.gemm_efficiency);
+  const double memory_time =
+      static_cast<double>(stats.bytes_touched) /
+      (params.peak_bandwidth * params.bandwidth_efficiency);
+  return params.pcie_staging_s + sync_time + std::max(compute_time, memory_time);
+}
+
+double gpu_power_watts() {
+  // A100 SXM4 board power under a launch-bound, low-occupancy workload sits
+  // well below TDP (400 W); 180 W is representative.
+  return 180.0;
+}
+
+}  // namespace sd

@@ -1,0 +1,14 @@
+#include "platform/warp_model.hpp"
+
+namespace sd {
+
+double warp_decode_seconds(const DecodeStats& stats,
+                           const WarpModelParams& params) {
+  const double cycles =
+      params.frame_overhead_cycles +
+      static_cast<double>(stats.nodes_generated) * params.cycles_per_child +
+      static_cast<double>(stats.nodes_expanded) * params.cycles_per_expansion;
+  return cycles / params.clock_hz;
+}
+
+}  // namespace sd

@@ -1,0 +1,112 @@
+#include "code/bcjr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace sd {
+namespace {
+
+std::vector<std::uint8_t> random_bits(usize n, std::uint64_t seed) {
+  GaussianSource rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_index(2));
+  return bits;
+}
+
+std::vector<double> to_llrs(std::span<const std::uint8_t> coded,
+                            double magnitude = 4.0) {
+  std::vector<double> llrs(coded.size());
+  for (usize i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -magnitude : magnitude;
+  }
+  return llrs;
+}
+
+TEST(Bcjr, MatchesViterbiOnCleanCodewords) {
+  ConvolutionalCode code;
+  BcjrDecoder bcjr(code);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto info = random_bits(80, seed);
+    const auto coded = code.encode(info);
+    const BcjrResult r = bcjr.decode(to_llrs(coded));
+    EXPECT_EQ(r.info_bits, info) << "seed " << seed;
+    EXPECT_EQ(r.info_bits, code.decode_hard(coded));
+  }
+}
+
+TEST(Bcjr, InfoLlrSignsMatchBitsOnCleanInput) {
+  ConvolutionalCode code;
+  BcjrDecoder bcjr(code);
+  const auto info = random_bits(60, 3);
+  const BcjrResult r = bcjr.decode(to_llrs(code.encode(info)));
+  for (usize i = 0; i < info.size(); ++i) {
+    if (info[i] == 0) {
+      EXPECT_GT(r.info_llrs[i], 0.0) << i;
+    } else {
+      EXPECT_LT(r.info_llrs[i], 0.0) << i;
+    }
+  }
+}
+
+TEST(Bcjr, CorrectsNoisyLlrs) {
+  ConvolutionalCode code;
+  BcjrDecoder bcjr(code);
+  const auto info = random_bits(100, 4);
+  std::vector<double> llrs = to_llrs(code.encode(info), 2.0);
+  // Flip the sign of scattered positions with low confidence.
+  for (usize i : {5u, 40u, 77u, 130u}) {
+    llrs[i] = -0.3 * llrs[i];
+  }
+  const BcjrResult r = bcjr.decode(llrs);
+  EXPECT_EQ(r.info_bits, info);
+}
+
+TEST(Bcjr, ExtrinsicPointsTowardTheTransmittedBit) {
+  // On a codeword with one erased coded bit (LLR 0), the code structure
+  // must still indicate the erased bit's value via its extrinsic.
+  ConvolutionalCode code;
+  BcjrDecoder bcjr(code);
+  const auto info = random_bits(50, 5);
+  const auto coded = code.encode(info);
+  std::vector<double> llrs = to_llrs(coded);
+  const usize erased = 31;
+  llrs[erased] = 0.0;
+  const BcjrResult r = bcjr.decode(llrs);
+  if (coded[erased] == 0) {
+    EXPECT_GT(r.coded_extrinsic[erased], 0.0);
+  } else {
+    EXPECT_LT(r.coded_extrinsic[erased], 0.0);
+  }
+}
+
+TEST(Bcjr, PriorsBreakTiesOnErasedInfoBits) {
+  // Give the decoder an all-erased observation; the info priors must then
+  // fully determine the decisions.
+  ConvolutionalCode code;
+  BcjrDecoder bcjr(code);
+  const auto info = random_bits(30, 6);
+  const auto coded = code.encode(info);
+  std::vector<double> llrs(coded.size(), 0.0);
+  std::vector<double> priors(info.size());
+  for (usize i = 0; i < info.size(); ++i) {
+    priors[i] = info[i] ? -3.0 : 3.0;
+  }
+  const BcjrResult r = bcjr.decode(llrs, priors);
+  EXPECT_EQ(r.info_bits, info);
+}
+
+TEST(Bcjr, RejectsBadInputs) {
+  ConvolutionalCode code;
+  BcjrDecoder bcjr(code);
+  EXPECT_THROW((void)bcjr.decode(std::vector<double>(13, 1.0)),
+               invalid_argument_error);
+  const auto coded = code.encode(random_bits(20, 7));
+  EXPECT_THROW(
+      (void)bcjr.decode(to_llrs(coded), std::vector<double>(3, 0.0)),
+      invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

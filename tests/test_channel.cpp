@@ -1,0 +1,130 @@
+#include "mimo/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+
+namespace sd {
+namespace {
+
+TEST(Snr, RoundTripsWithSigma2) {
+  for (double snr : {0.0, 4.0, 12.0, 20.0}) {
+    for (index_t m : {1, 4, 10, 20}) {
+      const double sigma2 = snr_db_to_sigma2(snr, m);
+      EXPECT_NEAR(sigma2_to_snr_db(sigma2, m), snr, 1e-9);
+    }
+  }
+}
+
+TEST(Snr, HigherSnrMeansLessNoise) {
+  EXPECT_GT(snr_db_to_sigma2(4.0, 10), snr_db_to_sigma2(8.0, 10));
+}
+
+TEST(Snr, ScalesWithTransmitterCount) {
+  // Per-receive-antenna signal power is M, so sigma^2 at fixed SNR grows
+  // linearly in M.
+  EXPECT_NEAR(snr_db_to_sigma2(10.0, 20) / snr_db_to_sigma2(10.0, 10), 2.0,
+              1e-9);
+}
+
+TEST(ChannelModel, ShapeAndDeterminism) {
+  ChannelModel a(6, 4, 42), b(6, 4, 42);
+  const CMat ha = a.draw_channel();
+  const CMat hb = b.draw_channel();
+  EXPECT_EQ(ha.rows(), 6);
+  EXPECT_EQ(ha.cols(), 4);
+  EXPECT_TRUE(ha == hb);
+}
+
+TEST(ChannelModel, EntriesHaveUnitVarianceZeroMean) {
+  ChannelModel model(16, 16, 7);
+  double sum_re = 0, sum_im = 0, sum_sq = 0;
+  const int draws = 100;
+  for (int d = 0; d < draws; ++d) {
+    const CMat h = model.draw_channel();
+    for (const cplx& v : h.flat()) {
+      sum_re += v.real();
+      sum_im += v.imag();
+      sum_sq += norm2(v);
+    }
+  }
+  const double n = draws * 16.0 * 16.0;
+  EXPECT_NEAR(sum_re / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_im / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(ChannelModel, NoiselessTransmitIsExactlyHs) {
+  ChannelModel model(5, 3, 9);
+  const CMat h = model.draw_channel();
+  const CVec s{cplx{1, 0}, cplx{0, 1}, cplx{-1, 0}};
+  const CVec y = model.transmit(h, s, 0.0);
+  CVec expected(5, cplx{0, 0});
+  gemv(Op::kNone, cplx{1, 0}, h, s, cplx{0, 0}, expected);
+  EXPECT_LT(max_abs_diff(y, expected), 1e-6);
+}
+
+TEST(ChannelModel, NoisePowerMatchesSigma2) {
+  ChannelModel model(8, 4, 11);
+  const CMat h = model.draw_channel();
+  const CVec s(4, cplx{0, 0});  // all-zero signal isolates the noise
+  const double sigma2 = 0.5;
+  double acc = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const CVec y = model.transmit(h, s, sigma2);
+    acc += norm2_sq(y);
+  }
+  EXPECT_NEAR(acc / (trials * 8.0), sigma2, 0.02);
+}
+
+TEST(ChannelModel, RejectsBadShapes) {
+  EXPECT_THROW(ChannelModel(3, 5, 1), invalid_argument_error);  // N < M
+  EXPECT_THROW(ChannelModel(0, 0, 1), invalid_argument_error);
+  ChannelModel model(4, 2, 1);
+  const CMat h = model.draw_channel();
+  EXPECT_THROW((void)model.transmit(h, CVec(3), 0.1), invalid_argument_error);
+}
+
+TEST(ChannelModel, CorrelatedChannelIncreasesColumnCoupling) {
+  // With strong transmit correlation, adjacent columns of H are visibly
+  // correlated; estimate E[h_i^H h_j] over many draws.
+  ChannelModel iid(8, 4, 21);
+  ChannelModel corr(8, 4, 21, ChannelCorrelation{0.9, 0.0});
+  auto column_coupling = [](ChannelModel& model) {
+    double acc = 0.0;
+    const int draws = 200;
+    for (int d = 0; d < draws; ++d) {
+      const CMat h = model.draw_channel();
+      cplx dot{0, 0};
+      for (index_t i = 0; i < 8; ++i) dot += std::conj(h(i, 0)) * h(i, 1);
+      acc += std::abs(dot);
+    }
+    return acc / draws;
+  };
+  EXPECT_GT(column_coupling(corr), 1.5 * column_coupling(iid));
+}
+
+TEST(ChannelModel, CorrelatedChannelKeepsUnitAveragePower) {
+  ChannelModel corr(8, 8, 23, ChannelCorrelation{0.6, 0.6});
+  double sum_sq = 0.0;
+  const int draws = 200;
+  for (int d = 0; d < draws; ++d) {
+    sum_sq += frobenius_sq(corr.draw_channel());
+  }
+  EXPECT_NEAR(sum_sq / (draws * 64.0), 1.0, 0.06);
+}
+
+TEST(ChannelModel, RejectsInvalidCorrelation) {
+  EXPECT_THROW(ChannelModel(4, 4, 1, ChannelCorrelation{1.0, 0.0}),
+               invalid_argument_error);
+  EXPECT_THROW(ChannelModel(4, 4, 1, ChannelCorrelation{0.0, -0.1}),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

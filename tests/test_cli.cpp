@@ -1,0 +1,60 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sd {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const Cli cli = make({"--trials=50", "--snr=12.5"});
+  EXPECT_EQ(cli.get_int_or("trials", 0), 50);
+  EXPECT_DOUBLE_EQ(cli.get_double_or("snr", 0.0), 12.5);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const Cli cli = make({"--trials", "50"});
+  EXPECT_EQ(cli.get_int_or("trials", 0), 50);
+}
+
+TEST(Cli, FlagWithoutValue) {
+  const Cli cli = make({"--verbose", "--trials=3"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get_or("verbose", "x"), "");
+  EXPECT_FALSE(cli.has("quiet"));
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make({"--a=1", "file1", "file2"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get_int_or("trials", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double_or("snr", 1.5), 1.5);
+  EXPECT_EQ(cli.get_or("mode", "fast"), "fast");
+  EXPECT_FALSE(cli.get("mode").has_value());
+}
+
+TEST(Env, IntAndDoubleWithFallback) {
+  ::setenv("SD_TEST_ENV_INT", "123", 1);
+  EXPECT_EQ(env_int_or("SD_TEST_ENV_INT", 0), 123);
+  ::unsetenv("SD_TEST_ENV_INT");
+  EXPECT_EQ(env_int_or("SD_TEST_ENV_INT", 42), 42);
+  ::setenv("SD_TEST_ENV_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double_or("SD_TEST_ENV_DBL", 0.0), 2.5);
+  ::unsetenv("SD_TEST_ENV_DBL");
+}
+
+}  // namespace
+}  // namespace sd

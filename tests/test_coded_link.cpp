@@ -1,0 +1,100 @@
+#include "code/coded_link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sd {
+namespace {
+
+CodedLinkConfig base_config() {
+  CodedLinkConfig cfg;
+  cfg.num_tx = 4;
+  cfg.num_rx = 4;
+  cfg.modulation = Modulation::kQam4;
+  cfg.info_bits = 100;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(CodedLink, PerfectAtHighSnr) {
+  CodedLink link(base_config());
+  for (int t = 0; t < 5; ++t) {
+    const PacketResult r = link.run_packet(30.0);
+    EXPECT_TRUE(r.packet_ok);
+    EXPECT_EQ(r.info_bit_errors, 0u);
+  }
+}
+
+TEST(CodedLink, HardDetectionPerfectAtHighSnrToo) {
+  CodedLinkConfig cfg = base_config();
+  cfg.soft_detection = false;
+  CodedLink link(cfg);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_TRUE(link.run_packet(30.0).packet_ok);
+  }
+}
+
+TEST(CodedLink, CodeCorrectsResidualDetectorErrors) {
+  // At mid SNR the detector makes raw symbol errors, but the outer code
+  // cleans most packets: coded BER << raw BER.
+  CodedLink link(base_config());
+  usize raw = 0, info = 0, packets_ok = 0;
+  const int packets = 20;
+  for (int t = 0; t < packets; ++t) {
+    const PacketResult r = link.run_packet(10.0);
+    raw += r.raw_bit_errors;
+    info += r.info_bit_errors;
+    packets_ok += r.packet_ok ? 1 : 0;
+  }
+  EXPECT_GT(raw, 0u);             // detector is not error-free at 10 dB
+  EXPECT_LT(info * 5, raw);       // the code removes most of them
+  EXPECT_GE(packets_ok, packets / 2);
+}
+
+TEST(CodedLink, SoftDetectionBeatsHardAtModerateSnr) {
+  CodedLinkConfig soft_cfg = base_config();
+  CodedLinkConfig hard_cfg = base_config();
+  hard_cfg.soft_detection = false;
+  CodedLink soft_link(soft_cfg);
+  CodedLink hard_link(hard_cfg);
+  usize soft_errors = 0, hard_errors = 0;
+  const int packets = 25;
+  const double snr = 8.0;
+  for (int t = 0; t < packets; ++t) {
+    soft_errors += soft_link.run_packet(snr).info_bit_errors;
+    hard_errors += hard_link.run_packet(snr).info_bit_errors;
+  }
+  // Soft information is worth real coding gain; allow equality only if both
+  // are already error-free.
+  if (hard_errors == 0) {
+    EXPECT_EQ(soft_errors, 0u);
+  } else {
+    EXPECT_LT(soft_errors, hard_errors);
+  }
+}
+
+TEST(CodedLink, TracksDetectionWork) {
+  CodedLink link(base_config());
+  const PacketResult r = link.run_packet(12.0);
+  EXPECT_GT(r.vectors_used, 0u);
+  EXPECT_GT(r.detection.nodes_expanded, 0u);
+  // ceil(coded bits / bits per vector): 2*(100+6)=212 bits, 8 bits/vector.
+  EXPECT_EQ(r.vectors_used, 27u);
+}
+
+TEST(CodedLink, DeterministicPerSeed) {
+  CodedLink a(base_config()), b(base_config());
+  const PacketResult ra = a.run_packet(9.0);
+  const PacketResult rb = b.run_packet(9.0);
+  EXPECT_EQ(ra.info_bit_errors, rb.info_bit_errors);
+  EXPECT_EQ(ra.raw_bit_errors, rb.raw_bit_errors);
+  EXPECT_EQ(ra.detection.nodes_expanded, rb.detection.nodes_expanded);
+}
+
+TEST(CodedLink, RejectsEmptyPayload) {
+  CodedLinkConfig cfg = base_config();
+  cfg.info_bits = 0;
+  EXPECT_THROW(CodedLink{cfg}, invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

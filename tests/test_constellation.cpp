@@ -1,0 +1,152 @@
+#include "mimo/constellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace sd {
+namespace {
+
+class AllModulations : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(AllModulations, OrderMatchesBitsPerSymbol) {
+  const Constellation& c = Constellation::get(GetParam());
+  EXPECT_EQ(c.order(), 1 << c.bits_per_symbol());
+}
+
+TEST_P(AllModulations, UnitAverageEnergy) {
+  const Constellation& c = Constellation::get(GetParam());
+  EXPECT_NEAR(c.average_energy(), 1.0, 1e-5);
+}
+
+TEST_P(AllModulations, PointsAreDistinct) {
+  const Constellation& c = Constellation::get(GetParam());
+  std::set<std::pair<real, real>> seen;
+  for (index_t i = 0; i < c.order(); ++i) {
+    const cplx pt = c.point(i);
+    EXPECT_TRUE(seen.insert({pt.real(), pt.imag()}).second);
+  }
+}
+
+TEST_P(AllModulations, SliceRecoversEveryPoint) {
+  const Constellation& c = Constellation::get(GetParam());
+  for (index_t i = 0; i < c.order(); ++i) {
+    EXPECT_EQ(c.slice(c.point(i)), i);
+  }
+}
+
+TEST_P(AllModulations, SliceMatchesExhaustiveNearestOnRandomInputs) {
+  const Constellation& c = Constellation::get(GetParam());
+  // Deterministic grid of probe points covering the constellation footprint.
+  for (int xi = -12; xi <= 12; ++xi) {
+    for (int yi = -12; yi <= 12; ++yi) {
+      const cplx z{static_cast<real>(xi) * real{0.17},
+                   static_cast<real>(yi) * real{0.17}};
+      real best = std::numeric_limits<real>::max();
+      for (index_t i = 0; i < c.order(); ++i) {
+        best = std::min(best, norm2(z - c.point(i)));
+      }
+      const index_t sliced = c.slice(z);
+      // Ties on the Voronoi boundary may break either way; require the
+      // sliced point to be exactly as close as the exhaustive winner.
+      EXPECT_LE(norm2(z - c.point(sliced)), best + real{1e-6});
+    }
+  }
+}
+
+TEST_P(AllModulations, BitsRoundTrip) {
+  const Constellation& c = Constellation::get(GetParam());
+  std::vector<std::uint8_t> bits(static_cast<usize>(c.bits_per_symbol()));
+  for (index_t i = 0; i < c.order(); ++i) {
+    c.index_to_bits(i, bits);
+    EXPECT_EQ(c.bits_to_index(bits), i);
+  }
+}
+
+TEST_P(AllModulations, BitLabelsAreDistinct) {
+  const Constellation& c = Constellation::get(GetParam());
+  std::set<std::vector<std::uint8_t>> seen;
+  std::vector<std::uint8_t> bits(static_cast<usize>(c.bits_per_symbol()));
+  for (index_t i = 0; i < c.order(); ++i) {
+    c.index_to_bits(i, bits);
+    EXPECT_TRUE(seen.insert(bits).second);
+  }
+}
+
+TEST_P(AllModulations, GrayPropertyAdjacentPointsDifferInOneBit) {
+  // For square QAM with per-axis Gray labels, horizontally or vertically
+  // adjacent points differ in exactly one label bit. (BPSK trivially too.)
+  const Constellation& c = Constellation::get(GetParam());
+  const real min_dist = [&] {
+    real best = std::numeric_limits<real>::max();
+    for (index_t i = 0; i < c.order(); ++i) {
+      for (index_t j = 0; j < c.order(); ++j) {
+        if (i != j) best = std::min(best, norm2(c.point(i) - c.point(j)));
+      }
+    }
+    return best;
+  }();
+  for (index_t i = 0; i < c.order(); ++i) {
+    for (index_t j = 0; j < c.order(); ++j) {
+      if (i == j) continue;
+      if (norm2(c.point(i) - c.point(j)) < min_dist * real{1.01}) {
+        EXPECT_EQ(c.bit_errors(i, j), 1)
+            << "points " << i << " and " << j << " are nearest neighbours";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, AllModulations,
+                         ::testing::Values(Modulation::kBpsk, Modulation::kQam4,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64),
+                         [](const auto& param_info) {
+                           return std::string(modulation_name(param_info.param))
+                                      .substr(0, 2) == "BP"
+                                      ? "BPSK"
+                                      : "QAM" + std::to_string(
+                                            Constellation::get(param_info.param).order());
+                         });
+
+TEST(Constellation, KnownQam4Points) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  const real s = real{1} / std::sqrt(real{2});
+  // All four corners present.
+  std::set<std::pair<real, real>> expected{
+      {-s, -s}, {-s, s}, {s, -s}, {s, s}};
+  for (index_t i = 0; i < 4; ++i) {
+    const cplx pt = c.point(i);
+    EXPECT_EQ(expected.count({pt.real(), pt.imag()}), 1u);
+  }
+}
+
+TEST(Constellation, ParseNames) {
+  EXPECT_EQ(parse_modulation("bpsk"), Modulation::kBpsk);
+  EXPECT_EQ(parse_modulation("qpsk"), Modulation::kQam4);
+  EXPECT_EQ(parse_modulation("4qam"), Modulation::kQam4);
+  EXPECT_EQ(parse_modulation("16qam"), Modulation::kQam16);
+  EXPECT_EQ(parse_modulation("64qam"), Modulation::kQam64);
+  EXPECT_THROW((void)parse_modulation("256qam"), invalid_argument_error);
+}
+
+TEST(Constellation, BitErrorsCountsLabelHamming) {
+  const Constellation& c = Constellation::get(Modulation::kQam16);
+  for (index_t i = 0; i < c.order(); ++i) {
+    EXPECT_EQ(c.bit_errors(i, i), 0);
+  }
+}
+
+TEST(Constellation, IndexToBitsBoundsChecked) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  std::vector<std::uint8_t> bits(2);
+  EXPECT_THROW(c.index_to_bits(4, bits), invalid_argument_error);
+  std::vector<std::uint8_t> small(1);
+  EXPECT_THROW(c.index_to_bits(0, small), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

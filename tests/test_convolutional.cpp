@@ -1,0 +1,117 @@
+#include "code/convolutional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace sd {
+namespace {
+
+std::vector<std::uint8_t> random_bits(usize n, std::uint64_t seed) {
+  GaussianSource rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_index(2));
+  return bits;
+}
+
+TEST(ConvCode, RateAndTermination) {
+  ConvolutionalCode code;
+  EXPECT_EQ(code.memory(), 6);
+  EXPECT_EQ(code.num_states(), 64);
+  const auto info = random_bits(40, 1);
+  const auto coded = code.encode(info);
+  EXPECT_EQ(coded.size(), 2 * (40 + 6));
+}
+
+TEST(ConvCode, KnownImpulseResponse) {
+  // A single 1 followed by the flush produces the generator taps as output:
+  // step 0 register = 1000000 -> g0 = 0o133 top bit, g1 = 0o171 top bit.
+  ConvolutionalCode code;
+  const std::vector<std::uint8_t> info{1};
+  const auto coded = code.encode(info);
+  ASSERT_EQ(coded.size(), 14u);
+  // First pair: both generators tap the input bit (MSB set in 133 and 171).
+  EXPECT_EQ(coded[0], 1);
+  EXPECT_EQ(coded[1], 1);
+  // The impulse response reads the generator taps off bit by bit as the 1
+  // shifts through the register: pairs (g0 bit, g1 bit) from bit 6 to 0.
+  const std::vector<std::uint8_t> expected{1, 1, 0, 1, 1, 1, 1,
+                                           1, 0, 0, 1, 0, 1, 1};
+  EXPECT_EQ(coded, expected);
+  // Total impulse weight = popcount(0133) + popcount(0171) = 5 + 5 = 10,
+  // which for this code equals its free distance.
+  int weight = 0;
+  for (std::uint8_t bit : coded) weight += bit;
+  EXPECT_EQ(weight, 10);
+}
+
+TEST(ConvCode, DecodesCleanCodeword) {
+  ConvolutionalCode code;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto info = random_bits(120, seed);
+    const auto coded = code.encode(info);
+    EXPECT_EQ(code.decode_hard(coded), info) << "seed " << seed;
+  }
+}
+
+TEST(ConvCode, CorrectsScatteredBitErrors) {
+  // Free distance 10: up to 4 well-separated flips are always correctable.
+  ConvolutionalCode code;
+  const auto info = random_bits(200, 3);
+  auto coded = code.encode(info);
+  coded[10] ^= 1;
+  coded[80] ^= 1;
+  coded[150] ^= 1;
+  coded[300] ^= 1;
+  EXPECT_EQ(code.decode_hard(coded), info);
+}
+
+TEST(ConvCode, SoftInformationOutperformsHardDecisions) {
+  // Give the decoder LLRs that mark the flipped bits as unreliable: the
+  // soft decoder must recover where hard decisions are ambiguous.
+  ConvolutionalCode code;
+  const auto info = random_bits(100, 4);
+  const auto coded = code.encode(info);
+  std::vector<double> llrs(coded.size());
+  for (usize i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -4.0 : 4.0;
+  }
+  // Corrupt a dense burst but with tiny confidence.
+  for (usize i = 20; i < 30; ++i) {
+    llrs[i] = (coded[i] ? 1.0 : -1.0) * 0.1;  // wrong sign, low magnitude
+  }
+  EXPECT_EQ(code.decode_llr(llrs), info);
+}
+
+TEST(ConvCode, HardDecoderFailsOnDenseBurstThatSoftSurvives) {
+  ConvolutionalCode code;
+  const auto info = random_bits(100, 5);
+  const auto coded = code.encode(info);
+  // Flip a dense burst of 10 bits.
+  auto corrupted = coded;
+  for (usize i = 20; i < 30; ++i) corrupted[i] ^= 1;
+  const auto hard = code.decode_hard(corrupted);
+  EXPECT_NE(hard, info);  // burst exceeds hard-decision correction power
+}
+
+TEST(ConvCode, RejectsOddLlrStreams) {
+  ConvolutionalCode code;
+  std::vector<double> llrs(13, 1.0);
+  EXPECT_THROW((void)code.decode_llr(llrs), invalid_argument_error);
+}
+
+TEST(ConvCode, RejectsNonBinaryInfoBits) {
+  ConvolutionalCode code;
+  const std::vector<std::uint8_t> bad{0, 1, 2};
+  EXPECT_THROW((void)code.encode(bad), invalid_argument_error);
+}
+
+TEST(ConvCode, EncodeIsDeterministic) {
+  ConvolutionalCode a, b;
+  const auto info = random_bits(64, 6);
+  EXPECT_EQ(a.encode(info), b.encode(info));
+}
+
+}  // namespace
+}  // namespace sd

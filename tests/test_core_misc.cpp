@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+#include "core/version.hpp"
+#include "decode/detector.hpp"
+#include "decode/ml.hpp"
+#include "decode/sd_gemm.hpp"
+#include "mimo/scenario.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+TEST(Version, IsConsistent) {
+  const std::string v = kVersionString;
+  EXPECT_EQ(v, std::to_string(kVersionMajor) + "." +
+                   std::to_string(kVersionMinor) + "." +
+                   std::to_string(kVersionPatch));
+}
+
+TEST(ResidualMetric, MatchesHandComputation) {
+  CMat h(2, 1, {cplx{1, 0}, cplx{0, 1}});
+  const CVec y{cplx{2, 0}, cplx{0, 0}};
+  const CVec s{cplx{1, 0}};
+  // y - Hs = (1, -i): norm^2 = 2.
+  EXPECT_NEAR(residual_metric(h, y, s), 2.0, 1e-6);
+}
+
+TEST(ResidualMetric, ShapeChecked) {
+  const CMat h = testing::random_cmat(3, 2, 1);
+  EXPECT_THROW((void)residual_metric(h, CVec(2), CVec(2)),
+               invalid_argument_error);
+  EXPECT_THROW((void)residual_metric(h, CVec(3), CVec(3)),
+               invalid_argument_error);
+}
+
+TEST(MaterializeSymbols, FillsFromIndices) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  DecodeResult r;
+  r.indices = {0, 3, 1};
+  materialize_symbols(c, r);
+  ASSERT_EQ(r.symbols.size(), 3u);
+  for (usize i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.symbols[i], c.point(r.indices[i]));
+  }
+}
+
+TEST(DecodeStats, DefaultsAreZero) {
+  const DecodeStats s;
+  EXPECT_EQ(s.nodes_expanded, 0u);
+  EXPECT_EQ(s.gemm_calls, 0u);
+  EXPECT_FALSE(s.node_budget_hit);
+  EXPECT_EQ(s.preprocess_seconds, 0.0);
+}
+
+/// Rectangular (receive-diversity) systems across the exact decoders.
+class RectangularSystems
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RectangularSystems, SphereDecoderStillExact) {
+  const auto [m, n] = GetParam();
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  MlDetector ml(c);
+  SdGemmDetector sd(c);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ScenarioConfig sc;
+    sc.num_tx = m;
+    sc.num_rx = n;
+    sc.modulation = Modulation::kQam4;
+    sc.snr_db = 6.0;
+    sc.seed = seed;
+    Scenario scenario(sc);
+    const Trial t = scenario.next();
+    EXPECT_EQ(sd.decode(t.h, t.y, t.sigma2).indices,
+              ml.decode(t.h, t.y, t.sigma2).indices)
+        << m << "x" << n << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RectangularSystems,
+                         ::testing::Values(std::pair{2, 4}, std::pair{3, 5},
+                                           std::pair{4, 8}, std::pair{5, 6},
+                                           std::pair{6, 12}),
+                         [](const auto& param_info) {
+                           return std::to_string(param_info.param.first) + "x" +
+                                  std::to_string(param_info.param.second);
+                         });
+
+TEST(Experiment, BerConfidenceIntervalBehaves) {
+  const SystemConfig sys{4, 4, Modulation::kQam4};
+  auto det = make_detector(sys, DecoderSpec{});
+  ExperimentRunner few(sys, 20, 5);
+  ExperimentRunner many(sys, 200, 5);
+  const SweepPoint pf = few.run_point(*det, 6.0);
+  const SweepPoint pm = many.run_point(*det, 6.0);
+  if (pf.ber > 0 && pm.ber > 0) {
+    EXPECT_LT(pm.ber_ci95, pf.ber_ci95);  // more bits, tighter interval
+  }
+  EXPECT_GE(pf.ber_ci95, 0.0);
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,175 @@
+// Cross-feature property tests: combinations the single-feature suites do
+// not reach — correlated channels through the exact decoders, estimated CSI
+// through the FPGA simulation, SQRD + FPGA together, 64-QAM small systems,
+// and the BFS decoder on 16-QAM with a forced-tight radius.
+#include <gtest/gtest.h>
+
+#include "decode/ml.hpp"
+#include "decode/sd_gemm.hpp"
+#include "decode/sd_gemm_bfs.hpp"
+#include "fpga/fpga_detector.hpp"
+#include "mimo/estimation.hpp"
+#include "mimo/scenario.hpp"
+
+namespace sd {
+namespace {
+
+Trial make_trial(ScenarioConfig sc) {
+  Scenario s(sc);
+  return s.next();
+}
+
+TEST(CrossFeature, ExactDecodersAgreeOnCorrelatedChannels) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  MlDetector ml(c);
+  SdGemmDetector sd(c);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ScenarioConfig sc;
+    sc.num_tx = 5;
+    sc.num_rx = 5;
+    sc.modulation = Modulation::kQam4;
+    sc.snr_db = 10.0;
+    sc.seed = seed;
+    sc.correlation = {0.8, 0.6};
+    const Trial t = make_trial(sc);
+    EXPECT_EQ(sd.decode(t.h, t.y, t.sigma2).indices,
+              ml.decode(t.h, t.y, t.sigma2).indices)
+        << "seed " << seed;
+  }
+}
+
+TEST(CrossFeature, CorrelationInflatesTheSearchTree) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmDetector sd(c);
+  auto mean_nodes = [&](double rho) {
+    double acc = 0;
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      ScenarioConfig sc;
+      sc.num_tx = 8;
+      sc.num_rx = 8;
+      sc.modulation = Modulation::kQam4;
+      sc.snr_db = 10.0;
+      sc.seed = seed;
+      sc.correlation.tx_rho = rho;
+      const Trial t = make_trial(sc);
+      acc += static_cast<double>(
+          sd.decode(t.h, t.y, t.sigma2).stats.nodes_expanded);
+    }
+    return acc / 15;
+  };
+  EXPECT_GT(mean_nodes(0.9), 1.5 * mean_nodes(0.0));
+}
+
+TEST(CrossFeature, FpgaSimulationWithSqrdMatchesCpu) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdOptions opts;
+  opts.sorted_qr = true;
+  SdGemmDetector cpu(c, opts);
+  FpgaDetector fpga(c, FpgaConfig::optimized_design(6, 6, Modulation::kQam4),
+                    opts);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ScenarioConfig sc;
+    sc.num_tx = 6;
+    sc.num_rx = 6;
+    sc.modulation = Modulation::kQam4;
+    sc.snr_db = 8.0;
+    sc.seed = seed;
+    const Trial t = make_trial(sc);
+    EXPECT_EQ(fpga.decode(t.h, t.y, t.sigma2).indices,
+              cpu.decode(t.h, t.y, t.sigma2).indices)
+        << "seed " << seed;
+  }
+}
+
+TEST(CrossFeature, FpgaSimulationWithEstimatedCsiStillMatchesCpu) {
+  // Estimation error changes WHAT is decoded, but CPU and simulated FPGA
+  // must still agree bit-for-bit on the same (imperfect) inputs.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmDetector cpu(c);
+  FpgaDetector fpga(c, FpgaConfig::optimized_design(5, 5, Modulation::kQam4));
+  GaussianSource pilot_rng(3);
+  const CMat pilots = orthogonal_pilots(8, 5);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ScenarioConfig sc;
+    sc.num_tx = 5;
+    sc.num_rx = 5;
+    sc.modulation = Modulation::kQam4;
+    sc.snr_db = 10.0;
+    sc.seed = seed;
+    const Trial t = make_trial(sc);
+    const CMat y_pilot = receive_pilots(t.h, pilots, t.sigma2, pilot_rng);
+    const CMat h_est = estimate_lmmse(pilots, y_pilot, t.sigma2);
+    EXPECT_EQ(fpga.decode(h_est, t.y, t.sigma2).indices,
+              cpu.decode(h_est, t.y, t.sigma2).indices);
+  }
+}
+
+TEST(CrossFeature, SixtyFourQamSmallSystemStillExact) {
+  const Constellation& c = Constellation::get(Modulation::kQam64);
+  MlDetector ml(c);
+  SdGemmDetector sd(c);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ScenarioConfig sc;
+    sc.num_tx = 3;
+    sc.num_rx = 3;
+    sc.modulation = Modulation::kQam64;
+    sc.snr_db = 14.0;
+    sc.seed = seed;
+    const Trial t = make_trial(sc);
+    EXPECT_EQ(sd.decode(t.h, t.y, t.sigma2).indices,
+              ml.decode(t.h, t.y, t.sigma2).indices)
+        << "seed " << seed;
+  }
+}
+
+TEST(CrossFeature, BfsWithTightRadiusRetriesToExactnessOn16Qam) {
+  const Constellation& c = Constellation::get(Modulation::kQam16);
+  MlDetector ml(c);
+  BfsOptions opts;
+  opts.base.radius_policy = RadiusPolicy::kNoiseScaled;
+  opts.base.radius_alpha = 0.05;  // almost always an empty first sphere
+  SdGemmBfsDetector bfs(c, opts);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ScenarioConfig sc;
+    sc.num_tx = 4;
+    sc.num_rx = 4;
+    sc.modulation = Modulation::kQam16;
+    sc.snr_db = 10.0;
+    sc.seed = seed;
+    const Trial t = make_trial(sc);
+    EXPECT_EQ(bfs.decode(t.h, t.y, t.sigma2).indices,
+              ml.decode(t.h, t.y, t.sigma2).indices)
+        << "seed " << seed;
+  }
+}
+
+TEST(CrossFeature, ReceiveDiversityShrinksTreeAndBer) {
+  // Extra receive antennas (N > M) tighten R's diagonal: fewer nodes AND
+  // fewer errors for the same M and SNR.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmDetector sd(c);
+  auto run = [&](index_t n) {
+    double nodes = 0;
+    int errors = 0;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+      ScenarioConfig sc;
+      sc.num_tx = 6;
+      sc.num_rx = n;
+      sc.modulation = Modulation::kQam4;
+      sc.snr_db = 6.0;
+      sc.seed = seed;
+      const Trial t = make_trial(sc);
+      const DecodeResult r = sd.decode(t.h, t.y, t.sigma2);
+      nodes += static_cast<double>(r.stats.nodes_expanded);
+      if (r.indices != t.tx.indices) ++errors;
+    }
+    return std::pair{nodes / 30, errors};
+  };
+  const auto [nodes_square, errors_square] = run(6);
+  const auto [nodes_tall, errors_tall] = run(12);
+  EXPECT_LT(nodes_tall, nodes_square);
+  EXPECT_LE(errors_tall, errors_square);
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "platform/gpu_model.hpp"
+#include "platform/warp_model.hpp"
+
+namespace sd {
+namespace {
+
+DecodeStats bfs_like_stats() {
+  DecodeStats s;
+  s.gemm_calls = 10;          // one per tree level
+  s.flops = 50'000'000;       // 50 MFLOP of batched GEMM
+  s.bytes_touched = 40'000'000;
+  s.nodes_expanded = 100'000;
+  s.nodes_generated = 400'000;
+  return s;
+}
+
+TEST(GpuModel, SyncOverheadDominatesTinyWork) {
+  DecodeStats s;
+  s.gemm_calls = 10;
+  s.flops = 1000;
+  s.bytes_touched = 1000;
+  const GpuModelParams p;
+  const double t = gpu_decode_seconds(s, p);
+  // ~10 launches x 10 us + staging.
+  EXPECT_NEAR(t, 10 * p.per_level_overhead_s + p.pcie_staging_s, 2e-6);
+}
+
+TEST(GpuModel, RooflineTakesOverForLargeWork) {
+  const GpuModelParams p;
+  DecodeStats s = bfs_like_stats();
+  const double t1 = gpu_decode_seconds(s, p);
+  // Scale the work until it dwarfs the per-level sync floor; the model must
+  // then grow linearly with the roofline terms.
+  s.flops *= 1000;
+  s.bytes_touched *= 1000;
+  const double t2 = gpu_decode_seconds(s, p);
+  EXPECT_GT(t2, t1);
+  const double sync_floor = static_cast<double>(s.gemm_calls) *
+                                p.per_level_overhead_s +
+                            p.pcie_staging_s;
+  EXPECT_GT(t2 - sync_floor, 10.0 * (t1 - sync_floor));
+}
+
+TEST(GpuModel, MemoryBoundWhenBytesDominate) {
+  GpuModelParams p;
+  DecodeStats s;
+  s.gemm_calls = 1;
+  s.flops = 1;                  // negligible compute
+  s.bytes_touched = 544'250'000;  // ~1 ms at effective bandwidth
+  const double t = gpu_decode_seconds(s, p);
+  const double mem_time = static_cast<double>(s.bytes_touched) /
+                          (p.peak_bandwidth * p.bandwidth_efficiency);
+  EXPECT_NEAR(t, mem_time + p.per_level_overhead_s + p.pcie_staging_s,
+              0.01 * mem_time);
+}
+
+TEST(GpuModel, MoreLevelsMoreSyncCost) {
+  DecodeStats a = bfs_like_stats();
+  DecodeStats b = a;
+  b.gemm_calls = 2 * a.gemm_calls;
+  EXPECT_GT(gpu_decode_seconds(b), gpu_decode_seconds(a));
+}
+
+TEST(GpuModel, PowerIsReasonableForA100) {
+  EXPECT_GT(gpu_power_watts(), 100.0);
+  EXPECT_LT(gpu_power_watts(), 400.0);
+}
+
+TEST(WarpModel, ChargesPerNodeCycles) {
+  DecodeStats s;
+  s.nodes_expanded = 100;
+  s.nodes_generated = 400;
+  const WarpModelParams p;
+  const double expected_cycles = p.frame_overhead_cycles +
+                                 400 * p.cycles_per_child +
+                                 100 * p.cycles_per_expansion;
+  EXPECT_NEAR(warp_decode_seconds(s, p), expected_cycles / p.clock_hz, 1e-12);
+}
+
+TEST(WarpModel, TimeGrowsWithTreeSize) {
+  DecodeStats small;
+  small.nodes_expanded = 10;
+  small.nodes_generated = 40;
+  DecodeStats big;
+  big.nodes_expanded = 10'000;
+  big.nodes_generated = 40'000;
+  EXPECT_GT(warp_decode_seconds(big), 10.0 * warp_decode_seconds(small));
+}
+
+TEST(WarpModel, SlowerClockThanU280MakesItSlowerPerNode) {
+  // Geosphere's platform runs at 160 MHz vs the U280's 300 MHz; for the
+  // same tree its scalar datapath must be slower than the simulated
+  // pipeline's per-node throughput.
+  DecodeStats s;
+  s.nodes_expanded = 1000;
+  s.nodes_generated = 4000;
+  const double warp_time = warp_decode_seconds(s);
+  // Pipeline lower bound: ~ (branch+gemm+norm+sort) = tens of cycles per
+  // expansion at 300 MHz.
+  const double u280_rough = 1000.0 * 50.0 / 300e6;
+  EXPECT_GT(warp_time, u280_rough * 0.5);
+}
+
+}  // namespace
+}  // namespace sd

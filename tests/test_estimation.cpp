@@ -1,0 +1,124 @@
+#include "mimo/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/sphere_decoder.hpp"
+#include "linalg/norms.hpp"
+#include "mimo/scenario.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+TEST(Pilots, ColumnsAreOrthogonalWithNormL) {
+  const CMat p = orthogonal_pilots(8, 4);
+  for (index_t a = 0; a < 4; ++a) {
+    for (index_t b = 0; b < 4; ++b) {
+      cplx dot{0, 0};
+      for (index_t l = 0; l < 8; ++l) dot += std::conj(p(l, a)) * p(l, b);
+      if (a == b) {
+        EXPECT_NEAR(dot.real(), 8.0f, 1e-3f);
+        EXPECT_NEAR(dot.imag(), 0.0f, 1e-3f);
+      } else {
+        EXPECT_NEAR(std::abs(dot), 0.0f, 1e-3f);
+      }
+    }
+  }
+}
+
+TEST(Pilots, UnitEnergySymbols) {
+  const CMat p = orthogonal_pilots(6, 3);
+  for (const cplx& v : p.flat()) {
+    EXPECT_NEAR(norm2(v), 1.0f, 1e-5f);
+  }
+}
+
+TEST(Pilots, RejectsTooFewSlots) {
+  EXPECT_THROW((void)orthogonal_pilots(3, 4), invalid_argument_error);
+}
+
+TEST(Estimation, LsIsExactWithoutNoise) {
+  const CMat h = testing::random_cmat(4, 3, 1);
+  const CMat p = orthogonal_pilots(6, 3);
+  GaussianSource rng(2);
+  const CMat y = receive_pilots(h, p, 0.0, rng);
+  const CMat h_ls = estimate_ls(p, y);
+  EXPECT_LT(max_abs_diff(h_ls, h), 1e-4);
+}
+
+TEST(Estimation, LsMseMatchesTheory) {
+  // Var of each LS entry = sigma2 / L.
+  const index_t slots = 8;
+  const double sigma2 = 0.5;
+  const CMat p = orthogonal_pilots(slots, 4);
+  GaussianSource rng(3);
+  double acc = 0.0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    const CMat h = testing::random_cmat(4, 4, static_cast<std::uint64_t>(t + 10));
+    const CMat y = receive_pilots(h, p, sigma2, rng);
+    acc += estimation_mse(h, estimate_ls(p, y));
+  }
+  EXPECT_NEAR(acc / trials, sigma2 / slots, 0.15 * sigma2 / slots);
+}
+
+TEST(Estimation, LmmseBeatsLsAtLowPilotSnr) {
+  const index_t slots = 4;
+  const double sigma2 = 4.0;  // very noisy pilots
+  const CMat p = orthogonal_pilots(slots, 4);
+  GaussianSource rng(4);
+  double mse_ls = 0.0, mse_lmmse = 0.0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    const CMat h = testing::random_cmat(4, 4, static_cast<std::uint64_t>(t + 50));
+    const CMat y = receive_pilots(h, p, sigma2, rng);
+    mse_ls += estimation_mse(h, estimate_ls(p, y));
+    mse_lmmse += estimation_mse(h, estimate_lmmse(p, y, sigma2));
+  }
+  EXPECT_LT(mse_lmmse, mse_ls);
+}
+
+TEST(Estimation, LmmseConvergesToLsAtHighPilotSnr) {
+  const CMat h = testing::random_cmat(3, 3, 7);
+  const CMat p = orthogonal_pilots(6, 3);
+  GaussianSource rng(8);
+  const CMat y = receive_pilots(h, p, 1e-9, rng);
+  EXPECT_LT(max_abs_diff(estimate_ls(p, y), estimate_lmmse(p, y, 1e-9)), 1e-5);
+}
+
+TEST(Estimation, SphereDecoderToleratesGoodEstimates) {
+  // Detection with an estimated channel still recovers the payload when the
+  // pilot SNR is decent — the end-to-end property a deployment cares about.
+  ScenarioConfig sc;
+  sc.num_tx = 4;
+  sc.num_rx = 4;
+  sc.modulation = Modulation::kQam4;
+  sc.snr_db = 14.0;
+  sc.seed = 11;
+  Scenario scenario(sc);
+  const SystemConfig sys{4, 4, Modulation::kQam4};
+  auto det = make_detector(sys, DecoderSpec{});
+  const CMat p = orthogonal_pilots(16, 4);
+  GaussianSource rng(12);
+
+  int exact = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const Trial trial = scenario.next();
+    const CMat y_pilot = receive_pilots(trial.h, p, trial.sigma2, rng);
+    const CMat h_est = estimate_lmmse(p, y_pilot, trial.sigma2);
+    const DecodeResult r = det->decode(h_est, trial.y, trial.sigma2);
+    if (r.indices == trial.tx.indices) ++exact;
+  }
+  EXPECT_GE(exact, trials * 8 / 10);
+}
+
+TEST(Estimation, MseShapeChecked) {
+  const CMat a = testing::random_cmat(2, 2, 1);
+  const CMat b = testing::random_cmat(3, 2, 2);
+  EXPECT_THROW((void)estimation_mse(a, b), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,96 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sd {
+namespace {
+
+TEST(Experiment, SweepProducesOnePointPerSnr) {
+  const SystemConfig sys{4, 4, Modulation::kQam4};
+  ExperimentRunner runner(sys, 10, 5);
+  auto det = make_detector(sys, DecoderSpec{});
+  const std::vector<double> snrs{4.0, 12.0, 20.0};
+  const SweepResult r = runner.sweep(*det, snrs);
+  ASSERT_EQ(r.points.size(), 3u);
+  EXPECT_EQ(r.detector, "SD-GEMM-BestFS");
+  for (usize i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.points[i].snr_db, snrs[i]);
+    EXPECT_EQ(r.points[i].trials, 10u);
+    EXPECT_GT(r.points[i].mean_nodes_expanded, 0.0);
+  }
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const SystemConfig sys{4, 4, Modulation::kQam4};
+  ExperimentRunner a(sys, 8, 99), b(sys, 8, 99);
+  auto det = make_detector(sys, DecoderSpec{});
+  const SweepPoint pa = a.run_point(*det, 8.0);
+  const SweepPoint pb = b.run_point(*det, 8.0);
+  EXPECT_EQ(pa.ber, pb.ber);
+  EXPECT_EQ(pa.mean_nodes_expanded, pb.mean_nodes_expanded);
+  EXPECT_EQ(pa.mean_flops, pb.mean_flops);
+}
+
+TEST(Experiment, PairedTrialsAcrossDetectors) {
+  // Two exact decoders on the same runner must see identical trials, hence
+  // identical BER — not merely statistically close.
+  const SystemConfig sys{4, 4, Modulation::kQam4};
+  ExperimentRunner runner(sys, 20, 7);
+  DecoderSpec gemm_spec;
+  DecoderSpec dfs_spec;
+  dfs_spec.strategy = Strategy::kDfs;
+  auto gemm_det = make_detector(sys, gemm_spec);
+  auto dfs_det = make_detector(sys, dfs_spec);
+  const SweepPoint pg = runner.run_point(*gemm_det, 6.0);
+  const SweepPoint pd = runner.run_point(*dfs_det, 6.0);
+  EXPECT_EQ(pg.ber, pd.ber);
+  EXPECT_EQ(pg.ser, pd.ser);
+}
+
+TEST(Experiment, BerDecreasesWithSnrForExactDecoder) {
+  const SystemConfig sys{4, 4, Modulation::kQam4};
+  ExperimentRunner runner(sys, 150, 21);
+  auto det = make_detector(sys, DecoderSpec{});
+  const SweepPoint low = runner.run_point(*det, 2.0);
+  const SweepPoint high = runner.run_point(*det, 14.0);
+  EXPECT_GT(low.ber, high.ber);
+}
+
+TEST(Experiment, LinearDetectorWorseThanSphereDecoder) {
+  const SystemConfig sys{6, 6, Modulation::kQam4};
+  ExperimentRunner runner(sys, 150, 31);
+  auto sphere = make_detector(sys, DecoderSpec{});
+  DecoderSpec mmse_spec;
+  mmse_spec.strategy = Strategy::kMmse;
+  auto mmse = make_detector(sys, mmse_spec);
+  const double snr = 8.0;
+  EXPECT_LT(runner.run_point(*sphere, snr).ber,
+            runner.run_point(*mmse, snr).ber);
+}
+
+TEST(Experiment, CustomTimeFunctionIsApplied) {
+  const SystemConfig sys{4, 4, Modulation::kQam4};
+  ExperimentRunner runner(sys, 5, 3);
+  auto det = make_detector(sys, DecoderSpec{});
+  const SweepPoint p = runner.run_point(
+      *det, 10.0, [](const DecodeResult&, Detector&) { return 42.0; });
+  EXPECT_DOUBLE_EQ(p.mean_seconds, 42.0);
+  EXPECT_DOUBLE_EQ(p.p95_seconds, 42.0);
+}
+
+TEST(Experiment, RejectsZeroTrials) {
+  EXPECT_THROW(ExperimentRunner(SystemConfig{4, 4, Modulation::kQam4}, 0),
+               invalid_argument_error);
+}
+
+TEST(Experiment, PaperSnrAxis) {
+  const auto axis = paper_snr_axis();
+  ASSERT_EQ(axis.size(), 5u);
+  EXPECT_EQ(axis.front(), 4.0);
+  EXPECT_EQ(axis.back(), 20.0);
+}
+
+}  // namespace
+}  // namespace sd

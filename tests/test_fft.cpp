@@ -1,0 +1,92 @@
+#include "linalg/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "linalg/norms.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+  CVec x(8, cplx{0, 0});
+  x[0] = cplx{1, 0};
+  const CVec spectrum = fft(x);
+  for (const cplx& v : spectrum) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Fft, ConstantTransformsToDelta) {
+  CVec x(16, cplx{1, 0});
+  const CVec spectrum = fft(x);
+  EXPECT_NEAR(spectrum[0].real(), 16.0f, 1e-4f);
+  for (usize i = 1; i < 16; ++i) {
+    EXPECT_NEAR(std::abs(spectrum[i]), 0.0f, 1e-4f);
+  }
+}
+
+TEST(Fft, SingleToneLandsOnItsBin) {
+  const usize n = 32;
+  const usize bin = 5;
+  CVec x(n);
+  for (usize t = 0; t < n; ++t) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(bin * t) /
+                         static_cast<double>(n);
+    x[t] = cplx{static_cast<real>(std::cos(angle)),
+                static_cast<real>(std::sin(angle))};
+  }
+  const CVec spectrum = fft(x);
+  for (usize f = 0; f < n; ++f) {
+    if (f == bin) {
+      EXPECT_NEAR(std::abs(spectrum[f]), static_cast<real>(n), 1e-3f);
+    } else {
+      EXPECT_NEAR(std::abs(spectrum[f]), 0.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(Fft, InverseRoundTrips) {
+  for (usize n : {1u, 2u, 8u, 64u, 256u}) {
+    const CVec x = testing::random_cvec(static_cast<index_t>(n), n);
+    const CVec back = ifft(fft(x));
+    EXPECT_LT(max_abs_diff(back, x), 1e-4) << "n=" << n;
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const CVec x = testing::random_cvec(128, 3);
+  const CVec spectrum = fft(x);
+  EXPECT_NEAR(norm2_sq(spectrum), 128.0 * norm2_sq(x),
+              1e-3 * norm2_sq(spectrum));
+}
+
+TEST(Fft, LinearityHolds) {
+  const CVec a = testing::random_cvec(32, 4);
+  const CVec b = testing::random_cvec(32, 5);
+  CVec sum(32);
+  for (usize i = 0; i < 32; ++i) sum[i] = a[i] + cplx{2, 0} * b[i];
+  const CVec fa = fft(a);
+  const CVec fb = fft(b);
+  const CVec fsum = fft(sum);
+  for (usize i = 0; i < 32; ++i) {
+    EXPECT_LT(std::abs(fsum[i] - (fa[i] + cplx{2, 0} * fb[i])), 1e-3f);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  CVec x(12);
+  EXPECT_THROW(fft_inplace(x), invalid_argument_error);
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+}
+
+}  // namespace
+}  // namespace sd

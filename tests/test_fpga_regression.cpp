@@ -1,0 +1,95 @@
+// Cycle-model regression pins: the simulated device times in EXPERIMENTS.md
+// derive from these cycle formulas; changing any timing constant moves the
+// published numbers and must be a conscious decision.
+#include <gtest/gtest.h>
+
+#include "fpga/pipeline.hpp"
+#include "fpga/power.hpp"
+#include "fpga/resources.hpp"
+#include "mimo/scenario.hpp"
+
+namespace sd {
+namespace {
+
+FpgaRunReport run_fixed(const FpgaConfig& cfg, std::uint64_t seed) {
+  ScenarioConfig sc;
+  sc.num_tx = cfg.num_tx;
+  sc.num_rx = cfg.num_rx;
+  sc.modulation = cfg.modulation;
+  sc.snr_db = 8.0;
+  sc.seed = seed;
+  Scenario s(sc);
+  const Trial t = s.next();
+  FpgaPipeline pipeline(cfg);
+  return pipeline.run(preprocess(t.h, t.y, false),
+                      Constellation::get(cfg.modulation), t.sigma2);
+}
+
+TEST(FpgaRegression, OptimizedCycleCountsPinned) {
+  const FpgaRunReport r =
+      run_fixed(FpgaConfig::optimized_design(8, 8, Modulation::kQam4), 42);
+  // One fixed decode: the traversal and every unit's cycle charge are
+  // deterministic functions of the seeded trial.
+  EXPECT_EQ(r.result.stats.nodes_expanded, 69u);
+  const auto& cyc = r.cycles;
+  EXPECT_EQ(cyc.total(), cyc.branch + cyc.prefetch_exposed + cyc.gemm +
+                             cyc.norm + cyc.sort + cyc.mst + cyc.radius);
+  // Per-expansion averages stay inside the structural envelope:
+  // branch = setup(4) + P(4) cycles exactly.
+  EXPECT_EQ(cyc.branch, r.result.stats.nodes_expanded * 8);
+  // GEMM: one tile per expansion, (k + fill) cycles with k <= 8, fill 12.
+  EXPECT_GE(cyc.gemm, r.result.stats.nodes_expanded * (1 + 12));
+  EXPECT_LE(cyc.gemm, r.result.stats.nodes_expanded * (8 + 12));
+  // Sort: bitonic over 4 elements = 3 stages x 2 + 4 streaming = 10.
+  EXPECT_EQ(cyc.sort, r.result.stats.nodes_expanded * 10);
+}
+
+TEST(FpgaRegression, BaselineChargesStalledMacChain) {
+  const FpgaConfig cfg = FpgaConfig::baseline(8, 8, Modulation::kQam4);
+  const FpgaRunReport r = run_fixed(cfg, 42);
+  // Same traversal as optimized (seed 42): 69 expansions.
+  EXPECT_EQ(r.result.stats.nodes_expanded, 69u);
+  // Row evaluation on the 1x1 chain: 1*P*k*mac_ii + fill per expansion,
+  // k in [1, 8], mac_ii = 6, fill = 8.
+  EXPECT_GE(r.cycles.gemm, 69u * (4 * 1 * 6 + 8));
+  EXPECT_LE(r.cycles.gemm, 69u * (4 * 8 * 6 + 8));
+  // No prefetch overlap: every staging fetch fully exposed.
+  const FpgaRunReport opt =
+      run_fixed(FpgaConfig::optimized_design(8, 8, Modulation::kQam4), 42);
+  EXPECT_GT(r.cycles.prefetch_exposed, opt.cycles.prefetch_exposed);
+}
+
+TEST(FpgaRegression, ClockAndTransferArithmetic) {
+  const FpgaConfig cfg = FpgaConfig::optimized_design(8, 8, Modulation::kQam4);
+  const FpgaRunReport r = run_fixed(cfg, 7);
+  EXPECT_NEAR(r.compute_seconds,
+              static_cast<double>(r.cycles.total()) / 300e6, 1e-15);
+  EXPECT_NEAR(r.total_seconds, r.compute_seconds + r.transfer_seconds, 1e-15);
+  // Transfer = DMA latency + staged bytes at the PCIe rate.
+  EXPECT_GT(r.transfer_seconds, cfg.pcie_latency_s);
+  EXPECT_LT(r.transfer_seconds, cfg.pcie_latency_s + 1e-6);
+}
+
+TEST(FpgaRegression, ResourceModelValuesPinned) {
+  const auto opt4 =
+      estimate_resources(FpgaConfig::optimized_design(10, 10, Modulation::kQam4));
+  EXPECT_DOUBLE_EQ(opt4.luts, 65'000 + 10'000 * 4 + 600 * 32);
+  EXPECT_DOUBLE_EQ(opt4.dsps, 20 + 4 * 4 + 5 * 32);
+  EXPECT_DOUBLE_EQ(opt4.urams, 52 + 0.92 * 16);
+  const auto base16 =
+      estimate_resources(FpgaConfig::baseline(10, 10, Modulation::kQam16));
+  EXPECT_DOUBLE_EQ(base16.luts, 287'000 + 22'800 * 16);
+  EXPECT_DOUBLE_EQ(base16.urams, 104 + 1.84 * 256);
+}
+
+TEST(FpgaRegression, PowerModelValuesPinned) {
+  EXPECT_NEAR(
+      fpga_power_watts(FpgaConfig::optimized_design(10, 10, Modulation::kQam4)),
+      8.03, 0.05);
+  EXPECT_NEAR(
+      fpga_power_watts(FpgaConfig::optimized_design(20, 20, Modulation::kQam4)),
+      11.07, 0.05);
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mimo/frame.hpp"
+#include "mimo/metrics.hpp"
+
+namespace sd {
+namespace {
+
+TEST(Frame, RandomTxIsConsistent) {
+  const Constellation& c = Constellation::get(Modulation::kQam16);
+  GaussianSource rng(5);
+  const TxVector tx = random_tx(c, 12, rng);
+  ASSERT_EQ(tx.indices.size(), 12u);
+  ASSERT_EQ(tx.symbols.size(), 12u);
+  ASSERT_EQ(tx.bits.size(), 48u);
+  for (usize i = 0; i < tx.indices.size(); ++i) {
+    EXPECT_EQ(tx.symbols[i], c.point(tx.indices[i]));
+    EXPECT_EQ(c.slice(tx.symbols[i]), tx.indices[i]);
+  }
+}
+
+TEST(Frame, ModulateRejectsBadIndex) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  EXPECT_THROW((void)modulate(c, {0, 4}), invalid_argument_error);
+}
+
+TEST(Frame, BitsMatchPerSymbolLabels) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  const TxVector tx = modulate(c, {0, 3, 1});
+  std::vector<std::uint8_t> expected(2);
+  for (usize i = 0; i < 3; ++i) {
+    c.index_to_bits(tx.indices[i], expected);
+    EXPECT_EQ(tx.bits[2 * i], expected[0]);
+    EXPECT_EQ(tx.bits[2 * i + 1], expected[1]);
+  }
+}
+
+TEST(Frame, HardSliceRecoversCleanSymbols) {
+  const Constellation& c = Constellation::get(Modulation::kQam64);
+  const TxVector tx = modulate(c, {0, 17, 63, 5});
+  const auto sliced = hard_slice(c, tx.symbols);
+  EXPECT_EQ(sliced, tx.indices);
+}
+
+TEST(Frame, IndicesToBitsMatchesModulate) {
+  const Constellation& c = Constellation::get(Modulation::kQam16);
+  const std::vector<index_t> idx{3, 0, 15, 9};
+  const TxVector tx = modulate(c, idx);
+  EXPECT_EQ(indices_to_bits(c, idx), tx.bits);
+}
+
+TEST(ErrorCounter, PerfectDetectionCountsNoErrors) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ErrorCounter ec(c);
+  const std::vector<index_t> sent{0, 1, 2, 3};
+  ec.record(sent, sent);
+  EXPECT_EQ(ec.bit_errors(), 0u);
+  EXPECT_EQ(ec.symbol_errors(), 0u);
+  EXPECT_EQ(ec.vector_errors(), 0u);
+  EXPECT_DOUBLE_EQ(ec.ber(), 0.0);
+  EXPECT_EQ(ec.bits_total(), 8u);
+  EXPECT_EQ(ec.symbols_total(), 4u);
+  EXPECT_EQ(ec.vectors_total(), 1u);
+}
+
+TEST(ErrorCounter, CountsBitAndSymbolErrors) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ErrorCounter ec(c);
+  // 4-QAM Gray labels: one axis flip = 1 bit, diagonal flip = 2 bits.
+  const std::vector<index_t> sent{0, 0};
+  const std::vector<index_t> detected{3, 0};  // index 3 is diagonal from 0
+  ec.record(sent, detected);
+  EXPECT_EQ(ec.symbol_errors(), 1u);
+  EXPECT_EQ(ec.bit_errors(), 2u);
+  EXPECT_EQ(ec.vector_errors(), 1u);
+  EXPECT_DOUBLE_EQ(ec.ber(), 0.5);
+  EXPECT_DOUBLE_EQ(ec.ser(), 0.5);
+  EXPECT_DOUBLE_EQ(ec.fer(), 1.0);
+}
+
+TEST(ErrorCounter, AccumulatesAcrossRecordsAndResets) {
+  const Constellation& c = Constellation::get(Modulation::kBpsk);
+  ErrorCounter ec(c);
+  ec.record(std::vector<index_t>{0, 1}, std::vector<index_t>{0, 1});
+  ec.record(std::vector<index_t>{0, 1}, std::vector<index_t>{1, 1});
+  EXPECT_EQ(ec.bit_errors(), 1u);
+  EXPECT_EQ(ec.bits_total(), 4u);
+  EXPECT_EQ(ec.vectors_total(), 2u);
+  EXPECT_EQ(ec.vector_errors(), 1u);
+  ec.reset();
+  EXPECT_EQ(ec.bits_total(), 0u);
+  EXPECT_DOUBLE_EQ(ec.ber(), 0.0);
+}
+
+TEST(ErrorCounter, LengthMismatchThrows) {
+  const Constellation& c = Constellation::get(Modulation::kBpsk);
+  ErrorCounter ec(c);
+  EXPECT_THROW(ec.record(std::vector<index_t>{0}, std::vector<index_t>{0, 1}),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,139 @@
+#include "linalg/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "linalg/norms.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+TEST(GemmNaive, MatchesHandComputed2x2) {
+  CMat a(2, 2, {cplx{1, 0}, cplx{0, 1}, cplx{2, 0}, cplx{0, 0}});
+  CMat b(2, 2, {cplx{1, 0}, cplx{1, 0}, cplx{0, 0}, cplx{0, 2}});
+  CMat c(2, 2);
+  gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c);
+  EXPECT_EQ(c(0, 0), (cplx{1, 0}));   // 1*1 + i*0
+  EXPECT_EQ(c(0, 1), (cplx{-1, 0}));  // 1*1 + i*2i = 1 - 2
+  EXPECT_EQ(c(1, 0), (cplx{2, 0}));
+  EXPECT_EQ(c(1, 1), (cplx{2, 0}));
+}
+
+TEST(GemmNaive, ConjTransposeMatchesExplicitHermitian) {
+  const CMat a = testing::random_cmat(5, 3, 1);
+  const CMat b = testing::random_cmat(5, 4, 2);
+  CMat c1(3, 4), c2(3, 4);
+  gemm_naive(Op::kConjTrans, cplx{1, 0}, a, b, cplx{0, 0}, c1);
+  const CMat ah = hermitian(a);
+  gemm_naive(Op::kNone, cplx{1, 0}, ah, b, cplx{0, 0}, c2);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-5);
+}
+
+TEST(GemmNaive, AlphaBetaSemantics) {
+  const CMat a = testing::random_cmat(3, 3, 3);
+  const CMat b = testing::random_cmat(3, 3, 4);
+  CMat c = testing::random_cmat(3, 3, 5);
+  const CMat c0 = c;
+  CMat ab(3, 3);
+  gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, ab);
+  gemm_naive(Op::kNone, cplx{2, 0}, a, b, cplx{0.5, 0}, c);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      const cplx expected = cplx{2, 0} * ab(i, j) + cplx{0.5, 0} * c0(i, j);
+      EXPECT_LT(std::abs(c(i, j) - expected), 1e-4f);
+    }
+  }
+}
+
+TEST(GemmNaive, ShapeMismatchThrows) {
+  CMat a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c),
+               invalid_argument_error);
+}
+
+/// Property sweep: the blocked kernel must match the naive oracle on a grid
+/// of shapes including ones that exercise partial blocks and leftover lanes.
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, BlockedMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  const CMat a = testing::random_cmat(m, k, static_cast<std::uint64_t>(m * 31 + n * 7 + k));
+  const CMat b = testing::random_cmat(k, n, static_cast<std::uint64_t>(m + n + k * 13));
+  CMat c_ref(m, n), c_opt(m, n);
+  gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_ref);
+  gemm(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_opt);
+  EXPECT_LT(max_abs_diff(c_ref, c_opt), 1e-3 * k)
+      << "m=" << m << " n=" << n << " k=" << k;
+}
+
+TEST_P(GemmShapes, BlockedConjTransMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  // A stored as (k x m); op(A) = A^H is (m x k).
+  const CMat a = testing::random_cmat(k, m, static_cast<std::uint64_t>(m * 17 + n + k));
+  const CMat b = testing::random_cmat(k, n, static_cast<std::uint64_t>(m + n * 5 + k));
+  CMat c_ref(m, n), c_opt(m, n);
+  gemm_naive(Op::kConjTrans, cplx{1, 0}, a, b, cplx{0, 0}, c_ref);
+  gemm(Op::kConjTrans, cplx{1, 0}, a, b, cplx{0, 0}, c_opt);
+  EXPECT_LT(max_abs_diff(c_ref, c_opt), 1e-3 * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 4, 10},
+                      std::tuple{2, 2, 2}, std::tuple{3, 5, 7},
+                      std::tuple{16, 16, 16}, std::tuple{1, 16, 20},
+                      std::tuple{65, 3, 129}, std::tuple{64, 128, 128},
+                      std::tuple{67, 130, 131}, std::tuple{5, 1, 200}));
+
+TEST(Gemm, AccumulatesWithBetaOne) {
+  const CMat a = testing::random_cmat(4, 4, 21);
+  const CMat b = testing::random_cmat(4, 4, 22);
+  CMat c_ref = testing::random_cmat(4, 4, 23);
+  CMat c_opt = c_ref;
+  gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{1, 0}, c_ref);
+  gemm(Op::kNone, cplx{1, 0}, a, b, cplx{1, 0}, c_opt);
+  EXPECT_LT(max_abs_diff(c_ref, c_opt), 1e-4);
+}
+
+TEST(Gemv, MatchesGemmWithSingleColumn) {
+  const CMat a = testing::random_cmat(6, 4, 31);
+  const CVec x = testing::random_cvec(4, 32);
+  CVec y(6, cplx{0, 0});
+  gemv(Op::kNone, cplx{1, 0}, a, x, cplx{0, 0}, y);
+
+  CMat xb(4, 1);
+  for (index_t i = 0; i < 4; ++i) xb(i, 0) = x[static_cast<usize>(i)];
+  CMat yb(6, 1);
+  gemm_naive(Op::kNone, cplx{1, 0}, a, xb, cplx{0, 0}, yb);
+  for (index_t i = 0; i < 6; ++i) {
+    EXPECT_LT(std::abs(y[static_cast<usize>(i)] - yb(i, 0)), 1e-5f);
+  }
+}
+
+TEST(Gemv, ConjTransMatchesHermitianGemv) {
+  const CMat a = testing::random_cmat(6, 4, 41);
+  const CVec x = testing::random_cvec(6, 42);
+  CVec y1(4, cplx{0, 0}), y2(4, cplx{0, 0});
+  gemv(Op::kConjTrans, cplx{1, 0}, a, x, cplx{0, 0}, y1);
+  const CMat ah = hermitian(a);
+  gemv(Op::kNone, cplx{1, 0}, ah, x, cplx{0, 0}, y2);
+  EXPECT_LT(max_abs_diff(y1, y2), 1e-5);
+}
+
+TEST(Gemv, LengthMismatchThrows) {
+  const CMat a = testing::random_cmat(3, 2, 51);
+  CVec x(3), y(3);
+  EXPECT_THROW(gemv(Op::kNone, cplx{1, 0}, a, x, cplx{0, 0}, y),
+               invalid_argument_error);
+}
+
+TEST(GemmFlops, CountsComplexMacs) {
+  EXPECT_EQ(gemm_flops(1, 4, 10), 8ull * 40);
+  EXPECT_EQ(gemm_flops(0, 4, 10), 0u);
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,97 @@
+#include "fpga/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sd {
+namespace {
+
+TEST(Half, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.25f, 1024.0f, 0.125f}) {
+    EXPECT_EQ(round_to_half(v), v) << v;
+  }
+}
+
+TEST(Half, SignedZeroPreserved) {
+  EXPECT_EQ(float_to_half_bits(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000);
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(float_to_half_bits(1.0f), 0x3C00);
+  EXPECT_EQ(float_to_half_bits(-2.0f), 0xC000);
+  EXPECT_EQ(float_to_half_bits(65504.0f), 0x7BFF);  // max finite half
+  EXPECT_EQ(half_bits_to_float(0x3C00), 1.0f);
+  EXPECT_EQ(half_bits_to_float(0x7C00),
+            std::numeric_limits<float>::infinity());
+}
+
+TEST(Half, OverflowSaturatesToInfinity) {
+  EXPECT_EQ(round_to_half(1e6f), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(round_to_half(-1e6f), -std::numeric_limits<float>::infinity());
+}
+
+TEST(Half, SubnormalsRepresented) {
+  const float smallest_subnormal = half_bits_to_float(0x0001);
+  EXPECT_NEAR(smallest_subnormal, 5.960464477539063e-08f, 1e-12f);
+  EXPECT_EQ(round_to_half(smallest_subnormal), smallest_subnormal);
+}
+
+TEST(Half, UnderflowFlushesToZeroBelowHalfSubnormal) {
+  EXPECT_EQ(round_to_half(1e-12f), 0.0f);
+  EXPECT_EQ(round_to_half(-1e-12f), -0.0f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // round-to-even picks 1.0.
+  EXPECT_EQ(round_to_half(1.0f + std::ldexp(1.0f, -11)), 1.0f);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9; even mantissa is 1+2^-9.
+  EXPECT_EQ(round_to_half(1.0f + 3 * std::ldexp(1.0f, -11)),
+            1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Half, RelativeErrorBoundedForNormals) {
+  // Deterministic scan across magnitudes.
+  for (int e = -10; e <= 10; ++e) {
+    for (float frac = 1.0f; frac < 2.0f; frac += 0.0437f) {
+      const float v = std::ldexp(frac, e);
+      const float r = round_to_half(v);
+      EXPECT_NEAR(r, v, std::abs(v) * 0.0005f) << v;  // 2^-11 rel error
+    }
+  }
+}
+
+TEST(Half, RoundTripIsIdempotent) {
+  for (float v : {3.14159f, -0.007f, 123.456f, 9.9e-5f}) {
+    const float once = round_to_half(v);
+    EXPECT_EQ(round_to_half(once), once);
+  }
+}
+
+TEST(Half, NanStaysNan) {
+  EXPECT_TRUE(std::isnan(
+      half_bits_to_float(float_to_half_bits(std::nanf("")))));
+}
+
+TEST(HalfCmadd, MatchesFloatWithinHalfPrecision) {
+  const cplx acc{0.5f, -0.25f};
+  const cplx a{1.5f, 2.0f};
+  const cplx b{-0.75f, 0.125f};
+  const cplx exact = acc + a * b;
+  const cplx rounded = half_cmadd(acc, a, b);
+  EXPECT_NEAR(rounded.real(), exact.real(), 5e-3f);
+  EXPECT_NEAR(rounded.imag(), exact.imag(), 5e-3f);
+}
+
+TEST(HalfCmadd, ExactForSmallPowersOfTwo) {
+  // All intermediates representable in half: the fp16 datapath is exact.
+  const cplx acc{1.0f, 2.0f};
+  const cplx a{0.5f, 0.0f};
+  const cplx b{4.0f, 8.0f};
+  EXPECT_EQ(half_cmadd(acc, a, b), acc + a * b);
+}
+
+}  // namespace
+}  // namespace sd

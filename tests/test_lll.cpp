@@ -1,0 +1,118 @@
+#include "linalg/lll.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/solve.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+/// |det(T)| for a small square complex matrix via LU.
+double abs_det(const CMat& t) {
+  const Lu f = lu_decompose(t);
+  double log_det = 0.0;
+  for (index_t i = 0; i < t.rows(); ++i) {
+    log_det += std::log(static_cast<double>(std::abs(f.lu(i, i))));
+  }
+  return std::exp(log_det);
+}
+
+TEST(Lll, ReducedBasisEqualsBTimesT) {
+  const CMat b = testing::random_cmat(6, 4, 1);
+  const LllResult r = lll_reduce(b);
+  CMat bt(6, 4);
+  gemm_naive(Op::kNone, cplx{1, 0}, b, r.t, cplx{0, 0}, bt);
+  EXPECT_LT(max_abs_diff(bt, r.reduced), 1e-4);
+}
+
+TEST(Lll, TransformIsGaussianIntegerUnimodular) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const CMat b = testing::random_cmat(5, 5, seed);
+    const LllResult r = lll_reduce(b);
+    for (const cplx& v : r.t.flat()) {
+      EXPECT_NEAR(v.real(), std::lround(v.real()), 1e-4f);
+      EXPECT_NEAR(v.imag(), std::lround(v.imag()), 1e-4f);
+    }
+    EXPECT_NEAR(abs_det(r.t), 1.0, 1e-2) << "seed " << seed;
+  }
+}
+
+TEST(Lll, InverseTransformIsExact) {
+  const CMat b = testing::random_cmat(5, 5, 3);
+  const LllResult r = lll_reduce(b);
+  CMat prod(5, 5);
+  gemm_naive(Op::kNone, cplx{1, 0}, r.t, r.t_inv, cplx{0, 0}, prod);
+  EXPECT_LT(max_abs_diff(prod, CMat::identity(5)), 1e-3);
+}
+
+TEST(Lll, NeverWorsensOrthogonalityDefect) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const CMat b = testing::random_cmat(6, 6, seed + 100);
+    const LllResult r = lll_reduce(b);
+    EXPECT_LE(orthogonality_defect(r.reduced),
+              orthogonality_defect(b) * 1.001)
+        << "seed " << seed;
+  }
+}
+
+TEST(Lll, ImprovesIllConditionedBasis) {
+  // Two nearly parallel columns: reduction must improve the defect a lot.
+  CMat b = testing::random_cmat(4, 2, 7);
+  for (index_t i = 0; i < 4; ++i) {
+    b(i, 1) = b(i, 0) * cplx{1, 0} + b(i, 1) * real{0.05};
+  }
+  const LllResult r = lll_reduce(b);
+  EXPECT_GT(r.swaps, 0);
+  EXPECT_LT(orthogonality_defect(r.reduced), 0.5 * orthogonality_defect(b));
+}
+
+TEST(Lll, SatisfiesSizeReductionAndLovasz) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const CMat b = testing::random_cmat(6, 5, seed + 200);
+    const LllResult res = lll_reduce(b, 0.75);
+    const QrFactorization qr(res.reduced);
+    const CMat& r = qr.r();
+    for (index_t k = 1; k < 5; ++k) {
+      // Size reduction: |Re/Im of R(j,k)/R(j,j)| <= 1/2 (+ float slack).
+      for (index_t j = 0; j < k; ++j) {
+        const cplx mu = r(j, k) / r(j, j);
+        EXPECT_LE(std::abs(mu.real()), 0.5f + 1e-3f) << "seed " << seed;
+        EXPECT_LE(std::abs(mu.imag()), 0.5f + 1e-3f);
+      }
+      // Lovász: delta*|r_{k-1,k-1}|^2 <= |r_{k-1,k}|^2 + |r_{k,k}|^2.
+      EXPECT_LE(0.75 * static_cast<double>(norm2(r(k - 1, k - 1))),
+                static_cast<double>(norm2(r(k - 1, k)) + norm2(r(k, k))) *
+                    1.001);
+    }
+  }
+}
+
+TEST(Lll, OrthogonalBasisIsFixedPoint) {
+  const CMat eye = CMat::identity(4);
+  const LllResult r = lll_reduce(eye);
+  EXPECT_EQ(r.swaps, 0);
+  EXPECT_LT(max_abs_diff(r.reduced, eye), 1e-6);
+}
+
+TEST(Lll, RejectsBadArguments) {
+  const CMat b = testing::random_cmat(4, 4, 1);
+  EXPECT_THROW((void)lll_reduce(b, 0.4), invalid_argument_error);
+  EXPECT_THROW((void)lll_reduce(b, 1.5), invalid_argument_error);
+  const CMat wide = testing::random_cmat(3, 5, 2);
+  EXPECT_THROW((void)lll_reduce(wide), invalid_argument_error);
+}
+
+TEST(Lll, RoundGaussianRoundsBothAxes) {
+  EXPECT_EQ(round_gaussian(cplx{1.4f, -2.6f}), (cplx{1, -3}));
+  EXPECT_EQ(round_gaussian(cplx{-0.5f, 0.5f}), (cplx{-1, 1}));  // lround away
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,105 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/norms.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+TEST(Matrix, ConstructionZeroInitializes) {
+  CMat m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12u);
+  for (const cplx& v : m.flat()) {
+    EXPECT_EQ(v, (cplx{0, 0}));
+  }
+}
+
+TEST(Matrix, InitializerListIsRowMajor) {
+  CMat m(2, 2, {cplx{1, 0}, cplx{2, 0}, cplx{3, 0}, cplx{4, 0}});
+  EXPECT_EQ(m(0, 0), (cplx{1, 0}));
+  EXPECT_EQ(m(0, 1), (cplx{2, 0}));
+  EXPECT_EQ(m(1, 0), (cplx{3, 0}));
+  EXPECT_EQ(m(1, 1), (cplx{4, 0}));
+}
+
+TEST(Matrix, InitializerListSizeChecked) {
+  EXPECT_THROW(CMat(2, 2, {cplx{1, 0}}), invalid_argument_error);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  CMat m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), invalid_argument_error);
+  EXPECT_THROW((void)m.at(0, -1), invalid_argument_error);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanViewsUnderlyingStorage) {
+  CMat m(2, 3);
+  m(1, 2) = cplx{5, 1};
+  auto row = m.row(1);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[2], (cplx{5, 1}));
+  row[0] = cplx{7, 0};
+  EXPECT_EQ(m(1, 0), (cplx{7, 0}));
+}
+
+TEST(Matrix, IdentityAndEquality) {
+  const CMat i2 = CMat::identity(2);
+  EXPECT_EQ(i2(0, 0), (cplx{1, 0}));
+  EXPECT_EQ(i2(0, 1), (cplx{0, 0}));
+  EXPECT_TRUE(i2 == CMat::identity(2));
+  EXPECT_FALSE(i2 == CMat::identity(3));
+}
+
+TEST(Matrix, ResetResizesAndZeroes) {
+  CMat m(2, 2, cplx{1, 1});
+  m.reset(3, 1);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 1);
+  for (const cplx& v : m.flat()) EXPECT_EQ(v, (cplx{0, 0}));
+}
+
+TEST(Matrix, HermitianConjugatesAndTransposes) {
+  CMat m(1, 2, {cplx{1, 2}, cplx{3, -4}});
+  const CMat h = hermitian(m);
+  EXPECT_EQ(h.rows(), 2);
+  EXPECT_EQ(h.cols(), 1);
+  EXPECT_EQ(h(0, 0), (cplx{1, -2}));
+  EXPECT_EQ(h(1, 0), (cplx{3, 4}));
+}
+
+TEST(Matrix, HermitianTwiceIsIdentity) {
+  const CMat m = testing::random_cmat(4, 3, 99);
+  EXPECT_LT(max_abs_diff(hermitian(hermitian(m)), m), 1e-12);
+}
+
+TEST(Matrix, TransposeKeepsValues) {
+  CMat m(1, 2, {cplx{1, 2}, cplx{3, -4}});
+  const CMat t = transpose(m);
+  EXPECT_EQ(t(0, 0), (cplx{1, 2}));
+  EXPECT_EQ(t(1, 0), (cplx{3, -4}));
+}
+
+TEST(Norms, VectorNorms) {
+  const CVec v{cplx{3, 4}, cplx{0, 0}};
+  EXPECT_DOUBLE_EQ(norm2_sq(v), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(std::span<const cplx>(v)), 5.0);
+}
+
+TEST(Norms, FrobeniusOfIdentity) {
+  const CMat i3 = CMat::identity(3);
+  EXPECT_NEAR(frobenius(i3), std::sqrt(3.0), 1e-6);
+}
+
+TEST(Norms, MaxAbsDiffShapeChecked) {
+  const CMat a(2, 2), b(2, 3);
+  EXPECT_THROW((void)max_abs_diff(a, b), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

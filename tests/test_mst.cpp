@@ -1,0 +1,100 @@
+#include "decode/mst.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sd {
+namespace {
+
+TEST(Mst, InsertAndGetRoundTrip) {
+  MetaStateTable mst(4, 16);
+  const NodeId id = mst.insert(0, MstNode{kRootId, 3, real{1.5}});
+  const MstNode& node = mst.get(id);
+  EXPECT_EQ(node.parent, kRootId);
+  EXPECT_EQ(node.symbol, 3);
+  EXPECT_FLOAT_EQ(node.pd, 1.5f);
+  EXPECT_EQ(MetaStateTable::level_of(id), 0);
+}
+
+TEST(Mst, IdsEncodeLevelAndSlot) {
+  MetaStateTable mst(8, 16);
+  const NodeId a = mst.insert(2, MstNode{kRootId, 0, real{0}});
+  const NodeId b = mst.insert(2, MstNode{kRootId, 1, real{0}});
+  const NodeId c = mst.insert(5, MstNode{a, 2, real{0}});
+  EXPECT_EQ(MetaStateTable::level_of(a), 2);
+  EXPECT_EQ(MetaStateTable::level_of(b), 2);
+  EXPECT_EQ(MetaStateTable::level_of(c), 5);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(mst.level_count(2), 2u);
+  EXPECT_EQ(mst.level_count(5), 1u);
+  EXPECT_EQ(mst.total_nodes(), 3u);
+}
+
+TEST(Mst, PathSymbolsWalksParentLinks) {
+  MetaStateTable mst(4, 16);
+  const NodeId d0 = mst.insert(0, MstNode{kRootId, 7, real{1}});
+  const NodeId d1 = mst.insert(1, MstNode{d0, 5, real{2}});
+  const NodeId d2 = mst.insert(2, MstNode{d1, 3, real{3}});
+  std::vector<index_t> path(3, -1);
+  mst.path_symbols(d2, path);
+  EXPECT_EQ(path[0], 7);
+  EXPECT_EQ(path[1], 5);
+  EXPECT_EQ(path[2], 3);
+}
+
+TEST(Mst, PathBufferTooSmallThrows) {
+  MetaStateTable mst(4, 16);
+  const NodeId d0 = mst.insert(0, MstNode{kRootId, 1, real{0}});
+  const NodeId d1 = mst.insert(1, MstNode{d0, 2, real{0}});
+  std::vector<index_t> path(1);
+  EXPECT_THROW(mst.path_symbols(d1, path), invalid_argument_error);
+}
+
+TEST(Mst, FixedCapacityOverflowThrows) {
+  MetaStateTable mst(2, 2, /*fixed_capacity=*/true);
+  mst.insert(0, MstNode{});
+  mst.insert(0, MstNode{});
+  EXPECT_THROW(mst.insert(0, MstNode{}), capacity_error);
+}
+
+TEST(Mst, SoftCapacityGrowsAndTracksPeak) {
+  MetaStateTable mst(2, 2, /*fixed_capacity=*/false);
+  for (int i = 0; i < 5; ++i) mst.insert(0, MstNode{});
+  EXPECT_EQ(mst.level_count(0), 5u);
+  EXPECT_EQ(mst.peak_level_count(), 5u);
+}
+
+TEST(Mst, ResetClearsNodesKeepsShape) {
+  MetaStateTable mst(3, 8);
+  mst.insert(0, MstNode{});
+  mst.insert(1, MstNode{});
+  mst.reset();
+  EXPECT_EQ(mst.total_nodes(), 0u);
+  EXPECT_EQ(mst.level_count(0), 0u);
+  EXPECT_EQ(mst.levels(), 3);
+  // Table is reusable after reset.
+  const NodeId id = mst.insert(1, MstNode{kRootId, 9, real{4}});
+  EXPECT_EQ(mst.get(id).symbol, 9);
+}
+
+TEST(Mst, RejectsBadLevels) {
+  MetaStateTable mst(3, 8);
+  EXPECT_THROW(mst.insert(3, MstNode{}), invalid_argument_error);
+  EXPECT_THROW(mst.insert(-1, MstNode{}), invalid_argument_error);
+  EXPECT_THROW((void)mst.level_count(4), invalid_argument_error);
+}
+
+TEST(Mst, RejectsBadConstruction) {
+  EXPECT_THROW(MetaStateTable(0, 8), invalid_argument_error);
+  EXPECT_THROW(MetaStateTable(300, 8), invalid_argument_error);
+  EXPECT_THROW(MetaStateTable(4, 0), invalid_argument_error);
+}
+
+TEST(Mst, GetRejectsDanglingIds) {
+  MetaStateTable mst(4, 8);
+  const NodeId id = mst.insert(1, MstNode{});
+  mst.reset();
+  EXPECT_THROW((void)mst.get(id), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

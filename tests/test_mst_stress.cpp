@@ -1,0 +1,108 @@
+// Randomized stress test of the Meta State Table against a plain reference
+// implementation (vectors + maps): thousands of random inserts, path walks
+// and resets must agree exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.hpp"
+#include "decode/mst.hpp"
+
+namespace sd {
+namespace {
+
+struct RefNode {
+  NodeId parent;
+  index_t symbol;
+  real pd;
+};
+
+TEST(MstStress, RandomizedAgainstReferenceModel) {
+  const index_t levels = 12;
+  MetaStateTable mst(levels, 64);
+  std::map<NodeId, RefNode> reference;
+  // Nodes by level so parents can be drawn from level-1.
+  std::vector<std::vector<NodeId>> by_level(static_cast<usize>(levels));
+
+  GaussianSource rng(2024);
+  for (int op = 0; op < 5000; ++op) {
+    const auto action = rng.next_index(100);
+    if (action < 2 && !reference.empty()) {
+      mst.reset();
+      reference.clear();
+      for (auto& lvl : by_level) lvl.clear();
+      continue;
+    }
+    // Insert at a level whose parent level is populated (or level 0).
+    index_t level = 0;
+    for (index_t l = levels - 1; l > 0; --l) {
+      if (!by_level[static_cast<usize>(l - 1)].empty() &&
+          rng.next_index(3) == 0) {
+        level = l;
+        break;
+      }
+    }
+    NodeId parent = kRootId;
+    if (level > 0) {
+      const auto& parents = by_level[static_cast<usize>(level - 1)];
+      parent = parents[rng.next_index(static_cast<std::uint32_t>(parents.size()))];
+    }
+    const auto symbol = static_cast<index_t>(rng.next_index(16));
+    const auto pd = static_cast<real>(rng.next_index(1000)) / 10.0f;
+    const NodeId id = mst.insert(level, MstNode{parent, symbol, pd});
+    ASSERT_EQ(reference.count(id), 0u) << "id reuse without reset";
+    reference[id] = RefNode{parent, symbol, pd};
+    by_level[static_cast<usize>(level)].push_back(id);
+
+    // Spot-check a random existing node's record and full path.
+    const auto it = std::next(reference.begin(),
+                              rng.next_index(static_cast<std::uint32_t>(
+                                  reference.size())));
+    const MstNode& got = mst.get(it->first);
+    EXPECT_EQ(got.parent, it->second.parent);
+    EXPECT_EQ(got.symbol, it->second.symbol);
+    EXPECT_EQ(got.pd, it->second.pd);
+
+    std::vector<index_t> path(static_cast<usize>(levels), -1);
+    mst.path_symbols(it->first, path);
+    NodeId cursor = it->first;
+    while (cursor != kRootId) {
+      const RefNode& ref = reference.at(cursor);
+      EXPECT_EQ(path[static_cast<usize>(MetaStateTable::level_of(cursor))],
+                ref.symbol);
+      cursor = ref.parent;
+    }
+  }
+  EXPECT_EQ(mst.total_nodes(), reference.size());
+}
+
+TEST(MstStress, DeepChainsWalkCorrectly) {
+  const index_t levels = 256;  // the MST's maximum depth
+  MetaStateTable mst(levels, 4);
+  NodeId parent = kRootId;
+  for (index_t d = 0; d < levels; ++d) {
+    parent = mst.insert(d, MstNode{parent, d % 7, static_cast<real>(d)});
+  }
+  std::vector<index_t> path(static_cast<usize>(levels));
+  mst.path_symbols(parent, path);
+  for (index_t d = 0; d < levels; ++d) {
+    EXPECT_EQ(path[static_cast<usize>(d)], d % 7);
+  }
+}
+
+TEST(MstStress, ManyResetsDoNotLeakIds) {
+  MetaStateTable mst(4, 8);
+  for (int round = 0; round < 100; ++round) {
+    const NodeId a = mst.insert(0, MstNode{kRootId, 1, 0});
+    const NodeId b = mst.insert(1, MstNode{a, 2, 0});
+    EXPECT_EQ(MetaStateTable::level_of(a), 0);
+    EXPECT_EQ(MetaStateTable::level_of(b), 1);
+    EXPECT_EQ(mst.total_nodes(), 2u);
+    mst.reset();
+    EXPECT_EQ(mst.total_nodes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sd

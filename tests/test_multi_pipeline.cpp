@@ -1,0 +1,108 @@
+#include "fpga/multi_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "mimo/scenario.hpp"
+
+namespace sd {
+namespace {
+
+std::vector<Preprocessed> make_batch(usize n, double snr,
+                                     std::uint64_t seed, double& sigma2) {
+  ScenarioConfig sc;
+  sc.num_tx = 8;
+  sc.num_rx = 8;
+  sc.modulation = Modulation::kQam4;
+  sc.snr_db = snr;
+  sc.seed = seed;
+  Scenario s(sc);
+  std::vector<Preprocessed> batch;
+  for (usize i = 0; i < n; ++i) {
+    const Trial t = s.next();
+    sigma2 = t.sigma2;
+    batch.push_back(preprocess(t.h, t.y, false));
+  }
+  return batch;
+}
+
+TEST(MultiPipeline, SingleLaneMatchesSequentialSum) {
+  double sigma2 = 0;
+  const auto batch = make_batch(6, 8.0, 1, sigma2);
+  const FpgaConfig cfg = FpgaConfig::optimized_design(8, 8, Modulation::kQam4);
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+
+  MultiPipelineFpga single(cfg, 1);
+  const MultiPipelineReport rep = single.decode_batch(batch, c, sigma2);
+  // One lane: makespan == sum of individual decode times.
+  FpgaPipeline reference(cfg);
+  double total = 0;
+  for (const Preprocessed& pre : batch) {
+    total += reference.run(pre, c, sigma2).total_seconds;
+  }
+  EXPECT_NEAR(rep.makespan_seconds, total, 1e-12);
+  EXPECT_EQ(rep.pipelines, 1);
+  EXPECT_EQ(rep.vectors, 6u);
+}
+
+TEST(MultiPipeline, TwoLanesNearlyHalveTheMakespan) {
+  double sigma2 = 0;
+  const auto batch = make_batch(12, 8.0, 2, sigma2);
+  const FpgaConfig cfg = FpgaConfig::optimized_design(8, 8, Modulation::kQam4);
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  MultiPipelineFpga one(cfg, 1), two(cfg, 2);
+  const double t1 = one.decode_batch(batch, c, sigma2).makespan_seconds;
+  const double t2 = two.decode_batch(batch, c, sigma2).makespan_seconds;
+  EXPECT_LT(t2, 0.75 * t1);
+  EXPECT_GT(t2, 0.40 * t1);  // cannot beat perfect halving by much
+}
+
+TEST(MultiPipeline, ThroughputScalesLatencyDoesNot) {
+  double sigma2 = 0;
+  const auto batch = make_batch(16, 8.0, 3, sigma2);
+  const FpgaConfig cfg = FpgaConfig::optimized_design(8, 8, Modulation::kQam4);
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  MultiPipelineFpga one(cfg, 1), four(cfg, 4);
+  const auto r1 = one.decode_batch(batch, c, sigma2);
+  const auto r4 = four.decode_batch(batch, c, sigma2);
+  EXPECT_GT(r4.throughput_vps, 3.0 * r1.throughput_vps);
+  // Per-vector latency is a property of one pipeline: unchanged.
+  EXPECT_NEAR(r4.mean_latency_seconds, r1.mean_latency_seconds, 1e-12);
+}
+
+TEST(MultiPipeline, MakespanBounds) {
+  // Greedy dispatch is within the classic (2 - 1/P) factor of the lower
+  // bound max(total/P, longest job).
+  double sigma2 = 0;
+  const auto batch = make_batch(10, 6.0, 4, sigma2);
+  const FpgaConfig cfg = FpgaConfig::optimized_design(8, 8, Modulation::kQam4);
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  MultiPipelineFpga pool(cfg, 3);
+  const auto rep = pool.decode_batch(batch, c, sigma2);
+  const double busy_total = std::accumulate(rep.lane_busy_seconds.begin(),
+                                            rep.lane_busy_seconds.end(), 0.0);
+  EXPECT_GE(rep.makespan_seconds, busy_total / 3.0 - 1e-12);
+  EXPECT_LE(rep.makespan_seconds, busy_total);
+}
+
+TEST(MultiPipeline, ResourceFitChecks) {
+  const FpgaConfig opt4 = FpgaConfig::optimized_design(10, 10, Modulation::kQam4);
+  const FpgaConfig base16 = FpgaConfig::baseline(10, 10, Modulation::kQam16);
+  EXPECT_TRUE(MultiPipelineFpga::fits(opt4, 1));
+  EXPECT_TRUE(MultiPipelineFpga::fits(opt4, 2));  // the paper's §III-C4 point
+  EXPECT_FALSE(MultiPipelineFpga::fits(opt4, 16));
+  EXPECT_FALSE(MultiPipelineFpga::fits(base16, 2));
+}
+
+TEST(MultiPipeline, RejectsBadArguments) {
+  const FpgaConfig cfg = FpgaConfig::optimized_design(8, 8, Modulation::kQam4);
+  EXPECT_THROW(MultiPipelineFpga(cfg, 0), invalid_argument_error);
+  MultiPipelineFpga pool(cfg, 2);
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  EXPECT_THROW((void)pool.decode_batch({}, c, 1.0), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

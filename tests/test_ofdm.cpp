@@ -1,0 +1,130 @@
+#include "mimo/ofdm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "core/sphere_decoder.hpp"
+#include "linalg/norms.hpp"
+
+namespace sd {
+namespace {
+
+OfdmConfig small_config() {
+  OfdmConfig cfg;
+  cfg.subcarriers = 16;
+  cfg.num_taps = 3;
+  cfg.num_tx = 2;
+  cfg.num_rx = 2;
+  cfg.modulation = Modulation::kQam4;
+  return cfg;
+}
+
+TEST(Ofdm, SingleTapChannelIsFlat) {
+  OfdmConfig cfg = small_config();
+  cfg.num_taps = 1;
+  OfdmLink link(cfg, 1);
+  const MultipathChannel ch = link.draw_channel();
+  const auto freq = ch.frequency_response(cfg.subcarriers);
+  ASSERT_EQ(freq.size(), 16u);
+  for (const CMat& h : freq) {
+    EXPECT_LT(max_abs_diff(h, ch.taps[0]), 1e-4);
+  }
+}
+
+TEST(Ofdm, FrequencyResponseMatchesDirectDft) {
+  OfdmLink link(small_config(), 2);
+  const MultipathChannel ch = link.draw_channel();
+  const auto freq = ch.frequency_response(16);
+  for (index_t f = 0; f < 16; ++f) {
+    for (index_t i = 0; i < 2; ++i) {
+      for (index_t j = 0; j < 2; ++j) {
+        cplx expected{0, 0};
+        for (usize t = 0; t < ch.taps.size(); ++t) {
+          const double angle = -2.0 * std::numbers::pi * static_cast<double>(f) *
+                               static_cast<double>(t) / 16.0;
+          expected += ch.taps[t](i, j) *
+                      cplx{static_cast<real>(std::cos(angle)),
+                           static_cast<real>(std::sin(angle))};
+        }
+        EXPECT_LT(std::abs(freq[static_cast<usize>(f)](i, j) - expected), 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(Ofdm, TapPowersAreNormalized) {
+  // E[|H[f]_ij|^2] == 1 so per-subcarrier statistics match the flat model.
+  OfdmLink link(small_config(), 3);
+  double acc = 0.0;
+  const int draws = 300;
+  for (int d = 0; d < draws; ++d) {
+    const MultipathChannel ch = link.draw_channel();
+    const auto freq = ch.frequency_response(16);
+    for (const CMat& h : freq) acc += frobenius_sq(h);
+  }
+  // 16 subcarriers x 4 entries of unit average power.
+  EXPECT_NEAR(acc / (draws * 16.0 * 4.0), 1.0, 0.07);
+}
+
+TEST(Ofdm, NoiselessFrameDecodesPerfectlyPerSubcarrier) {
+  OfdmLink link(small_config(), 4);
+  const MultipathChannel ch = link.draw_channel();
+  const OfdmLink::TxFrame tx = link.random_frame();
+  const OfdmLink::RxFrame rx = link.transmit(ch, tx, 300.0);
+
+  const SystemConfig sys{2, 2, Modulation::kQam4};
+  auto det = make_detector(sys, DecoderSpec{});
+  for (usize f = 0; f < rx.y.size(); ++f) {
+    const DecodeResult r = det->decode(rx.h[f], rx.y[f], rx.sigma2);
+    EXPECT_EQ(r.indices, tx.carriers[f].indices) << "subcarrier " << f;
+  }
+}
+
+TEST(Ofdm, FrameHasIndependentPayloads) {
+  OfdmLink link(small_config(), 5);
+  const OfdmLink::TxFrame tx = link.random_frame();
+  // Not all subcarriers carry the same symbols.
+  bool any_different = false;
+  for (usize f = 1; f < tx.carriers.size(); ++f) {
+    if (tx.carriers[f].indices != tx.carriers[0].indices) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Ofdm, RejectsBadConfigs) {
+  OfdmConfig cfg = small_config();
+  cfg.subcarriers = 12;  // not a power of two
+  EXPECT_THROW(OfdmLink(cfg, 1), invalid_argument_error);
+  cfg = small_config();
+  cfg.num_taps = 0;
+  EXPECT_THROW(OfdmLink(cfg, 1), invalid_argument_error);
+  cfg = small_config();
+  cfg.num_taps = 32;  // exceeds subcarriers
+  EXPECT_THROW(OfdmLink(cfg, 1), invalid_argument_error);
+  cfg = small_config();
+  cfg.tap_decay = 0.0;
+  EXPECT_THROW(OfdmLink(cfg, 1), invalid_argument_error);
+}
+
+TEST(Ofdm, FrequencySelectivityVariesAcrossSubcarriers) {
+  OfdmLink link(small_config(), 6);
+  const MultipathChannel ch = link.draw_channel();
+  const auto freq = ch.frequency_response(16);
+  // With 3 taps, per-subcarrier gains must differ materially.
+  double min_gain = 1e30, max_gain = 0;
+  for (const CMat& h : freq) {
+    const double g = frobenius_sq(h);
+    min_gain = std::min(min_gain, g);
+    max_gain = std::max(max_gain, g);
+  }
+  EXPECT_GT(max_gain, 1.5 * min_gain);
+}
+
+}  // namespace
+}  // namespace sd

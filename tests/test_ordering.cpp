@@ -1,0 +1,82 @@
+#include "linalg/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+TEST(SortedQr, ReconstructsPermutedChannel) {
+  const index_t n = 8, m = 6;
+  const CMat h = testing::random_cmat(n, m, 1);
+  const SortedQr sq = qr_sorted(h);
+
+  // Build H * P from the permutation and compare with Q * R.
+  CMat hp(n, m);
+  for (index_t k = 0; k < m; ++k) {
+    const index_t src = sq.perm[static_cast<usize>(k)];
+    for (index_t i = 0; i < n; ++i) hp(i, k) = h(i, src);
+  }
+  CMat qr(n, m);
+  gemm_naive(Op::kNone, cplx{1, 0}, sq.q, sq.r, cplx{0, 0}, qr);
+  EXPECT_LT(max_abs_diff(qr, hp), 5e-5);
+}
+
+TEST(SortedQr, PermIsAPermutation) {
+  const CMat h = testing::random_cmat(10, 10, 2);
+  const SortedQr sq = qr_sorted(h);
+  std::vector<index_t> sorted = sq.perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(sorted[static_cast<usize>(k)], k);
+  }
+}
+
+TEST(SortedQr, QIsOrthonormal) {
+  const CMat h = testing::random_cmat(12, 8, 3);
+  const SortedQr sq = qr_sorted(h);
+  CMat g(8, 8);
+  gemm_naive(Op::kConjTrans, cplx{1, 0}, sq.q, sq.q, cplx{0, 0}, g);
+  EXPECT_LT(max_abs_diff(g, CMat::identity(8)), 5e-5);
+}
+
+TEST(SortedQr, FirstPivotIsMinNormColumn) {
+  const index_t n = 6, m = 4;
+  CMat h = testing::random_cmat(n, m, 4);
+  // Make column 2 tiny so the SQRD min-norm rule must pick it first.
+  for (index_t i = 0; i < n; ++i) h(i, 2) *= real{0.01};
+  const SortedQr sq = qr_sorted(h);
+  EXPECT_EQ(sq.perm[0], 2);
+}
+
+TEST(SortedQr, DiagonalRealNonNegative) {
+  const CMat h = testing::random_cmat(9, 7, 5);
+  const SortedQr sq = qr_sorted(h);
+  for (index_t i = 0; i < 7; ++i) {
+    EXPECT_GT(sq.r(i, i).real(), 0.0f);
+    EXPECT_EQ(sq.r(i, i).imag(), 0.0f);
+  }
+}
+
+TEST(Unpermute, InvertsPermutation) {
+  const std::vector<index_t> perm{2, 0, 1};
+  const CVec layered{cplx{10, 0}, cplx{20, 0}, cplx{30, 0}};
+  const CVec original = unpermute(perm, layered);
+  // layered[k] belongs to antenna perm[k].
+  EXPECT_EQ(original[2], (cplx{10, 0}));
+  EXPECT_EQ(original[0], (cplx{20, 0}));
+  EXPECT_EQ(original[1], (cplx{30, 0}));
+}
+
+TEST(Unpermute, LengthMismatchThrows) {
+  EXPECT_THROW((void)unpermute({0, 1}, CVec(3)), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,97 @@
+#include "decode/parallel_sd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "decode/ml.hpp"
+#include "decode/sd_dfs.hpp"
+#include "mimo/scenario.hpp"
+
+namespace sd {
+namespace {
+
+Trial make_trial(index_t m, Modulation mod, double snr, std::uint64_t seed) {
+  ScenarioConfig sc;
+  sc.num_tx = m;
+  sc.num_rx = m;
+  sc.modulation = mod;
+  sc.snr_db = snr;
+  sc.seed = seed;
+  Scenario s(sc);
+  return s.next();
+}
+
+class ThreadCounts : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadCounts, MatchesMlForAnyPoolSize) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ParallelSdOptions opts;
+  opts.num_threads = GetParam();
+  ParallelSdDetector par(c, opts);
+  MlDetector ml(c);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Trial t = make_trial(5, Modulation::kQam4, 6.0, seed);
+    EXPECT_EQ(par.decode(t.h, t.y, t.sigma2).indices,
+              ml.decode(t.h, t.y, t.sigma2).indices)
+        << "threads=" << GetParam() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, ThreadCounts, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ParallelSd, DeeperSplitStillExact) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ParallelSdOptions opts;
+  opts.num_threads = 3;
+  opts.split_depth = 2;  // 16 sub-trees
+  ParallelSdDetector par(c, opts);
+  MlDetector ml(c);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Trial t = make_trial(5, Modulation::kQam4, 8.0, seed);
+    EXPECT_EQ(par.decode(t.h, t.y, t.sigma2).indices,
+              ml.decode(t.h, t.y, t.sigma2).indices);
+  }
+}
+
+TEST(ParallelSd, SharedRadiusPrunesAcrossSubtrees) {
+  // With best-first dispatch, later sub-trees should be pruned near-wholesale
+  // by the radius published from the first: total expansions must stay well
+  // under a per-subtree independent bound (P subtrees x full independent SD).
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ParallelSdOptions opts;
+  opts.num_threads = 1;  // deterministic schedule
+  ParallelSdDetector par(c, opts);
+  SdDfsDetector dfs(c);
+  double par_nodes = 0, dfs_nodes = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Trial t = make_trial(8, Modulation::kQam4, 10.0, seed);
+    par_nodes += static_cast<double>(
+        par.decode(t.h, t.y, t.sigma2).stats.nodes_expanded);
+    dfs_nodes += static_cast<double>(
+        dfs.decode(t.h, t.y, t.sigma2).stats.nodes_expanded);
+  }
+  // Sub-tree partitioning loses some pruning context; allow 3x but not the
+  // 4x full-replication blowup.
+  EXPECT_LT(par_nodes, 3.0 * dfs_nodes);
+}
+
+TEST(ParallelSd, MetricMatchesResidual) {
+  const Constellation& c = Constellation::get(Modulation::kQam16);
+  ParallelSdOptions opts;
+  opts.num_threads = 2;
+  ParallelSdDetector par(c, opts);
+  const Trial t = make_trial(5, Modulation::kQam16, 8.0, 2);
+  const DecodeResult r = par.decode(t.h, t.y, t.sigma2);
+  EXPECT_NEAR(r.metric, residual_metric(t.h, t.y, r.symbols),
+              1e-2 * (1 + r.metric));
+}
+
+TEST(ParallelSd, RejectsBadSplitDepth) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ParallelSdOptions opts;
+  opts.split_depth = 0;
+  EXPECT_THROW(ParallelSdDetector(c, opts), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

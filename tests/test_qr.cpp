@@ -1,0 +1,148 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+/// ||Q R - H||_max helper.
+double reconstruction_error(const CMat& q, const CMat& r, const CMat& h) {
+  CMat qr(h.rows(), h.cols());
+  gemm_naive(Op::kNone, cplx{1, 0}, q, r, cplx{0, 0}, qr);
+  return max_abs_diff(qr, h);
+}
+
+/// ||Q^H Q - I||_max helper.
+double orthonormality_error(const CMat& q) {
+  CMat g(q.cols(), q.cols());
+  gemm_naive(Op::kConjTrans, cplx{1, 0}, q, q, cplx{0, 0}, g);
+  double worst = 0.0;
+  for (index_t i = 0; i < g.rows(); ++i) {
+    for (index_t j = 0; j < g.cols(); ++j) {
+      const cplx expected = (i == j) ? cplx{1, 0} : cplx{0, 0};
+      worst = std::max(worst, static_cast<double>(std::abs(g(i, j) - expected)));
+    }
+  }
+  return worst;
+}
+
+class QrShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QrShapes, HouseholderReconstructsH) {
+  const auto [n, m] = GetParam();
+  const CMat h = testing::random_cmat(n, m, static_cast<std::uint64_t>(n * 101 + m));
+  const QrFactorization qr(h);
+  EXPECT_LT(reconstruction_error(qr.thin_q(), qr.r(), h), 5e-5) << n << "x" << m;
+}
+
+TEST_P(QrShapes, HouseholderQIsOrthonormal) {
+  const auto [n, m] = GetParam();
+  const CMat h = testing::random_cmat(n, m, static_cast<std::uint64_t>(n * 13 + m * 7));
+  const QrFactorization qr(h);
+  EXPECT_LT(orthonormality_error(qr.thin_q()), 5e-5);
+}
+
+TEST_P(QrShapes, RIsUpperTriangularWithRealNonNegativeDiagonal) {
+  const auto [n, m] = GetParam();
+  const CMat h = testing::random_cmat(n, m, static_cast<std::uint64_t>(n + m * 23));
+  const QrFactorization qr(h);
+  const CMat& r = qr.r();
+  for (index_t i = 0; i < r.rows(); ++i) {
+    EXPECT_GE(r(i, i).real(), 0.0f);
+    EXPECT_EQ(r(i, i).imag(), 0.0f);
+    for (index_t j = 0; j < i; ++j) {
+      EXPECT_EQ(r(i, j), (cplx{0, 0}));
+    }
+  }
+}
+
+TEST_P(QrShapes, ApplyQhMatchesExplicitQ) {
+  const auto [n, m] = GetParam();
+  const CMat h = testing::random_cmat(n, m, static_cast<std::uint64_t>(n * 3 + m * 77));
+  const CVec y = testing::random_cvec(n, static_cast<std::uint64_t>(n + m));
+  const QrFactorization qr(h);
+  const CVec ybar = qr.apply_qh(y);
+  ASSERT_EQ(ybar.size(), static_cast<usize>(m));
+
+  const CMat q = qr.thin_q();
+  CVec expected(static_cast<usize>(m), cplx{0, 0});
+  gemv(Op::kConjTrans, cplx{1, 0}, q, y, cplx{0, 0}, expected);
+  EXPECT_LT(max_abs_diff(ybar, expected), 1e-4);
+}
+
+TEST_P(QrShapes, MgsReconstructsH) {
+  const auto [n, m] = GetParam();
+  const CMat h = testing::random_cmat(n, m, static_cast<std::uint64_t>(n * 7 + m * 3));
+  const QrPair qr = qr_mgs(h);
+  EXPECT_LT(reconstruction_error(qr.q, qr.r, h), 5e-5);
+  EXPECT_LT(orthonormality_error(qr.q), 5e-5);
+}
+
+TEST_P(QrShapes, HouseholderAndMgsAgreeOnR) {
+  // Both produce R with real non-negative diagonal, and QR factorization
+  // with that normalization is unique for full-rank H.
+  const auto [n, m] = GetParam();
+  const CMat h = testing::random_cmat(n, m, static_cast<std::uint64_t>(n * 9 + m * 31));
+  const QrFactorization house(h);
+  const QrPair mgs = qr_mgs(h);
+  EXPECT_LT(max_abs_diff(house.r(), mgs.r), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeGrid, QrShapes,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{2, 2},
+                                           std::tuple{4, 4}, std::tuple{6, 4},
+                                           std::tuple{10, 10},
+                                           std::tuple{16, 10},
+                                           std::tuple{20, 20},
+                                           std::tuple{32, 24}));
+
+TEST(Qr, InvariantMetricUnderTransform) {
+  // ||y - H s||^2 == ||ybar - R s||^2 (paper Eq. 4) for arbitrary s.
+  const index_t n = 8, m = 6;
+  const CMat h = testing::random_cmat(n, m, 555);
+  const CVec y = testing::random_cvec(n, 556);
+  const CVec s = testing::random_cvec(m, 557);
+
+  CVec lhs(y.begin(), y.end());
+  gemv(Op::kNone, cplx{-1, 0}, h, s, cplx{1, 0}, lhs);
+
+  const QrFactorization qr(h);
+  CVec rhs = qr.apply_qh(y);
+  gemv(Op::kNone, cplx{-1, 0}, qr.r(), s, cplx{1, 0}, rhs);
+
+  // ||y - Hs||^2 = ||Q^H(y - Hs)||^2 + (residual outside range(Q)); for the
+  // *difference* of two candidates the residual term cancels, so here we
+  // check the weaker but sufficient property: metric differences match.
+  const CVec s2 = testing::random_cvec(m, 558);
+  CVec lhs2(y.begin(), y.end());
+  gemv(Op::kNone, cplx{-1, 0}, h, s2, cplx{1, 0}, lhs2);
+  CVec rhs2 = qr.apply_qh(y);
+  gemv(Op::kNone, cplx{-1, 0}, qr.r(), s2, cplx{1, 0}, rhs2);
+
+  const double diff_full = norm2_sq(lhs) - norm2_sq(lhs2);
+  const double diff_tri = norm2_sq(rhs) - norm2_sq(rhs2);
+  EXPECT_NEAR(diff_full, diff_tri, 1e-3 * (1.0 + std::abs(diff_full)));
+}
+
+TEST(Qr, RejectsWideMatrix) {
+  const CMat h = testing::random_cmat(3, 5, 1);
+  EXPECT_THROW(QrFactorization{h}, invalid_argument_error);
+  EXPECT_THROW((void)qr_mgs(h), invalid_argument_error);
+}
+
+TEST(Qr, ApplyQhChecksLength) {
+  const CMat h = testing::random_cmat(5, 3, 2);
+  const QrFactorization qr(h);
+  const CVec y = testing::random_cvec(4, 3);
+  EXPECT_THROW((void)qr.apply_qh(y), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,93 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sd {
+namespace {
+
+SweepResult fake_sweep() {
+  SweepResult r;
+  r.detector = "SD-GEMM-BestFS";
+  SweepPoint p;
+  p.snr_db = 8.0;
+  p.trials = 10;
+  p.ber = 0.01;
+  p.ber_ci95 = 0.002;
+  p.ser = 0.02;
+  p.fer = 0.1;
+  p.mean_seconds = 1e-4;
+  p.p95_seconds = 2e-4;
+  p.mean_nodes_expanded = 100;
+  p.mean_nodes_generated = 400;
+  p.mean_gemm_calls = 100;
+  p.mean_flops = 5000;
+  r.points.push_back(p);
+  p.snr_db = 12.0;
+  p.ber = 0.0;
+  r.points.push_back(p);
+  return r;
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerPoint) {
+  std::ostringstream os;
+  write_csv(os, fake_sweep());
+  const std::string out = os.str();
+  usize lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // header + 2 points
+  EXPECT_EQ(out.find("detector,snr_db"), 0u);
+  EXPECT_NE(out.find("SD-GEMM-BestFS,8,10,0.01,"), std::string::npos);
+}
+
+TEST(Report, MultiSweepSharesOneHeader) {
+  std::ostringstream os;
+  const std::vector<SweepResult> sweeps{fake_sweep(), fake_sweep()};
+  write_csv(os, sweeps);
+  const std::string out = os.str();
+  // One header only.
+  EXPECT_EQ(out.find("detector,snr_db"), 0u);
+  EXPECT_EQ(out.find("detector,snr_db", 1), std::string::npos);
+  usize lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST(Report, CsvIsParseable) {
+  std::ostringstream os;
+  write_csv(os, fake_sweep());
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);  // header
+  std::getline(is, line);  // first row
+  usize commas = 0;
+  for (char c : line) {
+    if (c == ',') ++commas;
+  }
+  EXPECT_EQ(commas, 12u);  // 13 fields
+}
+
+TEST(Report, SummaryMentionsKeyCounters) {
+  DecodeStats s;
+  s.nodes_expanded = 42;
+  s.nodes_generated = 168;
+  s.leaves_reached = 3;
+  s.gemm_calls = 42;
+  s.search_seconds = 1.5e-4;
+  const std::string text = summarize(s);
+  EXPECT_NE(text.find("42 expanded"), std::string::npos);
+  EXPECT_NE(text.find("168 generated"), std::string::npos);
+  EXPECT_NE(text.find("3 leaves"), std::string::npos);
+  EXPECT_EQ(text.find("budget hit"), std::string::npos);
+  DecodeStats capped = s;
+  capped.node_budget_hit = true;
+  EXPECT_NE(summarize(capped).find("budget hit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sd

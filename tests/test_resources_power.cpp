@@ -1,0 +1,159 @@
+// The Table I / Table II models: calibration against the paper's reported
+// values and structural monotonicity properties.
+#include <gtest/gtest.h>
+
+#include "fpga/power.hpp"
+#include "fpga/resources.hpp"
+#include "platform/cpu_model.hpp"
+
+namespace sd {
+namespace {
+
+/// |model - paper| / paper must stay within `tol`.
+void expect_close(double model, double paper, double tol,
+                  const char* what) {
+  EXPECT_LE(std::abs(model - paper) / paper, tol)
+      << what << ": model=" << model << " paper=" << paper;
+}
+
+TEST(Resources, OptimizedFourQamMatchesTableI) {
+  const auto est = estimate_resources(
+      FpgaConfig::optimized_design(10, 10, Modulation::kQam4));
+  EXPECT_EQ(est.freq_mhz, 300.0);
+  expect_close(est.lut_frac(), 0.11, 0.25, "LUT");
+  expect_close(est.ff_frac(), 0.07, 0.25, "FF");
+  expect_close(est.dsp_frac(), 0.03, 0.35, "DSP");
+  expect_close(est.bram_frac(), 0.08, 0.25, "BRAM");
+  expect_close(est.uram_frac(), 0.07, 0.25, "URAM");
+}
+
+TEST(Resources, OptimizedSixteenQamMatchesTableI) {
+  const auto est = estimate_resources(
+      FpgaConfig::optimized_design(10, 10, Modulation::kQam16));
+  expect_close(est.lut_frac(), 0.23, 0.25, "LUT");
+  expect_close(est.ff_frac(), 0.11, 0.25, "FF");
+  expect_close(est.dsp_frac(), 0.07, 0.35, "DSP");
+  expect_close(est.bram_frac(), 0.10, 0.25, "BRAM");
+  expect_close(est.uram_frac(), 0.30, 0.25, "URAM");
+}
+
+TEST(Resources, BaselineFourQamMatchesTableI) {
+  const auto est =
+      estimate_resources(FpgaConfig::baseline(10, 10, Modulation::kQam4));
+  EXPECT_EQ(est.freq_mhz, 253.0);
+  expect_close(est.lut_frac(), 0.29, 0.25, "LUT");
+  expect_close(est.ff_frac(), 0.20, 0.25, "FF");
+  expect_close(est.dsp_frac(), 0.08, 0.35, "DSP");
+  expect_close(est.bram_frac(), 0.11, 0.25, "BRAM");
+  expect_close(est.uram_frac(), 0.14, 0.30, "URAM");
+}
+
+TEST(Resources, BaselineSixteenQamMatchesTableI) {
+  const auto est =
+      estimate_resources(FpgaConfig::baseline(10, 10, Modulation::kQam16));
+  expect_close(est.lut_frac(), 0.50, 0.25, "LUT");
+  expect_close(est.ff_frac(), 0.27, 0.25, "FF");
+  expect_close(est.dsp_frac(), 0.15, 0.35, "DSP");
+  expect_close(est.bram_frac(), 0.14, 0.30, "BRAM");
+  expect_close(est.uram_frac(), 0.60, 0.25, "URAM");
+}
+
+TEST(Resources, OptimizationReducesEveryResourceClass) {
+  for (Modulation mod : {Modulation::kQam4, Modulation::kQam16}) {
+    const auto opt = estimate_resources(FpgaConfig::optimized_design(10, 10, mod));
+    const auto base = estimate_resources(FpgaConfig::baseline(10, 10, mod));
+    EXPECT_LT(opt.luts, base.luts);
+    EXPECT_LT(opt.ffs, base.ffs);
+    EXPECT_LT(opt.dsps, base.dsps);
+    EXPECT_LT(opt.bram18, base.bram18);
+    EXPECT_LT(opt.urams, base.urams);
+  }
+}
+
+TEST(Resources, HigherModulationCostsMore) {
+  const auto q4 = estimate_resources(
+      FpgaConfig::optimized_design(10, 10, Modulation::kQam4));
+  const auto q16 = estimate_resources(
+      FpgaConfig::optimized_design(10, 10, Modulation::kQam16));
+  const auto q64 = estimate_resources(
+      FpgaConfig::optimized_design(10, 10, Modulation::kQam64));
+  EXPECT_LT(q4.luts, q16.luts);
+  EXPECT_LT(q16.luts, q64.luts);
+  // URAM scales with the tree-state matrix ~ Mod^2 (paper §IV-E).
+  EXPECT_GT(q64.urams / q16.urams, 3.0);
+}
+
+TEST(Resources, SecondPipelineFitsOnlyForOptimizedDesigns) {
+  // §III-C4: the baseline's utilization blocks a second pipeline.
+  EXPECT_TRUE(
+      estimate_resources(FpgaConfig::optimized_design(10, 10, Modulation::kQam4))
+          .second_pipeline_fits());
+  EXPECT_TRUE(
+      estimate_resources(FpgaConfig::optimized_design(10, 10, Modulation::kQam16))
+          .second_pipeline_fits());
+  EXPECT_FALSE(
+      estimate_resources(FpgaConfig::baseline(10, 10, Modulation::kQam16))
+          .second_pipeline_fits());
+}
+
+TEST(Resources, Fp16ShrinksDspAndMemory) {
+  FpgaConfig cfg = FpgaConfig::optimized_design(10, 10, Modulation::kQam16);
+  const auto fp32 = estimate_resources(cfg);
+  cfg.precision = Precision::kFp16;
+  const auto fp16 = estimate_resources(cfg);
+  EXPECT_LT(fp16.dsps, fp32.dsps);
+  EXPECT_LT(fp16.urams, fp32.urams);
+  EXPECT_EQ(fp16.luts, fp32.luts);  // control logic unchanged
+}
+
+TEST(FpgaPower, MatchesTableIIOperatingPoints) {
+  expect_close(
+      fpga_power_watts(FpgaConfig::optimized_design(10, 10, Modulation::kQam4)),
+      8.0, 0.25, "10x10 4-QAM");
+  expect_close(
+      fpga_power_watts(FpgaConfig::optimized_design(15, 15, Modulation::kQam4)),
+      11.7, 0.25, "15x15 4-QAM");
+  expect_close(
+      fpga_power_watts(FpgaConfig::optimized_design(20, 20, Modulation::kQam4)),
+      12.0, 0.25, "20x20 4-QAM");
+  expect_close(
+      fpga_power_watts(FpgaConfig::optimized_design(10, 10, Modulation::kQam16)),
+      12.8, 0.25, "10x10 16-QAM");
+}
+
+TEST(FpgaPower, FarBelowCpuPower) {
+  // The core of Table II: an order of magnitude between the platforms.
+  for (index_t m : {10, 15, 20}) {
+    const double fpga =
+        fpga_power_watts(FpgaConfig::optimized_design(m, m, Modulation::kQam4));
+    const double cpu = cpu_power_watts(m, Modulation::kQam4);
+    EXPECT_GT(cpu / fpga, 5.0) << "M=" << m;
+  }
+}
+
+TEST(CpuPower, MatchesTableIIOperatingPoints) {
+  expect_close(cpu_power_watts(10, Modulation::kQam4), 82.0, 0.20, "10x10 4-QAM");
+  expect_close(cpu_power_watts(15, Modulation::kQam4), 93.0, 0.20, "15x15 4-QAM");
+  expect_close(cpu_power_watts(20, Modulation::kQam4), 135.0, 0.20, "20x20 4-QAM");
+  expect_close(cpu_power_watts(10, Modulation::kQam16), 142.0, 0.20,
+               "10x10 16-QAM");
+}
+
+TEST(Power, EnergyIsPowerTimesTime) {
+  const FpgaConfig cfg = FpgaConfig::optimized_design(10, 10, Modulation::kQam4);
+  EXPECT_NEAR(fpga_energy_joules(cfg, 2.0), 2.0 * fpga_power_watts(cfg), 1e-12);
+  EXPECT_NEAR(cpu_energy_joules(10, Modulation::kQam4, 0.5),
+              0.5 * cpu_power_watts(10, Modulation::kQam4), 1e-12);
+}
+
+TEST(Power, GrowsWithSystemSize) {
+  EXPECT_LE(fpga_power_watts(FpgaConfig::optimized_design(10, 10, Modulation::kQam4)),
+            fpga_power_watts(FpgaConfig::optimized_design(15, 15, Modulation::kQam4)));
+  EXPECT_LT(cpu_power_watts(10, Modulation::kQam4),
+            cpu_power_watts(20, Modulation::kQam4));
+  EXPECT_LT(cpu_power_watts(10, Modulation::kQam4),
+            cpu_power_watts(10, Modulation::kQam16));
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,81 @@
+#include "mimo/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+
+namespace sd {
+namespace {
+
+ScenarioConfig config_10x10() {
+  ScenarioConfig sc;
+  sc.num_tx = 10;
+  sc.num_rx = 10;
+  sc.modulation = Modulation::kQam4;
+  sc.snr_db = 8.0;
+  sc.seed = 77;
+  return sc;
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  Scenario a(config_10x10()), b(config_10x10());
+  for (int t = 0; t < 5; ++t) {
+    const Trial ta = a.next();
+    const Trial tb = b.next();
+    EXPECT_TRUE(ta.h == tb.h);
+    EXPECT_EQ(ta.tx.indices, tb.tx.indices);
+    EXPECT_EQ(max_abs_diff(ta.y, tb.y), 0.0);
+  }
+}
+
+TEST(Scenario, DifferentSeedsGiveDifferentTrials) {
+  ScenarioConfig sc = config_10x10();
+  Scenario a(sc);
+  sc.seed = 78;
+  Scenario b(sc);
+  EXPECT_FALSE(a.next().h == b.next().h);
+}
+
+TEST(Scenario, TrialSatisfiesLinkEquationStatistically) {
+  Scenario s(config_10x10());
+  // y - H s is the noise; its average power must be ~ sigma^2 per antenna.
+  double acc = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const Trial trial = s.next();
+    CVec r(trial.y.begin(), trial.y.end());
+    gemv(Op::kNone, cplx{-1, 0}, trial.h, trial.tx.symbols, cplx{1, 0}, r);
+    acc += norm2_sq(r) / 10.0;
+  }
+  EXPECT_NEAR(acc / trials, s.sigma2(), 0.05 * s.sigma2() + 0.01);
+}
+
+TEST(Scenario, Sigma2MatchesSnrDefinition) {
+  const Scenario s(config_10x10());
+  EXPECT_NEAR(s.sigma2(), snr_db_to_sigma2(8.0, 10), 1e-12);
+}
+
+TEST(Scenario, SymbolsAreUniformlySpread) {
+  ScenarioConfig sc = config_10x10();
+  sc.modulation = Modulation::kQam16;
+  Scenario s(sc);
+  std::vector<int> counts(16, 0);
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const Trial trial = s.next();
+    for (index_t idx : trial.tx.indices) ++counts[static_cast<usize>(idx)];
+  }
+  const int total = trials * 10;
+  for (int count : counts) {
+    EXPECT_NEAR(count, total / 16, total / 40);
+  }
+}
+
+TEST(Scenario, LabelIsHumanReadable) {
+  EXPECT_EQ(config_10x10().label().substr(0, 5), "10x10");
+  EXPECT_NE(config_10x10().label().find("4-QAM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sd

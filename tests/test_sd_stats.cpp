@@ -1,0 +1,184 @@
+// Work-counter semantics of the sphere decoders: node accounting identities,
+// traversal equality between Best-FS (GEMM) and SE-DFS, budget handling, and
+// the complexity trends the paper's evaluation is built on.
+#include <gtest/gtest.h>
+
+#include "decode/ml.hpp"
+#include "decode/sd_dfs.hpp"
+#include "decode/sd_gemm.hpp"
+#include "decode/sd_gemm_bfs.hpp"
+#include "mimo/scenario.hpp"
+
+namespace sd {
+namespace {
+
+Trial make_trial(index_t m, Modulation mod, double snr, std::uint64_t seed) {
+  ScenarioConfig sc;
+  sc.num_tx = m;
+  sc.num_rx = m;
+  sc.modulation = mod;
+  sc.snr_db = snr;
+  sc.seed = seed;
+  Scenario s(sc);
+  return s.next();
+}
+
+TEST(SdStats, GeneratedEqualsExpandedTimesOrder) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmDetector sd(c);
+  const Trial t = make_trial(8, Modulation::kQam4, 8.0, 1);
+  const DecodeResult r = sd.decode(t.h, t.y, t.sigma2);
+  EXPECT_EQ(r.stats.nodes_generated, r.stats.nodes_expanded * 4);
+  EXPECT_EQ(r.stats.gemm_calls, r.stats.nodes_expanded);
+  EXPECT_GT(r.stats.flops, 0u);
+}
+
+TEST(SdStats, BestFsAndDfsVisitIdenticalNodeCounts) {
+  // Sorted children + LIFO pop == depth-first best-child descent, so the
+  // two implementations must expand exactly the same nodes.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmDetector best_fs(c);
+  SdDfsDetector dfs(c);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Trial t = make_trial(8, Modulation::kQam4, 6.0, seed);
+    const DecodeResult a = best_fs.decode(t.h, t.y, t.sigma2);
+    const DecodeResult b = dfs.decode(t.h, t.y, t.sigma2);
+    EXPECT_EQ(a.stats.nodes_expanded, b.stats.nodes_expanded) << "seed " << seed;
+    EXPECT_EQ(a.stats.nodes_generated, b.stats.nodes_generated);
+    EXPECT_EQ(a.stats.leaves_reached, b.stats.leaves_reached);
+    EXPECT_EQ(a.stats.radius_updates, b.stats.radius_updates);
+  }
+}
+
+TEST(SdStats, GemmAndScalarEvaluationVisitIdenticalNodes) {
+  const Constellation& c = Constellation::get(Modulation::kQam16);
+  SdGemmDetector gemm_eval(c);
+  SdOptions scalar_opts;
+  scalar_opts.gemm_eval = false;
+  SdGemmDetector scalar_eval(c, scalar_opts);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Trial t = make_trial(5, Modulation::kQam16, 8.0, seed);
+    const DecodeResult a = gemm_eval.decode(t.h, t.y, t.sigma2);
+    const DecodeResult b = scalar_eval.decode(t.h, t.y, t.sigma2);
+    EXPECT_EQ(a.stats.nodes_expanded, b.stats.nodes_expanded);
+    EXPECT_EQ(a.indices, b.indices);
+    // Only the GEMM path issues GEMMs.
+    EXPECT_GT(a.stats.gemm_calls, 0u);
+    EXPECT_EQ(b.stats.gemm_calls, 0u);
+  }
+}
+
+TEST(SdStats, PruningBeatsExhaustiveSearch) {
+  // The whole point of Eq. 3: far fewer leaves than |Omega|^M are touched.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmDetector sd(c);
+  const index_t m = 10;
+  const Trial t = make_trial(m, Modulation::kQam4, 12.0, 3);
+  const DecodeResult r = sd.decode(t.h, t.y, t.sigma2);
+  const double exhaustive = std::pow(4.0, m);
+  EXPECT_LT(static_cast<double>(r.stats.nodes_generated), 0.01 * exhaustive);
+}
+
+TEST(SdStats, WorkDecreasesWithSnr) {
+  // Less noise -> received point closer to a lattice point -> tighter first
+  // radius -> fewer expansions. Averaged over seeds to avoid flakiness.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmDetector sd(c);
+  auto mean_nodes = [&](double snr) {
+    double acc = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const Trial t = make_trial(10, Modulation::kQam4, snr, seed);
+      acc += static_cast<double>(
+          sd.decode(t.h, t.y, t.sigma2).stats.nodes_expanded);
+    }
+    return acc / 20;
+  };
+  const double low = mean_nodes(4.0);
+  const double high = mean_nodes(16.0);
+  EXPECT_LT(high, low);
+}
+
+TEST(SdStats, BfsExploresFarMoreThanBestFs) {
+  // §IV-F: Best-FS prunes the search space to a small fraction of what the
+  // level-synchronous BFS touches.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmDetector best_fs(c);
+  SdGemmBfsDetector bfs(c);
+  double bfs_nodes = 0, best_nodes = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Trial t = make_trial(8, Modulation::kQam4, 8.0, seed);
+    best_nodes += static_cast<double>(
+        best_fs.decode(t.h, t.y, t.sigma2).stats.nodes_generated);
+    bfs_nodes += static_cast<double>(
+        bfs.decode(t.h, t.y, t.sigma2).stats.nodes_generated);
+  }
+  EXPECT_GT(bfs_nodes, 3.0 * best_nodes);
+}
+
+TEST(SdStats, BfsIssuesOneGemmPerLevel) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmBfsDetector bfs(c);
+  const Trial t = make_trial(6, Modulation::kQam4, 14.0, 2);
+  const DecodeResult r = bfs.decode(t.h, t.y, t.sigma2);
+  // gemm_calls is a multiple of the tree depth (retries add full passes).
+  EXPECT_GE(r.stats.gemm_calls, 6u);
+  EXPECT_EQ(r.stats.gemm_calls % 6, 0u);
+}
+
+TEST(SdStats, NodeBudgetStopsSearchAndStillAnswers) {
+  const Constellation& c = Constellation::get(Modulation::kQam16);
+  SdOptions opts;
+  opts.max_nodes = 3;
+  SdGemmDetector sd(c, opts);
+  const Trial t = make_trial(8, Modulation::kQam16, 4.0, 1);
+  const DecodeResult r = sd.decode(t.h, t.y, t.sigma2);
+  EXPECT_TRUE(r.stats.node_budget_hit);
+  EXPECT_EQ(r.indices.size(), 8u);
+  EXPECT_TRUE(std::isfinite(r.metric));
+  // The Babai fallback's metric must equal the residual of its answer.
+  EXPECT_NEAR(r.metric, residual_metric(t.h, t.y, r.symbols),
+              1e-2 * (1 + r.metric));
+}
+
+TEST(SdStats, TightRadiusForcesRetryButCountsAccumulate) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdOptions tight;
+  tight.radius_policy = RadiusPolicy::kNoiseScaled;
+  tight.radius_alpha = 0.01;
+  SdGemmDetector sd_tight(c, tight);
+  SdGemmDetector sd_inf(c);
+  const Trial t = make_trial(6, Modulation::kQam4, 10.0, 4);
+  const DecodeResult rt = sd_tight.decode(t.h, t.y, t.sigma2);
+  const DecodeResult ri = sd_inf.decode(t.h, t.y, t.sigma2);
+  EXPECT_EQ(rt.indices, ri.indices);
+}
+
+TEST(SdStats, DeterministicAcrossRepeatedDecodes) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmDetector sd(c);
+  const Trial t = make_trial(8, Modulation::kQam4, 8.0, 9);
+  const DecodeResult a = sd.decode(t.h, t.y, t.sigma2);
+  const DecodeResult b = sd.decode(t.h, t.y, t.sigma2);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.stats.nodes_expanded, b.stats.nodes_expanded);
+  EXPECT_EQ(a.stats.flops, b.stats.flops);
+}
+
+TEST(SdStats, SixteenQamGeneratesMoreWorkThanFourQam) {
+  // §IV-E: modulation scaling dominates antenna scaling.
+  const Constellation& c4 = Constellation::get(Modulation::kQam4);
+  const Constellation& c16 = Constellation::get(Modulation::kQam16);
+  SdGemmDetector sd4(c4);
+  SdGemmDetector sd16(c16);
+  double w4 = 0, w16 = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Trial t4 = make_trial(6, Modulation::kQam4, 8.0, seed);
+    const Trial t16 = make_trial(6, Modulation::kQam16, 8.0, seed);
+    w4 += static_cast<double>(sd4.decode(t4.h, t4.y, t4.sigma2).stats.flops);
+    w16 += static_cast<double>(sd16.decode(t16.h, t16.y, t16.sigma2).stats.flops);
+  }
+  EXPECT_GT(w16, 2.0 * w4);
+}
+
+}  // namespace
+}  // namespace sd

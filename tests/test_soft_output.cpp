@@ -1,0 +1,131 @@
+#include "decode/soft_output.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "decode/sd_gemm.hpp"
+#include "mimo/scenario.hpp"
+
+namespace sd {
+namespace {
+
+Trial make_trial(index_t m, Modulation mod, double snr, std::uint64_t seed) {
+  ScenarioConfig sc;
+  sc.num_tx = m;
+  sc.num_rx = m;
+  sc.modulation = mod;
+  sc.snr_db = snr;
+  sc.seed = seed;
+  Scenario s(sc);
+  return s.next();
+}
+
+TEST(ListSd, HardOutputMatchesPlainSphereDecoder) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ListSphereDecoder list_sd(c);
+  SdGemmDetector plain(c);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Trial t = make_trial(6, Modulation::kQam4, 8.0, seed);
+    const SoftDecodeResult soft = list_sd.decode_soft(t.h, t.y, t.sigma2);
+    const DecodeResult hard = plain.decode(t.h, t.y, t.sigma2);
+    EXPECT_EQ(soft.hard.indices, hard.indices) << "seed " << seed;
+    EXPECT_NEAR(soft.hard.metric, hard.metric, 1e-2 * (1 + hard.metric));
+  }
+}
+
+TEST(ListSd, LlrSignsMatchTransmittedBitsAtHighSnr) {
+  const Constellation& c = Constellation::get(Modulation::kQam16);
+  ListSphereDecoder list_sd(c);
+  const int bits = c.bits_per_symbol();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Trial t = make_trial(4, Modulation::kQam16, 25.0, seed);
+    const SoftDecodeResult soft = list_sd.decode_soft(t.h, t.y, t.sigma2);
+    std::vector<std::uint8_t> bit_buf(static_cast<usize>(bits));
+    for (index_t ant = 0; ant < 4; ++ant) {
+      c.index_to_bits(t.tx.indices[static_cast<usize>(ant)], bit_buf);
+      for (int b = 0; b < bits; ++b) {
+        const double llr =
+            soft.llrs[static_cast<usize>(ant) * bits + static_cast<usize>(b)];
+        if (bit_buf[static_cast<usize>(b)] == 0) {
+          EXPECT_GT(llr, 0.0) << "ant " << ant << " bit " << b;
+        } else {
+          EXPECT_LT(llr, 0.0) << "ant " << ant << " bit " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(ListSd, LlrMagnitudeGrowsWithSnr) {
+  // M=2, 4-QAM: only 16 leaves, so a 32-deep list enumerates the full
+  // hypothesis space — every bit has both hypotheses and no LLR is clamped.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ListSdOptions opts;
+  opts.llr_clamp = 1e9;  // effectively disable clamping
+  ListSphereDecoder list_sd(c, opts);
+  auto mean_abs_llr = [&](double snr) {
+    double acc = 0.0;
+    int n = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const Trial t = make_trial(2, Modulation::kQam4, snr, seed);
+      const SoftDecodeResult soft = list_sd.decode_soft(t.h, t.y, t.sigma2);
+      for (double l : soft.llrs) {
+        acc += std::abs(l);
+        ++n;
+      }
+    }
+    return acc / n;
+  };
+  EXPECT_GT(mean_abs_llr(16.0), mean_abs_llr(4.0));
+}
+
+TEST(ListSd, ClampBoundsRespected) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ListSdOptions opts;
+  opts.llr_clamp = 5.0;
+  ListSphereDecoder list_sd(c, opts);
+  const Trial t = make_trial(6, Modulation::kQam4, 20.0, 3);
+  const SoftDecodeResult soft = list_sd.decode_soft(t.h, t.y, t.sigma2);
+  for (double l : soft.llrs) {
+    EXPECT_LE(std::abs(l), 5.0 + 1e-12);
+  }
+}
+
+TEST(ListSd, ListSizeBoundsCandidates) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ListSdOptions opts;
+  opts.list_size = 4;
+  ListSphereDecoder list_sd(c, opts);
+  const Trial t = make_trial(6, Modulation::kQam4, 6.0, 4);
+  const SoftDecodeResult soft = list_sd.decode_soft(t.h, t.y, t.sigma2);
+  EXPECT_LE(soft.candidates, 4u);
+  EXPECT_GE(soft.candidates, 1u);
+}
+
+TEST(ListSd, LargerListExploresMore) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ListSdOptions small_opts;
+  small_opts.list_size = 2;
+  ListSdOptions big_opts;
+  big_opts.list_size = 64;
+  ListSphereDecoder small_sd(c, small_opts);
+  ListSphereDecoder big_sd(c, big_opts);
+  const Trial t = make_trial(8, Modulation::kQam4, 8.0, 5);
+  const auto r_small = small_sd.decode_soft(t.h, t.y, t.sigma2);
+  const auto r_big = big_sd.decode_soft(t.h, t.y, t.sigma2);
+  EXPECT_GT(r_big.hard.stats.nodes_expanded, r_small.hard.stats.nodes_expanded);
+  EXPECT_GT(r_big.candidates, r_small.candidates);
+}
+
+TEST(ListSd, RejectsBadOptions) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ListSdOptions opts;
+  opts.list_size = 0;
+  EXPECT_THROW(ListSphereDecoder(c, opts), invalid_argument_error);
+  opts.list_size = 4;
+  opts.llr_clamp = 0.0;
+  EXPECT_THROW(ListSphereDecoder(c, opts), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd

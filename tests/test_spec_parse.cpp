@@ -1,0 +1,104 @@
+#include "core/spec_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sd {
+namespace {
+
+TEST(SpecParse, PlainNames) {
+  EXPECT_EQ(parse_decoder_spec("sphere").strategy, Strategy::kBestFsGemm);
+  EXPECT_EQ(parse_decoder_spec("bestfs").strategy, Strategy::kBestFsGemm);
+  EXPECT_EQ(parse_decoder_spec("sphere-scalar").strategy,
+            Strategy::kBestFsScalar);
+  EXPECT_EQ(parse_decoder_spec("dfs").strategy, Strategy::kDfs);
+  EXPECT_EQ(parse_decoder_spec("geosphere").strategy, Strategy::kDfs);
+  EXPECT_EQ(parse_decoder_spec("bfs").strategy, Strategy::kGemmBfs);
+  EXPECT_EQ(parse_decoder_spec("ml").strategy, Strategy::kMl);
+  EXPECT_EQ(parse_decoder_spec("zf").strategy, Strategy::kZf);
+  EXPECT_EQ(parse_decoder_spec("mmse").strategy, Strategy::kMmse);
+  EXPECT_EQ(parse_decoder_spec("mrc").strategy, Strategy::kMrc);
+  EXPECT_EQ(parse_decoder_spec("kbest").strategy, Strategy::kKBest);
+  EXPECT_EQ(parse_decoder_spec("fsd").strategy, Strategy::kFsd);
+  EXPECT_EQ(parse_decoder_spec("multipe").strategy, Strategy::kMultiPe);
+}
+
+TEST(SpecParse, Devices) {
+  EXPECT_EQ(parse_decoder_spec("sphere").device, TargetDevice::kCpu);
+  EXPECT_EQ(parse_decoder_spec("sphere@cpu").device, TargetDevice::kCpu);
+  EXPECT_EQ(parse_decoder_spec("sphere@fpga").device,
+            TargetDevice::kFpgaOptimized);
+  EXPECT_EQ(parse_decoder_spec("sphere@fpga-opt").device,
+            TargetDevice::kFpgaOptimized);
+  EXPECT_EQ(parse_decoder_spec("sphere@fpga-base").device,
+            TargetDevice::kFpgaBaseline);
+}
+
+TEST(SpecParse, Options) {
+  const DecoderSpec kbest = parse_decoder_spec("kbest:k=48");
+  EXPECT_EQ(kbest.kbest.k, 48u);
+
+  const DecoderSpec fsd = parse_decoder_spec("fsd:levels=2");
+  EXPECT_EQ(fsd.fsd.full_levels, 2);
+
+  const DecoderSpec mp = parse_decoder_spec("multipe:threads=4,split=2");
+  EXPECT_EQ(mp.multi_pe.num_threads, 4u);
+  EXPECT_EQ(mp.multi_pe.split_depth, 2);
+
+  const DecoderSpec sorted = parse_decoder_spec("sphere:sorted");
+  EXPECT_TRUE(sorted.sd.sorted_qr);
+
+  const DecoderSpec budget = parse_decoder_spec("sphere:max-nodes=5000");
+  EXPECT_EQ(budget.sd.max_nodes, 5000u);
+
+  const DecoderSpec fp16 = parse_decoder_spec("sphere@fpga:fp16");
+  EXPECT_EQ(fp16.fpga_precision, Precision::kFp16);
+
+  const DecoderSpec bfs = parse_decoder_spec("bfs:frontier=1024");
+  EXPECT_EQ(bfs.bfs.max_frontier, 1024u);
+
+  const DecoderSpec scalar = parse_decoder_spec("sphere:scalar");
+  EXPECT_EQ(scalar.strategy, Strategy::kBestFsScalar);
+
+  const DecoderSpec alpha = parse_decoder_spec("sphere:alpha=2");
+  EXPECT_EQ(alpha.sd.radius_policy, RadiusPolicy::kNoiseScaled);
+}
+
+TEST(SpecParse, CombinedDeviceAndOptions) {
+  const DecoderSpec spec =
+      parse_decoder_spec("sphere@fpga:sorted,max-nodes=100,fp16");
+  EXPECT_EQ(spec.device, TargetDevice::kFpgaOptimized);
+  EXPECT_TRUE(spec.sd.sorted_qr);
+  EXPECT_EQ(spec.sd.max_nodes, 100u);
+  EXPECT_EQ(spec.fpga_precision, Precision::kFp16);
+}
+
+TEST(SpecParse, BuildsWorkingDetectors) {
+  const SystemConfig sys{4, 4, Modulation::kQam4};
+  for (const char* text :
+       {"sphere", "sphere@fpga", "zf", "kbest:k=8", "fsd:levels=1"}) {
+    auto det = make_detector(sys, parse_decoder_spec(text));
+    EXPECT_NE(det, nullptr) << text;
+  }
+}
+
+TEST(SpecParse, Rejections) {
+  EXPECT_THROW((void)parse_decoder_spec(""), invalid_argument_error);
+  EXPECT_THROW((void)parse_decoder_spec("turbo"), invalid_argument_error);
+  EXPECT_THROW((void)parse_decoder_spec("sphere@gpu"), invalid_argument_error);
+  EXPECT_THROW((void)parse_decoder_spec("sphere:bogus"), invalid_argument_error);
+  EXPECT_THROW((void)parse_decoder_spec("zf:k=4"), invalid_argument_error);
+  EXPECT_THROW((void)parse_decoder_spec("kbest:k=abc"), invalid_argument_error);
+}
+
+TEST(SpecParse, HelpMentionsEveryFamily) {
+  const std::string help(decoder_spec_help());
+  for (const char* token : {"sphere", "dfs", "bfs", "zf", "mmse", "kbest",
+                            "fsd", "multipe", "@fpga"}) {
+    EXPECT_NE(help.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,88 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sd {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingletonEdgeCases) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(empty), 0.0);
+  EXPECT_DOUBLE_EQ(geomean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(empty), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 7.0);
+}
+
+TEST(Stats, GeomeanMatchesHandComputation) {
+  const std::vector<double> xs{2.0, 8.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+  const std::vector<double> paper{35.8, 36.8, 38.4, 41.8};
+  // The paper's Table II geo-mean energy reduction: 38.1x.
+  EXPECT_NEAR(geomean(paper), 38.1, 0.2);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW((void)geomean(xs), invalid_argument_error);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, PercentileRejectsBadArgs) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile(xs, -1.0), invalid_argument_error);
+  EXPECT_THROW((void)percentile(xs, 101.0), invalid_argument_error);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 50.0), invalid_argument_error);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, 1, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+}
+
+TEST(Series, AccumulatesAndClears) {
+  Series s;
+  EXPECT_TRUE(s.empty());
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Stats, Ci95ShrinksWithSamples) {
+  std::vector<double> few{1, 2, 3, 4};
+  std::vector<double> many;
+  for (int rep = 0; rep < 64; ++rep) {
+    for (double x : few) many.push_back(x);
+  }
+  EXPECT_LT(ci95_halfwidth(many), ci95_halfwidth(few));
+}
+
+}  // namespace
+}  // namespace sd

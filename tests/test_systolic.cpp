@@ -1,0 +1,99 @@
+#include "fpga/systolic_gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fpga/half.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+TEST(SystolicGemm, FunctionalEqualityWithNaiveReference) {
+  SystolicGemmEngine engine(8, 4, 12);
+  const CMat a = testing::random_cmat(3, 7, 1);
+  const CMat b = testing::random_cmat(7, 9, 2);
+  CMat c_sys(3, 9), c_ref(3, 9);
+  engine.run(a, b, c_sys);
+  gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_ref);
+  EXPECT_EQ(max_abs_diff(c_sys, c_ref), 0.0);  // bitwise identical
+}
+
+TEST(SystolicGemm, CycleModelSingleTile) {
+  SystolicGemmEngine engine(8, 16, 12);
+  // 1 x 16 output with k=10 fits one tile: k + fill cycles.
+  EXPECT_EQ(engine.cycles_for(1, 16, 10), 22u);
+}
+
+TEST(SystolicGemm, CycleModelTilesMultiply) {
+  SystolicGemmEngine engine(8, 16, 12);
+  // 16 rows -> 2 row tiles; 32 cols -> 2 col tiles; 4 tiles total.
+  EXPECT_EQ(engine.cycles_for(16, 32, 10), 4u * 22u);
+  // Partial tiles round up.
+  EXPECT_EQ(engine.cycles_for(9, 17, 10), 4u * 22u);
+}
+
+TEST(SystolicGemm, SequentialMacChainModel) {
+  SystolicGemmEngine baseline(1, 1, 8);
+  // Baseline 1x1 mesh: one MAC per cycle -> m*n*k + fill.
+  EXPECT_EQ(baseline.cycles_for(1, 4, 10), 48u);
+  EXPECT_EQ(baseline.cycles_for(2, 3, 5), 38u);
+}
+
+TEST(SystolicGemm, MeshIsDramaticallyFasterThanMacChain) {
+  // The whole point of §III-C1 for the sibling-batch GEMM shape.
+  SystolicGemmEngine mesh(8, 16, 12);
+  SystolicGemmEngine chain(1, 1, 8);
+  const auto mesh_cycles = mesh.cycles_for(1, 16, 20);
+  const auto chain_cycles = chain.cycles_for(1, 16, 20);
+  EXPECT_LT(mesh_cycles * 5, chain_cycles);
+}
+
+TEST(SystolicGemm, CountersAccumulateAndReset) {
+  SystolicGemmEngine engine(4, 4, 4);
+  const CMat a = testing::random_cmat(2, 3, 3);
+  const CMat b = testing::random_cmat(3, 2, 4);
+  CMat c(2, 2);
+  const auto cycles = engine.run(a, b, c);
+  EXPECT_EQ(engine.total_cycles(), cycles);
+  EXPECT_EQ(engine.total_macs(), 12u);
+  EXPECT_EQ(engine.total_calls(), 1u);
+  engine.run(a, b, c);
+  EXPECT_EQ(engine.total_calls(), 2u);
+  EXPECT_EQ(engine.total_cycles(), 2 * cycles);
+  engine.reset_counters();
+  EXPECT_EQ(engine.total_cycles(), 0u);
+  EXPECT_EQ(engine.total_macs(), 0u);
+}
+
+TEST(SystolicGemm, ShapeMismatchThrows) {
+  SystolicGemmEngine engine(4, 4, 4);
+  CMat a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(engine.run(a, b, c), invalid_argument_error);
+}
+
+TEST(SystolicGemm, RejectsDegenerateMesh) {
+  EXPECT_THROW(SystolicGemmEngine(0, 4, 4), invalid_argument_error);
+}
+
+TEST(SystolicGemm, Fp16ModeRoundsResults) {
+  SystolicGemmEngine fp16(4, 4, 4, Precision::kFp16);
+  SystolicGemmEngine fp32(4, 4, 4, Precision::kFp32);
+  const CMat a = testing::random_cmat(4, 16, 5);
+  const CMat b = testing::random_cmat(16, 4, 6);
+  CMat c16(4, 4), c32(4, 4);
+  fp16.run(a, b, c16);
+  fp32.run(a, b, c32);
+  // Results differ (rounding happened) but stay within fp16 error bounds.
+  EXPECT_GT(max_abs_diff(c16, c32), 0.0);
+  EXPECT_LT(max_abs_diff(c16, c32), 0.15);
+  // Every fp16 result component is itself representable in half.
+  for (const cplx& v : c16.flat()) {
+    EXPECT_EQ(round_to_half(v), v);
+  }
+}
+
+}  // namespace
+}  // namespace sd

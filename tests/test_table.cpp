@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sd {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"SNR (dB)", "CPU (ms)"});
+  t.add_row({"4", "7.0"});
+  t.add_row({"20", "0.55"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("SNR (dB)"), std::string::npos);
+  EXPECT_NE(out.find("0.55"), std::string::npos);
+  // Every line has the same width.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), invalid_argument_error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), invalid_argument_error);
+}
+
+TEST(Table, SeparatorRendersAsRule) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + top + bottom + inner separator = 4 rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Formatting, Fmt) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Formatting, FmtPct) {
+  EXPECT_EQ(fmt_pct(0.29), "29%");
+  EXPECT_EQ(fmt_pct(0.075, 1), "7.5%");
+}
+
+TEST(Formatting, FmtFactor) {
+  EXPECT_EQ(fmt_factor(35.84), "35.8x");
+  EXPECT_EQ(fmt_factor(9.0, 0), "9x");
+}
+
+TEST(Formatting, FmtSci) {
+  EXPECT_EQ(fmt_sci(0.0032, 1), "3.2e-03");
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "decode/sphere_common.hpp"
+
+namespace sd {
+namespace {
+
+struct Entry {
+  int id;
+  real pd;
+};
+
+TEST(TreeList, PopsBestOfSortedBatchFirst) {
+  TreeList<Entry> list;
+  // Batch sorted ascending by PD, as the decoder produces it.
+  const std::vector<Entry> batch{{1, real{0.5}}, {2, real{1.0}}, {3, real{2.0}}};
+  list.push_sorted_batch(std::span<const Entry>(batch));
+  EXPECT_EQ(list.pop().id, 1);
+  EXPECT_EQ(list.pop().id, 2);
+  EXPECT_EQ(list.pop().id, 3);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(TreeList, LifoAcrossBatchesGivesDepthFirstOrder) {
+  // Paper Fig. 3: a batch pushed later (children of the node just expanded)
+  // pops before the earlier batch's remaining siblings.
+  TreeList<Entry> list;
+  const std::vector<Entry> level0{{10, real{1}}, {11, real{2}}};
+  list.push_sorted_batch(std::span<const Entry>(level0));
+  EXPECT_EQ(list.pop().id, 10);
+  const std::vector<Entry> level1{{20, real{1.5}}, {21, real{3}}};
+  list.push_sorted_batch(std::span<const Entry>(level1));
+  EXPECT_EQ(list.pop().id, 20);  // depth-first: child before sibling 11
+  EXPECT_EQ(list.pop().id, 21);
+  EXPECT_EQ(list.pop().id, 11);
+}
+
+TEST(TreeList, TracksPeakSize) {
+  TreeList<Entry> list;
+  const std::vector<Entry> batch{{1, real{1}}, {2, real{2}}, {3, real{3}}};
+  list.push_sorted_batch(std::span<const Entry>(batch));
+  (void)list.pop();
+  (void)list.pop();
+  list.push_sorted_batch(std::span<const Entry>(batch));
+  EXPECT_EQ(list.size(), 4u);
+  EXPECT_EQ(list.peak_size(), 4u);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.peak_size(), 0u);
+}
+
+TEST(TreeList, EmptyBatchIsNoOp) {
+  TreeList<Entry> list;
+  list.push_sorted_batch(std::span<const Entry>{});
+  EXPECT_TRUE(list.empty());
+}
+
+}  // namespace
+}  // namespace sd

@@ -1,0 +1,24 @@
+// Shared helpers for the test suite: random matrix/vector generation from a
+// seeded stream, so every test is deterministic.
+#pragma once
+
+#include "common/random.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sd::testing {
+
+inline CMat random_cmat(index_t rows, index_t cols, std::uint64_t seed) {
+  GaussianSource g(seed);
+  CMat m(rows, cols);
+  for (cplx& v : m.flat()) v = g.next_cplx(1.0);
+  return m;
+}
+
+inline CVec random_cvec(index_t n, std::uint64_t seed) {
+  GaussianSource g(seed);
+  CVec v(static_cast<usize>(n));
+  for (cplx& x : v) x = g.next_cplx(1.0);
+  return v;
+}
+
+}  // namespace sd::testing
