@@ -1,15 +1,63 @@
-// Real-time scaling study: how many antennas can each platform afford while
+// Real-time scaling study: how many antennas can a platform afford while
 // staying inside the 10 ms real-time budget at a given SNR? This is the
 // deployment question the paper's §IV-D answers (CPU breaks at 15x15 while
 // the FPGA scales to 20x20).
 //
-//   ./realtime_scaling [--mod=4qam] [--snr=8] [--trials=5]
+//   ./realtime_scaling [--detector=cpu-sd|parallel-sd|fpga|fpga-opt]...
+//                      [--threads=N] [--mod=4qam] [--snr=8] [--trials=5]
 //                      [--max-antennas=20] [--budget-ms=10]
+//
+// --detector may be given as a comma-separated list to compare platforms
+// side by side (default: cpu-sd,fpga-opt — the paper's comparison).
+// --threads selects the worker count for parallel-sd (0 = all cores).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+
+namespace {
+
+// Builds the spec for one named platform of the study.
+sd::DecoderSpec platform_spec(const std::string& name, unsigned threads) {
+  sd::DecoderSpec spec;
+  spec.sd.max_nodes = 2'000'000;
+  if (name == "cpu-sd") {
+    // defaults: Best-FS GEMM on the host
+  } else if (name == "parallel-sd") {
+    spec.strategy = sd::Strategy::kMultiPe;
+    spec.multi_pe.base = spec.sd;
+    spec.multi_pe.num_threads = threads;
+  } else if (name == "fpga") {
+    spec.device = sd::TargetDevice::kFpgaBaseline;
+  } else if (name == "fpga-opt") {
+    spec.device = sd::TargetDevice::kFpgaOptimized;
+  } else {
+    throw sd::invalid_argument_error(
+        "unknown --detector '" + name +
+        "' (cpu-sd, parallel-sd, fpga, fpga-opt)");
+  }
+  return spec;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto comma = text.find(',', pos);
+    const std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sd;
@@ -19,38 +67,51 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<usize>(cli.get_int_or("trials", 5));
   const auto max_m = static_cast<index_t>(cli.get_int_or("max-antennas", 20));
   const double budget_s = cli.get_double_or("budget-ms", 10.0) * 1e-3;
+  const auto threads = static_cast<unsigned>(cli.get_int_or("threads", 0));
+  const std::vector<std::string> detectors =
+      split_csv(cli.get_or("detector", "cpu-sd,fpga-opt"));
+  if (detectors.empty()) {
+    std::fprintf(stderr, "--detector needs at least one platform\n");
+    return 1;
+  }
 
   std::printf("real-time scaling: %s @ %.0f dB, budget %.1f ms, %zu "
               "trials/config\n",
               std::string(modulation_name(mod)).c_str(), snr, budget_s * 1e3,
               trials);
 
-  Table t({"antennas", "CPU (ms)", "CPU ok", "FPGA-opt (ms)", "FPGA ok",
-           "mean nodes"});
-  index_t cpu_limit = 0, fpga_limit = 0;
+  std::vector<std::string> headers{"antennas"};
+  for (const std::string& d : detectors) {
+    headers.push_back(d + " (ms)");
+    headers.push_back(d + " ok");
+  }
+  headers.push_back("mean nodes");
+  Table t(headers);
+  std::vector<index_t> limits(detectors.size(), 0);
   for (index_t m = 4; m <= max_m; m += 2) {
     const SystemConfig sys{m, m, mod};
-    ExperimentRunner runner(sys, trials, 77);
-    DecoderSpec cpu_spec;
-    cpu_spec.sd.max_nodes = 2'000'000;
-    auto cpu = make_detector(sys, cpu_spec);
-    DecoderSpec fpga_spec = cpu_spec;
-    fpga_spec.device = TargetDevice::kFpgaOptimized;
-    auto fpga = make_detector(sys, fpga_spec);
-
-    const SweepPoint p_cpu = runner.run_point(*cpu, snr);
-    const SweepPoint p_fpga = runner.run_point(*fpga, snr);
-    const bool cpu_ok = p_cpu.mean_seconds <= budget_s;
-    const bool fpga_ok = p_fpga.mean_seconds <= budget_s;
-    if (cpu_ok) cpu_limit = m;
-    if (fpga_ok) fpga_limit = m;
-    t.add_row({std::to_string(m) + "x" + std::to_string(m),
-               fmt(p_cpu.mean_seconds * 1e3, 3), cpu_ok ? "yes" : "NO",
-               fmt(p_fpga.mean_seconds * 1e3, 3), fpga_ok ? "yes" : "NO",
-               fmt(p_fpga.mean_nodes_expanded, 0)});
+    std::vector<std::string> row{std::to_string(m) + "x" + std::to_string(m)};
+    double nodes = 0.0;
+    for (usize d = 0; d < detectors.size(); ++d) {
+      // Same runner (same seed) per platform, so every column decodes the
+      // identical trial stream and the comparison is paired.
+      ExperimentRunner runner(sys, trials, 77);
+      auto det = make_detector(sys, platform_spec(detectors[d], threads));
+      const SweepPoint p = runner.run_point(*det, snr);
+      const bool ok = p.mean_seconds <= budget_s;
+      if (ok) limits[d] = m;
+      row.push_back(fmt(p.mean_seconds * 1e3, 3));
+      row.push_back(ok ? "yes" : "NO");
+      nodes = p.mean_nodes_expanded;
+    }
+    row.push_back(fmt(nodes, 0));
+    t.add_row(row);
   }
   std::fputs(t.render().c_str(), stdout);
-  std::printf("largest real-time configuration: CPU %dx%d, FPGA %dx%d\n",
-              cpu_limit, cpu_limit, fpga_limit, fpga_limit);
+  std::printf("largest real-time configuration:");
+  for (usize d = 0; d < detectors.size(); ++d) {
+    std::printf(" %s %dx%d%s", detectors[d].c_str(), limits[d], limits[d],
+                d + 1 < detectors.size() ? "," : "\n");
+  }
   return 0;
 }

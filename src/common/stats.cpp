@@ -57,6 +57,89 @@ double max_of(std::span<const double> xs) {
   return *std::max_element(xs.begin(), xs.end());
 }
 
+Histogram::Histogram(double lower, double upper, usize num_buckets)
+    : lower_(lower), upper_(upper) {
+  SD_CHECK(lower < upper, "histogram needs lower < upper");
+  SD_CHECK(num_buckets > 0, "histogram needs at least one bucket");
+  counts_.assign(num_buckets, 0);
+  width_ = (upper_ - lower_) / static_cast<double>(num_buckets);
+}
+
+void Histogram::record(double x) noexcept {
+  usize idx = 0;
+  if (x < lower_) {
+    ++underflow_;
+  } else if (x >= upper_) {
+    ++overflow_;
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<usize>((x - lower_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp rounding at upper
+  }
+  ++counts_[idx];
+  sum_ += x;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+}
+
+double Histogram::min() const {
+  SD_CHECK(count_ > 0, "min of empty histogram");
+  return min_;
+}
+
+double Histogram::max() const {
+  SD_CHECK(count_ > 0, "max of empty histogram");
+  return max_;
+}
+
+double Histogram::quantile(double q) const {
+  SD_CHECK(count_ > 0, "quantile of empty histogram");
+  SD_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (usize i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      const double frac = c == 0.0 ? 0.0 : (target - cum) / c;
+      const double est = bucket_lower(i) + frac * width_;
+      return std::clamp(est, min_, max_);
+    }
+    cum += c;
+  }
+  return max_;
+}
+
+double Histogram::bucket_lower(usize i) const {
+  SD_CHECK(i < counts_.size(), "bucket index out of range");
+  return lower_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bucket_upper(usize i) const {
+  SD_CHECK(i < counts_.size(), "bucket index out of range");
+  return i + 1 == counts_.size() ? upper_ : lower_ + static_cast<double>(i + 1) * width_;
+}
+
+std::uint64_t Histogram::bucket_count(usize i) const {
+  SD_CHECK(i < counts_.size(), "bucket index out of range");
+  return counts_[i];
+}
+
+void Histogram::clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+  underflow_ = overflow_ = 0;
+}
+
 double ci95_halfwidth(std::span<const double> xs) noexcept {
   if (xs.size() < 2) return 0.0;
   return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));

@@ -4,8 +4,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
+
+#include "common/types.hpp"
 
 namespace sd {
 
@@ -31,6 +34,54 @@ namespace sd {
 /// Half-width of the normal-approximation 95% confidence interval on the
 /// mean. 0 for fewer than two samples.
 [[nodiscard]] double ci95_halfwidth(std::span<const double> xs) noexcept;
+
+/// Fixed-bucket histogram for latency aggregation in the serving runtime,
+/// where retaining every sample (as Series does) would grow without bound.
+/// Buckets are `num_buckets` equal-width intervals covering [lower, upper);
+/// out-of-range samples are clamped into the first/last bucket (and counted
+/// as underflow/overflow), while the exact min/max/sum are tracked so the
+/// extreme quantiles stay exact.
+class Histogram {
+ public:
+  /// Throws sd::invalid_argument_error unless lower < upper, num_buckets > 0.
+  Histogram(double lower, double upper, usize num_buckets);
+
+  void record(double x) noexcept;
+
+  [[nodiscard]] usize count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// Exact extremes of everything recorded (including clamped samples).
+  [[nodiscard]] double min() const;  ///< throws if empty
+  [[nodiscard]] double max() const;  ///< throws if empty
+
+  /// Quantile estimate for q in [0, 1]: linear interpolation inside the
+  /// containing bucket, clamped to the exact [min, max] so quantile(0) and
+  /// quantile(1) are exact. Error is bounded by one bucket width elsewhere.
+  /// Throws sd::invalid_argument_error if empty or q outside [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] usize num_buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bucket_width() const noexcept { return width_; }
+  [[nodiscard]] double bucket_lower(usize i) const;
+  [[nodiscard]] double bucket_upper(usize i) const;
+  [[nodiscard]] std::uint64_t bucket_count(usize i) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+  void clear() noexcept;
+
+ private:
+  double lower_, upper_, width_;
+  std::vector<std::uint64_t> counts_;
+  usize count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+  std::uint64_t underflow_ = 0, overflow_ = 0;
+};
 
 /// Accumulates a running series and exposes the summary statistics above.
 class Series {

@@ -10,13 +10,15 @@ namespace sd {
 
 namespace {
 
-struct Option {
-  std::string key;
-  std::string value;  // empty for bare flags
-};
+[[noreturn]] void unknown_option(std::string_view name, const SpecOption& opt) {
+  throw invalid_argument_error("detector '" + std::string(name) +
+                               "' does not accept option '" + opt.key + "'");
+}
 
-std::vector<Option> parse_options(std::string_view text) {
-  std::vector<Option> out;
+}  // namespace
+
+std::vector<SpecOption> parse_spec_options(std::string_view text) {
+  std::vector<SpecOption> out;
   while (!text.empty()) {
     const auto comma = text.find(',');
     std::string_view item =
@@ -35,7 +37,7 @@ std::vector<Option> parse_options(std::string_view text) {
   return out;
 }
 
-long to_long(const Option& opt) {
+long spec_option_int(const SpecOption& opt) {
   long value = 0;
   const auto [ptr, ec] =
       std::from_chars(opt.value.data(), opt.value.data() + opt.value.size(),
@@ -45,12 +47,15 @@ long to_long(const Option& opt) {
   return value;
 }
 
-[[noreturn]] void unknown_option(std::string_view name, const Option& opt) {
-  throw invalid_argument_error("detector '" + std::string(name) +
-                               "' does not accept option '" + opt.key + "'");
+double spec_option_double(const SpecOption& opt) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(opt.value.data(), opt.value.data() + opt.value.size(),
+                      value);
+  SD_CHECK(ec == std::errc{} && ptr == opt.value.data() + opt.value.size(),
+           "option '" + opt.key + "' needs a numeric value");
+  return value;
 }
-
-}  // namespace
 
 DecoderSpec parse_decoder_spec(std::string_view text) {
   SD_CHECK(!text.empty(), "empty detector spec");
@@ -113,29 +118,29 @@ DecoderSpec parse_decoder_spec(std::string_view text) {
     }
   }
 
-  for (const Option& opt : parse_options(options_text)) {
+  for (const SpecOption& opt : parse_spec_options(options_text)) {
     if (opt.key == "sorted") {
       spec.sd.sorted_qr = true;
     } else if (opt.key == "scalar" &&
                spec.strategy == Strategy::kBestFsGemm) {
       spec.strategy = Strategy::kBestFsScalar;
     } else if (opt.key == "max-nodes") {
-      spec.sd.max_nodes = static_cast<std::uint64_t>(to_long(opt));
+      spec.sd.max_nodes = static_cast<std::uint64_t>(spec_option_int(opt));
     } else if (opt.key == "fp16") {
       spec.fpga_precision = Precision::kFp16;
     } else if (opt.key == "k" && spec.strategy == Strategy::kKBest) {
-      spec.kbest.k = static_cast<usize>(to_long(opt));
+      spec.kbest.k = static_cast<usize>(spec_option_int(opt));
     } else if (opt.key == "levels" && spec.strategy == Strategy::kFsd) {
-      spec.fsd.full_levels = static_cast<index_t>(to_long(opt));
+      spec.fsd.full_levels = static_cast<index_t>(spec_option_int(opt));
     } else if (opt.key == "threads" && spec.strategy == Strategy::kMultiPe) {
-      spec.multi_pe.num_threads = static_cast<unsigned>(to_long(opt));
+      spec.multi_pe.num_threads = static_cast<unsigned>(spec_option_int(opt));
     } else if (opt.key == "split" && spec.strategy == Strategy::kMultiPe) {
-      spec.multi_pe.split_depth = static_cast<index_t>(to_long(opt));
+      spec.multi_pe.split_depth = static_cast<index_t>(spec_option_int(opt));
     } else if (opt.key == "frontier" && spec.strategy == Strategy::kGemmBfs) {
-      spec.bfs.max_frontier = static_cast<usize>(to_long(opt));
+      spec.bfs.max_frontier = static_cast<usize>(spec_option_int(opt));
     } else if (opt.key == "alpha") {
       spec.sd.radius_policy = RadiusPolicy::kNoiseScaled;
-      spec.sd.radius_alpha = static_cast<double>(to_long(opt));
+      spec.sd.radius_alpha = static_cast<double>(spec_option_int(opt));
     } else {
       unknown_option(name, opt);
     }

@@ -14,11 +14,29 @@
 // Grammar: name[@device][:opt[=value][,opt[=value]]*]
 #pragma once
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/sphere_decoder.hpp"
 
 namespace sd {
+
+/// One "key" or "key=value" element of a comma-separated option list. The
+/// detector grammar above and the server-option grammar (src/serve) share
+/// this building block.
+struct SpecOption {
+  std::string key;
+  std::string value;  ///< empty for bare flags
+};
+
+/// Splits "a=1,b,c=x" into SpecOptions. Empty elements are skipped.
+[[nodiscard]] std::vector<SpecOption> parse_spec_options(std::string_view text);
+
+/// Integer/float value of an option; throws sd::invalid_argument_error with
+/// the option's key in the message when the value does not parse fully.
+[[nodiscard]] long spec_option_int(const SpecOption& opt);
+[[nodiscard]] double spec_option_double(const SpecOption& opt);
 
 /// Parses a detector spec string. Throws sd::invalid_argument_error with a
 /// pointed message on unknown names/devices/options.

@@ -1,0 +1,55 @@
+// Frame-level request/response types for the serving runtime.
+//
+// A FrameRequest is one received MIMO vector plus its channel estimate —
+// exactly the (h, y, sigma2) triple Detector::decode consumes — wrapped
+// with the bookkeeping the server needs: an id, a per-frame latency budget,
+// and the submit timestamp stamped when the server accepts the frame.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "decode/detector.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sd::serve {
+
+/// Monotonic clock used for all serving timestamps.
+using Clock = std::chrono::steady_clock;
+
+/// One frame submitted for detection.
+struct FrameRequest {
+  std::uint64_t id = 0;        ///< caller-chosen identifier, echoed back
+  CMat h;                      ///< channel estimate (N x M)
+  CVec y;                      ///< received vector (length N)
+  double sigma2 = 0.0;         ///< noise variance
+  double deadline_s = 0.0;     ///< end-to-end budget from accept; 0 = none
+  Clock::time_point submit_time{};  ///< stamped by DetectionServer::submit
+};
+
+/// Terminal state of a frame.
+enum class FrameStatus : std::uint8_t {
+  kCompleted,        ///< decoded by the configured backend
+  kExpiredFallback,  ///< deadline passed in queue; ZF fallback result attached
+  kExpiredDropped,   ///< deadline passed in queue; no fallback configured
+  kEvicted,          ///< displaced by drop-oldest backpressure, never decoded
+};
+
+[[nodiscard]] std::string_view frame_status_name(FrameStatus s) noexcept;
+
+/// Completion record delivered to the server's callback. `result` holds the
+/// backend decode for kCompleted, the ZF fallback for kExpiredFallback, and
+/// is default-constructed (empty indices, infinite metric) otherwise.
+struct FrameResult {
+  std::uint64_t id = 0;
+  FrameStatus status = FrameStatus::kCompleted;
+  unsigned worker_id = 0;       ///< worker that retired the frame
+  DecodeResult result;
+  double queue_wait_s = 0.0;    ///< submit -> dequeue
+  double service_s = 0.0;       ///< dequeue -> done (0 for kEvicted)
+  double e2e_s = 0.0;           ///< submit -> done
+  bool deadline_missed = false; ///< had a deadline and e2e exceeded it
+};
+
+}  // namespace sd::serve

@@ -1,0 +1,163 @@
+#include "serve/load_generator.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sd::serve {
+
+std::string_view arrival_mode_name(ArrivalMode m) noexcept {
+  switch (m) {
+    case ArrivalMode::kClosedLoop: return "closed-loop";
+    case ArrivalMode::kOpenLoop: return "open-loop";
+  }
+  return "?";
+}
+
+LoadGenerator::LoadGenerator(SystemConfig system, DecoderSpec spec,
+                             ServerOptions server, LoadOptions load)
+    : system_(system), spec_(spec), server_opts_(server), load_(load) {
+  SD_CHECK(load_.num_frames > 0, "load needs at least one frame");
+  if (load_.mode == ArrivalMode::kClosedLoop) {
+    SD_CHECK(load_.window >= 1, "closed-loop window must be positive");
+    // With window <= capacity a closed-loop producer can never find the
+    // queue full, so submits from completion callbacks cannot block a
+    // worker thread (or trigger shedding) — the no-deadlock invariant.
+    SD_CHECK(load_.window <= server_opts_.queue_capacity,
+             "closed-loop window must fit in the queue");
+  } else {
+    SD_CHECK(load_.rate_fps > 0.0, "open-loop rate must be positive");
+  }
+}
+
+LoadReport LoadGenerator::run(const CompletionFn& observer) {
+  // Pre-generate every frame from the seeded scenario: identical runs see
+  // identical (h, y, sigma2) streams, and ground truth stays available for
+  // symbol-error accounting.
+  ScenarioConfig sc;
+  sc.num_tx = system_.num_tx;
+  sc.num_rx = system_.num_rx;
+  sc.modulation = system_.modulation;
+  sc.snr_db = load_.snr_db;
+  sc.seed = load_.seed;
+  Scenario scenario(sc);
+  std::vector<Trial> trials;
+  trials.reserve(load_.num_frames);
+  for (usize i = 0; i < load_.num_frames; ++i) trials.push_back(scenario.next());
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable all_done;
+    usize next = 0;        // next frame index to submit (closed loop)
+    usize outstanding = 0; // frames in flight (closed loop)
+    usize terminal = 0;    // frames that reached a terminal state
+    usize submitted = 0;
+    usize rejected = 0;
+    std::uint64_t symbol_errors = 0;
+    std::uint64_t symbols_checked = 0;
+  } sh;
+  const usize n = load_.num_frames;
+
+  DetectionServer* server = nullptr;  // set before any submit below
+
+  auto make_frame = [&](usize i) {
+    FrameRequest f;
+    f.id = i;
+    f.h = trials[i].h;
+    f.y = trials[i].y;
+    f.sigma2 = trials[i].sigma2;
+    f.deadline_s = load_.deadline_s;
+    return f;
+  };
+
+  // Submits frames while the closed-loop window has room. Called from run()
+  // to prime the window and from the completion callback to refill it.
+  std::function<void()> pump = [&] {
+    for (;;) {
+      usize i = 0;
+      {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        if (sh.next >= n || sh.outstanding >= load_.window) return;
+        i = sh.next++;
+        ++sh.outstanding;
+      }
+      const SubmitStatus st = server->submit(make_frame(i));
+      std::lock_guard<std::mutex> lock(sh.mu);
+      ++sh.submitted;
+      if (st != SubmitStatus::kAccepted) {
+        ++sh.rejected;
+        ++sh.terminal;
+        --sh.outstanding;
+        if (sh.terminal == n) sh.all_done.notify_all();
+      }
+    }
+  };
+
+  auto on_complete = [&](const FrameResult& r) {
+    if (observer) observer(r);
+    bool refill = false;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      if ((r.status == FrameStatus::kCompleted ||
+           r.status == FrameStatus::kExpiredFallback) &&
+          r.id < trials.size()) {
+        const std::vector<index_t>& truth = trials[r.id].tx.indices;
+        const std::vector<index_t>& got = r.result.indices;
+        for (usize k = 0; k < truth.size(); ++k) {
+          ++sh.symbols_checked;
+          if (k >= got.size() || got[k] != truth[k]) ++sh.symbol_errors;
+        }
+      }
+      ++sh.terminal;
+      if (sh.outstanding > 0) --sh.outstanding;
+      refill = load_.mode == ArrivalMode::kClosedLoop && sh.next < n;
+      if (sh.terminal == n) sh.all_done.notify_all();
+    }
+    if (refill) pump();
+  };
+
+  DetectionServer srv(system_, spec_, server_opts_, on_complete);
+  server = &srv;
+
+  if (load_.mode == ArrivalMode::kClosedLoop) {
+    pump();
+  } else {
+    // Fixed-rate open loop: arrival i fires at start + i/rate, regardless
+    // of how the pool is keeping up — the backpressure policy absorbs any
+    // mismatch.
+    const Clock::time_point t0 = Clock::now();
+    const auto interval = std::chrono::duration<double>(1.0 / load_.rate_fps);
+    for (usize i = 0; i < n; ++i) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<Clock::duration>(interval) *
+                   static_cast<long>(i));
+      const SubmitStatus st = server->submit(make_frame(i));
+      std::lock_guard<std::mutex> lock(sh.mu);
+      ++sh.submitted;
+      if (st != SubmitStatus::kAccepted) {
+        ++sh.rejected;
+        ++sh.terminal;
+        if (sh.terminal == n) sh.all_done.notify_all();
+      }
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(sh.mu);
+    sh.all_done.wait(lock, [&] { return sh.terminal == n; });
+  }
+  srv.drain();
+
+  LoadReport report;
+  report.submitted = sh.submitted;
+  report.rejected_at_submit = sh.rejected;
+  report.symbol_errors = sh.symbol_errors;
+  report.symbols_checked = sh.symbols_checked;
+  report.metrics = srv.metrics();
+  return report;
+}
+
+}  // namespace sd::serve

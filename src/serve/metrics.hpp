@@ -1,0 +1,71 @@
+// Serving metrics: the counters and latency distributions a base-station
+// operator would watch. All latencies are recorded into fixed-bucket
+// Histograms (common/stats.hpp) so the server's memory footprint does not
+// grow with uptime; the summary carries the interpolated tail quantiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace sd::serve {
+
+/// Five-number latency summary derived from a Histogram, in seconds.
+struct LatencySummary {
+  usize count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Builds a summary; all-zero for an empty histogram.
+[[nodiscard]] LatencySummary summarize_latency(const Histogram& h);
+
+/// Per-worker accounting.
+struct WorkerStats {
+  std::uint64_t frames = 0;       ///< frames retired (completed + expired)
+  std::uint64_t batches = 0;      ///< queue pops (frames/batches = mean batch)
+  double busy_seconds = 0.0;      ///< wall time spent outside the queue wait
+  double utilization = 0.0;       ///< busy_seconds / server wall time
+};
+
+/// Point-in-time snapshot of a DetectionServer.
+///
+/// Conservation invariant (checked by tests): after drain(),
+///   submitted == completed + expired_fallback + expired_dropped
+///              + evicted + rejected
+/// and in_queue == 0. No frame is ever silently lost.
+struct ServerMetrics {
+  std::uint64_t submitted = 0;         ///< submit() calls observed
+  std::uint64_t completed = 0;         ///< decoded by the backend
+  std::uint64_t expired_fallback = 0;  ///< expired in queue, ZF fallback served
+  std::uint64_t expired_dropped = 0;   ///< expired in queue, no fallback
+  std::uint64_t evicted = 0;           ///< displaced by drop-oldest
+  std::uint64_t rejected = 0;          ///< refused at submit (reject policy)
+  std::uint64_t deadline_misses = 0;   ///< frames whose e2e exceeded deadline
+  std::uint64_t in_queue = 0;          ///< waiting at snapshot time
+
+  double wall_seconds = 0.0;           ///< server start -> snapshot (or drain)
+  double throughput_fps = 0.0;         ///< frames retired per wall second
+
+  LatencySummary queue_wait;           ///< submit -> dequeue
+  LatencySummary service;              ///< dequeue -> done
+  LatencySummary e2e;                  ///< submit -> done
+
+  std::vector<WorkerStats> workers;
+
+  /// Frames that reached a terminal state through a worker.
+  [[nodiscard]] std::uint64_t retired() const noexcept {
+    return completed + expired_fallback + expired_dropped;
+  }
+  /// Every frame the server has finished handling, one way or another.
+  [[nodiscard]] std::uint64_t accounted() const noexcept {
+    return retired() + evicted + rejected;
+  }
+};
+
+}  // namespace sd::serve

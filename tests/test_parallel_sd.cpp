@@ -86,6 +86,30 @@ TEST(ParallelSd, MetricMatchesResidual) {
               1e-2 * (1 + r.metric));
 }
 
+// The serving runtime clones one detector per worker and treats the clones
+// as interchangeable: the decoded indices (and hence the metric) must not
+// depend on the pool size, including on systems too large for the ML oracle.
+TEST(ParallelSd, ResultsInvariantToNumThreads) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Trial t = make_trial(8, Modulation::kQam4, 8.0, seed);
+    ParallelSdOptions base;
+    base.num_threads = 1;
+    ParallelSdDetector reference(c, base);
+    const DecodeResult expect = reference.decode(t.h, t.y, t.sigma2);
+    for (unsigned threads : {2u, 8u}) {
+      ParallelSdOptions opts;
+      opts.num_threads = threads;
+      ParallelSdDetector par(c, opts);
+      const DecodeResult got = par.decode(t.h, t.y, t.sigma2);
+      EXPECT_EQ(got.indices, expect.indices)
+          << "threads=" << threads << " seed=" << seed;
+      EXPECT_NEAR(got.metric, expect.metric, 1e-9 * (1.0 + expect.metric))
+          << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
 TEST(ParallelSd, RejectsBadSplitDepth) {
   const Constellation& c = Constellation::get(Modulation::kQam4);
   ParallelSdOptions opts;

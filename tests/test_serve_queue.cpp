@@ -1,0 +1,174 @@
+// BoundedMpmcQueue: backpressure policies, close/drain semantics, and the
+// no-lost-items invariant under concurrent producers and consumers (the
+// property the serving runtime's frame accounting rests on).
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sd::serve {
+namespace {
+
+using IntQueue = BoundedMpmcQueue<int>;
+
+TEST(QueueBasics, RejectsZeroCapacity) {
+  EXPECT_THROW(IntQueue(0), invalid_argument_error);
+}
+
+TEST(QueueBasics, AccessorsReflectConfiguration) {
+  IntQueue q(3, BackpressurePolicy::kReject);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_EQ(q.policy(), BackpressurePolicy::kReject);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.closed());
+}
+
+TEST(QueueBasics, FifoOrder) {
+  IntQueue q(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.push(i).status, PushStatus::kAccepted);
+  }
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(QueuePolicies, RejectWhenFull) {
+  IntQueue q(2, BackpressurePolicy::kReject);
+  EXPECT_EQ(q.push(1).status, PushStatus::kAccepted);
+  EXPECT_EQ(q.push(2).status, PushStatus::kAccepted);
+  const auto r = q.push(3);
+  EXPECT_EQ(r.status, PushStatus::kRejected);
+  EXPECT_FALSE(r.displaced.has_value());
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(QueuePolicies, DropOldestDisplacesFront) {
+  IntQueue q(2, BackpressurePolicy::kDropOldest);
+  (void)q.push(1);
+  (void)q.push(2);
+  const auto r = q.push(3);
+  EXPECT_EQ(r.status, PushStatus::kDisplacedOldest);
+  ASSERT_TRUE(r.displaced.has_value());
+  EXPECT_EQ(*r.displaced, 1);
+  int out = -1;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(QueuePolicies, BlockWaitsForSpace) {
+  IntQueue q(1, BackpressurePolicy::kBlock);
+  (void)q.push(1);
+  std::atomic<bool> second_accepted{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(2).status, PushStatus::kAccepted);
+    second_accepted.store(true);
+  });
+  // The producer must be blocked while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_accepted.load());
+  int out = -1;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(second_accepted.load());
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(QueueClose, PopDrainsRemainingItemsThenFails) {
+  IntQueue q(4);
+  (void)q.push(1);
+  (void)q.push(2);
+  q.close();
+  EXPECT_EQ(q.push(3).status, PushStatus::kClosed);
+  int out = -1;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(QueueClose, WakesBlockedProducer) {
+  IntQueue q(1, BackpressurePolicy::kBlock);
+  (void)q.push(1);
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(2).status, PushStatus::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+}
+
+TEST(QueueBatch, PopsUpToMaxItems) {
+  IntQueue q(8);
+  for (int i = 0; i < 5; ++i) (void)q.push(i);
+  std::vector<int> batch;
+  EXPECT_EQ(q.pop_batch(batch, 3), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.pop_batch(batch, 3), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{3, 4}));
+  q.close();
+  EXPECT_EQ(q.pop_batch(batch, 3), 0u);
+}
+
+TEST(QueueBatch, ZeroMaxReturnsNothing) {
+  IntQueue q(2);
+  (void)q.push(1);
+  std::vector<int> batch;
+  EXPECT_EQ(q.pop_batch(batch, 0), 0u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// The accounting property the server depends on: with concurrent producers
+// and consumers, every pushed item is popped exactly once. Also the TSan
+// CI job's main subject.
+TEST(QueueConcurrency, NoItemLostOrDuplicated) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  IntQueue q(8, BackpressurePolicy::kBlock);
+
+  std::vector<std::thread> threads;
+  std::mutex seen_mu;
+  std::vector<int> seen_count(kProducers * kPerProducer, 0);
+
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::vector<int> batch;
+      while (q.pop_batch(batch, 3) > 0) {
+        std::lock_guard<std::mutex> lock(seen_mu);
+        for (int v : batch) ++seen_count[static_cast<usize>(v)];
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_EQ(q.push(p * kPerProducer + i).status, PushStatus::kAccepted);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : threads) t.join();
+
+  for (usize i = 0; i < seen_count.size(); ++i) {
+    EXPECT_EQ(seen_count[i], 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sd::serve

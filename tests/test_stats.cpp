@@ -84,5 +84,105 @@ TEST(Stats, Ci95ShrinksWithSamples) {
   EXPECT_LT(ci95_halfwidth(many), ci95_halfwidth(few));
 }
 
+TEST(Stats, MinMaxEdgeCases) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)min_of(empty), invalid_argument_error);
+  EXPECT_THROW((void)max_of(empty), invalid_argument_error);
+  const std::vector<double> one{-2.5};
+  EXPECT_DOUBLE_EQ(min_of(one), -2.5);
+  EXPECT_DOUBLE_EQ(max_of(one), -2.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), -2.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 100.0), -2.5);
+}
+
+TEST(Stats, PercentileEndpointsAreExactExtremes) {
+  const std::vector<double> xs{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), min_of(xs));
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), max_of(xs));
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), invalid_argument_error);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), invalid_argument_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), invalid_argument_error);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_EQ(h.num_buckets(), 10u);
+  EXPECT_DOUBLE_EQ(h.bucket_width(), 0.1);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(9), 1.0);
+  h.record(0.05);   // bucket 0
+  h.record(0.1);    // exactly on a boundary -> upper bucket
+  h.record(0.15);   // bucket 1
+  h.record(0.999);  // last bucket
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_THROW((void)h.bucket_count(10), invalid_argument_error);
+}
+
+TEST(Histogram, OutOfRangeSamplesClampButStayExactInExtremes) {
+  Histogram h(0.0, 1.0, 4);
+  h.record(-5.0);  // clamps into bucket 0
+  h.record(99.0);  // clamps into bucket 3
+  h.record(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  // min/max/sum track the exact recorded values, not the clamped buckets.
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 99.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 94.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.0);
+}
+
+TEST(Histogram, EmptyAndBadQuantileArgs) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_THROW((void)h.quantile(0.5), invalid_argument_error);
+  EXPECT_THROW((void)h.min(), invalid_argument_error);
+  EXPECT_THROW((void)h.max(), invalid_argument_error);
+  h.record(0.5);
+  EXPECT_THROW((void)h.quantile(-0.1), invalid_argument_error);
+  EXPECT_THROW((void)h.quantile(1.1), invalid_argument_error);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.5);  // single sample: every quantile
+}
+
+TEST(Histogram, QuantileInterpolationTracksExactPercentile) {
+  // Uniform samples: the interpolated histogram quantile must agree with
+  // the exact sorted-series percentile to within one bucket width.
+  Histogram h(0.0, 1.0, 100);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = (static_cast<double>(i) + 0.5) / 1000.0;
+    xs.push_back(x);
+    h.record(x);
+  }
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_NEAR(h.quantile(q), percentile(xs, q * 100.0), h.bucket_width())
+        << "q=" << q;
+  }
+  EXPECT_NEAR(h.mean(), mean(xs), 1e-9);
+}
+
+TEST(Histogram, ClearResetsEverything) {
+  Histogram h(0.0, 1.0, 4);
+  h.record(0.3);
+  h.record(7.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  h.record(0.9);
+  EXPECT_DOUBLE_EQ(h.max(), 0.9);
+}
+
 }  // namespace
 }  // namespace sd
