@@ -5,6 +5,8 @@
 // reports the simulated systolic engine's cycle counts for the same shapes.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "common/random.hpp"
 #include "fpga/systolic_gemm.hpp"
 #include "linalg/gemm.hpp"
@@ -103,4 +105,40 @@ BENCHMARK(BM_SystolicEngineSim)
     ->Args({kSibling16Qam[0], kSibling16Qam[1], kSibling16Qam[2]})
     ->Args({kBfsLevel[0], kBfsLevel[1], kBfsLevel[2]});
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output as usual, plus capture of every finished run into the
+// process-wide BENCH_ablation_gemm.json report.
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::vector<std::pair<std::string, sd::obs::Metric>> cells;
+      cells.emplace_back("name", run.benchmark_name());
+      cells.emplace_back("iterations",
+                         static_cast<std::int64_t>(run.iterations));
+      cells.emplace_back("real_time", run.GetAdjustedRealTime());
+      cells.emplace_back("cpu_time", run.GetAdjustedCPUTime());
+      cells.emplace_back("time_unit",
+                         benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [counter_name, counter] : run.counters) {
+        cells.emplace_back(counter_name, static_cast<double>(counter));
+      }
+      sd::bench::report().row("gemm", std::move(cells));
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sd::bench::open_report("ablation_gemm");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ReportingConsoleReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

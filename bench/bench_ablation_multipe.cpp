@@ -12,6 +12,7 @@ int main() {
   using namespace sd;
   const usize trials = bench::trials_or(10);
   const SystemConfig sys{12, 12, Modulation::kQam4};
+  bench::open_report("ablation_multipe");
   bench::print_banner("Ablation: multi-PE sub-tree parallel SD",
                       "12x12 MIMO, 4-QAM, SNR 6 dB", trials);
 
@@ -48,7 +49,7 @@ int main() {
                  fmt_factor(p_seq.mean_seconds / p.mean_seconds, 2)});
     }
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "multipe");
   std::printf("NOTE: this container exposes a single core, so wall-clock "
               "speedup is not expected here; the node-overhead column is the "
               "hardware-relevant result (how much pruning context sub-tree "

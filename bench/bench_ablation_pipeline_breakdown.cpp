@@ -32,6 +32,7 @@ sd::FpgaRunReport run_one(const sd::FpgaConfig& cfg, sd::index_t m,
 
 int main() {
   using namespace sd;
+  bench::open_report("ablation_pipeline_breakdown");
   bench::print_banner("Ablation: pipeline cycle breakdown",
                       "one decode each, SNR 8 dB", 1);
 
@@ -65,7 +66,7 @@ int main() {
                fmt(total, 0),
                fmt_pct(static_cast<double>(cyc.gemm) / total)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "breakdown");
   std::printf("the GEMM engine dominates the optimized designs (the paper's "
               "premise for attacking it first); in the baseline the exposed "
               "memory latency takes over, which is what the prefetch unit "

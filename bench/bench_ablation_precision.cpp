@@ -12,6 +12,7 @@ int main() {
   using namespace sd;
   const usize trials = bench::trials_or(200);
   const SystemConfig sys{10, 10, Modulation::kQam4};
+  bench::open_report("ablation_precision");
   bench::print_banner("Ablation: FP16 vs FP32 datapath (paper SV future work)",
                       "10x10 MIMO, 4-QAM, simulated U280", trials);
 
@@ -32,7 +33,7 @@ int main() {
                fmt(p32.mean_nodes_expanded, 0), fmt(p16.mean_nodes_expanded, 0),
                fmt(p16.mean_seconds * 1e3, 3)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "ber");
 
   FpgaConfig cfg32 = FpgaConfig::optimized_design(10, 10, Modulation::kQam4);
   FpgaConfig cfg16 = cfg32;
@@ -46,7 +47,7 @@ int main() {
               fmt_pct(1.0 - r16.bram18 / r32.bram18)});
   rt.add_row({"URAMs", fmt(r32.urams, 0), fmt(r16.urams, 0),
               fmt_pct(1.0 - r16.urams / r32.urams)});
-  std::fputs(rt.render().c_str(), stdout);
+  bench::print_table(rt, "resources");
   std::printf("fp16 rounding perturbs partial distances; near-tied leaf "
               "candidates can flip, so BER may degrade slightly at low SNR "
               "while resources drop ~50%% in the DSP/memory classes.\n");

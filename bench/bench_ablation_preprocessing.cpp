@@ -18,6 +18,7 @@
 int main() {
   using namespace sd;
   const usize trials = bench::trials_or(150);
+  bench::open_report("ablation_preprocessing");
   bench::print_banner("Ablation: preprocessing (SQRD ordering, LLL reduction)",
                       "8x8 MIMO 4-QAM, iid vs correlated (rho=0.9)", trials);
   const Constellation& c = Constellation::get(Modulation::kQam4);
@@ -72,7 +73,7 @@ int main() {
       table.add_row({names[i], fmt_sci(rows[i].errors.ber()),
                      fmt(rows[i].nodes / static_cast<double>(trials), 0)});
     }
-    std::fputs(table.render().c_str(), stdout);
+    bench::print_table(table, "rho_" + fmt(rho, 1) + "_snr_" + fmt(snr, 0));
   }
   std::printf("SQRD does not change the (exact) SD's BER but shrinks its "
               "tree. LR-SIC has the steeper (full-diversity) slope: it "

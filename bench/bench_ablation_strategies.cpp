@@ -11,6 +11,7 @@ int main() {
   using namespace sd;
   const usize trials = bench::trials_or(10);
   const SystemConfig sys{10, 10, Modulation::kQam4};
+  bench::open_report("ablation_strategies");
   bench::print_banner("Ablation: tree-search strategies",
                       "10x10 MIMO, 4-QAM", trials);
 
@@ -70,7 +71,8 @@ int main() {
                  fmt(p.mean_gemm_calls, 0), fmt_sci(p.ber),
                  fmt(p.mean_seconds * 1e3, 3)});
     }
-    std::fputs(t.render().c_str(), stdout);
+    bench::print_table(
+        t, "snr_" + std::to_string(static_cast<int>(snr)));
   }
   std::printf("Best-FS, scalar Best-FS and SE-DFS visit identical trees (the "
               "evaluation style differs); BFS explodes at low SNR; K-Best and "

@@ -12,6 +12,7 @@
 int main() {
   using namespace sd;
   const usize packets = bench::trials_or(30);
+  bench::open_report("coded_ber");
   bench::print_banner("Extension: coded packet error rates",
                       "4x4 MIMO 4-QAM, conv(133,171) r=1/2, 200 info bits",
                       packets);
@@ -49,7 +50,7 @@ int main() {
                fmt(static_cast<double>(per_hard) / packets, 2),
                fmt(static_cast<double>(per_soft) / packets, 2)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "coded_ber");
   std::printf("soft list-SD output converts the same channel uses into "
               "materially lower post-decoding error rates — the gain an\n"
               "iterative receiver (paper ref. [11]) builds on.\n");

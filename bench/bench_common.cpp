@@ -1,16 +1,34 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <memory>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 
 namespace sd::bench {
+
+namespace {
+std::unique_ptr<obs::BenchReporter> g_report;  // one per bench process
+}  // namespace
 
 usize trials_or(usize base) {
   const long env = env_int_or("SD_TRIALS", 0);
   return env > 0 ? static_cast<usize>(env) : base;
 }
+
+obs::BenchReporter& open_report(const std::string& name) {
+  g_report = std::make_unique<obs::BenchReporter>(name);
+  return *g_report;
+}
+
+obs::BenchReporter& report() {
+  SD_CHECK(g_report != nullptr, "open_report() must be called before report()");
+  return *g_report;
+}
+
+bool report_open() { return g_report != nullptr; }
 
 void print_banner(const std::string& title, const std::string& config_label,
                   usize trials) {
@@ -18,6 +36,16 @@ void print_banner(const std::string& title, const std::string& config_label,
   std::printf("configuration: %s | trials/SNR point: %zu "
               "(set SD_TRIALS to rescale)\n\n",
               config_label.c_str(), trials);
+  if (g_report) {
+    g_report->config("title", title);
+    g_report->config("configuration", config_label);
+    g_report->config("trials", static_cast<std::uint64_t>(trials));
+  }
+}
+
+void print_table(const Table& t, const std::string& label) {
+  std::fputs(t.render().c_str(), stdout);
+  if (g_report) g_report->add_table(label, t);
 }
 
 void run_time_figure(const TimeFigureConfig& cfg) {
@@ -30,6 +58,14 @@ void run_time_figure(const TimeFigureConfig& cfg) {
                trials);
   if (!cfg.paper_note.empty()) {
     std::printf("paper reports: %s\n\n", cfg.paper_note.c_str());
+  }
+  if (report_open()) {
+    obs::BenchReporter& rep = report();
+    rep.config("figure", cfg.figure);
+    rep.config("num_antennas", static_cast<std::int64_t>(cfg.num_antennas));
+    rep.config("modulation", modulation_name(cfg.modulation));
+    rep.config("max_nodes", cfg.max_nodes);
+    rep.config("seed", cfg.seed);
   }
 
   ExperimentRunner runner(sys, trials, cfg.seed);
@@ -63,8 +99,20 @@ void run_time_figure(const TimeFigureConfig& cfg) {
                    fmt_factor(p_base.mean_seconds / p_opt.mean_seconds),
                    fmt(p_opt.mean_nodes_expanded, 0),
                    p_opt.mean_seconds <= kRealTimeSeconds ? "yes" : "no"});
+    if (report_open()) {
+      report().row(
+          "time_vs_snr",
+          {{"snr_db", snr},
+           {"cpu_s", p_cpu.mean_seconds},
+           {"fpga_base_s", p_base.mean_seconds},
+           {"fpga_opt_s", p_opt.mean_seconds},
+           {"opt_vs_cpu", p_cpu.mean_seconds / p_opt.mean_seconds},
+           {"opt_vs_base", p_base.mean_seconds / p_opt.mean_seconds},
+           {"mean_nodes_expanded", p_opt.mean_nodes_expanded},
+           {"real_time", p_opt.mean_seconds <= kRealTimeSeconds}});
+    }
   }
-  std::fputs(table.render().c_str(), stdout);
+  print_table(table, "time_vs_snr");
   std::printf(
       "CPU times are measured wall-clock on this host (single core); FPGA "
       "times are the cycle-model latency of the simulated U280 designs.\n");
@@ -73,6 +121,7 @@ void run_time_figure(const TimeFigureConfig& cfg) {
                 "lower bounds.\n",
                 static_cast<unsigned long long>(cfg.max_nodes));
   }
+  if (report_open()) report().config("budget_hit", any_budget_hit);
 }
 
 }  // namespace sd::bench

@@ -10,6 +10,11 @@
 
 #include "core/experiment.hpp"
 #include "core/sphere_decoder.hpp"
+#include "obs/bench_report.hpp"
+
+namespace sd {
+class Table;
+}
 
 namespace sd::bench {
 
@@ -20,9 +25,26 @@ inline constexpr double kRealTimeSeconds = 10e-3;
 /// value replaces `base` when set).
 [[nodiscard]] usize trials_or(usize base);
 
-/// Prints the standard bench banner (figure id, configuration, trials).
+/// Opens the process-wide JSON report this binary emits as
+/// BENCH_<name>.json (schema "spheredec.bench"; see obs/bench_report.hpp).
+/// Call once at the top of main, before any banner/table helper.
+obs::BenchReporter& open_report(const std::string& name);
+
+/// The report opened by open_report(). Checked: call open_report first.
+obs::BenchReporter& report();
+
+/// True once open_report() has run (helpers capture only when open).
+[[nodiscard]] bool report_open();
+
+/// Prints the standard bench banner (figure id, configuration, trials) and
+/// records title/config/trials into the open report.
 void print_banner(const std::string& title, const std::string& config_label,
                   usize trials);
+
+/// Renders the table to stdout and captures it into the open report under
+/// `label` — the one call every bench table goes through so the text and
+/// JSON outputs can never diverge.
+void print_table(const Table& t, const std::string& label);
 
 /// One decode-time-vs-SNR figure (the template behind Figs. 6, 8, 9, 10):
 /// CPU (measured), FPGA-baseline (simulated) and FPGA-optimized (simulated)

@@ -15,6 +15,7 @@
 int main() {
   using namespace sd;
   const usize trials = bench::trials_or(150);
+  bench::open_report("csi_sensitivity");
   bench::print_banner("Extension: CSI quality sensitivity",
                       "8x8 MIMO 4-QAM @ 12 dB, LMMSE channel estimation",
                       trials);
@@ -57,7 +58,7 @@ int main() {
                fmt_sci(errors.ber()), fmt(nodes, 0),
                fmt_factor(nodes / perfect_nodes, 2)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "csi");
   std::printf("short pilot bursts cost both accuracy and decode time; the "
               "search-inflation column is the deployment-relevant coupling "
               "between the estimator and the paper's latency results.\n");

@@ -13,6 +13,7 @@
 int main() {
   using namespace sd;
   const usize trials = bench::trials_or(8);
+  bench::open_report("ext_64qam");
   bench::print_banner("Extension: 64-QAM modulation scaling",
                       "8x8 MIMO @ SNR 12 dB", trials);
 
@@ -43,7 +44,7 @@ int main() {
                fmt(res.urams, 0),
                res.second_pipeline_fits() ? "yes" : "NO"});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "qam_scaling");
   std::printf("the Modulation^2 blow-up the paper's SIV-E predicts: 64-QAM "
               "exhausts the second-pipeline headroom (URAM column) and its "
               "decode time dwarfs the antenna-scaling effect.\n");

@@ -12,6 +12,7 @@
 int main() {
   using namespace sd;
   const usize packets = bench::trials_or(25);
+  bench::open_report("ext_turbo");
   bench::print_banner("Extension: iterative (turbo) detection + decoding",
                       "4x4 MIMO 4-QAM, conv(133,171), list size 64, "
                       "4 iterations",
@@ -42,7 +43,7 @@ int main() {
                fmt(static_cast<double>(per1) / packets, 2),
                fmt(static_cast<double>(per4) / packets, 2)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "turbo");
   std::printf("decoder feedback re-scores the detector's candidate lists "
               "(no re-search), buying ~0.5-1 dB at the packet level — the "
               "iterative-receiver payoff ref. [11] describes.\n");

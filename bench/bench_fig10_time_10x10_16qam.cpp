@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  sd::bench::open_report("fig10_time_10x10_16qam");
   sd::bench::TimeFigureConfig cfg;
   cfg.figure = "Figure 10";
   cfg.num_antennas = 10;

@@ -14,6 +14,7 @@ int main() {
   using namespace sd;
   const usize trials = bench::trials_or(5);
   const SystemConfig sys{10, 10, Modulation::kQam4};
+  bench::open_report("fig11_gpu_comparison");
   bench::print_banner("Figure 11: FPGA Best-FS vs GPU GEMM-BFS",
                       "10x10 MIMO, 4-QAM", trials);
   std::printf("paper reports: 57x average speedup vs the GPU GEMM-BFS; the "
@@ -49,7 +50,7 @@ int main() {
                fmt_factor(p_gpu.mean_nodes_generated /
                           p_fpga.mean_nodes_generated)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "gpu_comparison");
   std::printf("average speedup: %s (paper: 57x)\n",
               fmt_factor(geomean(speedups)).c_str());
   std::printf("GPU time = A100 roofline + per-level launch/sync cost on the "

@@ -18,6 +18,7 @@ int main() {
   using namespace sd;
   const usize trials = bench::trials_or(300);
   const SystemConfig sys{10, 10, Modulation::kQam4};
+  bench::open_report("fig12_decoder_comparison");
   bench::print_banner("Figure 12: decoding time comparison",
                       "10x10 MIMO, 4-QAM, BER target 1e-2", trials);
   std::printf("paper reports: Geosphere 11 ms @ 20 dB; this work 11x faster "
@@ -80,7 +81,7 @@ int main() {
       t.add_row({e.name, e.platform, ">40", "-", "-"});
     }
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "decoder_comparison");
   std::printf("The exact decoders reach the BER target at the lowest SNR on "
               "the grid; the linear detectors need much higher SNR — the "
               "trade-off the paper's Fig. 12 illustrates.\n");

@@ -4,6 +4,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  sd::bench::open_report("fig6_time_10x10_4qam");
   sd::bench::TimeFigureConfig cfg;
   cfg.figure = "Figure 6";
   cfg.num_antennas = 10;

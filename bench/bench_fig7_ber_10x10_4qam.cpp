@@ -14,6 +14,7 @@ int main() {
   using namespace sd;
   const usize trials = bench::trials_or(400);
   const SystemConfig sys{10, 10, Modulation::kQam4};
+  bench::open_report("fig7_ber_10x10_4qam");
   bench::print_banner("Figure 7: BER vs SNR", "10x10 MIMO, 4-QAM", trials);
   std::printf(
       "paper reports: BER < 1e-2 even at the lowest tested SNR of 4 dB.\n"
@@ -39,7 +40,7 @@ int main() {
     t.add_row({fmt(snr, 0), fmt_sci(p_cpu.ber), fmt_sci(p_fpga.ber),
                fmt_sci(p_mmse.ber), fmt_sci(p_cpu.ser), fmt_sci(p_cpu.fer)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "ber_vs_snr");
   std::printf("SD BER is identical on CPU and simulated FPGA (same exact "
               "algorithm); MMSE shows the linear-detector gap the paper's "
               "intro motivates.\n");

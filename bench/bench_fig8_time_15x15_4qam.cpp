@@ -4,6 +4,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  sd::bench::open_report("fig8_time_15x15_4qam");
   sd::bench::TimeFigureConfig cfg;
   cfg.figure = "Figure 8";
   cfg.num_antennas = 15;

@@ -4,6 +4,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  sd::bench::open_report("fig9_time_20x20_4qam");
   sd::bench::TimeFigureConfig cfg;
   cfg.figure = "Figure 9";
   cfg.num_antennas = 20;

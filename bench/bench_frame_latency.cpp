@@ -23,6 +23,7 @@ int main() {
   cfg.num_tx = 4;
   cfg.num_rx = 4;
   cfg.modulation = Modulation::kQam4;
+  bench::open_report("frame_latency");
   bench::print_banner("Extension: OFDM frame decode latency",
                       "64 subcarriers, 4x4 MIMO, 4-QAM, 4-tap channel",
                       frames);
@@ -75,7 +76,7 @@ int main() {
                fmt(fpga2_ms * inv, 3), fmt(warp_ms * inv, 3),
                fmt(static_cast<double>(sym_errors) / frames, 1)});
   }
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "frame_latency");
   std::printf("the second pipeline instance (which the optimized design's "
               "<50%% footprint allows, Table I) nearly halves frame latency; "
               "the WARP platform's per-frame cost is what the paper's "

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   const usize frames = bench::trials_or(200);
   const SystemConfig sys{m, m, mod};
 
+  bench::open_report("serve_soak");
   bench::print_banner(
       "Serving soak: throughput scaling vs workers x backend",
       std::to_string(m) + "x" + std::to_string(m) + " MIMO, " +
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
            Align::kRight, Align::kRight, Align::kRight, Align::kRight,
            Align::kRight});
 
+  ServerMetrics last_metrics;
   for (const Backend& backend : backends) {
     const DecoderSpec spec = parse_decoder_spec(backend.spec);
     double base_fps = 0.0;
@@ -92,10 +94,28 @@ int main(int argc, char** argv) {
                  fmt(mx.e2e.p50_s * 1e3, 3), fmt(mx.e2e.p95_s * 1e3, 3),
                  fmt(mx.e2e.p99_s * 1e3, 3), fmt(mx.e2e.max_s * 1e3, 3),
                  fmt_pct(util)});
+      bench::report().row(
+          "soak",
+          {{"backend", backend.label},
+           {"workers", workers},
+           {"frames_per_s", mx.throughput_fps},
+           {"speedup", base_fps > 0 ? mx.throughput_fps / base_fps : 0.0},
+           {"e2e_p50_s", mx.e2e.p50_s},
+           {"e2e_p95_s", mx.e2e.p95_s},
+           {"e2e_p99_s", mx.e2e.p99_s},
+           {"e2e_max_s", mx.e2e.max_s},
+           {"utilization", util}});
+      last_metrics = mx;
     }
     t.add_separator();
   }
-  std::fputs(t.render().c_str(), stdout);
+  {
+    // Counter snapshot of the last cell, through the unified registry path.
+    obs::CounterRegistry reg;
+    last_metrics.export_counters(reg);
+    bench::report().counters(reg);
+  }
+  bench::print_table(t, "soak");
   std::printf("\nclosed-loop, window = 2x workers, batch = 4; latencies are "
               "end-to-end (queue wait + decode).\n");
   return 0;

@@ -19,6 +19,7 @@ struct PaperRow {
 
 int main() {
   using namespace sd;
+  bench::open_report("table1_resources");
   bench::print_banner("Table I: FPGA resource utilization",
                       "Alveo U280, baseline vs optimized, 4/16-QAM", 1);
 
@@ -49,7 +50,7 @@ int main() {
       opt16.bram_frac(), true);
   row("URAMs", base4.uram_frac(), base16.uram_frac(), opt4.uram_frac(),
       opt16.uram_frac(), true);
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "model");
 
   Table paper({"paper (measured)", "Baseline 4-QAM", "Baseline 16-QAM",
                "Optimized 4-QAM", "Optimized 16-QAM"});
@@ -62,7 +63,7 @@ int main() {
     paper.add_row({r.metric, fmt(r.base4, 0), fmt(r.base16, 0), fmt(r.opt4, 0),
                    fmt(r.opt16, 0)});
   }
-  std::fputs(paper.render().c_str(), stdout);
+  bench::print_table(paper, "paper");
 
   std::printf("second pipeline fits (all classes <= 50%%): base4=%s base16=%s "
               "opt4=%s opt16=%s\n",

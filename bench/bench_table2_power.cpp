@@ -24,6 +24,7 @@ struct Config {
 int main() {
   using namespace sd;
   const usize trials = bench::trials_or(6);
+  bench::open_report("table2_power");
   bench::print_banner("Table II: power profile for CPU and FPGA",
                       "operating point SNR 4 dB", trials);
 
@@ -79,7 +80,7 @@ int main() {
   t.add_row(cpu_energy_row);
   t.add_row(fpga_energy_row);
   t.add_row(reduction_row);
-  std::fputs(t.render().c_str(), stdout);
+  bench::print_table(t, "power");
 
   std::printf("geo-mean energy reduction: %s (paper: 38.1x; paper per-config "
               "reductions 35.8x / 36.8x / 38.4x / 41.8x)\n",

@@ -6,18 +6,25 @@
 //                   [--frames=200] [--seed=1]
 //                   [--mode=closed|open] [--window=8] [--rate=500]
 //                   [--server=workers=4,batch=4,queue=64,policy=block,deadline-ms=10]
+//                   [--metrics-json=metrics.json] [--trace=trace.json]
 //
 // The --server= option list accepts: workers=N, batch=N, queue=N,
 // policy=block|reject|drop-oldest, deadline-ms=X, no-fallback.
+// --metrics-json dumps the full ServerMetrics snapshot as a flat JSON
+// counter object; --trace enables span tracing for the run and writes a
+// chrome://tracing file (open it at chrome://tracing or ui.perfetto.dev).
 // Examples:
 //   ./uplink_server --backend=sphere@fpga --server=workers=4,deadline-ms=1
 //   ./uplink_server --mode=open --rate=2000 --server=workers=2,policy=drop-oldest,queue=8,deadline-ms=5
+//   ./uplink_server --frames=64 --metrics-json=metrics.json --trace=trace.json
 #include <cstdio>
 #include <string>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/spec_parse.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "serve/load_generator.hpp"
 
 int main(int argc, char** argv) {
@@ -49,6 +56,10 @@ int main(int argc, char** argv) {
   lo.rate_fps = cli.get_double_or("rate", 500.0);
   lo.snr_db = cli.get_double_or("snr", 8.0);
   lo.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 1));
+
+  const std::string metrics_json = cli.get_or("metrics-json", "");
+  const std::string trace_path = cli.get_or("trace", "");
+  if (!trace_path.empty()) obs::Tracer::instance().enable();
 
   std::printf("uplink server: %dx%d %s @ %.0f dB | backend %s | %u workers, "
               "batch %zu, queue %zu (%s), deadline %s\n",
@@ -105,6 +116,28 @@ int main(int argc, char** argv) {
                     static_cast<double>(rep.symbols_checked),
                 static_cast<unsigned long long>(rep.symbol_errors),
                 static_cast<unsigned long long>(rep.symbols_checked));
+  }
+
+  if (!metrics_json.empty()) {
+    obs::CounterRegistry reg;
+    mx.export_counters(reg);
+    if (reg.write_json(metrics_json)) {
+      std::printf("metrics: %s\n", metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", metrics_json.c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.write_chrome_trace(trace_path)) {
+      std::printf("trace: %s (%zu spans, %llu dropped)\n", trace_path.c_str(),
+                  tracer.snapshot().size(),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -27,6 +27,15 @@ void Table::add_row(std::vector<std::string> cells) {
 
 void Table::add_separator() { rows_.push_back(Row{{}, true}); }
 
+std::vector<std::vector<std::string>> Table::data_rows() const {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    if (!row.separator) out.push_back(row.cells);
+  }
+  return out;
+}
+
 std::string Table::render() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) {

@@ -28,6 +28,15 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Column headers, in order.
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+
+  /// All non-separator rows' cells, in insertion order. Used by the
+  /// observability layer to export rendered tables as machine-readable JSON.
+  [[nodiscard]] std::vector<std::vector<std::string>> data_rows() const;
+
   /// Renders with a header rule and outer borders.
   [[nodiscard]] std::string render() const;
 

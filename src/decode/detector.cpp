@@ -1,10 +1,33 @@
 #include "decode/detector.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/norms.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace sd {
+
+void DecodeStats::export_counters(obs::CounterRegistry& registry,
+                                  std::string_view prefix) const {
+  const std::string p = prefix.empty() ? "" : std::string(prefix) + ".";
+  registry.set(p + "nodes_expanded", nodes_expanded);
+  registry.set(p + "nodes_generated", nodes_generated);
+  registry.set(p + "nodes_pruned", nodes_pruned);
+  registry.set(p + "leaves_reached", leaves_reached);
+  registry.set(p + "radius_updates", radius_updates);
+  registry.set(p + "gemm_calls", gemm_calls);
+  registry.set(p + "flops", flops);
+  registry.set(p + "sort_ops", sort_ops);
+  registry.set(p + "bytes_touched", bytes_touched);
+  registry.set(p + "tree_levels", tree_levels);
+  registry.set(p + "peak_list_size", peak_list_size);
+  registry.set(p + "node_budget_hit", std::uint64_t{node_budget_hit ? 1u : 0u});
+  registry.set(p + "preprocess_seconds", preprocess_seconds);
+  registry.set(p + "search_seconds", search_seconds);
+}
 
 double residual_metric(const CMat& h, std::span<const cplx> y,
                        std::span<const cplx> s) {
@@ -16,6 +39,7 @@ double residual_metric(const CMat& h, std::span<const cplx> y,
 }
 
 void materialize_symbols(const Constellation& c, DecodeResult& result) {
+  SD_TRACE_SPAN("decode.materialize");
   result.symbols.resize(result.indices.size());
   for (usize i = 0; i < result.indices.size(); ++i) {
     result.symbols[i] = c.point(result.indices[i]);

@@ -15,6 +15,10 @@
 #include "linalg/matrix.hpp"
 #include "mimo/constellation.hpp"
 
+namespace sd::obs {
+class CounterRegistry;
+}
+
 namespace sd {
 
 /// Work counters recorded during one decode. These are exact algorithmic
@@ -34,6 +38,11 @@ struct DecodeStats {
   bool node_budget_hit = false;       ///< search stopped by the node budget
   double preprocess_seconds = 0.0;    ///< measured QR / equalizer setup time
   double search_seconds = 0.0;        ///< measured search/slicing time
+
+  /// Pours a snapshot into the unified counter registry (src/obs) under
+  /// "<prefix>.<counter>" names, e.g. "decode.nodes_expanded".
+  void export_counters(obs::CounterRegistry& registry,
+                       std::string_view prefix = "decode") const;
 };
 
 /// Output of one decode: hard decisions plus the achieved metric and stats.

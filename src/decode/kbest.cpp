@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace sd {
 
@@ -25,6 +26,7 @@ KBestDetector::KBestDetector(const Constellation& constellation,
 
 DecodeResult KBestDetector::decode(const CMat& h, std::span<const cplx> y,
                                    double /*sigma2*/) {
+  SD_TRACE_SPAN("decode");
   DecodeResult result;
   const Preprocessed pre = preprocess(h, y, opts_.sorted_qr);
   result.stats.preprocess_seconds = pre.seconds;

@@ -5,6 +5,7 @@
 #include "linalg/gemm.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/solve.hpp"
+#include "obs/trace.hpp"
 #include "mimo/frame.hpp"
 
 namespace sd {
@@ -20,6 +21,7 @@ std::string_view linear_kind_name(LinearKind kind) noexcept {
 
 DecodeResult LinearDetector::decode(const CMat& h, std::span<const cplx> y,
                                     double sigma2) {
+  SD_TRACE_SPAN("decode");
   SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");
   DecodeResult result;
   const index_t m = h.cols();

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/lll.hpp"
 #include "linalg/qr.hpp"
@@ -26,6 +27,7 @@ LrSicDetector::LrSicDetector(const Constellation& constellation,
 
 DecodeResult LrSicDetector::decode(const CMat& h, std::span<const cplx> y,
                                    double /*sigma2*/) {
+  SD_TRACE_SPAN("decode");
   const index_t m = h.cols();
   SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");
   DecodeResult result;

@@ -4,11 +4,13 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace sd {
 
 DecodeResult MlDetector::decode(const CMat& h, std::span<const cplx> y,
                                 double /*sigma2*/) {
+  SD_TRACE_SPAN("decode");
   const index_t m = h.cols();
   const index_t n = h.rows();
   SD_CHECK(n == static_cast<index_t>(y.size()), "y length mismatch");

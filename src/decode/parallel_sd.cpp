@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace sd {
 
@@ -37,6 +38,7 @@ ParallelSdDetector::ParallelSdDetector(const Constellation& constellation,
 
 DecodeResult ParallelSdDetector::decode(const CMat& h, std::span<const cplx> y,
                                         double sigma2) {
+  SD_TRACE_SPAN("decode");
   DecodeResult result;
   const Preprocessed pre = preprocess(h, y, opts_.base.sorted_qr);
   result.stats.preprocess_seconds = pre.seconds;
@@ -47,6 +49,7 @@ DecodeResult ParallelSdDetector::decode(const CMat& h, std::span<const cplx> y,
 
 void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
                                 DecodeResult& result) {
+  SD_TRACE_SPAN("decode.search");
   const index_t m = pre.r.rows();
   const index_t p = c_->order();
   const index_t split = std::min(opts_.split_depth, m - 1);
@@ -98,6 +101,7 @@ void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
       opts_.num_threads > 0 ? opts_.num_threads : std::max(1u, hw);
 
   auto worker = [&] {
+    SD_TRACE_SPAN("psd.worker");
     DecodeStats local;
     std::vector<index_t> path(static_cast<usize>(m), 0);
     struct Level {
@@ -158,6 +162,27 @@ void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
         if (depth == m - 1) {
           ++local.leaves_reached;
           // The synchronization step of [4]: publish the improved radius.
+          //
+          // Shrink-safety audit (this is the spot where a naive
+          // `radius_sq.store(child.pd)` outside the lock WOULD lose a
+          // concurrent tighter radius and re-admit already-pruned leaves):
+          //   1. Every write to radius_sq in this translation unit happens
+          //      here, under best_mutex — there is no unlocked store.
+          //   2. The store is guarded by `child.pd < best_pd`, and best_pd
+          //      is itself only written here under the same mutex, so the
+          //      sequence of values stored into radius_sq is strictly
+          //      decreasing — a later (mutex-ordered) store can never
+          //      overwrite a tighter radius with a looser one. This is the
+          //      same monotone-min contract a lock-free CAS-min loop would
+          //      provide; the mutex is already required for best_path, so
+          //      the CAS loop would be redundant synchronization.
+          //   3. The relaxed loads in the pruning tests may observe a stale
+          //      (larger) radius. That admits extra work, never wrong
+          //      results: best_pd/best_path — the answer — are maintained
+          //      exclusively under the mutex, and pruning with any radius
+          //      >= the true minimum keeps the optimum reachable.
+          // Regression coverage: ParallelSd.RadiusPublicationUnderContention
+          // (tests/test_parallel_sd.cpp), which runs under the TSan CI job.
           std::lock_guard<std::mutex> lock(best_mutex);
           if (static_cast<double>(child.pd) < best_pd) {
             best_pd = static_cast<double>(child.pd);

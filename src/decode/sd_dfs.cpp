@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace sd {
 
@@ -30,6 +31,7 @@ SdDfsDetector::SdDfsDetector(const Constellation& constellation,
 
 DecodeResult SdDfsDetector::decode(const CMat& h, std::span<const cplx> y,
                                    double sigma2) {
+  SD_TRACE_SPAN("decode");
   DecodeResult result;
   const Preprocessed pre = preprocess(h, y, opts_.sorted_qr);
   result.stats.preprocess_seconds = pre.seconds;
@@ -40,6 +42,7 @@ DecodeResult SdDfsDetector::decode(const CMat& h, std::span<const cplx> y,
 
 void SdDfsDetector::search(const Preprocessed& pre, double sigma2,
                            DecodeResult& result) {
+  SD_TRACE_SPAN("decode.search");
   const index_t m = pre.r.rows();
   const index_t p = c_->order();
   result.stats.tree_levels = static_cast<std::uint64_t>(m);

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "linalg/gemm.hpp"
 
 namespace sd {
@@ -42,6 +43,7 @@ SdGemmDetector::SdGemmDetector(const Constellation& constellation,
 
 DecodeResult SdGemmDetector::decode(const CMat& h, std::span<const cplx> y,
                                     double sigma2) {
+  SD_TRACE_SPAN("decode");
   DecodeResult result;
   const Preprocessed pre = preprocess(h, y, opts_.sorted_qr);
   result.stats.preprocess_seconds = pre.seconds;
@@ -52,6 +54,7 @@ DecodeResult SdGemmDetector::decode(const CMat& h, std::span<const cplx> y,
 
 void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
                             DecodeResult& result) {
+  SD_TRACE_SPAN("decode.search");
   const index_t m = pre.r.rows();
   SD_CHECK(static_cast<index_t>(pre.ybar.size()) == m, "ybar length mismatch");
   const index_t p = c_->order();

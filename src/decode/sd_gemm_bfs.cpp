@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "linalg/gemm.hpp"
+#include "obs/trace.hpp"
 
 namespace sd {
 
@@ -30,6 +31,7 @@ SdGemmBfsDetector::SdGemmBfsDetector(const Constellation& constellation,
 
 DecodeResult SdGemmBfsDetector::decode(const CMat& h, std::span<const cplx> y,
                                        double sigma2) {
+  SD_TRACE_SPAN("decode");
   DecodeResult result;
   const Preprocessed pre = preprocess(h, y, opts_.base.sorted_qr);
   result.stats.preprocess_seconds = pre.seconds;
@@ -40,6 +42,7 @@ DecodeResult SdGemmBfsDetector::decode(const CMat& h, std::span<const cplx> y,
 
 void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
                                DecodeResult& result) {
+  SD_TRACE_SPAN("decode.search");
   const index_t m = pre.r.rows();
   const index_t p = c_->order();
   result.stats.tree_levels = static_cast<std::uint64_t>(m);
@@ -125,13 +128,25 @@ void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
       if (next.size() > opts_.max_frontier) {
         // Memory guard: keep the best max_frontier nodes. This is the
         // BER-costing heuristic GPU implementations fall back on.
+        //
+        // Determinism contract: the cut must be a TOTAL order. A pd-only
+        // comparator lets std::nth_element resolve PD ties (common for the
+        // symmetric constellations) in stdlib-dependent order, so which
+        // tied nodes survive — and every downstream golden number of a
+        // truncated decode — varied across toolchains. The NodeId
+        // tie-break is total (ids are unique) and reproducible (ids are
+        // assigned in frontier order, itself deterministic by induction).
+        // partial_sort rather than nth_element so the surviving
+        // frontier's ORDER is pinned too: the next level assigns NodeIds
+        // in frontier order, and those ids feed the next cut's key.
         truncated_ = true;
-        std::nth_element(next.begin(),
-                         next.begin() + static_cast<std::ptrdiff_t>(opts_.max_frontier),
-                         next.end(),
-                         [](const FrontierNode& x, const FrontierNode& y2) {
-                           return x.pd < y2.pd;
-                         });
+        std::partial_sort(next.begin(),
+                          next.begin() + static_cast<std::ptrdiff_t>(opts_.max_frontier),
+                          next.end(),
+                          [](const FrontierNode& x, const FrontierNode& y2) {
+                            return x.pd < y2.pd ||
+                                   (x.pd == y2.pd && x.id < y2.id);
+                          });
         result.stats.nodes_pruned += next.size() - opts_.max_frontier;
         next.resize(opts_.max_frontier);
       }

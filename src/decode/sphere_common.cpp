@@ -4,11 +4,13 @@
 #include "common/timer.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/ordering.hpp"
+#include "obs/trace.hpp"
 
 namespace sd {
 
 Preprocessed preprocess(const CMat& h, std::span<const cplx> y,
                         bool sorted_qr) {
+  SD_TRACE_SPAN("decode.preprocess.qr");
   SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");
   Preprocessed pre;
   Timer timer;

@@ -1,6 +1,7 @@
 #include "fpga/fpga_detector.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace sd {
 
@@ -14,6 +15,7 @@ FpgaDetector::FpgaDetector(const Constellation& constellation,
 
 DecodeResult FpgaDetector::decode(const CMat& h, std::span<const cplx> y,
                                   double sigma2) {
+  SD_TRACE_SPAN("decode");
   const Preprocessed pre = preprocess(h, y, opts_.sorted_qr);
   last_ = pipeline_.run(pre, *c_, sigma2, opts_);
   DecodeResult result = last_.result;

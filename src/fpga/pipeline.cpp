@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "decode/mst.hpp"
 #include "linalg/gemm.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace sd {
 
@@ -22,6 +25,33 @@ struct Child {
 };
 
 }  // namespace
+
+void CycleBreakdown::export_counters(obs::CounterRegistry& registry,
+                                     std::string_view prefix) const {
+  const std::string p = prefix.empty() ? "" : std::string(prefix) + ".";
+  registry.set(p + "branch", branch);
+  registry.set(p + "prefetch_exposed", prefetch_exposed);
+  registry.set(p + "gemm", gemm);
+  registry.set(p + "norm", norm);
+  registry.set(p + "sort", sort);
+  registry.set(p + "mst", mst);
+  registry.set(p + "radius", radius);
+  registry.set(p + "total", total());
+}
+
+void FpgaRunReport::export_counters(obs::CounterRegistry& registry,
+                                    std::string_view prefix) const {
+  const std::string p = prefix.empty() ? "" : std::string(prefix) + ".";
+  cycles.export_counters(registry, p + "cycles");
+  result.stats.export_counters(registry, p + "decode");
+  registry.set(p + "transfer_seconds", transfer_seconds);
+  registry.set(p + "compute_seconds", compute_seconds);
+  registry.set(p + "total_seconds", total_seconds);
+  registry.set(p + "mst_peak_nodes", static_cast<std::uint64_t>(mst_peak_nodes));
+  registry.set(p + "mst_overflow", std::uint64_t{mst_overflow ? 1u : 0u});
+  registry.set(p + "hbm_bytes", hbm_bytes);
+  registry.set(p + "uram_bytes_written", uram_bytes_written);
+}
 
 FpgaPipeline::FpgaPipeline(const FpgaConfig& config)
     : cfg_(config),
@@ -89,9 +119,12 @@ FpgaRunReport FpgaPipeline::run(const Preprocessed& pre,
     result.stats.nodes_generated += static_cast<std::uint64_t>(p);
 
     // --- Phase 1: branching. P children at II = branch_ii after setup.
-    cyc.branch += static_cast<std::uint64_t>(cfg_.branch_setup) +
-                  static_cast<std::uint64_t>(p) *
-                      static_cast<std::uint64_t>(cfg_.branch_ii);
+    {
+      SD_TRACE_SPAN("fpga.branch");
+      cyc.branch += static_cast<std::uint64_t>(cfg_.branch_setup) +
+                    static_cast<std::uint64_t>(p) *
+                        static_cast<std::uint64_t>(cfg_.branch_ii);
+    }
 
     // --- Pre-fetch: R row block + the parent's tree-state block. In the
     // optimized design this hides behind the previous expansion's compute.
@@ -100,7 +133,10 @@ FpgaRunReport FpgaPipeline::run(const Preprocessed& pre,
         (static_cast<usize>(cfg_.optimized ? k * k : k) +  // R block / row
          static_cast<usize>(k) * p +                       // tree-state matrix
          1);                                               // ybar element
-    cyc.prefetch_exposed += prefetch_.stage(fetch_bytes, prev_compute_cycles);
+    {
+      SD_TRACE_SPAN("fpga.prefetch");
+      cyc.prefetch_exposed += prefetch_.stage(fetch_bytes, prev_compute_cycles);
+    }
 
     // --- Phase 2: evaluation. The optimized design streams the full
     // (k x k) x (k x P) tree-state block product through the systolic
@@ -109,48 +145,59 @@ FpgaRunReport FpgaPipeline::run(const Preprocessed& pre,
     // on its MAC chain. Row 0 of z — the PD input — is bitwise identical
     // to the CPU decoder's in both cases.
     const index_t a_rows = cfg_.optimized ? k : 1;
-    CMat a_block(a_rows, k);
-    for (index_t r2 = 0; r2 < a_rows; ++r2) {
-      for (index_t t = r2; t < k; ++t) {
-        a_block(r2, t) = pre.r(a + r2, a + t);
-      }
-    }
-    CMat s_mat(k, p);
-    for (index_t col = 0; col < p; ++col) s_mat(0, col) = c.point(col);
-    for (index_t t = 1; t < k; ++t) {
-      const cplx sym = c.point(path[static_cast<usize>(depth - t)]);
-      for (index_t col = 0; col < p; ++col) s_mat(t, col) = sym;
-    }
     CMat z(a_rows, p);
-    const std::uint64_t gemm_cycles = gemm_engine_.run(a_block, s_mat, z);
-    cyc.gemm += gemm_cycles;
-    ++result.stats.gemm_calls;
-    result.stats.flops += gemm_flops(a_rows, p, k);
+    std::uint64_t gemm_cycles = 0;
+    {
+      SD_TRACE_SPAN("fpga.gemm");
+      CMat a_block(a_rows, k);
+      for (index_t r2 = 0; r2 < a_rows; ++r2) {
+        for (index_t t = r2; t < k; ++t) {
+          a_block(r2, t) = pre.r(a + r2, a + t);
+        }
+      }
+      CMat s_mat(k, p);
+      for (index_t col = 0; col < p; ++col) s_mat(0, col) = c.point(col);
+      for (index_t t = 1; t < k; ++t) {
+        const cplx sym = c.point(path[static_cast<usize>(depth - t)]);
+        for (index_t col = 0; col < p; ++col) s_mat(t, col) = sym;
+      }
+      gemm_cycles = gemm_engine_.run(a_block, s_mat, z);
+      cyc.gemm += gemm_cycles;
+      ++result.stats.gemm_calls;
+      result.stats.flops += gemm_flops(a_rows, p, k);
+    }
 
     // --- NORM: |ybar_a - z_c|^2 accumulate across the P lanes at the unit's
     // initiation interval (1 in the optimized design, stalled in the port).
     const std::uint64_t norm_cycles =
         static_cast<std::uint64_t>(cfg_.norm_latency) +
         static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(cfg_.branch_ii);
-    cyc.norm += norm_cycles;
-    const cplx target = pre.ybar[static_cast<usize>(a)];
-    for (index_t col = 0; col < p; ++col) {
-      children[static_cast<usize>(col)] = {col,
-                                           parent_pd + norm2(target - z(0, col))};
+    {
+      SD_TRACE_SPAN("fpga.norm");
+      cyc.norm += norm_cycles;
+      const cplx target = pre.ybar[static_cast<usize>(a)];
+      for (index_t col = 0; col < p; ++col) {
+        children[static_cast<usize>(col)] = {
+            col, parent_pd + norm2(target - z(0, col))};
+      }
     }
 
     // --- Phase 3: prune + sort (bitonic network over the sibling batch).
-    survivors.clear();
-    for (const Child& ch : children) {
-      if (static_cast<double>(ch.pd) < radius_sq) {
-        survivors.push_back(ch);
-      } else {
-        ++result.stats.nodes_pruned;
+    std::uint64_t sort_cycles = 0;
+    {
+      SD_TRACE_SPAN("fpga.sort");
+      survivors.clear();
+      for (const Child& ch : children) {
+        if (static_cast<double>(ch.pd) < radius_sq) {
+          survivors.push_back(ch);
+        } else {
+          ++result.stats.nodes_pruned;
+        }
       }
+      sort_cycles = sorter_.sort(static_cast<usize>(p));
+      cyc.sort += sort_cycles;
+      result.stats.sort_ops += static_cast<std::uint64_t>(p);
     }
-    const std::uint64_t sort_cycles = sorter_.sort(static_cast<usize>(p));
-    cyc.sort += sort_cycles;
-    result.stats.sort_ops += static_cast<std::uint64_t>(p);
 
     // The ping-pong prefetch of the *next* expansion overlaps this entire
     // expansion's compute (branch through sort).

@@ -36,6 +36,11 @@ struct CycleBreakdown {
   [[nodiscard]] std::uint64_t total() const noexcept {
     return branch + prefetch_exposed + gemm + norm + sort + mst + radius;
   }
+
+  /// Pours the per-unit cycle ledger into the unified counter registry
+  /// (src/obs) under "<prefix>.<unit>" names, e.g. "fpga.cycles.gemm".
+  void export_counters(obs::CounterRegistry& registry,
+                       std::string_view prefix = "fpga.cycles") const;
 };
 
 /// Everything the benches need from one simulated decode.
@@ -49,6 +54,11 @@ struct FpgaRunReport {
   bool mst_overflow = false;    ///< design capacity would have been exceeded
   std::uint64_t hbm_bytes = 0;
   std::uint64_t uram_bytes_written = 0;
+
+  /// Exports the cycle ledger, timing split, and memory/MST gauges under
+  /// "<prefix>.*" plus the embedded DecodeStats under "<prefix>.decode.*".
+  void export_counters(obs::CounterRegistry& registry,
+                       std::string_view prefix = "fpga") const;
 };
 
 class FpgaPipeline {

@@ -47,17 +47,30 @@ void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
   // Small-shape fast path: the sphere decoder issues millions of tiny
   // (1 x P x k) sibling-batch products, where the packed path's buffer
   // management dominates. The naive kernel accumulates in the same order as
-  // the packed kernel for k <= kKC, so results stay bitwise identical.
-  if (static_cast<std::uint64_t>(m) * n * k <= 4096) {
+  // the packed kernel ONLY while the whole reduction fits one K-panel
+  // (k <= kGemmKc); beyond that the packed kernel forms per-panel partial
+  // sums and the two orders — hence the rounded results — diverge. The
+  // volume gate alone admitted shapes like 1 x 1 x 4096, silently breaking
+  // the bitwise-identity contract the decoders rely on, so the k gate is
+  // part of the dispatch, not just the comment.
+  if (static_cast<std::uint64_t>(m) * n * k <= 4096 && k <= kGemmKc) {
     gemm_naive(op_a, alpha, a, b, beta, c);
     return;
   }
+  gemm_packed(op_a, alpha, a, b, beta, c);
+}
+
+void gemm_packed(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+                 CMat& c) {
+  check_gemm_shapes(op_a, a, b, c);
+  const auto [m, k] = detail::op_shape(op_a, a);
+  const index_t n = b.cols();
 
   // Block sizes chosen so one (MC x KC) A-panel plus a (KC x NC) B-panel fit
   // comfortably in L1/L2 for 8-byte complex<float>.
-  constexpr index_t kMC = 64;
-  constexpr index_t kKC = 128;
-  constexpr index_t kNC = 128;
+  constexpr index_t kMC = kGemmMc;
+  constexpr index_t kKC = kGemmKc;
+  constexpr index_t kNC = kGemmNc;
 
   // Pack op(A) block rows contiguously once per (i-block, p-block) so the
   // micro-kernel streams both operands with unit stride; this is the CPU

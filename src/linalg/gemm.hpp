@@ -21,14 +21,32 @@ enum class Op : std::uint8_t {
   kConjTrans,  ///< use A^H (conjugate transpose)
 };
 
+/// Panel blocking constants of the packed kernel. kGemmKc is the K-dimension
+/// panel depth: within one K-panel the packed kernel accumulates in plain
+/// ascending-p order, which is why the naive kernel is bitwise identical to
+/// it for k <= kGemmKc (and only then — beyond one panel the packed kernel
+/// splits the reduction into per-panel partial sums).
+inline constexpr index_t kGemmMc = 64;
+inline constexpr index_t kGemmKc = 128;
+inline constexpr index_t kGemmNc = 128;
+
 /// C = alpha * op(A) * B + beta * C. Reference implementation, used as the
 /// test oracle and by the un-optimized "baseline" device models.
 /// Shapes: op(A) is m x k, B is k x n, C is m x n.
 void gemm_naive(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
                 CMat& c);
 
+/// C = alpha * op(A) * B + beta * C. The cache-blocked, operand-packed
+/// kernel, always (no small-shape dispatch). Exposed so tests can pin the
+/// fast path's bitwise-identity claim against it on boundary shapes.
+void gemm_packed(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+                 CMat& c);
+
 /// C = alpha * op(A) * B + beta * C. Cache-blocked, operand-packed kernel —
-/// the "optimized CPU" implementation.
+/// the "optimized CPU" implementation. Small shapes (m*n*k <= 4096 AND
+/// k <= kGemmKc) dispatch to gemm_naive, whose accumulation order is bitwise
+/// identical within a single K-panel; results are therefore independent of
+/// the dispatch decision.
 void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
           CMat& c);
 

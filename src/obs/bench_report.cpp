@@ -1,0 +1,171 @@
+#include "obs/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace sd::obs {
+
+namespace {
+
+void emit_metric(JsonWriter& w, const Metric& m) {
+  switch (m.kind) {
+    case Metric::Kind::kDouble: w.value(m.d); break;
+    case Metric::Kind::kInt: w.value(m.i); break;
+    case Metric::Kind::kUint: w.value(m.u); break;
+    case Metric::Kind::kBool: w.value(m.b); break;
+    case Metric::Kind::kString: w.value(m.s); break;
+  }
+}
+
+/// Emits a table cell: a cell that parses completely as a finite number goes
+/// out as a number so diffs of captured tables stay numeric; everything else
+/// ("35.8x", "yes", "") stays a string.
+void emit_cell(JsonWriter& w, const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end != nullptr && *end == '\0' && std::isfinite(v)) {
+      w.value(v);
+      return;
+    }
+  }
+  w.value(cell);
+}
+
+}  // namespace
+
+BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {
+  SD_CHECK(!name_.empty(), "bench report needs a name");
+  const char* dir = std::getenv("SD_BENCH_JSON_DIR");
+  dir_ = (dir != nullptr && *dir != '\0') ? dir : ".";
+}
+
+BenchReporter::~BenchReporter() {
+  if (!written_) {
+    try {
+      write();
+    } catch (...) {  // NOLINT(bugprone-empty-catch) best-effort on teardown
+    }
+  }
+}
+
+void BenchReporter::config(std::string_view key, Metric value) {
+  config_.emplace_back(std::string(key), std::move(value));
+}
+
+void BenchReporter::row(std::string_view label,
+                        std::vector<std::pair<std::string, Metric>> cells) {
+  for (Series& s : series_) {
+    if (s.label == label) {
+      s.rows.push_back(std::move(cells));
+      return;
+    }
+  }
+  Series s;
+  s.label = std::string(label);
+  s.rows.push_back(std::move(cells));
+  series_.push_back(std::move(s));
+}
+
+void BenchReporter::add_table(std::string_view label, const Table& table) {
+  CapturedTable ct;
+  ct.label = std::string(label);
+  ct.headers = table.headers();
+  ct.rows = table.data_rows();
+  tables_.push_back(std::move(ct));
+}
+
+void BenchReporter::counters(const CounterRegistry& registry,
+                             std::string_view prefix) {
+  counters_.merge(registry, prefix);
+}
+
+std::string BenchReporter::path() const {
+  return dir_ + "/BENCH_" + name_ + ".json";
+}
+
+bool BenchReporter::enabled() { return env_int_or("SD_BENCH_JSON", 1) != 0; }
+
+std::string BenchReporter::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("spheredec.bench");
+  w.key("schema_version").value(std::int64_t{1});
+  w.key("name").value(name_);
+  w.key("config").begin_object();
+  for (const auto& [key, value] : config_) {
+    w.key(key);
+    emit_metric(w, value);
+  }
+  w.end_object();
+  w.key("series").begin_array();
+  for (const Series& s : series_) {
+    w.begin_object();
+    w.key("label").value(s.label);
+    w.key("rows").begin_array();
+    for (const auto& cells : s.rows) {
+      w.begin_object();
+      for (const auto& [key, value] : cells) {
+        w.key(key);
+        emit_metric(w, value);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("tables").begin_array();
+  for (const CapturedTable& t : tables_) {
+    w.begin_object();
+    w.key("label").value(t.label);
+    w.key("headers").begin_array();
+    for (const std::string& h : t.headers) w.value(h);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& cells : t.rows) {
+      w.begin_array();
+      for (const std::string& cell : cells) emit_cell(w, cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  if (!counters_.empty()) {
+    w.key("counters").begin_object();
+    for (const auto& [cname, value] : counters_.entries()) {
+      w.key(cname);
+      if (value.kind == CounterValue::Kind::kUint) {
+        w.value(value.u);
+      } else {
+        w.value(value.d);
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return w.take();
+}
+
+bool BenchReporter::write() {
+  written_ = true;
+  if (!enabled()) return true;
+  const std::string out_path = path();
+  const bool ok = write_text_file(out_path, json());
+  if (ok) {
+    std::printf("bench report: %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "bench report: failed to write %s\n",
+                 out_path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace sd::obs

@@ -1,0 +1,138 @@
+// BenchReporter: machine-readable bench output.
+//
+// Every binary under bench/ (and the servable examples) routes its results
+// through one of these so that, alongside the human-oriented ASCII tables,
+// the run leaves a schema-versioned BENCH_<name>.json on disk. Future perf
+// PRs diff those files mechanically instead of eyeballing text tables — the
+// repo's perf trajectory becomes data.
+//
+// Document schema "spheredec.bench", version 1:
+//
+//   {
+//     "schema": "spheredec.bench",
+//     "schema_version": 1,
+//     "name": "fig6_time_10x10_4qam",
+//     "config":  { "trials": 20, "m": 10, ... },          // flat object
+//     "series":  [ { "label": "cpu-vs-fpga",
+//                    "rows": [ { "snr_db": 0, "cpu_ms": 7.1, ... } ] } ],
+//     "tables":  [ { "label": "results",
+//                    "headers": [ "SNR (dB)", ... ],
+//                    "rows": [ [ 0, "35.8x", ... ] ] } ],  // numeric cells
+//                                                          // emitted as numbers
+//     "counters": { "decode.nodes_expanded": 4901, ... }   // optional
+//   }
+//
+// `series` carries typed rows for the figures whose values the binary
+// computes directly; `add_table` captures an already-built ASCII Table
+// (cells that parse fully as numbers are emitted as numbers). Either may be
+// empty, but a valid report has at least one of the two non-empty.
+// tools/validate_bench_json.py checks this schema in CI.
+//
+// Output location: $SD_BENCH_JSON_DIR (default: the working directory);
+// SD_BENCH_JSON=0 disables emission entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/counters.hpp"
+
+namespace sd {
+class Table;
+}
+
+namespace sd::obs {
+
+/// Tagged scalar for config entries and series cells.
+struct Metric {
+  enum class Kind : std::uint8_t { kDouble, kInt, kUint, kBool, kString };
+  Kind kind = Kind::kDouble;
+  double d = 0.0;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  bool b = false;
+  std::string s;
+
+  Metric(double v) : kind(Kind::kDouble), d(v) {}                 // NOLINT
+  Metric(int v) : kind(Kind::kInt), i(v) {}                       // NOLINT
+  Metric(long v) : kind(Kind::kInt), i(v) {}                      // NOLINT
+  Metric(long long v) : kind(Kind::kInt), i(v) {}                 // NOLINT
+  Metric(unsigned v) : kind(Kind::kUint), u(v) {}                 // NOLINT
+  Metric(unsigned long v) : kind(Kind::kUint), u(v) {}            // NOLINT
+  Metric(unsigned long long v) : kind(Kind::kUint), u(v) {}       // NOLINT
+  Metric(bool v) : kind(Kind::kBool), b(v) {}                     // NOLINT
+  Metric(const char* v) : kind(Kind::kString), s(v) {}            // NOLINT
+  Metric(std::string_view v) : kind(Kind::kString), s(v) {}       // NOLINT
+  Metric(std::string v) : kind(Kind::kString), s(std::move(v)) {} // NOLINT
+};
+
+class BenchReporter {
+ public:
+  /// `name` is the report id, e.g. "fig6_time_10x10_4qam"; the file becomes
+  /// BENCH_<name>.json.
+  explicit BenchReporter(std::string name);
+
+  /// Writes the report if write() was not already called (best effort; the
+  /// destructor swallows I/O errors — call write() to observe them).
+  ~BenchReporter();
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// Records one configuration entry (trials, system shape, flags, ...).
+  void config(std::string_view key, Metric value);
+
+  /// Appends one typed row to the series named `label` (created on first
+  /// use, preserving first-use order).
+  void row(std::string_view label,
+           std::vector<std::pair<std::string, Metric>> cells);
+
+  /// Captures a rendered ASCII table: headers plus all non-separator rows.
+  /// Cells that parse completely as finite numbers are emitted as numbers.
+  void add_table(std::string_view label, const Table& table);
+
+  /// Merges a counter snapshot into the report's "counters" object.
+  void counters(const CounterRegistry& registry, std::string_view prefix = "");
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Full output path under the effective output directory.
+  [[nodiscard]] std::string path() const;
+
+  /// Overrides the output directory (tests; default $SD_BENCH_JSON_DIR or ".").
+  void set_directory(std::string dir) { dir_ = std::move(dir); }
+
+  /// False iff SD_BENCH_JSON=0 suppresses emission process-wide.
+  [[nodiscard]] static bool enabled();
+
+  /// The full report document (always available, even when disabled).
+  [[nodiscard]] std::string json() const;
+
+  /// Emits the report and prints a one-line note. Returns true on success or
+  /// when emission is disabled; subsequent destructor writes are suppressed.
+  bool write();
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<std::vector<std::pair<std::string, Metric>>> rows;
+  };
+  struct CapturedTable {
+    std::string label;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string name_;
+  std::string dir_;
+  std::vector<std::pair<std::string, Metric>> config_;
+  std::vector<Series> series_;
+  std::vector<CapturedTable> tables_;
+  CounterRegistry counters_;
+  bool written_ = false;
+};
+
+}  // namespace sd::obs

@@ -1,0 +1,91 @@
+#include "obs/counters.hpp"
+
+#include "obs/json.hpp"
+
+namespace sd::obs {
+
+void CounterRegistry::set(std::string name, std::uint64_t v) {
+  CounterValue cv;
+  cv.kind = CounterValue::Kind::kUint;
+  cv.u = v;
+  counters_[std::move(name)] = cv;
+}
+
+void CounterRegistry::set(std::string name, double v) {
+  CounterValue cv;
+  cv.kind = CounterValue::Kind::kDouble;
+  cv.d = v;
+  counters_[std::move(name)] = cv;
+}
+
+void CounterRegistry::add(std::string name, std::uint64_t v) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    set(std::move(name), v);
+  } else if (it->second.kind == CounterValue::Kind::kUint) {
+    it->second.u += v;
+  } else {
+    it->second.d += static_cast<double>(v);
+  }
+}
+
+void CounterRegistry::add(std::string name, double v) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    set(std::move(name), v);
+  } else {
+    if (it->second.kind == CounterValue::Kind::kUint) {
+      it->second.d = static_cast<double>(it->second.u) + v;
+      it->second.kind = CounterValue::Kind::kDouble;
+    } else {
+      it->second.d += v;
+    }
+  }
+}
+
+bool CounterRegistry::has(std::string_view name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+double CounterRegistry::get_or(std::string_view name, double fallback) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? fallback : it->second.as_double();
+}
+
+std::uint64_t CounterRegistry::get_uint_or(std::string_view name,
+                                           std::uint64_t fallback) const {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return fallback;
+  return it->second.kind == CounterValue::Kind::kUint
+             ? it->second.u
+             : static_cast<std::uint64_t>(it->second.d);
+}
+
+void CounterRegistry::merge(const CounterRegistry& other,
+                            std::string_view prefix) {
+  for (const auto& [name, value] : other.entries()) {
+    std::string key = prefix.empty() ? name : std::string(prefix) + "." + name;
+    counters_[std::move(key)] = value;
+  }
+}
+
+std::string CounterRegistry::json() const {
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& [name, value] : counters_) {
+    w.key(name);
+    if (value.kind == CounterValue::Kind::kUint) {
+      w.value(value.u);
+    } else {
+      w.value(value.d);
+    }
+  }
+  w.end_object();
+  return w.take();
+}
+
+bool CounterRegistry::write_json(const std::string& path) const {
+  return write_text_file(path, json());
+}
+
+}  // namespace sd::obs

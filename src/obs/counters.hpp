@@ -1,0 +1,78 @@
+// CounterRegistry: one named-counter interface behind which the repo's
+// previously disconnected accounting structs — DecodeStats (src/decode),
+// the FPGA cycle ledger (src/fpga CycleBreakdown / FpgaRunReport), and the
+// serving runtime's ServerMetrics (src/serve) — are unified.
+//
+// Each struct keeps its typed form for hot-path accumulation (counters are
+// bumped millions of times per decode; a map lookup there would be absurd)
+// and gains an `export_counters(registry, prefix)` adapter that pours a
+// snapshot into the registry at reporting time. The registry then renders
+// one flat, dotted-name JSON object ("decode.nodes_expanded",
+// "fpga.cycles.gemm", "serve.e2e.p99_s", ...) so dashboards, the bench
+// reporter, and --metrics-json dumps all speak the same schema.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace sd::obs {
+
+/// A counter value: exact 64-bit for event counts (flops overflow a double's
+/// 53-bit mantissa), floating point for seconds/ratios.
+struct CounterValue {
+  enum class Kind : std::uint8_t { kUint, kDouble };
+  Kind kind = Kind::kUint;
+  std::uint64_t u = 0;
+  double d = 0.0;
+
+  [[nodiscard]] double as_double() const noexcept {
+    return kind == Kind::kUint ? static_cast<double>(u) : d;
+  }
+};
+
+/// Ordered name -> value snapshot store. Not thread-safe: fill it from one
+/// thread at reporting time (the hot-path structs it snapshots have their own
+/// synchronization story).
+class CounterRegistry {
+ public:
+  void set(std::string name, std::uint64_t v);
+  void set(std::string name, double v);
+  /// Adds onto an existing counter (creating it at zero). Mixing kinds
+  /// promotes the counter to double.
+  void add(std::string name, std::uint64_t v);
+  void add(std::string name, double v);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  /// Numeric read regardless of kind; `fallback` when absent.
+  [[nodiscard]] double get_or(std::string_view name,
+                              double fallback = 0.0) const;
+  [[nodiscard]] std::uint64_t get_uint_or(std::string_view name,
+                                          std::uint64_t fallback = 0) const;
+
+  [[nodiscard]] usize size() const noexcept { return counters_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return counters_.empty(); }
+  [[nodiscard]] const std::map<std::string, CounterValue, std::less<>>&
+  entries() const noexcept {
+    return counters_;
+  }
+
+  /// Copies every counter of `other` into this registry under
+  /// "<prefix>.<name>" (or verbatim with an empty prefix).
+  void merge(const CounterRegistry& other, std::string_view prefix = "");
+
+  void clear() noexcept { counters_.clear(); }
+
+  /// One flat JSON object, keys in sorted order.
+  [[nodiscard]] std::string json() const;
+  /// Writes json() to `path`; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::map<std::string, CounterValue, std::less<>> counters_;
+};
+
+}  // namespace sd::obs

@@ -1,0 +1,69 @@
+// Minimal JSON emission/validation for the observability layer.
+//
+// Everything src/obs exports — counter snapshots, chrome://tracing dumps,
+// BENCH_*.json bench reports — goes through this one writer so escaping and
+// number formatting are uniform and the emitted documents are syntactically
+// valid by construction. The validator is a full-syntax checker (not a
+// parser): tests and tools use it to assert that exported documents are
+// well-formed JSON without pulling in an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sd::obs {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes not
+/// included): ", \, control characters -> \uXXXX.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer with structural checking. Usage:
+///   JsonWriter w;
+///   w.begin_object().key("name").value("fig6").key("rows").begin_array();
+///   ...
+///   w.end_array().end_object();
+///   std::string doc = w.take();
+/// Misuse (value without key inside an object, unbalanced end_*) throws
+/// sd::invalid_argument_error.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);  ///< non-finite values are emitted as null
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Finishes and returns the document. Throws if containers are unbalanced
+  /// or nothing was written.
+  [[nodiscard]] std::string take();
+
+ private:
+  void before_value();
+
+  std::string out_;
+  std::vector<char> stack_;   // '{' or '['
+  bool need_comma_ = false;
+  bool after_key_ = false;
+  bool done_ = false;
+};
+
+/// True iff `text` is one complete, syntactically valid JSON value
+/// (RFC 8259 grammar; numbers, strings with escapes, nesting).
+[[nodiscard]] bool json_validate(std::string_view text);
+
+/// Writes `text` to `path`, returning false on any I/O failure.
+bool write_text_file(const std::string& path, std::string_view text);
+
+}  // namespace sd::obs

@@ -1,0 +1,110 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/cli.hpp"
+#include "obs/json.hpp"
+
+namespace sd::obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(usize capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(std::max<usize>(capacity, 1), TraceEvent{});
+  total_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::int64_t Tracer::now_ns() const noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(const char* name, std::int64_t start_ns,
+                    std::int64_t dur_ns) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed) || ring_.empty()) return;
+  ring_[total_ % ring_.size()] =
+      TraceEvent{name, thread_id(), start_ns, dur_ns};
+  ++total_;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const usize n = std::min<std::uint64_t>(total_, ring_.size());
+  out.reserve(n);
+  // Oldest first: the ring wraps at total_ % size.
+  const usize start = total_ > ring_.size() ? total_ % ring_.size() : 0;
+  for (usize i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(ring_.begin(), ring_.end(), TraceEvent{});
+  total_ = 0;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.key("name").value(e.name != nullptr ? e.name : "?");
+    w.key("cat").value("sd");
+    w.key("ph").value("X");
+    w.key("ts").value(static_cast<double>(e.start_ns) * 1e-3);
+    w.key("dur").value(static_cast<double>(e.dur_ns) * 1e-3);
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(static_cast<std::uint64_t>(e.tid));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  return write_text_file(path, chrome_trace_json());
+}
+
+std::uint32_t Tracer::thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool init_tracing_from_env() {
+  const long v = env_int_or("SD_TRACE", 0);
+  if (v == 0) return false;
+  Tracer::instance().enable(v > 1 ? static_cast<usize>(v) : usize{1} << 16);
+  return true;
+}
+
+}  // namespace sd::obs

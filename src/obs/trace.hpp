@@ -1,0 +1,146 @@
+// Span-based tracing for the decode / FPGA-model / serve hot paths.
+//
+// Usage at an instrumentation site:
+//
+//   void SdGemmDetector::search(...) {
+//     SD_TRACE_SPAN("search");
+//     ...
+//   }
+//
+// The macro plants an RAII guard that records a {name, thread, start, dur}
+// event into a process-wide fixed-capacity ring buffer when tracing is
+// enabled. Cost model, in line with the repo's golden-regression methodology
+// (instrumentation must never perturb what it measures):
+//
+//   - compiled out (SD_OBS_ENABLED=0, cmake -DSPHEREDEC_OBS=OFF): the macro
+//     expands to nothing — zero code, zero data;
+//   - compiled in but disabled (the default at runtime): one relaxed atomic
+//     load and a predictable branch per span — no clock reads, no locks;
+//   - enabled: two steady_clock reads plus a short critical section on the
+//     ring mutex. Tracing is a capture tool, not an always-on profiler.
+//
+// The ring never reallocates while recording; once full, the oldest events
+// are overwritten and counted in dropped(). Export is chrome://tracing's
+// "Trace Event Format" (a JSON object with a traceEvents array of complete
+// "X" events), loadable in chrome://tracing or Perfetto.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+#ifndef SD_OBS_ENABLED
+#define SD_OBS_ENABLED 1
+#endif
+
+namespace sd::obs {
+
+/// One completed span. `name` must point to a string with static storage
+/// duration (the macro passes literals); only the pointer is stored.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;       ///< small dense id assigned per thread
+  std::int64_t start_ns = 0;   ///< steady-clock time since the tracer epoch
+  std::int64_t dur_ns = 0;
+};
+
+/// Process-wide span collector. All methods are thread-safe.
+class Tracer {
+ public:
+  /// The singleton every SD_TRACE_SPAN records into.
+  [[nodiscard]] static Tracer& instance();
+
+  /// Allocates (or resizes) the ring and starts recording. Idempotent;
+  /// re-enabling with a different capacity clears previously captured events.
+  void enable(usize capacity = 1u << 16);
+
+  /// Stops recording; captured events stay readable until clear()/enable().
+  void disable();
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the tracer epoch (first instance() call).
+  [[nodiscard]] std::int64_t now_ns() const noexcept;
+
+  /// Records one completed span. No-op when disabled.
+  void record(const char* name, std::int64_t start_ns,
+              std::int64_t dur_ns) noexcept;
+
+  /// Events currently in the ring, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Total events offered to the ring since enable().
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void clear();
+
+  /// Serializes the ring in chrome://tracing JSON ("ts"/"dur" microseconds).
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Small dense id of the calling thread (assigned on first use).
+  [[nodiscard]] static std::uint32_t thread_id() noexcept;
+
+ private:
+  Tracer();
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;     // guarded by mu_
+  std::uint64_t total_ = 0;          // guarded by mu_
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: samples the clock on construction iff tracing is enabled, and
+/// records on destruction. Prefer the SD_TRACE_SPAN macro, which compiles
+/// away entirely when the observability layer is disabled at build time.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) noexcept {
+    Tracer& t = Tracer::instance();
+    if (t.enabled()) {
+      tracer_ = &t;
+      name_ = name;
+      start_ns_ = t.now_ns();
+    }
+  }
+  ~SpanGuard() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, start_ns_, tracer_->now_ns() - start_ns_);
+    }
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
+
+/// Enables tracing iff the SD_TRACE environment variable is set to a nonzero
+/// value (its integer value, when > 1, overrides the ring capacity). Returns
+/// true if tracing was enabled.
+bool init_tracing_from_env();
+
+}  // namespace sd::obs
+
+#if SD_OBS_ENABLED
+#define SD_OBS_CONCAT_IMPL(a, b) a##b
+#define SD_OBS_CONCAT(a, b) SD_OBS_CONCAT_IMPL(a, b)
+#define SD_TRACE_SPAN(name) \
+  ::sd::obs::SpanGuard SD_OBS_CONCAT(sd_obs_span_, __LINE__) { name }
+#else
+#define SD_TRACE_SPAN(name) static_cast<void>(0)
+#endif

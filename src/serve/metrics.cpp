@@ -1,0 +1,50 @@
+#include "serve/metrics.hpp"
+
+#include <string>
+
+#include "obs/counters.hpp"
+
+namespace sd::serve {
+
+namespace {
+
+void export_latency(obs::CounterRegistry& registry, const std::string& prefix,
+                    const LatencySummary& s) {
+  registry.set(prefix + ".count", static_cast<std::uint64_t>(s.count));
+  registry.set(prefix + ".mean_s", s.mean_s);
+  registry.set(prefix + ".p50_s", s.p50_s);
+  registry.set(prefix + ".p95_s", s.p95_s);
+  registry.set(prefix + ".p99_s", s.p99_s);
+  registry.set(prefix + ".max_s", s.max_s);
+}
+
+}  // namespace
+
+void ServerMetrics::export_counters(obs::CounterRegistry& registry,
+                                    std::string_view prefix) const {
+  const std::string p = prefix.empty() ? "" : std::string(prefix) + ".";
+  registry.set(p + "submitted", submitted);
+  registry.set(p + "completed", completed);
+  registry.set(p + "expired_fallback", expired_fallback);
+  registry.set(p + "expired_dropped", expired_dropped);
+  registry.set(p + "evicted", evicted);
+  registry.set(p + "rejected", rejected);
+  registry.set(p + "deadline_misses", deadline_misses);
+  registry.set(p + "in_queue", in_queue);
+  registry.set(p + "retired", retired());
+  registry.set(p + "accounted", accounted());
+  registry.set(p + "wall_seconds", wall_seconds);
+  registry.set(p + "throughput_fps", throughput_fps);
+  export_latency(registry, p + "queue_wait", queue_wait);
+  export_latency(registry, p + "service", service);
+  export_latency(registry, p + "e2e", e2e);
+  for (usize w = 0; w < workers.size(); ++w) {
+    const std::string wp = p + "worker." + std::to_string(w);
+    registry.set(wp + ".frames", workers[w].frames);
+    registry.set(wp + ".batches", workers[w].batches);
+    registry.set(wp + ".busy_seconds", workers[w].busy_seconds);
+    registry.set(wp + ".utilization", workers[w].utilization);
+  }
+}
+
+}  // namespace sd::serve

@@ -5,10 +5,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+
+namespace sd::obs {
+class CounterRegistry;
+}
 
 namespace sd::serve {
 
@@ -66,6 +71,13 @@ struct ServerMetrics {
   [[nodiscard]] std::uint64_t accounted() const noexcept {
     return retired() + evicted + rejected;
   }
+
+  /// Pours a snapshot into the unified counter registry (src/obs): frame
+  /// counters and throughput under "<prefix>.*", latency summaries under
+  /// "<prefix>.{queue_wait,service,e2e}.*", and per-worker accounting under
+  /// "<prefix>.worker.<i>.*".
+  void export_counters(obs::CounterRegistry& registry,
+                       std::string_view prefix = "serve") const;
 };
 
 }  // namespace sd::serve

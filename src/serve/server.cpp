@@ -9,6 +9,7 @@
 #include "common/timer.hpp"
 #include "core/spec_parse.hpp"
 #include "decode/linear.hpp"
+#include "obs/trace.hpp"
 
 namespace sd::serve {
 
@@ -93,6 +94,7 @@ DetectionServer::DetectionServer(SystemConfig system, DecoderSpec spec,
 DetectionServer::~DetectionServer() { drain(); }
 
 SubmitStatus DetectionServer::submit(FrameRequest frame) {
+  SD_TRACE_SPAN("serve.submit");
   SD_CHECK(frame.h.rows() == static_cast<index_t>(frame.y.size()),
            "frame y length does not match channel rows");
   SD_CHECK(frame.h.cols() == system_.num_tx,
@@ -134,6 +136,7 @@ void DetectionServer::worker_main(unsigned worker_id) {
   std::vector<FrameRequest> batch;
   batch.reserve(opts_.batch_size);
   while (queue_.pop_batch(batch, opts_.batch_size) > 0) {
+    SD_TRACE_SPAN("serve.batch");
     Timer busy;
     for (FrameRequest& frame : batch) {
       process_frame(worker_id, *detector, fallback, frame);
@@ -148,6 +151,7 @@ void DetectionServer::worker_main(unsigned worker_id) {
 
 void DetectionServer::process_frame(unsigned worker_id, Detector& detector,
                                     Detector& fallback, FrameRequest& frame) {
+  SD_TRACE_SPAN("serve.frame");
   const Clock::time_point dequeued = Clock::now();
   FrameResult r;
   r.id = frame.id;
@@ -159,6 +163,7 @@ void DetectionServer::process_frame(unsigned worker_id, Detector& detector,
   const bool expired_in_queue = has_deadline && r.queue_wait_s > frame.deadline_s;
   if (expired_in_queue) {
     if (opts_.zf_fallback_on_expiry) {
+      SD_TRACE_SPAN("serve.zf_fallback");
       r.status = FrameStatus::kExpiredFallback;
       r.result = fallback.decode(frame.h, frame.y, frame.sigma2);
     } else {
@@ -166,7 +171,10 @@ void DetectionServer::process_frame(unsigned worker_id, Detector& detector,
     }
   } else {
     r.status = FrameStatus::kCompleted;
-    r.result = detector.decode(frame.h, frame.y, frame.sigma2);
+    {
+      SD_TRACE_SPAN("serve.decode");
+      r.result = detector.decode(frame.h, frame.y, frame.sigma2);
+    }
     if (opts_.emulate_device_latency) {
       // Pace the worker to the charged device time plus the transfer RTT:
       // the remainder of the simulated accelerator round trip beyond what

@@ -135,5 +135,79 @@ TEST(GemmFlops, CountsComplexMacs) {
   EXPECT_EQ(gemm_flops(0, 4, 10), 0u);
 }
 
+// ---- dispatch determinism (regression for the k > kGemmKc fast-path leak)
+
+// Bitwise equality, not tolerance: the dispatch contract is that which
+// kernel runs must never change the bits of the result.
+void expect_bitwise_equal(const CMat& a, const CMat& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a(r, c), b(r, c)) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(GemmDispatch, NaiveAndPackedBitwiseIdenticalWithinOneKPanel) {
+  // For k <= kGemmKc both kernels accumulate each output element over the
+  // same ascending-k order, so they agree bitwise — the property the small-
+  // product fast path relies on.
+  const struct {
+    index_t m, n, k;
+  } shapes[] = {
+      {1, 4, 10},          // sibling batch (Best-FS)
+      {3, 5, 7},           // odd everything
+      {4, 8, kGemmKc},     // exactly one full K panel
+      {65, 129, 1},        // M/N panel boundaries, trivial K
+  };
+  for (const auto& s : shapes) {
+    const CMat a = testing::random_cmat(s.m, s.k, 81);
+    const CMat b = testing::random_cmat(s.k, s.n, 82);
+    CMat c_naive = testing::random_cmat(s.m, s.n, 83);
+    CMat c_packed = c_naive;
+    gemm_naive(Op::kNone, cplx{0.7, -0.3}, a, b, cplx{0.2, 0.1}, c_naive);
+    gemm_packed(Op::kNone, cplx{0.7, -0.3}, a, b, cplx{0.2, 0.1}, c_packed);
+    expect_bitwise_equal(c_naive, c_packed);
+  }
+}
+
+TEST(GemmDispatch, DeepKSmallProductTakesThePackedPath) {
+  // Regression: 1x1x4096 has m*n*k <= 4096, so the old volume-only gate sent
+  // it to gemm_naive — whose accumulation order differs from the packed
+  // kernel's once k spans multiple K panels. The gate now also requires
+  // k <= kGemmKc, so gemm() must agree bitwise with gemm_packed here.
+  const struct {
+    index_t m, n, k;
+  } shapes[] = {
+      {1, 1, 4096},             // the original offender
+      {1, 31, kGemmKc + 1},     // just past one panel, volume under the gate
+      {2, 2, 1000},             // multi-panel, small m*n
+  };
+  for (const auto& s : shapes) {
+    const CMat a = testing::random_cmat(s.m, s.k, 84);
+    const CMat b = testing::random_cmat(s.k, s.n, 85);
+    CMat c_dispatch(s.m, s.n);
+    CMat c_packed(s.m, s.n);
+    gemm(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_dispatch);
+    gemm_packed(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_packed);
+    expect_bitwise_equal(c_dispatch, c_packed);
+  }
+}
+
+TEST(GemmDispatch, FastPathShapesStillAgreeWithBothKernels) {
+  // On fast-path shapes (small volume AND k within one panel) the dispatch
+  // result must equal the naive kernel — and, by the one-panel identity,
+  // the packed kernel too.
+  const CMat a = testing::random_cmat(4, 16, 86);
+  const CMat b = testing::random_cmat(16, 8, 87);
+  CMat c_dispatch(4, 8), c_naive(4, 8), c_packed(4, 8);
+  gemm(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_dispatch);
+  gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_naive);
+  gemm_packed(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_packed);
+  expect_bitwise_equal(c_dispatch, c_naive);
+  expect_bitwise_equal(c_dispatch, c_packed);
+}
+
 }  // namespace
 }  // namespace sd

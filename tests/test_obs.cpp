@@ -1,0 +1,305 @@
+// Tests for the observability layer (src/obs): JSON emission, span tracing,
+// the unified counter registry, the struct adapters in decode/fpga/serve,
+// and the bench reporter's document schema. Everything here must pass with
+// SPHEREDEC_OBS both ON and OFF, so span behavior is exercised through the
+// SpanGuard class directly; the macro is covered under #if SD_OBS_ENABLED.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "decode/detector.hpp"
+#include "fpga/pipeline.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "serve/metrics.hpp"
+
+namespace sd::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON core
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, WriterProducesValidDocuments) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("he \"said\"");
+  w.key("d").value(1.5);
+  w.key("i").value(std::int64_t{-3});
+  w.key("u").value(std::uint64_t{18446744073709551615ull});
+  w.key("b").value(true);
+  w.key("n").null();
+  w.key("arr").begin_array().value(std::int64_t{1}).value(std::int64_t{2}).end_array();
+  w.end_object();
+  const std::string doc = w.take();
+  EXPECT_TRUE(json_validate(doc)) << doc;
+  EXPECT_NE(doc.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(Json, WriterEmitsNonFiniteDoublesAsNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  const std::string doc = w.take();
+  EXPECT_EQ(doc, "[null,null]");
+  EXPECT_TRUE(json_validate(doc));
+}
+
+TEST(Json, WriterRejectsStructuralMisuse) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value("no key"), invalid_argument_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.take(), invalid_argument_error);  // unbalanced
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), invalid_argument_error);
+  }
+}
+
+TEST(Json, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(json_validate("{}"));
+  EXPECT_TRUE(json_validate(" [1, -2.5e3, \"x\\n\", null, true] "));
+  EXPECT_TRUE(json_validate("{\"a\": {\"b\": []}}"));
+  EXPECT_FALSE(json_validate(""));
+  EXPECT_FALSE(json_validate("{"));
+  EXPECT_FALSE(json_validate("[1,]"));
+  EXPECT_FALSE(json_validate("{\"a\" 1}"));
+  EXPECT_FALSE(json_validate("[1] trailing"));
+  EXPECT_FALSE(json_validate("nan"));
+}
+
+// ------------------------------------------------------------------ tracing
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::instance().disable(); }
+  void TearDown() override { Tracer::instance().disable(); }
+};
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  Tracer& t = Tracer::instance();
+  t.enable(16);
+  t.disable();
+  t.clear();
+  { SpanGuard g{"should-not-appear"}; }
+  t.record("direct", 0, 1);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST_F(TracerTest, NestedSpansRecordInnerFirstAndContained) {
+  Tracer& t = Tracer::instance();
+  t.enable(64);
+  {
+    SpanGuard outer{"outer"};
+    {
+      SpanGuard inner{"inner"};
+    }
+  }
+  t.disable();
+  const std::vector<TraceEvent> events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete (and record) innermost-first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  // Same thread, and the inner span nests inside the outer interval.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+}
+
+TEST_F(TracerTest, RingOverwritesOldestAndCountsDrops) {
+  Tracer& t = Tracer::instance();
+  t.enable(4);
+  for (int i = 0; i < 6; ++i) t.record("e", i, 1);
+  t.disable();
+  EXPECT_EQ(t.recorded(), 6u);
+  EXPECT_EQ(t.dropped(), 2u);
+  const std::vector<TraceEvent> events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().start_ns, 2);  // oldest surviving
+  EXPECT_EQ(events.back().start_ns, 5);
+}
+
+TEST_F(TracerTest, ChromeTraceJsonIsValidAndComplete) {
+  Tracer& t = Tracer::instance();
+  t.enable(16);
+  { SpanGuard g{"qr"}; }
+  t.record("search", 1000, 2000);
+  t.disable();
+  const std::string doc = t.chrome_trace_json();
+  EXPECT_TRUE(json_validate(doc)) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"qr\""), std::string::npos);
+  EXPECT_NE(doc.find("\"search\""), std::string::npos);
+  EXPECT_NE(doc.find("\"X\""), std::string::npos);
+}
+
+TEST_F(TracerTest, ThreadsGetDistinctDenseIds) {
+  Tracer& t = Tracer::instance();
+  t.enable(16);
+  { SpanGuard g{"main-thread"}; }
+  std::thread([] { SpanGuard g{"other-thread"}; }).join();
+  t.disable();
+  const std::vector<TraceEvent> events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+#if SD_OBS_ENABLED
+TEST_F(TracerTest, MacroRecordsWhenCompiledIn) {
+  Tracer& t = Tracer::instance();
+  t.enable(16);
+  { SD_TRACE_SPAN("macro-span"); }
+  t.disable();
+  const std::vector<TraceEvent> events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "macro-span");
+}
+#endif
+
+// ----------------------------------------------------------------- counters
+
+TEST(Counters, SetAddAndKindPromotion) {
+  CounterRegistry reg;
+  reg.set("n", std::uint64_t{3});
+  reg.add("n", std::uint64_t{4});
+  EXPECT_EQ(reg.get_uint_or("n"), 7u);
+  reg.add("n", 0.5);  // promotes to double
+  EXPECT_DOUBLE_EQ(reg.get_or("n"), 7.5);
+  EXPECT_FALSE(reg.has("missing"));
+  EXPECT_DOUBLE_EQ(reg.get_or("missing", -1.0), -1.0);
+}
+
+TEST(Counters, MergeAppliesPrefix) {
+  CounterRegistry a;
+  a.set("x", std::uint64_t{1});
+  CounterRegistry b;
+  b.merge(a, "pre");
+  EXPECT_TRUE(b.has("pre.x"));
+  b.merge(a);
+  EXPECT_TRUE(b.has("x"));
+}
+
+TEST(Counters, JsonSnapshotRoundTrip) {
+  CounterRegistry reg;
+  reg.set("decode.flops", std::uint64_t{9007199254740993ull});  // > 2^53
+  reg.set("serve.e2e.p99_s", 0.00125);
+  const std::string doc = reg.json();
+  EXPECT_TRUE(json_validate(doc)) << doc;
+  // The uint64 must survive exactly (not via a double round trip).
+  EXPECT_NE(doc.find("9007199254740993"), std::string::npos);
+  EXPECT_NE(doc.find("\"serve.e2e.p99_s\""), std::string::npos);
+}
+
+TEST(Counters, DecodeStatsAdapterExportsEveryField) {
+  DecodeStats stats;
+  stats.nodes_expanded = 11;
+  stats.flops = 1234;
+  stats.node_budget_hit = true;
+  stats.search_seconds = 0.25;
+  CounterRegistry reg;
+  stats.export_counters(reg);
+  EXPECT_EQ(reg.get_uint_or("decode.nodes_expanded"), 11u);
+  EXPECT_EQ(reg.get_uint_or("decode.flops"), 1234u);
+  EXPECT_EQ(reg.get_uint_or("decode.node_budget_hit"), 1u);
+  EXPECT_DOUBLE_EQ(reg.get_or("decode.search_seconds"), 0.25);
+  stats.export_counters(reg, "cpu");
+  EXPECT_EQ(reg.get_uint_or("cpu.nodes_expanded"), 11u);
+}
+
+TEST(Counters, CycleBreakdownAdapterMatchesTotal) {
+  CycleBreakdown cyc;
+  cyc.branch = 1;
+  cyc.gemm = 20;
+  cyc.sort = 300;
+  CounterRegistry reg;
+  cyc.export_counters(reg);
+  EXPECT_EQ(reg.get_uint_or("fpga.cycles.gemm"), 20u);
+  EXPECT_EQ(reg.get_uint_or("fpga.cycles.total"), cyc.total());
+}
+
+TEST(Counters, ServerMetricsAdapterExportsLatencyAndWorkers) {
+  serve::ServerMetrics m;
+  m.submitted = 10;
+  m.completed = 9;
+  m.expired_dropped = 1;
+  m.e2e.p99_s = 0.010;
+  m.workers.resize(2);
+  m.workers[1].frames = 5;
+  CounterRegistry reg;
+  m.export_counters(reg);
+  EXPECT_EQ(reg.get_uint_or("serve.submitted"), 10u);
+  EXPECT_EQ(reg.get_uint_or("serve.retired"), 10u);
+  EXPECT_DOUBLE_EQ(reg.get_or("serve.e2e.p99_s"), 0.010);
+  EXPECT_EQ(reg.get_uint_or("serve.worker.1.frames"), 5u);
+}
+
+// ------------------------------------------------------------ bench reports
+
+TEST(BenchReport, DocumentMatchesSchema) {
+  BenchReporter rep("unit_test");
+  rep.set_directory(::testing::TempDir());
+  rep.config("trials", std::uint64_t{3});
+  rep.config("label", "10x10");
+  rep.row("series_a", {{"snr_db", 4.0}, {"ok", true}});
+  rep.row("series_a", {{"snr_db", 8.0}, {"ok", false}});
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.25"});
+  t.add_separator();
+  t.add_row({"beta", "not-a-number"});
+  rep.add_table("tbl", t);
+  CounterRegistry reg;
+  reg.set("decode.flops", std::uint64_t{7});
+  rep.counters(reg);
+
+  const std::string doc = rep.json();
+  EXPECT_TRUE(json_validate(doc)) << doc;
+  EXPECT_NE(doc.find("\"schema\":\"spheredec.bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"unit_test\""), std::string::npos);
+  // Numeric-looking table cells become numbers; others stay strings.
+  EXPECT_NE(doc.find("1.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"not-a-number\""), std::string::npos);
+  // Separator rows are not captured.
+  EXPECT_EQ(doc.find("---"), std::string::npos);
+  EXPECT_NE(doc.find("\"decode.flops\":7"), std::string::npos);
+}
+
+TEST(BenchReport, WriteProducesValidFileOnce) {
+  BenchReporter rep("unit_test_write");
+  rep.set_directory(::testing::TempDir());
+  rep.row("s", {{"v", std::int64_t{1}}});
+  ASSERT_TRUE(rep.write());
+  std::FILE* f = std::fopen(rep.path().c_str(), "rb");
+  ASSERT_NE(f, nullptr) << rep.path();
+  std::string text(1 << 16, '\0');
+  const usize n = std::fread(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  text.resize(n);
+  EXPECT_TRUE(json_validate(text)) << text;
+  EXPECT_NE(text.find("\"unit_test_write\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sd::obs

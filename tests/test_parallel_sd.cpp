@@ -110,6 +110,33 @@ TEST(ParallelSd, ResultsInvariantToNumThreads) {
   }
 }
 
+// Regression companion to the shrink-safety audit at the radius-publication
+// site in parallel_sd.cpp: with many workers racing to publish leaves on a
+// wide low-SNR tree, the mutex-serialized monotone store must behave exactly
+// like a CAS-min — the published radius can only tighten, so the decode
+// stays exact. Runs under the TSan CI job (name matches its -R filter),
+// which additionally proves the publication is race-free.
+TEST(ParallelSd, RadiusPublicationUnderContention) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ParallelSdOptions contended;
+  contended.num_threads = 8;
+  contended.split_depth = 2;  // 16 sub-trees over 8 threads
+  ParallelSdDetector par(c, contended);
+  ParallelSdOptions sequential;
+  sequential.num_threads = 1;
+  ParallelSdDetector seq(c, sequential);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    // SNR 2 dB: the sphere stays wide, so many sub-trees reach leaves and
+    // the radius is republished repeatedly while other workers prune on it.
+    const Trial t = make_trial(7, Modulation::kQam4, 2.0, seed);
+    const DecodeResult got = par.decode(t.h, t.y, t.sigma2);
+    const DecodeResult expect = seq.decode(t.h, t.y, t.sigma2);
+    EXPECT_EQ(got.indices, expect.indices) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(got.metric, expect.metric) << "seed=" << seed;
+    EXPECT_GE(got.stats.radius_updates, 1u) << "seed=" << seed;
+  }
+}
+
 TEST(ParallelSd, RejectsBadSplitDepth) {
   const Constellation& c = Constellation::get(Modulation::kQam4);
   ParallelSdOptions opts;

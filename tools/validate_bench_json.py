@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts against the spheredec bench schema.
+
+Usage:
+    python3 tools/validate_bench_json.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Directories are scanned (non-recursively) for BENCH_*.json. Every file must
+parse as JSON and conform to schema version 1 (see EXPERIMENTS.md):
+
+    {
+      "schema": "spheredec.bench",
+      "schema_version": 1,
+      "name": "<bench name>",            # matches the BENCH_<name>.json filename
+      "config": { "<key>": scalar, ... },
+      "series": [ { "label": str, "rows": [ { "<col>": scalar, ... } ] } ],
+      "tables": [ { "label": str, "headers": [str], "rows": [ [cell, ...] ] } ],
+      "counters": { "<name>": number }   # optional
+    }
+
+Exit status is 0 iff every file validates. Stdlib only — no dependencies.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA = "spheredec.bench"
+SCHEMA_VERSION = 1
+SCALAR = (str, int, float, bool, type(None))
+
+
+class Problems:
+    def __init__(self):
+        self.count = 0
+
+    def report(self, path, message):
+        self.count += 1
+        print(f"{path}: {message}", file=sys.stderr)
+
+
+def check_scalar(problems, path, where, value):
+    if not isinstance(value, SCALAR):
+        problems.report(path, f"{where}: expected a scalar, got {type(value).__name__}")
+
+
+def check_labeled_list(problems, path, key, value, check_entry):
+    """Common shape of `series` and `tables`: a list of {label, ...} objects."""
+    if not isinstance(value, list):
+        problems.report(path, f"'{key}' must be a list, got {type(value).__name__}")
+        return
+    seen = set()
+    for i, entry in enumerate(value):
+        where = f"{key}[{i}]"
+        if not isinstance(entry, dict):
+            problems.report(path, f"{where} must be an object")
+            continue
+        label = entry.get("label")
+        if not isinstance(label, str) or not label:
+            problems.report(path, f"{where}: missing or empty 'label'")
+        elif label in seen:
+            problems.report(path, f"{where}: duplicate label '{label}'")
+        else:
+            seen.add(label)
+        check_entry(problems, path, where, entry)
+
+
+def check_series_entry(problems, path, where, entry):
+    rows = entry.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.report(path, f"{where}: 'rows' must be a non-empty list")
+        return
+    # Rows need not share one column set (e.g. google-benchmark user counters
+    # vary per benchmark), but every cell must be a scalar.
+    for j, row in enumerate(rows):
+        if not isinstance(row, dict) or not row:
+            problems.report(path, f"{where}.rows[{j}] must be a non-empty object")
+            continue
+        for col, cell in row.items():
+            check_scalar(problems, path, f"{where}.rows[{j}].{col}", cell)
+
+
+def check_table_entry(problems, path, where, entry):
+    headers = entry.get("headers")
+    if (not isinstance(headers, list) or not headers
+            or not all(isinstance(h, str) for h in headers)):
+        problems.report(path, f"{where}: 'headers' must be a non-empty string list")
+        return
+    rows = entry.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.report(path, f"{where}: 'rows' must be a non-empty list")
+        return
+    for j, row in enumerate(rows):
+        if not isinstance(row, list):
+            problems.report(path, f"{where}.rows[{j}] must be a list")
+            continue
+        if len(row) != len(headers):
+            problems.report(
+                path, f"{where}.rows[{j}]: {len(row)} cells vs {len(headers)} headers")
+        for k, cell in enumerate(row):
+            check_scalar(problems, path, f"{where}.rows[{j}][{k}]", cell)
+
+
+def validate_file(problems, path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        problems.report(path, f"unreadable or invalid JSON: {err}")
+        return
+
+    if not isinstance(doc, dict):
+        problems.report(path, "top level must be an object")
+        return
+    if doc.get("schema") != SCHEMA:
+        problems.report(path, f"'schema' must be \"{SCHEMA}\", got {doc.get('schema')!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        problems.report(path, f"'schema_version' must be {SCHEMA_VERSION}, "
+                        f"got {doc.get('schema_version')!r}")
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        problems.report(path, "'name' must be a non-empty string")
+    else:
+        expected = f"BENCH_{name}.json"
+        if os.path.basename(path) != expected:
+            problems.report(path, f"filename should be {expected} for name '{name}'")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        problems.report(path, "'config' must be an object")
+    else:
+        for key, value in config.items():
+            check_scalar(problems, path, f"config.{key}", value)
+
+    check_labeled_list(problems, path, "series", doc.get("series", []), check_series_entry)
+    check_labeled_list(problems, path, "tables", doc.get("tables", []), check_table_entry)
+
+    if not doc.get("series") and not doc.get("tables"):
+        problems.report(path, "document has neither series nor tables")
+
+    counters = doc.get("counters")
+    if counters is not None:
+        if not isinstance(counters, dict):
+            problems.report(path, "'counters' must be an object")
+        else:
+            for key, value in counters.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.report(path, f"counters.{key}: expected a number")
+
+    for key in doc:
+        if key not in ("schema", "schema_version", "name", "config", "series",
+                       "tables", "counters"):
+            problems.report(path, f"unknown top-level key '{key}'")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        if os.path.isdir(arg):
+            found = sorted(
+                os.path.join(arg, f) for f in os.listdir(arg)
+                if f.startswith("BENCH_") and f.endswith(".json"))
+            if not found:
+                print(f"{arg}: no BENCH_*.json files found", file=sys.stderr)
+                return 1
+            files.extend(found)
+        else:
+            files.append(arg)
+
+    problems = Problems()
+    for path in files:
+        validate_file(problems, path)
+    if problems.count:
+        print(f"FAIL: {problems.count} problem(s) across {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {len(files)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
