@@ -1,0 +1,197 @@
+// Dispatch policy comparison: the same overloaded frame stream through a
+// mixed cpu+fpga backend pool under round-robin, least-loaded, and
+// cost-aware placement.
+//
+// Two phases. A closed-loop calibration run first measures the pool's
+// sustainable capacity (frames/s with every lane busy) and warms the cost
+// model with observed node counts and charged seconds. Then each policy
+// serves the same seeded open-loop stream offered at ~2x that capacity —
+// deliberate overload, because that is where placement quality shows up:
+// the cost-aware policy spreads work by predicted seconds (not frame
+// counts) and degrades decode tiers (SD -> K-Best -> linear) when no
+// placement meets the deadline, so it sheds *work* where the naive
+// policies shed frames and blow the tail.
+//
+//   SD_TRIALS=500 ./bench_dispatch [--m=8] [--mod=4qam] [--snr=6]
+//                 [--backends=cpu:2,fpga:2:rtt-ms=0.5] [--rate-x=2]
+//                 [--deadline-ms=<auto>]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/spec_parse.hpp"
+#include "dispatch/dispatcher.hpp"
+#include "obs/counters.hpp"
+#include "serve/load_generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sd;
+  using namespace sd::serve;
+  const Cli cli(argc, argv);
+  const auto m = static_cast<index_t>(cli.get_int_or("m", 8));
+  const Modulation mod = parse_modulation(cli.get_or("mod", "4qam"));
+  const double snr = cli.get_double_or("snr", 6.0);
+  const usize frames = bench::trials_or(240);
+  const double rate_x = cli.get_double_or("rate-x", 2.0);
+  const std::string backends =
+      cli.get_or("backends", "cpu:2,fpga:2:rtt-ms=0.5");
+  const SystemConfig sys{m, m, mod};
+  const DecoderSpec spec = parse_decoder_spec("sphere");
+
+  bench::open_report("dispatch");
+  bench::print_banner(
+      "Dispatch: placement policies on a mixed pool at " + fmt(rate_x, 1) +
+          "x capacity",
+      std::to_string(m) + "x" + std::to_string(m) + " MIMO, " +
+          std::string(modulation_name(mod)) + " @ " + fmt(snr, 0) +
+          " dB | pool " + backends,
+      frames);
+
+  ServerOptions base;
+  base.backends = backends;
+  // Deep enough that the placement signal (queue depth or predicted ETA),
+  // not the queue bound, decides where frames go; overload sheds via
+  // deadline expiry and tier degradation instead of queue-full rejects.
+  base.queue_capacity = 64;
+  base.batch_size = 1;
+
+  unsigned lanes = 0;
+  {
+    dispatch::PoolDefaults defaults;
+    defaults.primary = spec;
+    for (const dispatch::BackendConfig& cfg :
+         dispatch::parse_backend_pool(backends, defaults))
+      lanes += cfg.lanes;
+  }
+
+  // Phase 1: closed-loop calibration. Window 2x lanes keeps the pool
+  // saturated without shedding, so throughput is the pool's capacity and
+  // every completion feeds the cost model.
+  ServerOptions calib_so = base;
+  calib_so.placement = dispatch::PlacementPolicy::kCostAware;
+  LoadOptions calib_lo;
+  calib_lo.mode = ArrivalMode::kClosedLoop;
+  calib_lo.num_frames = frames;
+  calib_lo.window = 2 * lanes;
+  calib_lo.snr_db = snr;
+  calib_lo.seed = 7;
+  LoadGenerator calib_gen(sys, spec, calib_so, calib_lo);
+  const LoadReport calib = calib_gen.run();
+  const double capacity_fps = calib.metrics.throughput_fps;
+  const double offered_fps = rate_x * capacity_fps;
+  // Deadline: generous next to an unloaded decode, tight once queues grow.
+  const double deadline_s =
+      cli.get_double_or("deadline-ms", 4.0 * calib.metrics.e2e.p50_s * 1e3) *
+      1e-3;
+  std::printf("calibration: capacity %.0f frames/s over %u lanes "
+              "(e2e p50 %.3f ms) -> offering %.0f frames/s, deadline %.2f ms; "
+              "prediction error %s over %llu post-warmup frames\n\n",
+              capacity_fps, lanes, calib.metrics.e2e.p50_s * 1e3, offered_fps,
+              deadline_s * 1e3,
+              fmt_pct(calib.dispatch.mean_rel_error).c_str(),
+              static_cast<unsigned long long>(calib.dispatch.prediction_samples));
+  bench::report().row("calibration",
+                      {{"capacity_fps", capacity_fps},
+                       {"offered_fps", offered_fps},
+                       {"deadline_s", deadline_s},
+                       {"lanes", lanes},
+                       {"cost_buckets", calib.dispatch.cost_buckets},
+                       {"prediction_mean_rel_error",
+                        calib.dispatch.mean_rel_error}});
+  {
+    // The canonical calibration-scenario counters (DESIGN.md §8): the
+    // closed-loop run is the controlled setting where prediction error is
+    // a property of the model, not of overload-induced tier mixing.
+    obs::CounterRegistry reg;
+    calib.dispatch.export_counters(reg);
+    bench::report().counters(reg);
+  }
+
+  // Phase 2: the same seeded open-loop stream at rate_x the measured
+  // capacity, once per policy, each starting from the calibrated model.
+  Table t({"policy", "frames/s", "p50 (ms)", "p99 (ms)", "miss rate",
+           "shed rate", "degraded", "steals", "pred err"},
+          {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+           Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+           Align::kRight});
+  const std::vector<dispatch::PlacementPolicy> policies = {
+      dispatch::PlacementPolicy::kRoundRobin,
+      dispatch::PlacementPolicy::kLeastLoaded,
+      dispatch::PlacementPolicy::kCostAware,
+  };
+  for (dispatch::PlacementPolicy policy : policies) {
+    ServerOptions so = base;
+    so.placement = policy;
+    so.policy = BackpressurePolicy::kReject;
+    LoadOptions lo;
+    lo.mode = ArrivalMode::kOpenLoop;
+    lo.num_frames = frames;
+    lo.rate_fps = offered_fps;
+    lo.deadline_s = deadline_s;
+    lo.snr_db = snr;
+    lo.seed = 7;
+    LoadGenerator gen(sys, spec, so, lo);
+    const LoadReport rep =
+        gen.run({}, [&](DetectionServer& srv) {
+          srv.dispatcher().cost_model().import_json(calib.cost_model_json);
+        });
+    const ServerMetrics& mx = rep.metrics;
+    const double retired = static_cast<double>(mx.retired());
+    const double miss_rate =
+        retired > 0 ? static_cast<double>(mx.deadline_misses) / retired : 0.0;
+    const double shed_rate =
+        mx.submitted > 0
+            ? static_cast<double>(mx.rejected + mx.evicted + mx.expired_dropped) /
+                  static_cast<double>(mx.submitted)
+            : 0.0;
+    const std::uint64_t degraded =
+        rep.dispatch.degraded_kbest + rep.dispatch.degraded_linear;
+    const std::string name(dispatch::placement_policy_name(policy));
+    t.add_row({name, fmt(mx.throughput_fps, 0), fmt(mx.e2e.p50_s * 1e3, 3),
+               fmt(mx.e2e.p99_s * 1e3, 3), fmt_pct(miss_rate),
+               fmt_pct(shed_rate), std::to_string(degraded),
+               std::to_string(rep.dispatch.steals),
+               rep.dispatch.prediction_samples > 0
+                   ? fmt_pct(rep.dispatch.mean_rel_error)
+                   : std::string("--")});
+    bench::report().row("policies",
+                        {{"policy", name},
+                         {"offered_fps", offered_fps},
+                         {"frames_per_s", mx.throughput_fps},
+                         {"e2e_p50_s", mx.e2e.p50_s},
+                         {"e2e_p99_s", mx.e2e.p99_s},
+                         {"deadline_miss_rate", miss_rate},
+                         {"shed_rate", shed_rate},
+                         {"degraded_kbest", rep.dispatch.degraded_kbest},
+                         {"degraded_linear", rep.dispatch.degraded_linear},
+                         {"steals", rep.dispatch.steals},
+                         {"prediction_mean_rel_error",
+                          rep.dispatch.mean_rel_error}});
+    if (policy == dispatch::PlacementPolicy::kCostAware) {
+      obs::CounterRegistry reg;
+      rep.dispatch.export_counters(reg, "dispatch.cost_aware");
+      mx.export_counters(reg, "serve");
+      bench::report().counters(reg);
+      std::printf("cost-aware per-backend:\n");
+      for (const dispatch::BackendMetrics& bm : rep.backends) {
+        std::printf("  %-12s %u lanes: %llu done, %llu misses, %llu steals, "
+                    "e2e p99 %.3f ms\n",
+                    bm.label.c_str(), bm.lanes,
+                    static_cast<unsigned long long>(bm.metrics.completed),
+                    static_cast<unsigned long long>(bm.metrics.deadline_misses),
+                    static_cast<unsigned long long>(bm.steals),
+                    bm.metrics.e2e.p99_s * 1e3);
+      }
+      std::printf("\n");
+    }
+  }
+  bench::print_table(t, "policies");
+  std::printf("\nopen-loop at %.1fx measured capacity, policy=reject, "
+              "queue=16/lane; miss rate is deadline misses / retired frames, "
+              "shed rate is (rejected + evicted + dropped) / submitted.\n",
+              rate_x);
+  return 0;
+}

@@ -8,6 +8,9 @@
 // count with SD_TRIALS.
 //
 //   SD_TRIALS=500 ./bench_serve_soak [--m=10] [--mod=4qam] [--snr=8]
+//
+// With --backends=cpu:2,fpga:2 the sweep runs over a heterogeneous pool
+// instead: one row per placement policy at the pool's fixed lane count.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -17,6 +20,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/spec_parse.hpp"
+#include "dispatch/dispatcher.hpp"
 #include "serve/load_generator.hpp"
 
 int main(int argc, char** argv) {
@@ -54,6 +58,67 @@ int main(int argc, char** argv) {
       {"sphere@fpga (model)", "sphere@fpga", false, 0.0},
       {"sphere@fpga (offload, 1ms rtt)", "sphere@fpga", true, 1e-3},
   };
+  const std::string pool = cli.get_or("backends", "");
+
+  if (!pool.empty()) {
+    // Heterogeneous-pool mode: the lane count is fixed by the pool spec, so
+    // the sweep axis becomes the placement policy.
+    unsigned lanes = 0;
+    {
+      dispatch::PoolDefaults defaults;
+      defaults.primary = parse_decoder_spec("sphere");
+      for (const dispatch::BackendConfig& cfg :
+           dispatch::parse_backend_pool(pool, defaults))
+        lanes += cfg.lanes;
+    }
+    Table pt({"pool / policy", "lanes", "frames/s", "p50 (ms)", "p95 (ms)",
+              "p99 (ms)", "max (ms)", "steals"},
+             {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+              Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+    ServerMetrics last_metrics;
+    for (dispatch::PlacementPolicy policy :
+         {dispatch::PlacementPolicy::kRoundRobin,
+          dispatch::PlacementPolicy::kLeastLoaded,
+          dispatch::PlacementPolicy::kCostAware}) {
+      ServerOptions so;
+      so.backends = pool;
+      so.placement = policy;
+      so.batch_size = 1;
+      so.queue_capacity = 64;
+      LoadOptions lo;
+      lo.mode = ArrivalMode::kClosedLoop;
+      lo.num_frames = frames;
+      lo.window = 2 * lanes;
+      lo.snr_db = snr;
+      lo.seed = 7;
+      LoadGenerator gen(sys, parse_decoder_spec("sphere"), so, lo);
+      const LoadReport rep = gen.run();
+      const ServerMetrics& mx = rep.metrics;
+      const std::string label(dispatch::placement_policy_name(policy));
+      pt.add_row({label, std::to_string(lanes), fmt(mx.throughput_fps, 0),
+                  fmt(mx.e2e.p50_s * 1e3, 3), fmt(mx.e2e.p95_s * 1e3, 3),
+                  fmt(mx.e2e.p99_s * 1e3, 3), fmt(mx.e2e.max_s * 1e3, 3),
+                  std::to_string(rep.dispatch.steals)});
+      bench::report().row("soak",
+                          {{"backend", "pool:" + pool},
+                           {"policy", label},
+                           {"workers", lanes},
+                           {"frames_per_s", mx.throughput_fps},
+                           {"e2e_p50_s", mx.e2e.p50_s},
+                           {"e2e_p95_s", mx.e2e.p95_s},
+                           {"e2e_p99_s", mx.e2e.p99_s},
+                           {"e2e_max_s", mx.e2e.max_s},
+                           {"steals", rep.dispatch.steals}});
+      last_metrics = mx;
+    }
+    obs::CounterRegistry reg;
+    last_metrics.export_counters(reg);
+    bench::report().counters(reg);
+    bench::print_table(pt, "soak");
+    std::printf("\npool %s, closed-loop, window = 2x lanes, batch = 1; "
+                "latencies are end-to-end.\n", pool.c_str());
+    return 0;
+  }
   const std::vector<unsigned> worker_counts = {1, 2, 4};
   std::printf("host concurrency: %u cores — CPU-backend scaling is bounded "
               "by cores; the offload series overlaps device waits.\n\n",

@@ -6,18 +6,29 @@
 //                   [--frames=200] [--seed=1]
 //                   [--mode=closed|open] [--window=8] [--rate=500]
 //                   [--server=workers=4,batch=4,queue=64,policy=block,deadline-ms=10]
+//                   [--backends=cpu:4,fpga:2] [--placement=cost-aware]
+//                   [--cost-model-in=model.json] [--cost-model-out=model.json]
 //                   [--metrics-json=metrics.json] [--trace=trace.json]
 //
 // The --server= option list accepts: workers=N, batch=N, queue=N,
-// policy=block|reject|drop-oldest, deadline-ms=X, no-fallback.
+// policy=block|reject|drop-oldest, deadline-ms=X, no-fallback, and the
+// dispatch keys (placement=, fpga-rtt-ms=, no-degrade, deterministic-cost).
+// --backends switches on the heterogeneous pool ("cpu:4,fpga:2:rtt-ms=1",
+// see DESIGN.md §8); the pool spec is comma-separated so it gets its own
+// flag instead of riding in --server. --cost-model-in starts the dispatcher
+// from a previously exported calibration; --cost-model-out persists this
+// run's calibration for the next.
 // --metrics-json dumps the full ServerMetrics snapshot as a flat JSON
 // counter object; --trace enables span tracing for the run and writes a
 // chrome://tracing file (open it at chrome://tracing or ui.perfetto.dev).
 // Examples:
 //   ./uplink_server --backend=sphere@fpga --server=workers=4,deadline-ms=1
 //   ./uplink_server --mode=open --rate=2000 --server=workers=2,policy=drop-oldest,queue=8,deadline-ms=5
+//   ./uplink_server --backends=cpu:2,fpga:2 --mode=open --rate=2000 --server=deadline-ms=5
 //   ./uplink_server --frames=64 --metrics-json=metrics.json --trace=trace.json
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/cli.hpp"
@@ -40,6 +51,23 @@ int main(int argc, char** argv) {
   ServerOptions so = parse_server_options(
       cli.get_or("server", ""),
       [] { ServerOptions d; d.num_workers = 4; d.batch_size = 4; return d; }());
+  so.backends = cli.get_or("backends", so.backends);
+  const std::string placement = cli.get_or("placement", "");
+  if (!placement.empty())
+    so.placement = dispatch::parse_placement_policy(placement);
+  const std::string cost_in = cli.get_or("cost-model-in", "");
+  const std::string cost_out = cli.get_or("cost-model-out", "");
+  std::string cost_in_json;
+  if (!cost_in.empty()) {
+    std::ifstream in(cost_in);
+    if (!in) {
+      std::fprintf(stderr, "failed to read %s\n", cost_in.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    cost_in_json = ss.str();
+  }
 
   LoadOptions lo;
   const std::string mode = cli.get_or("mode", "closed");
@@ -61,14 +89,20 @@ int main(int argc, char** argv) {
   const std::string trace_path = cli.get_or("trace", "");
   if (!trace_path.empty()) obs::Tracer::instance().enable();
 
-  std::printf("uplink server: %dx%d %s @ %.0f dB | backend %s | %u workers, "
-              "batch %zu, queue %zu (%s), deadline %s\n",
+  std::printf("uplink server: %dx%d %s @ %.0f dB | backend %s | %s, "
+              "batch %zu, queue %zu (%s), deadline %s, placement %s\n",
               m, m, std::string(modulation_name(mod)).c_str(), lo.snr_db,
-              backend.c_str(), so.num_workers, so.batch_size, so.queue_capacity,
+              backend.c_str(),
+              so.backends.empty()
+                  ? (std::to_string(so.num_workers) + " workers").c_str()
+                  : ("pool " + so.backends).c_str(),
+              so.batch_size, so.queue_capacity,
               std::string(backpressure_policy_name(so.policy)).c_str(),
               so.default_deadline_s > 0
                   ? (fmt(so.default_deadline_s * 1e3, 2) + " ms").c_str()
-                  : "none");
+                  : "none",
+              std::string(dispatch::placement_policy_name(so.placement))
+                  .c_str());
   std::printf("load: %s, %zu frames%s\n\n",
               std::string(arrival_mode_name(lo.mode)).c_str(), lo.num_frames,
               lo.mode == ArrivalMode::kOpenLoop
@@ -76,7 +110,10 @@ int main(int argc, char** argv) {
                   : (", window " + std::to_string(lo.window)).c_str());
 
   LoadGenerator gen(sys, spec, so, lo);
-  const LoadReport rep = gen.run();
+  const LoadReport rep = gen.run({}, [&](DetectionServer& srv) {
+    if (!cost_in_json.empty())
+      srv.dispatcher().cost_model().import_json(cost_in_json);
+  });
   const ServerMetrics& mx = rep.metrics;
 
   Table counts({"submitted", "completed", "expired", "evicted", "rejected",
@@ -110,6 +147,33 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(mx.workers[w].batches),
                 fmt_pct(mx.workers[w].utilization).c_str());
   }
+  if (!so.backends.empty()) {
+    for (const dispatch::BackendMetrics& bm : rep.backends) {
+      std::printf("backend %-12s %u lanes: %llu done, %llu expired, "
+                  "%llu misses, %llu steals, %llu degraded, e2e p99 %s ms\n",
+                  bm.label.c_str(), bm.lanes,
+                  static_cast<unsigned long long>(bm.metrics.completed),
+                  static_cast<unsigned long long>(bm.metrics.expired_fallback +
+                                                 bm.metrics.expired_dropped),
+                  static_cast<unsigned long long>(bm.metrics.deadline_misses),
+                  static_cast<unsigned long long>(bm.steals),
+                  static_cast<unsigned long long>(bm.degraded_kbest +
+                                                 bm.degraded_linear),
+                  fmt(bm.metrics.e2e.p99_s * 1e3, 3).c_str());
+    }
+    const dispatch::DispatchStats& ds = rep.dispatch;
+    std::printf("dispatch: %llu steals, %llu degraded, cost model %llu "
+                "observations in %llu buckets, prediction error %s "
+                "(%llu samples)\n",
+                static_cast<unsigned long long>(ds.steals),
+                static_cast<unsigned long long>(ds.degraded_kbest +
+                                                ds.degraded_linear),
+                static_cast<unsigned long long>(ds.cost_observations),
+                static_cast<unsigned long long>(ds.cost_buckets),
+                ds.prediction_samples > 0 ? fmt_pct(ds.mean_rel_error).c_str()
+                                          : "--",
+                static_cast<unsigned long long>(ds.prediction_samples));
+  }
   if (rep.symbols_checked > 0) {
     std::printf("SER vs ground truth: %.4g (%llu/%llu symbols)\n",
                 static_cast<double>(rep.symbol_errors) /
@@ -118,9 +182,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(rep.symbols_checked));
   }
 
+  if (!cost_out.empty()) {
+    std::ofstream out(cost_out);
+    out << rep.cost_model_json;
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", cost_out.c_str());
+      return 1;
+    }
+    std::printf("cost model: %s\n", cost_out.c_str());
+  }
+
   if (!metrics_json.empty()) {
     obs::CounterRegistry reg;
     mx.export_counters(reg);
+    rep.dispatch.export_counters(reg);
     if (reg.write_json(metrics_json)) {
       std::printf("metrics: %s\n", metrics_json.c_str());
     } else {

@@ -1,0 +1,506 @@
+#include "dispatch/backend.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/spec_parse.hpp"
+#include "decode/kbest.hpp"
+#include "decode/linear.hpp"
+#include "mimo/constellation.hpp"
+#include "obs/trace.hpp"
+
+namespace sd::dispatch {
+
+std::string_view backend_kind_name(BackendKind k) noexcept {
+  switch (k) {
+    case BackendKind::kCpu: return "cpu";
+    case BackendKind::kFpga: return "fpga";
+    case BackendKind::kParallelSd: return "parallel-sd";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] bool is_linear_strategy(Strategy s) noexcept {
+  return s == Strategy::kMrc || s == Strategy::kZf || s == Strategy::kMmse;
+}
+
+[[nodiscard]] bool is_fixed_complexity(Strategy s) noexcept {
+  return s == Strategy::kKBest || s == Strategy::kFsd;
+}
+
+[[nodiscard]] double seconds_between(serve::Clock::time_point a,
+                                     serve::Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+Backend::Backend(SystemConfig system, BackendConfig config)
+    : system_(system), cfg_(std::move(config)) {
+  SD_CHECK(cfg_.lanes >= 1, "backend needs at least one lane");
+  SD_CHECK(cfg_.lane_queue_capacity >= 1, "lane queue capacity must be positive");
+  SD_CHECK(cfg_.batch_size >= 1, "batch size must be positive");
+  SD_CHECK(cfg_.rtt_s >= 0.0, "backend RTT must be non-negative");
+  // Fail fast on an unbuildable spec in the constructing thread instead of
+  // from inside a lane: build (and discard) one detector eagerly.
+  (void)make_lane_detector();
+  // Which overload-ladder rungs this substrate can serve. A linear primary
+  // has nothing cheaper to degrade to; fixed-complexity searches skip the
+  // K-Best rung (they already are one).
+  ladder_.push_back(serve::DecodeTier::kPrimary);
+  if (!is_linear_strategy(cfg_.decoder.strategy)) {
+    if (!is_fixed_complexity(cfg_.decoder.strategy)) {
+      ladder_.push_back(serve::DecodeTier::kKBest);
+    }
+    ladder_.push_back(serve::DecodeTier::kLinear);
+  }
+  queues_.resize(cfg_.lanes);
+  acct_.lanes.resize(cfg_.lanes);
+}
+
+Backend::~Backend() {
+  close();
+  join();
+}
+
+std::unique_ptr<Detector> Backend::make_lane_detector() const {
+  return make_detector(system_, cfg_.decoder);
+}
+
+void Backend::start(LaneSink& sink) {
+  SD_CHECK(threads_.empty(), "backend already started");
+  sink_ = &sink;
+  threads_.reserve(cfg_.lanes);
+  for (unsigned l = 0; l < cfg_.lanes; ++l) {
+    threads_.emplace_back([this, l] { lane_main(l); });
+  }
+}
+
+Backend::PushResult Backend::place(PlacedFrame frame) {
+  const unsigned lane = frame.lane;
+  SD_CHECK(lane < cfg_.lanes, "placement lane out of range");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return {serve::PushStatus::kClosed, std::nullopt};
+  std::deque<PlacedFrame>& q = queues_[lane];
+  if (q.size() >= cfg_.lane_queue_capacity) {
+    switch (cfg_.policy) {
+      case serve::BackpressurePolicy::kBlock:
+        not_full_.wait(lock, [&] {
+          return q.size() < cfg_.lane_queue_capacity || closed_;
+        });
+        if (closed_) return {serve::PushStatus::kClosed, std::nullopt};
+        break;
+      case serve::BackpressurePolicy::kReject:
+        return {serve::PushStatus::kRejected, std::nullopt};
+      case serve::BackpressurePolicy::kDropOldest: {
+        PlacedFrame oldest = std::move(q.front());
+        q.pop_front();
+        q.push_back(std::move(frame));
+        not_empty_.notify_all();
+        return {serve::PushStatus::kDisplacedOldest, std::move(oldest)};
+      }
+    }
+  }
+  q.push_back(std::move(frame));
+  not_empty_.notify_all();
+  return {serve::PushStatus::kAccepted, std::nullopt};
+}
+
+void Backend::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+void Backend::join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+usize Backend::queue_depth(unsigned lane) const {
+  SD_CHECK(lane < cfg_.lanes, "lane out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_[lane].size();
+}
+
+usize Backend::queue_depth_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  usize total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+Backend::Snapshot Backend::snapshot() const {
+  Snapshot s;
+  {
+    std::lock_guard<std::mutex> lock(acct_mu_);
+    s = acct_;
+  }
+  s.in_queue = queue_depth_total();
+  return s;
+}
+
+bool Backend::next_batch(unsigned lane, std::vector<PlacedFrame>& out) {
+  out.clear();
+  bool stole = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      std::deque<PlacedFrame>& own = queues_[lane];
+      if (!own.empty()) {
+        while (!own.empty() && out.size() < cfg_.batch_size) {
+          out.push_back(std::move(own.front()));
+          own.pop_front();
+        }
+        break;
+      }
+      if (cfg_.allow_stealing) {
+        // Idle lane: take the *oldest* frame from the most backlogged
+        // sibling — the frame that has waited longest is the one closest
+        // to its deadline.
+        unsigned victim = lane;
+        usize deepest = 0;
+        for (unsigned l = 0; l < cfg_.lanes; ++l) {
+          if (l != lane && queues_[l].size() > deepest) {
+            deepest = queues_[l].size();
+            victim = l;
+          }
+        }
+        if (deepest > 0) {
+          out.push_back(std::move(queues_[victim].front()));
+          queues_[victim].pop_front();
+          stole = true;
+          break;
+        }
+      }
+      if (closed_) return false;
+      not_empty_.wait(lock);
+    }
+  }
+  not_full_.notify_all();
+  if (stole) {
+    PlacedFrame& pf = out.front();
+    {
+      std::lock_guard<std::mutex> lock(acct_mu_);
+      ++acct_.steals;
+    }
+    // Notify with the original placement still intact, then rebind the
+    // frame to the thief lane.
+    if (sink_ != nullptr) sink_->frame_stolen(pf, lane);
+    pf.global_worker = pf.global_worker - pf.lane + lane;
+    pf.lane = lane;
+    pf.stolen = true;
+  }
+  return true;
+}
+
+void Backend::lane_main(unsigned lane) {
+  // Each lane owns a private detector ladder, so decodes never share mutable
+  // state across threads. The K-Best rung keeps a small fixed width: it
+  // exists to bound work under overload, not to chase BER.
+  std::unique_ptr<Detector> primary = make_lane_detector();
+  const Constellation& constellation = Constellation::get(system_.modulation);
+  KBestOptions kb;
+  kb.k = 8;
+  KBestDetector kbest(constellation, kb);
+  LinearDetector linear(LinearKind::kZf, constellation);
+
+  std::vector<PlacedFrame> batch;
+  batch.reserve(cfg_.batch_size);
+  while (next_batch(lane, batch)) {
+    SD_TRACE_SPAN("dispatch.batch");
+    Timer busy;
+    for (PlacedFrame& pf : batch) {
+      process(lane, *primary, kbest, linear, pf);
+    }
+    std::lock_guard<std::mutex> lock(acct_mu_);
+    serve::WorkerStats& ws = acct_.lanes[lane];
+    ws.frames += batch.size();
+    ws.batches += 1;
+    ws.busy_seconds += busy.elapsed_seconds();
+  }
+}
+
+void Backend::process(unsigned lane, Detector& primary, Detector& kbest,
+                      Detector& linear, PlacedFrame& pf) {
+  SD_TRACE_SPAN("dispatch.frame");
+  const serve::Clock::time_point dequeued = serve::Clock::now();
+  serve::FrameRequest& frame = pf.frame;
+
+  serve::FrameResult r;
+  r.id = frame.id;
+  r.worker_id = pf.global_worker;
+  r.backend_id = pf.backend_id;
+  r.lane_id = lane;
+  r.tier = pf.tier;
+  r.stolen = pf.stolen;
+  r.queue_wait_s = seconds_between(frame.submit_time, dequeued);
+
+  const bool has_deadline = frame.deadline_s > 0.0;
+  const bool expired_in_queue =
+      has_deadline && r.queue_wait_s > frame.deadline_s;
+  if (expired_in_queue) {
+    if (cfg_.zf_fallback_on_expiry) {
+      SD_TRACE_SPAN("dispatch.zf_fallback");
+      r.status = serve::FrameStatus::kExpiredFallback;
+      r.tier = serve::DecodeTier::kLinear;
+      r.result = linear.decode(frame.h, frame.y, frame.sigma2);
+    } else {
+      r.status = serve::FrameStatus::kExpiredDropped;
+    }
+  } else {
+    r.status = serve::FrameStatus::kCompleted;
+    Detector& chosen = pf.tier == serve::DecodeTier::kPrimary ? primary
+                       : pf.tier == serve::DecodeTier::kKBest ? kbest
+                                                              : linear;
+    {
+      SD_TRACE_SPAN("dispatch.decode");
+      r.result = chosen.decode(frame.h, frame.y, frame.sigma2);
+    }
+    if (cfg_.pace_to_charged) {
+      // Pace the lane to the charged device time plus the transfer RTT: the
+      // remainder of the simulated accelerator round trip beyond what the
+      // model evaluation itself consumed on the host.
+      const double charged = r.result.stats.search_seconds + cfg_.rtt_s;
+      const double spent = seconds_between(dequeued, serve::Clock::now());
+      if (charged > spent) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(charged - spent));
+      }
+    }
+  }
+
+  const serve::Clock::time_point done = serve::Clock::now();
+  r.service_s = seconds_between(dequeued, done);
+  r.e2e_s = seconds_between(frame.submit_time, done);
+  r.deadline_missed = has_deadline && r.e2e_s > frame.deadline_s;
+  // What this frame cost the lane: simulated device occupancy for paced
+  // backends, measured wall time otherwise. The cost model calibrates
+  // against this.
+  pf.charged_seconds = cfg_.pace_to_charged
+                           ? r.result.stats.search_seconds + cfg_.rtt_s
+                           : r.service_s;
+
+  {
+    std::lock_guard<std::mutex> lock(acct_mu_);
+    ++acct_.frames;
+    switch (r.status) {
+      case serve::FrameStatus::kCompleted:
+        ++acct_.completed;
+        if (pf.tier == serve::DecodeTier::kKBest) ++acct_.degraded_kbest;
+        if (pf.tier == serve::DecodeTier::kLinear &&
+            !is_linear_strategy(cfg_.decoder.strategy)) {
+          ++acct_.degraded_linear;
+        }
+        break;
+      case serve::FrameStatus::kExpiredFallback: ++acct_.expired_fallback; break;
+      case serve::FrameStatus::kExpiredDropped: ++acct_.expired_dropped; break;
+      case serve::FrameStatus::kEvicted: break;  // accounted by the dispatcher
+    }
+  }
+  if (sink_ != nullptr) sink_->frame_retired(pf, std::move(r));
+}
+
+CpuBackend::CpuBackend(SystemConfig system, BackendConfig config)
+    : Backend(system, [&] {
+        config.kind = BackendKind::kCpu;
+        return std::move(config);
+      }()) {}
+
+FpgaBackend::FpgaBackend(SystemConfig system, BackendConfig config)
+    : Backend(system, [&] {
+        config.kind = BackendKind::kFpga;
+        SD_CHECK(config.decoder.device != TargetDevice::kCpu,
+                 "FpgaBackend needs an @fpga decoder spec");
+        config.pace_to_charged = true;
+        return std::move(config);
+      }()) {}
+
+ParallelSdBackend::ParallelSdBackend(SystemConfig system, BackendConfig config)
+    : Backend(system, [&] {
+        config.kind = BackendKind::kParallelSd;
+        SD_CHECK(config.decoder.strategy == Strategy::kMultiPe,
+                 "ParallelSdBackend needs a multipe decoder spec");
+        return std::move(config);
+      }()) {}
+
+std::unique_ptr<Backend> make_backend(const SystemConfig& system,
+                                      BackendConfig config) {
+  switch (config.kind) {
+    case BackendKind::kCpu:
+      return std::make_unique<CpuBackend>(system, std::move(config));
+    case BackendKind::kFpga:
+      return std::make_unique<FpgaBackend>(system, std::move(config));
+    case BackendKind::kParallelSd:
+      return std::make_unique<ParallelSdBackend>(system, std::move(config));
+  }
+  throw invalid_argument_error("unknown backend kind");
+}
+
+namespace {
+
+[[nodiscard]] bool is_all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  usize start = 0;
+  while (start <= text.size()) {
+    const usize end = text.find(sep, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+// Substrate-specific cost-model rate priors. Rough by design — calibration
+// overwrites them after a handful of observations; they only need to order
+// the substrates sensibly when the model is cold.
+void apply_rate_priors(BackendConfig& cfg) {
+  switch (cfg.kind) {
+    case BackendKind::kCpu:
+      cfg.prior_seconds_per_node = 150e-9;
+      cfg.prior_overhead_s = 30e-6;
+      break;
+    case BackendKind::kFpga:
+      // The pipelined device expands nodes far faster than the host; the
+      // round trip dominates the fixed cost.
+      cfg.prior_seconds_per_node = 10e-9;
+      cfg.prior_overhead_s = 20e-6;
+      break;
+    case BackendKind::kParallelSd:
+      cfg.prior_seconds_per_node = 80e-9;
+      cfg.prior_overhead_s = 50e-6;
+      break;
+  }
+  if (cfg.pace_to_charged || cfg.kind == BackendKind::kFpga) {
+    cfg.prior_overhead_s += cfg.rtt_s;
+  }
+}
+
+namespace {
+
+BackendConfig parse_pool_entry(std::string_view entry,
+                               const PoolDefaults& defaults) {
+  const std::vector<std::string> fields = split(entry, ':');
+  const std::string& name = fields[0];
+  SD_CHECK(!name.empty(), "empty backend name in pool spec");
+
+  BackendConfig cfg;
+  cfg.label = name;
+  cfg.lane_queue_capacity = defaults.lane_queue_capacity;
+  cfg.policy = defaults.policy;
+  cfg.batch_size = defaults.batch_size;
+  cfg.zf_fallback_on_expiry = defaults.zf_fallback_on_expiry;
+
+  bool saw_rtt = false;
+  std::string decoder_opts;  // leftover fields, rejoined for parse_decoder_spec
+  for (usize i = 1; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    if (f.empty()) continue;
+    if (is_all_digits(f)) {
+      cfg.lanes = static_cast<unsigned>(std::stoul(f));
+      continue;
+    }
+    const usize eq = f.find('=');
+    const std::string_view key = std::string_view(f).substr(0, eq);
+    if (key == "rtt-ms" && eq != std::string::npos) {
+      SpecOption opt{std::string(key), f.substr(eq + 1)};
+      cfg.rtt_s = spec_option_double(opt) * 1e-3;
+      SD_CHECK(cfg.rtt_s >= 0.0, "backend RTT must be non-negative");
+      saw_rtt = true;
+    } else if (key == "queue" && eq != std::string::npos) {
+      SpecOption opt{std::string(key), f.substr(eq + 1)};
+      cfg.lane_queue_capacity = static_cast<usize>(spec_option_int(opt));
+    } else if (key == "batch" && eq != std::string::npos) {
+      SpecOption opt{std::string(key), f.substr(eq + 1)};
+      cfg.batch_size = static_cast<usize>(spec_option_int(opt));
+    } else if (f == "no-steal") {
+      cfg.allow_stealing = false;
+    } else if (f == "steal") {
+      cfg.allow_stealing = true;
+    } else {
+      if (!decoder_opts.empty()) decoder_opts += ',';
+      decoder_opts += f;
+    }
+  }
+
+  if (name == "cpu") {
+    cfg.kind = BackendKind::kCpu;
+    cfg.decoder = defaults.primary;
+    SD_CHECK(decoder_opts.empty(),
+             "backend 'cpu' serves the server's primary decoder and takes no "
+             "decoder options (got '" + decoder_opts + "')");
+    if (saw_rtt) cfg.pace_to_charged = true;
+  } else if (name == "fpga" || name == "fpga-base") {
+    cfg.kind = BackendKind::kFpga;
+    std::string spec = name == "fpga" ? "sphere@fpga" : "sphere@fpga-base";
+    if (!decoder_opts.empty()) spec += ":" + decoder_opts;
+    cfg.decoder = parse_decoder_spec(spec);
+    cfg.pace_to_charged = true;
+    cfg.allow_stealing = false;  // device queues: no host-side rebinding
+    if (!saw_rtt) cfg.rtt_s = defaults.fpga_rtt_s;
+  } else if (name == "multipe") {
+    cfg.kind = BackendKind::kParallelSd;
+    std::string spec = "multipe";
+    if (!decoder_opts.empty()) spec += ":" + decoder_opts;
+    cfg.decoder = parse_decoder_spec(spec);
+    if (saw_rtt) cfg.pace_to_charged = true;
+  } else {
+    // Any decoder-spec name runs as a CPU backend of that decoder
+    // ("kbest:2:k=16", "zf", "sphere:sorted", ...). parse_decoder_spec
+    // throws the pointed error on unknown names.
+    cfg.kind = BackendKind::kCpu;
+    std::string spec = name;
+    if (!decoder_opts.empty()) spec += ":" + decoder_opts;
+    cfg.decoder = parse_decoder_spec(spec);
+    if (saw_rtt) cfg.pace_to_charged = true;
+  }
+  apply_rate_priors(cfg);
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<BackendConfig> parse_backend_pool(std::string_view text,
+                                              const PoolDefaults& defaults) {
+  std::vector<BackendConfig> out;
+  for (const std::string& entry : split(text, ',')) {
+    if (entry.empty()) continue;
+    out.push_back(parse_pool_entry(entry, defaults));
+  }
+  SD_CHECK(!out.empty(), "backend pool spec '" + std::string(text) +
+                             "' names no backends");
+  // Cost-model calibration is keyed by label; disambiguate repeats so
+  // "cpu:2,cpu:2" calibrates (and reports) per backend, not pooled.
+  std::unordered_map<std::string, int> seen;
+  for (BackendConfig& cfg : out) {
+    const int n = seen[cfg.label]++;
+    if (n > 0) cfg.label += "#" + std::to_string(n);
+  }
+  return out;
+}
+
+}  // namespace sd::dispatch

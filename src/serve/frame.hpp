@@ -4,10 +4,15 @@
 // exactly the (h, y, sigma2) triple Detector::decode consumes — wrapped
 // with the bookkeeping the server needs: an id, a per-frame latency budget,
 // and the submit timestamp stamped when the server accepts the frame.
+//
+// These types sit at the bottom of the serving stack: both the dispatch
+// layer (src/dispatch — backend pool, cost model, placement) and the server
+// facade (src/serve) speak them.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
 #include "decode/detector.hpp"
@@ -38,18 +43,47 @@ enum class FrameStatus : std::uint8_t {
 
 [[nodiscard]] std::string_view frame_status_name(FrameStatus s) noexcept;
 
+/// Which rung of the overload ladder decoded a frame. The dispatcher degrades
+/// placement along primary -> K-Best -> linear when the predicted completion
+/// time exceeds the frame's deadline — shedding *work*, not frames. kPrimary
+/// is whatever the backend's configured decoder is; the lower tiers are the
+/// progressively cheaper approximations every lane keeps on standby.
+enum class DecodeTier : std::uint8_t {
+  kPrimary,  ///< the backend's configured decoder
+  kKBest,    ///< breadth-limited search (fixed complexity)
+  kLinear,   ///< equalize-and-slice (cheapest)
+};
+
+[[nodiscard]] std::string_view decode_tier_name(DecodeTier t) noexcept;
+
+/// Outcome of DetectionServer::submit / Dispatcher::submit.
+enum class SubmitStatus : std::uint8_t {
+  kAccepted,  ///< enqueued (a drop-oldest displacement still accepts)
+  kRejected,  ///< refused: reject policy with a full queue
+  kClosed,    ///< server already drained
+};
+
 /// Completion record delivered to the server's callback. `result` holds the
 /// backend decode for kCompleted, the ZF fallback for kExpiredFallback, and
 /// is default-constructed (empty indices, infinite metric) otherwise.
 struct FrameResult {
   std::uint64_t id = 0;
   FrameStatus status = FrameStatus::kCompleted;
-  unsigned worker_id = 0;       ///< worker that retired the frame
+  unsigned worker_id = 0;       ///< global lane index that retired the frame
+  int backend_id = 0;           ///< backend within the pool (0 when degenerate)
+  unsigned lane_id = 0;         ///< lane within the backend that decoded it
+  DecodeTier tier = DecodeTier::kPrimary;  ///< overload-ladder rung served
+  bool stolen = false;          ///< decoded by a lane other than the placed one
   DecodeResult result;
   double queue_wait_s = 0.0;    ///< submit -> dequeue
   double service_s = 0.0;       ///< dequeue -> done (0 for kEvicted)
   double e2e_s = 0.0;           ///< submit -> done
   bool deadline_missed = false; ///< had a deadline and e2e exceeded it
 };
+
+/// Invoked on a worker thread (or, for evicted frames, on the submitting
+/// thread) once per frame reaching a terminal state other than kRejected.
+/// Must be thread-safe; keep it cheap — it runs on the decode path.
+using CompletionFn = std::function<void(const FrameResult&)>;
 
 }  // namespace sd::serve

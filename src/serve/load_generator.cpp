@@ -33,7 +33,8 @@ LoadGenerator::LoadGenerator(SystemConfig system, DecoderSpec spec,
   }
 }
 
-LoadReport LoadGenerator::run(const CompletionFn& observer) {
+LoadReport LoadGenerator::run(const CompletionFn& observer,
+                              const ServerHook& before_traffic) {
   // Pre-generate every frame from the seeded scenario: identical runs see
   // identical (h, y, sigma2) streams, and ground truth stays available for
   // symbol-error accounting.
@@ -121,6 +122,7 @@ LoadReport LoadGenerator::run(const CompletionFn& observer) {
 
   DetectionServer srv(system_, spec_, server_opts_, on_complete);
   server = &srv;
+  if (before_traffic) before_traffic(srv);
 
   if (load_.mode == ArrivalMode::kClosedLoop) {
     pump();
@@ -157,6 +159,9 @@ LoadReport LoadGenerator::run(const CompletionFn& observer) {
   report.symbol_errors = sh.symbol_errors;
   report.symbols_checked = sh.symbols_checked;
   report.metrics = srv.metrics();
+  report.backends = srv.dispatcher().backend_metrics();
+  report.dispatch = srv.dispatcher().stats();
+  report.cost_model_json = srv.dispatcher().cost_model().export_json();
   return report;
 }
 

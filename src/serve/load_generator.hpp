@@ -48,6 +48,12 @@ struct LoadReport {
   std::uint64_t symbol_errors = 0;  ///< vs ground truth (completed + fallback)
   std::uint64_t symbols_checked = 0;
   ServerMetrics metrics;        ///< snapshot after drain
+  /// Per-backend breakdown and dispatcher counters, captured after drain.
+  std::vector<dispatch::BackendMetrics> backends;
+  dispatch::DispatchStats dispatch;
+  /// Cost model state after the run (CostModel::export_json), so one run's
+  /// calibration can warm-start the next.
+  std::string cost_model_json;
 };
 
 class LoadGenerator {
@@ -58,10 +64,15 @@ class LoadGenerator {
   LoadGenerator(SystemConfig system, DecoderSpec spec, ServerOptions server,
                 LoadOptions load);
 
+  /// Called with the freshly built server before the first submit — the
+  /// window for importing a warm cost model or other pre-traffic setup.
+  using ServerHook = std::function<void(DetectionServer&)>;
+
   /// Runs the configured load to completion (every frame terminal), drains
   /// the server, and reports. `observer`, when set, sees every FrameResult
   /// (called from worker threads; must be thread-safe).
-  [[nodiscard]] LoadReport run(const CompletionFn& observer = {});
+  [[nodiscard]] LoadReport run(const CompletionFn& observer = {},
+                               const ServerHook& before_traffic = {});
 
  private:
   SystemConfig system_;

@@ -3,8 +3,42 @@
 #include <string>
 
 #include "obs/counters.hpp"
+#include "serve/frame.hpp"
 
 namespace sd::serve {
+
+// Defined here (not in server.cpp) so the dispatch layer, which sits below
+// the server facade, can link them without pulling in the server.
+std::string_view frame_status_name(FrameStatus s) noexcept {
+  switch (s) {
+    case FrameStatus::kCompleted: return "completed";
+    case FrameStatus::kExpiredFallback: return "expired-fallback";
+    case FrameStatus::kExpiredDropped: return "expired-dropped";
+    case FrameStatus::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+std::string_view decode_tier_name(DecodeTier t) noexcept {
+  switch (t) {
+    case DecodeTier::kPrimary: return "primary";
+    case DecodeTier::kKBest: return "kbest";
+    case DecodeTier::kLinear: return "linear";
+  }
+  return "?";
+}
+
+LatencySummary summarize_latency(const Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  if (h.empty()) return s;
+  s.mean_s = h.mean();
+  s.p50_s = h.quantile(0.50);
+  s.p95_s = h.quantile(0.95);
+  s.p99_s = h.quantile(0.99);
+  s.max_s = h.max();
+  return s;
+}
 
 namespace {
 

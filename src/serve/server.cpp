@@ -1,39 +1,15 @@
 #include "serve/server.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
-#include "common/timer.hpp"
+#include "common/logging.hpp"
 #include "core/spec_parse.hpp"
-#include "decode/linear.hpp"
+#include "dispatch/backend.hpp"
 #include "obs/trace.hpp"
 
 namespace sd::serve {
-
-std::string_view frame_status_name(FrameStatus s) noexcept {
-  switch (s) {
-    case FrameStatus::kCompleted: return "completed";
-    case FrameStatus::kExpiredFallback: return "expired-fallback";
-    case FrameStatus::kExpiredDropped: return "expired-dropped";
-    case FrameStatus::kEvicted: return "evicted";
-  }
-  return "?";
-}
-
-LatencySummary summarize_latency(const Histogram& h) {
-  LatencySummary s;
-  s.count = h.count();
-  if (h.empty()) return s;
-  s.mean_s = h.mean();
-  s.p50_s = h.quantile(0.50);
-  s.p95_s = h.quantile(0.95);
-  s.p99_s = h.quantile(0.99);
-  s.max_s = h.max();
-  return s;
-}
 
 ServerOptions parse_server_options(std::string_view text, ServerOptions base) {
   for (const SpecOption& opt : parse_spec_options(text)) {
@@ -51,6 +27,16 @@ ServerOptions parse_server_options(std::string_view text, ServerOptions base) {
       base.zf_fallback_on_expiry = false;
     } else if (opt.key == "fallback") {
       base.zf_fallback_on_expiry = true;
+    } else if (opt.key == "placement") {
+      base.placement = dispatch::parse_placement_policy(opt.value);
+    } else if (opt.key == "fpga-rtt-ms") {
+      base.fpga_rtt_s = spec_option_double(opt) * 1e-3;
+    } else if (opt.key == "no-degrade") {
+      base.degrade_on_deadline = false;
+    } else if (opt.key == "degrade") {
+      base.degrade_on_deadline = true;
+    } else if (opt.key == "deterministic-cost") {
+      base.deterministic_cost = true;
     } else if (opt.key == "emulate-device") {
       base.emulate_device_latency = true;
     } else if (opt.key == "rtt-ms") {
@@ -60,6 +46,7 @@ ServerOptions parse_server_options(std::string_view text, ServerOptions base) {
       throw invalid_argument_error(
           "unknown server option '" + opt.key +
           "' (workers, batch, queue, policy, deadline-ms, no-fallback, "
+          "placement, fpga-rtt-ms, no-degrade, deterministic-cost, "
           "emulate-device, rtt-ms)");
     }
   }
@@ -68,27 +55,57 @@ ServerOptions parse_server_options(std::string_view text, ServerOptions base) {
 
 DetectionServer::DetectionServer(SystemConfig system, DecoderSpec spec,
                                  ServerOptions options, CompletionFn on_complete)
-    : system_(system),
-      spec_(spec),
-      opts_(options),
-      on_complete_(std::move(on_complete)),
-      queue_(options.queue_capacity, options.policy),
-      queue_wait_h_(0.0, options.histogram_max_s, options.histogram_buckets),
-      service_h_(0.0, options.histogram_max_s, options.histogram_buckets),
-      e2e_h_(0.0, options.histogram_max_s, options.histogram_buckets) {
+    : system_(system), spec_(spec), opts_(std::move(options)) {
   SD_CHECK(opts_.num_workers >= 1, "server needs at least one worker");
   SD_CHECK(opts_.batch_size >= 1, "batch size must be positive");
+  SD_CHECK(opts_.queue_capacity >= 1, "queue capacity must be positive");
   SD_CHECK(opts_.default_deadline_s >= 0.0, "deadline must be non-negative");
   SD_CHECK(opts_.emulated_rtt_s >= 0.0, "emulated RTT must be non-negative");
-  // Fail fast on an unbuildable spec in the constructing thread instead of
-  // from inside a worker: build (and discard) one detector eagerly.
-  (void)make_detector(system_, spec_);
-  worker_acct_.resize(opts_.num_workers);
-  start_ = Clock::now();
-  workers_.reserve(opts_.num_workers);
-  for (unsigned w = 0; w < opts_.num_workers; ++w) {
-    workers_.emplace_back([this, w] { worker_main(w); });
+  SD_CHECK(opts_.fpga_rtt_s >= 0.0, "FPGA RTT must be non-negative");
+
+  if (opts_.emulate_device_latency || opts_.emulated_rtt_s > 0.0) {
+    SD_LOG_WARN << "ServerOptions::emulate_device_latency/emulated_rtt_s are "
+                   "deprecated; use a backends pool spec with an fpga entry "
+                   "(or an rtt-ms= backend field) instead";
   }
+
+  std::vector<dispatch::BackendConfig> configs;
+  if (opts_.backends.empty()) {
+    // Degenerate pool: one CPU backend whose lanes are the classic worker
+    // pool. Each lane gets the full configured queue depth so closed-loop
+    // producers sized against queue_capacity never deadlock on a lane.
+    dispatch::BackendConfig cfg;
+    cfg.kind = dispatch::BackendKind::kCpu;
+    cfg.label = "cpu";
+    cfg.lanes = opts_.num_workers;
+    cfg.decoder = spec_;
+    cfg.pace_to_charged = opts_.emulate_device_latency;
+    cfg.rtt_s = opts_.emulated_rtt_s;
+    cfg.lane_queue_capacity = opts_.queue_capacity;
+    cfg.policy = opts_.policy;
+    cfg.batch_size = opts_.batch_size;
+    cfg.zf_fallback_on_expiry = opts_.zf_fallback_on_expiry;
+    dispatch::apply_rate_priors(cfg);
+    configs.push_back(std::move(cfg));
+  } else {
+    dispatch::PoolDefaults defaults;
+    defaults.primary = spec_;
+    defaults.lane_queue_capacity = opts_.queue_capacity;
+    defaults.policy = opts_.policy;
+    defaults.batch_size = opts_.batch_size;
+    defaults.zf_fallback_on_expiry = opts_.zf_fallback_on_expiry;
+    defaults.fpga_rtt_s = opts_.fpga_rtt_s;
+    configs = dispatch::parse_backend_pool(opts_.backends, defaults);
+  }
+
+  dispatch::DispatcherOptions dopts;
+  dopts.policy = opts_.placement;
+  dopts.degrade_on_deadline = opts_.degrade_on_deadline;
+  dopts.cost.adapt_rates = !opts_.deterministic_cost;
+  dopts.histogram_max_s = opts_.histogram_max_s;
+  dopts.histogram_buckets = opts_.histogram_buckets;
+  dispatcher_ = std::make_unique<dispatch::Dispatcher>(
+      system_, std::move(configs), dopts, std::move(on_complete));
 }
 
 DetectionServer::~DetectionServer() { drain(); }
@@ -101,164 +118,11 @@ SubmitStatus DetectionServer::submit(FrameRequest frame) {
            "frame channel columns do not match the served system");
   if (frame.deadline_s <= 0.0) frame.deadline_s = opts_.default_deadline_s;
   frame.submit_time = Clock::now();
-
-  FrameQueue::PushResult pushed = queue_.push(std::move(frame));
-  if (pushed.status == PushStatus::kClosed) return SubmitStatus::kClosed;
-
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    ++submitted_;
-    if (pushed.status == PushStatus::kRejected) ++rejected_;
-    if (pushed.status == PushStatus::kDisplacedOldest) ++evicted_;
-  }
-  if (pushed.status == PushStatus::kRejected) return SubmitStatus::kRejected;
-
-  if (pushed.status == PushStatus::kDisplacedOldest) {
-    // The displaced frame reaches its terminal state here, on the submitting
-    // thread: report it so the producer can account for every frame.
-    const FrameRequest& old = *pushed.displaced;
-    FrameResult r;
-    r.id = old.id;
-    r.status = FrameStatus::kEvicted;
-    r.queue_wait_s = std::chrono::duration<double>(Clock::now() - old.submit_time).count();
-    r.e2e_s = r.queue_wait_s;
-    if (on_complete_) on_complete_(r);
-  }
-  return SubmitStatus::kAccepted;
+  return dispatcher_->submit(std::move(frame));
 }
 
-void DetectionServer::worker_main(unsigned worker_id) {
-  // Each worker owns a private detector clone plus a ZF fallback, so decodes
-  // never share mutable state across threads.
-  auto detector = make_detector(system_, spec_);
-  LinearDetector fallback(LinearKind::kZf, Constellation::get(system_.modulation));
+void DetectionServer::drain() { dispatcher_->drain(); }
 
-  std::vector<FrameRequest> batch;
-  batch.reserve(opts_.batch_size);
-  while (queue_.pop_batch(batch, opts_.batch_size) > 0) {
-    SD_TRACE_SPAN("serve.batch");
-    Timer busy;
-    for (FrameRequest& frame : batch) {
-      process_frame(worker_id, *detector, fallback, frame);
-    }
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    WorkerAccounting& acct = worker_acct_[worker_id];
-    acct.frames += batch.size();
-    acct.batches += 1;
-    acct.busy_seconds += busy.elapsed_seconds();
-  }
-}
-
-void DetectionServer::process_frame(unsigned worker_id, Detector& detector,
-                                    Detector& fallback, FrameRequest& frame) {
-  SD_TRACE_SPAN("serve.frame");
-  const Clock::time_point dequeued = Clock::now();
-  FrameResult r;
-  r.id = frame.id;
-  r.worker_id = worker_id;
-  r.queue_wait_s =
-      std::chrono::duration<double>(dequeued - frame.submit_time).count();
-
-  const bool has_deadline = frame.deadline_s > 0.0;
-  const bool expired_in_queue = has_deadline && r.queue_wait_s > frame.deadline_s;
-  if (expired_in_queue) {
-    if (opts_.zf_fallback_on_expiry) {
-      SD_TRACE_SPAN("serve.zf_fallback");
-      r.status = FrameStatus::kExpiredFallback;
-      r.result = fallback.decode(frame.h, frame.y, frame.sigma2);
-    } else {
-      r.status = FrameStatus::kExpiredDropped;
-    }
-  } else {
-    r.status = FrameStatus::kCompleted;
-    {
-      SD_TRACE_SPAN("serve.decode");
-      r.result = detector.decode(frame.h, frame.y, frame.sigma2);
-    }
-    if (opts_.emulate_device_latency) {
-      // Pace the worker to the charged device time plus the transfer RTT:
-      // the remainder of the simulated accelerator round trip beyond what
-      // the model evaluation itself consumed on the host.
-      const double charged =
-          r.result.stats.search_seconds + opts_.emulated_rtt_s;
-      const double spent =
-          std::chrono::duration<double>(Clock::now() - dequeued).count();
-      if (charged > spent) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(charged - spent));
-      }
-    }
-  }
-
-  const Clock::time_point done = Clock::now();
-  r.service_s = std::chrono::duration<double>(done - dequeued).count();
-  r.e2e_s = std::chrono::duration<double>(done - frame.submit_time).count();
-  r.deadline_missed = has_deadline && r.e2e_s > frame.deadline_s;
-
-  finish_frame(r);
-  if (on_complete_) on_complete_(r);
-}
-
-void DetectionServer::finish_frame(const FrameResult& r) {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
-  switch (r.status) {
-    case FrameStatus::kCompleted: ++completed_; break;
-    case FrameStatus::kExpiredFallback: ++expired_fallback_; break;
-    case FrameStatus::kExpiredDropped: ++expired_dropped_; break;
-    case FrameStatus::kEvicted: break;  // counted at submit
-  }
-  if (r.deadline_missed) ++deadline_misses_;
-  queue_wait_h_.record(r.queue_wait_s);
-  service_h_.record(r.service_s);
-  e2e_h_.record(r.e2e_s);
-}
-
-void DetectionServer::drain() {
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    if (drained_) return;
-    drained_ = true;
-  }
-  queue_.close();
-  for (std::thread& t : workers_) {
-    if (t.joinable()) t.join();
-  }
-  std::lock_guard<std::mutex> lock(metrics_mu_);
-  drained_wall_s_ = std::chrono::duration<double>(Clock::now() - start_).count();
-}
-
-ServerMetrics DetectionServer::metrics() const {
-  const usize queued_now = queue_.size();
-  std::lock_guard<std::mutex> lock(metrics_mu_);
-  ServerMetrics m;
-  m.submitted = submitted_;
-  m.completed = completed_;
-  m.expired_fallback = expired_fallback_;
-  m.expired_dropped = expired_dropped_;
-  m.evicted = evicted_;
-  m.rejected = rejected_;
-  m.deadline_misses = deadline_misses_;
-  m.in_queue = queued_now;
-  m.wall_seconds =
-      drained_wall_s_ >= 0.0
-          ? drained_wall_s_
-          : std::chrono::duration<double>(Clock::now() - start_).count();
-  m.throughput_fps = m.wall_seconds > 0.0
-                         ? static_cast<double>(m.retired()) / m.wall_seconds
-                         : 0.0;
-  m.queue_wait = summarize_latency(queue_wait_h_);
-  m.service = summarize_latency(service_h_);
-  m.e2e = summarize_latency(e2e_h_);
-  m.workers.resize(worker_acct_.size());
-  for (usize w = 0; w < worker_acct_.size(); ++w) {
-    m.workers[w].frames = worker_acct_[w].frames;
-    m.workers[w].batches = worker_acct_[w].batches;
-    m.workers[w].busy_seconds = worker_acct_[w].busy_seconds;
-    m.workers[w].utilization = m.wall_seconds > 0.0
-                                   ? worker_acct_[w].busy_seconds / m.wall_seconds
-                                   : 0.0;
-  }
-  return m;
-}
+ServerMetrics DetectionServer::metrics() const { return dispatcher_->metrics(); }
 
 }  // namespace sd::serve

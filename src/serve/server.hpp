@@ -1,32 +1,39 @@
 // DetectionServer: the batched, deadline-aware runtime that turns the
 // single-shot detectors into a served workload.
 //
-// Architecture (DESIGN.md §6):
+// Architecture (DESIGN.md §6, §8):
 //
-//   submit() ──> FrameQueue (bounded, backpressure policy)
-//                   │  pop_batch(batch_size)
+//   submit() ──> Dispatcher (src/dispatch)
+//                   │  feature extraction -> cost model -> placement policy
 //                   ▼
-//             worker 0..N-1, each owning a private Detector built from the
-//             same DecoderSpec (CPU SD, MultiPE, K-Best, FPGA model, ...)
+//             Backend pool: CPU / FPGA / parallel-SD backends, each with
+//             N lanes owning private detector ladders and bounded queues
 //                   │  per frame: deadline check -> decode or ZF fallback
 //                   ▼
-//             completion callback (any worker thread) + ServerMetrics
+//             completion callback (any lane thread) + ServerMetrics
+//
+// The classic homogeneous worker pool is the degenerate case: with no
+// `backends` spec the server builds a single CPU backend whose lane count is
+// num_workers, which behaves exactly like the original pop-batch pool. A
+// `backends` spec ("cpu:4,fpga:2,...") turns on the heterogeneous pool and
+// cost-aware placement.
 //
 // Deadline semantics: a frame's budget starts when submit() stamps it. If
-// the budget is already exhausted when a worker dequeues the frame, decoding
-// it would waste capacity on an answer nobody is waiting for — the worker
+// the budget is already exhausted when a lane dequeues the frame, decoding
+// it would waste capacity on an answer nobody is waiting for — the lane
 // instead serves a ZF fallback (graceful degradation, never silence) or
 // drops it, per ServerOptions. Frames that finish late still count as
-// deadline misses.
+// deadline misses. Under predicted overload the dispatcher additionally
+// degrades the decode *tier* (SD -> K-Best -> linear) before frames ever
+// expire: shed work, not frames.
 #pragma once
 
-#include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
-#include <thread>
-#include <vector>
 
 #include "core/sphere_decoder.hpp"
+#include "dispatch/dispatcher.hpp"
 #include "serve/frame.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
@@ -34,26 +41,34 @@
 namespace sd::serve {
 
 struct ServerOptions {
-  unsigned num_workers = 1;        ///< detector threads (>= 1)
+  unsigned num_workers = 1;        ///< lanes of the degenerate CPU pool (>= 1)
   usize batch_size = 1;            ///< max frames per queue pop (>= 1)
-  usize queue_capacity = 64;       ///< bounded queue depth (>= 1)
+  usize queue_capacity = 64;       ///< bounded queue depth per lane (>= 1)
   BackpressurePolicy policy = BackpressurePolicy::kBlock;
   double default_deadline_s = 0.0; ///< applied when a frame carries none; 0 = none
   bool zf_fallback_on_expiry = true;
-  /// Hardware-in-the-loop pacing: after a decode, the worker sleeps until
-  /// the frame's charged device time (stats.search_seconds — simulated
-  /// cycle-model time for the @fpga backends) has elapsed, emulating a host
-  /// thread blocked on an accelerator round trip. Workers then overlap
-  /// waits like real pipelines, so pool scaling is visible even when the
-  /// host has fewer cores than workers. Meaningless for CPU backends,
-  /// whose search_seconds is the measured wall time itself.
+  /// DEPRECATED: use a `backends` pool spec with an fpga entry (or an
+  /// `rtt-ms=` backend field) instead; FpgaBackend paces itself. Still
+  /// honored on the degenerate pool — the server logs a one-line warning and
+  /// paces its CPU lanes to the charged device time.
   bool emulate_device_latency = false;
-  /// With emulate_device_latency, a fixed host<->device round-trip latency
-  /// added on top of the charged device time — the PCIe / network transfer
-  /// an offloaded decode pays per frame regardless of device occupancy.
-  /// The RTT usually dwarfs device compute, so this is what the worker
-  /// pool actually overlaps.
+  /// DEPRECATED alongside emulate_device_latency: the fixed host<->device
+  /// round trip added to the charged time when emulating.
   double emulated_rtt_s = 0.0;
+  /// Heterogeneous pool spec for parse_backend_pool, e.g.
+  /// "cpu:4,fpga:2:rtt-ms=1". Empty = degenerate single-CPU-backend pool
+  /// with num_workers lanes.
+  std::string backends;
+  /// How the dispatcher places frames onto lanes.
+  dispatch::PlacementPolicy placement = dispatch::PlacementPolicy::kCostAware;
+  /// Default host<->device RTT for fpga pool entries without an rtt-ms field.
+  double fpga_rtt_s = 1e-3;
+  /// Degrade decode tiers when no placement meets a frame's deadline
+  /// (cost-aware placement only).
+  bool degrade_on_deadline = true;
+  /// Freeze the cost model's measured-rate calibration so placement depends
+  /// only on deterministic node counts (reproducible placement sequences).
+  bool deterministic_cost = false;
   /// Histogram range for latency recording; values above clamp into the last
   /// bucket but max stays exact. 0.1 ms resolution over [0, 1 s] by default.
   double histogram_max_s = 1.0;
@@ -61,29 +76,20 @@ struct ServerOptions {
 };
 
 /// Parses "workers=4,batch=8,queue=64,policy=drop-oldest,deadline-ms=10,
-/// no-fallback,emulate-device,rtt-ms=1" (any subset, any order) on top of
-/// `base`.
-/// Throws sd::invalid_argument_error on unknown keys or bad values.
+/// no-fallback,placement=cost-aware,fpga-rtt-ms=1,no-degrade,
+/// deterministic-cost,emulate-device,rtt-ms=1" (any subset, any order) on
+/// top of `base`. The `backends` pool spec is itself comma-separated, so it
+/// cannot ride in this option string — set it directly or via a dedicated
+/// CLI flag. Throws sd::invalid_argument_error on unknown keys or bad values.
 [[nodiscard]] ServerOptions parse_server_options(std::string_view text,
                                                  ServerOptions base = {});
 
-/// Outcome of DetectionServer::submit.
-enum class SubmitStatus : std::uint8_t {
-  kAccepted,  ///< enqueued (a drop-oldest displacement still accepts)
-  kRejected,  ///< refused: reject policy with a full queue
-  kClosed,    ///< server already drained
-};
-
-/// Invoked on a worker thread (or, for evicted frames, on the submitting
-/// thread) once per frame reaching a terminal state other than kRejected.
-/// Must be thread-safe; keep it cheap — it runs on the decode path.
-using CompletionFn = std::function<void(const FrameResult&)>;
-
 class DetectionServer {
  public:
-  /// Spawns the worker pool. Each worker builds its own detector from
-  /// (system, spec) via make_detector, so any spec the factory accepts can
-  /// be served. Throws sd::invalid_argument_error on bad options.
+  /// Builds the backend pool (from options.backends, or the degenerate
+  /// single CPU backend) and starts every lane. Each lane builds its own
+  /// detector, so any spec the factory accepts can be served. Throws
+  /// sd::invalid_argument_error on bad options.
   DetectionServer(SystemConfig system, DecoderSpec spec, ServerOptions options,
                   CompletionFn on_complete);
 
@@ -94,49 +100,35 @@ class DetectionServer {
   DetectionServer& operator=(const DetectionServer&) = delete;
 
   /// Submits one frame. Stamps frame.submit_time and applies the default
-  /// deadline if the frame carries none. Blocks iff the queue is full under
-  /// kBlock. Thread-safe.
+  /// deadline if the frame carries none. Blocks iff the chosen lane queue is
+  /// full under kBlock. Thread-safe.
   SubmitStatus submit(FrameRequest frame);
 
-  /// Closes the queue, lets workers drain every queued frame, joins them.
+  /// Closes the pool, lets lanes drain every queued frame, joins them.
   /// Idempotent. After drain() submits fail with kClosed.
   void drain();
 
-  /// Point-in-time metrics snapshot. Thread-safe.
+  /// Point-in-time metrics snapshot (aggregate across the pool; `workers`
+  /// holds one entry per lane). Thread-safe.
   [[nodiscard]] ServerMetrics metrics() const;
 
   [[nodiscard]] const ServerOptions& options() const noexcept { return opts_; }
   [[nodiscard]] const SystemConfig& system() const noexcept { return system_; }
 
- private:
-  void worker_main(unsigned worker_id);
-  void process_frame(unsigned worker_id, Detector& detector, Detector& fallback,
-                     FrameRequest& frame);
-  void finish_frame(const FrameResult& r);
+  /// The placement layer, for per-backend metrics, dispatch stats, and cost
+  /// model import/export. Valid for the server's lifetime.
+  [[nodiscard]] dispatch::Dispatcher& dispatcher() noexcept {
+    return *dispatcher_;
+  }
+  [[nodiscard]] const dispatch::Dispatcher& dispatcher() const noexcept {
+    return *dispatcher_;
+  }
 
+ private:
   SystemConfig system_;
   DecoderSpec spec_;
   ServerOptions opts_;
-  CompletionFn on_complete_;
-
-  FrameQueue queue_;
-  std::vector<std::thread> workers_;
-  Clock::time_point start_;
-
-  // All mutable accounting below is guarded by metrics_mu_. Histograms and
-  // counters are cheap to update relative to a decode, so one lock suffices.
-  mutable std::mutex metrics_mu_;
-  std::uint64_t submitted_ = 0, completed_ = 0, expired_fallback_ = 0,
-                expired_dropped_ = 0, evicted_ = 0, rejected_ = 0,
-                deadline_misses_ = 0;
-  Histogram queue_wait_h_, service_h_, e2e_h_;
-  struct WorkerAccounting {
-    std::uint64_t frames = 0, batches = 0;
-    double busy_seconds = 0.0;
-  };
-  std::vector<WorkerAccounting> worker_acct_;
-  double drained_wall_s_ = -1.0;  ///< wall time frozen at drain; <0 = running
-  bool drained_ = false;
+  std::unique_ptr<dispatch::Dispatcher> dispatcher_;
 };
 
 }  // namespace sd::serve

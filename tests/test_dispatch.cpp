@@ -1,0 +1,519 @@
+// Dispatch subsystem: pool-spec parsing, cost-model priors / calibration /
+// JSON round-tripping, seeded placement determinism, overload-ladder tier
+// degradation, mixed-pool frame conservation, and work-stealing result
+// invariance. Frame contents are seeded, so placements and decode results
+// must reproduce exactly across runs.
+#include "dispatch/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/spec_parse.hpp"
+#include "dispatch/backend.hpp"
+#include "dispatch/cost_model.hpp"
+#include "mimo/scenario.hpp"
+#include "serve/server.hpp"
+
+namespace sd::dispatch {
+namespace {
+
+constexpr index_t kM = 6;
+constexpr std::uint64_t kSeed = 42;
+
+SystemConfig test_system() { return {kM, kM, Modulation::kQam4}; }
+
+std::vector<Trial> seeded_trials(usize n, double snr_db,
+                                 std::uint64_t seed = kSeed) {
+  ScenarioConfig sc;
+  sc.num_tx = kM;
+  sc.num_rx = kM;
+  sc.modulation = Modulation::kQam4;
+  sc.snr_db = snr_db;
+  sc.seed = seed;
+  Scenario scenario(sc);
+  std::vector<Trial> trials;
+  for (usize i = 0; i < n; ++i) trials.push_back(scenario.next());
+  return trials;
+}
+
+serve::FrameRequest make_frame(const Trial& t, std::uint64_t id,
+                               double deadline_s = 0.0) {
+  serve::FrameRequest f;
+  f.id = id;
+  f.h = t.h;
+  f.y = t.y;
+  f.sigma2 = t.sigma2;
+  f.deadline_s = deadline_s;
+  return f;
+}
+
+/// Collects completions and lets the producer wait for the nth one, which is
+/// how the determinism tests serialize submissions (window = 1).
+class Recorder {
+ public:
+  void add(const serve::FrameResult& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    results_.push_back(r);
+    cv_.notify_all();
+  }
+  void wait_for(usize n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return results_.size() >= n; });
+  }
+  [[nodiscard]] std::vector<serve::FrameResult> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return results_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<serve::FrameResult> results_;
+};
+
+// ---------------------------------------------------------------------------
+// Pool-spec parsing
+
+TEST(DispatchPool, ParseBackendPool) {
+  PoolDefaults pd;
+  pd.primary = DecoderSpec{};
+  pd.fpga_rtt_s = 2e-3;
+  const std::vector<BackendConfig> pool = parse_backend_pool(
+      "cpu:4,fpga:2:rtt-ms=1,kbest:2:k=32,multipe:1:threads=2,fpga-base", pd);
+  ASSERT_EQ(pool.size(), 5u);
+
+  EXPECT_EQ(pool[0].kind, BackendKind::kCpu);
+  EXPECT_EQ(pool[0].label, "cpu");
+  EXPECT_EQ(pool[0].lanes, 4u);
+  EXPECT_FALSE(pool[0].pace_to_charged);
+
+  EXPECT_EQ(pool[1].kind, BackendKind::kFpga);
+  EXPECT_EQ(pool[1].lanes, 2u);
+  EXPECT_TRUE(pool[1].pace_to_charged);
+  EXPECT_FALSE(pool[1].allow_stealing);
+  EXPECT_DOUBLE_EQ(pool[1].rtt_s, 1e-3);  // explicit field beats the default
+  EXPECT_EQ(pool[1].decoder.device, TargetDevice::kFpgaOptimized);
+
+  EXPECT_EQ(pool[2].kind, BackendKind::kCpu);
+  EXPECT_EQ(pool[2].lanes, 2u);
+  EXPECT_EQ(pool[2].decoder.strategy, Strategy::kKBest);
+  EXPECT_EQ(pool[2].decoder.kbest.k, 32u);
+
+  EXPECT_EQ(pool[3].kind, BackendKind::kParallelSd);
+  EXPECT_EQ(pool[3].decoder.strategy, Strategy::kMultiPe);
+
+  EXPECT_EQ(pool[4].kind, BackendKind::kFpga);
+  EXPECT_EQ(pool[4].lanes, 1u);
+  EXPECT_DOUBLE_EQ(pool[4].rtt_s, 2e-3);  // inherits the pool default
+  EXPECT_EQ(pool[4].decoder.device, TargetDevice::kFpgaBaseline);
+
+  // Repeated names get disambiguated labels (cost model calibrates per
+  // backend, keyed by label).
+  const std::vector<BackendConfig> twins = parse_backend_pool("cpu:2,cpu:2", pd);
+  EXPECT_EQ(twins[0].label, "cpu");
+  EXPECT_EQ(twins[1].label, "cpu#1");
+}
+
+TEST(DispatchPool, ParseRejectsBadSpecs) {
+  const PoolDefaults pd;
+  EXPECT_THROW((void)parse_backend_pool("", pd), invalid_argument_error);
+  EXPECT_THROW((void)parse_backend_pool("warpdrive:2", pd),
+               invalid_argument_error);
+  // "cpu" serves the configured primary decoder; decoder options make no
+  // sense on it.
+  EXPECT_THROW((void)parse_backend_pool("cpu:2:k=9", pd),
+               invalid_argument_error);
+}
+
+TEST(DispatchPool, LaddersMatchDecoderFamily) {
+  PoolDefaults pd;
+  const SystemConfig sys = test_system();
+  auto ladder_of = [&](std::string_view spec) {
+    std::vector<BackendConfig> pool = parse_backend_pool(spec, pd);
+    return make_backend(sys, std::move(pool[0]))->ladder();
+  };
+  EXPECT_EQ(ladder_of("cpu").size(), 3u);     // SD: primary > kbest > linear
+  EXPECT_EQ(ladder_of("kbest").size(), 2u);   // fixed complexity: no kbest rung
+  EXPECT_EQ(ladder_of("zf").size(), 1u);      // nothing cheaper than linear
+}
+
+TEST(DispatchOptions, ServerOptionsGainDispatchKeys) {
+  const serve::ServerOptions o = serve::parse_server_options(
+      "placement=round-robin,fpga-rtt-ms=2,no-degrade,deterministic-cost");
+  EXPECT_EQ(o.placement, PlacementPolicy::kRoundRobin);
+  EXPECT_DOUBLE_EQ(o.fpga_rtt_s, 2e-3);
+  EXPECT_FALSE(o.degrade_on_deadline);
+  EXPECT_TRUE(o.deterministic_cost);
+  EXPECT_THROW((void)serve::parse_server_options("placement=psychic"),
+               invalid_argument_error);
+  EXPECT_THROW((void)parse_placement_policy("psychic"),
+               invalid_argument_error);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+
+TEST(DispatchCost, PriorCostMonotoneInSnr) {
+  // Lower SNR => deeper search => non-decreasing predicted SD cost at fixed
+  // geometry. The fixed-complexity tiers are flat in SNR.
+  FrameFeatures f;
+  f.num_tx = 10;
+  f.mod_order = 4;
+  f.cond_proxy = 2.0;
+  double prev = 0.0;
+  for (double snr = 24.0; snr >= -6.0; snr -= 2.0) {
+    f.snr_db = snr;
+    const double nodes = CostModel::prior_nodes(f, DecodeTier::kPrimary);
+    EXPECT_GE(nodes, prev) << "snr " << snr;
+    prev = nodes;
+    EXPECT_DOUBLE_EQ(CostModel::prior_nodes(f, DecodeTier::kKBest),
+                     CostModel::prior_nodes(
+                         FrameFeatures{10, 4, 0.0, 12.0, 2.0},
+                         DecodeTier::kKBest));
+  }
+
+  CostModel cm;
+  const int b = cm.register_backend("cpu", 150e-9, 30e-6);
+  f.snr_db = 2.0;
+  const double low = cm.predict(f, b, DecodeTier::kPrimary).seconds;
+  f.snr_db = 18.0;
+  const double high = cm.predict(f, b, DecodeTier::kPrimary).seconds;
+  EXPECT_GE(low, high);
+  EXPECT_FALSE(cm.predict(f, b, DecodeTier::kPrimary).warm);
+}
+
+TEST(DispatchCost, ObservationsCalibratePredictions) {
+  CostModelOptions co;
+  co.ewma_alpha = 0.5;
+  CostModel cm(co);
+  const int b = cm.register_backend("cpu", 100e-9, 0.0);
+  FrameFeatures f;
+  f.num_tx = kM;
+  f.mod_order = 4;
+  f.snr_db = 10.0;
+  f.cond_proxy = 1.5;
+  cm.observe(f, b, DecodeTier::kPrimary, 1000, 1000 * 100e-9);
+  const CostPrediction p1 = cm.predict(f, b, DecodeTier::kPrimary);
+  EXPECT_TRUE(p1.warm);
+  EXPECT_DOUBLE_EQ(p1.nodes, 1000.0);  // first observation seeds the EWMA
+  cm.observe(f, b, DecodeTier::kPrimary, 2000, 2000 * 100e-9);
+  const CostPrediction p2 = cm.predict(f, b, DecodeTier::kPrimary);
+  // alpha = 0.5 blend in log domain: the geometric mean of 1000 and 2000.
+  EXPECT_NEAR(p2.nodes, std::sqrt(1000.0 * 2000.0), 1e-6);
+  EXPECT_EQ(cm.observations(), 2u);
+  EXPECT_EQ(cm.bucket_count(), 1u);
+  // A different SNR bucket stays cold.
+  f.snr_db = 20.0;
+  EXPECT_FALSE(cm.predict(f, b, DecodeTier::kPrimary).warm);
+}
+
+TEST(DispatchCost, JsonRoundTrip) {
+  CostModel a;
+  const int cpu = a.register_backend("cpu", 150e-9, 30e-6);
+  const int fpga = a.register_backend("fpga", 10e-9, 1e-3);
+  FrameFeatures f;
+  f.num_tx = kM;
+  f.mod_order = 4;
+  f.cond_proxy = 1.2;
+  for (int i = 0; i < 8; ++i) {
+    f.snr_db = 4.0 * i;
+    a.observe(f, cpu, DecodeTier::kPrimary, 100u * (i + 1), 1e-4 * (i + 1));
+    a.observe(f, fpga, DecodeTier::kKBest, 50u * (i + 1), 2e-5 * (i + 1));
+  }
+  const std::string json = a.export_json();
+
+  CostModel b;
+  (void)b.register_backend("cpu", 1.0, 1.0);  // rates overwritten by import
+  (void)b.register_backend("fpga", 1.0, 1.0);
+  b.import_json(json);
+  EXPECT_EQ(b.observations(), a.observations());
+  EXPECT_EQ(b.bucket_count(), a.bucket_count());
+  for (int i = 0; i < 8; ++i) {
+    f.snr_db = 4.0 * i;
+    for (int be : {cpu, fpga}) {
+      for (DecodeTier t : {DecodeTier::kPrimary, DecodeTier::kKBest,
+                           DecodeTier::kLinear}) {
+        const CostPrediction pa = a.predict(f, be, t);
+        const CostPrediction pb = b.predict(f, be, t);
+        EXPECT_DOUBLE_EQ(pa.nodes, pb.nodes);
+        EXPECT_DOUBLE_EQ(pa.seconds, pb.seconds);
+        EXPECT_EQ(pa.warm, pb.warm);
+      }
+    }
+  }
+  // Re-export is byte-identical: the model is a pure function of its inputs.
+  EXPECT_EQ(b.export_json(), json);
+
+  EXPECT_THROW(b.import_json("{\"oops\""), invalid_argument_error);
+  EXPECT_THROW(b.import_json("not json at all"), invalid_argument_error);
+  CostModel c;
+  (void)c.register_backend("other", 1.0, 1.0);
+  EXPECT_THROW(c.import_json(json), invalid_argument_error);
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+
+std::vector<serve::FrameResult> run_window1(
+    PlacementPolicy policy, const std::vector<serve::FrameRequest>& frames) {
+  Recorder rec;
+  DispatcherOptions dopts;
+  dopts.policy = policy;
+  dopts.cost.adapt_rates = false;  // deterministic predictions
+  PoolDefaults pd;
+  pd.primary = DecoderSpec{};
+  std::vector<BackendConfig> pool = parse_backend_pool(
+      "cpu:2:no-steal,fpga:1:rtt-ms=0,kbest:1:k=8", pd);
+  Dispatcher d(test_system(), std::move(pool), dopts,
+               [&rec](const serve::FrameResult& r) { rec.add(r); });
+  for (usize i = 0; i < frames.size(); ++i) {
+    serve::FrameRequest f = frames[i];
+    EXPECT_EQ(d.submit(std::move(f)), serve::SubmitStatus::kAccepted);
+    rec.wait_for(i + 1);  // window = 1: fully serialized placements
+  }
+  d.drain();
+  const serve::ServerMetrics m = d.metrics();
+  EXPECT_EQ(m.submitted, frames.size());
+  EXPECT_EQ(m.completed, frames.size());
+  return rec.take();
+}
+
+TEST(DispatchPlacement, SeededStreamPlacesAndDecodesIdentically) {
+  // Interleave easy (high SNR) and hard (low SNR) frames so the cost model
+  // sees distinct buckets and cost-aware placement has real choices to make.
+  const std::vector<Trial> easy = seeded_trials(12, 14.0);
+  const std::vector<Trial> hard = seeded_trials(12, 2.0, kSeed + 1);
+  std::vector<serve::FrameRequest> frames;
+  for (usize i = 0; i < 12; ++i) {
+    frames.push_back(make_frame(easy[i], 2 * i));
+    frames.push_back(make_frame(hard[i], 2 * i + 1));
+  }
+
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kCostAware, PlacementPolicy::kRoundRobin}) {
+    const std::vector<serve::FrameResult> a = run_window1(policy, frames);
+    const std::vector<serve::FrameResult> b = run_window1(policy, frames);
+    ASSERT_EQ(a.size(), b.size());
+    for (usize i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].backend_id, b[i].backend_id) << "frame " << a[i].id;
+      EXPECT_EQ(a[i].worker_id, b[i].worker_id) << "frame " << a[i].id;
+      EXPECT_EQ(a[i].lane_id, b[i].lane_id);
+      EXPECT_EQ(a[i].tier, b[i].tier);
+      EXPECT_EQ(a[i].status, b[i].status);
+      EXPECT_EQ(a[i].result.indices, b[i].result.indices);  // bit-identical
+      EXPECT_DOUBLE_EQ(a[i].result.metric, b[i].result.metric);
+    }
+  }
+}
+
+TEST(DispatchPlacement, RoundRobinCyclesGlobalLanes) {
+  const std::vector<Trial> trials = seeded_trials(8, 10.0);
+  std::vector<serve::FrameRequest> frames;
+  for (usize i = 0; i < trials.size(); ++i) {
+    frames.push_back(make_frame(trials[i], i));
+  }
+  const std::vector<serve::FrameResult> r =
+      run_window1(PlacementPolicy::kRoundRobin, frames);
+  ASSERT_EQ(r.size(), 8u);
+  for (usize i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i].worker_id, i % 4u);  // 2 cpu + 1 fpga + 1 kbest lanes
+    EXPECT_EQ(r[i].tier, serve::DecodeTier::kPrimary);
+  }
+}
+
+TEST(DispatchPlacement, MixedPoolConservesEveryFrameUnderOverload) {
+  constexpr usize kFrames = 160;
+  Recorder rec;
+  DispatcherOptions dopts;
+  dopts.policy = PlacementPolicy::kRoundRobin;  // guarantees per-lane traffic
+  PoolDefaults pd;
+  pd.primary = DecoderSpec{};
+  pd.lane_queue_capacity = 4;
+  pd.policy = serve::BackpressurePolicy::kReject;
+  std::vector<BackendConfig> pool =
+      parse_backend_pool("cpu:2,fpga:1,kbest:1", pd);
+  Dispatcher d(test_system(), std::move(pool), dopts,
+               [&rec](const serve::FrameResult& r) { rec.add(r); });
+  const std::vector<Trial> trials = seeded_trials(kFrames, 6.0);
+  std::uint64_t rejected = 0;
+  for (usize i = 0; i < kFrames; ++i) {
+    const serve::SubmitStatus st = d.submit(make_frame(trials[i], i));
+    ASSERT_NE(st, serve::SubmitStatus::kClosed);
+    if (st == serve::SubmitStatus::kRejected) ++rejected;
+  }
+  d.drain();
+
+  const serve::ServerMetrics m = d.metrics();
+  EXPECT_EQ(m.submitted, kFrames);
+  EXPECT_EQ(m.rejected, rejected);
+  EXPECT_EQ(m.accounted(), kFrames);  // conservation: no frame silently lost
+  EXPECT_EQ(m.in_queue, 0u);
+  EXPECT_EQ(rec.take().size(), kFrames - rejected);
+
+  // The per-backend breakdown partitions the aggregate exactly.
+  const std::vector<BackendMetrics> bms = d.backend_metrics();
+  ASSERT_EQ(bms.size(), 3u);
+  std::uint64_t sub = 0, acc = 0;
+  for (const BackendMetrics& bm : bms) {
+    EXPECT_GT(bm.metrics.submitted, 0u);
+    sub += bm.metrics.submitted;
+    acc += bm.metrics.accounted();
+  }
+  EXPECT_EQ(sub, kFrames);
+  EXPECT_EQ(acc, kFrames);
+  EXPECT_EQ(bms[1].kind, BackendKind::kFpga);
+}
+
+// ---------------------------------------------------------------------------
+// Overload ladder
+
+TEST(DispatchLadder, DegradesTiersAgainstPredictedDeadline) {
+  PoolDefaults pd;
+  pd.primary = DecoderSpec{};
+  const std::vector<BackendConfig> pool = parse_backend_pool("cpu", pd);
+
+  // A hard (low SNR) frame, and the dispatcher's own cold predictions for
+  // it, derived from the same priors the pool entry carries — the test pins
+  // the ladder walk, not the constants.
+  const Trial t = seeded_trials(1, -5.0).front();
+  CostModel probe;
+  const int b = probe.register_backend(pool[0].label,
+                                       pool[0].prior_seconds_per_node,
+                                       pool[0].prior_overhead_s);
+  const FrameFeatures f = FrameFeatures::extract(t.h, t.sigma2, 4);
+  const double p_sd = probe.predict(f, b, DecodeTier::kPrimary).seconds;
+  const double p_kb = probe.predict(f, b, DecodeTier::kKBest).seconds;
+  const double p_ln = probe.predict(f, b, DecodeTier::kLinear).seconds;
+  ASSERT_GT(p_sd, p_kb);  // at -5 dB the SD prior must dominate K-Best
+  ASSERT_GT(p_kb, p_ln);
+
+  const auto degrades_for = [&](double deadline_s) {
+    Recorder rec;
+    DispatcherOptions dopts;
+    dopts.policy = PlacementPolicy::kCostAware;
+    dopts.cost.adapt_rates = false;
+    std::vector<BackendConfig> p = parse_backend_pool("cpu", pd);
+    Dispatcher d(test_system(), std::move(p), dopts,
+                 [&rec](const serve::FrameResult& r) { rec.add(r); });
+    EXPECT_EQ(d.submit(make_frame(t, 0, deadline_s)),
+              serve::SubmitStatus::kAccepted);
+    rec.wait_for(1);
+    d.drain();
+    return d.stats();
+  };
+
+  const DispatchStats fits = degrades_for(2.0 * p_sd);
+  EXPECT_EQ(fits.degraded_kbest, 0u);
+  EXPECT_EQ(fits.degraded_linear, 0u);
+
+  const DispatchStats kb = degrades_for(0.5 * (p_sd + p_kb));
+  EXPECT_EQ(kb.degraded_kbest, 1u);
+  EXPECT_EQ(kb.degraded_linear, 0u);
+
+  const DispatchStats ln = degrades_for(0.5 * (p_kb + p_ln));
+  EXPECT_EQ(ln.degraded_kbest, 0u);
+  EXPECT_EQ(ln.degraded_linear, 1u);
+
+  // Nothing fits: the ladder still serves the cheapest tier — it sheds
+  // work, never frames.
+  const DispatchStats none = degrades_for(0.5 * p_ln);
+  EXPECT_EQ(none.degraded_linear, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing
+
+class CaptureSink final : public LaneSink {
+ public:
+  void frame_retired(const PlacedFrame& placed,
+                     serve::FrameResult&& result) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Hold the first retiring lane until a sibling has stolen: the test
+    // pins the steal path itself, not a race against thread-spawn latency.
+    // The backlog is deep, so the idle lane must steal — the timeout only
+    // guards against a hang if stealing is broken.
+    cv_.wait_for(lock, std::chrono::seconds(10), [&] { return stolen_ > 0; });
+    retired_.emplace_back(placed, std::move(result));
+  }
+  void frame_stolen(const PlacedFrame&, unsigned) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stolen_;
+    cv_.notify_all();
+  }
+  [[nodiscard]] std::vector<std::pair<PlacedFrame, serve::FrameResult>> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return retired_;
+  }
+  [[nodiscard]] std::uint64_t stolen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stolen_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<PlacedFrame, serve::FrameResult>> retired_;
+  std::uint64_t stolen_ = 0;
+};
+
+TEST(DispatchStealing, StolenFramesDecodeBitIdentically) {
+  constexpr usize kFrames = 32;
+  const SystemConfig sys = test_system();
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kCpu;
+  cfg.label = "cpu";
+  cfg.lanes = 2;
+  cfg.decoder = DecoderSpec{};
+  cfg.lane_queue_capacity = kFrames;
+  cfg.allow_stealing = true;
+  apply_rate_priors(cfg);
+  CpuBackend backend(sys, cfg);
+
+  // Pile every frame onto lane 0 *before* starting the lanes: lane 1 wakes
+  // idle against a deep sibling backlog and must steal.
+  const std::vector<Trial> trials = seeded_trials(kFrames, 6.0);
+  for (usize i = 0; i < kFrames; ++i) {
+    PlacedFrame pf;
+    pf.frame = make_frame(trials[i], i);
+    pf.frame.submit_time = serve::Clock::now();
+    pf.lane = 0;
+    const Backend::PushResult pr = backend.place(std::move(pf));
+    ASSERT_EQ(pr.status, serve::PushStatus::kAccepted);
+  }
+  CaptureSink sink;
+  backend.start(sink);
+  backend.close();  // lanes drain the backlog, then exit
+  backend.join();
+
+  auto retired = sink.take();
+  ASSERT_EQ(retired.size(), kFrames);
+  EXPECT_GT(backend.snapshot().steals, 0u);
+  EXPECT_EQ(backend.snapshot().steals, sink.stolen());
+
+  // Stolen or not, every decode matches the single-shot reference bit for
+  // bit: lanes share one DecoderSpec, so rebinding a frame cannot change
+  // its result.
+  auto reference = make_detector(sys, DecoderSpec{});
+  bool saw_stolen = false;
+  for (const auto& [placed, result] : retired) {
+    saw_stolen = saw_stolen || result.stolen;
+    const Trial& t = trials[result.id];
+    const DecodeResult want = reference->decode(t.h, t.y, t.sigma2);
+    EXPECT_EQ(result.result.indices, want.indices) << "frame " << result.id;
+    EXPECT_DOUBLE_EQ(result.result.metric, want.metric);
+    if (result.stolen) {
+      EXPECT_EQ(result.lane_id, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_stolen);
+}
+
+}  // namespace
+}  // namespace sd::dispatch

@@ -17,6 +17,11 @@ parse as JSON and conform to schema version 1 (see EXPERIMENTS.md):
       "counters": { "<name>": number }   # optional
     }
 
+The dispatch artifact (name == "dispatch") is additionally checked against
+its documented shape (EXPERIMENTS.md): a "policies" series whose rows carry
+"policy", "e2e_p99_s" and "deadline_miss_rate", and the calibration-scenario
+counter "dispatch.prediction.mean_rel_error".
+
 Exit status is 0 iff every file validates. Stdlib only — no dependencies.
 """
 
@@ -150,6 +155,37 @@ def validate_file(problems, path):
         if key not in ("schema", "schema_version", "name", "config", "series",
                        "tables", "counters"):
             problems.report(path, f"unknown top-level key '{key}'")
+
+    if name == "dispatch":
+        check_dispatch(problems, path, doc)
+
+
+def check_dispatch(problems, path, doc):
+    """Extra shape requirements for BENCH_dispatch.json (EXPERIMENTS.md)."""
+    series = doc.get("series")
+    policies = None
+    if isinstance(series, list):
+        for entry in series:
+            if isinstance(entry, dict) and entry.get("label") == "policies":
+                policies = entry
+    if policies is None:
+        problems.report(path, "dispatch: missing 'policies' series")
+    else:
+        rows = policies.get("rows")
+        rows = rows if isinstance(rows, list) else []
+        for j, row in enumerate(rows):
+            if not isinstance(row, dict):
+                continue
+            for col in ("policy", "e2e_p99_s", "deadline_miss_rate"):
+                if col not in row:
+                    problems.report(
+                        path, f"dispatch: policies.rows[{j}] missing '{col}'")
+
+    counters = doc.get("counters")
+    counters = counters if isinstance(counters, dict) else {}
+    if "dispatch.prediction.mean_rel_error" not in counters:
+        problems.report(
+            path, "dispatch: missing counter 'dispatch.prediction.mean_rel_error'")
 
 
 def main(argv):
