@@ -29,6 +29,11 @@ void DecodeStats::export_counters(obs::CounterRegistry& registry,
   registry.set(p + "search_seconds", search_seconds);
 }
 
+void Detector::decode_into(const CMat& h, std::span<const cplx> y,
+                           double sigma2, DecodeResult& out) {
+  out = decode(h, y, sigma2);
+}
+
 double residual_metric(const CMat& h, std::span<const cplx> y,
                        std::span<const cplx> s) {
   SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");

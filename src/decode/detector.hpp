@@ -51,10 +51,22 @@ struct DecodeResult {
   CVec symbols;                  ///< corresponding constellation points
   double metric = std::numeric_limits<double>::infinity();  ///< ||y - H s||^2
   DecodeStats stats;
+
+  /// Returns the result to its default state while KEEPING vector capacity,
+  /// so decode_into() can recycle a caller-owned result across frames.
+  void reset() {
+    indices.clear();
+    symbols.clear();
+    metric = std::numeric_limits<double>::infinity();
+    stats = DecodeStats{};
+  }
 };
 
-/// Abstract detector. Implementations are stateful only in configuration;
-/// decode() is safe to call repeatedly with different channels.
+/// Abstract detector. decode() is safe to call repeatedly with different
+/// channels, but an instance may own reusable search scratch
+/// (decode/decode_scratch.hpp), so a single instance must NOT be driven from
+/// multiple threads concurrently — clone one per thread, as the serve and
+/// dispatch runtimes do per lane.
 class Detector {
  public:
   virtual ~Detector() = default;
@@ -66,6 +78,15 @@ class Detector {
   [[nodiscard]] virtual DecodeResult decode(const CMat& h,
                                             std::span<const cplx> y,
                                             double sigma2) = 0;
+
+  /// Allocation-aware decode: writes into `out`, reusing its capacity (the
+  /// caller need not reset() it first). The base implementation forwards to
+  /// decode(); detectors with internal scratch override this as the primary
+  /// entry point and implement decode() as a wrapper, which together with the
+  /// scratch reuse makes their steady-state decodes heap-allocation-free.
+  /// Results are bitwise-identical to decode() either way.
+  virtual void decode_into(const CMat& h, std::span<const cplx> y,
+                           double sigma2, DecodeResult& out);
 };
 
 /// Convenience: computes ||y - H s||^2 for a candidate, used by detectors to

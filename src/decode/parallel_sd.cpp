@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
 #include "common/error.hpp"
@@ -11,20 +12,6 @@
 #include "obs/trace.hpp"
 
 namespace sd {
-
-namespace {
-
-struct SubTree {
-  std::vector<index_t> prefix;  ///< symbols for depths 0..split_depth-1
-  real pd = 0;
-};
-
-struct Child {
-  index_t symbol;
-  real pd;
-};
-
-}  // namespace
 
 ParallelSdDetector::ParallelSdDetector(const Constellation& constellation,
                                        ParallelSdOptions options)
@@ -38,13 +25,19 @@ ParallelSdDetector::ParallelSdDetector(const Constellation& constellation,
 
 DecodeResult ParallelSdDetector::decode(const CMat& h, std::span<const cplx> y,
                                         double sigma2) {
-  SD_TRACE_SPAN("decode");
   DecodeResult result;
-  const Preprocessed pre = preprocess(h, y, opts_.base.sorted_qr);
-  result.stats.preprocess_seconds = pre.seconds;
-  search(pre, sigma2, result);
-  materialize_symbols(*c_, result);
+  decode_into(h, y, sigma2, result);
   return result;
+}
+
+void ParallelSdDetector::decode_into(const CMat& h, std::span<const cplx> y,
+                                     double sigma2, DecodeResult& out) {
+  SD_TRACE_SPAN("decode");
+  out.reset();
+  preprocess_into(h, y, opts_.base.sorted_qr, scratch_.prep, scratch_.pre);
+  out.stats.preprocess_seconds = scratch_.pre.seconds;
+  search(scratch_.pre, sigma2, out);
+  materialize_symbols(*c_, out);
 }
 
 void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
@@ -58,39 +51,58 @@ void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
   Timer timer;
 
   // --- Partitioning phase (the "offline" step in [4]): enumerate all
-  // prefixes down to the split depth with their PDs.
-  std::vector<SubTree> subtrees{SubTree{{}, real{0}}};
+  // prefixes down to the split depth with their PDs. Prefixes are stored
+  // flat — depth-d prefixes occupy rows of width d in prefix_flat_ — so the
+  // whole phase recycles four detector-owned buffers instead of allocating
+  // one vector per sub-tree.
+  std::vector<index_t>& cur = prefix_flat_;
+  std::vector<index_t>& nxt = prefix_flat_next_;
+  std::vector<real>& cur_pd = prefix_pd_;
+  std::vector<real>& nxt_pd = prefix_pd_next_;
+  cur.clear();
+  cur_pd.assign(1, real{0});  // the root: one empty prefix, PD 0
+  usize count = 1;
   for (index_t depth = 0; depth < split; ++depth) {
     const index_t a = m - 1 - depth;
-    std::vector<SubTree> expanded;
-    expanded.reserve(subtrees.size() * static_cast<usize>(p));
-    for (const SubTree& st : subtrees) {
+    const usize width = static_cast<usize>(depth);  // current prefix length
+    nxt.resize(count * static_cast<usize>(p) * (width + 1));
+    nxt_pd.resize(count * static_cast<usize>(p));
+    for (usize si = 0; si < count; ++si) {
+      const index_t* prefix = cur.data() + si * width;
       cplx interference{0, 0};
       for (index_t t = 1; t <= depth; ++t) {
         interference +=
-            pre.r(a, a + t) * c_->point(st.prefix[static_cast<usize>(depth - t)]);
+            pre.r(a, a + t) *
+            c_->point(prefix[static_cast<usize>(depth - t)]);
       }
       const cplx b = pre.ybar[static_cast<usize>(a)] - interference;
       for (index_t sym = 0; sym < p; ++sym) {
-        SubTree child;
-        child.prefix = st.prefix;
-        child.prefix.push_back(sym);
-        child.pd = st.pd + norm2(b - pre.r(a, a) * c_->point(sym));
-        expanded.push_back(std::move(child));
+        const usize ci = si * static_cast<usize>(p) + static_cast<usize>(sym);
+        index_t* dst = nxt.data() + ci * (width + 1);
+        std::copy(prefix, prefix + width, dst);
+        dst[width] = sym;
+        nxt_pd[ci] =
+            cur_pd[si] + norm2(b - pre.r(a, a) * c_->point(sym));
       }
       result.stats.nodes_generated += static_cast<std::uint64_t>(p);
       ++result.stats.nodes_expanded;
     }
-    subtrees.swap(expanded);
+    cur.swap(nxt);
+    cur_pd.swap(nxt_pd);
+    count *= static_cast<usize>(p);
   }
+  const usize stride = static_cast<usize>(split);
   // Best-first dispatch order: promising sub-trees shrink the radius early.
-  std::sort(subtrees.begin(), subtrees.end(),
-            [](const SubTree& x, const SubTree& y2) { return x.pd < y2.pd; });
+  subtree_order_.resize(count);
+  std::iota(subtree_order_.begin(), subtree_order_.end(), usize{0});
+  std::sort(subtree_order_.begin(), subtree_order_.end(),
+            [&](usize x, usize y2) { return cur_pd[x] < cur_pd[y2]; });
 
   // --- Shared state across PEs.
   std::atomic<double> radius_sq{initial_radius_sq(opts_.base, sigma2, m)};
   std::mutex best_mutex;
-  std::vector<index_t> best_path(static_cast<usize>(m), 0);
+  std::vector<index_t>& best_path = scratch_.best_path;
+  best_path.assign(static_cast<usize>(m), 0);
   double best_pd = std::numeric_limits<double>::infinity();
   bool found_leaf = false;
   std::atomic<usize> next_subtree{0};
@@ -99,16 +111,17 @@ void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
   const unsigned hw = std::thread::hardware_concurrency();
   const unsigned num_threads =
       opts_.num_threads > 0 ? opts_.num_threads : std::max(1u, hw);
+  if (workers_.size() < num_threads) workers_.resize(num_threads);
 
-  auto worker = [&] {
+  auto worker = [&](unsigned wi) {
     SD_TRACE_SPAN("psd.worker");
     DecodeStats local;
-    std::vector<index_t> path(static_cast<usize>(m), 0);
-    struct Level {
-      std::vector<Child> ordered;
-      usize next = 0;
-    };
-    std::vector<Level> levels(static_cast<usize>(m));
+    PeScratch& pe = workers_[wi];
+    std::vector<index_t>& path = pe.path;
+    path.assign(static_cast<usize>(m), 0);
+    if (pe.levels.size() < static_cast<usize>(m)) {
+      pe.levels.resize(static_cast<usize>(m));
+    }
 
     auto enter_depth = [&](index_t d, real parent_pd) {
       const index_t a = m - 1 - d;
@@ -120,36 +133,41 @@ void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
             pre.r(a, a + t) * c_->point(path[static_cast<usize>(d - t)]);
       }
       const cplx b = pre.ybar[static_cast<usize>(a)] - interference;
-      Level& lvl = levels[static_cast<usize>(d)];
+      PeScratch::Level& lvl = pe.levels[static_cast<usize>(d)];
       lvl.ordered.clear();
       lvl.next = 0;
       for (index_t sym = 0; sym < p; ++sym) {
-        lvl.ordered.push_back(
-            Child{sym, parent_pd + norm2(b - pre.r(a, a) * c_->point(sym))});
+        lvl.ordered.push_back(ScratchChild{
+            sym, parent_pd + norm2(b - pre.r(a, a) * c_->point(sym))});
       }
       std::sort(lvl.ordered.begin(), lvl.ordered.end(),
-                [](const Child& x, const Child& y2) { return x.pd < y2.pd; });
+                [](const ScratchChild& x, const ScratchChild& y2) {
+                  return x.pd < y2.pd;
+                });
     };
 
     while (true) {
       const usize si = next_subtree.fetch_add(1);
-      if (si >= subtrees.size()) break;
-      const SubTree& st = subtrees[si];
-      if (static_cast<double>(st.pd) >= radius_sq.load(std::memory_order_relaxed)) {
+      if (si >= subtree_order_.size()) break;
+      const usize slot = subtree_order_[si];
+      const real subtree_pd = cur_pd[slot];
+      if (static_cast<double>(subtree_pd) >=
+          radius_sq.load(std::memory_order_relaxed)) {
         ++local.nodes_pruned;
         continue;
       }
-      std::copy(st.prefix.begin(), st.prefix.end(), path.begin());
+      const index_t* prefix = cur.data() + slot * stride;
+      std::copy(prefix, prefix + stride, path.begin());
 
       index_t depth = split;
-      enter_depth(depth, st.pd);
+      enter_depth(depth, subtree_pd);
       while (depth >= split) {
-        Level& lvl = levels[static_cast<usize>(depth)];
+        PeScratch::Level& lvl = pe.levels[static_cast<usize>(depth)];
         if (lvl.next >= lvl.ordered.size()) {
           --depth;
           continue;
         }
-        const Child child = lvl.ordered[lvl.next++];
+        const ScratchChild child = lvl.ordered[lvl.next++];
         if (static_cast<double>(child.pd) >=
             radius_sq.load(std::memory_order_relaxed)) {
           local.nodes_pruned +=
@@ -174,8 +192,8 @@ void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
           //      decreasing — a later (mutex-ordered) store can never
           //      overwrite a tighter radius with a looser one. This is the
           //      same monotone-min contract a lock-free CAS-min loop would
-          //      provide; the mutex is already required for best_path, so
-          //      the CAS loop would be redundant synchronization.
+          //      provide; the mutex is already required for best_path, so the
+          //      CAS loop would be redundant synchronization.
           //   3. The relaxed loads in the pruning tests may observe a stale
           //      (larger) radius. That admits extra work, never wrong
           //      results: best_pd/best_path — the answer — are maintained
@@ -208,7 +226,7 @@ void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
 
   std::vector<std::thread> pool;
   pool.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+  for (unsigned t = 0; t < num_threads; ++t) pool.emplace_back(worker, t);
   for (auto& t : pool) t.join();
 
   result.stats.nodes_expanded += shared_stats.nodes_expanded;
@@ -219,11 +237,12 @@ void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
 
   SD_ASSERT(found_leaf);  // infinite initial radius guarantees a leaf
 
-  std::vector<index_t> layered(static_cast<usize>(m));
+  std::vector<index_t>& layered = scratch_.layered;
+  layered.resize(static_cast<usize>(m));
   for (index_t d = 0; d < m; ++d) {
     layered[static_cast<usize>(m - 1 - d)] = best_path[static_cast<usize>(d)];
   }
-  result.indices = to_antenna_order(pre, layered);
+  to_antenna_order_into(pre, layered, result.indices);
   result.metric = best_pd;
   result.stats.search_seconds = timer.elapsed_seconds();
 }

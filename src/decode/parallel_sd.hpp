@@ -9,6 +9,7 @@
 // best-first (sorted by their root PD), which front-loads radius shrinkage.
 #pragma once
 
+#include "decode/decode_scratch.hpp"
 #include "decode/detector.hpp"
 #include "decode/sphere_common.hpp"
 
@@ -30,12 +31,41 @@ class ParallelSdDetector final : public Detector {
   [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
                                     double sigma2) override;
 
+  /// Allocation-aware decode; preprocessing and partition scratch are reused
+  /// across calls (the per-decode thread pool itself still allocates).
+  void decode_into(const CMat& h, std::span<const cplx> y, double sigma2,
+                   DecodeResult& out) override;
+
   /// Search on a preprocessed system (stats accumulate across workers).
   void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
 
  private:
+  /// Per-worker ("Processing Entity") reusable traversal state. Workers
+  /// index their own slot, so slots are touched by one thread at a time;
+  /// the buffers persist across decode() calls.
+  struct PeScratch {
+    struct Level {
+      std::vector<ScratchChild> ordered;
+      usize next = 0;
+    };
+    std::vector<index_t> path;
+    std::vector<Level> levels;
+  };
+
   const Constellation* c_;
   ParallelSdOptions opts_;
+  DecodeScratch scratch_;  ///< preprocessing + best_path/layered reuse
+
+  // Partition-phase scratch: sub-tree prefixes stored FLAT (count x depth,
+  // row-major) with a parallel PD array and a sort permutation, replacing the
+  // per-sub-tree vectors that used to be allocated fresh every decode.
+  std::vector<index_t> prefix_flat_;
+  std::vector<index_t> prefix_flat_next_;
+  std::vector<real> prefix_pd_;
+  std::vector<real> prefix_pd_next_;
+  std::vector<usize> subtree_order_;
+
+  std::vector<PeScratch> workers_;
 };
 
 }  // namespace sd

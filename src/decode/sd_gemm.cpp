@@ -13,19 +13,6 @@ namespace sd {
 
 namespace {
 
-/// Open-list entry: the MST node id plus its PD (cached so lazy pruning does
-/// not need an MST lookup).
-struct ListEntry {
-  NodeId id;
-  real pd;
-};
-
-/// A freshly generated child before it is committed to the MST.
-struct Child {
-  index_t symbol;
-  real pd;
-};
-
 /// Comparison-count model for sorting a batch of p children. The FPGA uses a
 /// bitonic network; on the CPU std::sort is O(p log p). We charge the
 /// canonical p*ceil(log2 p) so counts are deterministic across platforms.
@@ -43,13 +30,19 @@ SdGemmDetector::SdGemmDetector(const Constellation& constellation,
 
 DecodeResult SdGemmDetector::decode(const CMat& h, std::span<const cplx> y,
                                     double sigma2) {
-  SD_TRACE_SPAN("decode");
   DecodeResult result;
-  const Preprocessed pre = preprocess(h, y, opts_.sorted_qr);
-  result.stats.preprocess_seconds = pre.seconds;
-  search(pre, sigma2, result);
-  materialize_symbols(*c_, result);
+  decode_into(h, y, sigma2, result);
   return result;
+}
+
+void SdGemmDetector::decode_into(const CMat& h, std::span<const cplx> y,
+                                 double sigma2, DecodeResult& out) {
+  SD_TRACE_SPAN("decode");
+  out.reset();
+  preprocess_into(h, y, opts_.sorted_qr, scratch_.prep, scratch_.pre);
+  out.stats.preprocess_seconds = scratch_.pre.seconds;
+  search(scratch_.pre, sigma2, out);
+  materialize_symbols(*c_, out);
 }
 
 void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
@@ -63,22 +56,28 @@ void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
   Timer timer;
 
   // The tree state database (paper Fig. 5). Soft capacity on CPU; the peak
-  // per-level occupancy feeds the URAM sizing model.
-  MetaStateTable mst(m, 1024);
-  TreeList<ListEntry> open;
+  // per-level occupancy feeds the URAM sizing model. All working state lives
+  // in detector-owned scratch so repeat decodes allocate nothing.
+  MetaStateTable& mst = scratch_.mst(m, 1024);
+  TreeList<ScratchNode>& open = scratch_.open;
+  open.clear();
 
   double radius_sq = initial_radius_sq(opts_, sigma2, m);
   // With a finite (noise-scaled) radius the sphere can be empty; the standard
   // remedy — also used by the BFS/GPU variant [1] — is to enlarge and retry.
   bool found_leaf = false;
-  std::vector<index_t> best_path(static_cast<usize>(m), 0);
+  std::vector<index_t>& best_path = scratch_.best_path;
+  best_path.assign(static_cast<usize>(m), 0);
   double best_pd = std::numeric_limits<double>::infinity();
 
-  std::vector<index_t> path(static_cast<usize>(m), 0);
-  std::vector<Child> children(static_cast<usize>(p));
-  std::vector<Child> survivors;
+  const bool row0 = opts_.level_gemm == LevelGemm::kRow0;
+  std::vector<index_t>& path = scratch_.path;
+  path.assign(static_cast<usize>(m), 0);
+  std::vector<ScratchChild>& children = scratch_.children;
+  children.resize(static_cast<usize>(p));
+  std::vector<ScratchChild>& survivors = scratch_.survivors;
   survivors.reserve(static_cast<usize>(p));
-  std::vector<ListEntry> batch;
+  std::vector<ScratchNode>& batch = scratch_.batch;
   batch.reserve(static_cast<usize>(p));
 
   // Expands the node `parent_id` (kRootId = the virtual root) whose path
@@ -100,13 +99,21 @@ void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
       // row 0 of z; the redundant rows are the regularity the compute-bound
       // refactoring trades for accelerator-friendly GEMM shapes.
       const index_t k = m - a;  // trailing block size
-      CMat a_block(k, k);
-      for (index_t r2 = 0; r2 < k; ++r2) {
+      // Operands live in detector-owned scratch (reshape keeps capacity;
+      // a_block rows are rewritten in full, s_mat / z fully overwritten).
+      // LevelGemm::kRow0 forms only row 0 of the product — the row the PD
+      // loop reads — with bit-identical values; see sphere_common.hpp.
+      const index_t zr = row0 ? 1 : k;
+      CMat& a_block = scratch_.a_block;
+      a_block.reshape(zr, k);
+      for (index_t r2 = 0; r2 < zr; ++r2) {
+        for (index_t t = 0; t < r2; ++t) a_block(r2, t) = cplx{0, 0};
         for (index_t t = r2; t < k; ++t) {
           a_block(r2, t) = pre.r(a + r2, a + t);
         }
       }
-      CMat s_mat(k, p);
+      CMat& s_mat = scratch_.s_mat;
+      s_mat.reshape(k, p);
       for (index_t col = 0; col < p; ++col) s_mat(0, col) = c_->point(col);
       for (index_t t = 1; t < k; ++t) {
         // Column a+t of R corresponds to the symbol decided at depth
@@ -114,13 +121,16 @@ void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
         const cplx sym = c_->point(path[static_cast<usize>(depth - t)]);
         for (index_t col = 0; col < p; ++col) s_mat(t, col) = sym;
       }
-      CMat z(k, p);
-      gemm(Op::kNone, cplx{1, 0}, a_block, s_mat, cplx{0, 0}, z);
+      CMat& z = scratch_.z;
+      z.reshape(zr, p);
+      gemm(Op::kNone, cplx{1, 0}, a_block, s_mat, cplx{0, 0}, z,
+           scratch_.gemm_ws);
       ++result.stats.gemm_calls;
-      result.stats.flops += gemm_flops(k, p, k);
+      result.stats.flops += gemm_flops(zr, p, k);
       result.stats.bytes_touched +=
-          sizeof(cplx) * (static_cast<std::uint64_t>(k) * k +
-                          static_cast<std::uint64_t>(k) * p + k * p);
+          sizeof(cplx) * (static_cast<std::uint64_t>(zr) * k +
+                          static_cast<std::uint64_t>(k) * p +
+                          static_cast<std::uint64_t>(zr) * p);
       const cplx target = pre.ybar[static_cast<usize>(a)];
       for (index_t col = 0; col < p; ++col) {
         children[static_cast<usize>(col)] = {
@@ -146,7 +156,7 @@ void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
 
     // Phase 3: prune against the radius.
     survivors.clear();
-    for (const Child& ch : children) {
+    for (const ScratchChild& ch : children) {
       if (static_cast<double>(ch.pd) < radius_sq) {
         survivors.push_back(ch);
       } else {
@@ -156,13 +166,15 @@ void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
     if (survivors.empty()) return;
 
     std::sort(survivors.begin(), survivors.end(),
-              [](const Child& x, const Child& y2) { return x.pd < y2.pd; });
+              [](const ScratchChild& x, const ScratchChild& y2) {
+                return x.pd < y2.pd;
+              });
     result.stats.sort_ops += sort_cost(static_cast<usize>(p));
 
     if (depth == m - 1) {
       // Leaf level: the best surviving child inside the radius becomes the
       // new incumbent and shrinks the sphere (Alg. 1 lines 7-9).
-      const Child& best_child = survivors.front();
+      const ScratchChild& best_child = survivors.front();
       ++result.stats.leaves_reached;
       // Its siblings can no longer beat the shrunken radius.
       result.stats.nodes_pruned += survivors.size() - 1;
@@ -177,11 +189,11 @@ void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
 
     // Interior level: commit survivors to the MST, push in sorted order.
     batch.clear();
-    for (const Child& ch : survivors) {
+    for (const ScratchChild& ch : survivors) {
       const NodeId id = mst.insert(depth, MstNode{parent_id, ch.symbol, ch.pd});
-      batch.push_back(ListEntry{id, ch.pd});
+      batch.push_back(ScratchNode{id, ch.pd});
     }
-    open.push_sorted_batch(std::span<const ListEntry>(batch));
+    open.push_sorted_batch(std::span<const ScratchNode>(batch));
   };
 
   for (int attempt = 0;; ++attempt) {
@@ -194,7 +206,7 @@ void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
         result.stats.node_budget_hit = true;
         break;
       }
-      const ListEntry entry = open.pop();
+      const ScratchNode entry = open.pop();
       // Lazy pruning: the radius may have shrunk since this node was pushed.
       if (static_cast<double>(entry.pd) >= radius_sq) {
         ++result.stats.nodes_pruned;
@@ -238,12 +250,13 @@ void SdGemmDetector::search(const Preprocessed& pre, double sigma2,
 
   // Depth d decided antenna (column) m-1-d; flip to column order, then undo
   // any SQRD permutation.
-  std::vector<index_t> layered(static_cast<usize>(m));
+  std::vector<index_t>& layered = scratch_.layered;
+  layered.resize(static_cast<usize>(m));
   for (index_t depth = 0; depth < m; ++depth) {
     layered[static_cast<usize>(m - 1 - depth)] =
         best_path[static_cast<usize>(depth)];
   }
-  result.indices = to_antenna_order(pre, layered);
+  to_antenna_order_into(pre, layered, result.indices);
   result.metric = best_pd;
   result.stats.search_seconds = timer.elapsed_seconds();
 }

@@ -16,6 +16,7 @@
 // The search tree lives in a Meta State Table, exactly as on the FPGA.
 #pragma once
 
+#include "decode/decode_scratch.hpp"
 #include "decode/detector.hpp"
 #include "decode/mst.hpp"
 #include "decode/sphere_common.hpp"
@@ -36,6 +37,11 @@ class SdGemmDetector final : public Detector {
   [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
                                     double sigma2) override;
 
+  /// Primary entry point: allocation-free in steady state (the scratch and
+  /// `out` reach their high-water capacity and are then recycled).
+  void decode_into(const CMat& h, std::span<const cplx> y, double sigma2,
+                   DecodeResult& out) override;
+
   /// Runs the tree search on an already-preprocessed triangular system.
   /// Exposed so the FPGA pipeline simulator can drive the identical search
   /// while charging hardware cycles. Stats are accumulated into `result`.
@@ -44,6 +50,7 @@ class SdGemmDetector final : public Detector {
  private:
   const Constellation* c_;
   SdOptions opts_;
+  DecodeScratch scratch_;
 };
 
 }  // namespace sd

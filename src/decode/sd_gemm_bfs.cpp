@@ -10,15 +10,6 @@
 
 namespace sd {
 
-namespace {
-
-struct FrontierNode {
-  NodeId id;
-  real pd;
-};
-
-}  // namespace
-
 SdGemmBfsDetector::SdGemmBfsDetector(const Constellation& constellation,
                                      BfsOptions options)
     : c_(&constellation), opts_(options) {
@@ -31,13 +22,19 @@ SdGemmBfsDetector::SdGemmBfsDetector(const Constellation& constellation,
 
 DecodeResult SdGemmBfsDetector::decode(const CMat& h, std::span<const cplx> y,
                                        double sigma2) {
-  SD_TRACE_SPAN("decode");
   DecodeResult result;
-  const Preprocessed pre = preprocess(h, y, opts_.base.sorted_qr);
-  result.stats.preprocess_seconds = pre.seconds;
-  search(pre, sigma2, result);
-  materialize_symbols(*c_, result);
+  decode_into(h, y, sigma2, result);
   return result;
+}
+
+void SdGemmBfsDetector::decode_into(const CMat& h, std::span<const cplx> y,
+                                    double sigma2, DecodeResult& out) {
+  SD_TRACE_SPAN("decode");
+  out.reset();
+  preprocess_into(h, y, opts_.base.sorted_qr, scratch_.prep, scratch_.pre);
+  out.stats.preprocess_seconds = scratch_.pre.seconds;
+  search(scratch_.pre, sigma2, out);
+  materialize_symbols(*c_, out);
 }
 
 void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
@@ -50,21 +47,25 @@ void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
 
   Timer timer;
 
-  MetaStateTable mst(m, 4096);
+  MetaStateTable& mst = scratch_.mst(m, 4096);
   double radius_sq = initial_radius_sq(opts_.base, sigma2, m);
 
-  std::vector<FrontierNode> frontier;
-  std::vector<FrontierNode> next;
-  std::vector<index_t> path(static_cast<usize>(m), 0);
+  const bool row0 = opts_.base.level_gemm == LevelGemm::kRow0;
+
+  std::vector<ScratchNode>& frontier = scratch_.frontier;
+  std::vector<ScratchNode>& next = scratch_.next;
+  std::vector<index_t>& path = scratch_.path;
+  path.assign(static_cast<usize>(m), 0);
 
   bool solved = false;
-  std::vector<index_t> best_path(static_cast<usize>(m), 0);
+  std::vector<index_t>& best_path = scratch_.best_path;
+  best_path.assign(static_cast<usize>(m), 0);
   double best_pd = std::numeric_limits<double>::infinity();
 
   for (int attempt = 0; !solved; ++attempt) {
     mst.reset();
     frontier.clear();
-    frontier.push_back(FrontierNode{kRootId, real{0}});
+    frontier.push_back(ScratchNode{kRootId, real{0}});
 
     for (index_t depth = 0; depth < m && !frontier.empty(); ++depth) {
       const index_t a = m - 1 - depth;
@@ -76,13 +77,26 @@ void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
       // candidate tree-state blocks of every frontier node's every child —
       // the large level-wide matrix product that [1] maps onto the GPU.
       // Row 0 carries the new level's contribution (the PD increment).
-      CMat a_block(k, k);
-      for (index_t r2 = 0; r2 < k; ++r2) {
+      //
+      // Operands live in detector-owned scratch: reshape() keeps the
+      // high-water allocation, a_block's full rows are (re)written including
+      // the explicit lower-triangle zeros reuse no longer provides, and
+      // s_mat / z are fully overwritten (z by the beta == 0 GEMM contract).
+      // In LevelGemm::kRow0 mode only row 0 of the product is formed — a
+      // 1 x k by k x cols GEMM — which is bit-identical to row 0 of the full
+      // product and what the PD loop below actually reads; flop/byte charges
+      // then reflect the smaller product.
+      const index_t zr = row0 ? 1 : k;
+      CMat& a_block = scratch_.a_block;
+      a_block.reshape(zr, k);
+      for (index_t r2 = 0; r2 < zr; ++r2) {
+        for (index_t t = 0; t < r2; ++t) a_block(r2, t) = cplx{0, 0};
         for (index_t t = r2; t < k; ++t) {
           a_block(r2, t) = pre.r(a + r2, a + t);
         }
       }
-      CMat s_mat(k, cols);
+      CMat& s_mat = scratch_.s_mat;
+      s_mat.reshape(k, cols);
       for (usize ni = 0; ni < f; ++ni) {
         if (frontier[ni].id != kRootId) {
           mst.path_symbols(frontier[ni].id, path);
@@ -98,13 +112,16 @@ void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
           }
         }
       }
-      CMat z(k, cols);
-      gemm(Op::kNone, cplx{1, 0}, a_block, s_mat, cplx{0, 0}, z);
+      CMat& z = scratch_.z;
+      z.reshape(zr, cols);
+      gemm(Op::kNone, cplx{1, 0}, a_block, s_mat, cplx{0, 0}, z,
+           scratch_.gemm_ws);
       ++result.stats.gemm_calls;
-      result.stats.flops += gemm_flops(k, cols, k);
+      result.stats.flops += gemm_flops(zr, cols, k);
       result.stats.bytes_touched +=
-          sizeof(cplx) * (static_cast<std::uint64_t>(k) * k +
-                          2ull * static_cast<std::uint64_t>(k) * cols);
+          sizeof(cplx) * (static_cast<std::uint64_t>(zr) * k +
+                          static_cast<std::uint64_t>(k) * cols +
+                          static_cast<std::uint64_t>(zr) * cols);
       result.stats.nodes_expanded += f;
       result.stats.nodes_generated += static_cast<std::uint64_t>(cols);
 
@@ -121,7 +138,7 @@ void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
           }
           const NodeId id =
               mst.insert(depth, MstNode{frontier[ni].id, c, pd});
-          next.push_back(FrontierNode{id, pd});
+          next.push_back(ScratchNode{id, pd});
         }
       }
 
@@ -143,7 +160,7 @@ void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
         std::partial_sort(next.begin(),
                           next.begin() + static_cast<std::ptrdiff_t>(opts_.max_frontier),
                           next.end(),
-                          [](const FrontierNode& x, const FrontierNode& y2) {
+                          [](const ScratchNode& x, const ScratchNode& y2) {
                             return x.pd < y2.pd ||
                                    (x.pd == y2.pd && x.id < y2.id);
                           });
@@ -160,7 +177,7 @@ void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
       // Leaf level survivors: the minimum-PD one is the solution.
       const auto best_it = std::min_element(
           frontier.begin(), frontier.end(),
-          [](const FrontierNode& x, const FrontierNode& y2) {
+          [](const ScratchNode& x, const ScratchNode& y2) {
             return x.pd < y2.pd;
           });
       result.stats.leaves_reached += frontier.size();
@@ -176,11 +193,12 @@ void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
     }
   }
 
-  std::vector<index_t> layered(static_cast<usize>(m));
+  std::vector<index_t>& layered = scratch_.layered;
+  layered.resize(static_cast<usize>(m));
   for (index_t d = 0; d < m; ++d) {
     layered[static_cast<usize>(m - 1 - d)] = best_path[static_cast<usize>(d)];
   }
-  result.indices = to_antenna_order(pre, layered);
+  to_antenna_order_into(pre, layered, result.indices);
   result.metric = best_pd;
   result.stats.search_seconds = timer.elapsed_seconds();
 }

@@ -11,6 +11,7 @@
 // feed the A100 timing model.
 #pragma once
 
+#include "decode/decode_scratch.hpp"
 #include "decode/detector.hpp"
 #include "decode/mst.hpp"
 #include "decode/sphere_common.hpp"
@@ -40,6 +41,11 @@ class SdGemmBfsDetector final : public Detector {
   [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
                                     double sigma2) override;
 
+  /// Primary entry point: allocation-free in steady state (the scratch and
+  /// `out` reach their high-water capacity and are then recycled).
+  void decode_into(const CMat& h, std::span<const cplx> y, double sigma2,
+                   DecodeResult& out) override;
+
   /// Tree search on an already-preprocessed system.
   void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
 
@@ -50,6 +56,7 @@ class SdGemmBfsDetector final : public Detector {
  private:
   const Constellation* c_;
   BfsOptions opts_;
+  DecodeScratch scratch_;
   bool truncated_ = false;
 };
 

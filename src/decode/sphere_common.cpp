@@ -10,9 +10,16 @@ namespace sd {
 
 Preprocessed preprocess(const CMat& h, std::span<const cplx> y,
                         bool sorted_qr) {
+  Preprocessed pre;
+  PreprocessScratch scratch;
+  preprocess_into(h, y, sorted_qr, scratch, pre);
+  return pre;
+}
+
+void preprocess_into(const CMat& h, std::span<const cplx> y, bool sorted_qr,
+                     PreprocessScratch& scratch, Preprocessed& pre) {
   SD_TRACE_SPAN("decode.preprocess.qr");
   SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");
-  Preprocessed pre;
   Timer timer;
   if (sorted_qr) {
     SortedQr sq = qr_sorted(h);
@@ -22,23 +29,33 @@ Preprocessed preprocess(const CMat& h, std::span<const cplx> y,
     pre.ybar.assign(static_cast<usize>(h.cols()), cplx{0, 0});
     gemv(Op::kConjTrans, cplx{1, 0}, sq.q, y, cplx{0, 0}, pre.ybar);
   } else {
-    const QrFactorization qr(h);
-    pre.r = qr.r();
-    pre.ybar = qr.apply_qh(y);
+    scratch.qr.factor(h);
+    pre.r = scratch.qr.r();  // copy-assign; reuses pre's storage
+    scratch.qr.apply_qh_into(y, pre.ybar, scratch.work);
+    pre.perm.clear();
   }
   pre.seconds = timer.elapsed_seconds();
-  return pre;
 }
 
 std::vector<index_t> to_antenna_order(const Preprocessed& pre,
                                       const std::vector<index_t>& layered) {
-  if (pre.perm.empty()) return layered;
+  std::vector<index_t> out;
+  to_antenna_order_into(pre, layered, out);
+  return out;
+}
+
+void to_antenna_order_into(const Preprocessed& pre,
+                           const std::vector<index_t>& layered,
+                           std::vector<index_t>& out) {
+  if (pre.perm.empty()) {
+    out.assign(layered.begin(), layered.end());
+    return;
+  }
   SD_CHECK(pre.perm.size() == layered.size(), "permutation length mismatch");
-  std::vector<index_t> out(layered.size());
+  out.resize(layered.size());
   for (usize k = 0; k < layered.size(); ++k) {
     out[static_cast<usize>(pre.perm[k])] = layered[k];
   }
-  return out;
 }
 
 double initial_radius_sq(const SdOptions& opts, double sigma2, index_t num_rx) {

@@ -22,6 +22,22 @@ enum class RadiusPolicy : std::uint8_t {
                ///< the BFS/GPU variant, which needs a finite radius to prune)
 };
 
+/// Shape of the per-level / per-expansion evaluation GEMM.
+///
+/// The paper's formulation multiplies the FULL trailing k x k block of R by
+/// the tree-state matrix even though only row 0 of the product carries new
+/// information (the PD increment); the redundant rows are the regularity that
+/// makes the kernel accelerator-friendly, and the flop counts they generate
+/// feed the device timing models. kRow0 computes just that row — a 1 x k by
+/// k x cols product — cutting the arithmetic by a factor of k while producing
+/// bit-identical PDs (each output element's reduction is unchanged; see
+/// DESIGN.md). It is an opt-in CPU fast path: default stays kFull so the
+/// paper-fidelity flop accounting and every golden constant are untouched.
+enum class LevelGemm : std::uint8_t {
+  kFull,  ///< full k x k trailing block product (paper-faithful; default)
+  kRow0   ///< only row 0 of the product (CPU fast path, same PDs bit-for-bit)
+};
+
 /// Options common to all tree-search detectors.
 struct SdOptions {
   RadiusPolicy radius_policy = RadiusPolicy::kInfinite;
@@ -31,6 +47,7 @@ struct SdOptions {
   bool sorted_qr = false;         ///< use SQRD layer ordering (ablation)
   bool gemm_eval = true;          ///< batched GEMM child evaluation (paper)
                                   ///< vs scalar incremental (ablation)
+  LevelGemm level_gemm = LevelGemm::kFull;  ///< evaluation GEMM shape
 };
 
 /// Result of detection preprocessing: the triangular system ybar = R s.
@@ -41,13 +58,33 @@ struct Preprocessed {
   double seconds = 0.0;        ///< measured preprocessing time
 };
 
+/// Reusable preprocessing workspace: the Householder factorization object
+/// (which recycles its internal panels across factor() calls) plus the
+/// length-N apply_qh intermediate.
+struct PreprocessScratch {
+  QrFactorization qr;
+  CVec work;
+};
+
 /// Runs QR (plain Householder or SQRD) and computes ybar.
 [[nodiscard]] Preprocessed preprocess(const CMat& h, std::span<const cplx> y,
                                       bool sorted_qr);
 
+/// Allocation-aware preprocess: writes into `pre`, reusing its capacity and
+/// the scratch. The Householder path is heap-allocation-free in steady state
+/// (after warm-up at a given problem shape); the sorted-QR ablation path
+/// still allocates inside qr_sorted(). Bitwise-identical to preprocess().
+void preprocess_into(const CMat& h, std::span<const cplx> y, bool sorted_qr,
+                     PreprocessScratch& scratch, Preprocessed& pre);
+
 /// Converts layer-ordered detected indices back to antenna order.
 [[nodiscard]] std::vector<index_t> to_antenna_order(
     const Preprocessed& pre, const std::vector<index_t>& layered);
+
+/// Allocation-aware variant of to_antenna_order; `out` capacity is reused.
+void to_antenna_order_into(const Preprocessed& pre,
+                           const std::vector<index_t>& layered,
+                           std::vector<index_t>& out);
 
 /// Initial squared radius for the configured policy.
 [[nodiscard]] double initial_radius_sq(const SdOptions& opts, double sigma2,

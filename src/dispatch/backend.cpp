@@ -256,7 +256,7 @@ void Backend::process(unsigned lane, Detector& primary, Detector& kbest,
       SD_TRACE_SPAN("dispatch.zf_fallback");
       r.status = serve::FrameStatus::kExpiredFallback;
       r.tier = serve::DecodeTier::kLinear;
-      r.result = linear.decode(frame.h, frame.y, frame.sigma2);
+      linear.decode_into(frame.h, frame.y, frame.sigma2, r.result);
     } else {
       r.status = serve::FrameStatus::kExpiredDropped;
     }
@@ -267,7 +267,7 @@ void Backend::process(unsigned lane, Detector& primary, Detector& kbest,
                                                               : linear;
     {
       SD_TRACE_SPAN("dispatch.decode");
-      r.result = chosen.decode(frame.h, frame.y, frame.sigma2);
+      chosen.decode_into(frame.h, frame.y, frame.sigma2, r.result);
     }
     if (cfg_.pace_to_charged) {
       // Pace the lane to the charged device time plus the transfer RTT: the

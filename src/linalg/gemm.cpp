@@ -1,8 +1,12 @@
 #include "linalg/gemm.hpp"
 
-#include <vector>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "linalg/gemm_detail.hpp"
+#include "obs/counters.hpp"
 
 namespace sd {
 
@@ -17,29 +21,90 @@ void check_gemm_shapes(Op op_a, const CMat& a, const CMat& b, const CMat& c) {
 
 /// Element of op(A) at logical position (r, c).
 inline cplx op_at(Op op, const CMat& a, index_t r, index_t c) noexcept {
-  return op == Op::kNone ? a(r, c) : std::conj(a(c, r));
+  return detail::gemm_op_at(op, a, r, c);
+}
+
+GemmKernel parse_kernel_env() noexcept {
+  const char* v = std::getenv("SD_GEMM_KERNEL");
+  if (v == nullptr) return GemmKernel::kAuto;
+  if (std::strcmp(v, "scalar") == 0 || std::strcmp(v, "packed") == 0) {
+    return GemmKernel::kScalar;
+  }
+  if (std::strcmp(v, "soa") == 0) return GemmKernel::kSoa;
+  return GemmKernel::kAuto;  // unknown values mean "no override"
+}
+
+std::atomic<GemmKernel>& kernel_override_slot() noexcept {
+  static std::atomic<GemmKernel> slot{parse_kernel_env()};
+  return slot;
 }
 
 }  // namespace
+
+bool gemm_soa_available() noexcept {
+  static const bool ok =
+      detail::gemm_soa_compiled() && detail::gemm_soa_runtime_ok();
+  return ok;
+}
+
+void set_gemm_kernel_override(GemmKernel kernel) noexcept {
+  kernel_override_slot().store(kernel, std::memory_order_relaxed);
+}
+
+GemmKernel gemm_kernel_override() noexcept {
+  return kernel_override_slot().load(std::memory_order_relaxed);
+}
+
+GemmKernel active_gemm_kernel() noexcept {
+  switch (gemm_kernel_override()) {
+    case GemmKernel::kScalar:
+      return GemmKernel::kScalar;
+    case GemmKernel::kSoa:
+    case GemmKernel::kAuto:
+      break;
+  }
+  return gemm_soa_available() ? GemmKernel::kSoa : GemmKernel::kScalar;
+}
+
+GemmWorkspace& GemmWorkspace::thread_local_instance() {
+  thread_local GemmWorkspace ws;
+  return ws;
+}
+
+void GemmWorkspace::export_counters(obs::CounterRegistry& registry,
+                                    std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.set(p + ".acquires", stats_.acquires);
+  registry.set(p + ".grow_events", stats_.grow_events);
+  registry.set(p + ".bytes_reserved", stats_.bytes_reserved);
+}
 
 void gemm_naive(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
                 CMat& c) {
   check_gemm_shapes(op_a, a, b, c);
   const auto [m, k] = detail::op_shape(op_a, a);
   const index_t n = b.cols();
+  // beta == 0 must overwrite C: `alpha*acc + beta*c` would propagate stale
+  // NaN/Inf from uninitialized C contents (the classic BLAS beta-zero bug).
+  const bool overwrite = beta == cplx{0, 0};
   for (index_t i = 0; i < m; ++i) {
     for (index_t j = 0; j < n; ++j) {
       cplx acc{0, 0};
       for (index_t p = 0; p < k; ++p) {
         acc += op_at(op_a, a, i, p) * b(p, j);
       }
-      c(i, j) = alpha * acc + beta * c(i, j);
+      c(i, j) = overwrite ? alpha * acc : alpha * acc + beta * c(i, j);
     }
   }
 }
 
 void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
           CMat& c) {
+  gemm(op_a, alpha, a, b, beta, c, GemmWorkspace::thread_local_instance());
+}
+
+void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+          CMat& c, GemmWorkspace& ws) {
   check_gemm_shapes(op_a, a, b, c);
   const auto [m, k] = detail::op_shape(op_a, a);
   const index_t n = b.cols();
@@ -57,11 +122,47 @@ void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
     gemm_naive(op_a, alpha, a, b, beta, c);
     return;
   }
-  gemm_packed(op_a, alpha, a, b, beta, c);
+  gemm_packed(op_a, alpha, a, b, beta, c, ws);
 }
 
 void gemm_packed(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
                  CMat& c) {
+  gemm_packed(op_a, alpha, a, b, beta, c,
+              GemmWorkspace::thread_local_instance());
+}
+
+void gemm_packed(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+                 CMat& c, GemmWorkspace& ws) {
+  if (active_gemm_kernel() == GemmKernel::kSoa) {
+    check_gemm_shapes(op_a, a, b, c);
+    detail::gemm_packed_soa_impl(op_a, alpha, a, b, beta, c, ws);
+    return;
+  }
+  gemm_packed_scalar(op_a, alpha, a, b, beta, c, ws);
+}
+
+void gemm_packed_soa(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                     cplx beta, CMat& c) {
+  gemm_packed_soa(op_a, alpha, a, b, beta, c,
+                  GemmWorkspace::thread_local_instance());
+}
+
+void gemm_packed_soa(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                     cplx beta, CMat& c, GemmWorkspace& ws) {
+  SD_CHECK(gemm_soa_available(),
+           "SoA GEMM kernel not available on this build/CPU");
+  check_gemm_shapes(op_a, a, b, c);
+  detail::gemm_packed_soa_impl(op_a, alpha, a, b, beta, c, ws);
+}
+
+void gemm_packed_scalar(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                        cplx beta, CMat& c) {
+  gemm_packed_scalar(op_a, alpha, a, b, beta, c,
+                     GemmWorkspace::thread_local_instance());
+}
+
+void gemm_packed_scalar(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                        cplx beta, CMat& c, GemmWorkspace& ws) {
   check_gemm_shapes(op_a, a, b, c);
   const auto [m, k] = detail::op_shape(op_a, a);
   const index_t n = b.cols();
@@ -74,14 +175,13 @@ void gemm_packed(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
 
   // Pack op(A) block rows contiguously once per (i-block, p-block) so the
   // micro-kernel streams both operands with unit stride; this is the CPU
-  // analogue of the FPGA design's prefetch/double-buffer unit.
-  std::vector<cplx> a_pack(static_cast<usize>(kMC) * kKC);
-  std::vector<cplx> b_pack(static_cast<usize>(kKC) * kNC);
+  // analogue of the FPGA design's prefetch/double-buffer unit. The panel
+  // buffers come from the workspace, so a warmed call allocates nothing.
+  const auto a_pack = ws.a_pack(static_cast<usize>(kMC) * kKC);
+  const auto b_pack = ws.b_pack(static_cast<usize>(kKC) * kNC);
 
-  // beta-scale C once up front so the kernel can accumulate with +=.
-  if (beta != cplx{1, 0}) {
-    for (cplx& v : c.flat()) v *= beta;
-  }
+  // beta pre-step (overwrite / keep / scale) so the kernel accumulates +=.
+  detail::gemm_apply_beta(beta, c);
 
   for (index_t pc = 0; pc < k; pc += kKC) {
     const index_t kb = std::min(kKC, k - pc);
@@ -153,19 +253,27 @@ void gemm_packed(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
 
 void gemv(Op op_a, cplx alpha, const CMat& a, std::span<const cplx> x,
           cplx beta, std::span<cplx> y) {
+  gemv(op_a, alpha, a, x, beta, y, GemmWorkspace::thread_local_instance());
+}
+
+void gemv(Op op_a, cplx alpha, const CMat& a, std::span<const cplx> x,
+          cplx beta, std::span<cplx> y, GemmWorkspace& ws) {
   const auto [m, k] = detail::op_shape(op_a, a);
   SD_CHECK(static_cast<index_t>(x.size()) == k, "GEMV x length must equal k");
   SD_CHECK(static_cast<index_t>(y.size()) == m, "GEMV y length must equal m");
+  const bool overwrite = beta == cplx{0, 0};
   if (op_a == Op::kNone) {
     for (index_t i = 0; i < m; ++i) {
       cplx acc{0, 0};
       const auto row = a.row(i);
       for (index_t p = 0; p < k; ++p) acc += row[p] * x[p];
-      y[i] = alpha * acc + beta * y[i];
+      y[i] = overwrite ? alpha * acc : alpha * acc + beta * y[i];
     }
   } else {
     // y = alpha * A^H x: accumulate column-wise to keep A row-major friendly.
-    std::vector<cplx> acc(static_cast<usize>(m), cplx{0, 0});
+    // The accumulator lives in the workspace, not on the heap per call.
+    const auto acc = ws.gemv_acc(static_cast<usize>(m));
+    std::fill(acc.begin(), acc.end(), cplx{0, 0});
     for (index_t r = 0; r < a.rows(); ++r) {
       const auto row = a.row(r);
       const cplx xr = x[r];
@@ -174,7 +282,7 @@ void gemv(Op op_a, cplx alpha, const CMat& a, std::span<const cplx> x,
       }
     }
     for (index_t i = 0; i < m; ++i) {
-      y[i] = alpha * acc[i] + beta * y[i];
+      y[i] = overwrite ? alpha * acc[i] : alpha * acc[i] + beta * y[i];
     }
   }
 }

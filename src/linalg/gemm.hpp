@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 
+#include "linalg/gemm_workspace.hpp"
 #include "linalg/matrix.hpp"
 
 namespace sd {
@@ -20,6 +21,31 @@ enum class Op : std::uint8_t {
   kNone,       ///< use A as stored
   kConjTrans,  ///< use A^H (conjugate transpose)
 };
+
+/// Which micro-kernel backs gemm_packed. The scalar and SoA kernels are
+/// bit-identical by construction (same blocking, same per-element reduction
+/// order, no FMA contraction — DESIGN.md §on CPU GEMM kernels), so the
+/// selection is a pure performance choice and never changes results.
+enum class GemmKernel : std::uint8_t {
+  kAuto,    ///< SoA where compiled in and the CPU supports it, else scalar
+  kScalar,  ///< force the scalar (interleaved std::complex) packed kernel
+  kSoa,     ///< force the split-complex SIMD kernel (scalar if unavailable)
+};
+
+/// True iff the split-complex SIMD kernel is compiled into this binary AND
+/// the executing CPU supports it (AVX2).
+[[nodiscard]] bool gemm_soa_available() noexcept;
+
+/// Overrides kernel selection process-wide (A/B testing; also settable via
+/// the SD_GEMM_KERNEL environment variable: "auto" | "scalar" | "soa").
+/// The programmatic override wins over the environment.
+void set_gemm_kernel_override(GemmKernel kernel) noexcept;
+[[nodiscard]] GemmKernel gemm_kernel_override() noexcept;
+
+/// The kernel gemm_packed resolves to right now: kScalar or kSoa. A forced
+/// kSoa degrades to kScalar when the SoA kernel is unavailable, so callers
+/// (benchmarks) can label series with what actually ran.
+[[nodiscard]] GemmKernel active_gemm_kernel() noexcept;
 
 /// Panel blocking constants of the packed kernel. kGemmKc is the K-dimension
 /// panel depth: within one K-panel the packed kernel accumulates in plain
@@ -33,14 +59,35 @@ inline constexpr index_t kGemmNc = 128;
 /// C = alpha * op(A) * B + beta * C. Reference implementation, used as the
 /// test oracle and by the un-optimized "baseline" device models.
 /// Shapes: op(A) is m x k, B is k x n, C is m x n.
+/// beta == 0 OVERWRITES C (BLAS semantics: stale NaN/Inf never propagate).
 void gemm_naive(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
                 CMat& c);
 
-/// C = alpha * op(A) * B + beta * C. The cache-blocked, operand-packed
-/// kernel, always (no small-shape dispatch). Exposed so tests can pin the
-/// fast path's bitwise-identity claim against it on boundary shapes.
+/// C = alpha * op(A) * B + beta * C. The cache-blocked, operand-packed path,
+/// always (no small-shape dispatch), backed by the scalar or the SoA kernel
+/// per active_gemm_kernel() — a choice that never changes the result bits.
+/// Exposed so tests can pin the fast path's bitwise-identity claim against
+/// it on boundary shapes. The overload without a workspace uses the calling
+/// thread's default (GemmWorkspace::thread_local_instance()).
 void gemm_packed(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
                  CMat& c);
+void gemm_packed(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+                 CMat& c, GemmWorkspace& ws);
+
+/// The scalar (interleaved std::complex) packed kernel, unconditionally —
+/// the A/B baseline the SoA kernel is pinned against.
+void gemm_packed_scalar(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                        cplx beta, CMat& c);
+void gemm_packed_scalar(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                        cplx beta, CMat& c, GemmWorkspace& ws);
+
+/// The split-complex (SoA planes, SIMD-across-columns) packed kernel,
+/// unconditionally. Throws sd::invalid_argument_error when
+/// !gemm_soa_available(); use gemm_packed for graceful dispatch.
+void gemm_packed_soa(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                     cplx beta, CMat& c);
+void gemm_packed_soa(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                     cplx beta, CMat& c, GemmWorkspace& ws);
 
 /// C = alpha * op(A) * B + beta * C. Cache-blocked, operand-packed kernel —
 /// the "optimized CPU" implementation. Small shapes (m*n*k <= 4096 AND
@@ -49,11 +96,16 @@ void gemm_packed(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
 /// the dispatch decision.
 void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
           CMat& c);
+void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
+          CMat& c, GemmWorkspace& ws);
 
 /// y = alpha * op(A) * x + beta * y (BLAS-2). Shapes: op(A) is m x k, x has
-/// length k, y has length m.
+/// length k, y has length m. The conjugate-transpose path accumulates in a
+/// workspace buffer (thread-local default when none is given).
 void gemv(Op op_a, cplx alpha, const CMat& a, std::span<const cplx> x,
           cplx beta, std::span<cplx> y);
+void gemv(Op op_a, cplx alpha, const CMat& a, std::span<const cplx> x,
+          cplx beta, std::span<cplx> y, GemmWorkspace& ws);
 
 /// Complex multiply-add FLOP count of one m x n x k GEMM. One complex MAC is
 /// 8 real FLOPs (4 mul + 4 add); used by the device timing models.

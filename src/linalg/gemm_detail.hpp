@@ -1,0 +1,43 @@
+// Internal machinery shared by the GEMM kernel translation units
+// (gemm.cpp and gemm_soa_avx2.cpp). Not part of the public linalg API.
+#pragma once
+
+#include "linalg/gemm.hpp"
+#include "linalg/gemm_workspace.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sd::detail {
+
+/// Element of op(A) at logical position (r, c).
+[[nodiscard]] inline cplx gemm_op_at(Op op, const CMat& a, index_t r,
+                                     index_t c) noexcept {
+  return op == Op::kNone ? a(r, c) : std::conj(a(c, r));
+}
+
+/// The common beta pre-step of the packed kernels: beta == 0 OVERWRITES C
+/// (BLAS semantics — stale NaN/Inf contents must not propagate), beta == 1
+/// leaves it, anything else scales it. After this the kernels accumulate
+/// with +=.
+inline void gemm_apply_beta(cplx beta, CMat& c) {
+  if (beta == cplx{0, 0}) {
+    c.fill(cplx{0, 0});
+  } else if (beta != cplx{1, 0}) {
+    for (cplx& v : c.flat()) v *= beta;
+  }
+}
+
+/// True iff this binary contains the AVX2 split-complex kernel (the TU was
+/// compiled with AVX2 support).
+[[nodiscard]] bool gemm_soa_compiled() noexcept;
+
+/// True iff the executing CPU supports the instructions the SoA kernel uses.
+[[nodiscard]] bool gemm_soa_runtime_ok() noexcept;
+
+/// The split-complex (SoA) packed kernel. Preconditions: shapes checked,
+/// gemm_soa_compiled() && gemm_soa_runtime_ok(). Bit-identical to the scalar
+/// packed kernel by construction (same blocking, same per-element reduction
+/// order, no FMA contraction — see DESIGN.md).
+void gemm_packed_soa_impl(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                          cplx beta, CMat& c, GemmWorkspace& ws);
+
+}  // namespace sd::detail

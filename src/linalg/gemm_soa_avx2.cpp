@@ -1,0 +1,183 @@
+// Split-complex (SoA) packed GEMM kernel, vectorized with AVX2.
+//
+// Strategy: identical cache blocking to the scalar packed kernel (kGemmMc /
+// kGemmKc / kGemmNc panels), but the panels are packed into separate
+// real/imag float planes and the micro-kernel vectorizes ACROSS OUTPUT
+// COLUMNS: one AVX2 lane owns one output element, with its own independent
+// (re, im) accumulator pair. Each element's k-reduction therefore runs in
+// exactly the scalar kernel's ascending-p order within each K panel, and the
+// complex multiply-accumulate is decomposed into the same primitive float
+// ops (mul, mul, sub / mul, mul, add) the scalar std::complex kernel
+// performs — which is what makes the two kernels BIT-IDENTICAL, not merely
+// close.
+//
+// Determinism contract (pinned by tests/test_gemm_soa.cpp):
+//   1. Same blocking constants => same per-panel partial-sum structure for
+//      k > kGemmKc.
+//   2. Per element, products accumulate in ascending p; fp addition is
+//      commutative, so `ar*bi + ai*br` matches std::complex's imag part
+//      bit-for-bit regardless of operand order.
+//   3. NO FMA: this translation unit is compiled with -ffp-contract=off
+//      (see src/linalg/CMakeLists.txt) and uses no fmadd intrinsics, so a
+//      mul+add pair is never contracted into a single-rounding FMA. The
+//      scalar kernel targets baseline x86-64 (no FMA instructions exist
+//      there), so both kernels round every product and every sum once.
+//
+// The TU is compiled with -mavx2 only where the compiler supports it; on
+// other targets it degrades to stubs reporting the kernel unavailable.
+#include "linalg/gemm_detail.hpp"
+
+#include "common/error.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace sd::detail {
+
+bool gemm_soa_compiled() noexcept {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool gemm_soa_runtime_ok() noexcept {
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+#if !defined(__AVX2__)
+
+void gemm_packed_soa_impl(Op, cplx, const CMat&, const CMat&, cplx, CMat&,
+                          GemmWorkspace&) {
+  SD_CHECK(false, "SoA GEMM kernel not compiled into this binary");
+}
+
+#else
+
+void gemm_packed_soa_impl(Op op_a, cplx alpha, const CMat& a, const CMat& b,
+                          cplx beta, CMat& c, GemmWorkspace& ws) {
+  const auto [m, k] = op_shape(op_a, a);
+  const index_t n = b.cols();
+
+  constexpr index_t kMC = kGemmMc;
+  constexpr index_t kKC = kGemmKc;
+  constexpr index_t kNC = kGemmNc;
+  constexpr usize kAPlane = static_cast<usize>(kMC) * kKC;
+  constexpr usize kBPlane = static_cast<usize>(kKC) * kNC;
+
+  // Split-complex panel planes: [0, plane) real, [plane, 2*plane) imag.
+  const auto a_buf = ws.a_planes(kAPlane);
+  const auto b_buf = ws.b_planes(kBPlane);
+  real* const a_re = a_buf.data();
+  real* const a_im = a_buf.data() + kAPlane;
+  real* const b_re = b_buf.data();
+  real* const b_im = b_buf.data() + kBPlane;
+
+  gemm_apply_beta(beta, c);
+
+  const real alpha_re = alpha.real();
+  const real alpha_im = alpha.imag();
+  const __m256 v_alpha_re = _mm256_set1_ps(alpha_re);
+  const __m256 v_alpha_im = _mm256_set1_ps(alpha_im);
+
+  for (index_t pc = 0; pc < k; pc += kKC) {
+    const index_t kb = std::min(kKC, k - pc);
+    for (index_t jc = 0; jc < n; jc += kNC) {
+      const index_t nb = std::min(kNC, n - jc);
+      // Pack (deinterleave) the B block (kb x nb), row-major planes.
+      for (index_t p = 0; p < kb; ++p) {
+        const cplx* src = &b(pc + p, jc);
+        real* dr = b_re + static_cast<usize>(p) * nb;
+        real* di = b_im + static_cast<usize>(p) * nb;
+        for (index_t j = 0; j < nb; ++j) {
+          dr[j] = src[j].real();
+          di[j] = src[j].imag();
+        }
+      }
+      for (index_t ic = 0; ic < m; ic += kMC) {
+        const index_t mb = std::min(kMC, m - ic);
+        // Pack op(A) block (mb x kb) planes.
+        for (index_t i = 0; i < mb; ++i) {
+          real* dr = a_re + static_cast<usize>(i) * kb;
+          real* di = a_im + static_cast<usize>(i) * kb;
+          for (index_t p = 0; p < kb; ++p) {
+            const cplx v = gemm_op_at(op_a, a, ic + i, pc + p);
+            dr[p] = v.real();
+            di[p] = v.imag();
+          }
+        }
+        // Micro-kernel: one output row at a time, 8 output columns per
+        // iteration; per-lane independent accumulators keep each element's
+        // reduction order equal to the scalar kernel's.
+        for (index_t i = 0; i < mb; ++i) {
+          const real* ar_row = a_re + static_cast<usize>(i) * kb;
+          const real* ai_row = a_im + static_cast<usize>(i) * kb;
+          index_t j = 0;
+          for (; j + 8 <= nb; j += 8) {
+            __m256 acc_re = _mm256_setzero_ps();
+            __m256 acc_im = _mm256_setzero_ps();
+            const real* brp = b_re + j;
+            const real* bip = b_im + j;
+            for (index_t p = 0; p < kb; ++p, brp += nb, bip += nb) {
+              const __m256 ar = _mm256_broadcast_ss(ar_row + p);
+              const __m256 ai = _mm256_broadcast_ss(ai_row + p);
+              const __m256 br = _mm256_loadu_ps(brp);
+              const __m256 bi = _mm256_loadu_ps(bip);
+              acc_re = _mm256_add_ps(
+                  acc_re, _mm256_sub_ps(_mm256_mul_ps(ar, br),
+                                        _mm256_mul_ps(ai, bi)));
+              acc_im = _mm256_add_ps(
+                  acc_im, _mm256_add_ps(_mm256_mul_ps(ar, bi),
+                                        _mm256_mul_ps(ai, br)));
+            }
+            // c(i, j..j+7) += alpha * acc, as in the scalar epilogue.
+            const __m256 out_re =
+                _mm256_sub_ps(_mm256_mul_ps(v_alpha_re, acc_re),
+                              _mm256_mul_ps(v_alpha_im, acc_im));
+            const __m256 out_im =
+                _mm256_add_ps(_mm256_mul_ps(v_alpha_re, acc_im),
+                              _mm256_mul_ps(v_alpha_im, acc_re));
+            // Re-interleave (r,i) lane pairs and accumulate into C.
+            const __m256 lo = _mm256_unpacklo_ps(out_re, out_im);
+            const __m256 hi = _mm256_unpackhi_ps(out_re, out_im);
+            const __m256 first = _mm256_permute2f128_ps(lo, hi, 0x20);
+            const __m256 second = _mm256_permute2f128_ps(lo, hi, 0x31);
+            real* cp = reinterpret_cast<real*>(&c(ic + i, jc + j));
+            _mm256_storeu_ps(cp,
+                             _mm256_add_ps(_mm256_loadu_ps(cp), first));
+            _mm256_storeu_ps(
+                cp + 8, _mm256_add_ps(_mm256_loadu_ps(cp + 8), second));
+          }
+          // Column tail: same primitive op sequence, scalar lanes.
+          for (; j < nb; ++j) {
+            real acc_re = 0, acc_im = 0;
+            const real* brp = b_re + j;
+            const real* bip = b_im + j;
+            for (index_t p = 0; p < kb; ++p, brp += nb, bip += nb) {
+              const real ar = ar_row[p];
+              const real ai = ai_row[p];
+              const real br = *brp;
+              const real bi = *bip;
+              acc_re += ar * br - ai * bi;
+              acc_im += ar * bi + ai * br;
+            }
+            const real out_re = alpha_re * acc_re - alpha_im * acc_im;
+            const real out_im = alpha_re * acc_im + alpha_im * acc_re;
+            cplx& dst = c(ic + i, jc + j);
+            dst = cplx{dst.real() + out_re, dst.imag() + out_im};
+          }
+        }
+      }
+    }
+  }
+}
+
+#endif  // __AVX2__
+
+}  // namespace sd::detail

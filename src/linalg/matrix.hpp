@@ -84,6 +84,16 @@ class Mat {
     data_.assign(checked_size(rows, cols), T{});
   }
 
+  /// Resizes WITHOUT clearing: surviving elements keep their (reinterpreted)
+  /// values, so the caller must overwrite every element it reads. This is
+  /// the scratch-reuse primitive — once the backing vector reaches its
+  /// high-water capacity, reshape never allocates again.
+  void reshape(index_t rows, index_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(checked_size(rows, cols));
+  }
+
   /// Identity matrix of dimension n.
   [[nodiscard]] static Mat identity(index_t n) {
     Mat m(n, n);

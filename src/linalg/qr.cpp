@@ -18,11 +18,15 @@ cplx unit_phase(cplx z) noexcept {
 
 }  // namespace
 
-QrFactorization::QrFactorization(const CMat& h) : n_(h.rows()), m_(h.cols()) {
+void QrFactorization::factor(const CMat& h) {
+  n_ = h.rows();
+  m_ = h.cols();
   SD_CHECK(n_ >= m_ && m_ > 0, "QR requires an N x M matrix with N >= M > 0");
 
-  // Work on a copy that is progressively triangularized in place.
-  CMat a = h;
+  // Work on a copy that is progressively triangularized in place. Copy
+  // assignment reuses the previous factorization's storage.
+  work_ = h;
+  CMat& a = work_;
   reflectors_.reset(n_, m_);
   v_norm2_.assign(static_cast<usize>(m_), real{0});
   row_phase_.assign(static_cast<usize>(m_), cplx{1, 0});
@@ -87,8 +91,17 @@ QrFactorization::QrFactorization(const CMat& h) : n_(h.rows()), m_(h.cols()) {
 }
 
 CVec QrFactorization::apply_qh(std::span<const cplx> y) const {
+  CVec ybar;
+  CVec work;
+  apply_qh_into(y, ybar, work);
+  return ybar;
+}
+
+void QrFactorization::apply_qh_into(std::span<const cplx> y, CVec& ybar,
+                                    CVec& work) const {
   SD_CHECK(static_cast<index_t>(y.size()) == n_, "y length must equal N");
-  CVec w(y.begin(), y.end());
+  work.assign(y.begin(), y.end());
+  CVec& w = work;
   for (index_t k = 0; k < m_; ++k) {
     const real vnorm2 = v_norm2_[static_cast<usize>(k)];
     if (vnorm2 <= real{0}) continue;
@@ -102,12 +115,11 @@ CVec QrFactorization::apply_qh(std::span<const cplx> y) const {
       w[static_cast<usize>(i)] -= dot * reflectors_(i, k);
     }
   }
-  CVec ybar(static_cast<usize>(m_));
+  ybar.resize(static_cast<usize>(m_));
   for (index_t k = 0; k < m_; ++k) {
     ybar[static_cast<usize>(k)] =
         row_phase_[static_cast<usize>(k)] * w[static_cast<usize>(k)];
   }
-  return ybar;
 }
 
 CMat QrFactorization::thin_q() const {

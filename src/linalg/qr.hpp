@@ -20,8 +20,17 @@ namespace sd {
 /// preprocessing step runs on the host in the paper's system.
 class QrFactorization {
  public:
+  /// Empty factorization; call factor() before any query.
+  QrFactorization() = default;
+
   /// Factorizes H (N x M, N >= M). Throws on shape violations.
-  explicit QrFactorization(const CMat& h);
+  explicit QrFactorization(const CMat& h) { factor(h); }
+
+  /// (Re)factorizes H in place, recycling all internal storage. After the
+  /// first call with a given shape, refactoring performs no heap allocation —
+  /// this is what lets the decoders' preprocess step run allocation-free in
+  /// steady state.
+  void factor(const CMat& h);
 
   [[nodiscard]] index_t rows() const noexcept { return n_; }
   [[nodiscard]] index_t cols() const noexcept { return m_; }
@@ -33,6 +42,10 @@ class QrFactorization {
   /// the triangular search needs. y must have length N.
   [[nodiscard]] CVec apply_qh(std::span<const cplx> y) const;
 
+  /// Allocation-free apply_qh: writes ybar (resized to M) using `work` as the
+  /// length-N intermediate. Bitwise-identical to apply_qh().
+  void apply_qh_into(std::span<const cplx> y, CVec& ybar, CVec& work) const;
+
   /// Reconstructs the thin N x M Q factor (orthonormal columns). Used by
   /// tests and by code that needs explicit Q; O(N*M^2).
   [[nodiscard]] CMat thin_q() const;
@@ -40,6 +53,7 @@ class QrFactorization {
  private:
   index_t n_ = 0;
   index_t m_ = 0;
+  CMat work_;                  ///< factor() working copy of H
   CMat reflectors_;            ///< Householder vectors, column k in rows k..N-1
   std::vector<real> v_norm2_;  ///< squared norms of each reflector
   std::vector<cplx> row_phase_;  ///< per-row phase applied to make diag(R) real

@@ -1,0 +1,67 @@
+#include "obs/alloc_count.hpp"
+
+#include <atomic>
+#include <string>
+
+#include "obs/counters.hpp"
+
+namespace sd::obs {
+
+namespace {
+
+// Constant-initialized so counting is valid even for allocations made during
+// static initialization, before any user code runs.
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_deallocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_hooks_linked{false};
+
+}  // namespace
+
+bool alloc_counting_available() noexcept {
+  return g_hooks_linked.load(std::memory_order_relaxed);
+}
+
+AllocCounts alloc_counts() noexcept {
+  AllocCounts c;
+  c.allocations = g_allocations.load(std::memory_order_relaxed);
+  c.deallocations = g_deallocations.load(std::memory_order_relaxed);
+  c.bytes = g_bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_alloc_counts() noexcept {
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_deallocations.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+}
+
+void export_alloc_counters(CounterRegistry& registry,
+                           std::string_view prefix) {
+  const std::string p = prefix.empty() ? "" : std::string(prefix) + ".";
+  const AllocCounts c = alloc_counts();
+  registry.set(p + "available",
+               std::uint64_t{alloc_counting_available() ? 1u : 0u});
+  registry.set(p + "allocations", c.allocations);
+  registry.set(p + "deallocations", c.deallocations);
+  registry.set(p + "bytes", c.bytes);
+}
+
+namespace detail {
+
+void count_allocation(std::uint64_t bytes) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void count_deallocation() noexcept {
+  g_deallocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void mark_alloc_hooks_linked() noexcept {
+  g_hooks_linked.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace sd::obs

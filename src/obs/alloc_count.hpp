@@ -1,0 +1,50 @@
+// Opt-in global heap-allocation counting.
+//
+// The allocation-free decode hot path (decode/decode_scratch.hpp) is a
+// load-bearing property: the serve/dispatch latency tails regress silently if
+// a per-frame allocation sneaks back in. These counters make the property
+// testable. The atomic counters themselves always exist (cheap, zero when
+// unused); the operator new/delete replacements that feed them live in the
+// SEPARATE static library `sd_alloc_count`, which only binaries that want
+// counting (tests/test_alloc_free) link — nothing else in the project pays
+// for interposed allocation, and the replacement is gated on SPHEREDEC_OBS
+// like the rest of the observability layer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sd::obs {
+
+class CounterRegistry;
+
+/// Snapshot of global heap traffic since start (or the last reset).
+struct AllocCounts {
+  std::uint64_t allocations = 0;    ///< operator new / new[] calls
+  std::uint64_t deallocations = 0;  ///< operator delete / delete[] calls
+  std::uint64_t bytes = 0;          ///< total bytes requested from new
+};
+
+/// True when the counting operator new/delete replacements are linked into
+/// this binary (target sd_alloc_count) and observability is compiled in.
+/// When false, alloc_counts() stays all-zero.
+[[nodiscard]] bool alloc_counting_available() noexcept;
+
+[[nodiscard]] AllocCounts alloc_counts() noexcept;
+
+/// Zeroes the counters (test-scoped measurement windows).
+void reset_alloc_counts() noexcept;
+
+/// Pours a snapshot into the registry as "<prefix>.allocations" etc., plus
+/// "<prefix>.available" so consumers can tell zero-traffic from not-linked.
+void export_alloc_counters(CounterRegistry& registry,
+                           std::string_view prefix = "alloc");
+
+namespace detail {
+/// Called by the sd_alloc_count hooks; not for direct use.
+void count_allocation(std::uint64_t bytes) noexcept;
+void count_deallocation() noexcept;
+void mark_alloc_hooks_linked() noexcept;
+}  // namespace detail
+
+}  // namespace sd::obs

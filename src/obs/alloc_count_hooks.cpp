@@ -1,0 +1,133 @@
+// Counting replacements for the global allocation functions.
+//
+// This translation unit is deliberately NOT part of sd_obs: replacing
+// operator new/delete is a whole-binary decision, so the hooks live in their
+// own static library (sd_alloc_count) that only allocation-auditing binaries
+// link. Linking it flips sd::obs::alloc_counting_available() to true.
+//
+// The replacements must themselves be allocation-free: they only touch
+// malloc/free and the relaxed atomics in alloc_count.cpp.
+#include "obs/alloc_count.hpp"
+
+#ifndef SD_OBS_ENABLED
+#define SD_OBS_ENABLED 1
+#endif
+
+#if SD_OBS_ENABLED
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  const std::size_t request = size == 0 ? 1 : size;
+  for (;;) {
+    if (void* p = std::malloc(request)) {
+      sd::obs::detail::count_allocation(static_cast<std::uint64_t>(size));
+      return p;
+    }
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  const std::size_t request = size == 0 ? align : size;
+  for (;;) {
+    void* p = nullptr;
+    if (::posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                         request) == 0) {
+      sd::obs::detail::count_allocation(static_cast<std::uint64_t>(size));
+      return p;
+    }
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  sd::obs::detail::count_deallocation();
+  std::free(p);
+}
+
+/// Static-init side effect that tells alloc_count.cpp the hooks are present.
+struct HookRegistrar {
+  HookRegistrar() noexcept { sd::obs::detail::mark_alloc_hooks_linked(); }
+};
+[[maybe_unused]] const HookRegistrar g_hook_registrar;
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+#endif  // SD_OBS_ENABLED

@@ -1,0 +1,114 @@
+// Steady-state decode must not touch the heap.
+//
+// This is the acceptance test for the detector-owned DecodeScratch + the
+// GEMM workspace arena: after a warm-up that grows every buffer to its
+// high-water mark, repeated decode_into() calls on the same problem shape
+// must perform ZERO heap allocations. The binary links sd_alloc_count, whose
+// global operator new/delete replacements feed the counters read here; when
+// observability is compiled out (SPHEREDEC_OBS=OFF) the hooks vanish and the
+// test skips.
+//
+// The guarded region includes preprocessing (Householder QR), the full tree
+// search, and result materialization — the entire per-frame path the serve
+// and dispatch runtimes execute per lane.
+#include <gtest/gtest.h>
+
+#include "decode/sd_gemm.hpp"
+#include "decode/sd_gemm_bfs.hpp"
+#include "linalg/gemm.hpp"
+#include "obs/alloc_count.hpp"
+#include "obs/counters.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+constexpr index_t kM = 6;
+constexpr double kSigma2 = 0.05;
+
+class AllocFree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::alloc_counting_available()) {
+      GTEST_SKIP() << "allocation counting not linked (SPHEREDEC_OBS=OFF)";
+    }
+  }
+};
+
+/// Runs `detector` on a fixed problem: warm-up decodes grow every scratch
+/// buffer, then a measured window of decodes must not allocate.
+void expect_steady_state_alloc_free(Detector& detector, const char* what) {
+  const CMat h = testing::random_cmat(kM, kM, 9001);
+  const CVec y = testing::random_cvec(kM, 9002);
+  DecodeResult result;
+  for (int warm = 0; warm < 3; ++warm) {
+    detector.decode_into(h, y, kSigma2, result);
+  }
+  const DecodeResult warm_result = result;
+
+  const obs::AllocCounts before = obs::alloc_counts();
+  for (int rep = 0; rep < 10; ++rep) {
+    detector.decode_into(h, y, kSigma2, result);
+  }
+  const obs::AllocCounts after = obs::alloc_counts();
+
+  EXPECT_EQ(after.allocations, before.allocations)
+      << what << ": steady-state decode_into allocated ("
+      << (after.allocations - before.allocations) << " allocations, "
+      << (after.bytes - before.bytes) << " bytes over 10 decodes)";
+  EXPECT_EQ(after.deallocations, before.deallocations)
+      << what << ": steady-state decode_into freed heap memory";
+
+  // Reuse must not change the answer.
+  EXPECT_EQ(result.indices, warm_result.indices);
+  EXPECT_EQ(result.metric, warm_result.metric);
+}
+
+TEST_F(AllocFree, CountersMoveWhenTheHeapIsUsed) {
+  // Sanity: the hooks really are interposed in this binary.
+  const obs::AllocCounts before = obs::alloc_counts();
+  {
+    std::vector<int> v(1024, 7);
+    ASSERT_EQ(v.back(), 7);
+  }
+  const obs::AllocCounts after = obs::alloc_counts();
+  EXPECT_GT(after.allocations, before.allocations);
+  EXPECT_GT(after.deallocations, before.deallocations);
+  EXPECT_GE(after.bytes - before.bytes, 1024u * sizeof(int));
+}
+
+TEST_F(AllocFree, BestFsDecodeIsAllocationFreeAfterWarmup) {
+  SdGemmDetector det(Constellation::get(Modulation::kQam16));
+  expect_steady_state_alloc_free(det, "SD-GEMM-BestFS");
+}
+
+TEST_F(AllocFree, BestFsRow0DecodeIsAllocationFreeAfterWarmup) {
+  SdOptions opts;
+  opts.level_gemm = LevelGemm::kRow0;
+  SdGemmDetector det(Constellation::get(Modulation::kQam16), opts);
+  expect_steady_state_alloc_free(det, "SD-GEMM-BestFS/row0");
+}
+
+TEST_F(AllocFree, BfsDecodeIsAllocationFreeAfterWarmup) {
+  SdGemmBfsDetector det(Constellation::get(Modulation::kQam16));
+  expect_steady_state_alloc_free(det, "SD-GEMM-BFS");
+}
+
+TEST_F(AllocFree, ScalarAblationDecodeIsAllocationFreeAfterWarmup) {
+  SdOptions opts;
+  opts.gemm_eval = false;
+  SdGemmDetector det(Constellation::get(Modulation::kQam16), opts);
+  expect_steady_state_alloc_free(det, "SD-Scalar-BestFS");
+}
+
+TEST_F(AllocFree, ExportedCountersReflectTraffic) {
+  obs::CounterRegistry reg;
+  obs::export_alloc_counters(reg);
+  EXPECT_EQ(reg.get_uint_or("alloc.available", 0), 1u);
+  const std::uint64_t reported = reg.get_uint_or("alloc.allocations", 0);
+  EXPECT_LE(reported, obs::alloc_counts().allocations);
+  EXPECT_GT(reported, 0u);
+}
+
+}  // namespace
+}  // namespace sd

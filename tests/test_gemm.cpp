@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "common/error.hpp"
@@ -10,6 +12,18 @@
 
 namespace sd {
 namespace {
+
+// Bitwise equality, not tolerance: the dispatch contract is that which
+// kernel runs must never change the bits of the result.
+void expect_bitwise_equal(const CMat& a, const CMat& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a(r, c), b(r, c)) << "(" << r << "," << c << ")";
+    }
+  }
+}
 
 TEST(GemmNaive, MatchesHandComputed2x2) {
   CMat a(2, 2, {cplx{1, 0}, cplx{0, 1}, cplx{2, 0}, cplx{0, 0}});
@@ -88,6 +102,71 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{65, 3, 129}, std::tuple{64, 128, 128},
                       std::tuple{67, 130, 131}, std::tuple{5, 1, 200}));
 
+TEST(Gemm, BetaZeroOverwritesNanContents) {
+  // BLAS semantics: beta == 0 means C is OUTPUT-ONLY. The old kernels
+  // computed `alpha*acc + beta*c` / `v *= beta`, which propagates NaN/Inf
+  // from stale C contents — the classic beta-zero bug. The decoders hand
+  // freshly reused scratch matrices to gemm with beta = 0, so stale bits
+  // must never leak into the product.
+  // Big enough for the packed path (m*n*k > 4096) but within one K panel
+  // (k <= kGemmKc), so the naive oracle is bitwise comparable to the packed
+  // kernels.
+  const index_t m = 6, n = 70, k = 120;
+  const CMat a = testing::random_cmat(m, k, 91);
+  const CMat b = testing::random_cmat(k, n, 92);
+  const real nan = std::numeric_limits<real>::quiet_NaN();
+  const real inf = std::numeric_limits<real>::infinity();
+
+  CMat expected(m, n);
+  gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, expected);
+
+  const auto poisoned = [&] {
+    CMat c(m, n);
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        c(i, j) = (i + j) % 2 == 0 ? cplx{nan, nan} : cplx{inf, -inf};
+      }
+    }
+    return c;
+  };
+
+  CMat c_naive = poisoned();
+  gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_naive);
+  expect_bitwise_equal(c_naive, expected);
+
+  CMat c_packed = poisoned();
+  gemm_packed_scalar(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_packed);
+  expect_bitwise_equal(c_packed, expected);
+
+  CMat c_dispatch = poisoned();
+  gemm(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_dispatch);
+  expect_bitwise_equal(c_dispatch, expected);
+
+  if (gemm_soa_available()) {
+    CMat c_soa = poisoned();
+    gemm_packed_soa(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_soa);
+    expect_bitwise_equal(c_soa, expected);
+  }
+
+  // gemv, both op modes.
+  const CVec x = testing::random_cvec(static_cast<usize>(k), 93);
+  CVec y(static_cast<usize>(m), cplx{nan, nan});
+  CMat xmat(k, 1);
+  for (index_t i = 0; i < k; ++i) xmat(i, 0) = x[static_cast<usize>(i)];
+  CMat yref(m, 1);
+  gemm_naive(Op::kNone, cplx{1, 0}, a, xmat, cplx{0, 0}, yref);
+  gemv(Op::kNone, cplx{1, 0}, a, x, cplx{0, 0}, y);
+  for (index_t i = 0; i < m; ++i) {
+    EXPECT_EQ(y[static_cast<usize>(i)], yref(i, 0));
+  }
+  const CVec x2 = testing::random_cvec(static_cast<usize>(m), 94);
+  CVec y2(static_cast<usize>(k), cplx{inf, nan});
+  gemv(Op::kConjTrans, cplx{1, 0}, a, x2, cplx{0, 0}, y2);
+  for (const cplx& v : y2) {
+    EXPECT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+  }
+}
+
 TEST(Gemm, AccumulatesWithBetaOne) {
   const CMat a = testing::random_cmat(4, 4, 21);
   const CMat b = testing::random_cmat(4, 4, 22);
@@ -136,18 +215,6 @@ TEST(GemmFlops, CountsComplexMacs) {
 }
 
 // ---- dispatch determinism (regression for the k > kGemmKc fast-path leak)
-
-// Bitwise equality, not tolerance: the dispatch contract is that which
-// kernel runs must never change the bits of the result.
-void expect_bitwise_equal(const CMat& a, const CMat& b) {
-  ASSERT_EQ(a.rows(), b.rows());
-  ASSERT_EQ(a.cols(), b.cols());
-  for (index_t r = 0; r < a.rows(); ++r) {
-    for (index_t c = 0; c < a.cols(); ++c) {
-      EXPECT_EQ(a(r, c), b(r, c)) << "(" << r << "," << c << ")";
-    }
-  }
-}
 
 TEST(GemmDispatch, NaiveAndPackedBitwiseIdenticalWithinOneKPanel) {
   // For k <= kGemmKc both kernels accumulate each output element over the

@@ -1,0 +1,186 @@
+// The split-complex (SoA) kernel's bitwise-identity contract.
+//
+// The decoders' golden-regression methodology requires that kernel dispatch
+// NEVER changes result bits: scalar-packed, SoA-packed, and the gemm()
+// small-shape fast path must all agree exactly, with observability compiled
+// in or out. These tests pin that across the dispatch boundaries (the
+// kGemmKc K-panel depth and the m*n*k <= 4096 volume gate), with random
+// alpha/beta, for both Op modes. They run in the ASan/UBSan and TSan CI
+// jobs, which build with SPHEREDEC_OBS OFF and ON respectively.
+#include "linalg/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+void expect_bitwise_equal(const CMat& a, const CMat& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(a(r, c), b(r, c))
+          << what << " diverges at (" << r << "," << c << ")";
+    }
+  }
+}
+
+/// Kernel-override RAII so a failing test cannot leak a forced kernel into
+/// later tests.
+struct KernelGuard {
+  GemmKernel saved = gemm_kernel_override();
+  ~KernelGuard() { set_gemm_kernel_override(saved); }
+};
+
+// Shapes spanning the dispatch boundaries: K-panel edges (kGemmKc - 1 /
+// exact / + 1 / multi-panel), the volume gate (m*n*k around 4096), panel
+// remainders in every dimension, and the decoders' real shapes (sibling
+// batches, BFS level batches).
+struct Shape {
+  index_t m, n, k;
+};
+const Shape kShapes[] = {
+    {1, 4, 10},                  // Best-FS sibling batch
+    {1, 4096, 10},               // BFS level batch
+    {10, 4096, 10},              // BFS level batch, full row block
+    {3, 5, 7},                   // odd everything
+    {2, 16, kGemmKc - 1},        // just under one K panel
+    {2, 16, kGemmKc},            // exactly one K panel
+    {2, 16, kGemmKc + 1},        // two panels, partial second
+    {4, 8, 2 * kGemmKc + 3},     // multi-panel K
+    {1, 1, 4096},                // volume gate edge, deep K
+    {64, 128, 128},              // exactly one full blocking tile
+    {65, 129, 131},              // remainders in every dimension
+    {67, 9, 200},                // odd rows, narrow, multi-panel K
+};
+
+class SoaIdentity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!gemm_soa_available()) {
+      GTEST_SKIP() << "SoA kernel unavailable on this build/CPU";
+    }
+  }
+  KernelGuard guard_;
+};
+
+TEST_F(SoaIdentity, SoaMatchesScalarBitForBitAcrossShapes) {
+  std::uint64_t seed = 7001;
+  for (const Shape& s : kShapes) {
+    for (const Op op : {Op::kNone, Op::kConjTrans}) {
+      // A is stored (m x k) for kNone, (k x m) for kConjTrans.
+      const index_t ar = op == Op::kNone ? s.m : s.k;
+      const index_t ac = op == Op::kNone ? s.k : s.m;
+      const CMat a = testing::random_cmat(ar, ac, seed++);
+      const CMat b = testing::random_cmat(s.k, s.n, seed++);
+      const cplx alpha{0.8f, -0.4f};
+      const cplx beta{0.3f, 0.2f};
+      CMat c_scalar = testing::random_cmat(s.m, s.n, seed);
+      CMat c_soa = c_scalar;
+      gemm_packed_scalar(op, alpha, a, b, beta, c_scalar);
+      gemm_packed_soa(op, alpha, a, b, beta, c_soa);
+      ASSERT_NO_FATAL_FAILURE(expect_bitwise_equal(c_scalar, c_soa, "soa"))
+          << "m=" << s.m << " n=" << s.n << " k=" << s.k
+          << " op=" << static_cast<int>(op);
+      ++seed;
+    }
+  }
+}
+
+TEST_F(SoaIdentity, BetaZeroAndOneAgree) {
+  for (const cplx beta : {cplx{0, 0}, cplx{1, 0}}) {
+    const CMat a = testing::random_cmat(9, 300, 7501);
+    const CMat b = testing::random_cmat(300, 33, 7502);
+    CMat c_scalar = testing::random_cmat(9, 33, 7503);
+    CMat c_soa = c_scalar;
+    gemm_packed_scalar(Op::kNone, cplx{1, 0}, a, b, beta, c_scalar);
+    gemm_packed_soa(Op::kNone, cplx{1, 0}, a, b, beta, c_soa);
+    expect_bitwise_equal(c_scalar, c_soa, "beta variant");
+  }
+}
+
+TEST_F(SoaIdentity, DispatchedGemmIsKernelInvariant) {
+  // gemm() must produce the same bits whichever kernel the override forces —
+  // the property that lets the default dispatch prefer SoA while the golden
+  // regressions stay untouched.
+  for (const Shape& s : kShapes) {
+    const CMat a = testing::random_cmat(s.m, s.k, 7601);
+    const CMat b = testing::random_cmat(s.k, s.n, 7602);
+    CMat c_forced_scalar(s.m, s.n);
+    CMat c_forced_soa(s.m, s.n);
+    set_gemm_kernel_override(GemmKernel::kScalar);
+    gemm(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_forced_scalar);
+    set_gemm_kernel_override(GemmKernel::kSoa);
+    gemm(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_forced_soa);
+    set_gemm_kernel_override(GemmKernel::kAuto);
+    ASSERT_NO_FATAL_FAILURE(
+        expect_bitwise_equal(c_forced_scalar, c_forced_soa, "gemm dispatch"))
+        << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+TEST_F(SoaIdentity, ExplicitWorkspaceMatchesThreadLocal) {
+  GemmWorkspace ws;
+  const CMat a = testing::random_cmat(20, 150, 7701);
+  const CMat b = testing::random_cmat(150, 70, 7702);
+  CMat c_tls(20, 70), c_ws(20, 70);
+  gemm_packed_soa(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_tls);
+  gemm_packed_soa(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c_ws, ws);
+  expect_bitwise_equal(c_tls, c_ws, "workspace");
+  EXPECT_GT(ws.stats().acquires, 0u);
+}
+
+TEST(GemmKernelSelection, OverrideRoundTrips) {
+  KernelGuard guard;
+  set_gemm_kernel_override(GemmKernel::kScalar);
+  EXPECT_EQ(gemm_kernel_override(), GemmKernel::kScalar);
+  EXPECT_EQ(active_gemm_kernel(), GemmKernel::kScalar);
+  set_gemm_kernel_override(GemmKernel::kAuto);
+  EXPECT_EQ(gemm_kernel_override(), GemmKernel::kAuto);
+  // kAuto resolves to a concrete kernel consistent with availability.
+  const GemmKernel active = active_gemm_kernel();
+  if (gemm_soa_available()) {
+    EXPECT_EQ(active, GemmKernel::kSoa);
+  } else {
+    EXPECT_EQ(active, GemmKernel::kScalar);
+  }
+}
+
+TEST(GemmKernelSelection, ForcedSoaDegradesToScalarWhenUnavailable) {
+  KernelGuard guard;
+  set_gemm_kernel_override(GemmKernel::kSoa);
+  const GemmKernel active = active_gemm_kernel();
+  if (gemm_soa_available()) {
+    EXPECT_EQ(active, GemmKernel::kSoa);
+  } else {
+    EXPECT_EQ(active, GemmKernel::kScalar);
+    // The unconditional entry point must refuse rather than silently
+    // fall back.
+    const CMat a = testing::random_cmat(2, 2, 1);
+    const CMat b = testing::random_cmat(2, 2, 2);
+    CMat c(2, 2);
+    EXPECT_THROW(gemm_packed_soa(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c),
+                 invalid_argument_error);
+  }
+}
+
+TEST(GemmWorkspaceStats, SteadyStateStopsGrowing) {
+  GemmWorkspace ws;
+  const CMat a = testing::random_cmat(30, 200, 7801);
+  const CMat b = testing::random_cmat(200, 90, 7802);
+  CMat c(30, 90);
+  gemm_packed(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c, ws);
+  const std::uint64_t grows_after_warmup = ws.stats().grow_events;
+  EXPECT_GT(ws.stats().bytes_reserved, 0u);
+  for (int rep = 0; rep < 5; ++rep) {
+    gemm_packed(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c, ws);
+  }
+  EXPECT_EQ(ws.stats().grow_events, grows_after_warmup)
+      << "packed GEMM grew its workspace after warm-up";
+}
+
+}  // namespace
+}  // namespace sd

@@ -137,6 +137,27 @@ TEST(Qr, RejectsWideMatrix) {
   EXPECT_THROW((void)qr_mgs(h), invalid_argument_error);
 }
 
+TEST(Qr, RefactorReusesStorageBitIdentically) {
+  // factor() recycling the internal working copy must produce exactly the
+  // same factorization as a fresh object — the decoders' preprocess scratch
+  // depends on it.
+  QrFactorization reused;
+  CVec ybar;
+  CVec work;
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    // Vary the shape to exercise reshrink/regrow of the internal buffers.
+    const index_t n = 4 + static_cast<index_t>(trial % 3) * 2;
+    const index_t m = n - static_cast<index_t>(trial % 2);
+    const CMat h = testing::random_cmat(n, m, 4100 + trial);
+    const CVec y = testing::random_cvec(n, 4200 + trial);
+    const QrFactorization fresh(h);
+    reused.factor(h);
+    ASSERT_EQ(reused.r(), fresh.r());
+    reused.apply_qh_into(y, ybar, work);
+    ASSERT_EQ(ybar, fresh.apply_qh(y));
+  }
+}
+
 TEST(Qr, ApplyQhChecksLength) {
   const CMat h = testing::random_cmat(5, 3, 2);
   const QrFactorization qr(h);

@@ -22,6 +22,11 @@ its documented shape (EXPERIMENTS.md): a "policies" series whose rows carry
 "policy", "e2e_p99_s" and "deadline_miss_rate", and the calibration-scenario
 counter "dispatch.prediction.mean_rel_error".
 
+The gemm_kernels artifact (name == "gemm_kernels") is checked for a
+"kernels" series whose rows carry "kernel", "m", "n", "k" and "seconds",
+and — when config.soa_available is true — gated on the SoA kernel being no
+slower than 1.05x scalar at the three largest shapes (by m*n*k volume).
+
 Exit status is 0 iff every file validates. Stdlib only — no dependencies.
 """
 
@@ -158,6 +163,8 @@ def validate_file(problems, path):
 
     if name == "dispatch":
         check_dispatch(problems, path, doc)
+    if name == "gemm_kernels":
+        check_gemm_kernels(problems, path, doc)
 
 
 def check_dispatch(problems, path, doc):
@@ -186,6 +193,56 @@ def check_dispatch(problems, path, doc):
     if "dispatch.prediction.mean_rel_error" not in counters:
         problems.report(
             path, "dispatch: missing counter 'dispatch.prediction.mean_rel_error'")
+
+
+def check_gemm_kernels(problems, path, doc):
+    """Extra shape + perf-gate requirements for BENCH_gemm_kernels.json."""
+    series = doc.get("series")
+    kernels = None
+    if isinstance(series, list):
+        for entry in series:
+            if isinstance(entry, dict) and entry.get("label") == "kernels":
+                kernels = entry
+    if kernels is None:
+        problems.report(path, "gemm_kernels: missing 'kernels' series")
+        return
+
+    rows = kernels.get("rows")
+    rows = rows if isinstance(rows, list) else []
+    by_shape = {}  # (m, n, k) -> {kernel: seconds}
+    for j, row in enumerate(rows):
+        if not isinstance(row, dict):
+            continue
+        missing = [c for c in ("kernel", "m", "n", "k", "seconds")
+                   if c not in row]
+        if missing:
+            problems.report(
+                path, f"gemm_kernels: kernels.rows[{j}] missing {missing}")
+            continue
+        shape = (row["m"], row["n"], row["k"])
+        by_shape.setdefault(shape, {})[row["kernel"]] = row["seconds"]
+
+    config = doc.get("config")
+    config = config if isinstance(config, dict) else {}
+    if not config.get("soa_available"):
+        return  # scalar-only host: nothing to gate
+
+    # Perf gate: at the three largest full-product shapes, the SoA kernel
+    # must not be slower than 1.05x scalar — catches vectorization
+    # regressions where the SIMD kernel silently loses to the baseline.
+    full = [(m * n * k, (m, n, k), secs)
+            for (m, n, k), secs in by_shape.items()
+            if "scalar" in secs and "soa" in secs]
+    if not full:
+        problems.report(
+            path, "gemm_kernels: soa_available but no scalar/soa row pairs")
+        return
+    for _, shape, secs in sorted(full, reverse=True)[:3]:
+        if secs["soa"] > secs["scalar"] * 1.05:
+            problems.report(
+                path,
+                f"gemm_kernels: SoA slower than scalar at shape {shape} "
+                f"({secs['soa']:.3e}s vs {secs['scalar']:.3e}s)")
 
 
 def main(argv):
