@@ -8,9 +8,12 @@
 // count with SD_TRIALS.
 //
 //   SD_TRIALS=500 ./bench_serve_soak [--m=10] [--mod=4qam] [--snr=8]
+//                                    [--coherence=1]
 //
 // With --backends=cpu:2,fpga:2 the sweep runs over a heterogeneous pool
 // instead: one row per placement policy at the pool's fixed lane count.
+// --coherence=L holds each channel realization for L consecutive frames
+// (block fading), exercising the prep cache and fused decode paths.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
   const Modulation mod = parse_modulation(cli.get_or("mod", "4qam"));
   const double snr = cli.get_double_or("snr", 8.0);
   const usize frames = bench::trials_or(200);
+  const auto coherence = static_cast<usize>(cli.get_int_or("coherence", 1));
   const SystemConfig sys{m, m, mod};
 
   bench::open_report("serve_soak");
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
       lo.window = 2 * lanes;
       lo.snr_db = snr;
       lo.seed = 7;
+      lo.coherence = coherence;
       LoadGenerator gen(sys, parse_decoder_spec("sphere"), so, lo);
       const LoadReport rep = gen.run();
       const ServerMetrics& mx = rep.metrics;
@@ -147,6 +152,7 @@ int main(int argc, char** argv) {
       lo.window = 2 * workers;
       lo.snr_db = snr;
       lo.seed = 7;
+      lo.coherence = coherence;
       LoadGenerator gen(sys, spec, so, lo);
       const LoadReport rep = gen.run();
       const ServerMetrics& mx = rep.metrics;

@@ -1,0 +1,233 @@
+#include "decode/channel_prep.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "linalg/ordering.hpp"
+#include "linalg/solve.hpp"
+#include "obs/trace.hpp"
+
+namespace sd {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, usize bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (usize i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Bitwise element equality — stricter than operator== (which would treat
+/// -0.0 and +0.0 as equal even though their factorizations may differ in
+/// bits). The cache's correctness contract is bit-exact reuse, so the
+/// verification must be bit-exact too.
+bool same_content(const CMat& a, const CMat& b) noexcept {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  return std::memcmp(fa.data(), fb.data(), fa.size() * sizeof(cplx)) == 0;
+}
+
+}  // namespace
+
+std::uint64_t channel_fingerprint(const CMat& h) noexcept {
+  std::uint64_t fp = kFnvOffset;
+  const std::uint64_t rows = static_cast<std::uint64_t>(h.rows());
+  const std::uint64_t cols = static_cast<std::uint64_t>(h.cols());
+  fp = fnv1a(fp, &rows, sizeof(rows));
+  fp = fnv1a(fp, &cols, sizeof(cols));
+  const auto flat = h.flat();
+  fp = fnv1a(fp, flat.data(), flat.size() * sizeof(cplx));
+  return fp;
+}
+
+ChannelHandle::ChannelHandle(CMat h)
+    : h_(std::make_shared<const CMat>(std::move(h))) {
+  fp_ = channel_fingerprint(*h_);
+}
+
+ChannelHandle::ChannelHandle(CMat h, std::uint64_t fingerprint)
+    : h_(std::make_shared<const CMat>(std::move(h))), fp_(fingerprint) {}
+
+const CMat& ChannelHandle::matrix() const {
+  SD_CHECK(h_ != nullptr, "empty ChannelHandle");
+  return *h_;
+}
+
+std::string_view prep_kind_name(PrepKind kind) noexcept {
+  switch (kind) {
+    case PrepKind::kNone: return "none";
+    case PrepKind::kQrPlain: return "qr";
+    case PrepKind::kQrSorted: return "sqrd";
+    case PrepKind::kZf: return "zf";
+  }
+  return "?";
+}
+
+std::shared_ptr<const PreprocessedChannel> build_channel_prep(
+    const ChannelHandle& channel, PrepKind kind) {
+  SD_TRACE_SPAN("decode.prep.build");
+  SD_CHECK(kind != PrepKind::kNone, "cannot build a kNone channel prep");
+  auto prep = std::make_shared<PreprocessedChannel>();
+  prep->channel = channel;
+  prep->kind = kind;
+  const CMat& h = channel.matrix();
+  Timer timer;
+  switch (kind) {
+    case PrepKind::kQrPlain:
+      prep->qr.factor(h);
+      break;
+    case PrepKind::kQrSorted: {
+      SortedQr sq = qr_sorted(h);
+      prep->q = std::move(sq.q);
+      prep->r = std::move(sq.r);
+      prep->perm = std::move(sq.perm);
+      break;
+    }
+    case PrepKind::kZf:
+      prep->w = zf_equalizer(h);
+      break;
+    case PrepKind::kNone:
+      break;
+  }
+  prep->build_seconds = timer.elapsed_seconds();
+  return prep;
+}
+
+struct ChannelPrepCache::Shard {
+  struct Entry {
+    std::uint64_t fp = 0;
+    PrepKind kind = PrepKind::kNone;
+    std::shared_ptr<const PreprocessedChannel> prep;
+  };
+  mutable std::mutex mu;
+  std::list<Entry> lru;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+  Stats stats;
+};
+
+namespace {
+
+/// Shard-map key: fingerprint mixed with the kind so one channel's QR and ZF
+/// preps occupy distinct slots. The mix keeps a key of 0 possible only with
+/// astronomically small probability; correctness never depends on the key
+/// alone — hits verify kind and matrix content.
+std::uint64_t entry_key(std::uint64_t fp, PrepKind kind) noexcept {
+  return fp ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(kind) + 1));
+}
+
+}  // namespace
+
+ChannelPrepCache::~ChannelPrepCache() = default;
+
+ChannelPrepCache::ChannelPrepCache(Options options) : opts_(options) {
+  SD_CHECK(opts_.capacity >= 1, "prep cache capacity must be at least 1");
+  SD_CHECK(opts_.shards >= 1, "prep cache needs at least one shard");
+  if (opts_.shards > opts_.capacity) opts_.shards = opts_.capacity;
+  shards_.reserve(opts_.shards);
+  for (usize s = 0; s < opts_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ChannelPrepCache::Shard& ChannelPrepCache::shard_for(std::uint64_t fp) const {
+  return *shards_[static_cast<usize>(fp % shards_.size())];
+}
+
+std::shared_ptr<const PreprocessedChannel> ChannelPrepCache::get_or_build(
+    const ChannelHandle& channel, PrepKind kind, bool* hit) {
+  SD_CHECK(channel.valid(), "prep cache lookup on an empty ChannelHandle");
+  SD_CHECK(kind != PrepKind::kNone, "prep cache lookup with kind == kNone");
+  const std::uint64_t key = entry_key(channel.fingerprint(), kind);
+  Shard& shard = shard_for(channel.fingerprint());
+  const usize shard_capacity =
+      std::max<usize>(1, opts_.capacity / shards_.size());
+
+  bool collision = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      const Shard::Entry& e = *it->second;
+      // Verify the hit: fingerprints can collide, and the test-only
+      // explicit-fingerprint constructor makes them collide on purpose.
+      // The shared_ptr identity check is the O(1) fast path for the common
+      // case of frames sharing one handle within a coherence block.
+      const bool same =
+          e.kind == kind &&
+          (e.prep->channel.same_storage(channel) ||
+           same_content(e.prep->channel.matrix(), channel.matrix()));
+      if (same) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        ++shard.stats.hits;
+        if (hit != nullptr) *hit = true;
+        return it->second->prep;
+      }
+      collision = true;
+    }
+  }
+
+  // Miss (or collision): build outside the lock. A racing builder on the
+  // same key produces bit-identical output, so whichever insert lands last
+  // simply replaces an equivalent entry.
+  std::shared_ptr<const PreprocessedChannel> prep =
+      build_channel_prep(channel, kind);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.misses;
+  if (collision) ++shard.stats.collisions;
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place (collision, or a concurrent builder got here first).
+    it->second->prep = prep;
+    it->second->fp = channel.fingerprint();
+    it->second->kind = kind;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    if (shard.lru.size() >= shard_capacity) {
+      const Shard::Entry& victim = shard.lru.back();
+      shard.index.erase(entry_key(victim.fp, victim.kind));
+      shard.lru.pop_back();
+      ++shard.stats.evictions;
+    }
+    shard.lru.push_front(
+        Shard::Entry{channel.fingerprint(), kind, prep});
+    shard.index.emplace(key, shard.lru.begin());
+  }
+  if (hit != nullptr) *hit = false;
+  return prep;
+}
+
+ChannelPrepCache::Stats ChannelPrepCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.collisions += shard->stats.collisions;
+  }
+  return total;
+}
+
+void ChannelPrepCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace sd

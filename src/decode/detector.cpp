@@ -34,6 +34,22 @@ void Detector::decode_into(const CMat& h, std::span<const cplx> y,
   out = decode(h, y, sigma2);
 }
 
+void Detector::decode_with(const PreprocessedChannel& prep,
+                           std::span<const cplx> y, double sigma2,
+                           DecodeResult& out) {
+  // Base fallback: detectors without a cacheable phase (or handed a prep of
+  // the wrong kind) decode from the shared channel matrix directly.
+  decode_into(prep.channel.matrix(), y, sigma2, out);
+}
+
+void Detector::decode_batch_with(const PreprocessedChannel& prep,
+                                 std::span<BatchItem> items) {
+  for (BatchItem& item : items) {
+    SD_CHECK(item.out != nullptr, "batch item missing an output slot");
+    decode_with(prep, item.y, item.sigma2, *item.out);
+  }
+}
+
 double residual_metric(const CMat& h, std::span<const cplx> y,
                        std::span<const cplx> s) {
   SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");

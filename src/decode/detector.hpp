@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "decode/channel_prep.hpp"
 #include "linalg/matrix.hpp"
 #include "mimo/constellation.hpp"
 
@@ -87,6 +88,54 @@ class Detector {
   /// Results are bitwise-identical to decode() either way.
   virtual void decode_into(const CMat& h, std::span<const cplx> y,
                            double sigma2, DecodeResult& out);
+
+  // ---- Two-phase (channel-split) decoding ----------------------------------
+  //
+  // decode_into(h, y, ...) re-factors h on every call even when consecutive
+  // frames share the channel. The two-phase API splits that cost: preprocess()
+  // builds the channel-only factorization once (directly or via a
+  // ChannelPrepCache), and decode_with() runs the per-frame remainder (ybar +
+  // search). decode_with(preprocess(handle), y, ...) is bitwise-identical to
+  // decode_into(handle.matrix(), y, ...) — same factorization code, same H
+  // bytes, same search. See DESIGN.md §12.
+
+  /// Which channel-only factorization this detector can reuse. kNone means
+  /// the detector has no cacheable phase; decode_with() then degrades to
+  /// decode_into() on the handle's matrix.
+  [[nodiscard]] virtual PrepKind prep_kind() const noexcept {
+    return PrepKind::kNone;
+  }
+
+  /// Builds the channel-only preprocessing for this detector. Callers that
+  /// serve coherent traffic should prefer ChannelPrepCache::get_or_build with
+  /// this detector's prep_kind() so coherent frames share one factorization.
+  [[nodiscard]] std::shared_ptr<const PreprocessedChannel> preprocess(
+      const ChannelHandle& channel) const {
+    return build_channel_prep(channel, prep_kind());
+  }
+
+  /// Decodes one frame against an already-factored channel. `prep` must have
+  /// been built for this detector's prep_kind() (a mismatched or kNone prep
+  /// falls back to the one-shot path). Bit-identical to decode_into().
+  virtual void decode_with(const PreprocessedChannel& prep,
+                           std::span<const cplx> y, double sigma2,
+                           DecodeResult& out);
+
+  /// One frame of a fused multi-frame batch.
+  struct BatchItem {
+    std::span<const cplx> y;
+    double sigma2 = 0.0;
+    DecodeResult* out = nullptr;
+  };
+
+  /// Decodes B frames sharing one prepared channel. The base implementation
+  /// loops decode_with(); detectors with a fused level-GEMM path (BFS)
+  /// override it to stack the frames' frontier columns into one wide product
+  /// per level. Every override is REQUIRED to produce per-frame results
+  /// bit-identical to sequential decode_with() calls (pinned by
+  /// tests/test_coherent_batch.cpp).
+  virtual void decode_batch_with(const PreprocessedChannel& prep,
+                                 std::span<BatchItem> items);
 };
 
 /// Convenience: computes ||y - H s||^2 for a candidate, used by detectors to

@@ -18,7 +18,7 @@ DecodeResult FsdDetector::decode(const CMat& h, std::span<const cplx> y,
                                  double /*sigma2*/) {
   SD_TRACE_SPAN("decode");
   DecodeResult result;
-  const Preprocessed pre = preprocess(h, y, opts_.sorted_qr);
+  const Preprocessed pre = sd::preprocess(h, y, opts_.sorted_qr);
   result.stats.preprocess_seconds = pre.seconds;
 
   const index_t m = pre.r.rows();

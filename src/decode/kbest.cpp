@@ -28,9 +28,28 @@ DecodeResult KBestDetector::decode(const CMat& h, std::span<const cplx> y,
                                    double /*sigma2*/) {
   SD_TRACE_SPAN("decode");
   DecodeResult result;
-  const Preprocessed pre = preprocess(h, y, opts_.sorted_qr);
+  const Preprocessed pre = sd::preprocess(h, y, opts_.sorted_qr);
   result.stats.preprocess_seconds = pre.seconds;
+  search(pre, result);
+  return result;
+}
 
+void KBestDetector::decode_with(const PreprocessedChannel& prep,
+                                std::span<const cplx> y, double sigma2,
+                                DecodeResult& out) {
+  if (prep.kind != prep_kind()) {
+    Detector::decode_with(prep, y, sigma2, out);
+    return;
+  }
+  SD_TRACE_SPAN("decode");
+  out.reset();
+  preprocess_with_channel(prep, y, prep_scratch_, pre_);
+  out.stats.preprocess_seconds = pre_.seconds;
+  search(pre_, out);
+}
+
+void KBestDetector::search(const Preprocessed& pre,
+                           DecodeResult& result) const {
   const index_t m = pre.r.rows();
   const index_t p = c_->order();
   result.stats.tree_levels = static_cast<std::uint64_t>(m);
@@ -90,7 +109,6 @@ DecodeResult KBestDetector::decode(const CMat& h, std::span<const cplx> y,
   result.metric = static_cast<double>(best_it->pd);
   result.stats.search_seconds = timer.elapsed_seconds();
   materialize_symbols(*c_, result);
-  return result;
 }
 
 }  // namespace sd

@@ -26,9 +26,23 @@ class KBestDetector final : public Detector {
   [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
                                     double sigma2) override;
 
+  /// Channel-split phase: the QR (SQRD by default) is cacheable.
+  [[nodiscard]] PrepKind prep_kind() const noexcept override {
+    return opts_.sorted_qr ? PrepKind::kQrSorted : PrepKind::kQrPlain;
+  }
+
+  /// Decode against a cached factorization; bit-identical to decode().
+  void decode_with(const PreprocessedChannel& prep, std::span<const cplx> y,
+                   double sigma2, DecodeResult& out) override;
+
  private:
+  /// The breadth-limited search on an already-prepared triangular system.
+  void search(const Preprocessed& pre, DecodeResult& result) const;
+
   const Constellation* c_;
   KBestOptions opts_;
+  PreprocessScratch prep_scratch_;
+  Preprocessed pre_;
 };
 
 }  // namespace sd

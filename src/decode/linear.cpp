@@ -65,4 +65,26 @@ DecodeResult LinearDetector::decode(const CMat& h, std::span<const cplx> y,
   return result;
 }
 
+void LinearDetector::decode_with(const PreprocessedChannel& prep,
+                                 std::span<const cplx> y, double sigma2,
+                                 DecodeResult& out) {
+  if (kind_ != LinearKind::kZf || prep.kind != PrepKind::kZf) {
+    Detector::decode_with(prep, y, sigma2, out);
+    return;
+  }
+  SD_TRACE_SPAN("decode");
+  const CMat& h = prep.channel.matrix();
+  SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");
+  out.reset();
+  // The equalizer was paid once at prep build time (prep.build_seconds); the
+  // per-frame cost is just the W y product and the slice.
+  CVec est(static_cast<usize>(h.cols()), cplx{0, 0});
+  Timer search_timer;
+  gemv(Op::kNone, cplx{1, 0}, prep.w, y, cplx{0, 0}, est);
+  out.stats.search_seconds = search_timer.elapsed_seconds();
+  out.indices = hard_slice(*c_, est);
+  materialize_symbols(*c_, out);
+  out.metric = residual_metric(h, y, out.symbols);
+}
+
 }  // namespace sd

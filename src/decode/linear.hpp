@@ -25,6 +25,17 @@ class LinearDetector final : public Detector {
   [[nodiscard]] DecodeResult decode(const CMat& h, std::span<const cplx> y,
                                     double sigma2) override;
 
+  /// ZF's equalizer W depends only on H, so it is cacheable. MMSE's W also
+  /// depends on sigma2 (a per-frame input) and MRC has no setup worth
+  /// caching, so both stay kNone.
+  [[nodiscard]] PrepKind prep_kind() const noexcept override {
+    return kind_ == LinearKind::kZf ? PrepKind::kZf : PrepKind::kNone;
+  }
+
+  /// ZF decode against a cached equalizer; bit-identical to decode().
+  void decode_with(const PreprocessedChannel& prep, std::span<const cplx> y,
+                   double sigma2, DecodeResult& out) override;
+
  private:
   LinearKind kind_;
   const Constellation* c_;

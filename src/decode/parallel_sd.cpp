@@ -40,6 +40,21 @@ void ParallelSdDetector::decode_into(const CMat& h, std::span<const cplx> y,
   materialize_symbols(*c_, out);
 }
 
+void ParallelSdDetector::decode_with(const PreprocessedChannel& prep,
+                                     std::span<const cplx> y, double sigma2,
+                                     DecodeResult& out) {
+  if (prep.kind != prep_kind()) {
+    Detector::decode_with(prep, y, sigma2, out);
+    return;
+  }
+  SD_TRACE_SPAN("decode");
+  out.reset();
+  preprocess_with_channel(prep, y, scratch_.prep, scratch_.pre);
+  out.stats.preprocess_seconds = scratch_.pre.seconds;
+  search(scratch_.pre, sigma2, out);
+  materialize_symbols(*c_, out);
+}
+
 void ParallelSdDetector::search(const Preprocessed& pre, double sigma2,
                                 DecodeResult& result) {
   SD_TRACE_SPAN("decode.search");

@@ -36,6 +36,16 @@ class ParallelSdDetector final : public Detector {
   void decode_into(const CMat& h, std::span<const cplx> y, double sigma2,
                    DecodeResult& out) override;
 
+  /// Channel-split phase: the QR (plain or SQRD per options) is cacheable.
+  /// Workers read the shared prep strictly read-only (exercised under TSan
+  /// by tests/test_channel_prep.cpp).
+  [[nodiscard]] PrepKind prep_kind() const noexcept override {
+    return opts_.base.sorted_qr ? PrepKind::kQrSorted : PrepKind::kQrPlain;
+  }
+
+  void decode_with(const PreprocessedChannel& prep, std::span<const cplx> y,
+                   double sigma2, DecodeResult& out) override;
+
   /// Search on a preprocessed system (stats accumulate across workers).
   void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
 

@@ -42,6 +42,16 @@ class SdGemmDetector final : public Detector {
   void decode_into(const CMat& h, std::span<const cplx> y, double sigma2,
                    DecodeResult& out) override;
 
+  /// Channel-split phase: the QR (plain or SQRD per options) is cacheable.
+  [[nodiscard]] PrepKind prep_kind() const noexcept override {
+    return opts_.sorted_qr ? PrepKind::kQrSorted : PrepKind::kQrPlain;
+  }
+
+  /// Decode against a cached factorization; allocation-free in steady state
+  /// and bit-identical to decode_into() on the same channel.
+  void decode_with(const PreprocessedChannel& prep, std::span<const cplx> y,
+                   double sigma2, DecodeResult& out) override;
+
   /// Runs the tree search on an already-preprocessed triangular system.
   /// Exposed so the FPGA pipeline simulator can drive the identical search
   /// while charging hardware cycles. Stats are accumulated into `result`.

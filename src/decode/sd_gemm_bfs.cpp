@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -9,6 +11,34 @@
 #include "obs/trace.hpp"
 
 namespace sd {
+
+/// Per-frame state for the fused lockstep search. Each frame keeps its own
+/// Meta State Table, frontier, and triangular system (ybar differs per frame;
+/// R is bit-identical across the batch since all frames share one prep), so
+/// NodeIds, truncation cuts, and stats evolve exactly as in a solo decode.
+struct SdGemmBfsDetector::FusedFrame {
+  PreprocessScratch prep;
+  Preprocessed pre;
+  std::optional<MetaStateTable> mst_storage;
+  std::vector<ScratchNode> frontier;
+  std::vector<ScratchNode> next;
+  std::vector<index_t> path;
+  std::vector<index_t> best_path;
+  std::vector<index_t> layered;
+  DecodeResult* out = nullptr;
+  double radius_sq = 0.0;
+  bool active = false;   ///< still in the fused lockstep
+  bool restart = false;  ///< peeled off; re-run via sequential decode_with
+  bool truncated = false;
+
+  MetaStateTable& mst(index_t levels, usize capacity_per_level) {
+    if (!mst_storage || mst_storage->levels() != levels ||
+        mst_storage->capacity_per_level() != capacity_per_level) {
+      mst_storage.emplace(levels, capacity_per_level);
+    }
+    return *mst_storage;
+  }
+};
 
 SdGemmBfsDetector::SdGemmBfsDetector(const Constellation& constellation,
                                      BfsOptions options)
@@ -19,6 +49,8 @@ SdGemmBfsDetector::SdGemmBfsDetector(const Constellation& constellation,
     opts_.base.radius_policy = RadiusPolicy::kNoiseScaled;
   }
 }
+
+SdGemmBfsDetector::~SdGemmBfsDetector() = default;
 
 DecodeResult SdGemmBfsDetector::decode(const CMat& h, std::span<const cplx> y,
                                        double sigma2) {
@@ -35,6 +67,246 @@ void SdGemmBfsDetector::decode_into(const CMat& h, std::span<const cplx> y,
   out.stats.preprocess_seconds = scratch_.pre.seconds;
   search(scratch_.pre, sigma2, out);
   materialize_symbols(*c_, out);
+}
+
+void SdGemmBfsDetector::decode_with(const PreprocessedChannel& prep,
+                                    std::span<const cplx> y, double sigma2,
+                                    DecodeResult& out) {
+  if (prep.kind != prep_kind()) {
+    Detector::decode_with(prep, y, sigma2, out);
+    return;
+  }
+  SD_TRACE_SPAN("decode");
+  out.reset();
+  preprocess_with_channel(prep, y, scratch_.prep, scratch_.pre);
+  out.stats.preprocess_seconds = scratch_.pre.seconds;
+  search(scratch_.pre, sigma2, out);
+  materialize_symbols(*c_, out);
+}
+
+void SdGemmBfsDetector::decode_batch_with(const PreprocessedChannel& prep,
+                                          std::span<BatchItem> items) {
+  if (items.size() <= 1 || prep.kind != prep_kind()) {
+    Detector::decode_batch_with(prep, items);
+    return;
+  }
+  SD_TRACE_SPAN("decode.batch");
+  const index_t m = prep.channel.matrix().cols();
+  const index_t p = c_->order();
+  const bool row0 = opts_.base.level_gemm == LevelGemm::kRow0;
+  // Cap on the stacked tree-state width: the widest operand a SOLO decode can
+  // legally form (a full frontier's children). Exceeding it peels frames off
+  // the fused pass — from the END of the batch, deterministically — so fused
+  // memory never exceeds the sequential worst case times one.
+  const usize fused_col_budget =
+      opts_.max_frontier * static_cast<usize>(p);
+
+  while (fused_.size() < items.size()) {
+    fused_.push_back(std::make_unique<FusedFrame>());
+  }
+
+  // Per-frame setup: derive each frame's triangular system from the shared
+  // prep (R is identical across frames; ybar is per-frame) and plant the
+  // virtual root. This mirrors the start of a solo decode_with() exactly.
+  for (usize i = 0; i < items.size(); ++i) {
+    FusedFrame& fr = *fused_[i];
+    BatchItem& item = items[i];
+    SD_CHECK(item.out != nullptr, "batch item missing an output slot");
+    item.out->reset();
+    preprocess_with_channel(prep, item.y, fr.prep, fr.pre);
+    item.out->stats.preprocess_seconds = fr.pre.seconds;
+    item.out->stats.tree_levels = static_cast<std::uint64_t>(m);
+    fr.out = item.out;
+    fr.radius_sq = initial_radius_sq(opts_.base, item.sigma2, m);
+    fr.active = true;
+    fr.restart = false;
+    fr.truncated = false;
+    fr.mst(m, 4096).reset();
+    fr.frontier.clear();
+    fr.frontier.push_back(ScratchNode{kRootId, real{0}});
+    fr.path.assign(static_cast<usize>(m), 0);
+    fr.best_path.assign(static_cast<usize>(m), 0);
+  }
+
+  Timer timer;
+  for (index_t depth = 0; depth < m; ++depth) {
+    // A frame whose frontier emptied needs the radius-doubling retry; peel
+    // it off (its partial stats are discarded with out.reset() below).
+    usize active_count = 0;
+    usize total_cols = 0;
+    for (usize i = 0; i < items.size(); ++i) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      if (fr.frontier.empty()) {
+        fr.active = false;
+        fr.restart = true;
+        continue;
+      }
+      ++active_count;
+      total_cols += fr.frontier.size() * static_cast<usize>(p);
+    }
+    for (usize i = items.size();
+         i-- > 0 && total_cols > fused_col_budget && active_count > 1;) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      total_cols -= fr.frontier.size() * static_cast<usize>(p);
+      fr.active = false;
+      fr.restart = true;
+      --active_count;
+    }
+    if (active_count == 0) break;
+
+    const index_t a = m - 1 - depth;
+    const index_t k = m - a;
+    const index_t zr = row0 ? 1 : k;
+
+    // Shared A-block: every frame's pre.r holds the same bits (one prep), so
+    // one operand serves the whole batch — packed once by the GEMM kernel.
+    const Preprocessed* pre0 = nullptr;
+    for (usize i = 0; i < items.size() && pre0 == nullptr; ++i) {
+      if (fused_[i]->active) pre0 = &fused_[i]->pre;
+    }
+    CMat& a_block = scratch_.a_block;
+    a_block.reshape(zr, k);
+    for (index_t r2 = 0; r2 < zr; ++r2) {
+      for (index_t t = 0; t < r2; ++t) a_block(r2, t) = cplx{0, 0};
+      for (index_t t = r2; t < k; ++t) {
+        a_block(r2, t) = pre0->r(a + r2, a + t);
+      }
+    }
+
+    // One stacked tree-state matrix: frame j's segment is exactly the S it
+    // would build solo. Column independence of the GEMM kernels (DESIGN.md
+    // §12) makes each segment's product bit-identical to the solo product.
+    CMat& s_mat = scratch_.s_mat;
+    s_mat.reshape(k, static_cast<index_t>(total_cols));
+    usize col_off = 0;
+    for (usize i = 0; i < items.size(); ++i) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      const usize f = fr.frontier.size();
+      for (usize ni = 0; ni < f; ++ni) {
+        if (fr.frontier[ni].id != kRootId) {
+          fr.mst_storage->path_symbols(fr.frontier[ni].id, fr.path);
+        }
+        const index_t base_col =
+            static_cast<index_t>(col_off + ni * static_cast<usize>(p));
+        for (index_t c = 0; c < p; ++c) {
+          s_mat(0, base_col + c) = c_->point(c);
+        }
+        for (index_t t = 1; t < k; ++t) {
+          const cplx sym = c_->point(fr.path[static_cast<usize>(depth - t)]);
+          for (index_t c = 0; c < p; ++c) {
+            s_mat(t, base_col + c) = sym;
+          }
+        }
+      }
+      col_off += f * static_cast<usize>(p);
+    }
+
+    CMat& z = scratch_.z;
+    z.reshape(zr, static_cast<index_t>(total_cols));
+    gemm(Op::kNone, cplx{1, 0}, a_block, s_mat, cplx{0, 0}, z,
+         scratch_.gemm_ws);
+
+    // Per-frame consume: prune / insert / truncate with the frame's own MST
+    // and stats — the exact solo code over the frame's column segment. Stats
+    // are charged as-if-solo (each frame "sees" its own k x (f*p) GEMM), so
+    // fused and sequential DecodeStats match field for field.
+    col_off = 0;
+    for (usize i = 0; i < items.size(); ++i) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      DecodeStats& stats = fr.out->stats;
+      const usize f = fr.frontier.size();
+      const index_t cols = static_cast<index_t>(f) * p;
+      ++stats.gemm_calls;
+      stats.flops += gemm_flops(zr, cols, k);
+      stats.bytes_touched +=
+          sizeof(cplx) * (static_cast<std::uint64_t>(zr) * k +
+                          static_cast<std::uint64_t>(k) * cols +
+                          static_cast<std::uint64_t>(zr) * cols);
+      stats.nodes_expanded += f;
+      stats.nodes_generated += static_cast<std::uint64_t>(cols);
+
+      MetaStateTable& mst = *fr.mst_storage;
+      const cplx target = fr.pre.ybar[static_cast<usize>(a)];
+      fr.next.clear();
+      for (usize ni = 0; ni < f; ++ni) {
+        const index_t base_col =
+            static_cast<index_t>(col_off + ni * static_cast<usize>(p));
+        for (index_t c = 0; c < p; ++c) {
+          const real pd =
+              fr.frontier[ni].pd + norm2(target - z(0, base_col + c));
+          if (static_cast<double>(pd) >= fr.radius_sq) {
+            ++stats.nodes_pruned;
+            continue;
+          }
+          const NodeId id =
+              mst.insert(depth, MstNode{fr.frontier[ni].id, c, pd});
+          fr.next.push_back(ScratchNode{id, pd});
+        }
+      }
+      if (fr.next.size() > opts_.max_frontier) {
+        fr.truncated = true;
+        std::partial_sort(
+            fr.next.begin(),
+            fr.next.begin() + static_cast<std::ptrdiff_t>(opts_.max_frontier),
+            fr.next.end(), [](const ScratchNode& x, const ScratchNode& y2) {
+              return x.pd < y2.pd || (x.pd == y2.pd && x.id < y2.id);
+            });
+        stats.nodes_pruned += fr.next.size() - opts_.max_frontier;
+        fr.next.resize(opts_.max_frontier);
+      }
+      fr.frontier.swap(fr.next);
+      stats.peak_list_size = std::max<std::uint64_t>(stats.peak_list_size,
+                                                     fr.frontier.size());
+      col_off += f * static_cast<usize>(p);
+    }
+  }
+  const double fused_seconds = timer.elapsed_seconds();
+
+  // Harvest solved frames; peel off the rest.
+  for (usize i = 0; i < items.size(); ++i) {
+    FusedFrame& fr = *fused_[i];
+    if (!fr.active || fr.frontier.empty()) {
+      fr.restart = true;
+      continue;
+    }
+    const auto best_it = std::min_element(
+        fr.frontier.begin(), fr.frontier.end(),
+        [](const ScratchNode& x, const ScratchNode& y2) {
+          return x.pd < y2.pd;
+        });
+    fr.out->stats.leaves_reached += fr.frontier.size();
+    ++fr.out->stats.radius_updates;
+    const double best_pd = static_cast<double>(best_it->pd);
+    fr.mst_storage->path_symbols(best_it->id, fr.best_path);
+    fr.layered.resize(static_cast<usize>(m));
+    for (index_t d = 0; d < m; ++d) {
+      fr.layered[static_cast<usize>(m - 1 - d)] =
+          fr.best_path[static_cast<usize>(d)];
+    }
+    to_antenna_order_into(fr.pre, fr.layered, fr.out->indices);
+    fr.out->metric = best_pd;
+    // Wall time is genuinely shared; each frame is charged the fused pass
+    // (the *_seconds fields are measurements, not part of the bit-identity
+    // contract — tests compare everything else).
+    fr.out->stats.search_seconds = fused_seconds;
+    materialize_symbols(*c_, *fr.out);
+  }
+
+  // Sequential fallback for peeled frames (empty-sphere retries and budget
+  // demotions): a full solo decode reproduces the exact sequential bits AND
+  // stats, because decode_with() resets the result before re-charging.
+  for (usize i = 0; i < items.size(); ++i) {
+    FusedFrame& fr = *fused_[i];
+    if (!fr.restart) continue;
+    decode_with(prep, items[i].y, items[i].sigma2, *items[i].out);
+    fr.truncated = truncated_;
+  }
+  // Match a sequential loop's view: report the batch's LAST frame.
+  truncated_ = fused_[items.size() - 1]->truncated;
 }
 
 void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,

@@ -31,6 +31,7 @@ class SdGemmBfsDetector final : public Detector {
  public:
   explicit SdGemmBfsDetector(const Constellation& constellation,
                              BfsOptions options = {});
+  ~SdGemmBfsDetector() override;  // FusedFrame is an incomplete type here
 
   [[nodiscard]] std::string_view name() const override {
     return "SD-GEMM-BFS";
@@ -46,17 +47,40 @@ class SdGemmBfsDetector final : public Detector {
   void decode_into(const CMat& h, std::span<const cplx> y, double sigma2,
                    DecodeResult& out) override;
 
+  /// Channel-split phase: the QR (plain or SQRD per options) is cacheable.
+  [[nodiscard]] PrepKind prep_kind() const noexcept override {
+    return opts_.base.sorted_qr ? PrepKind::kQrSorted : PrepKind::kQrPlain;
+  }
+
+  /// Decode against a cached factorization; bit-identical to decode_into().
+  void decode_with(const PreprocessedChannel& prep, std::span<const cplx> y,
+                   double sigma2, DecodeResult& out) override;
+
+  /// Fused multi-frame decode: B frames sharing one prepared channel run the
+  /// level-synchronous search in LOCKSTEP, stacking their frontier columns
+  /// into a single k x (sum_j f_j * p) level GEMM — the wide products the SoA
+  /// kernel rewards. Each frame's results AND stats are bit-identical to a
+  /// sequential decode_with() per frame (see DESIGN.md §12 for the
+  /// column-independence argument); frames that need a radius restart or
+  /// exceed the fused operand budget are peeled off and re-run sequentially.
+  void decode_batch_with(const PreprocessedChannel& prep,
+                         std::span<BatchItem> items) override;
+
   /// Tree search on an already-preprocessed system.
   void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
 
   /// True if the last decode had to truncate a frontier (BER no longer
-  /// guaranteed ML-optimal).
+  /// guaranteed ML-optimal). After decode_batch_with() this reports the
+  /// LAST frame of the batch, matching a sequential loop over the frames.
   [[nodiscard]] bool last_truncated() const noexcept { return truncated_; }
 
  private:
+  struct FusedFrame;  // per-frame lockstep state (sd_gemm_bfs.cpp)
+
   const Constellation* c_;
   BfsOptions opts_;
   DecodeScratch scratch_;
+  std::vector<std::unique_ptr<FusedFrame>> fused_;  ///< pooled across batches
   bool truncated_ = false;
 };
 

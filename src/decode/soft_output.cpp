@@ -35,7 +35,7 @@ SoftDecodeResult ListSphereDecoder::decode_soft(const CMat& h,
                                                 std::span<const cplx> y,
                                                 double sigma2) {
   SoftDecodeResult out;
-  const Preprocessed pre = preprocess(h, y, opts_.base.sorted_qr);
+  const Preprocessed pre = sd::preprocess(h, y, opts_.base.sorted_qr);
   out.hard.stats.preprocess_seconds = pre.seconds;
 
   const index_t m = pre.r.rows();

@@ -37,6 +37,31 @@ void preprocess_into(const CMat& h, std::span<const cplx> y, bool sorted_qr,
   pre.seconds = timer.elapsed_seconds();
 }
 
+void preprocess_with_channel(const PreprocessedChannel& prep,
+                             std::span<const cplx> y,
+                             PreprocessScratch& scratch, Preprocessed& pre) {
+  SD_TRACE_SPAN("decode.preprocess.cached");
+  const CMat& h = prep.channel.matrix();
+  SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");
+  Timer timer;
+  switch (prep.kind) {
+    case PrepKind::kQrSorted:
+      pre.r = prep.r;  // copy-assign; reuses pre's storage
+      pre.perm.assign(prep.perm.begin(), prep.perm.end());
+      pre.ybar.assign(static_cast<usize>(h.cols()), cplx{0, 0});
+      gemv(Op::kConjTrans, cplx{1, 0}, prep.q, y, cplx{0, 0}, pre.ybar);
+      break;
+    case PrepKind::kQrPlain:
+      pre.r = prep.qr.r();
+      prep.qr.apply_qh_into(y, pre.ybar, scratch.work);
+      pre.perm.clear();
+      break;
+    default:
+      SD_CHECK(false, "channel prep kind has no triangular system");
+  }
+  pre.seconds = timer.elapsed_seconds();
+}
+
 std::vector<index_t> to_antenna_order(const Preprocessed& pre,
                                       const std::vector<index_t>& layered) {
   std::vector<index_t> out;

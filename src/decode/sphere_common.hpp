@@ -77,6 +77,18 @@ struct PreprocessScratch {
 void preprocess_into(const CMat& h, std::span<const cplx> y, bool sorted_qr,
                      PreprocessScratch& scratch, Preprocessed& pre);
 
+/// Per-frame half of the two-phase split: derives ybar (and copies R / the
+/// permutation views) from an already-factored channel. `prep.kind` must be
+/// kQrPlain or kQrSorted. Bitwise-identical to preprocess_into() on the same
+/// H because the factorization bits come from the identical factorization
+/// code — only WHEN they were computed differs. pre.seconds records just the
+/// per-frame work (the amortized channel cost lives in prep.build_seconds).
+/// Heap-allocation-free in steady state for both kinds (the sorted path's
+/// qr_sorted() allocations happened at prep build time).
+void preprocess_with_channel(const PreprocessedChannel& prep,
+                             std::span<const cplx> y,
+                             PreprocessScratch& scratch, Preprocessed& pre);
+
 /// Converts layer-ordered detected indices back to antenna order.
 [[nodiscard]] std::vector<index_t> to_antenna_order(
     const Preprocessed& pre, const std::vector<index_t>& layered);

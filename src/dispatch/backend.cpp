@@ -44,7 +44,10 @@ namespace {
 }  // namespace
 
 Backend::Backend(SystemConfig system, BackendConfig config)
-    : system_(system), cfg_(std::move(config)) {
+    : system_(system),
+      cfg_(std::move(config)),
+      prep_cache_(ChannelPrepCache::Options{
+          std::max<usize>(1, cfg_.prep_cache_capacity), 4}) {
   SD_CHECK(cfg_.lanes >= 1, "backend needs at least one lane");
   SD_CHECK(cfg_.lane_queue_capacity >= 1, "lane queue capacity must be positive");
   SD_CHECK(cfg_.batch_size >= 1, "batch size must be positive");
@@ -222,8 +225,19 @@ void Backend::lane_main(unsigned lane) {
   while (next_batch(lane, batch)) {
     SD_TRACE_SPAN("dispatch.batch");
     Timer busy;
-    for (PlacedFrame& pf : batch) {
-      process(lane, *primary, kbest, linear, pf);
+    // Split the popped batch into maximal runs of CONSECUTIVE frames that
+    // share a channel and a tier. Consecutive-only grouping never reorders
+    // frames, so batch_size=1 (the default) behaves exactly as before and
+    // completion order is preserved within the pop.
+    usize i = 0;
+    while (i < batch.size()) {
+      usize j = i + 1;
+      while (j < batch.size() && batch[j].tier == batch[i].tier &&
+             batch[j].frame.channel.same_storage(batch[i].frame.channel)) {
+        ++j;
+      }
+      process_run(lane, *primary, kbest, linear, batch, i, j);
+      i = j;
     }
     std::lock_guard<std::mutex> lock(acct_mu_);
     serve::WorkerStats& ws = acct_.lanes[lane];
@@ -233,8 +247,144 @@ void Backend::lane_main(unsigned lane) {
   }
 }
 
+void Backend::process_run(unsigned lane, Detector& primary, Detector& kbest,
+                          Detector& linear, std::vector<PlacedFrame>& batch,
+                          usize begin, usize end) {
+  Detector& chosen = batch[begin].tier == serve::DecodeTier::kPrimary ? primary
+                     : batch[begin].tier == serve::DecodeTier::kKBest ? kbest
+                                                                      : linear;
+  const PrepKind kind = chosen.prep_kind();
+  // Paced (device) backends model a per-frame host<->device round trip, so
+  // host-side prep reuse and fusion do not apply; detectors without a
+  // cacheable channel phase have nothing to share.
+  if (kind == PrepKind::kNone || cfg_.pace_to_charged) {
+    for (usize i = begin; i < end; ++i) {
+      process(lane, primary, kbest, linear, batch[i]);
+    }
+    return;
+  }
+
+  bool cache_hit = false;
+  std::shared_ptr<const PreprocessedChannel> prep =
+      prep_cache_.get_or_build(batch[begin].frame.channel, kind, &cache_hit);
+  // First frame pays (or reuses) the factorization; the rest of the run
+  // reuses it by construction.
+  batch[begin].prep_hit = cache_hit;
+  for (usize i = begin + 1; i < end; ++i) batch[i].prep_hit = true;
+  {
+    std::lock_guard<std::mutex> lock(acct_mu_);
+    acct_.prep_hits += (end - begin) - (cache_hit ? 0 : 1);
+    acct_.prep_misses += cache_hit ? 0 : 1;
+  }
+
+  if (end - begin == 1) {
+    process(lane, primary, kbest, linear, batch[begin], prep.get());
+    return;
+  }
+  process_fused(lane, chosen, linear, batch, begin, end, *prep);
+}
+
+void Backend::process_fused(unsigned lane, Detector& chosen, Detector& linear,
+                            std::vector<PlacedFrame>& batch, usize begin,
+                            usize end, const PreprocessedChannel& prep) {
+  SD_TRACE_SPAN("dispatch.fused");
+  const serve::Clock::time_point dequeued = serve::Clock::now();
+  const usize n = end - begin;
+  std::vector<serve::FrameResult> results(n);
+  std::vector<Detector::BatchItem> items;
+  items.reserve(n);
+  std::vector<usize> live;
+  live.reserve(n);
+
+  for (usize i = 0; i < n; ++i) {
+    PlacedFrame& pf = batch[begin + i];
+    serve::FrameRequest& frame = pf.frame;
+    serve::FrameResult& r = results[i];
+    r.id = frame.id;
+    r.worker_id = pf.global_worker;
+    r.backend_id = pf.backend_id;
+    r.lane_id = lane;
+    r.tier = pf.tier;
+    r.stolen = pf.stolen;
+    r.queue_wait_s = seconds_between(frame.submit_time, dequeued);
+    const bool has_deadline = frame.deadline_s > 0.0;
+    if (has_deadline && r.queue_wait_s > frame.deadline_s) {
+      if (cfg_.zf_fallback_on_expiry) {
+        SD_TRACE_SPAN("dispatch.zf_fallback");
+        r.status = serve::FrameStatus::kExpiredFallback;
+        r.tier = serve::DecodeTier::kLinear;
+        linear.decode_into(frame.h(), frame.y, frame.sigma2, r.result);
+      } else {
+        r.status = serve::FrameStatus::kExpiredDropped;
+      }
+    } else {
+      r.status = serve::FrameStatus::kCompleted;
+      items.push_back(Detector::BatchItem{frame.y, frame.sigma2, &r.result});
+      live.push_back(i);
+    }
+  }
+
+  if (!live.empty()) {
+    SD_TRACE_SPAN("dispatch.decode");
+    chosen.decode_batch_with(prep, items);
+  }
+
+  const serve::Clock::time_point done = serve::Clock::now();
+  const double service = seconds_between(dequeued, done);
+  // Each frame's service spans the whole fused run (they finished together);
+  // the lane occupancy the cost model calibrates against is the amortized
+  // share, which is the entire point of fusing.
+  const double charged_share =
+      live.empty() ? 0.0 : service / static_cast<double>(live.size());
+  {
+    std::lock_guard<std::mutex> lock(acct_mu_);
+    if (live.size() >= 2) {
+      ++acct_.fused_runs;
+      acct_.fused_frames += live.size();
+      if (acct_.fused_width_counts.size() <= live.size()) {
+        acct_.fused_width_counts.resize(live.size() + 1, 0);
+      }
+      ++acct_.fused_width_counts[live.size()];
+    }
+    for (usize i = 0; i < n; ++i) {
+      ++acct_.frames;
+      switch (results[i].status) {
+        case serve::FrameStatus::kCompleted:
+          ++acct_.completed;
+          if (batch[begin + i].tier == serve::DecodeTier::kKBest) {
+            ++acct_.degraded_kbest;
+          }
+          if (batch[begin + i].tier == serve::DecodeTier::kLinear &&
+              !is_linear_strategy(cfg_.decoder.strategy)) {
+            ++acct_.degraded_linear;
+          }
+          break;
+        case serve::FrameStatus::kExpiredFallback:
+          ++acct_.expired_fallback;
+          break;
+        case serve::FrameStatus::kExpiredDropped:
+          ++acct_.expired_dropped;
+          break;
+        case serve::FrameStatus::kEvicted:
+          break;
+      }
+    }
+  }
+  for (usize i = 0; i < n; ++i) {
+    PlacedFrame& pf = batch[begin + i];
+    serve::FrameResult& r = results[i];
+    r.service_s = service;
+    r.e2e_s = seconds_between(pf.frame.submit_time, done);
+    r.deadline_missed = pf.frame.deadline_s > 0.0 && r.e2e_s > pf.frame.deadline_s;
+    pf.charged_seconds =
+        r.status == serve::FrameStatus::kCompleted ? charged_share : service;
+    if (sink_ != nullptr) sink_->frame_retired(pf, std::move(r));
+  }
+}
+
 void Backend::process(unsigned lane, Detector& primary, Detector& kbest,
-                      Detector& linear, PlacedFrame& pf) {
+                      Detector& linear, PlacedFrame& pf,
+                      const PreprocessedChannel* prep) {
   SD_TRACE_SPAN("dispatch.frame");
   const serve::Clock::time_point dequeued = serve::Clock::now();
   serve::FrameRequest& frame = pf.frame;
@@ -256,7 +406,7 @@ void Backend::process(unsigned lane, Detector& primary, Detector& kbest,
       SD_TRACE_SPAN("dispatch.zf_fallback");
       r.status = serve::FrameStatus::kExpiredFallback;
       r.tier = serve::DecodeTier::kLinear;
-      linear.decode_into(frame.h, frame.y, frame.sigma2, r.result);
+      linear.decode_into(frame.h(), frame.y, frame.sigma2, r.result);
     } else {
       r.status = serve::FrameStatus::kExpiredDropped;
     }
@@ -267,7 +417,11 @@ void Backend::process(unsigned lane, Detector& primary, Detector& kbest,
                                                               : linear;
     {
       SD_TRACE_SPAN("dispatch.decode");
-      chosen.decode_into(frame.h, frame.y, frame.sigma2, r.result);
+      if (prep != nullptr && chosen.prep_kind() == prep->kind) {
+        chosen.decode_with(*prep, frame.y, frame.sigma2, r.result);
+      } else {
+        chosen.decode_into(frame.h(), frame.y, frame.sigma2, r.result);
+      }
     }
     if (cfg_.pace_to_charged) {
       // Pace the lane to the charged device time plus the transfer RTT: the

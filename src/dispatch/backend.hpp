@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/sphere_decoder.hpp"
+#include "decode/channel_prep.hpp"
 #include "serve/frame.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
@@ -53,6 +54,9 @@ struct BackendConfig {
   /// fixed per-frame overhead including any RTT).
   double prior_seconds_per_node = 150e-9;
   double prior_overhead_s = 30e-6;
+  /// Entries in the backend's shared channel-preprocessing cache (one per
+  /// distinct (channel, PrepKind) in flight; coherence blocks need one).
+  usize prep_cache_capacity = 64;
 };
 
 /// A frame bound to a (backend, lane) with its placement metadata. The
@@ -67,6 +71,10 @@ struct PlacedFrame {
   bool stolen = false;
   double predicted_seconds = 0.0;  ///< dispatcher's prediction at placement
   double charged_seconds = 0.0;    ///< filled by the lane after decode
+  /// Set by the decoding lane: the channel factorization came from the
+  /// backend's prep cache (or an earlier frame of the same popped run)
+  /// instead of being rebuilt for this frame.
+  bool prep_hit = false;
   /// Frame features captured at placement so the completion path can update
   /// the cost model without recomputing them.
   double snr_db = 0.0;
@@ -103,6 +111,14 @@ class Backend {
     std::uint64_t steals = 0;
     std::uint64_t degraded_kbest = 0;
     std::uint64_t degraded_linear = 0;
+    /// Coherence-block reuse: frames whose channel factorization was reused
+    /// (cache or same popped run) vs rebuilt, fused multi-frame decode runs,
+    /// and the distribution of fused-run widths (index = frames per run).
+    std::uint64_t prep_hits = 0;
+    std::uint64_t prep_misses = 0;
+    std::uint64_t fused_runs = 0;
+    std::uint64_t fused_frames = 0;
+    std::vector<std::uint64_t> fused_width_counts;
     usize in_queue = 0;
     std::vector<serve::WorkerStats> lanes;  ///< utilization filled by caller
   };
@@ -157,13 +173,31 @@ class Backend {
   /// batch_size), or steals one frame from the most-backlogged sibling when
   /// the own queue is empty. Returns false when closed and fully drained.
   bool next_batch(unsigned lane, std::vector<PlacedFrame>& out);
+  /// A maximal run of consecutive frames from one popped batch that share a
+  /// channel and tier. Resolves the shared factorization once through
+  /// prep_cache_, then decodes the run fused (decode_batch_with) or falls
+  /// back to per-frame process() when the detector has no cacheable phase.
+  void process_run(unsigned lane, Detector& primary, Detector& kbest,
+                   Detector& linear, std::vector<PlacedFrame>& batch,
+                   usize begin, usize end);
+  /// Fused path: expired frames peel off to their usual fallback; the live
+  /// remainder decodes through one decode_batch_with call against the shared
+  /// prep — bit-identical per frame to the sequential path.
+  void process_fused(unsigned lane, Detector& chosen, Detector& linear,
+                     std::vector<PlacedFrame>& batch, usize begin, usize end,
+                     const PreprocessedChannel& prep);
   void process(unsigned lane, Detector& primary, Detector& kbest,
-               Detector& linear, PlacedFrame& pf);
+               Detector& linear, PlacedFrame& pf,
+               const PreprocessedChannel* prep = nullptr);
 
   SystemConfig system_;
   BackendConfig cfg_;
   std::vector<serve::DecodeTier> ladder_;
   LaneSink* sink_ = nullptr;
+  /// Shared across this backend's lanes: (fingerprint, kind) -> prep. Lanes
+  /// of one backend serve the same coherent stream, so sharing the cache
+  /// (instead of one per lane) lets a stolen or rebalanced frame still hit.
+  ChannelPrepCache prep_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable not_empty_;

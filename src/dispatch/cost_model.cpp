@@ -74,25 +74,26 @@ double CostModel::prior_nodes(const FrameFeatures& f, DecodeTier tier) {
 }
 
 std::string CostModel::bucket_key(const FrameFeatures& f, int backend,
-                                  DecodeTier tier) const {
+                                  DecodeTier tier, bool prep_hit) const {
   const long snr_bucket =
       std::lround(std::floor(f.snr_db / opts_.snr_bucket_db));
   const long cond_bucket = std::lround(
       std::floor(std::log2(std::clamp(f.cond_proxy, 1.0, 16.0))));
   std::ostringstream key;
   key << 'b' << backend << ".t" << static_cast<int>(tier) << ".m" << f.num_tx
-      << ".q" << f.mod_order << ".s" << snr_bucket << ".c" << cond_bucket;
+      << ".q" << f.mod_order << ".s" << snr_bucket << ".c" << cond_bucket
+      << (prep_hit ? ".h1" : ".h0");
   return key.str();
 }
 
 CostPrediction CostModel::predict(const FrameFeatures& f, int backend,
-                                  DecodeTier tier) const {
+                                  DecodeTier tier, bool prep_hit) const {
   std::lock_guard<std::mutex> lock(mu_);
   SD_CHECK(backend >= 0 && static_cast<usize>(backend) < rates_.size(),
            "cost-model backend id out of range");
   const Rate& rate = rates_[static_cast<usize>(backend)];
   CostPrediction p;
-  const auto it = buckets_.find(bucket_key(f, backend, tier));
+  const auto it = buckets_.find(bucket_key(f, backend, tier, prep_hit));
   if (it != buckets_.end() && it->second.count > 0) {
     p.warm = true;
     p.nodes = it->second.nodes_ewma;
@@ -108,11 +109,12 @@ CostPrediction CostModel::predict(const FrameFeatures& f, int backend,
 }
 
 void CostModel::observe(const FrameFeatures& f, int backend, DecodeTier tier,
-                        std::uint64_t nodes_expanded, double charged_seconds) {
+                        std::uint64_t nodes_expanded, double charged_seconds,
+                        bool prep_hit) {
   std::lock_guard<std::mutex> lock(mu_);
   SD_CHECK(backend >= 0 && static_cast<usize>(backend) < rates_.size(),
            "cost-model backend id out of range");
-  Bucket& b = buckets_[bucket_key(f, backend, tier)];
+  Bucket& b = buckets_[bucket_key(f, backend, tier, prep_hit)];
   // Node counts are heavy-tailed (rare frames explore 10x the typical tree),
   // so the smoothing runs in log domain: the bucket tracks the geometric
   // mean, which predicts the *typical* frame instead of being dragged up by
@@ -149,7 +151,7 @@ std::string CostModel::export_json() const {
   obs::JsonWriter w;
   w.begin_object();
   w.key("schema").value("spheredec.costmodel");
-  w.key("schema_version").value(std::int64_t{1});
+  w.key("schema_version").value(std::int64_t{2});
   w.key("ewma_alpha").value(opts_.ewma_alpha);
   w.key("snr_bucket_db").value(opts_.snr_bucket_db);
   w.key("backends").begin_array();
@@ -273,6 +275,7 @@ void CostModel::import_json(std::string_view json) {
   std::vector<Rate> rates;
   std::map<std::string, Bucket, std::less<>> buckets;
   bool schema_ok = false;
+  long version = 0;
 
   p.expect('{');
   bool first = true;
@@ -287,7 +290,9 @@ void CostModel::import_json(std::string_view json) {
       }
       schema_ok = true;
     } else if (key == "schema_version") {
-      if (p.parse_number() != 1.0) p.fail("unsupported schema_version");
+      const double v = p.parse_number();
+      if (v != 1.0 && v != 2.0) p.fail("unsupported schema_version");
+      version = static_cast<long>(v);
     } else if (key == "ewma_alpha" || key == "snr_bucket_db") {
       (void)p.parse_number();  // informational; options stay as constructed
     } else if (key == "backends") {
@@ -363,6 +368,13 @@ void CostModel::import_json(std::string_view json) {
   if (!p.at_end()) p.fail("trailing content");
   if (!schema_ok) {
     throw invalid_argument_error("cost-model JSON: missing schema tag");
+  }
+  if (version < 2) {
+    // v1 shim: buckets predate the prep-hit key dimension. A v1 soak never
+    // reused a cached factorization, so its buckets are prep-miss buckets.
+    std::map<std::string, Bucket, std::less<>> upgraded;
+    for (auto& [key, b] : buckets) upgraded.emplace(key + ".h0", b);
+    buckets = std::move(upgraded);
   }
 
   std::lock_guard<std::mutex> lock(mu_);

@@ -82,12 +82,18 @@ class CostModel {
   [[nodiscard]] usize backend_count() const;
 
   /// Predicted cost of decoding a frame with `tier` on `backend`.
+  /// `prep_hit` selects the prep-cache-hit calibration bucket: a frame
+  /// landing on a lane that just decoded the same channel skips the
+  /// factorization, and the model learns that discount separately instead of
+  /// smearing it into one bucket.
   [[nodiscard]] CostPrediction predict(const FrameFeatures& f, int backend,
-                                       DecodeTier tier) const;
+                                       DecodeTier tier,
+                                       bool prep_hit = false) const;
 
   /// Feeds one completed decode back into the matching bucket.
   void observe(const FrameFeatures& f, int backend, DecodeTier tier,
-               std::uint64_t nodes_expanded, double charged_seconds);
+               std::uint64_t nodes_expanded, double charged_seconds,
+               bool prep_hit = false);
 
   /// Analytic prior for the node count (no calibration): exponential in M
   /// with an SNR-dependent exponent for the sphere-decoder tier, fixed
@@ -100,12 +106,15 @@ class CostModel {
   [[nodiscard]] std::uint64_t observations() const;
 
   /// Serializes rates and every calibrated bucket ("spheredec.costmodel"
-  /// schema, version 1).
+  /// schema, version 2: bucket keys carry a ".h0"/".h1" prep-hit suffix).
   [[nodiscard]] std::string export_json() const;
 
-  /// Restores a model exported by export_json. Backends must already be
-  /// registered with matching labels (rates are overwritten). Throws
-  /// sd::invalid_argument_error on malformed input or label mismatch.
+  /// Restores a model exported by export_json. Accepts schema version 2 and,
+  /// for warm-start continuity, version 1 (whose buckets predate the
+  /// prep-hit split and are imported as prep-miss ".h0" buckets). Backends
+  /// must already be registered with matching labels (rates are
+  /// overwritten). Throws sd::invalid_argument_error on malformed input or
+  /// label mismatch.
   void import_json(std::string_view json);
 
  private:
@@ -121,7 +130,7 @@ class CostModel {
   };
 
   [[nodiscard]] std::string bucket_key(const FrameFeatures& f, int backend,
-                                       DecodeTier tier) const;
+                                       DecodeTier tier, bool prep_hit) const;
 
   CostModelOptions opts_;
   std::vector<Rate> rates_;

@@ -40,8 +40,19 @@ void DispatchStats::export_counters(obs::CounterRegistry& registry,
   registry.set(p + "prediction.count", predictions);
   registry.set(p + "prediction.samples", prediction_samples);
   registry.set(p + "prediction.mean_rel_error", mean_rel_error);
+  registry.set(p + "prediction.mean_rel_error.hit", mean_rel_error_hit);
+  registry.set(p + "prediction.mean_rel_error.miss", mean_rel_error_miss);
   registry.set(p + "cost.observations", cost_observations);
   registry.set(p + "cost.buckets", cost_buckets);
+  registry.set(p + "prep.cache_hit", prep_hits);
+  registry.set(p + "prep.cache_miss", prep_misses);
+  registry.set(p + "fused.runs", fused_runs);
+  registry.set(p + "fused.frames", fused_frames);
+  for (usize w = 0; w < fused_width_counts.size(); ++w) {
+    if (fused_width_counts[w] == 0) continue;
+    registry.set(p + "fused.width." + std::to_string(w),
+                 fused_width_counts[w]);
+  }
 }
 
 namespace {
@@ -105,6 +116,7 @@ Dispatcher::Dispatcher(SystemConfig system, std::vector<BackendConfig> configs,
                               options.histogram_buckets);
   }
   pending_s_.assign(total_lanes_, 0.0);
+  lane_last_fp_.assign(total_lanes_, 0);
   start_ = serve::Clock::now();
   for (auto& b : backends_) b->start(*this);
 }
@@ -112,7 +124,14 @@ Dispatcher::Dispatcher(SystemConfig system, std::vector<BackendConfig> configs,
 Dispatcher::~Dispatcher() { drain(); }
 
 Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
-                                         double deadline_s) {
+                                         double deadline_s,
+                                         std::uint64_t channel_fp) {
+  // A lane whose previous frame carried the same channel fingerprint will
+  // find the factorization in the backend's prep cache — predict it from
+  // the hit-calibrated buckets.
+  const auto lane_is_hit = [&](unsigned global_lane) {
+    return channel_fp != 0 && lane_last_fp_[global_lane] == channel_fp;
+  };
   Placement p;
   switch (opts_.policy) {
     case PlacementPolicy::kRoundRobin: {
@@ -176,7 +195,8 @@ Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
           if (!ladder_has(backends_[b]->ladder(), tier)) continue;
           const double pred =
               cost_.predict(f, static_cast<int>(b),
-                            cost_shape(*backends_[b], tier))
+                            cost_shape(*backends_[b], tier),
+                            lane_is_hit(lane_base_[b] + cand[b].lane))
                   .seconds;
           const double eta = cand[b].pending + pred;
           if (eta < best_eta) {
@@ -201,29 +221,35 @@ Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
     }
   }
   p.predicted_seconds =
-      cost_.predict(f, p.backend, cost_shape(*backends_[p.backend], p.tier))
+      cost_.predict(f, p.backend, cost_shape(*backends_[p.backend], p.tier),
+                    lane_is_hit(lane_base_[static_cast<usize>(p.backend)] +
+                                p.lane))
           .seconds;
   return p;
 }
 
 serve::SubmitStatus Dispatcher::submit(serve::FrameRequest frame) {
   SD_TRACE_SPAN("dispatch.submit");
-  SD_CHECK(frame.h.rows() == static_cast<index_t>(frame.y.size()),
+  SD_CHECK(frame.channel.valid(), "frame carries no channel estimate");
+  SD_CHECK(frame.h().rows() == static_cast<index_t>(frame.y.size()),
            "frame y length does not match channel rows");
-  SD_CHECK(frame.h.cols() == system_.num_tx,
+  SD_CHECK(frame.h().cols() == system_.num_tx,
            "frame channel columns do not match the served system");
   if (frame.submit_time == serve::Clock::time_point{}) {
     frame.submit_time = serve::Clock::now();
   }
 
   const FrameFeatures f =
-      FrameFeatures::extract(frame.h, frame.sigma2, mod_order_);
+      FrameFeatures::extract(frame.h(), frame.sigma2, mod_order_);
   Placement p;
   {
     std::lock_guard<std::mutex> lock(place_mu_);
-    p = choose(f, frame.deadline_s);
-    pending_s_[lane_base_[static_cast<usize>(p.backend)] + p.lane] +=
-        p.predicted_seconds;
+    p = choose(f, frame.deadline_s, frame.channel.fingerprint());
+    const unsigned g = lane_base_[static_cast<usize>(p.backend)] + p.lane;
+    pending_s_[g] += p.predicted_seconds;
+    // Record the channel affinity: the next frame placed on this lane with
+    // the same fingerprint is predicted (and costed) as a prep-cache hit.
+    lane_last_fp_[g] = frame.channel.fingerprint();
   }
   const unsigned global = lane_base_[static_cast<usize>(p.backend)] + p.lane;
   const auto rollback_pending = [&] {
@@ -302,6 +328,9 @@ void Dispatcher::frame_stolen(const PlacedFrame& placed, unsigned thief_lane) {
   double& old_pend = pending_s_[old_g];
   old_pend = std::max(0.0, old_pend - placed.predicted_seconds);
   pending_s_[new_g] += placed.predicted_seconds;
+  // The thief lane will decode this channel next; keep the affinity signal
+  // honest for subsequent placements.
+  lane_last_fp_[new_g] = placed.frame.channel.fingerprint();
 }
 
 void Dispatcher::frame_retired(const PlacedFrame& placed,
@@ -322,7 +351,8 @@ void Dispatcher::frame_retired(const PlacedFrame& placed,
     f.snr_db = placed.snr_db;
     f.cond_proxy = placed.cond_proxy;
     cost_.observe(f, placed.backend_id, cost_shape(*backends_[b], placed.tier),
-                  result.result.stats.nodes_expanded, placed.charged_seconds);
+                  result.result.stats.nodes_expanded, placed.charged_seconds,
+                  placed.prep_hit);
   }
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
@@ -362,9 +392,19 @@ void Dispatcher::frame_retired(const PlacedFrame& placed,
         const double actual = placed.charged_seconds;
         const double denom =
             std::max({placed.predicted_seconds, actual, 1e-12});
-        prediction_abs_rel_err_sum_ +=
+        const double err =
             std::abs(placed.predicted_seconds - actual) / denom;
+        prediction_abs_rel_err_sum_ += err;
         ++prediction_samples_;
+        // Split by prep-cache outcome so the report shows whether the
+        // hit/miss buckets have actually diverged.
+        if (placed.prep_hit) {
+          prediction_err_sum_hit_ += err;
+          ++prediction_samples_hit_;
+        } else {
+          prediction_err_sum_miss_ += err;
+          ++prediction_samples_miss_;
+        }
       }
     }
   }
@@ -469,6 +509,16 @@ DispatchStats Dispatcher::stats() const {
   for (const auto& b : backends_) {
     const Backend::Snapshot snap = b->snapshot();
     s.steals += snap.steals;
+    s.prep_hits += snap.prep_hits;
+    s.prep_misses += snap.prep_misses;
+    s.fused_runs += snap.fused_runs;
+    s.fused_frames += snap.fused_frames;
+    if (snap.fused_width_counts.size() > s.fused_width_counts.size()) {
+      s.fused_width_counts.resize(snap.fused_width_counts.size(), 0);
+    }
+    for (usize w = 0; w < snap.fused_width_counts.size(); ++w) {
+      s.fused_width_counts[w] += snap.fused_width_counts[w];
+    }
   }
   std::lock_guard<std::mutex> lock(metrics_mu_);
   s.degraded_kbest = degraded_kbest_;
@@ -479,6 +529,18 @@ DispatchStats Dispatcher::stats() const {
                          ? prediction_abs_rel_err_sum_ /
                                static_cast<double>(prediction_samples_)
                          : 0.0;
+  s.prediction_samples_hit = prediction_samples_hit_;
+  s.prediction_samples_miss = prediction_samples_miss_;
+  s.mean_rel_error_hit =
+      prediction_samples_hit_ > 0
+          ? prediction_err_sum_hit_ /
+                static_cast<double>(prediction_samples_hit_)
+          : 0.0;
+  s.mean_rel_error_miss =
+      prediction_samples_miss_ > 0
+          ? prediction_err_sum_miss_ /
+                static_cast<double>(prediction_samples_miss_)
+          : 0.0;
   s.cost_observations = cost_.observations();
   s.cost_buckets = cost_.bucket_count();
   return s;

@@ -87,8 +87,21 @@ struct DispatchStats {
   std::uint64_t predictions = 0;     ///< completed frames with a prediction
   std::uint64_t prediction_samples = 0;  ///< post-warmup samples in the mean
   double mean_rel_error = 0.0;  ///< mean |pred-actual| / max(pred, actual)
+  /// Prediction error split by prep-cache outcome: a calibrated model should
+  /// show the two diverging (hits are cheaper than misses).
+  std::uint64_t prediction_samples_hit = 0;
+  std::uint64_t prediction_samples_miss = 0;
+  double mean_rel_error_hit = 0.0;
+  double mean_rel_error_miss = 0.0;
   std::uint64_t cost_observations = 0;   ///< decodes fed back into the model
   std::uint64_t cost_buckets = 0;        ///< calibrated (backend, scenario) buckets
+  /// Coherence-block reuse: preprocessing cache traffic and fused multi-frame
+  /// decode runs, aggregated over the backend pool.
+  std::uint64_t prep_hits = 0;
+  std::uint64_t prep_misses = 0;
+  std::uint64_t fused_runs = 0;    ///< decode_batch_with calls covering >= 2 frames
+  std::uint64_t fused_frames = 0;  ///< frames decoded inside fused runs
+  std::vector<std::uint64_t> fused_width_counts;  ///< index = frames per run
 
   /// Pours the stats into the unified counter registry under "<prefix>.*",
   /// e.g. "dispatch.prediction.mean_rel_error".
@@ -151,7 +164,8 @@ class Dispatcher final : public LaneSink {
     double predicted_seconds = 0.0;
   };
 
-  [[nodiscard]] Placement choose(const FrameFeatures& f, double deadline_s);
+  [[nodiscard]] Placement choose(const FrameFeatures& f, double deadline_s,
+                                 std::uint64_t channel_fp);
   void account_evicted(const PlacedFrame& displaced);
 
   SystemConfig system_;
@@ -170,6 +184,9 @@ class Dispatcher final : public LaneSink {
   std::mutex place_mu_;
   std::uint64_t rr_next_ = 0;
   std::vector<double> pending_s_;
+  /// Last channel fingerprint placed on each global lane (0 = none): the
+  /// cost-aware policy's prep-cache affinity signal.
+  std::vector<std::uint64_t> lane_last_fp_;
 
   // Metrics. Same single-lock discipline as the serve layer: counter and
   // histogram updates are noise next to a decode.
@@ -180,6 +197,8 @@ class Dispatcher final : public LaneSink {
   std::uint64_t degraded_kbest_ = 0, degraded_linear_ = 0;
   std::uint64_t predictions_ = 0, prediction_samples_ = 0;
   double prediction_abs_rel_err_sum_ = 0.0;
+  std::uint64_t prediction_samples_hit_ = 0, prediction_samples_miss_ = 0;
+  double prediction_err_sum_hit_ = 0.0, prediction_err_sum_miss_ = 0.0;
   Histogram queue_wait_h_, service_h_, e2e_h_;
   struct PerBackend {
     std::uint64_t submitted = 0, completed = 0, expired_fallback = 0,

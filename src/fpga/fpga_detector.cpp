@@ -16,7 +16,7 @@ FpgaDetector::FpgaDetector(const Constellation& constellation,
 DecodeResult FpgaDetector::decode(const CMat& h, std::span<const cplx> y,
                                   double sigma2) {
   SD_TRACE_SPAN("decode");
-  const Preprocessed pre = preprocess(h, y, opts_.sorted_qr);
+  const Preprocessed pre = sd::preprocess(h, y, opts_.sorted_qr);
   last_ = pipeline_.run(pre, *c_, sigma2, opts_);
   DecodeResult result = last_.result;
   result.stats.preprocess_seconds = pre.seconds;

@@ -10,6 +10,7 @@ std::string ScenarioConfig::label() const {
   std::ostringstream os;
   os << num_tx << "x" << num_rx << " "
      << modulation_name(modulation) << " @ " << snr_db << " dB";
+  if (coherence_block > 1) os << " L=" << coherence_block;
   return os.str();
 }
 
@@ -23,7 +24,17 @@ Scenario::Scenario(ScenarioConfig config)
 
 Trial Scenario::next() {
   Trial t;
-  t.h = channel_.draw_channel();
+  // Block fading: one channel realization per coherence block. The <= 1
+  // path is untouched so the default stream stays byte-identical.
+  if (config_.coherence_block <= 1) {
+    t.h = channel_.draw_channel();
+  } else {
+    if (trial_index_ % config_.coherence_block == 0) {
+      block_h_ = channel_.draw_channel();
+    }
+    t.h = block_h_;
+  }
+  ++trial_index_;
   t.tx = random_tx(*constellation_, config_.num_tx, symbol_rng_);
   t.sigma2 = sigma2_;
   t.y = channel_.transmit(t.h, t.tx.symbols, sigma2_);

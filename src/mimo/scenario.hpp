@@ -21,6 +21,11 @@ struct ScenarioConfig {
   double snr_db = 8.0;
   std::uint64_t seed = 1;
   ChannelCorrelation correlation = {};
+  /// Channel coherence block: one channel realization is held for this many
+  /// consecutive trials (block fading). 1 = i.i.d. per trial, reproducing
+  /// the original stream byte-for-byte; symbols and noise still advance
+  /// every trial either way.
+  usize coherence_block = 1;
 
   [[nodiscard]] std::string label() const;
 };
@@ -53,6 +58,8 @@ class Scenario {
   double sigma2_;
   ChannelModel channel_;
   GaussianSource symbol_rng_;
+  usize trial_index_ = 0;
+  CMat block_h_;  ///< current coherence block's realization (coherence > 1)
 };
 
 }  // namespace sd

@@ -24,13 +24,22 @@ namespace sd::serve {
 using Clock = std::chrono::steady_clock;
 
 /// One frame submitted for detection.
+///
+/// The channel estimate travels as a shared immutable ChannelHandle: frames
+/// of one coherence block reference a single H allocation through every
+/// queue hop (submit -> lane queue -> steal -> decode), instead of the dense
+/// matrix being deep-copied per frame per hop. The handle's fingerprint also
+/// keys the backends' preprocessing cache.
 struct FrameRequest {
   std::uint64_t id = 0;        ///< caller-chosen identifier, echoed back
-  CMat h;                      ///< channel estimate (N x M)
+  ChannelHandle channel;       ///< shared channel estimate (N x M)
   CVec y;                      ///< received vector (length N)
   double sigma2 = 0.0;         ///< noise variance
   double deadline_s = 0.0;     ///< end-to-end budget from accept; 0 = none
   Clock::time_point submit_time{};  ///< stamped by DetectionServer::submit
+
+  /// The channel matrix. Requires a valid handle (submit enforces this).
+  [[nodiscard]] const CMat& h() const { return channel.matrix(); }
 };
 
 /// Terminal state of a frame.

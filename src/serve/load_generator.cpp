@@ -31,6 +31,7 @@ LoadGenerator::LoadGenerator(SystemConfig system, DecoderSpec spec,
   } else {
     SD_CHECK(load_.rate_fps > 0.0, "open-loop rate must be positive");
   }
+  SD_CHECK(load_.coherence >= 1, "coherence block must be positive");
 }
 
 LoadReport LoadGenerator::run(const CompletionFn& observer,
@@ -44,10 +45,20 @@ LoadReport LoadGenerator::run(const CompletionFn& observer,
   sc.modulation = system_.modulation;
   sc.snr_db = load_.snr_db;
   sc.seed = load_.seed;
+  sc.coherence_block = load_.coherence;
   Scenario scenario(sc);
   std::vector<Trial> trials;
   trials.reserve(load_.num_frames);
   for (usize i = 0; i < load_.num_frames; ++i) trials.push_back(scenario.next());
+
+  // One shared ChannelHandle per coherence block: every frame of a block
+  // points at the same immutable storage (and carries the same fingerprint),
+  // so nothing downstream ever copies or re-fingerprints H.
+  std::vector<ChannelHandle> channels(load_.num_frames);
+  for (usize i = 0; i < load_.num_frames; ++i) {
+    channels[i] = (i % load_.coherence == 0) ? ChannelHandle(trials[i].h)
+                                             : channels[i - 1];
+  }
 
   struct Shared {
     std::mutex mu;
@@ -67,7 +78,7 @@ LoadReport LoadGenerator::run(const CompletionFn& observer,
   auto make_frame = [&](usize i) {
     FrameRequest f;
     f.id = i;
-    f.h = trials[i].h;
+    f.channel = channels[i];
     f.y = trials[i].y;
     f.sigma2 = trials[i].sigma2;
     f.deadline_s = load_.deadline_s;

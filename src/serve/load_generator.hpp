@@ -38,6 +38,11 @@ struct LoadOptions {
   double deadline_s = 0.0;   ///< per-frame budget; 0 = server default
   double snr_db = 8.0;
   std::uint64_t seed = 1;    ///< scenario seed (frame contents)
+  /// Channel coherence block: H is drawn once per `coherence` consecutive
+  /// frames, and frames of one block share one ChannelHandle (one storage
+  /// allocation, one fingerprint). 1 = i.i.d. channels, the original
+  /// byte-identical stream.
+  usize coherence = 1;
 };
 
 /// Result of one generated run. Detection quality is measured against the

@@ -112,9 +112,10 @@ DetectionServer::~DetectionServer() { drain(); }
 
 SubmitStatus DetectionServer::submit(FrameRequest frame) {
   SD_TRACE_SPAN("serve.submit");
-  SD_CHECK(frame.h.rows() == static_cast<index_t>(frame.y.size()),
+  SD_CHECK(frame.channel.valid(), "frame carries no channel estimate");
+  SD_CHECK(frame.h().rows() == static_cast<index_t>(frame.y.size()),
            "frame y length does not match channel rows");
-  SD_CHECK(frame.h.cols() == system_.num_tx,
+  SD_CHECK(frame.h().cols() == system_.num_tx,
            "frame channel columns do not match the served system");
   if (frame.deadline_s <= 0.0) frame.deadline_s = opts_.default_deadline_s;
   frame.submit_time = Clock::now();

@@ -101,6 +101,44 @@ TEST_F(AllocFree, ScalarAblationDecodeIsAllocationFreeAfterWarmup) {
   expect_steady_state_alloc_free(det, "SD-Scalar-BestFS");
 }
 
+/// Same contract for the cached-prep path: once the prep is built and the
+/// detector is warm, repeated decode_with() calls must not allocate — the
+/// serving hot loop under coherent traffic is prep-cache hit + decode_with.
+void expect_cached_prep_alloc_free(Detector& detector, const char* what) {
+  const ChannelHandle channel(testing::random_cmat(kM, kM, 9001));
+  const CVec y = testing::random_cvec(kM, 9002);
+  auto prep = detector.preprocess(channel);
+  DecodeResult result;
+  for (int warm = 0; warm < 3; ++warm) {
+    detector.decode_with(*prep, y, kSigma2, result);
+  }
+  const DecodeResult warm_result = result;
+
+  const obs::AllocCounts before = obs::alloc_counts();
+  for (int rep = 0; rep < 10; ++rep) {
+    detector.decode_with(*prep, y, kSigma2, result);
+  }
+  const obs::AllocCounts after = obs::alloc_counts();
+
+  EXPECT_EQ(after.allocations, before.allocations)
+      << what << ": steady-state decode_with allocated ("
+      << (after.allocations - before.allocations) << " allocations over 10 "
+      << "decodes)";
+
+  EXPECT_EQ(result.indices, warm_result.indices);
+  EXPECT_EQ(result.metric, warm_result.metric);
+}
+
+TEST_F(AllocFree, BestFsCachedPrepDecodeIsAllocationFreeAfterWarmup) {
+  SdGemmDetector det(Constellation::get(Modulation::kQam16));
+  expect_cached_prep_alloc_free(det, "SD-GEMM-BestFS/decode_with");
+}
+
+TEST_F(AllocFree, BfsCachedPrepDecodeIsAllocationFreeAfterWarmup) {
+  SdGemmBfsDetector det(Constellation::get(Modulation::kQam16));
+  expect_cached_prep_alloc_free(det, "SD-GEMM-BFS/decode_with");
+}
+
 TEST_F(AllocFree, ExportedCountersReflectTraffic) {
   obs::CounterRegistry reg;
   obs::export_alloc_counters(reg);

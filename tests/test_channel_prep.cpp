@@ -1,0 +1,222 @@
+// Channel handles and the preprocessing cache.
+//
+// Pins the invariants the coherence-block machinery leans on: fingerprints
+// are deterministic and content-derived; handles share storage instead of
+// copying H; the cache reuses factorizations on hit, evicts LRU at capacity,
+// and survives fingerprint collisions by content verification (a collision
+// degrades to a rebuild, never to wrong bits). The Concurrent* suites drive
+// the sharded cache and shared read-only preps from many threads and run
+// under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "decode/channel_prep.hpp"
+#include "decode/parallel_sd.hpp"
+#include "decode/sd_gemm.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+bool same_bits(const CMat& a, const CMat& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(cplx) * static_cast<usize>(a.rows()) *
+                         static_cast<usize>(a.cols())) == 0;
+}
+
+TEST(ChannelPrep, FingerprintIsContentDerived) {
+  const CMat h = testing::random_cmat(6, 6, 41);
+  CMat same = h;
+  EXPECT_EQ(channel_fingerprint(h), channel_fingerprint(same));
+
+  CMat other = h;
+  other(2, 3) = -other(2, 3);  // any bit flip must change the fingerprint
+  EXPECT_NE(channel_fingerprint(h), channel_fingerprint(other));
+
+  // Dimensions participate: a 1x4 and a 4x1 with identical bytes differ.
+  CMat wide(1, 4);
+  CMat tall(4, 1);
+  for (index_t i = 0; i < 4; ++i) {
+    wide(0, i) = cplx{static_cast<double>(i), 0.0};
+    tall(i, 0) = cplx{static_cast<double>(i), 0.0};
+  }
+  EXPECT_NE(channel_fingerprint(wide), channel_fingerprint(tall));
+}
+
+TEST(ChannelPrep, HandleSharesStorage) {
+  ChannelHandle a(testing::random_cmat(5, 5, 7));
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.use_count(), 1);
+
+  ChannelHandle b = a;  // copy shares the allocation, not the bytes
+  EXPECT_TRUE(b.same_storage(a));
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(&a.matrix(), &b.matrix());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  ChannelHandle empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.same_storage(a));
+}
+
+TEST(ChannelPrep, CacheHitsReuseTheFactorization) {
+  ChannelPrepCache cache(ChannelPrepCache::Options{8, 2});
+  ChannelHandle channel(testing::random_cmat(6, 6, 11));
+
+  bool hit = true;
+  auto first = cache.get_or_build(channel, PrepKind::kQrSorted, &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->kind, PrepKind::kQrSorted);
+
+  auto second = cache.get_or_build(channel, PrepKind::kQrSorted, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // the same object, not a rebuild
+
+  // A different kind for the same channel is a distinct entry.
+  auto zf = cache.get_or_build(channel, PrepKind::kZf, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(zf->kind, PrepKind::kZf);
+
+  const ChannelPrepCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(st.collisions, 0u);
+}
+
+TEST(ChannelPrep, CacheEvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and deterministic.
+  ChannelPrepCache cache(ChannelPrepCache::Options{2, 1});
+  ChannelHandle a(testing::random_cmat(5, 5, 1));
+  ChannelHandle b(testing::random_cmat(5, 5, 2));
+  ChannelHandle c(testing::random_cmat(5, 5, 3));
+
+  bool hit = false;
+  (void)cache.get_or_build(a, PrepKind::kQrPlain, &hit);
+  (void)cache.get_or_build(b, PrepKind::kQrPlain, &hit);
+  (void)cache.get_or_build(a, PrepKind::kQrPlain, &hit);  // a is now MRU
+  EXPECT_TRUE(hit);
+
+  (void)cache.get_or_build(c, PrepKind::kQrPlain, &hit);  // evicts b (LRU)
+  EXPECT_FALSE(hit);
+  EXPECT_GE(cache.stats().evictions, 1u);
+
+  (void)cache.get_or_build(a, PrepKind::kQrPlain, &hit);
+  EXPECT_TRUE(hit) << "the recently-used entry must survive the eviction";
+  (void)cache.get_or_build(b, PrepKind::kQrPlain, &hit);
+  EXPECT_FALSE(hit) << "the evicted entry must rebuild";
+}
+
+TEST(ChannelPrep, FingerprintCollisionRebuildsInsteadOfLying) {
+  ChannelPrepCache cache(ChannelPrepCache::Options{8, 1});
+  const CMat ha = testing::random_cmat(5, 5, 21);
+  const CMat hb = testing::random_cmat(5, 5, 22);
+  // Force both distinct matrices onto one cache key.
+  ChannelHandle a(ha, /*fingerprint=*/0xDEADBEEFull);
+  ChannelHandle b(hb, /*fingerprint=*/0xDEADBEEFull);
+
+  bool hit = false;
+  auto prep_a = cache.get_or_build(a, PrepKind::kQrSorted, &hit);
+  EXPECT_FALSE(hit);
+  auto prep_b = cache.get_or_build(b, PrepKind::kQrSorted, &hit);
+  EXPECT_FALSE(hit) << "colliding content must not be served as a hit";
+  EXPECT_GE(cache.stats().collisions, 1u);
+
+  // Each prep was built from its own matrix despite the shared key.
+  EXPECT_TRUE(same_bits(prep_a->channel.matrix(), ha));
+  EXPECT_TRUE(same_bits(prep_b->channel.matrix(), hb));
+}
+
+TEST(ChannelPrep, BuildMatchesDirectPreprocess) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  const CMat h = testing::random_cmat(6, 6, 55);
+  const CVec y = testing::random_cvec(6, 56);
+  ChannelHandle channel(h);
+
+  // decode_with on a freshly built prep must equal the one-shot path for a
+  // detector of the matching kind (the cache inserts via the same builder).
+  SdGemmDetector det(c);
+  auto prep = det.preprocess(channel);
+  ASSERT_EQ(prep->kind, det.prep_kind());
+  DecodeResult cached;
+  det.decode_with(*prep, y, 0.08, cached);
+  SdGemmDetector fresh(c);
+  DecodeResult oneshot;
+  fresh.decode_into(h, y, 0.08, oneshot);
+  EXPECT_EQ(cached.indices, oneshot.indices);
+  EXPECT_EQ(cached.metric, oneshot.metric);
+}
+
+TEST(ChannelPrepConcurrent, GetOrBuildRace) {
+  // Many threads hammer a small channel set through all shards; every
+  // returned prep must be content-correct no matter who won the insert race.
+  ChannelPrepCache cache(ChannelPrepCache::Options{16, 4});
+  std::vector<ChannelHandle> channels;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    channels.emplace_back(testing::random_cmat(5, 5, 100 + s));
+  }
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &channels, t] {
+      for (int iter = 0; iter < 50; ++iter) {
+        const ChannelHandle& ch = channels[(t + iter) % channels.size()];
+        auto prep = cache.get_or_build(ch, PrepKind::kQrSorted);
+        ASSERT_NE(prep, nullptr);
+        EXPECT_EQ(prep->kind, PrepKind::kQrSorted);
+        EXPECT_TRUE(same_bits(prep->channel.matrix(), ch.matrix()));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const ChannelPrepCache::Stats st = cache.stats();
+  EXPECT_EQ(st.collisions, 0u);
+  EXPECT_GE(st.hits + st.misses, 200u);
+}
+
+TEST(ChannelPrepConcurrent, SharedPrepIsReadOnlyAcrossDetectors) {
+  // One cached prep, one detector clone per thread (detectors themselves are
+  // single-threaded): every thread must read the shared factorization
+  // without synchronization and produce the sequential result. ParallelSd
+  // additionally fans its own workers out over the same shared prep.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  const CMat h = testing::random_cmat(6, 6, 77);
+  ChannelHandle channel(h);
+  SdGemmDetector proto(c);
+  auto prep = proto.preprocess(channel);
+
+  std::vector<CVec> ys;
+  std::vector<DecodeResult> expected(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ys.push_back(testing::random_cvec(6, 200 + i));
+    SdGemmDetector seq(c);
+    seq.decode_with(*prep, ys.back(), 0.08, expected[i]);
+  }
+
+  std::vector<DecodeResult> got(4);
+  std::vector<std::thread> threads;
+  for (usize i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      SdGemmDetector det(c);
+      det.decode_with(*prep, ys[i], 0.08, got[i]);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (usize i = 0; i < 4; ++i) {
+    EXPECT_EQ(got[i].indices, expected[i].indices);
+    EXPECT_EQ(got[i].metric, expected[i].metric);
+  }
+
+  ParallelSdDetector multi(c, {});
+  DecodeResult via_parallel;
+  multi.decode_with(*prep, ys[0], 0.08, via_parallel);
+  EXPECT_EQ(via_parallel.indices, expected[0].indices);
+}
+
+}  // namespace
+}  // namespace sd

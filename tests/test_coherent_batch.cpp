@@ -1,0 +1,231 @@
+// Coherence-block decoding must be invisible in the bits.
+//
+// Two equivalences underwrite the whole reuse stack:
+//  (1) decode_with(preprocess(H), y) == decode_into(H, y) for every detector
+//      with a cacheable channel phase — the cached factorization is the same
+//      code on the same bytes, so results AND work counters match exactly.
+//  (2) decode_batch_with(prep, items) == sequential decode_with() per frame —
+//      the fused BFS stacks B frames' frontier columns into one level GEMM,
+//      and each output column depends only on A and its own B-column, so
+//      fusion cannot change any frame's numbers.
+// Both are pinned bit-for-bit (EXPECT_EQ on doubles is deliberate) across
+// detector variants, GEMM kernels, and batch widths.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decode/kbest.hpp"
+#include "decode/linear.hpp"
+#include "decode/parallel_sd.hpp"
+#include "decode/sd_gemm.hpp"
+#include "decode/sd_gemm_bfs.hpp"
+#include "linalg/gemm.hpp"
+#include "test_util.hpp"
+
+namespace sd {
+namespace {
+
+constexpr index_t kM = 6;
+constexpr double kSigma2 = 0.08;
+
+void expect_bit_identical(const DecodeResult& a, const DecodeResult& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.indices, b.indices) << what;
+  ASSERT_EQ(a.symbols.size(), b.symbols.size()) << what;
+  for (usize i = 0; i < a.symbols.size(); ++i) {
+    EXPECT_EQ(a.symbols[i], b.symbols[i]) << what << " symbol " << i;
+  }
+  EXPECT_EQ(a.metric, b.metric) << what;
+  // Every work counter except the measured *_seconds wall times.
+  EXPECT_EQ(a.stats.nodes_expanded, b.stats.nodes_expanded) << what;
+  EXPECT_EQ(a.stats.nodes_generated, b.stats.nodes_generated) << what;
+  EXPECT_EQ(a.stats.nodes_pruned, b.stats.nodes_pruned) << what;
+  EXPECT_EQ(a.stats.leaves_reached, b.stats.leaves_reached) << what;
+  EXPECT_EQ(a.stats.radius_updates, b.stats.radius_updates) << what;
+  EXPECT_EQ(a.stats.gemm_calls, b.stats.gemm_calls) << what;
+  EXPECT_EQ(a.stats.flops, b.stats.flops) << what;
+  EXPECT_EQ(a.stats.sort_ops, b.stats.sort_ops) << what;
+  EXPECT_EQ(a.stats.bytes_touched, b.stats.bytes_touched) << what;
+  EXPECT_EQ(a.stats.tree_levels, b.stats.tree_levels) << what;
+  EXPECT_EQ(a.stats.peak_list_size, b.stats.peak_list_size) << what;
+  EXPECT_EQ(a.stats.node_budget_hit, b.stats.node_budget_hit) << what;
+}
+
+// ---- (1) cached prep == one-shot, across the detector zoo -----------------
+
+struct NamedDetector {
+  std::string label;
+  std::unique_ptr<Detector> det;      // drives decode_with (warm)
+  std::unique_ptr<Detector> oneshot;  // drives decode_into (fresh)
+};
+
+std::vector<NamedDetector> detector_zoo() {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  std::vector<NamedDetector> zoo;
+  auto add = [&zoo](std::string label, auto make) {
+    zoo.push_back({std::move(label), make(), make()});
+  };
+  add("bestfs", [&c] { return std::make_unique<SdGemmDetector>(c); });
+  add("bestfs-sorted", [&c] {
+    SdOptions o;
+    o.sorted_qr = true;
+    return std::make_unique<SdGemmDetector>(c, o);
+  });
+  add("bestfs-scalar", [&c] {
+    SdOptions o;
+    o.gemm_eval = false;
+    return std::make_unique<SdGemmDetector>(c, o);
+  });
+  add("bestfs-row0", [&c] {
+    SdOptions o;
+    o.level_gemm = LevelGemm::kRow0;
+    return std::make_unique<SdGemmDetector>(c, o);
+  });
+  add("bfs", [&c] { return std::make_unique<SdGemmBfsDetector>(c); });
+  add("bfs-row0", [&c] {
+    BfsOptions o;
+    o.base.level_gemm = LevelGemm::kRow0;
+    return std::make_unique<SdGemmBfsDetector>(c, o);
+  });
+  add("kbest", [&c] { return std::make_unique<KBestDetector>(c); });
+  add("zf", [&c] {
+    return std::make_unique<LinearDetector>(LinearKind::kZf, c);
+  });
+  add("multipe", [&c] {
+    ParallelSdOptions o;
+    o.num_threads = 2;
+    return std::make_unique<ParallelSdDetector>(c, o);
+  });
+  return zoo;
+}
+
+TEST(CoherentBatch, CachedPrepMatchesOneShotForEveryDetector) {
+  for (NamedDetector& nd : detector_zoo()) {
+    const ChannelHandle channel(testing::random_cmat(kM, kM, 501));
+    auto prep = nd.det->preprocess(channel);
+    ASSERT_EQ(prep->kind, nd.det->prep_kind()) << nd.label;
+    // Several frames against one prep: the warm path must keep matching.
+    for (std::uint64_t f = 0; f < 4; ++f) {
+      const CVec y = testing::random_cvec(kM, 600 + f);
+      DecodeResult expect;
+      nd.oneshot->decode_into(channel.matrix(), y, kSigma2, expect);
+      DecodeResult got;
+      nd.det->decode_with(*prep, y, kSigma2, got);
+      expect_bit_identical(expect, got, nd.label + " frame " +
+                                            std::to_string(f));
+    }
+  }
+}
+
+TEST(CoherentBatch, MismatchedPrepFallsBackToOneShot) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  const ChannelHandle channel(testing::random_cmat(kM, kM, 71));
+  const CVec y = testing::random_cvec(kM, 72);
+
+  // A sorted-QR prep handed to a plain-QR detector must not be trusted.
+  SdOptions sorted;
+  sorted.sorted_qr = true;
+  SdGemmDetector sorted_det(c, sorted);
+  auto sorted_prep = sorted_det.preprocess(channel);
+  ASSERT_EQ(sorted_prep->kind, PrepKind::kQrSorted);
+
+  SdGemmDetector plain(c);
+  DecodeResult via_mismatch;
+  plain.decode_with(*sorted_prep, y, kSigma2, via_mismatch);
+  SdGemmDetector fresh(c);
+  DecodeResult expect;
+  fresh.decode_into(channel.matrix(), y, kSigma2, expect);
+  expect_bit_identical(expect, via_mismatch, "mismatched prep fallback");
+}
+
+// ---- (2) fused == sequential, across widths, variants, kernels ------------
+
+void run_fused_equivalence(const BfsOptions& options, GemmKernel kernel,
+                           const std::string& label) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  const GemmKernel saved = gemm_kernel_override();
+  set_gemm_kernel_override(kernel);
+
+  const ChannelHandle channel(testing::random_cmat(kM, kM, 900));
+  SdGemmBfsDetector seq_det(c, options);
+  SdGemmBfsDetector fused_det(c, options);
+  auto prep = seq_det.preprocess(channel);
+
+  for (usize width : {usize{1}, usize{2}, usize{4}, usize{8}}) {
+    std::vector<CVec> ys;
+    for (usize i = 0; i < width; ++i) {
+      ys.push_back(testing::random_cvec(kM, 1000 + 16 * width + i));
+    }
+    std::vector<DecodeResult> expect(width);
+    for (usize i = 0; i < width; ++i) {
+      seq_det.decode_with(*prep, ys[i], kSigma2, expect[i]);
+    }
+    std::vector<DecodeResult> got(width);
+    std::vector<Detector::BatchItem> items;
+    for (usize i = 0; i < width; ++i) {
+      items.push_back({ys[i], kSigma2, &got[i]});
+    }
+    fused_det.decode_batch_with(*prep, items);
+    for (usize i = 0; i < width; ++i) {
+      expect_bit_identical(expect[i], got[i],
+                           label + " B=" + std::to_string(width) + " frame " +
+                               std::to_string(i));
+    }
+  }
+  set_gemm_kernel_override(saved);
+}
+
+TEST(CoherentBatch, FusedBfsMatchesSequential) {
+  run_fused_equivalence(BfsOptions{}, GemmKernel::kAuto, "bfs");
+}
+
+TEST(CoherentBatch, FusedBfsRow0MatchesSequential) {
+  BfsOptions o;
+  o.base.level_gemm = LevelGemm::kRow0;
+  run_fused_equivalence(o, GemmKernel::kAuto, "bfs-row0");
+}
+
+TEST(CoherentBatch, FusedBfsSortedQrMatchesSequential) {
+  BfsOptions o;
+  o.base.sorted_qr = true;
+  run_fused_equivalence(o, GemmKernel::kAuto, "bfs-sorted");
+}
+
+TEST(CoherentBatch, FusedBfsScalarKernelMatchesSequential) {
+  run_fused_equivalence(BfsOptions{}, GemmKernel::kScalar, "bfs-scalar-kernel");
+}
+
+TEST(CoherentBatch, FusedBfsSoaKernelMatchesSequential) {
+  if (!gemm_soa_available()) {
+    GTEST_SKIP() << "SoA SIMD kernel not available on this host";
+  }
+  run_fused_equivalence(BfsOptions{}, GemmKernel::kSoa, "bfs-soa-kernel");
+}
+
+TEST(CoherentBatch, BaseBatchLoopsDecodeWith) {
+  // Detectors without a fused override get the base loop — same contract.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  KBestDetector seq(c);
+  KBestDetector batched(c);
+  const ChannelHandle channel(testing::random_cmat(kM, kM, 1300));
+  auto prep = seq.preprocess(channel);
+
+  std::vector<CVec> ys;
+  for (usize i = 0; i < 3; ++i) ys.push_back(testing::random_cvec(kM, 1400 + i));
+  std::vector<DecodeResult> expect(3);
+  for (usize i = 0; i < 3; ++i) seq.decode_with(*prep, ys[i], kSigma2, expect[i]);
+
+  std::vector<DecodeResult> got(3);
+  std::vector<Detector::BatchItem> items;
+  for (usize i = 0; i < 3; ++i) items.push_back({ys[i], kSigma2, &got[i]});
+  batched.decode_batch_with(*prep, items);
+  for (usize i = 0; i < 3; ++i) {
+    expect_bit_identical(expect[i], got[i], "kbest batch frame " +
+                                                std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace sd

@@ -46,7 +46,7 @@ serve::FrameRequest make_frame(const Trial& t, std::uint64_t id,
                                double deadline_s = 0.0) {
   serve::FrameRequest f;
   f.id = id;
-  f.h = t.h;
+  f.channel = ChannelHandle(t.h);
   f.y = t.y;
   f.sigma2 = t.sigma2;
   f.deadline_s = deadline_s;
@@ -255,6 +255,69 @@ TEST(DispatchCost, JsonRoundTrip) {
   CostModel c;
   (void)c.register_backend("other", 1.0, 1.0);
   EXPECT_THROW(c.import_json(json), invalid_argument_error);
+}
+
+TEST(DispatchCost, PrepHitAndMissBucketsAreSeparate) {
+  CostModel cm;
+  const int b = cm.register_backend("cpu", 100e-9, 10e-6);
+  FrameFeatures f;
+  f.num_tx = kM;
+  f.mod_order = 4;
+  f.snr_db = 10.0;
+  f.cond_proxy = 1.2;
+  // A prep-cache hit skips the factorization, so the same scenario observes
+  // much cheaper decodes; each outcome must calibrate its own bucket.
+  cm.observe(f, b, DecodeTier::kPrimary, 1000, 200e-6, /*prep_hit=*/false);
+  cm.observe(f, b, DecodeTier::kPrimary, 1000, 120e-6, /*prep_hit=*/true);
+  EXPECT_EQ(cm.bucket_count(), 2u);
+  const CostPrediction miss = cm.predict(f, b, DecodeTier::kPrimary, false);
+  const CostPrediction hit = cm.predict(f, b, DecodeTier::kPrimary, true);
+  EXPECT_TRUE(miss.warm);
+  EXPECT_TRUE(hit.warm);
+  EXPECT_DOUBLE_EQ(miss.seconds, 200e-6);
+  EXPECT_DOUBLE_EQ(hit.seconds, 120e-6);
+  // Observing one outcome leaves the other cold.
+  f.snr_db = 20.0;
+  cm.observe(f, b, DecodeTier::kPrimary, 500, 80e-6, /*prep_hit=*/true);
+  EXPECT_FALSE(cm.predict(f, b, DecodeTier::kPrimary, false).warm);
+  EXPECT_TRUE(cm.predict(f, b, DecodeTier::kPrimary, true).warm);
+}
+
+TEST(DispatchCost, ImportsV1DocumentsAsPrepMissBuckets) {
+  // A v1 export predates the prep-hit split; its buckets must land on the
+  // ".h0" (miss) side and the hit side must stay cold.
+  CostModel a;
+  const int cpu = a.register_backend("cpu", 150e-9, 30e-6);
+  FrameFeatures f;
+  f.num_tx = kM;
+  f.mod_order = 4;
+  f.snr_db = 10.0;
+  f.cond_proxy = 1.2;
+  a.observe(f, cpu, DecodeTier::kPrimary, 1234, 5e-4, /*prep_hit=*/false);
+  std::string v1 = a.export_json();
+  // Rewrite the document into its v1 form: version tag 1, bare bucket keys.
+  const std::string v2_tag = "\"schema_version\":2";
+  const usize tag_at = v1.find(v2_tag);
+  ASSERT_NE(tag_at, std::string::npos);
+  v1.replace(tag_at, v2_tag.size(), "\"schema_version\":1");
+  usize h0;
+  while ((h0 = v1.find(".h0\"")) != std::string::npos) v1.erase(h0, 3);
+
+  CostModel b;
+  (void)b.register_backend("cpu", 1.0, 1.0);
+  b.import_json(v1);
+  EXPECT_EQ(b.observations(), 1u);
+  EXPECT_EQ(b.bucket_count(), 1u);
+  const CostPrediction miss = b.predict(f, cpu, DecodeTier::kPrimary, false);
+  EXPECT_TRUE(miss.warm);
+  EXPECT_DOUBLE_EQ(miss.nodes, 1234.0);
+  EXPECT_FALSE(b.predict(f, cpu, DecodeTier::kPrimary, true).warm);
+  // Re-export upgrades the document to v2 with the same calibration.
+  CostModel c;
+  (void)c.register_backend("cpu", 1.0, 1.0);
+  c.import_json(b.export_json());
+  EXPECT_DOUBLE_EQ(c.predict(f, cpu, DecodeTier::kPrimary, false).nodes,
+                   1234.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -513,6 +576,84 @@ TEST(DispatchStealing, StolenFramesDecodeBitIdentically) {
     }
   }
   EXPECT_TRUE(saw_stolen);
+}
+
+TEST(DispatchCoherent, FusedRunsAreBitIdenticalAndAccounted) {
+  // Pre-fill one lane with 4 coherence blocks of 8 frames sharing a handle,
+  // then start it: every pop is one maximal same-channel run of 8, so the
+  // fused path executes deterministically — one factorization per block, one
+  // decode_batch_with per pop.
+  constexpr usize kBlock = 8;
+  constexpr usize kBlocks = 4;
+  constexpr usize kFrames = kBlock * kBlocks;
+  const SystemConfig sys = test_system();
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kCpu;
+  cfg.label = "cpu";
+  cfg.lanes = 1;
+  cfg.decoder = parse_decoder_spec("bfs");
+  cfg.lane_queue_capacity = kFrames;
+  cfg.batch_size = kBlock;
+  apply_rate_priors(cfg);
+  CpuBackend backend(sys, cfg);
+
+  ScenarioConfig sc;
+  sc.num_tx = kM;
+  sc.num_rx = kM;
+  sc.modulation = Modulation::kQam4;
+  sc.snr_db = 8.0;
+  sc.seed = kSeed;
+  sc.coherence_block = kBlock;
+  Scenario scenario(sc);
+  std::vector<Trial> trials;
+  for (usize i = 0; i < kFrames; ++i) trials.push_back(scenario.next());
+
+  for (usize block = 0; block < kBlocks; ++block) {
+    const ChannelHandle shared(trials[block * kBlock].h);
+    for (usize j = 0; j < kBlock; ++j) {
+      const usize i = block * kBlock + j;
+      PlacedFrame pf;
+      pf.frame.id = i;
+      pf.frame.channel = shared;
+      pf.frame.y = trials[i].y;
+      pf.frame.sigma2 = trials[i].sigma2;
+      pf.frame.submit_time = serve::Clock::now();
+      pf.lane = 0;
+      ASSERT_EQ(backend.place(std::move(pf)).status,
+                serve::PushStatus::kAccepted);
+    }
+  }
+  CaptureSink sink;
+  backend.start(sink);
+  backend.close();
+  backend.join();
+
+  const Backend::Snapshot snap = backend.snapshot();
+  EXPECT_EQ(snap.frames, kFrames);
+  EXPECT_EQ(snap.completed, kFrames);
+  EXPECT_EQ(snap.prep_misses, kBlocks);  // one factorization per block
+  EXPECT_EQ(snap.prep_hits, kFrames - kBlocks);
+  EXPECT_EQ(snap.fused_runs, kBlocks);
+  EXPECT_EQ(snap.fused_frames, kFrames);
+  ASSERT_GT(snap.fused_width_counts.size(), kBlock);
+  EXPECT_EQ(snap.fused_width_counts[kBlock], kBlocks);
+
+  // Fusion must be invisible in the bits: every frame matches the one-shot
+  // decode of its trial.
+  auto reference = make_detector(sys, parse_decoder_spec("bfs"));
+  auto retired = sink.take();
+  ASSERT_EQ(retired.size(), kFrames);
+  for (const auto& [placed, result] : retired) {
+    EXPECT_EQ(result.status, serve::FrameStatus::kCompleted);
+    const Trial& t = trials[result.id];
+    const DecodeResult want = reference->decode(t.h, t.y, t.sigma2);
+    EXPECT_EQ(result.result.indices, want.indices) << "frame " << result.id;
+    EXPECT_EQ(result.result.metric, want.metric) << "frame " << result.id;
+    EXPECT_EQ(result.result.stats.nodes_expanded,
+              want.stats.nodes_expanded) << "frame " << result.id;
+    EXPECT_TRUE(placed.prep_hit || result.id % kBlock == 0)
+        << "frame " << result.id;
+  }
 }
 
 }  // namespace

@@ -87,9 +87,104 @@ TEST(ServeOptions, ServerRejectsBadConfigs) {
 TEST(ServeServer, SubmitValidatesFrameShape) {
   DetectionServer srv(test_system(), DecoderSpec{}, {}, nullptr);
   FrameRequest bad;
-  bad.h = CMat(kM, kM);
+  bad.channel = ChannelHandle(CMat(kM, kM));
   bad.y.resize(static_cast<usize>(kM) - 1);  // wrong length
   EXPECT_THROW((void)srv.submit(std::move(bad)), invalid_argument_error);
+}
+
+TEST(ServeServer, FrameCopiesShareChannelStorage) {
+  // The point of ChannelHandle: a FrameRequest hop (queue push, steal,
+  // batch pop) copies a shared_ptr, never the dense matrix.
+  const Trial t = regenerate_trials(1).front();
+  FrameRequest a;
+  a.channel = ChannelHandle(t.h);
+  a.y = t.y;
+  a.sigma2 = t.sigma2;
+  EXPECT_EQ(a.channel.use_count(), 1);
+
+  FrameRequest b = a;       // copy: one more reference, zero H copies
+  FrameRequest c = b;       // second hop
+  EXPECT_TRUE(b.channel.same_storage(a.channel));
+  EXPECT_TRUE(c.channel.same_storage(a.channel));
+  EXPECT_EQ(&a.h(), &b.h());
+  EXPECT_EQ(&a.h(), &c.h());
+  EXPECT_EQ(a.channel.use_count(), 3);
+  EXPECT_EQ(a.channel.fingerprint(), c.channel.fingerprint());
+
+  FrameRequest moved = std::move(b);  // move: reference transfers
+  EXPECT_TRUE(moved.channel.same_storage(a.channel));
+  EXPECT_EQ(a.channel.use_count(), 3);
+}
+
+TEST(ServeCoherence, CoherentRunReusesPreprocessing) {
+  // coherence=L: the load generator hands every frame of a block the SAME
+  // handle, and the backend prep cache turns all but the first decode of a
+  // block into hits. 32 frames at L=4 -> at most 8 distinct factorizations.
+  constexpr usize kFrames = 32;
+  ServerOptions so;
+  so.num_workers = 2;
+  so.batch_size = 2;
+  so.queue_capacity = 16;
+  LoadOptions lo = closed_loop_load(kFrames, 4);
+  lo.coherence = 4;
+  LoadGenerator gen(test_system(), DecoderSpec{}, so, lo);
+  const LoadReport rep = gen.run();
+
+  EXPECT_EQ(rep.metrics.completed, kFrames);
+  EXPECT_EQ(rep.dispatch.prep_hits + rep.dispatch.prep_misses, kFrames);
+  // 8 blocks; two lanes racing on a block's first frame can both miss (the
+  // cache builds outside the lock), so the bound is 2 misses per block.
+  EXPECT_LE(rep.dispatch.prep_misses, 2 * (kFrames / 4));
+  EXPECT_GE(rep.dispatch.prep_hits, kFrames - 2 * (kFrames / 4));
+  // Quality is unaffected: the cached factorization is the same code on the
+  // same bytes, and the scenario's ground truth stays per-frame.
+  EXPECT_GT(rep.symbols_checked, 0u);
+}
+
+TEST(ServeCoherence, CoherenceOneKeepsTheSeededStream) {
+  // L=1 must reproduce the original i.i.d. trial stream byte-for-byte: the
+  // scenario draws H fresh every trial through the untouched code path.
+  ScenarioConfig base;
+  base.num_tx = kM;
+  base.num_rx = kM;
+  base.modulation = Modulation::kQam4;
+  base.snr_db = kSnr;
+  base.seed = kSeed;
+  ScenarioConfig explicit_one = base;
+  explicit_one.coherence_block = 1;
+  Scenario s1(base);
+  Scenario s2(explicit_one);
+  for (int i = 0; i < 8; ++i) {
+    const Trial a = s1.next();
+    const Trial b = s2.next();
+    EXPECT_EQ(a.tx.indices, b.tx.indices);
+    for (index_t r = 0; r < a.h.rows(); ++r) {
+      for (index_t c = 0; c < a.h.cols(); ++c) {
+        EXPECT_EQ(a.h(r, c), b.h(r, c));
+      }
+    }
+    for (usize k = 0; k < a.y.size(); ++k) EXPECT_EQ(a.y[k], b.y[k]);
+  }
+}
+
+TEST(ServeCoherence, CoherentBlocksShareTheRealization) {
+  ScenarioConfig sc;
+  sc.num_tx = kM;
+  sc.num_rx = kM;
+  sc.modulation = Modulation::kQam4;
+  sc.snr_db = kSnr;
+  sc.seed = kSeed;
+  sc.coherence_block = 4;
+  Scenario scenario(sc);
+  std::vector<Trial> trials;
+  for (usize i = 0; i < 8; ++i) trials.push_back(scenario.next());
+  // Within a block H is identical; across blocks it changes.
+  for (usize i = 1; i < 4; ++i) {
+    EXPECT_EQ(channel_fingerprint(trials[0].h), channel_fingerprint(trials[i].h));
+  }
+  EXPECT_NE(channel_fingerprint(trials[0].h), channel_fingerprint(trials[4].h));
+  // Symbols still vary inside a block (only the channel is held).
+  EXPECT_NE(trials[0].tx.indices, trials[1].tx.indices);
 }
 
 TEST(ServeServer, SubmitAfterDrainIsClosed) {
@@ -97,7 +192,7 @@ TEST(ServeServer, SubmitAfterDrainIsClosed) {
   srv.drain();
   const Trial t = regenerate_trials(1).front();
   FrameRequest f;
-  f.h = t.h;
+  f.channel = ChannelHandle(t.h);
   f.y = t.y;
   f.sigma2 = t.sigma2;
   EXPECT_EQ(srv.submit(std::move(f)), SubmitStatus::kClosed);

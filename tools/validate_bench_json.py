@@ -27,6 +27,12 @@ The gemm_kernels artifact (name == "gemm_kernels") is checked for a
 and — when config.soa_available is true — gated on the SoA kernel being no
 slower than 1.05x scalar at the three largest shapes (by m*n*k volume).
 
+The coherent_batch artifact (name == "coherent_batch") is checked for a
+"coherent_batch" series whose rows carry "coherence", "batch",
+"frames_per_s", "prep_hit_rate" and "fused_frames", and — when
+config.gate_speedup is true — gated on the fused L=64/B=8 cell being at
+least 1.3x the L=1/B=1 baseline with a >= 90% prep-cache hit rate.
+
 Exit status is 0 iff every file validates. Stdlib only — no dependencies.
 """
 
@@ -165,6 +171,8 @@ def validate_file(problems, path):
         check_dispatch(problems, path, doc)
     if name == "gemm_kernels":
         check_gemm_kernels(problems, path, doc)
+    if name == "coherent_batch":
+        check_coherent_batch(problems, path, doc)
 
 
 def check_dispatch(problems, path, doc):
@@ -243,6 +251,68 @@ def check_gemm_kernels(problems, path, doc):
                 path,
                 f"gemm_kernels: SoA slower than scalar at shape {shape} "
                 f"({secs['soa']:.3e}s vs {secs['scalar']:.3e}s)")
+
+
+def check_coherent_batch(problems, path, doc):
+    """Extra shape + perf-gate requirements for BENCH_coherent_batch.json."""
+    series = doc.get("series")
+    sweep = None
+    if isinstance(series, list):
+        for entry in series:
+            if isinstance(entry, dict) and entry.get("label") == "coherent_batch":
+                sweep = entry
+    if sweep is None:
+        problems.report(path, "coherent_batch: missing 'coherent_batch' series")
+        return
+
+    rows = sweep.get("rows")
+    rows = rows if isinstance(rows, list) else []
+    cells = {}  # (coherence, batch) -> row
+    for j, row in enumerate(rows):
+        if not isinstance(row, dict):
+            continue
+        missing = [c for c in ("coherence", "batch", "frames_per_s",
+                               "prep_hit_rate", "fused_frames")
+                   if c not in row]
+        if missing:
+            problems.report(
+                path, f"coherent_batch: rows[{j}] missing {missing}")
+            continue
+        cells[(row["coherence"], row["batch"])] = row
+
+    config = doc.get("config")
+    config = config if isinstance(config, dict) else {}
+    if not config.get("gate_speedup"):
+        return  # smoke run: nothing was measured
+
+    # Perf gate: at L=64/B=8 the fused coherent path must beat the i.i.d.
+    # per-frame baseline by >= 1.3x, with the prep cache actually doing the
+    # work (>= 90% hit rate) — catches both a broken cache (misses every
+    # frame) and a fused path that lost its speed advantage.
+    base = cells.get((1, 1))
+    fused = cells.get((64, 8))
+    if base is None or fused is None:
+        problems.report(
+            path, "coherent_batch: gate_speedup set but L=1/B=1 or "
+            "L=64/B=8 cell missing")
+        return
+    if base["frames_per_s"] <= 0:
+        problems.report(path, "coherent_batch: non-positive baseline throughput")
+        return
+    speedup = fused["frames_per_s"] / base["frames_per_s"]
+    if speedup < 1.3:
+        problems.report(
+            path,
+            f"coherent_batch: fused L=64/B=8 speedup {speedup:.2f}x < 1.3x "
+            f"({fused['frames_per_s']:.0f} vs {base['frames_per_s']:.0f} frames/s)")
+    if fused["prep_hit_rate"] < 0.90:
+        problems.report(
+            path,
+            f"coherent_batch: fused L=64/B=8 prep hit rate "
+            f"{fused['prep_hit_rate']:.2%} < 90%")
+    if fused["fused_frames"] <= 0:
+        problems.report(
+            path, "coherent_batch: fused L=64/B=8 cell decoded no fused frames")
 
 
 def main(argv):
