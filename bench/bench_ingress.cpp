@@ -1,0 +1,299 @@
+// Ingress benchmark, two series:
+//
+//  transport — b_eff-style loopback sweep: frames streamed by a NetClient
+//    through the full wire-protocol + IngressServer + sharded-serving path
+//    over UDS and TCP loopback, frame-size (antenna count) x window (frames
+//    in flight), reporting frames/s and transported MB/s. A cheap linear
+//    detector keeps the decode out of the critical path, so the numbers
+//    measure the transport, not the search.
+//
+//  admission — shed-before-miss at overload: capacity C is calibrated
+//    closed-loop, then an open-loop mixed-QoS stream (30% hard 10 ms / 40%
+//    soft 50 ms / 30% best-effort) arrives at 2x C with admission control
+//    off ("none") vs on ("shed"). The gate: admission yields a strictly
+//    lower hard-deadline miss rate (recorded in BENCH_ingress.json;
+//    enforced by tools/validate_bench_json.py at real trial counts).
+//
+//   SD_TRIALS=2000 ./bench_ingress [--m=8] [--madm=10] [--coherence=16]
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/spec_parse.hpp"
+#include "mimo/scenario.hpp"
+#include "net/client.hpp"
+#include "net/ingress.hpp"
+#include "obs/counters.hpp"
+
+using namespace sd;
+using Clock = serve::Clock;
+
+namespace {
+
+std::vector<Trial> make_trials(const SystemConfig& sys, usize n,
+                               usize coherence, std::uint64_t seed) {
+  ScenarioConfig sc;
+  sc.num_tx = sys.num_tx;
+  sc.num_rx = sys.num_rx;
+  sc.modulation = sys.modulation;
+  sc.snr_db = 8.0;
+  sc.seed = seed;
+  sc.coherence_block = coherence;
+  Scenario scenario(sc);
+  std::vector<Trial> trials;
+  trials.reserve(n);
+  for (usize i = 0; i < n; ++i) trials.push_back(scenario.next());
+  return trials;
+}
+
+struct TransportResult {
+  double seconds = 0.0;
+  double frames_per_s = 0.0;
+  double mbytes_per_s = 0.0;
+};
+
+TransportResult run_transport(bool tcp, const SystemConfig& sys, usize frames,
+                              usize window, usize coherence) {
+  net::ShardedServerOptions so;
+  so.num_shards = 1;
+  so.server.num_workers = 2;
+  so.server.queue_capacity = 1024;
+  so.admission.enabled = false;
+  net::ShardedServer shards(sys, parse_decoder_spec("zf"), so);
+
+  net::IngressOptions io;
+  if (tcp) {
+    io.enable_tcp = true;
+  } else {
+    io.uds_path = "/tmp/sd_bench_ingress." + std::to_string(::getpid()) +
+                  ".sock";
+  }
+  net::IngressServer ingress(shards, io);
+  ingress.start();
+  net::NetClient client = tcp ? net::NetClient::connect_tcp(ingress.tcp_port())
+                              : net::NetClient::connect_uds(ingress.uds_path());
+
+  const std::vector<Trial> trials = make_trials(sys, frames, coherence, 11);
+  std::vector<std::uint64_t> fps(frames);
+  for (usize i = 0; i < frames; ++i)
+    fps[i] = (i % coherence == 0) ? channel_fingerprint(trials[i].h)
+                                  : fps[i - 1];
+
+  const usize win = std::min(window, frames);
+  usize sent = 0, received = 0;
+  const auto send_next = [&] {
+    net::WireFrame wf;
+    wf.cell_id = 0;
+    wf.frame_id = sent;
+    wf.qos = net::QosClass::kBestEffort;
+    wf.sigma2 = trials[sent].sigma2;
+    wf.y = trials[sent].y;
+    if (!client.send_frame_auto(wf, trials[sent].h, fps[sent]))
+      throw net::net_error("server closed during bench");
+    ++sent;
+  };
+  const Clock::time_point t0 = Clock::now();
+  while (sent < win) send_next();
+  net::WireResponse resp;
+  while (received < frames) {
+    if (!client.recv(resp)) throw net::net_error("early EOF during bench");
+    ++received;
+    if (sent < frames) send_next();
+  }
+  TransportResult r;
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double bytes =
+      static_cast<double>(client.bytes_sent() + client.bytes_received());
+  r.frames_per_s =
+      r.seconds > 0 ? static_cast<double>(frames) / r.seconds : 0.0;
+  r.mbytes_per_s = r.seconds > 0 ? bytes / r.seconds / 1e6 : 0.0;
+  ingress.stop();
+  shards.drain();
+  return r;
+}
+
+struct AdmissionResult {
+  double offered_fps = 0.0;
+  usize hard_offered = 0;
+  usize hard_misses = 0;
+  usize shed = 0;
+  usize completed = 0;
+  double hard_miss_rate = 0.0;
+  double throughput_fps = 0.0;
+};
+
+net::QosClass qos_of(usize i) {
+  const usize r = i % 10;
+  if (r < 3) return net::QosClass::kHard;
+  if (r < 7) return net::QosClass::kSoft;
+  return net::QosClass::kBestEffort;
+}
+
+/// Direct ShardedServer drive (no sockets): isolates the admission decision
+/// from transport noise.
+AdmissionResult run_admission(bool enabled, double rate_fps,
+                              const SystemConfig& sys,
+                              const std::vector<Trial>& trials,
+                              const std::vector<ChannelHandle>& channels) {
+  net::ShardedServerOptions so;
+  so.num_shards = 1;
+  so.server.num_workers = 2;
+  so.server.queue_capacity = 8192;  // overload lives in the queue, not at submit
+  so.admission.enabled = enabled;
+  so.admission.headroom = 1.0;
+  net::ShardedServer shards(sys, parse_decoder_spec("sphere"), so);
+
+  const usize n = trials.size();
+  std::atomic<std::uint64_t> hard_misses{0};
+  shards.set_completion_tap(
+      [&](usize, const serve::FrameResult& r) {
+        if (qos_of(r.id) == net::QosClass::kHard && r.deadline_missed)
+          hard_misses.fetch_add(1, std::memory_order_relaxed);
+      });
+
+  AdmissionResult res;
+  const Clock::time_point t0 = Clock::now();
+  const auto interval = std::chrono::duration<double>(1.0 / rate_fps);
+  for (usize i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<Clock::duration>(interval) *
+                 static_cast<long>(i));
+    serve::FrameRequest f;
+    f.id = i;
+    f.channel = channels[i];
+    f.y = trials[i].y;
+    f.sigma2 = trials[i].sigma2;
+    const net::QosClass q = qos_of(i);
+    if (q == net::QosClass::kHard) ++res.hard_offered;
+    if (shards.submit(0, std::move(f), q) == net::ShardSubmit::kShed)
+      ++res.shed;
+  }
+  shards.drain();
+  const serve::ServerMetrics m = shards.global_metrics();
+  res.offered_fps = rate_fps;
+  res.hard_misses = static_cast<usize>(hard_misses.load());
+  res.completed = static_cast<usize>(m.completed);
+  res.hard_miss_rate =
+      res.hard_offered > 0
+          ? static_cast<double>(res.hard_misses) /
+                static_cast<double>(res.hard_offered)
+          : 0.0;
+  res.throughput_fps = m.throughput_fps;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto m = static_cast<index_t>(cli.get_int_or("m", 8));
+  const auto madm = static_cast<index_t>(cli.get_int_or("madm", 10));
+  const auto coherence = static_cast<usize>(cli.get_int_or("coherence", 16));
+  const usize frames = bench::trials_or(400);
+  const bool gate = frames >= 200;  // smoke runs are too short to gate on
+
+  bench::open_report("ingress");
+  bench::print_banner(
+      "Network ingress: transport throughput and shed-before-miss",
+      std::to_string(m) + "x" + std::to_string(m) + " transport / " +
+          std::to_string(madm) + "x" + std::to_string(madm) + " admission, " +
+          "4QAM @ 8 dB, coherence " + std::to_string(coherence),
+      frames);
+  bench::report().config("gate_admission", gate);
+  bench::report().config("coherence", coherence);
+
+  // --- Series 1: transport -------------------------------------------------
+  Table tt({"transport", "m", "window", "frame B", "frames/s", "MB/s"},
+           {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+            Align::kRight, Align::kRight});
+  for (const bool tcp : {false, true}) {
+    for (const index_t mm : {m, static_cast<index_t>(2 * m)}) {
+      const SystemConfig sys{mm, mm, Modulation::kQam4};
+      for (const usize window : {usize{1}, usize{16}}) {
+        const TransportResult r =
+            run_transport(tcp, sys, frames, window, coherence);
+        const usize fb = net::encoded_frame_bytes(mm, mm, false);
+        const std::string name = tcp ? "tcp" : "uds";
+        tt.add_row({name, std::to_string(mm), std::to_string(window),
+                    std::to_string(fb), fmt(r.frames_per_s, 0),
+                    fmt(r.mbytes_per_s, 1)});
+        bench::report().row("transport",
+                            {{"transport", name},
+                             {"m", mm},
+                             {"window", window},
+                             {"frame_bytes", fb},
+                             {"frames_per_s", r.frames_per_s},
+                             {"mbytes_per_s", r.mbytes_per_s}});
+      }
+    }
+    tt.add_separator();
+  }
+  bench::print_table(tt, "transport");
+
+  // --- Series 2: admission control at 2x capacity --------------------------
+  const SystemConfig asys{madm, madm, Modulation::kQam4};
+  const std::vector<Trial> atrials = make_trials(asys, frames, coherence, 23);
+  std::vector<ChannelHandle> channels(frames);
+  for (usize i = 0; i < frames; ++i)
+    channels[i] = (i % coherence == 0) ? ChannelHandle(atrials[i].h)
+                                       : channels[i - 1];
+
+  // Calibrate capacity closed-loop: saturating submit against a small queue.
+  double capacity_fps;
+  {
+    net::ShardedServerOptions so;
+    so.num_shards = 1;
+    so.server.num_workers = 2;
+    so.server.queue_capacity = 4;
+    so.admission.enabled = false;
+    net::ShardedServer shards(asys, parse_decoder_spec("sphere"), so);
+    for (usize i = 0; i < frames; ++i) {
+      serve::FrameRequest f;
+      f.id = i;
+      f.channel = channels[i];
+      f.y = atrials[i].y;
+      f.sigma2 = atrials[i].sigma2;
+      (void)shards.submit(0, std::move(f), net::QosClass::kBestEffort);
+    }
+    shards.drain();
+    capacity_fps = shards.global_metrics().throughput_fps;
+  }
+  const double offered = std::max(2.0 * capacity_fps, 10.0);
+  bench::report().config("capacity_fps", capacity_fps);
+
+  Table at({"mode", "offered f/s", "hard offered", "hard misses",
+            "miss rate", "shed", "completed", "f/s"},
+           {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+            Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+  for (const bool enabled : {false, true}) {
+    const AdmissionResult r =
+        run_admission(enabled, offered, asys, atrials, channels);
+    const std::string mode = enabled ? "shed" : "none";
+    at.add_row({mode, fmt(r.offered_fps, 0), std::to_string(r.hard_offered),
+                std::to_string(r.hard_misses), fmt_pct(r.hard_miss_rate),
+                std::to_string(r.shed), std::to_string(r.completed),
+                fmt(r.throughput_fps, 0)});
+    bench::report().row("admission",
+                        {{"mode", mode},
+                         {"offered_fps", r.offered_fps},
+                         {"hard_offered", r.hard_offered},
+                         {"hard_misses", r.hard_misses},
+                         {"hard_deadline_miss_rate", r.hard_miss_rate},
+                         {"shed", r.shed},
+                         {"completed", r.completed},
+                         {"frames_per_s", r.throughput_fps}});
+  }
+  bench::print_table(at, "admission");
+  std::printf("\ncapacity calibrated closed-loop at %.0f f/s; overload "
+              "offered at %.0f f/s with 30/40/30 hard/soft/best-effort.\n",
+              capacity_fps, offered);
+  return 0;
+}

@@ -1,0 +1,264 @@
+// Uplink load-generator client: streams seeded frames into a running
+// `uplink_server --ingress=...` over the wire protocol and reports the
+// client-side view — per-status counts, end-to-end latency, SER vs the
+// scenario's ground truth.
+//
+//   ./uplink_client --connect=uds:/tmp/spheredec_uplink.sock
+//   ./uplink_client --connect=tcp:45555 --m=10 --mod=4qam --snr=8
+//                   [--frames=1000] [--seed=1] [--coherence=1] [--cells=1]
+//                   [--mode=closed|open] [--window=8] [--rate=1000]
+//                   [--qos=mix|hard|soft|best] [--deadline-ms=0]
+//
+// The frame stream is the same seeded Scenario the in-process load generator
+// uses, so a run against `--ingress` and a run with the same knobs in-process
+// decode identical (h, y, sigma2) streams — the bit-identity property the e2e
+// test pins. Channel elision follows the coherence block: H ships once per
+// block and later frames reference it by fingerprint (send_frame_auto), so
+// `--cells=N` assigns whole blocks round-robin to cells to keep elision
+// effective. QoS mix `mix` tags frames 30% hard / 40% soft / 30% best-effort
+// by index, matching bench_ingress.
+//
+// One sender thread paces submissions (closed-loop window or open-loop rate);
+// one reader thread matches responses by frame id. The socket stays fully
+// open until the last response arrives — the server drops a connection on
+// EOF, taking undelivered responses with it.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "decode/channel_prep.hpp"
+#include "mimo/scenario.hpp"
+#include "net/client.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+sd::net::QosClass qos_for(sd::usize i, const std::string& mix) {
+  using sd::net::QosClass;
+  if (mix == "hard") return QosClass::kHard;
+  if (mix == "soft") return QosClass::kSoft;
+  if (mix == "best") return QosClass::kBestEffort;
+  const sd::usize r = i % 10;  // 30/40/30 mix, same as bench_ingress
+  if (r < 3) return QosClass::kHard;
+  if (r < 7) return QosClass::kSoft;
+  return QosClass::kBestEffort;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<sd::usize>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sd;
+  const Cli cli(argc, argv);
+
+  const std::string connect = cli.get_or("connect", "");
+  if (connect.rfind("tcp:", 0) != 0 && connect.rfind("uds:", 0) != 0) {
+    std::fprintf(stderr,
+                 "usage: uplink_client --connect=tcp:PORT|uds:PATH ...\n");
+    return 1;
+  }
+
+  const auto m = static_cast<index_t>(cli.get_int_or("m", 10));
+  const Modulation mod = parse_modulation(cli.get_or("mod", "4qam"));
+  const usize frames = static_cast<usize>(cli.get_int_or("frames", 1000));
+  const usize coherence = static_cast<usize>(cli.get_int_or("coherence", 1));
+  const usize cells = static_cast<usize>(cli.get_int_or("cells", 1));
+  const usize window = static_cast<usize>(cli.get_int_or("window", 8));
+  const double rate_fps = cli.get_double_or("rate", 1000.0);
+  const double deadline_s = cli.get_double_or("deadline-ms", 0.0) * 1e-3;
+  const std::string mode = cli.get_or("mode", "closed");
+  const std::string qos_mix = cli.get_or("qos", "mix");
+  const bool open_loop = mode == "open";
+  if (!open_loop && mode != "closed") {
+    std::fprintf(stderr, "unknown --mode=%s (closed, open)\n", mode.c_str());
+    return 1;
+  }
+
+  // Pre-generate the full seeded stream (identical to LoadOptions with the
+  // same knobs) plus one fingerprint per coherence block.
+  ScenarioConfig sc;
+  sc.num_tx = m;
+  sc.num_rx = m;
+  sc.modulation = mod;
+  sc.snr_db = cli.get_double_or("snr", 8.0);
+  sc.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 1));
+  sc.coherence_block = coherence;
+  Scenario scenario(sc);
+  std::vector<Trial> trials;
+  trials.reserve(frames);
+  for (usize i = 0; i < frames; ++i) trials.push_back(scenario.next());
+  std::vector<std::uint64_t> fps(frames);
+  for (usize i = 0; i < frames; ++i) {
+    fps[i] = (i % coherence == 0) ? channel_fingerprint(trials[i].h)
+                                  : fps[i - 1];
+  }
+
+  net::NetClient client =
+      connect.rfind("tcp:", 0) == 0
+          ? net::NetClient::connect_tcp(
+                static_cast<std::uint16_t>(std::stoi(connect.substr(4))))
+          : net::NetClient::connect_uds(connect.substr(4));
+  std::printf("uplink client: %s | %dx%d %s @ %.0f dB | %zu frames, "
+              "coherence %zu, %zu cell(s), qos %s | %s\n\n",
+              connect.c_str(), m, m,
+              std::string(modulation_name(mod)).c_str(), sc.snr_db, frames,
+              coherence, cells, qos_mix.c_str(),
+              open_loop ? ("open @ " + fmt(rate_fps, 0) + " f/s").c_str()
+                        : ("closed, window " + std::to_string(window)).c_str());
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    usize outstanding = 0;
+    usize responses = 0;
+    std::array<std::uint64_t, 6> by_status = {};  // WireFrameStatus
+    std::uint64_t symbol_errors = 0;
+    std::uint64_t symbols_checked = 0;
+    std::vector<double> latency_s;
+    bool eof = false;
+  } sh;
+  std::vector<Clock::time_point> sent_at(frames);
+
+  std::thread reader([&] {
+    net::WireResponse resp;
+    try {
+      while (sh.responses < frames && client.recv(resp)) {
+        const Clock::time_point now = Clock::now();
+        std::lock_guard<std::mutex> lock(sh.mu);
+        ++sh.responses;
+        if (sh.outstanding > 0) --sh.outstanding;
+        const auto s = static_cast<usize>(resp.status);
+        if (s < sh.by_status.size()) ++sh.by_status[s];
+        if (resp.frame_id < frames) {
+          sh.latency_s.push_back(std::chrono::duration<double>(
+                                     now - sent_at[resp.frame_id]).count());
+          if (resp.status == net::WireFrameStatus::kCompleted ||
+              resp.status == net::WireFrameStatus::kExpiredFallback) {
+            const std::vector<index_t>& truth =
+                trials[resp.frame_id].tx.indices;
+            for (usize k = 0; k < truth.size(); ++k) {
+              ++sh.symbols_checked;
+              if (k >= resp.indices.size() || resp.indices[k] != truth[k])
+                ++sh.symbol_errors;
+            }
+          }
+        }
+        sh.cv.notify_all();
+      }
+    } catch (const net::net_error& e) {
+      std::fprintf(stderr, "reader: %s\n", e.what());
+    }
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.eof = sh.responses < frames;
+    sh.cv.notify_all();
+  });
+
+  const Clock::time_point t0 = Clock::now();
+  const auto interval = std::chrono::duration<double>(
+      rate_fps > 0.0 ? 1.0 / rate_fps : 0.0);
+  usize sent = 0;
+  bool send_failed = false;
+  for (usize i = 0; i < frames; ++i) {
+    if (open_loop) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<Clock::duration>(interval) *
+                   static_cast<long>(i));
+    } else {
+      std::unique_lock<std::mutex> lock(sh.mu);
+      sh.cv.wait(lock, [&] { return sh.outstanding < window || sh.eof; });
+      if (sh.eof) break;
+    }
+    net::WireFrame wf;
+    wf.cell_id = static_cast<std::uint32_t>((i / coherence) % cells);
+    wf.frame_id = i;
+    wf.qos = qos_for(i, qos_mix);
+    wf.deadline_s = deadline_s;
+    wf.sigma2 = trials[i].sigma2;
+    wf.y = trials[i].y;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      ++sh.outstanding;
+    }
+    sent_at[i] = Clock::now();
+    if (!client.send_frame_auto(wf, trials[i].h, fps[i])) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      --sh.outstanding;
+      send_failed = true;
+      break;
+    }
+    ++sent;
+  }
+
+  {
+    // Wait for every response to the frames actually sent; EOF ends it early.
+    std::unique_lock<std::mutex> lock(sh.mu);
+    sh.cv.wait(lock, [&] { return sh.responses >= sent || sh.eof; });
+  }
+  client.finish_sending();  // server sees EOF only after the last response
+  reader.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  Table counts({"sent", "responses", "completed", "expired", "evicted",
+                "shed", "rejected"});
+  counts.add_row(
+      {std::to_string(sent), std::to_string(sh.responses),
+       std::to_string(sh.by_status[0]),
+       std::to_string(sh.by_status[1] + sh.by_status[2]),
+       std::to_string(sh.by_status[3]), std::to_string(sh.by_status[4]),
+       std::to_string(sh.by_status[5])});
+  std::fputs(counts.render().c_str(), stdout);
+
+  std::sort(sh.latency_s.begin(), sh.latency_s.end());
+  if (!sh.latency_s.empty()) {
+    double sum = 0.0;
+    for (double v : sh.latency_s) sum += v;
+    Table lat({"latency", "count", "mean (ms)", "p50 (ms)", "p95 (ms)",
+               "p99 (ms)", "max (ms)"},
+              {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+               Align::kRight, Align::kRight, Align::kRight});
+    lat.add_row({"client e2e", std::to_string(sh.latency_s.size()),
+                 fmt(sum / static_cast<double>(sh.latency_s.size()) * 1e3, 3),
+                 fmt(percentile(sh.latency_s, 0.50) * 1e3, 3),
+                 fmt(percentile(sh.latency_s, 0.95) * 1e3, 3),
+                 fmt(percentile(sh.latency_s, 0.99) * 1e3, 3),
+                 fmt(sh.latency_s.back() * 1e3, 3)});
+    std::fputs(lat.render().c_str(), stdout);
+  }
+
+  std::printf("\nthroughput: %.0f frames/s over %.3f s | %zu bytes tx, "
+              "%zu bytes rx (%.1f bytes/frame tx)\n",
+              wall_s > 0.0 ? static_cast<double>(sh.responses) / wall_s : 0.0,
+              wall_s, client.bytes_sent(), client.bytes_received(),
+              sent > 0 ? static_cast<double>(client.bytes_sent()) /
+                             static_cast<double>(sent)
+                       : 0.0);
+  if (sh.symbols_checked > 0) {
+    std::printf("SER vs ground truth: %.4g (%llu/%llu symbols)\n",
+                static_cast<double>(sh.symbol_errors) /
+                    static_cast<double>(sh.symbols_checked),
+                static_cast<unsigned long long>(sh.symbol_errors),
+                static_cast<unsigned long long>(sh.symbols_checked));
+  }
+  if (send_failed) std::fprintf(stderr, "send failed: server closed\n");
+  const bool lost = sh.responses < sent;
+  if (lost) {
+    std::fprintf(stderr, "%zu frames unanswered\n", sent - sh.responses);
+  }
+  return (send_failed || lost) ? 1 : 0;
+}

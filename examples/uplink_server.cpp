@@ -1,6 +1,8 @@
-// Uplink detection server demo: stream seeded frames through the serving
-// runtime and print the operator's view — throughput, tail latency, deadline
-// misses, shed load, per-worker utilization.
+// Uplink detection server demo — in-process soak or real network ingress.
+//
+//   in-process (default): stream seeded frames through the serving runtime
+//   and print the operator's view — throughput, tail latency, deadline
+//   misses, shed load, per-worker utilization.
 //
 //   ./uplink_server [--backend=sphere] [--m=10] [--mod=4qam] [--snr=8]
 //                   [--frames=200] [--seed=1] [--coherence=1]
@@ -9,6 +11,19 @@
 //                   [--backends=cpu:4,fpga:2] [--placement=cost-aware]
 //                   [--cost-model-in=model.json] [--cost-model-out=model.json]
 //                   [--metrics-json=metrics.json] [--trace=trace.json]
+//
+//   network ingress (--ingress=tcp|uds|net): bind real listeners, shard the
+//   serving stack by cell id, and serve frames sent by uplink_client over
+//   the wire protocol (DESIGN.md §13), with per-shard admission control:
+//
+//   ./uplink_server --ingress=uds [--uds=/tmp/spheredec_uplink.sock]
+//   ./uplink_server --ingress=tcp [--port=0] [--shards=2] [--admission=on]
+//                   [--duration=10] [--metrics-json=metrics.json]
+//
+//   --ingress=net binds both TCP and UDS. --duration=S exits after S
+//   seconds; 0 (default) serves until SIGINT/SIGTERM. Either way shutdown
+//   is graceful: listeners close, in-flight frames drain, and the final
+//   metrics/trace files are still written. A second signal force-exits.
 //
 // The --server= option list accepts: workers=N, batch=N, queue=N,
 // policy=block|reject|drop-oldest, deadline-ms=X, no-fallback, and the
@@ -25,23 +40,186 @@
 //   ./uplink_server --backend=sphere@fpga --server=workers=4,deadline-ms=1
 //   ./uplink_server --mode=open --rate=2000 --server=workers=2,policy=drop-oldest,queue=8,deadline-ms=5
 //   ./uplink_server --backends=cpu:2,fpga:2 --mode=open --rate=2000 --server=deadline-ms=5
-//   ./uplink_server --frames=64 --metrics-json=metrics.json --trace=trace.json
+//   ./uplink_server --ingress=uds --shards=2 --duration=5 --metrics-json=metrics.json
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/spec_parse.hpp"
+#include "net/ingress.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "serve/load_generator.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  // First signal: graceful drain. Second: the operator means it.
+  if (g_stop.exchange(true)) std::_Exit(130);
+}
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+void print_metrics_tables(const sd::serve::ServerMetrics& mx) {
+  using namespace sd;
+  using namespace sd::serve;
+  Table counts({"submitted", "completed", "expired", "evicted", "rejected",
+                "misses", "lost"});
+  counts.add_row({std::to_string(mx.submitted), std::to_string(mx.completed),
+                  std::to_string(mx.expired_fallback + mx.expired_dropped),
+                  std::to_string(mx.evicted), std::to_string(mx.rejected),
+                  std::to_string(mx.deadline_misses),
+                  std::to_string(mx.submitted - mx.accounted())});
+  std::fputs(counts.render().c_str(), stdout);
+
+  Table lat({"latency", "count", "mean (ms)", "p50 (ms)", "p95 (ms)",
+             "p99 (ms)", "max (ms)"},
+            {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+             Align::kRight, Align::kRight, Align::kRight});
+  const auto row = [&](const char* name, const LatencySummary& s) {
+    lat.add_row({name, std::to_string(s.count), fmt(s.mean_s * 1e3, 3),
+                 fmt(s.p50_s * 1e3, 3), fmt(s.p95_s * 1e3, 3),
+                 fmt(s.p99_s * 1e3, 3), fmt(s.max_s * 1e3, 3)});
+  };
+  row("queue wait", mx.queue_wait);
+  row("service", mx.service);
+  row("end-to-end", mx.e2e);
+  std::fputs(lat.render().c_str(), stdout);
+  std::printf("\nthroughput: %.0f frames/s over %.3f s\n", mx.throughput_fps,
+              mx.wall_seconds);
+}
+
+bool write_trace_if_requested(const std::string& trace_path) {
+  if (trace_path.empty()) return true;
+  sd::obs::Tracer& tracer = sd::obs::Tracer::instance();
+  if (tracer.write_chrome_trace(trace_path)) {
+    std::printf("trace: %s (%zu spans, %llu dropped)\n", trace_path.c_str(),
+                tracer.snapshot().size(),
+                static_cast<unsigned long long>(tracer.dropped()));
+    return true;
+  }
+  std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+  return false;
+}
+
+/// Serve real network traffic until --duration elapses or a signal lands.
+int run_net_ingress(const sd::Cli& cli, const sd::SystemConfig& sys,
+                    const sd::DecoderSpec& spec, sd::serve::ServerOptions so,
+                    const std::string& ingress_kind,
+                    const std::string& metrics_json,
+                    const std::string& trace_path) {
+  using namespace sd;
+  net::ShardedServerOptions sho;
+  sho.num_shards = static_cast<usize>(cli.get_int_or("shards", 1));
+  sho.server = so;
+  sho.admission.enabled = cli.get_or("admission", "on") != "off";
+  net::ShardedServer shards(sys, spec, sho);
+
+  net::IngressOptions io;
+  if (ingress_kind == "tcp" || ingress_kind == "net") {
+    io.enable_tcp = true;
+    io.tcp_port = static_cast<std::uint16_t>(cli.get_int_or("port", 0));
+  }
+  if (ingress_kind == "uds" || ingress_kind == "net")
+    io.uds_path = cli.get_or("uds", "/tmp/spheredec_uplink.sock");
+  net::IngressServer ingress(shards, io);
+  ingress.start();
+  if (io.enable_tcp)
+    std::printf("listening on tcp://127.0.0.1:%u\n", ingress.tcp_port());
+  if (!io.uds_path.empty())
+    std::printf("listening on uds://%s\n", io.uds_path.c_str());
+  std::printf("%zu shard(s), admission %s — ctrl-C to drain and exit\n\n",
+              shards.num_shards(), sho.admission.enabled ? "on" : "off");
+  std::fflush(stdout);
+
+  const double duration_s = cli.get_double_or("duration", 0.0);
+  const auto t0 = serve::Clock::now();
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    if (duration_s > 0.0 &&
+        std::chrono::duration<double>(serve::Clock::now() - t0).count() >=
+            duration_s)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining...\n");
+  ingress.stop();
+  shards.drain();
+
+  const serve::ServerMetrics mx = shards.global_metrics();
+  const net::NetStats ns = ingress.stats();
+  const net::AdmissionStats as = shards.global_admission_stats();
+  print_metrics_tables(mx);
+  std::printf("net: %llu conns (%llu dropped, %llu protocol errors), "
+              "%llu frames rx, %llu responses tx (%llu shed/rejected), "
+              "channel cache %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(ns.connections_accepted),
+              static_cast<unsigned long long>(ns.connections_dropped),
+              static_cast<unsigned long long>(ns.protocol_errors),
+              static_cast<unsigned long long>(ns.frames_rx),
+              static_cast<unsigned long long>(ns.responses_tx),
+              static_cast<unsigned long long>(ns.shed_tx),
+              static_cast<unsigned long long>(ns.channel_cache_hits),
+              static_cast<unsigned long long>(ns.channel_cache_misses));
+  std::printf("admission: %llu considered, %llu admitted (%llu degraded), "
+              "%llu shed\n",
+              static_cast<unsigned long long>(as.considered),
+              static_cast<unsigned long long>(as.admitted),
+              static_cast<unsigned long long>(as.degraded_kbest +
+                                              as.degraded_linear),
+              static_cast<unsigned long long>(as.shed));
+  for (usize s = 0; s < shards.num_shards(); ++s) {
+    const serve::ServerMetrics sm = shards.shard_metrics(s);
+    std::printf("shard %zu: %llu submitted, %llu completed, %llu misses, "
+                "%.0f frames/s\n", s,
+                static_cast<unsigned long long>(sm.submitted),
+                static_cast<unsigned long long>(sm.completed),
+                static_cast<unsigned long long>(sm.deadline_misses),
+                sm.throughput_fps);
+  }
+
+  if (!metrics_json.empty()) {
+    obs::CounterRegistry reg;
+    mx.export_counters(reg);
+    ns.export_counters(reg);
+    as.export_counters(reg);
+    for (usize s = 0; s < shards.num_shards(); ++s) {
+      const std::string prefix = "shard." + std::to_string(s);
+      shards.shard_metrics(s).export_counters(reg, prefix);
+      shards.shard(s).dispatcher().stats().export_counters(
+          reg, prefix + ".dispatch");
+    }
+    if (reg.write_json(metrics_json)) {
+      std::printf("metrics: %s\n", metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", metrics_json.c_str());
+      return 1;
+    }
+  }
+  return write_trace_if_requested(trace_path) ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sd;
   using namespace sd::serve;
   const Cli cli(argc, argv);
+  install_signal_handlers();
   const auto m = static_cast<index_t>(cli.get_int_or("m", 10));
   const Modulation mod = parse_modulation(cli.get_or("mod", "4qam"));
   const SystemConfig sys{m, m, mod};
@@ -55,6 +233,23 @@ int main(int argc, char** argv) {
   const std::string placement = cli.get_or("placement", "");
   if (!placement.empty())
     so.placement = dispatch::parse_placement_policy(placement);
+
+  const std::string metrics_json = cli.get_or("metrics-json", "");
+  const std::string trace_path = cli.get_or("trace", "");
+  if (!trace_path.empty()) obs::Tracer::instance().enable();
+
+  const std::string ingress_kind = cli.get_or("ingress", "inproc");
+  if (ingress_kind != "inproc") {
+    if (ingress_kind != "tcp" && ingress_kind != "uds" &&
+        ingress_kind != "net") {
+      std::fprintf(stderr, "unknown --ingress=%s (inproc, tcp, uds, net)\n",
+                   ingress_kind.c_str());
+      return 1;
+    }
+    return run_net_ingress(cli, sys, spec, so, ingress_kind, metrics_json,
+                           trace_path);
+  }
+
   const std::string cost_in = cli.get_or("cost-model-in", "");
   const std::string cost_out = cli.get_or("cost-model-out", "");
   std::string cost_in_json;
@@ -88,10 +283,9 @@ int main(int argc, char** argv) {
   // which share one ChannelHandle. Feeds the backend prep cache and the
   // fused multi-frame decode path. Default 1 = i.i.d. channels.
   lo.coherence = static_cast<usize>(cli.get_int_or("coherence", 1));
-
-  const std::string metrics_json = cli.get_or("metrics-json", "");
-  const std::string trace_path = cli.get_or("trace", "");
-  if (!trace_path.empty()) obs::Tracer::instance().enable();
+  // A SIGINT/SIGTERM stops submissions; in-flight frames still drain and
+  // the metrics/trace outputs below are still written.
+  lo.stop = &g_stop;
 
   std::printf("uplink server: %dx%d %s @ %.0f dB | backend %s | %s, "
               "batch %zu, queue %zu (%s), deadline %s, placement %s\n",
@@ -119,32 +313,11 @@ int main(int argc, char** argv) {
       srv.dispatcher().cost_model().import_json(cost_in_json);
   });
   const ServerMetrics& mx = rep.metrics;
+  if (g_stop.load(std::memory_order_relaxed))
+    std::printf("interrupted: drained after %zu submitted frames\n\n",
+                rep.submitted);
 
-  Table counts({"submitted", "completed", "expired", "evicted", "rejected",
-                "misses", "lost"});
-  counts.add_row({std::to_string(mx.submitted), std::to_string(mx.completed),
-                  std::to_string(mx.expired_fallback + mx.expired_dropped),
-                  std::to_string(mx.evicted), std::to_string(mx.rejected),
-                  std::to_string(mx.deadline_misses),
-                  std::to_string(mx.submitted - mx.accounted())});
-  std::fputs(counts.render().c_str(), stdout);
-
-  Table lat({"latency", "count", "mean (ms)", "p50 (ms)", "p95 (ms)",
-             "p99 (ms)", "max (ms)"},
-            {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
-             Align::kRight, Align::kRight, Align::kRight});
-  const auto row = [&](const char* name, const LatencySummary& s) {
-    lat.add_row({name, std::to_string(s.count), fmt(s.mean_s * 1e3, 3),
-                 fmt(s.p50_s * 1e3, 3), fmt(s.p95_s * 1e3, 3),
-                 fmt(s.p99_s * 1e3, 3), fmt(s.max_s * 1e3, 3)});
-  };
-  row("queue wait", mx.queue_wait);
-  row("service", mx.service);
-  row("end-to-end", mx.e2e);
-  std::fputs(lat.render().c_str(), stdout);
-
-  std::printf("\nthroughput: %.0f frames/s over %.3f s\n", mx.throughput_fps,
-              mx.wall_seconds);
+  print_metrics_tables(mx);
   for (usize w = 0; w < mx.workers.size(); ++w) {
     std::printf("worker %zu: %llu frames in %llu batches, utilization %s\n", w,
                 static_cast<unsigned long long>(mx.workers[w].frames),
@@ -218,16 +391,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (!trace_path.empty()) {
-    obs::Tracer& tracer = obs::Tracer::instance();
-    if (tracer.write_chrome_trace(trace_path)) {
-      std::printf("trace: %s (%zu spans, %llu dropped)\n", trace_path.c_str(),
-                  tracer.snapshot().size(),
-                  static_cast<unsigned long long>(tracer.dropped()));
-    } else {
-      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
-      return 1;
-    }
-  }
-  return 0;
+  return write_trace_if_requested(trace_path) ? 0 : 1;
 }

@@ -125,7 +125,8 @@ Dispatcher::~Dispatcher() { drain(); }
 
 Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
                                          double deadline_s,
-                                         std::uint64_t channel_fp) {
+                                         std::uint64_t channel_fp,
+                                         serve::DecodeTier start_tier) {
   // A lane whose previous frame carried the same channel fingerprint will
   // find the factorization in the backend's prep cache — predict it from
   // the hit-calibrated buckets.
@@ -144,6 +145,7 @@ Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
           break;
         }
       }
+      p.tier = start_tier;
       break;
     }
     case PlacementPolicy::kLeastLoaded: {
@@ -158,6 +160,7 @@ Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
           }
         }
       }
+      p.tier = start_tier;
       break;
     }
     case PlacementPolicy::kCostAware: {
@@ -181,12 +184,19 @@ Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
       }
       // Walk the ladder: take the first tier whose best placement meets the
       // deadline; if none does, serve the cheapest tier anyway — the ladder
-      // sheds work, never frames.
+      // sheds work, never frames. Admission control may pin a floor
+      // (start_tier): rungs above it are skipped. If no backend ladder
+      // serves any rung at or below the floor, a second pass lifts the
+      // restriction rather than dropping the frame.
       static constexpr serve::DecodeTier kTiers[] = {
           serve::DecodeTier::kPrimary, serve::DecodeTier::kKBest,
           serve::DecodeTier::kLinear};
       bool chosen = false;
+      for (int pass = 0; pass < 2 && !chosen; ++pass) {
+      const serve::DecodeTier floor =
+          pass == 0 ? start_tier : serve::DecodeTier::kPrimary;
       for (serve::DecodeTier tier : kTiers) {
+        if (static_cast<int>(tier) < static_cast<int>(floor)) continue;
         int best_b = -1;
         unsigned best_lane = 0;
         double best_eta = std::numeric_limits<double>::infinity();
@@ -216,6 +226,7 @@ Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
                                   deadline_s > 0.0 && best_eta > deadline_s;
         if (!must_degrade) break;  // this tier fits (or degrading is off)
       }
+      }
       SD_ASSERT(chosen);  // every backend ladder contains kPrimary
       return p;
     }
@@ -244,7 +255,8 @@ serve::SubmitStatus Dispatcher::submit(serve::FrameRequest frame) {
   Placement p;
   {
     std::lock_guard<std::mutex> lock(place_mu_);
-    p = choose(f, frame.deadline_s, frame.channel.fingerprint());
+    p = choose(f, frame.deadline_s, frame.channel.fingerprint(),
+               frame.start_tier);
     const unsigned g = lane_base_[static_cast<usize>(p.backend)] + p.lane;
     pending_s_[g] += p.predicted_seconds;
     // Record the channel affinity: the next frame placed on this lane with

@@ -165,7 +165,8 @@ class Dispatcher final : public LaneSink {
   };
 
   [[nodiscard]] Placement choose(const FrameFeatures& f, double deadline_s,
-                                 std::uint64_t channel_fp);
+                                 std::uint64_t channel_fp,
+                                 serve::DecodeTier start_tier);
   void account_evicted(const PlacedFrame& displaced);
 
   SystemConfig system_;

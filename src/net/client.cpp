@@ -1,0 +1,67 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <utility>
+
+namespace sd::net {
+
+bool NetClient::send_locked(const WireFrame& frame) {
+  send_buf_.clear();
+  encode_frame(frame, send_buf_);
+  if (!send_all(sock_.fd(), send_buf_.data(), send_buf_.size())) return false;
+  bytes_sent_ += send_buf_.size();
+  if (frame.has_channel) last_fp_sent_ = frame.channel_fp;
+  return true;
+}
+
+bool NetClient::send(const WireFrame& frame) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return send_locked(frame);
+}
+
+bool NetClient::send_frame_auto(WireFrame& frame, const CMat& h,
+                                std::uint64_t fp) {
+  frame.channel_fp = fp;
+  // Elide only when this connection's previous channel is the same one: the
+  // server's per-connection cache is then guaranteed to hold it, whatever
+  // its eviction policy.
+  std::lock_guard<std::mutex> lock(send_mu_);
+  frame.has_channel = fp != last_fp_sent_;
+  if (frame.has_channel) frame.h = h;
+  return send_locked(frame);
+}
+
+bool NetClient::recv(WireResponse& resp) {
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  WireFrame unused;
+  for (;;) {
+    switch (decoder_.next(unused, resp)) {
+      case WireDecoder::Next::kResponse:
+        return true;
+      case WireDecoder::Next::kFrame:
+        throw net_error("server sent a frame message to a client");
+      case WireDecoder::Next::kError:
+        throw net_error(std::string("malformed response stream: ") +
+                        std::string(wire_error_name(decoder_.error())));
+      case WireDecoder::Next::kNeedMore:
+        break;
+    }
+    std::uint8_t chunk[16 * 1024];
+    ssize_t n;
+    do {
+      n = ::read(sock_.fd(), chunk, sizeof(chunk));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw net_error("recv failed");
+    if (n == 0) return false;  // clean EOF
+    bytes_received_ += static_cast<usize>(n);
+    decoder_.feed(chunk, static_cast<usize>(n));
+  }
+}
+
+void NetClient::finish_sending() { ::shutdown(sock_.fd(), SHUT_WR); }
+
+}  // namespace sd::net

@@ -1,0 +1,73 @@
+// NetClient: the out-of-process counterpart of IngressServer.
+//
+// One connection, two halves: send() encodes frames (the caller decides when
+// to elide the channel — see send_frame_auto for the last-fingerprint
+// policy), recv() blocks until the next complete WireResponse arrives.
+// Sends and receives are independently thread-safe, so a driver can stream
+// from one thread while a reader thread matches responses by frame id —
+// the shape examples/uplink_client uses.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace sd::net {
+
+class NetClient {
+ public:
+  [[nodiscard]] static NetClient connect_tcp(std::uint16_t port) {
+    return NetClient(connect_tcp_loopback(port));
+  }
+  [[nodiscard]] static NetClient connect_uds(const std::string& path) {
+    return NetClient(sd::net::connect_uds(path));
+  }
+
+  // Pinned in place (mutex members); factories rely on C++17 copy elision.
+  NetClient(NetClient&&) = delete;
+  NetClient& operator=(NetClient&&) = delete;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Encodes and writes one frame as given (has_channel untouched).
+  /// Returns false if the server closed the connection.
+  bool send(const WireFrame& frame);
+
+  /// Channel-elision policy: ships H only when `fp` differs from the last
+  /// fingerprint sent on this connection — i.e. once per coherence block.
+  /// The caller fills everything but has_channel/channel_fp.
+  bool send_frame_auto(WireFrame& frame, const CMat& h, std::uint64_t fp);
+
+  /// Blocks until one complete response arrives. Returns false on clean EOF
+  /// (server closed); throws net_error if the stream is malformed.
+  bool recv(WireResponse& resp);
+
+  /// Half-close the send direction: the server sees EOF after the last
+  /// frame, while responses keep flowing back.
+  void finish_sending();
+
+  [[nodiscard]] usize bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] usize bytes_received() const noexcept {
+    return bytes_received_;
+  }
+
+ private:
+  explicit NetClient(Socket sock) : sock_(std::move(sock)) {}
+
+  bool send_locked(const WireFrame& frame);
+
+  Socket sock_;
+  std::mutex send_mu_;
+  std::vector<std::uint8_t> send_buf_;
+  std::uint64_t last_fp_sent_ = 0;
+  usize bytes_sent_ = 0;
+
+  std::mutex recv_mu_;
+  WireDecoder decoder_;
+  usize bytes_received_ = 0;
+};
+
+}  // namespace sd::net

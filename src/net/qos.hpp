@@ -1,0 +1,37 @@
+// QoS classes for network-ingress traffic.
+//
+// A base station does not serve one traffic class: URLLC-style frames carry
+// hard deadlines measured in milliseconds, mobile-broadband frames tolerate
+// tens of milliseconds, and background traffic has no budget at all. The
+// wire header tags every frame with one of these classes; the admission
+// controller keys its shed/degrade policy on them (see net/admission.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sd::net {
+
+enum class QosClass : std::uint8_t {
+  kHard = 0,        ///< hard deadline: degrade tiers, shed only as last resort
+  kSoft = 1,        ///< soft deadline: degrade or shed under overload
+  kBestEffort = 2,  ///< no deadline unless the frame carries one
+};
+
+inline constexpr std::uint8_t kQosClassCount = 3;
+
+[[nodiscard]] constexpr std::string_view qos_class_name(QosClass q) noexcept {
+  switch (q) {
+    case QosClass::kHard: return "hard";
+    case QosClass::kSoft: return "soft";
+    case QosClass::kBestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+/// True iff `v` is a valid QosClass wire value.
+[[nodiscard]] constexpr bool qos_class_valid(std::uint8_t v) noexcept {
+  return v < kQosClassCount;
+}
+
+}  // namespace sd::net

@@ -1,0 +1,169 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sd::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw net_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  // Best effort: fails harmlessly on non-TCP sockets.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket(tcp)");
+  int one = 1;
+  (void)::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    throw_errno("bind(tcp)");
+  if (::listen(s.fd(), 128) != 0) throw_errno("listen(tcp)");
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&got), &len) != 0)
+      throw_errno("getsockname");
+    *bound_port = ntohs(got.sin_port);
+  }
+  return s;
+}
+
+Socket listen_uds(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw net_error("uds path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket(uds)");
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    throw_errno(("bind(uds " + path + ")").c_str());
+  if (::listen(s.fd(), 128) != 0) throw_errno("listen(uds)");
+  return s;
+}
+
+Socket connect_tcp_loopback(std::uint16_t port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket(tcp)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) throw_errno("connect(tcp)");
+  set_nodelay(s.fd());
+  return s;
+}
+
+Socket connect_uds(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw net_error("uds path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket(uds)");
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) throw_errno(("connect(uds " + path + ")").c_str());
+  return s;
+}
+
+Socket accept_connection(const Socket& listener) {
+  int fd;
+  do {
+    fd = ::accept(listener.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)
+      return Socket();
+    throw_errno("accept");
+  }
+  Socket s(fd);
+  set_nodelay(fd);
+  return s;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+bool send_all(int fd, const void* data, usize n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  usize sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full send buffer: wait for writability so
+        // the call stays logically blocking for every caller.
+        pollfd pfd{fd, POLLOUT, 0};
+        (void)::poll(&pfd, 1, 1000);
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw_errno("send");
+    }
+    sent += static_cast<usize>(rc);
+  }
+  return true;
+}
+
+}  // namespace sd::net

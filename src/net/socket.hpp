@@ -1,0 +1,76 @@
+// Thin RAII layer over the POSIX sockets the ingress path needs: TCP
+// loopback and Unix-domain stream sockets, listeners and connectors, and a
+// send_all that survives partial writes. Everything else (framing, polling,
+// connection state) lives in wire.hpp / ingress.hpp.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace sd::net {
+
+/// Transport-level failure (connect refused, send on closed peer, ...).
+class net_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Move-only owner of one file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  [[nodiscard]] int release() noexcept {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close() noexcept;
+  /// shutdown(SHUT_RDWR): wakes a peer blocked in recv without closing the
+  /// descriptor (safe while another thread still holds the fd).
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port); the
+/// actually bound port is written to `*bound_port`.
+[[nodiscard]] Socket listen_tcp_loopback(std::uint16_t port,
+                                         std::uint16_t* bound_port);
+
+/// Listens on a Unix-domain stream socket at `path` (unlinked first; path
+/// must fit sockaddr_un, i.e. < ~107 chars).
+[[nodiscard]] Socket listen_uds(const std::string& path);
+
+[[nodiscard]] Socket connect_tcp_loopback(std::uint16_t port);
+[[nodiscard]] Socket connect_uds(const std::string& path);
+
+/// accept() on a listener; returns an invalid Socket on transient failure
+/// (EAGAIN/EINTR/ECONNABORTED), throws on real errors. TCP connections get
+/// TCP_NODELAY — frames are latency-sensitive and self-batched.
+[[nodiscard]] Socket accept_connection(const Socket& listener);
+
+/// Puts the descriptor in non-blocking mode (the ingress read loop's mode;
+/// send_all remains logically blocking by polling for writability).
+void set_nonblocking(int fd);
+
+/// Writes all `n` bytes, looping over partial writes (and over EAGAIN on
+/// non-blocking fds); returns false if the peer is gone (EPIPE/ECONNRESET),
+/// throws on other errors. SIGPIPE is suppressed via MSG_NOSIGNAL.
+bool send_all(int fd, const void* data, usize n);
+
+}  // namespace sd::net

@@ -23,6 +23,19 @@ namespace sd::serve {
 /// Monotonic clock used for all serving timestamps.
 using Clock = std::chrono::steady_clock;
 
+/// Which rung of the overload ladder decoded a frame. The dispatcher degrades
+/// placement along primary -> K-Best -> linear when the predicted completion
+/// time exceeds the frame's deadline — shedding *work*, not frames. kPrimary
+/// is whatever the backend's configured decoder is; the lower tiers are the
+/// progressively cheaper approximations every lane keeps on standby.
+enum class DecodeTier : std::uint8_t {
+  kPrimary,  ///< the backend's configured decoder
+  kKBest,    ///< breadth-limited search (fixed complexity)
+  kLinear,   ///< equalize-and-slice (cheapest)
+};
+
+[[nodiscard]] std::string_view decode_tier_name(DecodeTier t) noexcept;
+
 /// One frame submitted for detection.
 ///
 /// The channel estimate travels as a shared immutable ChannelHandle: frames
@@ -37,6 +50,10 @@ struct FrameRequest {
   double sigma2 = 0.0;         ///< noise variance
   double deadline_s = 0.0;     ///< end-to-end budget from accept; 0 = none
   Clock::time_point submit_time{};  ///< stamped by DetectionServer::submit
+  /// Highest decode-ladder rung this frame may be served at. Admission
+  /// control (src/net) pre-degrades overloaded frames by lowering this; the
+  /// dispatcher never places the frame above it. kPrimary = no restriction.
+  DecodeTier start_tier = DecodeTier::kPrimary;
 
   /// The channel matrix. Requires a valid handle (submit enforces this).
   [[nodiscard]] const CMat& h() const { return channel.matrix(); }
@@ -51,19 +68,6 @@ enum class FrameStatus : std::uint8_t {
 };
 
 [[nodiscard]] std::string_view frame_status_name(FrameStatus s) noexcept;
-
-/// Which rung of the overload ladder decoded a frame. The dispatcher degrades
-/// placement along primary -> K-Best -> linear when the predicted completion
-/// time exceeds the frame's deadline — shedding *work*, not frames. kPrimary
-/// is whatever the backend's configured decoder is; the lower tiers are the
-/// progressively cheaper approximations every lane keeps on standby.
-enum class DecodeTier : std::uint8_t {
-  kPrimary,  ///< the backend's configured decoder
-  kKBest,    ///< breadth-limited search (fixed complexity)
-  kLinear,   ///< equalize-and-slice (cheapest)
-};
-
-[[nodiscard]] std::string_view decode_tier_name(DecodeTier t) noexcept;
 
 /// Outcome of DetectionServer::submit / Dispatcher::submit.
 enum class SubmitStatus : std::uint8_t {

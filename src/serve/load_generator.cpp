@@ -1,5 +1,7 @@
 #include "serve/load_generator.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -73,6 +75,13 @@ LoadReport LoadGenerator::run(const CompletionFn& observer,
   } sh;
   const usize n = load_.num_frames;
 
+  // Cooperative stop: once this reads true no further frames are submitted;
+  // frames already in flight still run to a terminal state below.
+  const auto stopped = [this] {
+    return load_.stop != nullptr &&
+           load_.stop->load(std::memory_order_relaxed);
+  };
+
   DetectionServer* server = nullptr;  // set before any submit below
 
   auto make_frame = [&](usize i) {
@@ -92,7 +101,8 @@ LoadReport LoadGenerator::run(const CompletionFn& observer,
       usize i = 0;
       {
         std::lock_guard<std::mutex> lock(sh.mu);
-        if (sh.next >= n || sh.outstanding >= load_.window) return;
+        if (stopped() || sh.next >= n || sh.outstanding >= load_.window)
+          return;
         i = sh.next++;
         ++sh.outstanding;
       }
@@ -143,24 +153,43 @@ LoadReport LoadGenerator::run(const CompletionFn& observer,
     // mismatch.
     const Clock::time_point t0 = Clock::now();
     const auto interval = std::chrono::duration<double>(1.0 / load_.rate_fps);
-    for (usize i = 0; i < n; ++i) {
-      std::this_thread::sleep_until(
+    for (usize i = 0; i < n && !stopped(); ++i) {
+      // Chunked sleep so a stop request interrupts even a slow arrival rate
+      // within ~10 ms instead of waiting out the full inter-arrival gap.
+      const Clock::time_point due =
           t0 + std::chrono::duration_cast<Clock::duration>(interval) *
-                   static_cast<long>(i));
+                   static_cast<long>(i);
+      while (Clock::now() < due && !stopped()) {
+        std::this_thread::sleep_until(
+            std::min(due, Clock::now() + std::chrono::milliseconds(10)));
+      }
+      if (stopped()) break;
+      {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        ++sh.outstanding;
+      }
       const SubmitStatus st = server->submit(make_frame(i));
       std::lock_guard<std::mutex> lock(sh.mu);
       ++sh.submitted;
       if (st != SubmitStatus::kAccepted) {
         ++sh.rejected;
         ++sh.terminal;
+        if (sh.outstanding > 0) --sh.outstanding;
         if (sh.terminal == n) sh.all_done.notify_all();
       }
     }
   }
 
   {
+    // Normal completion is notified; the stop path is polled, because the
+    // flag flips from a signal handler that cannot touch the condvar.
     std::unique_lock<std::mutex> lock(sh.mu);
-    sh.all_done.wait(lock, [&] { return sh.terminal == n; });
+    const auto done = [&] {
+      return sh.terminal == n || (stopped() && sh.outstanding == 0);
+    };
+    while (!done()) {
+      sh.all_done.wait_for(lock, std::chrono::milliseconds(50), done);
+    }
   }
   srv.drain();
 

@@ -14,6 +14,7 @@
 //    which frames expire or shed under overload depends on wall-clock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -43,6 +44,11 @@ struct LoadOptions {
   /// allocation, one fingerprint). 1 = i.i.d. channels, the original
   /// byte-identical stream.
   usize coherence = 1;
+  /// Optional cooperative stop flag (e.g. wired to a SIGINT handler). When
+  /// it flips true, no further frames are submitted; run() still waits for
+  /// every in-flight frame to reach a terminal state, drains the server,
+  /// and returns a complete report — graceful shutdown, not abandonment.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Result of one generated run. Detection quality is measured against the

@@ -33,6 +33,16 @@ The coherent_batch artifact (name == "coherent_batch") is checked for a
 config.gate_speedup is true — gated on the fused L=64/B=8 cell being at
 least 1.3x the L=1/B=1 baseline with a >= 90% prep-cache hit rate.
 
+The ingress artifact (name == "ingress") is checked for a "transport"
+series ("transport", "m", "window", "frame_bytes", "frames_per_s",
+"mbytes_per_s") covering both uds and tcp, and an "admission" series
+("mode", "offered_fps", "hard_offered", "hard_misses",
+"hard_deadline_miss_rate", "shed", "completed", "frames_per_s") covering
+modes "none" and "shed". When config.gate_admission is true the shed-
+before-miss gate applies: at 2x calibrated capacity the no-admission
+baseline must actually miss hard deadlines, and admission control must
+achieve a strictly lower hard-deadline miss rate.
+
 Exit status is 0 iff every file validates. Stdlib only — no dependencies.
 """
 
@@ -173,6 +183,8 @@ def validate_file(problems, path):
         check_gemm_kernels(problems, path, doc)
     if name == "coherent_batch":
         check_coherent_batch(problems, path, doc)
+    if name == "ingress":
+        check_ingress(problems, path, doc)
 
 
 def check_dispatch(problems, path, doc):
@@ -313,6 +325,88 @@ def check_coherent_batch(problems, path, doc):
     if fused["fused_frames"] <= 0:
         problems.report(
             path, "coherent_batch: fused L=64/B=8 cell decoded no fused frames")
+
+
+def check_ingress(problems, path, doc):
+    """Extra shape + shed-before-miss gate for BENCH_ingress.json."""
+    series = doc.get("series")
+    series = series if isinstance(series, list) else []
+    entries = {e.get("label"): e for e in series if isinstance(e, dict)}
+
+    transport = entries.get("transport")
+    if transport is None:
+        problems.report(path, "ingress: missing 'transport' series")
+    else:
+        rows = transport.get("rows")
+        rows = rows if isinstance(rows, list) else []
+        transports = set()
+        for j, row in enumerate(rows):
+            if not isinstance(row, dict):
+                continue
+            missing = [c for c in ("transport", "m", "window", "frame_bytes",
+                                   "frames_per_s", "mbytes_per_s")
+                       if c not in row]
+            if missing:
+                problems.report(
+                    path, f"ingress: transport.rows[{j}] missing {missing}")
+                continue
+            transports.add(row["transport"])
+            if row["frames_per_s"] <= 0:
+                problems.report(
+                    path, f"ingress: transport.rows[{j}] non-positive throughput")
+        for want in ("uds", "tcp"):
+            if want not in transports:
+                problems.report(path, f"ingress: no '{want}' transport rows")
+
+    admission = entries.get("admission")
+    if admission is None:
+        problems.report(path, "ingress: missing 'admission' series")
+        return
+    rows = admission.get("rows")
+    rows = rows if isinstance(rows, list) else []
+    by_mode = {}
+    for j, row in enumerate(rows):
+        if not isinstance(row, dict):
+            continue
+        missing = [c for c in ("mode", "offered_fps", "hard_offered",
+                               "hard_misses", "hard_deadline_miss_rate",
+                               "shed", "completed", "frames_per_s")
+                   if c not in row]
+        if missing:
+            problems.report(
+                path, f"ingress: admission.rows[{j}] missing {missing}")
+            continue
+        by_mode[row["mode"]] = row
+
+    for want in ("none", "shed"):
+        if want not in by_mode:
+            problems.report(path, f"ingress: no admission mode '{want}' row")
+
+    config = doc.get("config")
+    config = config if isinstance(config, dict) else {}
+    if not config.get("gate_admission"):
+        return  # smoke run: offered load too small to overload the pool
+
+    # Shed-before-miss gate: at 2x calibrated capacity the uncontrolled
+    # baseline must be missing hard deadlines (otherwise the experiment did
+    # not overload anything), and admission control must yield a strictly
+    # lower hard-deadline miss rate — the acceptance criterion of the
+    # admission subsystem.
+    none = by_mode.get("none")
+    shed = by_mode.get("shed")
+    if none is None or shed is None:
+        return  # already reported above
+    if none["hard_misses"] <= 0:
+        problems.report(
+            path, "ingress: gate_admission set but the no-admission baseline "
+            "missed no hard deadlines (not overloaded)")
+        return
+    if shed["hard_deadline_miss_rate"] >= none["hard_deadline_miss_rate"]:
+        problems.report(
+            path,
+            f"ingress: admission control did not reduce the hard-deadline "
+            f"miss rate ({shed['hard_deadline_miss_rate']:.2%} with shed vs "
+            f"{none['hard_deadline_miss_rate']:.2%} without)")
 
 
 def main(argv):
