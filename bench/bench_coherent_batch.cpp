@@ -21,8 +21,10 @@
 // fused-run counters; at full trial counts the config flag gate_speedup
 // turns on the validator's perf gate (fused L=64/B=8 vs L=1/B=1).
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -133,6 +135,55 @@ int main(int argc, char** argv) {
     bench::report().counters(reg);
   }
   bench::print_table(t, "coherent_batch");
+
+  // Cross-channel fusion ablation at L=1: every frame carries a distinct
+  // channel, so the classic same-channel-only runtime cannot fuse anything
+  // — the wide block-diagonal decode is the only fusion available. Both
+  // sides are best-of-3 (closed-loop e2e throughput is scheduler-noisy;
+  // the max is the least contended run of each configuration).
+  Table tx({"batch B", "same-only fps", "cross-fuse fps", "speedup",
+            "fused frames"},
+           {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+            Align::kRight});
+  const usize reps = frames >= 128 ? 3 : 1;
+  for (usize batch : batches) {
+    if (batch == 1) continue;  // identical paths when nothing can batch
+    std::uint64_t fused_frames = 0;
+    const auto best_fps = [&](bool cross) {
+      double best = 0.0;
+      for (usize r = 0; r < reps; ++r) {
+        ServerOptions so;
+        so.num_workers = 1;
+        so.batch_size = batch;
+        so.queue_capacity = 64;
+        so.fuse_cross_channel = cross;
+        LoadOptions lo;
+        lo.mode = ArrivalMode::kClosedLoop;
+        lo.num_frames = frames;
+        lo.window = std::min<usize>(std::max<usize>(2 * batch, 4), 32);
+        lo.snr_db = snr;
+        lo.seed = 7;
+        lo.coherence = 1;
+        LoadGenerator gen(sys, parse_decoder_spec("bfs"), so, lo);
+        const LoadReport rep = gen.run();
+        best = std::max(best, rep.metrics.throughput_fps);
+        if (cross) fused_frames = rep.dispatch.fused_frames;
+      }
+      return best;
+    };
+    const double same_fps = best_fps(false);
+    const double cross_fps = best_fps(true);
+    const double speedup = same_fps > 0.0 ? cross_fps / same_fps : 0.0;
+    tx.add_row({std::to_string(batch), fmt(same_fps, 0), fmt(cross_fps, 0),
+                fmt_factor(speedup, 2), std::to_string(fused_frames)});
+    bench::report().row("cross_channel",
+                        {{"batch", batch},
+                         {"same_frames_per_s", same_fps},
+                         {"cross_frames_per_s", cross_fps},
+                         {"speedup", speedup},
+                         {"fused_frames", fused_frames}});
+  }
+  bench::print_table(tx, "cross_channel (L=1)");
   std::printf("\nclosed-loop, 1 lane, window = min(max(2B, 4), 32); the L=1 "
               "column is the i.i.d. baseline every other cell is measured "
               "against. Fused decodes are bit-identical to sequential ones "

@@ -50,6 +50,14 @@ void Detector::decode_batch_with(const PreprocessedChannel& prep,
   }
 }
 
+void Detector::decode_wide(std::span<WideItem> items) {
+  for (WideItem& item : items) {
+    SD_CHECK(item.prep != nullptr, "wide item missing a prepared channel");
+    SD_CHECK(item.out != nullptr, "wide item missing an output slot");
+    decode_with(*item.prep, item.y, item.sigma2, *item.out);
+  }
+}
+
 double residual_metric(const CMat& h, std::span<const cplx> y,
                        std::span<const cplx> s) {
   SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");

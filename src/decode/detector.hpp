@@ -136,6 +136,23 @@ class Detector {
   /// tests/test_coherent_batch.cpp).
   virtual void decode_batch_with(const PreprocessedChannel& prep,
                                  std::span<BatchItem> items);
+
+  /// One frame of a cross-channel ("wide") batch: each frame carries its OWN
+  /// prepared channel. The prep pointers must outlive the call; frames may
+  /// freely share a prep.
+  struct WideItem {
+    const PreprocessedChannel* prep = nullptr;
+    std::span<const cplx> y;
+    double sigma2 = 0.0;
+    DecodeResult* out = nullptr;
+  };
+
+  /// Decodes B frames with per-frame channels. The base implementation loops
+  /// decode_with(); the BFS detector overrides it to pack the frames'
+  /// frontier columns — across DIFFERENT channels — into one block-diagonal
+  /// level product (DESIGN.md §14). Every override is REQUIRED to produce
+  /// per-frame results bit-identical to sequential decode_with() calls.
+  virtual void decode_wide(std::span<WideItem> items);
 };
 
 /// Convenience: computes ||y - H s||^2 for a candidate, used by detectors to

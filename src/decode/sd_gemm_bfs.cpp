@@ -13,9 +13,9 @@
 namespace sd {
 
 /// Per-frame state for the fused lockstep search. Each frame keeps its own
-/// Meta State Table, frontier, and triangular system (ybar differs per frame;
-/// R is bit-identical across the batch since all frames share one prep), so
-/// NodeIds, truncation cuts, and stats evolve exactly as in a solo decode.
+/// Meta State Table, frontier, and triangular system (ybar AND R may differ
+/// per frame — frames carry their own prep in the wide path), so NodeIds,
+/// truncation cuts, and stats evolve exactly as in a solo decode.
 struct SdGemmBfsDetector::FusedFrame {
   PreprocessScratch prep;
   Preprocessed pre;
@@ -25,8 +25,10 @@ struct SdGemmBfsDetector::FusedFrame {
   std::vector<index_t> path;
   std::vector<index_t> best_path;
   std::vector<index_t> layered;
+  const PreprocessedChannel* chan = nullptr;  ///< this frame's own prep
   DecodeResult* out = nullptr;
   double radius_sq = 0.0;
+  usize block = 0;       ///< index of this frame's A block at the level
   bool active = false;   ///< still in the fused lockstep
   bool restart = false;  ///< peeled off; re-run via sequential decode_with
   bool truncated = false;
@@ -90,8 +92,22 @@ void SdGemmBfsDetector::decode_batch_with(const PreprocessedChannel& prep,
     Detector::decode_batch_with(prep, items);
     return;
   }
+  // Shared-prep batches are the degenerate wide batch: every frame points at
+  // the same prep, so each level groups into a single A block.
+  wide_items_.clear();
+  for (BatchItem& item : items) {
+    SD_CHECK(item.out != nullptr, "batch item missing an output slot");
+    wide_items_.push_back(WideItem{&prep, item.y, item.sigma2, item.out});
+  }
+  decode_wide(wide_items_);
+}
+
+void SdGemmBfsDetector::decode_wide(std::span<WideItem> items) {
+  if (items.size() <= 1) {
+    Detector::decode_wide(items);  // solo decode_with sets truncated_
+    return;
+  }
   SD_TRACE_SPAN("decode.batch");
-  const index_t m = prep.channel.matrix().cols();
   const index_t p = c_->order();
   const bool row0 = opts_.base.level_gemm == LevelGemm::kRow0;
   // Cap on the stacked tree-state width: the widest operand a SOLO decode can
@@ -105,22 +121,34 @@ void SdGemmBfsDetector::decode_batch_with(const PreprocessedChannel& prep,
     fused_.push_back(std::make_unique<FusedFrame>());
   }
 
-  // Per-frame setup: derive each frame's triangular system from the shared
-  // prep (R is identical across frames; ybar is per-frame) and plant the
-  // virtual root. This mirrors the start of a solo decode_with() exactly.
+  // Per-frame setup: derive each frame's triangular system from ITS OWN prep
+  // and plant the virtual root, mirroring the start of a solo decode_with()
+  // exactly. Frames whose prep kind doesn't match (they need the one-shot
+  // fallback) or whose dimension differs from the batch's first lockstep
+  // frame (levels would not line up) peel to the sequential path up front.
+  index_t m = -1;
   for (usize i = 0; i < items.size(); ++i) {
     FusedFrame& fr = *fused_[i];
-    BatchItem& item = items[i];
-    SD_CHECK(item.out != nullptr, "batch item missing an output slot");
+    WideItem& item = items[i];
+    SD_CHECK(item.prep != nullptr, "wide item missing a prepared channel");
+    SD_CHECK(item.out != nullptr, "wide item missing an output slot");
+    fr.chan = item.prep;
+    fr.out = item.out;
+    fr.truncated = false;
+    const index_t mi = item.prep->channel.matrix().cols();
+    if (item.prep->kind != prep_kind() || (m >= 0 && mi != m)) {
+      fr.active = false;
+      fr.restart = true;
+      continue;
+    }
+    m = mi;
     item.out->reset();
-    preprocess_with_channel(prep, item.y, fr.prep, fr.pre);
+    preprocess_with_channel(*item.prep, item.y, fr.prep, fr.pre);
     item.out->stats.preprocess_seconds = fr.pre.seconds;
     item.out->stats.tree_levels = static_cast<std::uint64_t>(m);
-    fr.out = item.out;
     fr.radius_sq = initial_radius_sq(opts_.base, item.sigma2, m);
     fr.active = true;
     fr.restart = false;
-    fr.truncated = false;
     fr.mst(m, 4096).reset();
     fr.frontier.clear();
     fr.frontier.push_back(ScratchNode{kRootId, real{0}});
@@ -160,26 +188,43 @@ void SdGemmBfsDetector::decode_batch_with(const PreprocessedChannel& prep,
     const index_t k = m - a;
     const index_t zr = row0 ? 1 : k;
 
-    // Shared A-block: every frame's pre.r holds the same bits (one prep), so
-    // one operand serves the whole batch — packed once by the GEMM kernel.
-    const Preprocessed* pre0 = nullptr;
-    for (usize i = 0; i < items.size() && pre0 == nullptr; ++i) {
-      if (fused_[i]->active) pre0 = &fused_[i]->pre;
+    // Stacked A: one zr x k R row-block per DISTINCT prep among the active
+    // frames, side by side in first-appearance order. Same-channel frames
+    // share a block (coherent traffic degenerates to the single-block case);
+    // i.i.d. traffic gets one block per frame.
+    block_keys_.clear();
+    block_pres_.clear();
+    for (usize i = 0; i < items.size(); ++i) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      usize g = 0;
+      while (g < block_keys_.size() && block_keys_[g] != fr.chan) ++g;
+      if (g == block_keys_.size()) {
+        block_keys_.push_back(fr.chan);
+        block_pres_.push_back(&fr.pre);
+      }
+      fr.block = g;
     }
-    CMat& a_block = scratch_.a_block;
-    a_block.reshape(zr, k);
-    for (index_t r2 = 0; r2 < zr; ++r2) {
-      for (index_t t = 0; t < r2; ++t) a_block(r2, t) = cplx{0, 0};
-      for (index_t t = r2; t < k; ++t) {
-        a_block(r2, t) = pre0->r(a + r2, a + t);
+    CMat& a_stack = scratch_.a_block;
+    a_stack.reshape(zr, static_cast<index_t>(block_keys_.size()) * k);
+    for (usize g = 0; g < block_keys_.size(); ++g) {
+      const Preprocessed& gpre = *block_pres_[g];
+      const index_t base = static_cast<index_t>(g) * k;
+      for (index_t r2 = 0; r2 < zr; ++r2) {
+        for (index_t t = 0; t < r2; ++t) a_stack(r2, base + t) = cplx{0, 0};
+        for (index_t t = r2; t < k; ++t) {
+          a_stack(r2, base + t) = gpre.r(a + r2, a + t);
+        }
       }
     }
 
     // One stacked tree-state matrix: frame j's segment is exactly the S it
     // would build solo. Column independence of the GEMM kernels (DESIGN.md
-    // §12) makes each segment's product bit-identical to the solo product.
+    // §12/§14) makes each segment's product bit-identical to the solo
+    // product against that frame's own A block.
     CMat& s_mat = scratch_.s_mat;
     s_mat.reshape(k, static_cast<index_t>(total_cols));
+    groups_.clear();
     usize col_off = 0;
     for (usize i = 0; i < items.size(); ++i) {
       FusedFrame& fr = *fused_[i];
@@ -201,13 +246,18 @@ void SdGemmBfsDetector::decode_batch_with(const PreprocessedChannel& prep,
           }
         }
       }
+      groups_.push_back(GemmGroup{static_cast<index_t>(fr.block) * k,
+                                  static_cast<index_t>(col_off),
+                                  static_cast<index_t>(f) * p});
       col_off += f * static_cast<usize>(p);
     }
 
+    // ONE grouped block-diagonal product for the whole level, across all
+    // channels — the cross-channel generalization of the single level GEMM.
     CMat& z = scratch_.z;
     z.reshape(zr, static_cast<index_t>(total_cols));
-    gemm(Op::kNone, cplx{1, 0}, a_block, s_mat, cplx{0, 0}, z,
-         scratch_.gemm_ws);
+    gemm_grouped(cplx{1, 0}, a_stack, k, s_mat, cplx{0, 0}, z, groups_,
+                 scratch_.gemm_ws);
 
     // Per-frame consume: prune / insert / truncate with the frame's own MST
     // and stats — the exact solo code over the frame's column segment. Stats
@@ -296,13 +346,14 @@ void SdGemmBfsDetector::decode_batch_with(const PreprocessedChannel& prep,
     materialize_symbols(*c_, *fr.out);
   }
 
-  // Sequential fallback for peeled frames (empty-sphere retries and budget
-  // demotions): a full solo decode reproduces the exact sequential bits AND
-  // stats, because decode_with() resets the result before re-charging.
+  // Sequential fallback for peeled frames (kind/dimension mismatches,
+  // empty-sphere retries, and budget demotions): a full solo decode against
+  // the frame's OWN prep reproduces the exact sequential bits AND stats,
+  // because decode_with() resets the result before re-charging.
   for (usize i = 0; i < items.size(); ++i) {
     FusedFrame& fr = *fused_[i];
     if (!fr.restart) continue;
-    decode_with(prep, items[i].y, items[i].sigma2, *items[i].out);
+    decode_with(*fr.chan, items[i].y, items[i].sigma2, *items[i].out);
     fr.truncated = truncated_;
   }
   // Match a sequential loop's view: report the batch's LAST frame.

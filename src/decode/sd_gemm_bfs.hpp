@@ -63,8 +63,18 @@ class SdGemmBfsDetector final : public Detector {
   /// sequential decode_with() per frame (see DESIGN.md §12 for the
   /// column-independence argument); frames that need a radius restart or
   /// exceed the fused operand budget are peeled off and re-run sequentially.
+  /// Implemented as the shared-prep special case of decode_wide().
   void decode_batch_with(const PreprocessedChannel& prep,
                          std::span<BatchItem> items) override;
+
+  /// Cross-channel ("wide") fused decode: frames with DIFFERENT channels run
+  /// the lockstep level advance together, each level issuing ONE grouped
+  /// block-diagonal GEMM over the distinct R blocks (DESIGN.md §14). Frames
+  /// whose prep kind or dimension does not match are peeled to the
+  /// sequential path up front; empty-frontier restarts and operand-budget
+  /// demotions peel exactly as in decode_batch_with(). Per-frame results and
+  /// stats stay bit-identical to sequential decode_with() calls.
+  void decode_wide(std::span<WideItem> items) override;
 
   /// Tree search on an already-preprocessed system.
   void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
@@ -81,6 +91,10 @@ class SdGemmBfsDetector final : public Detector {
   BfsOptions opts_;
   DecodeScratch scratch_;
   std::vector<std::unique_ptr<FusedFrame>> fused_;  ///< pooled across batches
+  std::vector<WideItem> wide_items_;           ///< decode_batch_with adapter
+  std::vector<GemmGroup> groups_;              ///< per-level grouped-GEMM map
+  std::vector<const PreprocessedChannel*> block_keys_;  ///< distinct preps
+  std::vector<const Preprocessed*> block_pres_;  ///< one R source per block
   bool truncated_ = false;
 };
 

@@ -226,14 +226,18 @@ void Backend::lane_main(unsigned lane) {
     SD_TRACE_SPAN("dispatch.batch");
     Timer busy;
     // Split the popped batch into maximal runs of CONSECUTIVE frames that
-    // share a channel and a tier. Consecutive-only grouping never reorders
+    // share a tier. Channels may differ within a run — the wide-BFS fused
+    // path resolves each distinct fingerprint once and decodes them together
+    // — so interleaved cells (A,B,A,B,...) fuse at full width instead of
+    // collapsing to width-1 runs. Consecutive-only grouping never reorders
     // frames, so batch_size=1 (the default) behaves exactly as before and
     // completion order is preserved within the pop.
     usize i = 0;
     while (i < batch.size()) {
       usize j = i + 1;
       while (j < batch.size() && batch[j].tier == batch[i].tier &&
-             batch[j].frame.channel.same_storage(batch[i].frame.channel)) {
+             (cfg_.fuse_cross_channel ||
+              batch[j].frame.channel.same_storage(batch[i].frame.channel))) {
         ++j;
       }
       process_run(lane, *primary, kbest, linear, batch, i, j);
@@ -264,34 +268,50 @@ void Backend::process_run(unsigned lane, Detector& primary, Detector& kbest,
     return;
   }
 
-  bool cache_hit = false;
-  std::shared_ptr<const PreprocessedChannel> prep =
-      prep_cache_.get_or_build(batch[begin].frame.channel, kind, &cache_hit);
-  // First frame pays (or reuses) the factorization; the rest of the run
-  // reuses it by construction.
-  batch[begin].prep_hit = cache_hit;
-  for (usize i = begin + 1; i < end; ++i) batch[i].prep_hit = true;
+  // Resolve each DISTINCT channel of the run once. The first frame carrying
+  // a channel pays (or reuses) the cache lookup; later frames with the same
+  // storage — consecutive or interleaved — reuse the run-local resolution
+  // and count as hits by construction.
+  std::vector<std::shared_ptr<const PreprocessedChannel>> preps(end - begin);
+  usize misses = 0;
+  for (usize i = begin; i < end; ++i) {
+    usize j = begin;
+    while (j < i && !batch[j].frame.channel.same_storage(batch[i].frame.channel)) {
+      ++j;
+    }
+    if (j < i) {
+      preps[i - begin] = preps[j - begin];
+      batch[i].prep_hit = true;
+      continue;
+    }
+    bool cache_hit = false;
+    preps[i - begin] =
+        prep_cache_.get_or_build(batch[i].frame.channel, kind, &cache_hit);
+    batch[i].prep_hit = cache_hit;
+    if (!cache_hit) ++misses;
+  }
   {
     std::lock_guard<std::mutex> lock(acct_mu_);
-    acct_.prep_hits += (end - begin) - (cache_hit ? 0 : 1);
-    acct_.prep_misses += cache_hit ? 0 : 1;
+    acct_.prep_hits += (end - begin) - misses;
+    acct_.prep_misses += misses;
   }
 
   if (end - begin == 1) {
-    process(lane, primary, kbest, linear, batch[begin], prep.get());
+    process(lane, primary, kbest, linear, batch[begin], preps[0].get());
     return;
   }
-  process_fused(lane, chosen, linear, batch, begin, end, *prep);
+  process_fused(lane, chosen, linear, batch, begin, end, preps);
 }
 
-void Backend::process_fused(unsigned lane, Detector& chosen, Detector& linear,
-                            std::vector<PlacedFrame>& batch, usize begin,
-                            usize end, const PreprocessedChannel& prep) {
+void Backend::process_fused(
+    unsigned lane, Detector& chosen, Detector& linear,
+    std::vector<PlacedFrame>& batch, usize begin, usize end,
+    const std::vector<std::shared_ptr<const PreprocessedChannel>>& preps) {
   SD_TRACE_SPAN("dispatch.fused");
   const serve::Clock::time_point dequeued = serve::Clock::now();
   const usize n = end - begin;
   std::vector<serve::FrameResult> results(n);
-  std::vector<Detector::BatchItem> items;
+  std::vector<Detector::WideItem> items;
   items.reserve(n);
   std::vector<usize> live;
   live.reserve(n);
@@ -319,14 +339,15 @@ void Backend::process_fused(unsigned lane, Detector& chosen, Detector& linear,
       }
     } else {
       r.status = serve::FrameStatus::kCompleted;
-      items.push_back(Detector::BatchItem{frame.y, frame.sigma2, &r.result});
+      items.push_back(Detector::WideItem{preps[i].get(), frame.y,
+                                         frame.sigma2, &r.result});
       live.push_back(i);
     }
   }
 
   if (!live.empty()) {
     SD_TRACE_SPAN("dispatch.decode");
-    chosen.decode_batch_with(prep, items);
+    chosen.decode_wide(items);
   }
 
   const serve::Clock::time_point done = serve::Clock::now();
@@ -567,6 +588,7 @@ BackendConfig parse_pool_entry(std::string_view entry,
   cfg.lane_queue_capacity = defaults.lane_queue_capacity;
   cfg.policy = defaults.policy;
   cfg.batch_size = defaults.batch_size;
+  cfg.fuse_cross_channel = defaults.fuse_cross_channel;
   cfg.zf_fallback_on_expiry = defaults.zf_fallback_on_expiry;
 
   bool saw_rtt = false;

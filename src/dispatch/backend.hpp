@@ -49,6 +49,11 @@ struct BackendConfig {
   usize lane_queue_capacity = 64;  ///< bounded depth per lane
   serve::BackpressurePolicy policy = serve::BackpressurePolicy::kBlock;
   usize batch_size = 1;            ///< max frames per own-queue pop
+  /// Fuse popped same-tier frames with *different* channels into one wide
+  /// block-diagonal decode (decode_wide). Off = classic behavior: only
+  /// consecutive frames sharing a channel fuse. The bit-exact result is the
+  /// same either way; this is a perf/ablation knob.
+  bool fuse_cross_channel = true;
   bool zf_fallback_on_expiry = true;
   /// Cost-model rate priors for this substrate (seconds per expanded node and
   /// fixed per-frame overhead including any RTT).
@@ -174,18 +179,21 @@ class Backend {
   /// the own queue is empty. Returns false when closed and fully drained.
   bool next_batch(unsigned lane, std::vector<PlacedFrame>& out);
   /// A maximal run of consecutive frames from one popped batch that share a
-  /// channel and tier. Resolves the shared factorization once through
-  /// prep_cache_, then decodes the run fused (decode_batch_with) or falls
-  /// back to per-frame process() when the detector has no cacheable phase.
+  /// tier — channels may differ (interleaved cells fuse too). Resolves each
+  /// DISTINCT channel in the run once through prep_cache_, then decodes the
+  /// run fused (decode_wide) or falls back to per-frame process() when the
+  /// detector has no cacheable phase.
   void process_run(unsigned lane, Detector& primary, Detector& kbest,
                    Detector& linear, std::vector<PlacedFrame>& batch,
                    usize begin, usize end);
   /// Fused path: expired frames peel off to their usual fallback; the live
-  /// remainder decodes through one decode_batch_with call against the shared
-  /// prep — bit-identical per frame to the sequential path.
-  void process_fused(unsigned lane, Detector& chosen, Detector& linear,
-                     std::vector<PlacedFrame>& batch, usize begin, usize end,
-                     const PreprocessedChannel& prep);
+  /// remainder decodes through one decode_wide call, each frame against its
+  /// own prep — bit-identical per frame to the sequential path. `preps` is
+  /// indexed parallel to [begin, end).
+  void process_fused(
+      unsigned lane, Detector& chosen, Detector& linear,
+      std::vector<PlacedFrame>& batch, usize begin, usize end,
+      const std::vector<std::shared_ptr<const PreprocessedChannel>>& preps);
   void process(unsigned lane, Detector& primary, Detector& kbest,
                Detector& linear, PlacedFrame& pf,
                const PreprocessedChannel* prep = nullptr);
@@ -244,6 +252,7 @@ struct PoolDefaults {
   usize lane_queue_capacity = 64;
   serve::BackpressurePolicy policy = serve::BackpressurePolicy::kBlock;
   usize batch_size = 1;
+  bool fuse_cross_channel = true;
   bool zf_fallback_on_expiry = true;
   double fpga_rtt_s = 1e-3;        ///< default RTT for fpga entries
 };

@@ -123,6 +123,18 @@ Dispatcher::Dispatcher(SystemConfig system, std::vector<BackendConfig> configs,
 
 Dispatcher::~Dispatcher() { drain(); }
 
+double Dispatcher::cheapest_prediction(const FrameFeatures& f,
+                                       serve::DecodeTier tier) {
+  double best = std::numeric_limits<double>::infinity();
+  for (usize b = 0; b < backends_.size(); ++b) {
+    if (!ladder_has(backends_[b]->ladder(), tier)) continue;
+    best = std::min(best, cost_.predict(f, static_cast<int>(b),
+                                        cost_shape(*backends_[b], tier))
+                              .seconds);
+  }
+  return best;
+}
+
 Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
                                          double deadline_s,
                                          std::uint64_t channel_fp,

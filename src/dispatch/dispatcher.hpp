@@ -151,6 +151,14 @@ class Dispatcher final : public LaneSink {
   /// after a run to persist. Thread-safe (the model locks internally).
   [[nodiscard]] CostModel& cost_model() noexcept { return cost_; }
 
+  /// Cheapest predicted service time for `tier` across the backends whose
+  /// ladder can actually serve it — the same filter (and cost shape) the
+  /// cost-aware placement applies. Returns +infinity when no backend serves
+  /// the tier, so callers treating the result as "can this tier meet a
+  /// budget" never bank on an unplaceable (backend, tier) pair. Thread-safe.
+  [[nodiscard]] double cheapest_prediction(const FrameFeatures& f,
+                                           serve::DecodeTier tier);
+
   // LaneSink — invoked by backend lanes; not for external use.
   void frame_retired(const PlacedFrame& placed,
                      serve::FrameResult&& result) override;

@@ -251,6 +251,63 @@ void gemm_packed_scalar(Op op_a, cplx alpha, const CMat& a, const CMat& b,
   }
 }
 
+namespace {
+
+void check_grouped_shapes(const CMat& a_stack, index_t k, const CMat& b,
+                          const CMat& c, std::span<const GemmGroup> groups) {
+  SD_CHECK(k >= 0 && k <= kGemmKc,
+           "grouped GEMM requires k <= kGemmKc (single-panel reduction)");
+  SD_CHECK(b.rows() == k, "grouped GEMM inner dimensions must agree");
+  SD_CHECK(a_stack.rows() == c.rows() && b.cols() == c.cols(),
+           "grouped GEMM output shape must match operands");
+  for (const GemmGroup& g : groups) {
+    SD_CHECK(g.cols >= 0 && g.col >= 0 && g.col + g.cols <= c.cols(),
+             "grouped GEMM group exceeds the B/C column range");
+    SD_CHECK(g.a_col >= 0 && g.a_col + k <= a_stack.cols(),
+             "grouped GEMM group exceeds the stacked-A column range");
+  }
+}
+
+// Scalar grouped kernel: per-element ascending-p reduction, the exact order
+// of gemm_naive (and of the packed kernels within one K panel).
+void gemm_grouped_scalar(cplx alpha, const CMat& a_stack, index_t k,
+                         const CMat& b, cplx beta, CMat& c,
+                         std::span<const GemmGroup> groups) {
+  const index_t zr = c.rows();
+  const bool overwrite = beta == cplx{0, 0};
+  for (const GemmGroup& g : groups) {
+    for (index_t i = 0; i < zr; ++i) {
+      for (index_t j = 0; j < g.cols; ++j) {
+        cplx acc{0, 0};
+        for (index_t p = 0; p < k; ++p) {
+          acc += a_stack(i, g.a_col + p) * b(p, g.col + j);
+        }
+        cplx& dst = c(i, g.col + j);
+        dst = overwrite ? alpha * acc : alpha * acc + beta * dst;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_grouped(cplx alpha, const CMat& a_stack, index_t k, const CMat& b,
+                  cplx beta, CMat& c, std::span<const GemmGroup> groups) {
+  gemm_grouped(alpha, a_stack, k, b, beta, c, groups,
+               GemmWorkspace::thread_local_instance());
+}
+
+void gemm_grouped(cplx alpha, const CMat& a_stack, index_t k, const CMat& b,
+                  cplx beta, CMat& c, std::span<const GemmGroup> groups,
+                  GemmWorkspace& ws) {
+  check_grouped_shapes(a_stack, k, b, c, groups);
+  if (active_gemm_kernel() == GemmKernel::kSoa) {
+    detail::gemm_grouped_soa_impl(alpha, a_stack, k, b, beta, c, groups, ws);
+    return;
+  }
+  gemm_grouped_scalar(alpha, a_stack, k, b, beta, c, groups);
+}
+
 void gemv(Op op_a, cplx alpha, const CMat& a, std::span<const cplx> x,
           cplx beta, std::span<cplx> y) {
   gemv(op_a, alpha, a, x, beta, y, GemmWorkspace::thread_local_instance());

@@ -99,6 +99,35 @@ void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
 void gemm(Op op_a, cplx alpha, const CMat& a, const CMat& b, cplx beta,
           CMat& c, GemmWorkspace& ws);
 
+/// One slice of a grouped (block-diagonal) GEMM. The group's A block is the
+/// zr x k sub-matrix of the stacked operand starting at column `a_col`; it
+/// applies to the `cols` B/C columns starting at `col`.
+struct GemmGroup {
+  index_t a_col = 0;  ///< first column of this group's A block in a_stack
+  index_t col = 0;    ///< first B/C column this group covers
+  index_t cols = 0;   ///< number of B/C columns in this group
+};
+
+/// Grouped (block-diagonal) GEMM:
+///   C[:, g] = alpha * A_g * B[:, g] + beta * C[:, g]   for every group g,
+/// in one kernel invocation. This is the wide-BFS primitive: frames with
+/// DIFFERENT channels stack their level products side by side, each group
+/// reading its own zr x k A block out of `a_stack` (groups may share an
+/// a_col). Groups must cover pairwise-disjoint column ranges of C; columns
+/// no group covers are left untouched (beta is applied per group region).
+///
+/// Requires k <= kGemmKc: every output element's reduction is then a single
+/// ascending-p panel with no FMA contraction, i.e. exactly the order both
+/// gemm_naive and the packed kernels use — which makes each group's columns
+/// bit-identical to a solo gemm() call on its own (A_g, B-slice) pair. The
+/// kernel behind it follows active_gemm_kernel(), a choice that never
+/// changes the result bits.
+void gemm_grouped(cplx alpha, const CMat& a_stack, index_t k, const CMat& b,
+                  cplx beta, CMat& c, std::span<const GemmGroup> groups);
+void gemm_grouped(cplx alpha, const CMat& a_stack, index_t k, const CMat& b,
+                  cplx beta, CMat& c, std::span<const GemmGroup> groups,
+                  GemmWorkspace& ws);
+
 /// y = alpha * op(A) * x + beta * y (BLAS-2). Shapes: op(A) is m x k, x has
 /// length k, y has length m. The conjugate-transpose path accumulates in a
 /// workspace buffer (thread-local default when none is given).

@@ -40,4 +40,15 @@ inline void gemm_apply_beta(cplx beta, CMat& c) {
 void gemm_packed_soa_impl(Op op_a, cplx alpha, const CMat& a, const CMat& b,
                           cplx beta, CMat& c, GemmWorkspace& ws);
 
+/// The split-complex (SoA) grouped block-diagonal kernel behind
+/// gemm_grouped. Preconditions: shapes and group ranges checked,
+/// k <= kGemmKc, gemm_soa_compiled() && gemm_soa_runtime_ok(). Every output
+/// element reduces in ascending-p order from its own independent
+/// accumulator pair with no FMA, so each group's columns are bit-identical
+/// to a solo gemm() on that group's (A block, B slice).
+void gemm_grouped_soa_impl(cplx alpha, const CMat& a_stack, index_t k,
+                           const CMat& b, cplx beta, CMat& c,
+                           std::span<const GemmGroup> groups,
+                           GemmWorkspace& ws);
+
 }  // namespace sd::detail

@@ -58,6 +58,12 @@ void gemm_packed_soa_impl(Op, cplx, const CMat&, const CMat&, cplx, CMat&,
   SD_CHECK(false, "SoA GEMM kernel not compiled into this binary");
 }
 
+void gemm_grouped_soa_impl(cplx, const CMat&, index_t, const CMat&, cplx,
+                           CMat&, std::span<const GemmGroup>,
+                           GemmWorkspace&) {
+  SD_CHECK(false, "SoA GEMM kernel not compiled into this binary");
+}
+
 #else
 
 void gemm_packed_soa_impl(Op op_a, cplx alpha, const CMat& a, const CMat& b,
@@ -172,6 +178,138 @@ void gemm_packed_soa_impl(Op op_a, cplx alpha, const CMat& a, const CMat& b,
             cplx& dst = c(ic + i, jc + j);
             dst = cplx{dst.real() + out_re, dst.imag() + out_im};
           }
+        }
+      }
+    }
+  }
+}
+
+// Grouped block-diagonal kernel for the wide-BFS level product. Same
+// determinism contract as the packed kernel above: k fits one K panel (the
+// caller checked k <= kGemmKc), each output element owns an independent
+// (re, im) accumulator pair reduced in ascending p, and the complex MAC is
+// decomposed into the same mul/mul/sub + mul/mul/add primitive float ops,
+// never FMA-contracted (-ffp-contract=off on this TU). Each group's columns
+// are therefore bit-identical to a solo gemm() on its own (A block, B slice).
+void gemm_grouped_soa_impl(cplx alpha, const CMat& a_stack, index_t k,
+                           const CMat& b, cplx beta, CMat& c,
+                           std::span<const GemmGroup> groups,
+                           GemmWorkspace& ws) {
+  const index_t zr = c.rows();
+  constexpr index_t kNC = kGemmNc;
+
+  // A planes hold one zr x k block at a time; B planes hold one k x kNC
+  // column panel. Both are served from the workspace high-water capacity.
+  const usize a_plane = static_cast<usize>(zr) * static_cast<usize>(k);
+  const usize b_plane = static_cast<usize>(k) * static_cast<usize>(kNC);
+  const auto a_buf = ws.a_planes(a_plane);
+  const auto b_buf = ws.b_planes(b_plane);
+  real* const a_re = a_buf.data();
+  real* const a_im = a_buf.data() + a_plane;
+  real* const b_re = b_buf.data();
+  real* const b_im = b_buf.data() + b_plane;
+
+  const real alpha_re = alpha.real();
+  const real alpha_im = alpha.imag();
+  const __m256 v_alpha_re = _mm256_set1_ps(alpha_re);
+  const __m256 v_alpha_im = _mm256_set1_ps(alpha_im);
+
+  // beta pre-step on the group-covered regions only (groups are disjoint);
+  // after this the micro-kernel accumulates with +=.
+  for (const GemmGroup& g : groups) {
+    if (beta == cplx{0, 0}) {
+      for (index_t i = 0; i < zr; ++i) {
+        cplx* row = &c(i, g.col);
+        for (index_t j = 0; j < g.cols; ++j) row[j] = cplx{0, 0};
+      }
+    } else if (beta != cplx{1, 0}) {
+      for (index_t i = 0; i < zr; ++i) {
+        cplx* row = &c(i, g.col);
+        for (index_t j = 0; j < g.cols; ++j) row[j] *= beta;
+      }
+    }
+  }
+
+  index_t packed_a_col = -1;  // consecutive groups often share an A block
+  for (const GemmGroup& g : groups) {
+    if (g.cols <= 0) continue;
+    if (g.a_col != packed_a_col) {
+      // Deinterleave this group's zr x k A block into planes.
+      for (index_t i = 0; i < zr; ++i) {
+        const cplx* src = &a_stack(i, g.a_col);
+        real* dr = a_re + static_cast<usize>(i) * k;
+        real* di = a_im + static_cast<usize>(i) * k;
+        for (index_t p = 0; p < k; ++p) {
+          dr[p] = src[p].real();
+          di[p] = src[p].imag();
+        }
+      }
+      packed_a_col = g.a_col;
+    }
+    for (index_t jc = 0; jc < g.cols; jc += kNC) {
+      const index_t nb = std::min(kNC, g.cols - jc);
+      // Deinterleave the k x nb B panel of this group's column slice.
+      for (index_t p = 0; p < k; ++p) {
+        const cplx* src = &b(p, g.col + jc);
+        real* dr = b_re + static_cast<usize>(p) * nb;
+        real* di = b_im + static_cast<usize>(p) * nb;
+        for (index_t j = 0; j < nb; ++j) {
+          dr[j] = src[j].real();
+          di[j] = src[j].imag();
+        }
+      }
+      for (index_t i = 0; i < zr; ++i) {
+        const real* ar_row = a_re + static_cast<usize>(i) * k;
+        const real* ai_row = a_im + static_cast<usize>(i) * k;
+        index_t j = 0;
+        for (; j + 8 <= nb; j += 8) {
+          __m256 acc_re = _mm256_setzero_ps();
+          __m256 acc_im = _mm256_setzero_ps();
+          const real* brp = b_re + j;
+          const real* bip = b_im + j;
+          for (index_t p = 0; p < k; ++p, brp += nb, bip += nb) {
+            const __m256 ar = _mm256_broadcast_ss(ar_row + p);
+            const __m256 ai = _mm256_broadcast_ss(ai_row + p);
+            const __m256 br = _mm256_loadu_ps(brp);
+            const __m256 bi = _mm256_loadu_ps(bip);
+            acc_re = _mm256_add_ps(
+                acc_re, _mm256_sub_ps(_mm256_mul_ps(ar, br),
+                                      _mm256_mul_ps(ai, bi)));
+            acc_im = _mm256_add_ps(
+                acc_im, _mm256_add_ps(_mm256_mul_ps(ar, bi),
+                                      _mm256_mul_ps(ai, br)));
+          }
+          const __m256 out_re =
+              _mm256_sub_ps(_mm256_mul_ps(v_alpha_re, acc_re),
+                            _mm256_mul_ps(v_alpha_im, acc_im));
+          const __m256 out_im =
+              _mm256_add_ps(_mm256_mul_ps(v_alpha_re, acc_im),
+                            _mm256_mul_ps(v_alpha_im, acc_re));
+          const __m256 lo = _mm256_unpacklo_ps(out_re, out_im);
+          const __m256 hi = _mm256_unpackhi_ps(out_re, out_im);
+          const __m256 first = _mm256_permute2f128_ps(lo, hi, 0x20);
+          const __m256 second = _mm256_permute2f128_ps(lo, hi, 0x31);
+          real* cp = reinterpret_cast<real*>(&c(i, g.col + jc + j));
+          _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), first));
+          _mm256_storeu_ps(cp + 8,
+                           _mm256_add_ps(_mm256_loadu_ps(cp + 8), second));
+        }
+        for (; j < nb; ++j) {
+          real acc_re = 0, acc_im = 0;
+          const real* brp = b_re + j;
+          const real* bip = b_im + j;
+          for (index_t p = 0; p < k; ++p, brp += nb, bip += nb) {
+            const real ar = ar_row[p];
+            const real ai = ai_row[p];
+            const real br = *brp;
+            const real bi = *bip;
+            acc_re += ar * br - ai * bi;
+            acc_im += ar * bi + ai * br;
+          }
+          const real out_re = alpha_re * acc_re - alpha_im * acc_im;
+          const real out_im = alpha_re * acc_im + alpha_im * acc_re;
+          cplx& dst = c(i, g.col + jc + j);
+          dst = cplx{dst.real() + out_re, dst.imag() + out_im};
         }
       }
     }

@@ -1,6 +1,7 @@
 #include "net/admission.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 
@@ -40,20 +41,23 @@ AdmitDecision AdmissionController::decide(const CMat& h, double sigma2,
   AdmitDecision d;
   const auto q = static_cast<usize>(qos);
   d.budget_s = deadline_s > 0.0 ? deadline_s : opts_.class_deadline_s[q];
+  // A non-finite budget means "no deadline", not "any completion time
+  // passes". Routed through the budgeted walk below it would admit every
+  // frame at kPrimary ((wait + pred) * headroom <= inf always holds) and
+  // make the saturation degrade unreachable; normalized to 0 it takes the
+  // deadline-less path and never leaks into FrameRequest::deadline_s.
+  if (!std::isfinite(d.budget_s)) d.budget_s = 0.0;
 
   const dispatch::FrameFeatures f =
       dispatch::FrameFeatures::extract(h, sigma2, mod_order_);
   const unsigned lanes = std::max(1u, dispatcher_.total_lanes());
 
-  // Cheapest predicted service time at a tier, across the pool.
+  // Cheapest predicted service time at a tier, across the backends whose
+  // ladder can actually serve it (dispatcher-filtered): a budget met only by
+  // an unplaceable (backend, tier) pair must not admit. An unserved tier
+  // predicts +infinity and never satisfies the walk below.
   const auto cheapest = [&](serve::DecodeTier tier) {
-    double best = std::numeric_limits<double>::infinity();
-    auto& cost = dispatcher_.cost_model();
-    for (usize b = 0; b < dispatcher_.backend_count(); ++b) {
-      best = std::min(best,
-                      cost.predict(f, static_cast<int>(b), tier).seconds);
-    }
-    return best;
+    return dispatcher_.cheapest_prediction(f, tier);
   };
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -61,7 +65,7 @@ AdmitDecision AdmissionController::decide(const CMat& h, double sigma2,
   d.est_wait_s = static_cast<double>(outstanding_) * service_ewma_s_ /
                  static_cast<double>(lanes);
 
-  if (opts_.enabled && d.budget_s > 0.0) {
+  if (opts_.enabled && d.budget_s > 0.0 && std::isfinite(d.budget_s)) {
     static constexpr serve::DecodeTier kTiers[] = {
         serve::DecodeTier::kPrimary, serve::DecodeTier::kKBest,
         serve::DecodeTier::kLinear};

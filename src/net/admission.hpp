@@ -50,7 +50,10 @@ struct AdmissionOptions {
   /// > 1 sheds earlier (conservative), < 1 later (optimistic).
   double headroom = 1.0;
   /// Per-class deadline defaults for frames that carry none, indexed by
-  /// QosClass. 0 = no deadline (never shed on budget).
+  /// QosClass. 0 = no deadline (never shed on budget); non-finite values
+  /// (inf/NaN) are normalized to 0 — an infinite budget would otherwise
+  /// trivially satisfy the budgeted walk at kPrimary and bypass the
+  /// saturation degrade.
   std::array<double, kQosClassCount> class_deadline_s = {0.010, 0.050, 0.0};
   /// Estimated wait above which deadline-less frames degrade to linear.
   double saturation_wait_s = 0.25;

@@ -14,7 +14,7 @@ bool NetClient::send_locked(const WireFrame& frame) {
   encode_frame(frame, send_buf_);
   if (!send_all(sock_.fd(), send_buf_.data(), send_buf_.size())) return false;
   bytes_sent_ += send_buf_.size();
-  if (frame.has_channel) last_fp_sent_ = frame.channel_fp;
+  if (frame.has_channel) sent_fps_.insert(frame.channel_fp);
   return true;
 }
 
@@ -26,12 +26,18 @@ bool NetClient::send(const WireFrame& frame) {
 bool NetClient::send_frame_auto(WireFrame& frame, const CMat& h,
                                 std::uint64_t fp) {
   frame.channel_fp = fp;
-  // Elide only when this connection's previous channel is the same one: the
-  // server's per-connection cache is then guaranteed to hold it, whatever
-  // its eviction policy.
   std::lock_guard<std::mutex> lock(send_mu_);
-  frame.has_channel = fp != last_fp_sent_;
-  if (frame.has_channel) frame.h = h;
+  // Elide whenever fp has ever been shipped on this connection. The server
+  // may have evicted it (bounded LRU cache) — that case comes back as a
+  // kResendChannel NACK, answered from the retained copy below.
+  frame.has_channel = sent_fps_.find(fp) == sent_fps_.end();
+  if (frame.has_channel) {
+    frame.h = h;
+  } else {
+    WireFrame retained = frame;  // y, ids, budget — and the channel,
+    retained.h = h;              // in case the server asks for a resend
+    elided_.insert_or_assign(frame.frame_id, std::move(retained));
+  }
   return send_locked(frame);
 }
 
@@ -40,8 +46,25 @@ bool NetClient::recv(WireResponse& resp) {
   WireFrame unused;
   for (;;) {
     switch (decoder_.next(unused, resp)) {
-      case WireDecoder::Next::kResponse:
-        return true;
+      case WireDecoder::Next::kResponse: {
+        std::lock_guard<std::mutex> send_lock(send_mu_);
+        if (resp.status != WireFrameStatus::kResendChannel) {
+          elided_.erase(resp.frame_id);  // terminal: drop the retained copy
+          return true;
+        }
+        // Server evicted the referenced channel: retransmit the retained
+        // frame with H inline and keep waiting — invisible to the caller.
+        // A NACK for a frame sent via raw send() has no retained copy and
+        // is the caller's problem.
+        const auto it = elided_.find(resp.frame_id);
+        if (it == elided_.end()) return true;
+        WireFrame again = std::move(it->second);
+        elided_.erase(it);
+        again.has_channel = true;
+        resends_.fetch_add(1, std::memory_order_relaxed);
+        if (!send_locked(again)) return false;
+        break;
+      }
       case WireDecoder::Next::kFrame:
         throw net_error("server sent a frame message to a client");
       case WireDecoder::Next::kError:

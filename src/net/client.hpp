@@ -8,9 +8,12 @@
 // the shape examples/uplink_client uses.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
@@ -36,14 +39,27 @@ class NetClient {
   /// Returns false if the server closed the connection.
   bool send(const WireFrame& frame);
 
-  /// Channel-elision policy: ships H only when `fp` differs from the last
-  /// fingerprint sent on this connection — i.e. once per coherence block.
-  /// The caller fills everything but has_channel/channel_fp.
+  /// Channel-elision policy: ships H the first time `fp` travels on this
+  /// connection and elides it afterwards — so interleaved coherence blocks
+  /// (A,B,A,B) pay for each channel once, not once per switch. Elided frames
+  /// are retained (with their channel) until their response arrives, so a
+  /// kResendChannel NACK — the server's bounded cache evicted fp — can be
+  /// answered transparently inside recv(). The caller fills everything but
+  /// has_channel/channel_fp.
   bool send_frame_auto(WireFrame& frame, const CMat& h, std::uint64_t fp);
 
   /// Blocks until one complete response arrives. Returns false on clean EOF
   /// (server closed); throws net_error if the stream is malformed.
+  /// kResendChannel NACKs for frames sent via send_frame_auto are handled
+  /// internally (the frame is retransmitted with H inline and the wait
+  /// continues); a NACK for a frame this client cannot retransmit — sent
+  /// via raw send() — is surfaced to the caller instead.
   bool recv(WireResponse& resp);
+
+  /// Frames retransmitted with an inline channel after a kResendChannel.
+  [[nodiscard]] std::uint64_t resends() const noexcept {
+    return resends_.load(std::memory_order_relaxed);
+  }
 
   /// Half-close the send direction: the server sees EOF after the last
   /// frame, while responses keep flowing back.
@@ -62,8 +78,13 @@ class NetClient {
   Socket sock_;
   std::mutex send_mu_;
   std::vector<std::uint8_t> send_buf_;
-  std::uint64_t last_fp_sent_ = 0;
+  /// Every fingerprint shipped inline on this connection (elision key).
+  std::unordered_set<std::uint64_t> sent_fps_;
+  /// In-flight elided frames by client frame id, channel included — the
+  /// retransmit source for kResendChannel. Erased on the frame's response.
+  std::unordered_map<std::uint64_t, WireFrame> elided_;
   usize bytes_sent_ = 0;
+  std::atomic<std::uint64_t> resends_{0};
 
   std::mutex recv_mu_;
   WireDecoder decoder_;

@@ -3,6 +3,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <utility>
@@ -29,6 +30,7 @@ void NetStats::export_counters(obs::CounterRegistry& registry,
   registry.set(p + "bytes_tx", bytes_tx);
   registry.set(p + "channel_cache.hit", channel_cache_hits);
   registry.set(p + "channel_cache.miss", channel_cache_misses);
+  registry.set(p + "channel_cache.resend", channel_resend_requests);
 }
 
 IngressServer::IngressServer(ShardedServer& shards, IngressOptions options)
@@ -157,23 +159,47 @@ bool IngressServer::handle_frame(const std::shared_ptr<Connection>& conn,
   frames_rx_.fetch_add(1, kRelaxed);
   // Resolve the channel: shipped inline, or referenced by fingerprint from
   // this connection's cache.
+  // LRU touch: move fp to the back of the recency order.
+  const auto touch = [&conn](std::uint64_t fp) {
+    auto& order = conn->channel_order;
+    const auto it = std::find(order.begin(), order.end(), fp);
+    if (it != order.end()) order.erase(it);
+    order.push_back(fp);
+  };
   ChannelHandle channel;
   if (wf.has_channel) {
     cache_misses_.fetch_add(1, kRelaxed);
     channel = ChannelHandle(std::move(wf.h));
     SD_ASSERT(channel.fingerprint() == wf.channel_fp);  // decoder verified
-    if (conn->channels.find(wf.channel_fp) == conn->channels.end()) {
-      if (conn->channel_order.size() >= opts_.channel_cache_capacity) {
-        conn->channels.erase(conn->channel_order.front());
-        conn->channel_order.erase(conn->channel_order.begin());
-      }
-      conn->channels.emplace(wf.channel_fp, channel);
-      conn->channel_order.push_back(wf.channel_fp);
+    conn->seen_fps.insert(wf.channel_fp);
+    if (conn->channels.find(wf.channel_fp) == conn->channels.end() &&
+        conn->channel_order.size() >= opts_.channel_cache_capacity) {
+      conn->channels.erase(conn->channel_order.front());
+      conn->channel_order.erase(conn->channel_order.begin());
     }
+    conn->channels.insert_or_assign(wf.channel_fp, channel);
+    touch(wf.channel_fp);
   } else {
     const auto it = conn->channels.find(wf.channel_fp);
-    if (it == conn->channels.end()) return false;  // unknown fingerprint
+    if (it == conn->channels.end()) {
+      // Never carried inline on this connection: the client is broken —
+      // protocol error. Carried once but since evicted: the client followed
+      // the protocol and only the server's bounded cache lost the entry, so
+      // NACK with kResendChannel and keep the connection; the client
+      // retransmits the frame with H inline.
+      if (conn->seen_fps.find(wf.channel_fp) == conn->seen_fps.end())
+        return false;
+      resend_requests_.fetch_add(1, kRelaxed);
+      WireResponse resp;
+      resp.frame_id = wf.frame_id;
+      resp.cell_id = wf.cell_id;
+      resp.qos = wf.qos;
+      resp.status = WireFrameStatus::kResendChannel;
+      send_response(*conn, resp);
+      return true;
+    }
     cache_hits_.fetch_add(1, kRelaxed);
+    touch(wf.channel_fp);
     channel = it->second;
   }
   // Dimension agreement with the served system is a protocol matter: the
@@ -316,6 +342,7 @@ NetStats IngressServer::stats() const {
   s.bytes_tx = bytes_tx_.load(kRelaxed);
   s.channel_cache_hits = cache_hits_.load(kRelaxed);
   s.channel_cache_misses = cache_misses_.load(kRelaxed);
+  s.channel_resend_requests = resend_requests_.load(kRelaxed);
   return s;
 }
 

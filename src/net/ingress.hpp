@@ -31,6 +31,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "decode/channel_prep.hpp"
@@ -53,8 +54,10 @@ struct IngressOptions {
   std::uint16_t tcp_port = 0;
   usize max_message_bytes = kMaxMessageBytes;
   usize read_chunk_bytes = 64 * 1024;
-  /// Per-connection channel-cache entries; referencing a fingerprint that
-  /// was never sent (or was evicted) is a protocol error.
+  /// Per-connection channel-cache entries (LRU). Referencing a fingerprint
+  /// that was never sent is a protocol error; referencing one the cache
+  /// evicted is answered with a kResendChannel NACK instead — the client
+  /// retransmits with the channel inline.
   usize channel_cache_capacity = 1024;
   /// stop() waits this long for in-flight frames to answer before closing
   /// connections anyway.
@@ -74,6 +77,8 @@ struct NetStats {
   std::uint64_t bytes_tx = 0;
   std::uint64_t channel_cache_hits = 0;    ///< frames that elided H
   std::uint64_t channel_cache_misses = 0;  ///< frames that shipped H
+  /// Elided frames whose fingerprint was evicted: answered kResendChannel.
+  std::uint64_t channel_resend_requests = 0;
 
   /// "net.protocol_error", "net.frames_rx", ... into the unified registry.
   void export_counters(obs::CounterRegistry& registry,
@@ -118,9 +123,14 @@ class IngressServer {
         : sock(std::move(s)), decoder(max_message) {}
     Socket sock;
     WireDecoder decoder;
-    /// Fingerprint -> channel, insertion-ordered for FIFO eviction.
+    /// Fingerprint -> channel; channel_order is recency-ordered (front =
+    /// least recently used) so eviction drops the coldest entry, not the
+    /// oldest — an interleaved A,B,A,B stream keeps both alive.
     std::unordered_map<std::uint64_t, ChannelHandle> channels;
     std::vector<std::uint64_t> channel_order;
+    /// Every fingerprint ever carried inline on this connection: the line
+    /// between "evicted, ask for a resend" and "never sent, protocol error".
+    std::unordered_set<std::uint64_t> seen_fps;
     std::mutex write_mu;   ///< serializes response sends
     bool open = true;      ///< guarded by write_mu
   };
@@ -165,7 +175,8 @@ class IngressServer {
   // Counters: IO thread and lane threads both write.
   std::atomic<std::uint64_t> connections_accepted_{0}, connections_dropped_{0},
       protocol_errors_{0}, frames_rx_{0}, responses_tx_{0}, shed_tx_{0},
-      bytes_rx_{0}, bytes_tx_{0}, cache_hits_{0}, cache_misses_{0};
+      bytes_rx_{0}, bytes_tx_{0}, cache_hits_{0}, cache_misses_{0},
+      resend_requests_{0};
 };
 
 }  // namespace sd::net

@@ -105,6 +105,7 @@ std::string_view wire_frame_status_name(WireFrameStatus s) noexcept {
     case WireFrameStatus::kEvicted: return "evicted";
     case WireFrameStatus::kShed: return "shed";
     case WireFrameStatus::kRejected: return "rejected";
+    case WireFrameStatus::kResendChannel: return "resend-channel";
   }
   return "?";
 }
@@ -315,7 +316,7 @@ WireDecoder::Next WireDecoder::parse_response(const std::uint8_t* p, usize n,
   const std::uint8_t status = p[12];
   const std::uint8_t tier = p[13];
   const std::uint8_t qos = p[14];
-  if (status > static_cast<std::uint8_t>(WireFrameStatus::kRejected))
+  if (status > static_cast<std::uint8_t>(WireFrameStatus::kResendChannel))
     return fail(WireError::kBadField);
   if (tier > static_cast<std::uint8_t>(serve::DecodeTier::kLinear))
     return fail(WireError::kBadField);

@@ -27,6 +27,10 @@ ServerOptions parse_server_options(std::string_view text, ServerOptions base) {
       base.zf_fallback_on_expiry = false;
     } else if (opt.key == "fallback") {
       base.zf_fallback_on_expiry = true;
+    } else if (opt.key == "no-cross-fuse") {
+      base.fuse_cross_channel = false;
+    } else if (opt.key == "cross-fuse") {
+      base.fuse_cross_channel = true;
     } else if (opt.key == "placement") {
       base.placement = dispatch::parse_placement_policy(opt.value);
     } else if (opt.key == "fpga-rtt-ms") {
@@ -46,8 +50,8 @@ ServerOptions parse_server_options(std::string_view text, ServerOptions base) {
       throw invalid_argument_error(
           "unknown server option '" + opt.key +
           "' (workers, batch, queue, policy, deadline-ms, no-fallback, "
-          "placement, fpga-rtt-ms, no-degrade, deterministic-cost, "
-          "emulate-device, rtt-ms)");
+          "no-cross-fuse, placement, fpga-rtt-ms, no-degrade, "
+          "deterministic-cost, emulate-device, rtt-ms)");
     }
   }
   return base;
@@ -84,6 +88,7 @@ DetectionServer::DetectionServer(SystemConfig system, DecoderSpec spec,
     cfg.lane_queue_capacity = opts_.queue_capacity;
     cfg.policy = opts_.policy;
     cfg.batch_size = opts_.batch_size;
+    cfg.fuse_cross_channel = opts_.fuse_cross_channel;
     cfg.zf_fallback_on_expiry = opts_.zf_fallback_on_expiry;
     dispatch::apply_rate_priors(cfg);
     configs.push_back(std::move(cfg));
@@ -93,6 +98,7 @@ DetectionServer::DetectionServer(SystemConfig system, DecoderSpec spec,
     defaults.lane_queue_capacity = opts_.queue_capacity;
     defaults.policy = opts_.policy;
     defaults.batch_size = opts_.batch_size;
+    defaults.fuse_cross_channel = opts_.fuse_cross_channel;
     defaults.zf_fallback_on_expiry = opts_.zf_fallback_on_expiry;
     defaults.fpga_rtt_s = opts_.fpga_rtt_s;
     configs = dispatch::parse_backend_pool(opts_.backends, defaults);

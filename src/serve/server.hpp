@@ -46,6 +46,10 @@ struct ServerOptions {
   usize queue_capacity = 64;       ///< bounded queue depth per lane (>= 1)
   BackpressurePolicy policy = BackpressurePolicy::kBlock;
   double default_deadline_s = 0.0; ///< applied when a frame carries none; 0 = none
+  /// Fuse popped same-tier frames with different channels into one wide
+  /// block-diagonal decode. Off restores the classic same-channel-only
+  /// fusion (ablation baseline); results are bit-identical either way.
+  bool fuse_cross_channel = true;
   bool zf_fallback_on_expiry = true;
   /// DEPRECATED: use a `backends` pool spec with an fpga entry (or an
   /// `rtt-ms=` backend field) instead; FpgaBackend paces itself. Still

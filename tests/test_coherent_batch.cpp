@@ -227,5 +227,184 @@ TEST(CoherentBatch, BaseBatchLoopsDecodeWith) {
   }
 }
 
+// ---- (3) wide (cross-channel) fused == sequential -------------------------
+
+// decode_wide packs frames with DIFFERENT channels into one block-diagonal
+// level GEMM; every frame must still match its own sequential decode_with()
+// bit for bit, whatever the batch width or kernel.
+void run_wide_equivalence(const BfsOptions& options, GemmKernel kernel,
+                          const std::string& label) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  const GemmKernel saved = gemm_kernel_override();
+  set_gemm_kernel_override(kernel);
+
+  SdGemmBfsDetector seq_det(c, options);
+  SdGemmBfsDetector wide_det(c, options);
+
+  for (usize width : {usize{1}, usize{2}, usize{3}, usize{5}, usize{8}}) {
+    std::vector<std::shared_ptr<const PreprocessedChannel>> preps;
+    std::vector<CVec> ys;
+    for (usize i = 0; i < width; ++i) {
+      const ChannelHandle channel(
+          testing::random_cmat(kM, kM, 2000 + 31 * width + i));
+      preps.push_back(seq_det.preprocess(channel));
+      ys.push_back(testing::random_cvec(kM, 3000 + 16 * width + i));
+    }
+    std::vector<DecodeResult> expect(width);
+    for (usize i = 0; i < width; ++i) {
+      seq_det.decode_with(*preps[i], ys[i], kSigma2, expect[i]);
+    }
+    std::vector<DecodeResult> got(width);
+    std::vector<Detector::WideItem> items;
+    for (usize i = 0; i < width; ++i) {
+      items.push_back({preps[i].get(), ys[i], kSigma2, &got[i]});
+    }
+    wide_det.decode_wide(items);
+    for (usize i = 0; i < width; ++i) {
+      expect_bit_identical(expect[i], got[i],
+                           label + " B=" + std::to_string(width) + " frame " +
+                               std::to_string(i));
+    }
+    EXPECT_EQ(wide_det.last_truncated(), seq_det.last_truncated())
+        << label << " B=" << width;
+  }
+  set_gemm_kernel_override(saved);
+}
+
+TEST(WideBatch, WideBfsMatchesSequentialAcrossChannels) {
+  run_wide_equivalence(BfsOptions{}, GemmKernel::kAuto, "wide");
+}
+
+TEST(WideBatch, WideBfsRow0MatchesSequential) {
+  BfsOptions o;
+  o.base.level_gemm = LevelGemm::kRow0;
+  run_wide_equivalence(o, GemmKernel::kAuto, "wide-row0");
+}
+
+TEST(WideBatch, WideBfsSortedQrMatchesSequential) {
+  BfsOptions o;
+  o.base.sorted_qr = true;
+  run_wide_equivalence(o, GemmKernel::kAuto, "wide-sorted");
+}
+
+TEST(WideBatch, WideBfsScalarKernelMatchesSequential) {
+  run_wide_equivalence(BfsOptions{}, GemmKernel::kScalar, "wide-scalar-kernel");
+}
+
+TEST(WideBatch, WideBfsSoaKernelMatchesSequential) {
+  if (!gemm_soa_available()) {
+    GTEST_SKIP() << "SoA SIMD kernel not available on this host";
+  }
+  run_wide_equivalence(BfsOptions{}, GemmKernel::kSoa, "wide-soa-kernel");
+}
+
+TEST(WideBatch, SharedChannelsAndBudgetPeelStayBitIdentical) {
+  // Frames sharing a channel inside a mixed batch reuse one R block of the
+  // stacked operand, and a tiny frontier cap forces the operand-budget peel
+  // to demote frames MID-BATCH to the sequential path — none of which may
+  // change a single bit.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  BfsOptions o;
+  o.max_frontier = 8;  // small enough that 8 fused frames blow the budget
+  SdGemmBfsDetector seq_det(c, o);
+  SdGemmBfsDetector wide_det(c, o);
+
+  constexpr usize kWidth = 8;
+  // Channel pattern A,A,B,C,C,C,D,A: shared blocks, interleaved re-use.
+  const ChannelHandle a(testing::random_cmat(kM, kM, 4100));
+  const ChannelHandle b(testing::random_cmat(kM, kM, 4200));
+  const ChannelHandle cc(testing::random_cmat(kM, kM, 4300));
+  const ChannelHandle d(testing::random_cmat(kM, kM, 4400));
+  const ChannelHandle* pattern[kWidth] = {&a, &a, &b, &cc, &cc, &cc, &d, &a};
+
+  std::vector<std::shared_ptr<const PreprocessedChannel>> preps;
+  std::vector<CVec> ys;
+  for (usize i = 0; i < kWidth; ++i) {
+    preps.push_back(seq_det.preprocess(*pattern[i]));
+    ys.push_back(testing::random_cvec(kM, 4500 + i));
+  }
+  std::vector<DecodeResult> expect(kWidth);
+  for (usize i = 0; i < kWidth; ++i) {
+    seq_det.decode_with(*preps[i], ys[i], kSigma2, expect[i]);
+  }
+  std::vector<DecodeResult> got(kWidth);
+  std::vector<Detector::WideItem> items;
+  for (usize i = 0; i < kWidth; ++i) {
+    items.push_back({preps[i].get(), ys[i], kSigma2, &got[i]});
+  }
+  wide_det.decode_wide(items);
+  for (usize i = 0; i < kWidth; ++i) {
+    expect_bit_identical(expect[i], got[i],
+                         "wide-peel frame " + std::to_string(i));
+  }
+  EXPECT_EQ(wide_det.last_truncated(), seq_det.last_truncated());
+}
+
+TEST(WideBatch, MismatchedPrepKindPeelsToSequential) {
+  // A frame carrying a foreign prep kind (linear ZF) inside a wide batch is
+  // peeled up front and must behave exactly like decode_with() on that prep,
+  // which itself falls back to a one-shot decode.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  SdGemmBfsDetector seq_det(c);
+  SdGemmBfsDetector wide_det(c);
+  LinearDetector zf(LinearKind::kZf, c);
+
+  const ChannelHandle ca(testing::random_cmat(kM, kM, 5100));
+  const ChannelHandle cb(testing::random_cmat(kM, kM, 5200));
+  const ChannelHandle cm(testing::random_cmat(kM, kM, 5300));
+  auto pa = seq_det.preprocess(ca);
+  auto pb = seq_det.preprocess(cb);
+  auto pm = zf.preprocess(cm);  // kZf: wrong kind for a BFS detector
+  ASSERT_NE(pm->kind, seq_det.prep_kind());
+
+  std::vector<CVec> ys;
+  for (usize i = 0; i < 3; ++i) ys.push_back(testing::random_cvec(kM, 5400 + i));
+  const PreprocessedChannel* preps[3] = {pa.get(), pm.get(), pb.get()};
+  std::vector<DecodeResult> expect(3);
+  for (usize i = 0; i < 3; ++i) {
+    seq_det.decode_with(*preps[i], ys[i], kSigma2, expect[i]);
+  }
+  std::vector<DecodeResult> got(3);
+  std::vector<Detector::WideItem> items;
+  for (usize i = 0; i < 3; ++i) {
+    items.push_back({preps[i], ys[i], kSigma2, &got[i]});
+  }
+  wide_det.decode_wide(items);
+  for (usize i = 0; i < 3; ++i) {
+    expect_bit_identical(expect[i], got[i],
+                         "wide-mismatch frame " + std::to_string(i));
+  }
+}
+
+TEST(WideBatch, DefaultDecodeWideLoopsDecodeWithAcrossZoo) {
+  // Every detector accepts decode_wide(); those without a fused engine get
+  // the base per-item loop — the contract the dispatcher's cross-channel
+  // fusion relies on when the chosen detector is not the wide BFS.
+  for (NamedDetector& nd : detector_zoo()) {
+    std::vector<std::shared_ptr<const PreprocessedChannel>> preps;
+    std::vector<CVec> ys;
+    for (usize i = 0; i < 3; ++i) {
+      const ChannelHandle channel(
+          testing::random_cmat(kM, kM, 6000 + 10 * i));
+      preps.push_back(nd.det->preprocess(channel));
+      ys.push_back(testing::random_cvec(kM, 6100 + i));
+    }
+    std::vector<DecodeResult> expect(3);
+    for (usize i = 0; i < 3; ++i) {
+      nd.det->decode_with(*preps[i], ys[i], kSigma2, expect[i]);
+    }
+    std::vector<DecodeResult> got(3);
+    std::vector<Detector::WideItem> items;
+    for (usize i = 0; i < 3; ++i) {
+      items.push_back({preps[i].get(), ys[i], kSigma2, &got[i]});
+    }
+    nd.oneshot->decode_wide(items);
+    for (usize i = 0; i < 3; ++i) {
+      expect_bit_identical(expect[i], got[i],
+                           nd.label + " wide frame " + std::to_string(i));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sd

@@ -495,14 +495,19 @@ TEST(DispatchLadder, DegradesTiersAgainstPredictedDeadline) {
 
 class CaptureSink final : public LaneSink {
  public:
+  // `wait_for_steal` holds the first retiring lane until a sibling has
+  // stolen — only the stealing test wants that; everyone else would eat
+  // the 10 s timeout on every retire (single-lane runs never steal).
+  explicit CaptureSink(bool wait_for_steal = false)
+      : wait_for_steal_(wait_for_steal) {}
+
   void frame_retired(const PlacedFrame& placed,
                      serve::FrameResult&& result) override {
     std::unique_lock<std::mutex> lock(mu_);
-    // Hold the first retiring lane until a sibling has stolen: the test
-    // pins the steal path itself, not a race against thread-spawn latency.
     // The backlog is deep, so the idle lane must steal — the timeout only
     // guards against a hang if stealing is broken.
-    cv_.wait_for(lock, std::chrono::seconds(10), [&] { return stolen_ > 0; });
+    if (wait_for_steal_)
+      cv_.wait_for(lock, std::chrono::seconds(10), [&] { return stolen_ > 0; });
     retired_.emplace_back(placed, std::move(result));
   }
   void frame_stolen(const PlacedFrame&, unsigned) override {
@@ -524,6 +529,7 @@ class CaptureSink final : public LaneSink {
   std::condition_variable cv_;
   std::vector<std::pair<PlacedFrame, serve::FrameResult>> retired_;
   std::uint64_t stolen_ = 0;
+  bool wait_for_steal_ = false;
 };
 
 TEST(DispatchStealing, StolenFramesDecodeBitIdentically) {
@@ -550,7 +556,7 @@ TEST(DispatchStealing, StolenFramesDecodeBitIdentically) {
     const Backend::PushResult pr = backend.place(std::move(pf));
     ASSERT_EQ(pr.status, serve::PushStatus::kAccepted);
   }
-  CaptureSink sink;
+  CaptureSink sink{/*wait_for_steal=*/true};
   backend.start(sink);
   backend.close();  // lanes drain the backlog, then exit
   backend.join();
@@ -652,6 +658,88 @@ TEST(DispatchCoherent, FusedRunsAreBitIdenticalAndAccounted) {
     EXPECT_EQ(result.result.stats.nodes_expanded,
               want.stats.nodes_expanded) << "frame " << result.id;
     EXPECT_TRUE(placed.prep_hit || result.id % kBlock == 0)
+        << "frame " << result.id;
+  }
+}
+
+TEST(DispatchCoherent, InterleavedCellsFuseAcrossChannelBoundaries) {
+  // Two coherent streams with DIFFERENT channels interleaved frame-by-frame
+  // (A,B,A,B,...) on one lane. Runs split on tier only, so every pop of 8 is
+  // ONE wide fused run spanning both channels, and each distinct channel is
+  // factorized exactly once — the cross-channel generalization of the
+  // same-channel fusion above.
+  constexpr usize kBatch = 8;
+  constexpr usize kPops = 2;
+  constexpr usize kFrames = kBatch * kPops;
+  const SystemConfig sys = test_system();
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kCpu;
+  cfg.label = "cpu";
+  cfg.lanes = 1;
+  cfg.decoder = parse_decoder_spec("bfs");
+  cfg.lane_queue_capacity = kFrames;
+  cfg.batch_size = kBatch;
+  apply_rate_priors(cfg);
+  CpuBackend backend(sys, cfg);
+
+  // Two scenarios, one coherent channel each: stream A and stream B.
+  auto coherent_trials = [](std::uint64_t seed) {
+    ScenarioConfig sc;
+    sc.num_tx = kM;
+    sc.num_rx = kM;
+    sc.modulation = Modulation::kQam4;
+    sc.snr_db = 8.0;
+    sc.seed = seed;
+    sc.coherence_block = kFrames / 2;
+    Scenario scenario(sc);
+    std::vector<Trial> trials;
+    for (usize i = 0; i < kFrames / 2; ++i) trials.push_back(scenario.next());
+    return trials;
+  };
+  const std::vector<Trial> stream_a = coherent_trials(kSeed);
+  const std::vector<Trial> stream_b = coherent_trials(kSeed + 7);
+  const ChannelHandle chan_a(stream_a[0].h);
+  const ChannelHandle chan_b(stream_b[0].h);
+
+  std::vector<const Trial*> order(kFrames);
+  for (usize i = 0; i < kFrames; ++i) {
+    order[i] = (i % 2 == 0) ? &stream_a[i / 2] : &stream_b[i / 2];
+    PlacedFrame pf;
+    pf.frame.id = i;
+    pf.frame.channel = (i % 2 == 0) ? chan_a : chan_b;
+    pf.frame.y = order[i]->y;
+    pf.frame.sigma2 = order[i]->sigma2;
+    pf.frame.submit_time = serve::Clock::now();
+    pf.lane = 0;
+    ASSERT_EQ(backend.place(std::move(pf)).status,
+              serve::PushStatus::kAccepted);
+  }
+  CaptureSink sink;
+  backend.start(sink);
+  backend.close();
+  backend.join();
+
+  const Backend::Snapshot snap = backend.snapshot();
+  EXPECT_EQ(snap.completed, kFrames);
+  // The interleaving must NOT split the runs: one fused run per pop at the
+  // full batch width, with only two factorizations across the whole stream.
+  EXPECT_EQ(snap.fused_runs, kPops);
+  EXPECT_EQ(snap.fused_frames, kFrames);
+  ASSERT_GT(snap.fused_width_counts.size(), kBatch);
+  EXPECT_EQ(snap.fused_width_counts[kBatch], kPops);
+  EXPECT_EQ(snap.prep_misses, 2u);  // A and B, once each
+  EXPECT_EQ(snap.prep_hits, kFrames - 2);
+
+  auto reference = make_detector(sys, parse_decoder_spec("bfs"));
+  auto retired = sink.take();
+  ASSERT_EQ(retired.size(), kFrames);
+  for (const auto& [placed, result] : retired) {
+    EXPECT_EQ(result.status, serve::FrameStatus::kCompleted);
+    const Trial& t = *order[result.id];
+    const DecodeResult want = reference->decode(t.h, t.y, t.sigma2);
+    EXPECT_EQ(result.result.indices, want.indices) << "frame " << result.id;
+    EXPECT_EQ(result.result.metric, want.metric) << "frame " << result.id;
+    EXPECT_EQ(result.result.stats.nodes_expanded, want.stats.nodes_expanded)
         << "frame " << result.id;
   }
 }

@@ -285,6 +285,110 @@ TEST(NetIngress, ImpossibleDeadlineIsAnsweredWithShed) {
   EXPECT_EQ(h.shards.global_admission_stats().shed, 1u);
 }
 
+// A compliant client eliding H for a fingerprint the server's bounded cache
+// evicted must NOT be dropped: the server NACKs with kResendChannel and the
+// client transparently retransmits with the channel inline — over both
+// transports. Referencing a never-sent fingerprint stays a protocol error
+// (covered above).
+TEST(NetIngress, EvictedFingerprintTriggersTransparentResend) {
+  for (const bool tcp : {true, false}) {
+    const std::string uds = test_uds_path(tcp ? "resend_tcp" : "resend_uds");
+    IngressOptions io;
+    if (tcp) {
+      io.enable_tcp = true;
+    } else {
+      io.uds_path = uds;
+    }
+    io.channel_cache_capacity = 2;  // tiny: C evicts A below
+    Harness h(default_shards(1), io);
+    const std::vector<Trial> trials = make_trials(3);  // distinct channels
+    const auto reference =
+        make_detector(test_system(), parse_decoder_spec("sphere"));
+
+    NetClient client = tcp ? NetClient::connect_tcp(h.ingress.tcp_port())
+                           : NetClient::connect_uds(uds);
+    // Frames 0..2 ship channels A,B,C inline (first sighting of each fp).
+    for (usize i = 0; i < 3; ++i) {
+      WireFrame wf;
+      wf.frame_id = i;
+      wf.sigma2 = trials[i].sigma2;
+      wf.y = trials[i].y;
+      ASSERT_TRUE(client.send_frame_auto(wf, trials[i].h,
+                                         channel_fingerprint(trials[i].h)));
+    }
+    // Frame 3 references A again: elided (fp already shipped once), but the
+    // capacity-2 cache evicted A when C arrived. The server NACKs; recv()
+    // below retransmits with H inline without surfacing anything.
+    WireFrame wf;
+    wf.frame_id = 3;
+    wf.sigma2 = trials[0].sigma2;
+    wf.y = trials[0].y;
+    ASSERT_TRUE(client.send_frame_auto(wf, trials[0].h,
+                                       channel_fingerprint(trials[0].h)));
+
+    std::map<std::uint64_t, WireResponse> responses;
+    WireResponse resp;
+    for (usize got = 0; got < 4; ++got) {
+      ASSERT_TRUE(client.recv(resp));
+      responses[resp.frame_id] = resp;
+    }
+    ASSERT_EQ(responses.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const Trial& t = trials[i < 3 ? i : 0];
+      ASSERT_EQ(responses.at(i).status, WireFrameStatus::kCompleted)
+          << "frame " << i;
+      EXPECT_EQ(responses.at(i).indices,
+                reference->decode(t.h, t.y, t.sigma2).indices)
+          << "frame " << i;
+    }
+    EXPECT_EQ(client.resends(), 1u);
+    h.ingress.stop();
+    h.shards.drain();
+    const NetStats ns = h.ingress.stats();
+    EXPECT_EQ(ns.protocol_errors, 0u);
+    EXPECT_EQ(ns.channel_resend_requests, 1u);
+    // 3 first sightings + 1 inline resend = 4 misses; the NACKed elided
+    // attempt counts as neither hit nor miss.
+    EXPECT_EQ(ns.channel_cache_misses, 4u);
+    EXPECT_EQ(ns.channel_cache_hits, 0u);
+    EXPECT_EQ(ns.frames_rx, 5u);      // includes the NACKed attempt
+    EXPECT_EQ(ns.responses_tx, 5u);   // 4 terminals + 1 NACK
+  }
+}
+
+// The cache is LRU, not FIFO: an elided hit refreshes its entry, so the next
+// eviction takes the coldest channel instead of the oldest.
+TEST(NetIngress, ElidedHitRefreshesLruOrder) {
+  IngressOptions io;
+  io.enable_tcp = true;
+  io.channel_cache_capacity = 2;
+  Harness h(default_shards(1), io);
+  const std::vector<Trial> trials = make_trials(3);
+  NetClient client = NetClient::connect_tcp(h.ingress.tcp_port());
+  auto send_one = [&](std::uint64_t id, const Trial& t) {
+    WireFrame wf;
+    wf.frame_id = id;
+    wf.sigma2 = t.sigma2;
+    wf.y = t.y;
+    ASSERT_TRUE(client.send_frame_auto(wf, t.h, channel_fingerprint(t.h)));
+  };
+  send_one(0, trials[0]);  // A inline             cache [A]
+  send_one(1, trials[1]);  // B inline             cache [A,B]
+  send_one(2, trials[0]);  // A elided: hit+touch  cache [B,A]
+  send_one(3, trials[2]);  // C inline: evicts B   cache [A,C]
+  send_one(4, trials[0]);  // A elided: still hot — FIFO would have NACKed
+  WireResponse resp;
+  for (usize got = 0; got < 5; ++got) ASSERT_TRUE(client.recv(resp));
+  EXPECT_EQ(client.resends(), 0u);
+  h.ingress.stop();
+  h.shards.drain();
+  const NetStats ns = h.ingress.stats();
+  EXPECT_EQ(ns.channel_resend_requests, 0u);
+  EXPECT_EQ(ns.channel_cache_hits, 2u);
+  EXPECT_EQ(ns.channel_cache_misses, 3u);
+  EXPECT_EQ(ns.protocol_errors, 0u);
+}
+
 // stop() must answer every accepted frame before closing connections: a
 // client that streamed N frames reads N responses even when the server shuts
 // down immediately after ingesting them.

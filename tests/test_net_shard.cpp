@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -108,8 +110,8 @@ TEST(ShardRouter, DeterministicModuloRouting) {
 struct AdmissionFixture {
   /// A real dispatcher (via a DetectionServer) prices the tiers; the server
   /// itself sees no traffic in the unit tests.
-  explicit AdmissionFixture(AdmissionOptions opts)
-      : server(test_system(), parse_decoder_spec("sphere"),
+  explicit AdmissionFixture(AdmissionOptions opts, const char* spec = "sphere")
+      : server(test_system(), parse_decoder_spec(spec),
                [] {
                  serve::ServerOptions so;
                  so.num_workers = 2;
@@ -209,6 +211,86 @@ TEST(Admission, ClassDefaultBudgetsApplyWhenFrameCarriesNone) {
   const AdmitDecision expl =
       fx.controller.decide(t.h, t.sigma2, 0.5, QosClass::kHard);
   EXPECT_DOUBLE_EQ(expl.budget_s, 0.5);
+}
+
+TEST(Admission, NonFiniteBudgetTakesTheDeadlinelessPathAndDegrades) {
+  // Regression: an infinite class default used to ride the budgeted walk,
+  // where (wait + pred) * headroom <= inf admits at kPrimary no matter how
+  // saturated the shard is — the saturation degrade was unreachable. A
+  // non-finite budget must normalize to 0 (deadline-less) and degrade to
+  // the linear tier once the estimated wait passes the saturation bound.
+  AdmissionOptions opts;
+  opts.ewma_alpha = 1.0;  // estimate = last observed service time, exactly
+  opts.class_deadline_s = {0.010, 0.050,
+                           std::numeric_limits<double>::infinity()};
+  AdmissionFixture fx(opts);
+  const Trial t = make_trials(1)[0];
+
+  // Idle: deadline-less best-effort is admitted at primary, budget 0.
+  const AdmitDecision idle =
+      fx.controller.decide(t.h, t.sigma2, 0.0, QosClass::kBestEffort);
+  EXPECT_EQ(idle.action, AdmitAction::kAdmit);
+  EXPECT_EQ(idle.tier, serve::DecodeTier::kPrimary);
+  EXPECT_DOUBLE_EQ(idle.budget_s, 0.0);  // inf never leaks downstream
+
+  // Saturate: teach a 1 s service time and pile up outstanding frames until
+  // the wait estimate passes saturation_wait_s.
+  serve::FrameResult r;
+  r.status = serve::FrameStatus::kCompleted;
+  r.service_s = 1.0;
+  fx.controller.on_complete(r);
+  for (int i = 0; i < 8; ++i)
+    (void)fx.controller.decide(t.h, t.sigma2, 100.0, QosClass::kSoft);
+
+  const AdmitDecision d =
+      fx.controller.decide(t.h, t.sigma2, 0.0, QosClass::kBestEffort);
+  EXPECT_EQ(d.action, AdmitAction::kAdmit);  // deadline-less never sheds
+  EXPECT_EQ(d.tier, serve::DecodeTier::kLinear)
+      << "saturated best-effort must degrade, not admit at primary";
+  EXPECT_DOUBLE_EQ(d.budget_s, 0.0);
+  EXPECT_GT(d.est_wait_s, fx.controller.options().saturation_wait_s);
+
+  // An explicit non-finite frame deadline normalizes the same way.
+  const AdmitDecision inf_frame = fx.controller.decide(
+      t.h, t.sigma2, std::numeric_limits<double>::infinity(), QosClass::kHard);
+  EXPECT_DOUBLE_EQ(inf_frame.budget_s, 0.0);
+  EXPECT_EQ(inf_frame.action, AdmitAction::kAdmit);
+}
+
+TEST(Admission, BudgetedWalkIgnoresTiersNoBackendCanServe) {
+  // Regression: cheapest() used to take the min over ALL backends at a tier,
+  // ignoring Backend::ladder() — a zf-only pool would price kKBest/kLinear
+  // it can never place, and a budget met only by those phantom predictions
+  // admitted frames the dispatcher then served at the wrong tier. With the
+  // ladder filter an unserved tier predicts +infinity, so a budget below the
+  // primary prediction sheds instead of banking on an unplaceable pair.
+  AdmissionFixture fx(AdmissionOptions{}, "zf");
+  const Trial t = make_trials(1)[0];
+
+  // The pool's only backend serves nothing below its primary rung.
+  const dispatch::FrameFeatures f = dispatch::FrameFeatures::extract(
+      t.h, t.sigma2, Constellation::get(Modulation::kQam4).order());
+  auto& disp = fx.server.dispatcher();
+  const double primary =
+      disp.cheapest_prediction(f, serve::DecodeTier::kPrimary);
+  ASSERT_TRUE(std::isfinite(primary));
+  ASSERT_GT(primary, 0.0);
+  EXPECT_TRUE(
+      std::isinf(disp.cheapest_prediction(f, serve::DecodeTier::kKBest)));
+  EXPECT_TRUE(
+      std::isinf(disp.cheapest_prediction(f, serve::DecodeTier::kLinear)));
+
+  // Affordable at primary: admitted there.
+  const AdmitDecision ok =
+      fx.controller.decide(t.h, t.sigma2, primary * 4.0, QosClass::kHard);
+  EXPECT_EQ(ok.action, AdmitAction::kAdmit);
+  EXPECT_EQ(ok.tier, serve::DecodeTier::kPrimary);
+
+  // Below the primary prediction nothing placeable fits: shed — the buggy
+  // min over unserved tiers would have admitted at kKBest or kLinear.
+  const AdmitDecision shed =
+      fx.controller.decide(t.h, t.sigma2, primary * 0.25, QosClass::kHard);
+  EXPECT_EQ(shed.action, AdmitAction::kShed);
 }
 
 TEST(Admission, OutstandingLedgerDrivesTheWaitEstimate) {
