@@ -1,0 +1,195 @@
+// Fixed-point kernel A/B microbenchmark: the int16 split-complex level GEMM
+// (scalar reference vs AVX2 _mm256_madd_epi16) against the float SoA/scalar
+// kernels on the BFS level shapes the quantized decoder issues. The int16
+// path stores operands at half the width and evaluates a complex MAC in one
+// madd per 16-bit pair lane, so on AVX2 hosts it should beat the float SoA
+// kernel comfortably; validate_bench_json.py gates the largest shape on a
+// 1.5x speedup (DESIGN.md §15).
+//
+// Emits BENCH_quant_kernels.json.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "linalg/gemm.hpp"
+#include "quant/quant_gemm.hpp"
+
+namespace {
+
+using namespace sd;
+
+CMat random_mat(index_t r, index_t c, std::uint64_t seed) {
+  GaussianSource g(seed);
+  CMat m(r, c);
+  for (cplx& v : m.flat()) v = g.next_cplx(1.0);
+  return m;
+}
+
+/// Random int16 values in the amplitude band the calibrated decoder
+/// produces (well inside the saturation bound, like a quantized R row).
+void random_i16(quant::I16Mat& m, index_t r, index_t c, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  m.reshape(r, c);
+  for (std::int16_t& v : m.flat()) {
+    v = static_cast<std::int16_t>(static_cast<int>(rng() % 4001u) - 2000);
+  }
+}
+
+template <typename Fn>
+double time_best_of(Fn&& fn, usize iters) {
+  constexpr int kReps = 5;
+  fn();  // warm-up: touch operands, reach high-water shapes
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer t;
+    for (usize i = 0; i < iters; ++i) fn();
+    best = std::min(best, t.elapsed_seconds() / static_cast<double>(iters));
+  }
+  return best;
+}
+
+std::string us(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", seconds * 1e6);
+  return buf;
+}
+
+std::string ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", r);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const usize trials = sd::bench::trials_or(32);
+  sd::bench::open_report("quant_kernels");
+  sd::bench::print_banner(
+      "Fixed-point kernel A/B: int16 level GEMM vs float SoA/scalar",
+      "zr x (f*p) x k quantized level products (DESIGN.md §15)", trials);
+
+  const bool avx2 = quant::qgemm_int16_available();
+  const bool soa = gemm_soa_available();
+  sd::bench::report().config("avx2_int16_available", avx2);
+  sd::bench::report().config("soa_available", soa);
+  // The 1.5x int16-vs-SoA gate only binds when both vector kernels exist.
+  sd::bench::report().config("gate_speedup", avx2 && soa);
+
+  // 1 x (f*p) x k row-0 level shapes — exactly what both datapaths issue per
+  // BFS level (the PD loop only consumes row 0) — at three frontier widths
+  // up to the largest level batch the Fig. 10 configuration hits.
+  struct Shape {
+    index_t zr;
+    index_t cols;
+    index_t k;
+  };
+  const Shape shapes[] = {{1, 4096, 10}, {1, 8192, 15}, {1, 16384, 20}};
+
+  Table table({"shape (zr x n x k)", "i16 scalar us", "i16 avx2 us",
+               "fp32 scalar us", "fp32 soa us", "avx2 vs soa"});
+  GemmWorkspace ws;
+
+  for (const Shape& sh : shapes) {
+    const index_t k = sh.k;
+    const index_t n = sh.cols;
+    const auto seed = static_cast<std::uint64_t>(1000 + k);
+
+    quant::I16Mat a_re, a_im, s_ri;
+    quant::I32Mat z_re, z_im;
+    random_i16(a_re, sh.zr, k, seed);
+    random_i16(a_im, sh.zr, k, seed + 1);
+    random_i16(s_ri, k, 2 * n, seed + 2);
+
+    const CMat fa = random_mat(sh.zr, k, seed + 3);
+    const CMat fb = random_mat(k, n, seed + 4);
+    CMat fc(sh.zr, n);
+
+    const std::uint64_t vol =
+        static_cast<std::uint64_t>(sh.zr) * static_cast<std::uint64_t>(n) * k;
+    const usize iters = std::max<usize>(
+        1, static_cast<usize>(trials * 200000 /
+                              std::max<std::uint64_t>(vol, 1)));
+
+    const double i16_scalar_s = time_best_of(
+        [&] { quant::qgemm_level_scalar(a_re, a_im, s_ri, z_re, z_im); },
+        iters);
+    const double i16_avx2_s =
+        avx2 ? time_best_of(
+                   [&] { quant::qgemm_level_avx2(a_re, a_im, s_ri, z_re, z_im); },
+                   iters)
+             : 0.0;
+    const double fp32_scalar_s = time_best_of(
+        [&] {
+          gemm_packed_scalar(Op::kNone, cplx{1, 0}, fa, fb, cplx{0, 0}, fc, ws);
+        },
+        iters);
+    const double fp32_soa_s =
+        soa ? time_best_of(
+                  [&] {
+                    gemm_packed_soa(Op::kNone, cplx{1, 0}, fa, fb, cplx{0, 0},
+                                    fc, ws);
+                  },
+                  iters)
+            : 0.0;
+
+    const double avx2_vs_soa =
+        avx2 && soa ? fp32_soa_s / i16_avx2_s : 0.0;
+    const std::string shape_label = std::to_string(sh.zr) + " x " +
+                                    std::to_string(n) + " x " +
+                                    std::to_string(k);
+    table.add_row({shape_label, us(i16_scalar_s),
+                   avx2 ? us(i16_avx2_s) : "n/a", us(fp32_scalar_s),
+                   soa ? us(fp32_soa_s) : "n/a",
+                   avx2 && soa ? ratio(avx2_vs_soa) : "n/a"});
+
+    // MAC-equivalent rate so the int16 and float rows share one unit.
+    const double flops = static_cast<double>(gemm_flops(sh.zr, n, k));
+    sd::bench::report().row("kernels", {{"kernel", "int16-scalar"},
+                                        {"m", static_cast<std::int64_t>(sh.zr)},
+                                        {"n", static_cast<std::int64_t>(n)},
+                                        {"k", static_cast<std::int64_t>(k)},
+                                        {"seconds", i16_scalar_s},
+                                        {"gops", flops / i16_scalar_s / 1e9}});
+    if (avx2) {
+      sd::bench::report().row(
+          "kernels", {{"kernel", "int16-avx2"},
+                      {"m", static_cast<std::int64_t>(sh.zr)},
+                      {"n", static_cast<std::int64_t>(n)},
+                      {"k", static_cast<std::int64_t>(k)},
+                      {"seconds", i16_avx2_s},
+                      {"gops", flops / i16_avx2_s / 1e9},
+                      {"speedup_vs_scalar", i16_scalar_s / i16_avx2_s}});
+    }
+    sd::bench::report().row("kernels", {{"kernel", "fp32-scalar"},
+                                        {"m", static_cast<std::int64_t>(sh.zr)},
+                                        {"n", static_cast<std::int64_t>(n)},
+                                        {"k", static_cast<std::int64_t>(k)},
+                                        {"seconds", fp32_scalar_s},
+                                        {"gops", flops / fp32_scalar_s / 1e9}});
+    if (soa) {
+      sd::bench::report().row(
+          "kernels",
+          {{"kernel", "fp32-soa"},
+           {"m", static_cast<std::int64_t>(sh.zr)},
+           {"n", static_cast<std::int64_t>(n)},
+           {"k", static_cast<std::int64_t>(k)},
+           {"seconds", fp32_soa_s},
+           {"gops", flops / fp32_soa_s / 1e9},
+           {"int16_avx2_speedup", avx2 ? avx2_vs_soa : 0.0}});
+    }
+  }
+
+  sd::bench::print_table(table, "kernels_summary");
+  std::printf("int16 operands are half the width of fp32 and one madd "
+              "evaluates a whole complex MAC pair, so the AVX2 int16 kernel "
+              "should clear the float SoA kernel by >= 1.5x at the largest "
+              "shape (gated in CI when both kernels are available).\n");
+  return 0;
+}

@@ -8,12 +8,15 @@
 // count with SD_TRIALS.
 //
 //   SD_TRIALS=500 ./bench_serve_soak [--m=10] [--mod=4qam] [--snr=8]
-//                                    [--coherence=1]
+//                                    [--coherence=1] [--precision=int16]
 //
 // With --backends=cpu:2,fpga:2 the sweep runs over a heterogeneous pool
 // instead: one row per placement policy at the pool's fixed lane count.
 // --coherence=L holds each channel realization for L consecutive frames
 // (block fading), exercising the prep cache and fused decode paths.
+// --precision=int16 soaks the fixed-point BFS datapath (DESIGN.md §15): the
+// worker sweep compares "bfs (fp32)" against "bfs (int16)" lanes, and the
+// pool mode maps its primary lanes onto bfs:precision=int16.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -55,22 +58,35 @@ int main(int argc, char** argv) {
     bool emulate_device;
     double rtt_s;
   };
-  const std::vector<Backend> backends = {
-      {"sphere (cpu)", "sphere", false, 0.0},
-      {"multipe:threads=2", "multipe:threads=2", false, 0.0},
-      {"kbest:k=16", "kbest:k=16", false, 0.0},
-      {"sphere@fpga (model)", "sphere@fpga", false, 0.0},
-      {"sphere@fpga (offload, 1ms rtt)", "sphere@fpga", true, 1e-3},
-  };
+  const std::string precision = cli.get_or("precision", "");
+  const std::vector<Backend> backends =
+      precision == "int16"
+          // Fixed-point soak: same traversal on the float and the quantized
+          // datapaths, so any throughput/latency delta is the datapath's.
+          ? std::vector<Backend>{
+                {"bfs (fp32)", "bfs", false, 0.0},
+                {"bfs (int16)", "bfs:precision=int16", false, 0.0},
+            }
+          : std::vector<Backend>{
+                {"sphere (cpu)", "sphere", false, 0.0},
+                {"multipe:threads=2", "multipe:threads=2", false, 0.0},
+                {"kbest:k=16", "kbest:k=16", false, 0.0},
+                {"sphere@fpga (model)", "sphere@fpga", false, 0.0},
+                {"sphere@fpga (offload, 1ms rtt)", "sphere@fpga", true, 1e-3},
+            };
   const std::string pool = cli.get_or("backends", "");
 
   if (!pool.empty()) {
     // Heterogeneous-pool mode: the lane count is fixed by the pool spec, so
     // the sweep axis becomes the placement policy.
+    // --precision=int16 moves the pool's primary lanes onto the quantized
+    // BFS detector; the sweep shape is otherwise unchanged.
+    const DecoderSpec primary = parse_decoder_spec(
+        precision == "int16" ? "bfs:precision=int16" : "sphere");
     unsigned lanes = 0;
     {
       dispatch::PoolDefaults defaults;
-      defaults.primary = parse_decoder_spec("sphere");
+      defaults.primary = primary;
       for (const dispatch::BackendConfig& cfg :
            dispatch::parse_backend_pool(pool, defaults))
         lanes += cfg.lanes;
@@ -96,7 +112,7 @@ int main(int argc, char** argv) {
       lo.snr_db = snr;
       lo.seed = 7;
       lo.coherence = coherence;
-      LoadGenerator gen(sys, parse_decoder_spec("sphere"), so, lo);
+      LoadGenerator gen(sys, primary, so, lo);
       const LoadReport rep = gen.run();
       const ServerMetrics& mx = rep.metrics;
       const std::string label(dispatch::placement_policy_name(policy));

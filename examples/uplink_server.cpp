@@ -4,7 +4,8 @@
 //   and print the operator's view — throughput, tail latency, deadline
 //   misses, shed load, per-worker utilization.
 //
-//   ./uplink_server [--backend=sphere] [--m=10] [--mod=4qam] [--snr=8]
+//   ./uplink_server [--backend=sphere] [--precision=int16|fp32]
+//                   [--m=10] [--mod=4qam] [--snr=8]
 //                   [--frames=200] [--seed=1] [--coherence=1]
 //                   [--mode=closed|open] [--window=8] [--rate=500]
 //                   [--server=workers=4,batch=4,queue=64,policy=block,deadline-ms=10]
@@ -30,7 +31,10 @@
 // dispatch keys (placement=, fpga-rtt-ms=, no-degrade, deterministic-cost).
 // --backends switches on the heterogeneous pool ("cpu:4,fpga:2:rtt-ms=1",
 // see DESIGN.md §8); the pool spec is comma-separated so it gets its own
-// flag instead of riding in --server. --cost-model-in starts the dispatcher
+// flag instead of riding in --server. --precision=int16 maps the lane
+// detectors onto the fixed-point BFS datapath (DESIGN.md §15; requires
+// --backend=bfs), equivalent to --backend=bfs:precision=int16;
+// --precision=fp32 is the default float datapath. --cost-model-in starts the dispatcher
 // from a previously exported calibration; --cost-model-out persists this
 // run's calibration for the next.
 // --metrics-json dumps the full ServerMetrics snapshot as a flat JSON
@@ -224,7 +228,18 @@ int main(int argc, char** argv) {
   const Modulation mod = parse_modulation(cli.get_or("mod", "4qam"));
   const SystemConfig sys{m, m, mod};
   const std::string backend = cli.get_or("backend", "sphere");
-  const DecoderSpec spec = parse_decoder_spec(backend);
+  DecoderSpec spec = parse_decoder_spec(backend);
+  // --precision=int16 switches the lane detectors to the fixed-point BFS
+  // datapath (requires --backend=bfs); fp32 is the default everywhere.
+  const std::string precision = cli.get_or("precision", "");
+  if (!precision.empty()) {
+    try {
+      apply_precision(spec, precision);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--precision=%s: %s\n", precision.c_str(), e.what());
+      return 1;
+    }
+  }
 
   ServerOptions so = parse_server_options(
       cli.get_or("server", ""),

@@ -138,6 +138,9 @@ DecoderSpec parse_decoder_spec(std::string_view text) {
       spec.multi_pe.split_depth = static_cast<index_t>(spec_option_int(opt));
     } else if (opt.key == "frontier" && spec.strategy == Strategy::kGemmBfs) {
       spec.bfs.max_frontier = static_cast<usize>(spec_option_int(opt));
+    } else if (opt.key == "precision" &&
+               spec.strategy == Strategy::kGemmBfs) {
+      apply_precision(spec, opt.value);
     } else if (opt.key == "alpha") {
       spec.sd.radius_policy = RadiusPolicy::kNoiseScaled;
       spec.sd.radius_alpha = static_cast<double>(spec_option_int(opt));
@@ -148,10 +151,32 @@ DecoderSpec parse_decoder_spec(std::string_view text) {
   return spec;
 }
 
+void apply_precision(DecoderSpec& spec, std::string_view precision) {
+  if (precision == "fp32" || precision == "float") {
+    spec.bfs.quantized = false;
+    return;
+  }
+  if (precision == "int16") {
+    SD_CHECK(spec.strategy == Strategy::kGemmBfs,
+             "precision 'int16' selects the fixed-point BFS datapath and "
+             "requires the bfs detector");
+    spec.bfs.quantized = true;
+    return;
+  }
+  throw invalid_argument_error("unknown precision '" + std::string(precision) +
+                               "' (int16, fp32)");
+}
+
+std::string_view decoder_precision_name(const DecoderSpec& spec) noexcept {
+  return spec.strategy == Strategy::kGemmBfs && spec.bfs.quantized ? "int16"
+                                                                   : "fp32";
+}
+
 std::string_view decoder_spec_help() noexcept {
   return "known detectors: sphere sphere-scalar dfs bfs ml zf mmse mrc "
          "kbest:k=N fsd:levels=N multipe:threads=N,split=N; devices: "
-         "@cpu @fpga @fpga-base; common options: sorted, max-nodes=N, fp16";
+         "@cpu @fpga @fpga-base; common options: sorted, max-nodes=N, fp16, "
+         "bfs:precision=int16|fp32";
 }
 
 }  // namespace sd

@@ -42,6 +42,18 @@ struct SpecOption {
 /// pointed message on unknown names/devices/options.
 [[nodiscard]] DecoderSpec parse_decoder_spec(std::string_view text);
 
+/// Applies a datapath precision ("int16", "fp32"/"float") to an already
+/// parsed spec — the command-line `--precision` knob of the serve tools.
+/// "int16" selects the fixed-point BFS datapath and therefore requires the
+/// bfs strategy; other strategies throw sd::invalid_argument_error.
+/// "fp32"/"float" resets any quantized selection and is valid everywhere.
+void apply_precision(DecoderSpec& spec, std::string_view precision);
+
+/// Datapath precision of a spec ("int16" or "fp32"), used to key cost-model
+/// buckets and to label per-lane backends.
+[[nodiscard]] std::string_view decoder_precision_name(
+    const DecoderSpec& spec) noexcept;
+
 /// Human-readable list of accepted spec names (for --help output).
 [[nodiscard]] std::string_view decoder_spec_help() noexcept;
 

@@ -72,6 +72,8 @@ std::string_view prep_kind_name(PrepKind kind) noexcept {
     case PrepKind::kQrPlain: return "qr";
     case PrepKind::kQrSorted: return "sqrd";
     case PrepKind::kZf: return "zf";
+    case PrepKind::kQrPlainQuant: return "qr-i16";
+    case PrepKind::kQrSortedQuant: return "sqrd-i16";
   }
   return "?";
 }
@@ -99,6 +101,22 @@ std::shared_ptr<const PreprocessedChannel> build_channel_prep(
     case PrepKind::kZf:
       prep->w = zf_equalizer(h);
       break;
+    // The quant kinds run the IDENTICAL float factorization as their float
+    // counterpart (so the per-frame ybar path and its bits are shared), then
+    // calibrate + quantize R. Same code as the uncached decode_into path, so
+    // cached and uncached quantized decodes agree bit-for-bit.
+    case PrepKind::kQrPlainQuant:
+      prep->qr.factor(h);
+      quant::quantize_channel_prep(prep->qr.r(), prep->qprep);
+      break;
+    case PrepKind::kQrSortedQuant: {
+      SortedQr sq = qr_sorted(h);
+      prep->q = std::move(sq.q);
+      prep->r = std::move(sq.r);
+      prep->perm = std::move(sq.perm);
+      quant::quantize_channel_prep(prep->r, prep->qprep);
+      break;
+    }
     case PrepKind::kNone:
       break;
   }

@@ -31,6 +31,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
+#include "quant/quant_spec.hpp"
 
 namespace sd {
 
@@ -81,6 +82,12 @@ enum class PrepKind : std::uint8_t {
   kQrPlain,   ///< Householder QR (plain layer order)
   kQrSorted,  ///< SQRD: sorted QR + explicit thin Q + permutation
   kZf,        ///< zero-forcing equalizer W = (H^H H)^-1 H^H
+  // Quantized variants: the SAME factorization as their float counterpart
+  // (so the per-frame ybar path is shared), plus the int16-calibrated R
+  // planes in `qprep`. Appended so existing kind values — and therefore
+  // every existing cache key — are unchanged.
+  kQrPlainQuant,   ///< kQrPlain + QuantSpec-calibrated int16 R
+  kQrSortedQuant,  ///< kQrSorted + QuantSpec-calibrated int16 R
 };
 
 [[nodiscard]] std::string_view prep_kind_name(PrepKind kind) noexcept;
@@ -102,6 +109,10 @@ struct PreprocessedChannel {
 
   // kZf: the equalizer matrix.
   CMat w;
+
+  // kQrPlainQuant / kQrSortedQuant: the per-channel fixed-point calibration
+  // and quantized R planes, derived from the float factorization above.
+  quant::QuantChannelPrep qprep;
 
   double build_seconds = 0.0;  ///< measured channel-only factorization time
 };

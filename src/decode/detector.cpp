@@ -24,6 +24,10 @@ void DecodeStats::export_counters(obs::CounterRegistry& registry,
   registry.set(p + "bytes_touched", bytes_touched);
   registry.set(p + "tree_levels", tree_levels);
   registry.set(p + "peak_list_size", peak_list_size);
+  registry.set(p + "quant_saturations", quant_saturations);
+  registry.set(p + "quant_overflows", quant_overflows);
+  registry.set(p + "quant_requants", quant_requants);
+  registry.set(p + "quant_fallbacks", quant_fallbacks);
   registry.set(p + "node_budget_hit", std::uint64_t{node_budget_hit ? 1u : 0u});
   registry.set(p + "preprocess_seconds", preprocess_seconds);
   registry.set(p + "search_seconds", search_seconds);

@@ -36,6 +36,12 @@ struct DecodeStats {
   std::uint64_t bytes_touched = 0;    ///< evaluation operand traffic (bytes)
   std::uint64_t tree_levels = 0;      ///< levels processed (BFS) or max depth
   std::uint64_t peak_list_size = 0;   ///< high-water mark of the open list
+  // Fixed-point datapath counters (zero on float decodes): how hard the
+  // int16/int32 quantized path leaned on its saturation semantics.
+  std::uint64_t quant_saturations = 0;  ///< int16 clamps (targets + requant)
+  std::uint64_t quant_overflows = 0;    ///< int32 PD / radius saturations
+  std::uint64_t quant_requants = 0;     ///< between-level Q(2f)->Q(f) narrowings
+  std::uint64_t quant_fallbacks = 0;    ///< frames re-run on the float path
   bool node_budget_hit = false;       ///< search stopped by the node budget
   double preprocess_seconds = 0.0;    ///< measured QR / equalizer setup time
   double search_seconds = 0.0;        ///< measured search/slicing time

@@ -28,6 +28,12 @@ struct SdGemmBfsDetector::FusedFrame {
   const PreprocessedChannel* chan = nullptr;  ///< this frame's own prep
   DecodeResult* out = nullptr;
   double radius_sq = 0.0;
+  // Quantized-path state: scales are per channel, so each frame carries its
+  // own quantized constellation and integer radius.
+  std::vector<QuantNode> qfrontier;
+  std::vector<QuantNode> qnext;
+  std::vector<std::int16_t> qsyms;
+  std::int32_t radius_q = 0;
   usize block = 0;       ///< index of this frame's A block at the level
   bool active = false;   ///< still in the fused lockstep
   bool restart = false;  ///< peeled off; re-run via sequential decode_with
@@ -41,6 +47,43 @@ struct SdGemmBfsDetector::FusedFrame {
     return *mst_storage;
   }
 };
+
+namespace {
+
+/// Quantizes the constellation into interleaved (re, im) Q(f) pairs — once
+/// per decode, since the scale is per channel.
+void quantize_constellation(const Constellation& c,
+                            const quant::QuantSpec& spec,
+                            std::vector<std::int16_t>& out,
+                            std::uint64_t& clamps) {
+  const index_t p = c.order();
+  out.resize(2 * static_cast<usize>(p));
+  for (index_t i = 0; i < p; ++i) {
+    const cplx s = c.point(i);
+    out[2 * static_cast<usize>(i)] =
+        quant::quantize_sat(s.real(), spec, clamps);
+    out[2 * static_cast<usize>(i) + 1] =
+        quant::quantize_sat(s.imag(), spec, clamps);
+  }
+}
+
+/// Maps the float radius into the Q(2f) integer domain, rounding UP so the
+/// integer sphere never prunes a candidate the float radius would keep at
+/// this scale. Saturation (counted as an overflow) means Q(2f) cannot
+/// express a sphere this large — the search falls back to float if even
+/// that sphere comes up empty.
+std::int32_t quantized_radius(double radius_sq, const quant::QuantSpec& spec,
+                              std::uint64_t& overflows) {
+  const double scaled = std::ceil(radius_sq * static_cast<double>(spec.scale) *
+                                  static_cast<double>(spec.scale));
+  if (!(scaled < static_cast<double>(quant::kQuantPdMax))) {
+    ++overflows;
+    return quant::kQuantPdMax;
+  }
+  return static_cast<std::int32_t>(scaled);
+}
+
+}  // namespace
 
 SdGemmBfsDetector::SdGemmBfsDetector(const Constellation& constellation,
                                      BfsOptions options)
@@ -67,7 +110,15 @@ void SdGemmBfsDetector::decode_into(const CMat& h, std::span<const cplx> y,
   out.reset();
   preprocess_into(h, y, opts_.base.sorted_qr, scratch_.prep, scratch_.pre);
   out.stats.preprocess_seconds = scratch_.pre.seconds;
-  search(scratch_.pre, sigma2, out);
+  if (opts_.quantized) {
+    // Same calibration+quantization code as build_channel_prep's quant
+    // kinds, on the same R bytes — so decode_into and decode_with agree
+    // bit-for-bit on the quantized path too.
+    quant::quantize_channel_prep(scratch_.pre.r, qlocal_);
+    search_quant(scratch_.pre, qlocal_, sigma2, out);
+  } else {
+    search(scratch_.pre, sigma2, out);
+  }
   materialize_symbols(*c_, out);
 }
 
@@ -82,7 +133,11 @@ void SdGemmBfsDetector::decode_with(const PreprocessedChannel& prep,
   out.reset();
   preprocess_with_channel(prep, y, scratch_.prep, scratch_.pre);
   out.stats.preprocess_seconds = scratch_.pre.seconds;
-  search(scratch_.pre, sigma2, out);
+  if (opts_.quantized) {
+    search_quant(scratch_.pre, prep.qprep, sigma2, out);
+  } else {
+    search(scratch_.pre, sigma2, out);
+  }
   materialize_symbols(*c_, out);
 }
 
@@ -105,6 +160,10 @@ void SdGemmBfsDetector::decode_batch_with(const PreprocessedChannel& prep,
 void SdGemmBfsDetector::decode_wide(std::span<WideItem> items) {
   if (items.size() <= 1) {
     Detector::decode_wide(items);  // solo decode_with sets truncated_
+    return;
+  }
+  if (opts_.quantized) {
+    decode_wide_quant(items);
     return;
   }
   SD_TRACE_SPAN("decode.batch");
@@ -524,6 +583,439 @@ void SdGemmBfsDetector::search(const Preprocessed& pre, double sigma2,
   to_antenna_order_into(pre, layered, result.indices);
   result.metric = best_pd;
   result.stats.search_seconds = timer.elapsed_seconds();
+}
+
+void SdGemmBfsDetector::search_quant(const Preprocessed& pre,
+                                     const quant::QuantChannelPrep& qprep,
+                                     double sigma2, DecodeResult& result) {
+  SD_TRACE_SPAN("decode.search");
+  SD_CHECK(qprep.valid(), "quantized search needs a calibrated channel prep");
+  const index_t m = pre.r.rows();
+  const index_t p = c_->order();
+  result.stats.tree_levels = static_cast<std::uint64_t>(m);
+  truncated_ = false;
+
+  Timer timer;
+
+  const quant::QuantSpec& spec = qprep.spec;
+  const int fb = spec.frac_bits;
+  quantize_constellation(*c_, spec, qsyms_, result.stats.quant_saturations);
+
+  MetaStateTable& mst = scratch_.mst(m, 4096);
+  double radius_sq = initial_radius_sq(opts_.base, sigma2, m);
+
+  std::vector<QuantNode>& frontier = qfrontier_;
+  std::vector<QuantNode>& next = qnext_;
+  std::vector<index_t>& path = scratch_.path;
+  path.assign(static_cast<usize>(m), 0);
+  std::vector<index_t>& best_path = scratch_.best_path;
+  best_path.assign(static_cast<usize>(m), 0);
+  std::int32_t best_pd = quant::kQuantPdMax;
+
+  bool solved = false;
+  for (int attempt = 0; !solved; ++attempt) {
+    const std::int32_t radius_q =
+        quantized_radius(radius_sq, spec, result.stats.quant_overflows);
+    mst.reset();
+    frontier.clear();
+    frontier.push_back(QuantNode{kRootId, 0});
+
+    for (index_t depth = 0; depth < m && !frontier.empty(); ++depth) {
+      const index_t a = m - 1 - depth;
+      const index_t k = m - a;
+      const usize f = frontier.size();
+      const index_t cols = static_cast<index_t>(f) * p;
+
+      // The level product is always row 0 only on the quantized path: the
+      // PD recursion below consumes nothing but the new level's residual,
+      // and the int16 operands make the 1 x k by k x cols product the
+      // madd kernel's native shape.
+      qa_re_.reshape(1, k);
+      qa_im_.reshape(1, k);
+      for (index_t t = 0; t < k; ++t) {
+        qa_re_(0, t) = qprep.r_re(a, a + t);
+        qa_im_(0, t) = qprep.r_im(a, a + t);
+      }
+      qs_ri_.reshape(k, 2 * cols);
+      for (usize ni = 0; ni < f; ++ni) {
+        if (frontier[ni].id != kRootId) {
+          mst.path_symbols(frontier[ni].id, path);
+        }
+        const index_t base_col = static_cast<index_t>(ni) * p;
+        std::int16_t* row0 = &qs_ri_(0, 2 * base_col);
+        std::copy(qsyms_.begin(), qsyms_.end(), row0);
+        for (index_t t = 1; t < k; ++t) {
+          const usize si =
+              2 * static_cast<usize>(path[static_cast<usize>(depth - t)]);
+          const std::int16_t sr = qsyms_[si];
+          const std::int16_t sim = qsyms_[si + 1];
+          std::int16_t* row = &qs_ri_(t, 2 * base_col);
+          for (index_t c = 0; c < p; ++c) {
+            row[2 * c] = sr;
+            row[2 * c + 1] = sim;
+          }
+        }
+      }
+      quant::qgemm_level(qa_re_, qa_im_, qs_ri_, qz_re_, qz_im_);
+      ++result.stats.gemm_calls;
+      // flops are charged MAC-equivalent (same complex MAC count as the
+      // float product of this shape); bytes reflect the narrow operands.
+      result.stats.flops += gemm_flops(1, cols, k);
+      result.stats.bytes_touched += quant::qgemm_bytes(1, cols, k);
+      result.stats.nodes_expanded += f;
+      result.stats.nodes_generated += static_cast<std::uint64_t>(cols);
+      result.stats.quant_requants += static_cast<std::uint64_t>(cols);
+
+      const cplx target = pre.ybar[static_cast<usize>(a)];
+      const std::int32_t t_re =
+          static_cast<std::int32_t>(quant::quantize_sat(
+              target.real(), spec, result.stats.quant_saturations))
+          << fb;
+      const std::int32_t t_im =
+          static_cast<std::int32_t>(quant::quantize_sat(
+              target.imag(), spec, result.stats.quant_saturations))
+          << fb;
+      next.clear();
+      for (usize ni = 0; ni < f; ++ni) {
+        const index_t base_col = static_cast<index_t>(ni) * p;
+        for (index_t c = 0; c < p; ++c) {
+          // Residual in exact Q(2f), then the saturating requantize to Q(f)
+          // — the between-levels narrowing — and an exact int32 PD.
+          const std::int32_t dre = t_re - qz_re_(0, base_col + c);
+          const std::int32_t dim = t_im - qz_im_(0, base_col + c);
+          const std::int16_t rqr = quant::requantize_sat(
+              dre, fb, result.stats.quant_saturations);
+          const std::int16_t rqi = quant::requantize_sat(
+              dim, fb, result.stats.quant_saturations);
+          const std::int32_t inc = static_cast<std::int32_t>(rqr) * rqr +
+                                   static_cast<std::int32_t>(rqi) * rqi;
+          const std::int32_t pd = quant::pd_add_sat(
+              frontier[ni].pd, inc, result.stats.quant_overflows);
+          if (pd >= radius_q) {
+            ++result.stats.nodes_pruned;
+            continue;
+          }
+          // The MST records the dequantized PD so path/metric reporting
+          // stays in the float domain; the search itself compares ints.
+          const NodeId id = mst.insert(
+              depth,
+              MstNode{frontier[ni].id, c,
+                      static_cast<real>(static_cast<double>(pd) *
+                                        spec.inv_scale2)});
+          next.push_back(QuantNode{id, pd});
+        }
+      }
+
+      if (next.size() > opts_.max_frontier) {
+        // Same total-order cut as the float path, on EXACT ints — ties are
+        // genuine value ties, and the NodeId tie-break pins them.
+        truncated_ = true;
+        std::partial_sort(
+            next.begin(),
+            next.begin() + static_cast<std::ptrdiff_t>(opts_.max_frontier),
+            next.end(), [](const QuantNode& x, const QuantNode& y2) {
+              return x.pd < y2.pd || (x.pd == y2.pd && x.id < y2.id);
+            });
+        result.stats.nodes_pruned += next.size() - opts_.max_frontier;
+        next.resize(opts_.max_frontier);
+      }
+
+      frontier.swap(next);
+      result.stats.peak_list_size =
+          std::max<std::uint64_t>(result.stats.peak_list_size, frontier.size());
+    }
+
+    if (!frontier.empty()) {
+      const auto best_it = std::min_element(
+          frontier.begin(), frontier.end(),
+          [](const QuantNode& x, const QuantNode& y2) { return x.pd < y2.pd; });
+      result.stats.leaves_reached += frontier.size();
+      ++result.stats.radius_updates;
+      best_pd = best_it->pd;
+      mst.path_symbols(best_it->id, best_path);
+      solved = true;
+    } else if (radius_q >= quant::kQuantPdMax) {
+      // The sphere is already as large as Q(2f) can express and still came
+      // up empty — a quantization floor, not a radius problem. Re-run this
+      // frame on the float path (exactly decode_with's float search, with
+      // the quant attempt's partial stats discarded like any retry's).
+      const double prep_seconds = result.stats.preprocess_seconds;
+      result.reset();
+      result.stats.preprocess_seconds = prep_seconds;
+      search(pre, sigma2, result);
+      result.stats.quant_fallbacks = 1;
+      return;
+    } else {
+      radius_sq *= 2.0;
+      SD_ASSERT(attempt < 64);
+    }
+  }
+
+  std::vector<index_t>& layered = scratch_.layered;
+  layered.resize(static_cast<usize>(m));
+  for (index_t d = 0; d < m; ++d) {
+    layered[static_cast<usize>(m - 1 - d)] = best_path[static_cast<usize>(d)];
+  }
+  to_antenna_order_into(pre, layered, result.indices);
+  result.metric = static_cast<double>(best_pd) * spec.inv_scale2;
+  result.stats.search_seconds = timer.elapsed_seconds();
+}
+
+void SdGemmBfsDetector::decode_wide_quant(std::span<WideItem> items) {
+  SD_TRACE_SPAN("decode.batch");
+  const index_t p = c_->order();
+  const usize fused_col_budget = opts_.max_frontier * static_cast<usize>(p);
+
+  while (fused_.size() < items.size()) {
+    fused_.push_back(std::make_unique<FusedFrame>());
+  }
+
+  // Per-frame setup, mirroring the float wide path; additionally each frame
+  // quantizes the constellation and its radius under ITS OWN QuantSpec
+  // (scales are per channel). Frames with a non-quant prep kind or an
+  // uncalibrated prep peel to the sequential path up front.
+  index_t m = -1;
+  for (usize i = 0; i < items.size(); ++i) {
+    FusedFrame& fr = *fused_[i];
+    WideItem& item = items[i];
+    SD_CHECK(item.prep != nullptr, "wide item missing a prepared channel");
+    SD_CHECK(item.out != nullptr, "wide item missing an output slot");
+    fr.chan = item.prep;
+    fr.out = item.out;
+    fr.truncated = false;
+    const index_t mi = item.prep->channel.matrix().cols();
+    if (item.prep->kind != prep_kind() || !item.prep->qprep.valid() ||
+        (m >= 0 && mi != m)) {
+      fr.active = false;
+      fr.restart = true;
+      continue;
+    }
+    m = mi;
+    item.out->reset();
+    preprocess_with_channel(*item.prep, item.y, fr.prep, fr.pre);
+    item.out->stats.preprocess_seconds = fr.pre.seconds;
+    item.out->stats.tree_levels = static_cast<std::uint64_t>(m);
+    const quant::QuantSpec& spec = item.prep->qprep.spec;
+    quantize_constellation(*c_, spec, fr.qsyms,
+                           item.out->stats.quant_saturations);
+    fr.radius_sq = initial_radius_sq(opts_.base, item.sigma2, m);
+    fr.radius_q = quantized_radius(fr.radius_sq, spec,
+                                   item.out->stats.quant_overflows);
+    fr.active = true;
+    fr.restart = false;
+    fr.mst(m, 4096).reset();
+    fr.qfrontier.clear();
+    fr.qfrontier.push_back(QuantNode{kRootId, 0});
+    fr.path.assign(static_cast<usize>(m), 0);
+    fr.best_path.assign(static_cast<usize>(m), 0);
+  }
+
+  Timer timer;
+  for (index_t depth = 0; depth < m; ++depth) {
+    // Empty-frontier frames peel to the sequential quant decode, which owns
+    // the radius-doubling retry AND the float fallback.
+    usize active_count = 0;
+    usize total_cols = 0;
+    for (usize i = 0; i < items.size(); ++i) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      if (fr.qfrontier.empty()) {
+        fr.active = false;
+        fr.restart = true;
+        continue;
+      }
+      ++active_count;
+      total_cols += fr.qfrontier.size() * static_cast<usize>(p);
+    }
+    for (usize i = items.size();
+         i-- > 0 && total_cols > fused_col_budget && active_count > 1;) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      total_cols -= fr.qfrontier.size() * static_cast<usize>(p);
+      fr.active = false;
+      fr.restart = true;
+      --active_count;
+    }
+    if (active_count == 0) break;
+
+    const index_t a = m - 1 - depth;
+    const index_t k = m - a;
+
+    // Stacked A planes: one 1 x k quantized R row per DISTINCT prep.
+    block_keys_.clear();
+    block_qpreps_.clear();
+    for (usize i = 0; i < items.size(); ++i) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      usize g = 0;
+      while (g < block_keys_.size() && block_keys_[g] != fr.chan) ++g;
+      if (g == block_keys_.size()) {
+        block_keys_.push_back(fr.chan);
+        block_qpreps_.push_back(&fr.chan->qprep);
+      }
+      fr.block = g;
+    }
+    qa_re_.reshape(1, static_cast<index_t>(block_keys_.size()) * k);
+    qa_im_.reshape(1, static_cast<index_t>(block_keys_.size()) * k);
+    for (usize g = 0; g < block_qpreps_.size(); ++g) {
+      const quant::QuantChannelPrep& qp = *block_qpreps_[g];
+      const index_t base = static_cast<index_t>(g) * k;
+      for (index_t t = 0; t < k; ++t) {
+        qa_re_(0, base + t) = qp.r_re(a, a + t);
+        qa_im_(0, base + t) = qp.r_im(a, a + t);
+      }
+    }
+
+    // One stacked interleaved tree-state operand; frame j's segment is
+    // exactly the S it would build solo (under its own QuantSpec).
+    qs_ri_.reshape(k, 2 * static_cast<index_t>(total_cols));
+    groups_.clear();
+    usize col_off = 0;
+    for (usize i = 0; i < items.size(); ++i) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      const usize f = fr.qfrontier.size();
+      for (usize ni = 0; ni < f; ++ni) {
+        if (fr.qfrontier[ni].id != kRootId) {
+          fr.mst_storage->path_symbols(fr.qfrontier[ni].id, fr.path);
+        }
+        const index_t base_col =
+            static_cast<index_t>(col_off + ni * static_cast<usize>(p));
+        std::int16_t* row0 = &qs_ri_(0, 2 * base_col);
+        std::copy(fr.qsyms.begin(), fr.qsyms.end(), row0);
+        for (index_t t = 1; t < k; ++t) {
+          const usize si =
+              2 * static_cast<usize>(fr.path[static_cast<usize>(depth - t)]);
+          const std::int16_t sr = fr.qsyms[si];
+          const std::int16_t sim = fr.qsyms[si + 1];
+          std::int16_t* row = &qs_ri_(t, 2 * base_col);
+          for (index_t c = 0; c < p; ++c) {
+            row[2 * c] = sr;
+            row[2 * c + 1] = sim;
+          }
+        }
+      }
+      groups_.push_back(GemmGroup{static_cast<index_t>(fr.block) * k,
+                                  static_cast<index_t>(col_off),
+                                  static_cast<index_t>(f) * p});
+      col_off += f * static_cast<usize>(p);
+    }
+
+    // ONE grouped block-diagonal int16 product for the whole level.
+    qz_re_.reshape(1, static_cast<index_t>(total_cols));
+    qz_im_.reshape(1, static_cast<index_t>(total_cols));
+    quant::qgemm_level_grouped(qa_re_, qa_im_, k, qs_ri_, qz_re_, qz_im_,
+                               groups_);
+
+    // Per-frame consume — the exact solo integer code over the frame's
+    // column segment, with the frame's own spec/shift/radius.
+    col_off = 0;
+    for (usize i = 0; i < items.size(); ++i) {
+      FusedFrame& fr = *fused_[i];
+      if (!fr.active) continue;
+      DecodeStats& stats = fr.out->stats;
+      const quant::QuantSpec& spec = fr.chan->qprep.spec;
+      const int fb = spec.frac_bits;
+      const usize f = fr.qfrontier.size();
+      const index_t cols = static_cast<index_t>(f) * p;
+      ++stats.gemm_calls;
+      stats.flops += gemm_flops(1, cols, k);
+      stats.bytes_touched += quant::qgemm_bytes(1, cols, k);
+      stats.nodes_expanded += f;
+      stats.nodes_generated += static_cast<std::uint64_t>(cols);
+      stats.quant_requants += static_cast<std::uint64_t>(cols);
+
+      MetaStateTable& mst = *fr.mst_storage;
+      const cplx target = fr.pre.ybar[static_cast<usize>(a)];
+      const std::int32_t t_re =
+          static_cast<std::int32_t>(quant::quantize_sat(
+              target.real(), spec, stats.quant_saturations))
+          << fb;
+      const std::int32_t t_im =
+          static_cast<std::int32_t>(quant::quantize_sat(
+              target.imag(), spec, stats.quant_saturations))
+          << fb;
+      fr.qnext.clear();
+      for (usize ni = 0; ni < f; ++ni) {
+        const index_t base_col =
+            static_cast<index_t>(col_off + ni * static_cast<usize>(p));
+        for (index_t c = 0; c < p; ++c) {
+          const std::int32_t dre = t_re - qz_re_(0, base_col + c);
+          const std::int32_t dim = t_im - qz_im_(0, base_col + c);
+          const std::int16_t rqr =
+              quant::requantize_sat(dre, fb, stats.quant_saturations);
+          const std::int16_t rqi =
+              quant::requantize_sat(dim, fb, stats.quant_saturations);
+          const std::int32_t inc = static_cast<std::int32_t>(rqr) * rqr +
+                                   static_cast<std::int32_t>(rqi) * rqi;
+          const std::int32_t pd = quant::pd_add_sat(
+              fr.qfrontier[ni].pd, inc, stats.quant_overflows);
+          if (pd >= fr.radius_q) {
+            ++stats.nodes_pruned;
+            continue;
+          }
+          const NodeId id = mst.insert(
+              depth,
+              MstNode{fr.qfrontier[ni].id, c,
+                      static_cast<real>(static_cast<double>(pd) *
+                                        spec.inv_scale2)});
+          fr.qnext.push_back(QuantNode{id, pd});
+        }
+      }
+      if (fr.qnext.size() > opts_.max_frontier) {
+        fr.truncated = true;
+        std::partial_sort(
+            fr.qnext.begin(),
+            fr.qnext.begin() + static_cast<std::ptrdiff_t>(opts_.max_frontier),
+            fr.qnext.end(), [](const QuantNode& x, const QuantNode& y2) {
+              return x.pd < y2.pd || (x.pd == y2.pd && x.id < y2.id);
+            });
+        stats.nodes_pruned += fr.qnext.size() - opts_.max_frontier;
+        fr.qnext.resize(opts_.max_frontier);
+      }
+      fr.qfrontier.swap(fr.qnext);
+      stats.peak_list_size = std::max<std::uint64_t>(stats.peak_list_size,
+                                                     fr.qfrontier.size());
+      col_off += f * static_cast<usize>(p);
+    }
+  }
+  const double fused_seconds = timer.elapsed_seconds();
+
+  // Harvest solved frames; peel off the rest.
+  for (usize i = 0; i < items.size(); ++i) {
+    FusedFrame& fr = *fused_[i];
+    if (!fr.active || fr.qfrontier.empty()) {
+      fr.restart = true;
+      continue;
+    }
+    const auto best_it = std::min_element(
+        fr.qfrontier.begin(), fr.qfrontier.end(),
+        [](const QuantNode& x, const QuantNode& y2) { return x.pd < y2.pd; });
+    fr.out->stats.leaves_reached += fr.qfrontier.size();
+    ++fr.out->stats.radius_updates;
+    fr.mst_storage->path_symbols(best_it->id, fr.best_path);
+    fr.layered.resize(static_cast<usize>(m));
+    for (index_t d = 0; d < m; ++d) {
+      fr.layered[static_cast<usize>(m - 1 - d)] =
+          fr.best_path[static_cast<usize>(d)];
+    }
+    to_antenna_order_into(fr.pre, fr.layered, fr.out->indices);
+    fr.out->metric = static_cast<double>(best_it->pd) *
+                     fr.chan->qprep.spec.inv_scale2;
+    fr.out->stats.search_seconds = fused_seconds;
+    materialize_symbols(*c_, *fr.out);
+  }
+
+  // Sequential fallback for peeled frames: the solo quant decode owns the
+  // radius-doubling retry and the float fallback, and resets the result
+  // before re-charging — exactly the sequential bits AND stats.
+  for (usize i = 0; i < items.size(); ++i) {
+    FusedFrame& fr = *fused_[i];
+    if (!fr.restart) continue;
+    decode_with(*fr.chan, items[i].y, items[i].sigma2, *items[i].out);
+    fr.truncated = truncated_;
+  }
+  truncated_ = fused_[items.size() - 1]->truncated;
 }
 
 }  // namespace sd

@@ -15,6 +15,7 @@
 #include "decode/detector.hpp"
 #include "decode/mst.hpp"
 #include "decode/sphere_common.hpp"
+#include "quant/quant_gemm.hpp"
 
 namespace sd {
 
@@ -25,6 +26,18 @@ struct BfsOptions {
   /// limit the search space" that GPU implementations resort to (§IV-F),
   /// potentially costing BER. Exceeding the cap is reported in the stats.
   usize max_frontier = 1u << 18;
+  /// Run the fixed-point (int16 storage / int32 PD) datapath calibrated to
+  /// the FPGA's arithmetic: int16 level GEMMs, exact integer PD comparisons,
+  /// scale-aware radius, saturating requantize between levels (DESIGN.md
+  /// §15). Falls back to the float search per frame when the quantized
+  /// radius saturates without finding a leaf.
+  bool quantized = false;
+};
+
+/// Quantized frontier entry: MST node id plus its exact int32 Q(2f) PD.
+struct QuantNode {
+  NodeId id;
+  std::int32_t pd;
 };
 
 class SdGemmBfsDetector final : public Detector {
@@ -34,7 +47,7 @@ class SdGemmBfsDetector final : public Detector {
   ~SdGemmBfsDetector() override;  // FusedFrame is an incomplete type here
 
   [[nodiscard]] std::string_view name() const override {
-    return "SD-GEMM-BFS";
+    return opts_.quantized ? "SD-GEMM-BFS-i16" : "SD-GEMM-BFS";
   }
 
   [[nodiscard]] const BfsOptions& options() const noexcept { return opts_; }
@@ -48,7 +61,15 @@ class SdGemmBfsDetector final : public Detector {
                    DecodeResult& out) override;
 
   /// Channel-split phase: the QR (plain or SQRD per options) is cacheable.
+  /// The quantized variant requests the matching quant kind — the same float
+  /// factorization plus the int16-calibrated R planes — which occupies its
+  /// own (fingerprint, kind) cache slot, so quantized and float lanes never
+  /// collide on one fingerprint.
   [[nodiscard]] PrepKind prep_kind() const noexcept override {
+    if (opts_.quantized) {
+      return opts_.base.sorted_qr ? PrepKind::kQrSortedQuant
+                                  : PrepKind::kQrPlainQuant;
+    }
     return opts_.base.sorted_qr ? PrepKind::kQrSorted : PrepKind::kQrPlain;
   }
 
@@ -79,6 +100,15 @@ class SdGemmBfsDetector final : public Detector {
   /// Tree search on an already-preprocessed system.
   void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
 
+  /// Fixed-point tree search: int16 level GEMMs against the prep's quantized
+  /// R planes, int32 partial distances with EXACT integer comparisons, and a
+  /// scale-aware integer radius. Reported PDs/metrics are dequantized. When
+  /// the integer radius saturates with an empty frontier, the frame falls
+  /// back to the float search() (counted in stats.quant_fallbacks).
+  void search_quant(const Preprocessed& pre,
+                    const quant::QuantChannelPrep& qprep, double sigma2,
+                    DecodeResult& result);
+
   /// True if the last decode had to truncate a frontier (BER no longer
   /// guaranteed ML-optimal). After decode_batch_with() this reports the
   /// LAST frame of the batch, matching a sequential loop over the frames.
@@ -86,6 +116,11 @@ class SdGemmBfsDetector final : public Detector {
 
  private:
   struct FusedFrame;  // per-frame lockstep state (sd_gemm_bfs.cpp)
+
+  /// Cross-channel wide decode on the fixed-point datapath: one grouped
+  /// int16 level product per level, per-frame QuantSpecs (scales may differ
+  /// across channels), identical peeling rules to the float wide path.
+  void decode_wide_quant(std::span<WideItem> items);
 
   const Constellation* c_;
   BfsOptions opts_;
@@ -95,6 +130,17 @@ class SdGemmBfsDetector final : public Detector {
   std::vector<GemmGroup> groups_;              ///< per-level grouped-GEMM map
   std::vector<const PreprocessedChannel*> block_keys_;  ///< distinct preps
   std::vector<const Preprocessed*> block_pres_;  ///< one R source per block
+
+  // Quantized-path scratch (recycled across decodes like DecodeScratch).
+  quant::QuantChannelPrep qlocal_;     ///< decode_into-path calibration
+  std::vector<std::int16_t> qsyms_;    ///< constellation, (re,im) Q(f) pairs
+  quant::I16Mat qa_re_, qa_im_;        ///< level A planes (possibly stacked)
+  quant::I16Mat qs_ri_;                ///< interleaved tree-state operand
+  quant::I32Mat qz_re_, qz_im_;        ///< exact Q(2f) level products
+  std::vector<QuantNode> qfrontier_;
+  std::vector<QuantNode> qnext_;
+  std::vector<const quant::QuantChannelPrep*> block_qpreps_;  ///< wide blocks
+
   bool truncated_ = false;
 };
 

@@ -45,13 +45,17 @@ void preprocess_with_channel(const PreprocessedChannel& prep,
   SD_CHECK(h.rows() == static_cast<index_t>(y.size()), "y length mismatch");
   Timer timer;
   switch (prep.kind) {
+    // Quant kinds carry the identical float factorization alongside the
+    // int16 planes, so the per-frame ybar path is byte-for-byte shared.
     case PrepKind::kQrSorted:
+    case PrepKind::kQrSortedQuant:
       pre.r = prep.r;  // copy-assign; reuses pre's storage
       pre.perm.assign(prep.perm.begin(), prep.perm.end());
       pre.ybar.assign(static_cast<usize>(h.cols()), cplx{0, 0});
       gemv(Op::kConjTrans, cplx{1, 0}, prep.q, y, cplx{0, 0}, pre.ybar);
       break;
     case PrepKind::kQrPlain:
+    case PrepKind::kQrPlainQuant:
       pre.r = prep.qr.r();
       prep.qr.apply_qh_into(y, pre.ybar, scratch.work);
       pre.perm.clear();

@@ -40,11 +40,12 @@ CostModel::CostModel(CostModelOptions opts) : opts_(opts) {
 }
 
 int CostModel::register_backend(std::string label, double seconds_per_node,
-                                double overhead_s) {
+                                double overhead_s, std::string precision) {
   SD_CHECK(seconds_per_node > 0.0 && overhead_s >= 0.0,
            "cost-model rate priors must be positive");
   std::lock_guard<std::mutex> lock(mu_);
-  rates_.push_back({std::move(label), seconds_per_node, overhead_s});
+  rates_.push_back(
+      {std::move(label), seconds_per_node, overhead_s, std::move(precision)});
   return static_cast<int>(rates_.size()) - 1;
 }
 
@@ -83,6 +84,10 @@ std::string CostModel::bucket_key(const FrameFeatures& f, int backend,
   key << 'b' << backend << ".t" << static_cast<int>(tier) << ".m" << f.num_tx
       << ".q" << f.mod_order << ".s" << snr_bucket << ".c" << cond_bucket
       << (prep_hit ? ".h1" : ".h0");
+  // Non-fp32 datapaths calibrate separately; fp32/empty keeps the historical
+  // key shape so v1/v2 exports warm-start the same buckets they always did.
+  const std::string& precision = rates_[static_cast<usize>(backend)].precision;
+  if (!precision.empty() && precision != "fp32") key << ".p" << precision;
   return key.str();
 }
 
@@ -160,6 +165,9 @@ std::string CostModel::export_json() const {
     w.key("label").value(r.label);
     w.key("seconds_per_node").value(r.seconds_per_node);
     w.key("overhead_s").value(r.overhead_s);
+    // Written only for non-default datapaths: fp32 documents stay
+    // byte-compatible with pre-precision readers.
+    if (!r.precision.empty()) w.key("precision").value(r.precision);
     w.end_object();
   }
   w.end_array();
@@ -315,6 +323,8 @@ void CostModel::import_json(std::string_view json) {
             r.seconds_per_node = p.parse_number();
           } else if (field == "overhead_s") {
             r.overhead_s = p.parse_number();
+          } else if (field == "precision") {
+            r.precision = p.parse_string();
           } else {
             p.fail("unknown backend field '" + field + "'");
           }
@@ -392,6 +402,9 @@ void CostModel::import_json(std::string_view json) {
                                      rates[i].label + "', model expects '" +
                                      rates_[i].label + "'");
       }
+      // Documents that predate the precision field keep the registered
+      // datapath, so post-import bucket keys match pre-import ones.
+      if (rates[i].precision.empty()) rates[i].precision = rates_[i].precision;
     }
   }
   rates_ = std::move(rates);

@@ -75,9 +75,13 @@ class CostModel {
   /// Registers a backend's rate priors; returns its id. `seconds_per_node`
   /// converts predicted node counts into charged time on that substrate;
   /// `overhead_s` is the fixed per-frame cost (preprocessing, and for
-  /// offloaded backends the host<->device round trip).
+  /// offloaded backends the host<->device round trip). `precision` names the
+  /// backend's datapath ("int16" for the fixed-point BFS lanes); non-fp32
+  /// precisions get their own calibration buckets, since the quantized
+  /// kernels have different per-node rates. Empty/"fp32" keeps the
+  /// historical bucket keys, so existing exports warm-start unchanged.
   int register_backend(std::string label, double seconds_per_node,
-                       double overhead_s);
+                       double overhead_s, std::string precision = "");
 
   [[nodiscard]] usize backend_count() const;
 
@@ -127,6 +131,7 @@ class CostModel {
     std::string label;
     double seconds_per_node = 0.0;
     double overhead_s = 0.0;
+    std::string precision;  ///< ""/"fp32" = historical keys, else ".p<name>"
   };
 
   [[nodiscard]] std::string bucket_key(const FrameFeatures& f, int backend,

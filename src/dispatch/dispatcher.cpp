@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/spec_parse.hpp"
 #include "mimo/constellation.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -104,8 +105,9 @@ Dispatcher::Dispatcher(SystemConfig system, std::vector<BackendConfig> configs,
   lane_base_.reserve(configs.size());
   per_backend_.reserve(configs.size());
   for (BackendConfig& cfg : configs) {
-    const int id = cost_.register_backend(cfg.label, cfg.prior_seconds_per_node,
-                                          cfg.prior_overhead_s);
+    const int id = cost_.register_backend(
+        cfg.label, cfg.prior_seconds_per_node, cfg.prior_overhead_s,
+        std::string(decoder_precision_name(cfg.decoder)));
     SD_CHECK(id == static_cast<int>(backends_.size()),
              "cost-model backend ids must track pool order");
     lane_base_.push_back(total_lanes_);

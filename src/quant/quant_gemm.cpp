@@ -1,0 +1,149 @@
+#include "quant/quant_gemm.hpp"
+
+#include "common/error.hpp"
+
+namespace sd::quant {
+
+bool qgemm_int16_available() noexcept {
+  // Same availability shape as gemm_soa_available(): compiled-in AND the
+  // executing CPU has AVX2, probed once.
+  static const bool ok =
+      detail::qgemm_avx2_compiled() && detail::qgemm_avx2_runtime_ok();
+  return ok;
+}
+
+GemmKernel active_quant_kernel() noexcept {
+  if (gemm_kernel_override() == GemmKernel::kScalar) return GemmKernel::kScalar;
+  return qgemm_int16_available() ? GemmKernel::kSoa : GemmKernel::kScalar;
+}
+
+namespace detail {
+
+void qgemm_block_scalar(const std::int16_t* a_re, const std::int16_t* a_im,
+                        usize a_stride, const std::int16_t* s, usize s_stride,
+                        std::int32_t* z_re, std::int32_t* z_im, usize z_stride,
+                        index_t zr, index_t k, index_t n) {
+  for (index_t i = 0; i < zr; ++i) {
+    const std::int16_t* ar_row = a_re + static_cast<usize>(i) * a_stride;
+    const std::int16_t* ai_row = a_im + static_cast<usize>(i) * a_stride;
+    std::int32_t* zr_row = z_re + static_cast<usize>(i) * z_stride;
+    std::int32_t* zi_row = z_im + static_cast<usize>(i) * z_stride;
+    for (index_t j = 0; j < n; ++j) {
+      std::int32_t acc_re = 0;
+      std::int32_t acc_im = 0;
+      const std::int16_t* sp = s + 2 * static_cast<usize>(j);
+      for (index_t t = 0; t < k; ++t, sp += s_stride) {
+        // The madd decomposition: (br, bi) dotted against (ar, -ai) for the
+        // real half and (ai, ar) for the imag half — same integer ops the
+        // AVX2 kernel performs, hence exact equality.
+        const std::int32_t ar = ar_row[t];
+        const std::int32_t ai = ai_row[t];
+        const std::int32_t br = sp[0];
+        const std::int32_t bi = sp[1];
+        acc_re += br * ar + bi * -ai;
+        acc_im += br * ai + bi * ar;
+      }
+      zr_row[j] = acc_re;
+      zi_row[j] = acc_im;
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+struct QgemmShape {
+  index_t zr;
+  index_t k;
+  index_t n;
+};
+
+QgemmShape check_shapes(const I16Mat& a_re, const I16Mat& a_im,
+                        const I16Mat& s_ri) {
+  SD_CHECK(a_re.rows() == a_im.rows() && a_re.cols() == a_im.cols(),
+           "quant GEMM A planes must agree in shape");
+  SD_CHECK(s_ri.cols() % 2 == 0,
+           "quant GEMM S operand must interleave (re, im) pairs");
+  SD_CHECK(a_re.cols() == s_ri.rows(),
+           "quant GEMM inner dimensions must agree");
+  SD_CHECK(a_re.cols() <= kQuantGemmMaxK, "quant GEMM K depth exceeds panel");
+  return {a_re.rows(), a_re.cols(), s_ri.cols() / 2};
+}
+
+}  // namespace
+
+void qgemm_level_scalar(const I16Mat& a_re, const I16Mat& a_im,
+                        const I16Mat& s_ri, I32Mat& z_re, I32Mat& z_im) {
+  const QgemmShape sh = check_shapes(a_re, a_im, s_ri);
+  z_re.reshape(sh.zr, sh.n);
+  z_im.reshape(sh.zr, sh.n);
+  detail::qgemm_block_scalar(a_re.data(), a_im.data(),
+                             static_cast<usize>(a_re.cols()), s_ri.data(),
+                             static_cast<usize>(s_ri.cols()), z_re.data(),
+                             z_im.data(), static_cast<usize>(sh.n), sh.zr,
+                             sh.k, sh.n);
+}
+
+void qgemm_level_avx2(const I16Mat& a_re, const I16Mat& a_im,
+                      const I16Mat& s_ri, I32Mat& z_re, I32Mat& z_im) {
+  SD_CHECK(qgemm_int16_available(),
+           "AVX2 int16 kernel unavailable on this CPU/build");
+  const QgemmShape sh = check_shapes(a_re, a_im, s_ri);
+  z_re.reshape(sh.zr, sh.n);
+  z_im.reshape(sh.zr, sh.n);
+  detail::qgemm_block_avx2(a_re.data(), a_im.data(),
+                           static_cast<usize>(a_re.cols()), s_ri.data(),
+                           static_cast<usize>(s_ri.cols()), z_re.data(),
+                           z_im.data(), static_cast<usize>(sh.n), sh.zr, sh.k,
+                           sh.n);
+}
+
+void qgemm_level(const I16Mat& a_re, const I16Mat& a_im, const I16Mat& s_ri,
+                 I32Mat& z_re, I32Mat& z_im) {
+  if (active_quant_kernel() == GemmKernel::kSoa) {
+    qgemm_level_avx2(a_re, a_im, s_ri, z_re, z_im);
+  } else {
+    qgemm_level_scalar(a_re, a_im, s_ri, z_re, z_im);
+  }
+}
+
+void qgemm_level_grouped(const I16Mat& a_re, const I16Mat& a_im, index_t k,
+                         const I16Mat& s_ri, I32Mat& z_re, I32Mat& z_im,
+                         std::span<const GemmGroup> groups) {
+  SD_CHECK(a_re.rows() == a_im.rows() && a_re.cols() == a_im.cols(),
+           "quant GEMM A planes must agree in shape");
+  SD_CHECK(k > 0 && k <= kQuantGemmMaxK, "quant GEMM K depth exceeds panel");
+  SD_CHECK(s_ri.rows() == k, "quant GEMM inner dimensions must agree");
+  SD_CHECK(s_ri.cols() % 2 == 0,
+           "quant GEMM S operand must interleave (re, im) pairs");
+  const index_t n = s_ri.cols() / 2;
+  SD_CHECK(z_re.rows() == a_re.rows() && z_re.cols() == n &&
+               z_im.rows() == a_re.rows() && z_im.cols() == n,
+           "quant grouped GEMM output shape mismatch");
+
+  const bool avx2 = active_quant_kernel() == GemmKernel::kSoa;
+  const usize a_stride = static_cast<usize>(a_re.cols());
+  const usize s_stride = static_cast<usize>(s_ri.cols());
+  const usize z_stride = static_cast<usize>(n);
+  for (const GemmGroup& g : groups) {
+    if (g.cols <= 0) continue;
+    SD_CHECK(g.col >= 0 && g.col + g.cols <= n &&
+                 g.a_col >= 0 && g.a_col + k <= a_re.cols(),
+             "quant grouped GEMM group out of range");
+    const std::int16_t* ar = a_re.data() + static_cast<usize>(g.a_col);
+    const std::int16_t* ai = a_im.data() + static_cast<usize>(g.a_col);
+    const std::int16_t* s = s_ri.data() + 2 * static_cast<usize>(g.col);
+    std::int32_t* zr_p = z_re.data() + static_cast<usize>(g.col);
+    std::int32_t* zi_p = z_im.data() + static_cast<usize>(g.col);
+    if (avx2) {
+      detail::qgemm_block_avx2(ar, ai, a_stride, s, s_stride, zr_p, zi_p,
+                               z_stride, z_re.rows(), k, g.cols);
+    } else {
+      detail::qgemm_block_scalar(ar, ai, a_stride, s, s_stride, zr_p, zi_p,
+                                 z_stride, z_re.rows(), k, g.cols);
+    }
+  }
+}
+
+}  // namespace sd::quant

@@ -1,0 +1,99 @@
+// Int16 split-complex level-GEMM kernel family for the quantized BFS.
+//
+// Computes the quantized analogue of the BFS level product z = A * S:
+//
+//   A — the zr x k level slice of quantized R, as SEPARATE int16 SoA planes
+//       (a_re, a_im), both Q(f);
+//   S — the k x n batched symbol matrix, as INTERLEAVED (re, im) int16
+//       pairs: s_ri is k x 2n with row t = [re(t,0), im(t,0), re(t,1), ...].
+//       The pairing is what lets _mm256_madd_epi16 form a full complex
+//       multiply half (br*x + bi*y) in ONE instruction;
+//   Z — zr x n int32 SoA planes (z_re, z_im), exact Q(2f) products.
+//
+// The AVX2 path broadcasts, per (output row, k-step), a 32-bit coefficient
+// packing (ar, -ai) for the real half and (ai, ar) for the imag half, then
+// madd-accumulates 8 complex columns per 256-bit lane. The scalar reference
+// performs the identical integer arithmetic, so AVX2 vs scalar is EXACTLY
+// equal (integer math has no rounding), pinned by tests/test_quant.cpp.
+//
+// Overflow contract: operands are Q(f) produced under a QuantSpec whose
+// accumulation bound keeps every dot product under 2^30 (quant_spec.hpp);
+// madd's internal pair-sum is bounded by 2 * kQuantMax^2 < 2^31 regardless.
+// Inputs respecting the calibration can never wrap. See DESIGN.md §15.
+#pragma once
+
+#include <span>
+
+#include "linalg/gemm.hpp"
+#include "quant/quant_spec.hpp"
+
+namespace sd::quant {
+
+/// Max K depth of one level product, mirroring kGemmKc for the float
+/// kernels; the AVX2 path packs per-row coefficient arrays of this length.
+inline constexpr index_t kQuantGemmMaxK = kGemmKc;
+
+/// True iff the AVX2 int16 kernel is compiled in AND the CPU supports it.
+[[nodiscard]] bool qgemm_int16_available() noexcept;
+
+/// The kernel qgemm_level resolves to right now: kScalar or kSoa (= the
+/// AVX2 madd path). Honors the same process-wide override as the float
+/// kernels (set_gemm_kernel_override / SD_GEMM_KERNEL): a forced kScalar
+/// forces the scalar reference; anything else takes AVX2 when available.
+/// The choice never changes results — both kernels are exact.
+[[nodiscard]] GemmKernel active_quant_kernel() noexcept;
+
+/// z = A * S (shapes and layouts in the header comment). z_re/z_im are
+/// reshaped by the callee (allocation-free at high-water capacity) and
+/// OVERWRITTEN. Dispatches per active_quant_kernel().
+void qgemm_level(const I16Mat& a_re, const I16Mat& a_im, const I16Mat& s_ri,
+                 I32Mat& z_re, I32Mat& z_im);
+
+/// The scalar reference, unconditionally.
+void qgemm_level_scalar(const I16Mat& a_re, const I16Mat& a_im,
+                        const I16Mat& s_ri, I32Mat& z_re, I32Mat& z_im);
+
+/// The AVX2 madd kernel, unconditionally. Throws sd::invalid_argument_error
+/// when !qgemm_int16_available(); use qgemm_level for graceful dispatch.
+void qgemm_level_avx2(const I16Mat& a_re, const I16Mat& a_im,
+                      const I16Mat& s_ri, I32Mat& z_re, I32Mat& z_im);
+
+/// Grouped (block-diagonal) variant — the quantized wide-BFS primitive,
+/// sharing GemmGroup with the float path. a_re/a_im stack per-frame zr x k
+/// blocks side by side (group g's block starts at column g.a_col); group g
+/// covers COMPLEX columns [g.col, g.col + g.cols) of Z, i.e. int16 columns
+/// [2*g.col, ...) of s_ri. Groups must be pairwise disjoint in Z; uncovered
+/// columns are left untouched. Requires k <= kQuantGemmMaxK.
+void qgemm_level_grouped(const I16Mat& a_re, const I16Mat& a_im, index_t k,
+                         const I16Mat& s_ri, I32Mat& z_re, I32Mat& z_im,
+                         std::span<const GemmGroup> groups);
+
+/// Bytes touched by one zr x n x k quantized level product (int16 operands,
+/// int32 outputs) — the cost-model/bandwidth analogue of the float path's
+/// sizeof(cplx) accounting.
+[[nodiscard]] constexpr std::uint64_t qgemm_bytes(index_t zr, index_t n,
+                                                  index_t k) noexcept {
+  return 4ull * static_cast<std::uint64_t>(zr) * static_cast<std::uint64_t>(k) +
+         4ull * static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(n) +
+         8ull * static_cast<std::uint64_t>(zr) * static_cast<std::uint64_t>(n);
+}
+
+namespace detail {
+[[nodiscard]] bool qgemm_avx2_compiled() noexcept;
+[[nodiscard]] bool qgemm_avx2_runtime_ok() noexcept;
+
+/// Raw-pointer block kernel (AVX2 TU): computes one zr x n block given row
+/// strides in ELEMENTS (int16 for a/s, int32 for z). s points at the first
+/// (re, im) pair of the block's first column; n is complex columns.
+void qgemm_block_avx2(const std::int16_t* a_re, const std::int16_t* a_im,
+                      usize a_stride, const std::int16_t* s, usize s_stride,
+                      std::int32_t* z_re, std::int32_t* z_im, usize z_stride,
+                      index_t zr, index_t k, index_t n);
+/// Scalar twin of qgemm_block_avx2 — identical integer arithmetic.
+void qgemm_block_scalar(const std::int16_t* a_re, const std::int16_t* a_im,
+                        usize a_stride, const std::int16_t* s, usize s_stride,
+                        std::int32_t* z_re, std::int32_t* z_im, usize z_stride,
+                        index_t zr, index_t k, index_t n);
+}  // namespace detail
+
+}  // namespace sd::quant

@@ -1,0 +1,126 @@
+// AVX2 int16 split-complex level-GEMM micro-kernel.
+//
+// Layout recap (quant_gemm.hpp): A is int16 SoA planes, S interleaves
+// (re, im) int16 pairs, Z is int32 SoA planes. Per output row i the kernel
+// pre-packs two int32 coefficient arrays over the K depth:
+//
+//   coef_re[t] = pack16(ar,  -ai)   // low half ar, high half -ai
+//   coef_im[t] = pack16(ai,   ar)
+//
+// One 256-bit load of S row t covers 8 complex columns as [re, im] 16-bit
+// pairs; _mm256_madd_epi16 against the broadcast coefficient then yields,
+// per 32-bit lane,
+//
+//   re half: br*ar + bi*(-ai) = Re(a * b)
+//   im half: br*ai + bi*ar    = Im(a * b)
+//
+// i.e. a full complex MAC half per instruction — 2 int16 MACs per 32-bit
+// lane, double the lane width of the float SoA kernel. Integer arithmetic
+// is exact, so this kernel EQUALS the scalar reference bit-for-bit (no
+// determinism caveats about contraction or reduction order). The symmetric
+// quantization range (|q| <= 32767, quant_spec.hpp) makes -ai always
+// representable; the QuantSpec accumulation bound keeps every dot product,
+// and hence every madd pair-sum, inside int32.
+//
+// The TU is compiled with -mavx2 only where the compiler supports it; on
+// other targets it degrades to stubs reporting the kernel unavailable.
+#include "quant/quant_gemm.hpp"
+
+#include "common/error.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace sd::quant::detail {
+
+bool qgemm_avx2_compiled() noexcept {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool qgemm_avx2_runtime_ok() noexcept {
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+#if !defined(__AVX2__)
+
+void qgemm_block_avx2(const std::int16_t*, const std::int16_t*, usize,
+                      const std::int16_t*, usize, std::int32_t*, std::int32_t*,
+                      usize, index_t, index_t, index_t) {
+  SD_CHECK(false, "AVX2 int16 kernel not compiled into this binary");
+}
+
+#else
+
+void qgemm_block_avx2(const std::int16_t* a_re, const std::int16_t* a_im,
+                      usize a_stride, const std::int16_t* s, usize s_stride,
+                      std::int32_t* z_re, std::int32_t* z_im, usize z_stride,
+                      index_t zr, index_t k, index_t n) {
+  SD_CHECK(k <= kQuantGemmMaxK, "quant GEMM K depth exceeds panel");
+  // Stack-resident coefficient panels (<= 1 KiB): allocation-free always.
+  alignas(32) std::int32_t coef_re[kQuantGemmMaxK];
+  alignas(32) std::int32_t coef_im[kQuantGemmMaxK];
+
+  for (index_t i = 0; i < zr; ++i) {
+    const std::int16_t* ar_row = a_re + static_cast<usize>(i) * a_stride;
+    const std::int16_t* ai_row = a_im + static_cast<usize>(i) * a_stride;
+    for (index_t t = 0; t < k; ++t) {
+      const std::uint16_t ar = static_cast<std::uint16_t>(ar_row[t]);
+      const std::uint16_t ai = static_cast<std::uint16_t>(ai_row[t]);
+      const std::uint16_t nai =
+          static_cast<std::uint16_t>(-static_cast<std::int16_t>(ai));
+      coef_re[t] = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(ar) |
+          (static_cast<std::uint32_t>(nai) << 16));
+      coef_im[t] = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(ai) |
+          (static_cast<std::uint32_t>(ar) << 16));
+    }
+    std::int32_t* zr_row = z_re + static_cast<usize>(i) * z_stride;
+    std::int32_t* zi_row = z_im + static_cast<usize>(i) * z_stride;
+    index_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256i acc_re = _mm256_setzero_si256();
+      __m256i acc_im = _mm256_setzero_si256();
+      const std::int16_t* sp = s + 2 * static_cast<usize>(j);
+      for (index_t t = 0; t < k; ++t, sp += s_stride) {
+        const __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sp));
+        acc_re = _mm256_add_epi32(
+            acc_re, _mm256_madd_epi16(b, _mm256_set1_epi32(coef_re[t])));
+        acc_im = _mm256_add_epi32(
+            acc_im, _mm256_madd_epi16(b, _mm256_set1_epi32(coef_im[t])));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(zr_row + j), acc_re);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(zi_row + j), acc_im);
+    }
+    // Column tail: the same integer ops, scalar lanes.
+    for (; j < n; ++j) {
+      std::int32_t acc_re = 0;
+      std::int32_t acc_im = 0;
+      const std::int16_t* sp = s + 2 * static_cast<usize>(j);
+      for (index_t t = 0; t < k; ++t, sp += s_stride) {
+        const std::int32_t ar = ar_row[t];
+        const std::int32_t ai = ai_row[t];
+        const std::int32_t br = sp[0];
+        const std::int32_t bi = sp[1];
+        acc_re += br * ar + bi * -ai;
+        acc_im += br * ai + bi * ar;
+      }
+      zr_row[j] = acc_re;
+      zi_row[j] = acc_im;
+    }
+  }
+}
+
+#endif  // __AVX2__
+
+}  // namespace sd::quant::detail

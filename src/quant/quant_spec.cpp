@@ -1,0 +1,93 @@
+#include "quant/quant_spec.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sd::quant {
+
+namespace detail {
+
+std::atomic<std::uint64_t>& prep_saturation_slot() noexcept {
+  static std::atomic<std::uint64_t> slot{0};
+  return slot;
+}
+
+}  // namespace detail
+
+std::uint64_t prep_saturation_count() noexcept {
+  return detail::prep_saturation_slot().load(std::memory_order_relaxed);
+}
+
+QuantSpec calibrate_quant_spec(const CMat& r, real sym_bound) {
+  SD_CHECK(r.rows() == r.cols(), "quant calibration expects a square R");
+  SD_CHECK(sym_bound > 0, "symbol bound must be positive");
+
+  const index_t m = r.rows();
+  real max_comp = 0;
+  real max_row_sum = 0;
+  for (index_t i = 0; i < m; ++i) {
+    real row_sum = 0;
+    for (index_t j = i; j < m; ++j) {
+      const real re = std::abs(r(i, j).real());
+      const real im = std::abs(r(i, j).imag());
+      max_comp = std::max(max_comp, std::max(re, im));
+      row_sum += re + im;
+    }
+    max_row_sum = std::max(max_row_sum, row_sum);
+  }
+
+  // Storage: the largest component we ever quantize with this scale is a
+  // frame target ybar = R s + n; 8x (3 bits) headroom over max(R, symbol)
+  // components covers it at every operating SNR this repo benchmarks.
+  const double bound_store =
+      std::max(static_cast<double>(max_comp), static_cast<double>(sym_bound)) *
+      8.0;
+  const int f_store = static_cast<int>(
+      std::floor(std::log2(static_cast<double>(kQuantMax) / bound_store)));
+
+  // Accumulation: a level dot product is bounded by row_sum * sym_bound in
+  // real value, i.e. that * 2^(2f) in Q(2f); keep it under 2^30 so the
+  // int32 accumulator has a guard bit (and madd pair-sums never wrap).
+  const double accum_bound = std::max(
+      static_cast<double>(max_row_sum) * static_cast<double>(sym_bound), 1e-6);
+  const int f_accum =
+      static_cast<int>(std::floor((30.0 - std::log2(accum_bound)) / 2.0));
+
+  QuantSpec spec;
+  spec.frac_bits =
+      std::clamp(std::min(f_store, f_accum), kQuantMinFracBits, kQuantMaxFracBits);
+  spec.scale = static_cast<real>(1u << spec.frac_bits);
+  spec.inv_scale = real{1} / spec.scale;
+  spec.inv_scale2 = 1.0 / static_cast<double>(1u << spec.frac_bits) /
+                    static_cast<double>(1u << spec.frac_bits);
+  spec.r_max_comp = max_comp;
+  spec.r_row_sum = max_row_sum;
+  spec.sym_bound = sym_bound;
+  return spec;
+}
+
+void quantize_channel_prep(const CMat& r, QuantChannelPrep& out) {
+  out.spec = calibrate_quant_spec(r);
+  const index_t m = r.rows();
+  out.r_re.reshape(m, m);
+  out.r_im.reshape(m, m);
+  std::uint64_t clamps = 0;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < m; ++j) {
+      if (j < i) {
+        // reshape does not clear: the lower triangle must be written too.
+        out.r_re(i, j) = 0;
+        out.r_im(i, j) = 0;
+      } else {
+        out.r_re(i, j) = quantize_sat(r(i, j).real(), out.spec, clamps);
+        out.r_im(i, j) = quantize_sat(r(i, j).imag(), out.spec, clamps);
+      }
+    }
+  }
+  if (clamps != 0) {
+    detail::prep_saturation_slot().fetch_add(clamps, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sd::quant

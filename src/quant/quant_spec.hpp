@@ -1,0 +1,150 @@
+// Fixed-point calibration for the quantized (int16/int32) decode path.
+//
+// The paper's FPGA datapath is fixed-point end to end; the CPU decoders were
+// float-complex. This module gives every channel a QuantSpec — a per-channel
+// POWER-OF-TWO scale 2^f with int16 storage and int32 accumulation — derived
+// at preprocess time from the triangular factor R and a universal
+// constellation amplitude bound, so the quantized search can:
+//
+//   - store R, the constellation, and the per-frame targets as Q(f) int16
+//     (value v -> round(v * 2^f), saturated to the symmetric range
+//     [-kQuantMax, kQuantMax]; -32768 is never produced, which keeps the
+//     AVX2 kernel's negated-imag trick overflow-free),
+//   - accumulate level products exactly in Q(2f) int32 (the calibration
+//     bounds the worst-case dot product under 2^30, one guard bit), and
+//   - requantize the per-level residual back to Q(f) int16 between BFS
+//     levels (round-half-up shift, saturating) — the narrowing a hardware
+//     datapath performs at every pipeline register.
+//
+// The scale is derived from R alone plus kQuantSymbolBound (a component
+// bound covering every unit-energy square QAM this repo ships), NOT from the
+// live constellation — so a (fingerprint, kind) prep-cache key fully
+// determines the quantized prep. See DESIGN.md §15.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace sd::quant {
+
+using I16Mat = Mat<std::int16_t>;
+using I32Mat = Mat<std::int32_t>;
+
+/// Symmetric int16 range: quantized magnitudes never exceed kQuantMax, so
+/// negation (the kernel's conjugate trick) can never overflow.
+inline constexpr std::int16_t kQuantMax = 32767;
+
+/// Saturation value for int32 partial distances.
+inline constexpr std::int32_t kQuantPdMax = 2147483647;
+
+/// Component (per-axis) amplitude bound for unit-average-energy square QAM.
+/// The worst shipped alphabet (64-QAM) peaks at ~1.08 per axis; 1.5 leaves
+/// headroom for denser alphabets without wasting a full storage bit.
+inline constexpr real kQuantSymbolBound = real{1.5};
+
+inline constexpr int kQuantMinFracBits = 2;
+inline constexpr int kQuantMaxFracBits = 14;
+
+/// Per-channel fixed-point format: one power-of-two scale shared by R, the
+/// constellation, and the frame targets.
+struct QuantSpec {
+  int frac_bits = 0;        ///< f: Q(f) storage, Q(2f) accumulation
+  real scale = 1;           ///< 2^f
+  real inv_scale = 1;       ///< 2^-f
+  double inv_scale2 = 1.0;  ///< 2^-2f, dequantizes Q(2f) products/PDs
+  // Calibration record (what bounded f), kept for tests and introspection.
+  real r_max_comp = 0;   ///< max |Re/Im| over R's upper triangle
+  real r_row_sum = 0;    ///< max over rows of sum(|Re| + |Im|)
+  real sym_bound = 0;    ///< the component bound the calibration assumed
+
+  [[nodiscard]] bool valid() const noexcept { return frac_bits > 0; }
+};
+
+/// Derives the Q(f) format for a triangular factor R:
+///   storage:      max(r_max_comp, sym_bound) * 8 * 2^f <= kQuantMax
+///                 (3 headroom bits cover the frame targets ybar = R s + n,
+///                 which are quantized with the same scale per frame), and
+///   accumulation: r_row_sum * sym_bound * 2^(2f) < 2^30
+///                 (every level dot product, hence every madd partial sum,
+///                 stays an exact int32 with one guard bit).
+/// f is clamped to [kQuantMinFracBits, kQuantMaxFracBits].
+[[nodiscard]] QuantSpec calibrate_quant_spec(const CMat& r,
+                                             real sym_bound = kQuantSymbolBound);
+
+/// Quantizes one real component to Q(f) int16, round-half-away-from-zero,
+/// saturating to +-kQuantMax. `clamps` is incremented when saturation fires.
+[[nodiscard]] inline std::int16_t quantize_sat(real v, const QuantSpec& spec,
+                                               std::uint64_t& clamps) noexcept {
+  const long q = std::lround(static_cast<double>(v) * spec.scale);
+  if (q > kQuantMax) {
+    ++clamps;
+    return kQuantMax;
+  }
+  if (q < -kQuantMax) {
+    ++clamps;
+    return static_cast<std::int16_t>(-kQuantMax);
+  }
+  return static_cast<std::int16_t>(q);
+}
+
+/// Saturating requantize Q(2f) -> Q(f): round-half-up arithmetic shift by
+/// frac_bits, then saturate to the symmetric int16 range. This is the
+/// between-levels narrowing of the quantized BFS.
+[[nodiscard]] inline std::int16_t requantize_sat(std::int32_t v, int frac_bits,
+                                                 std::uint64_t& clamps) noexcept {
+  const std::int32_t half = std::int32_t{1} << (frac_bits - 1);
+  // v + half cannot overflow: |v| <= 2^30 by the accumulation bound.
+  const std::int32_t shifted = (v + half) >> frac_bits;
+  if (shifted > kQuantMax) {
+    ++clamps;
+    return kQuantMax;
+  }
+  if (shifted < -kQuantMax) {
+    ++clamps;
+    return static_cast<std::int16_t>(-kQuantMax);
+  }
+  return static_cast<std::int16_t>(shifted);
+}
+
+/// Saturating int32 partial-distance accumulate. `overflows` counts clamps;
+/// a saturated PD compares as worst-possible and is pruned by any finite
+/// radius.
+[[nodiscard]] inline std::int32_t pd_add_sat(std::int32_t pd, std::int32_t inc,
+                                             std::uint64_t& overflows) noexcept {
+  const std::int64_t sum =
+      static_cast<std::int64_t>(pd) + static_cast<std::int64_t>(inc);
+  if (sum > kQuantPdMax) {
+    ++overflows;
+    return kQuantPdMax;
+  }
+  return static_cast<std::int32_t>(sum);
+}
+
+/// The int16-quantized channel half of a quantized prep: the calibration
+/// plus R quantized into SoA (separate re/im) planes. Cached alongside the
+/// float factorization in PreprocessedChannel for the quant PrepKinds.
+struct QuantChannelPrep {
+  QuantSpec spec;
+  I16Mat r_re;  ///< m x m, Q(frac_bits); lower triangle explicitly zero
+  I16Mat r_im;
+
+  [[nodiscard]] bool valid() const noexcept { return spec.valid(); }
+};
+
+/// Calibrates and quantizes R into `out`, recycling its storage (reshape +
+/// full overwrite: allocation-free once at high-water capacity). Saturation
+/// here is counted process-wide (prep builds are shared across lanes); read
+/// it back with prep_saturation_count().
+void quantize_channel_prep(const CMat& r, QuantChannelPrep& out);
+
+/// Process-wide count of int16 clamps during channel-prep quantization.
+[[nodiscard]] std::uint64_t prep_saturation_count() noexcept;
+
+namespace detail {
+[[nodiscard]] std::atomic<std::uint64_t>& prep_saturation_slot() noexcept;
+}  // namespace detail
+
+}  // namespace sd::quant

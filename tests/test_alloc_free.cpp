@@ -139,6 +139,20 @@ TEST_F(AllocFree, BfsCachedPrepDecodeIsAllocationFreeAfterWarmup) {
   expect_cached_prep_alloc_free(det, "SD-GEMM-BFS/decode_with");
 }
 
+TEST_F(AllocFree, QuantBfsDecodeIsAllocationFreeAfterWarmup) {
+  BfsOptions opts;
+  opts.quantized = true;
+  SdGemmBfsDetector det(Constellation::get(Modulation::kQam16), opts);
+  expect_steady_state_alloc_free(det, "SD-GEMM-BFS-i16");
+}
+
+TEST_F(AllocFree, QuantBfsCachedPrepDecodeIsAllocationFreeAfterWarmup) {
+  BfsOptions opts;
+  opts.quantized = true;
+  SdGemmBfsDetector det(Constellation::get(Modulation::kQam16), opts);
+  expect_cached_prep_alloc_free(det, "SD-GEMM-BFS-i16/decode_with");
+}
+
 TEST_F(AllocFree, ExportedCountersReflectTraffic) {
   obs::CounterRegistry reg;
   obs::export_alloc_counters(reg);

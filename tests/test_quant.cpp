@@ -1,0 +1,302 @@
+// The fixed-point datapath's calibration and kernel contracts (DESIGN.md
+// §15): the QuantSpec bounds that make int32 accumulation exact, the
+// rounding/saturation semantics of the Q(f) <-> Q(2f) conversions, and the
+// AVX2-vs-scalar EXACT equality of the int16 level GEMM (integer arithmetic
+// has no rounding, so kernel dispatch can never change decode bits).
+#include "quant/quant_gemm.hpp"
+#include "quant/quant_spec.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace sd::quant {
+namespace {
+
+/// Random upper-triangular R with entries scaled by `amp`, deterministic.
+CMat random_r(index_t m, real amp, std::uint64_t seed) {
+  GaussianSource g(seed);
+  CMat r(m, m);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < m; ++j) {
+      r(i, j) = j >= i ? amp * g.next_cplx(1.0) : cplx{0, 0};
+    }
+  }
+  // A dominant diagonal like a real QR factor's.
+  for (index_t i = 0; i < m; ++i) r(i, i) += cplx{2 * amp, 0};
+  return r;
+}
+
+void random_i16(I16Mat& m, index_t r, index_t c, int bound,
+                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  m.reshape(r, c);
+  for (std::int16_t& v : m.flat()) {
+    const auto span = static_cast<std::uint64_t>(2 * bound + 1);
+    v = static_cast<std::int16_t>(static_cast<long>(rng() % span) - bound);
+  }
+}
+
+TEST(QuantSpec, CalibrationRespectsStorageAndAccumulationBounds) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const CMat r = random_r(10, real{0.9}, seed);
+    const QuantSpec spec = calibrate_quant_spec(r);
+    ASSERT_TRUE(spec.valid());
+    EXPECT_GE(spec.frac_bits, kQuantMinFracBits);
+    EXPECT_LE(spec.frac_bits, kQuantMaxFracBits);
+    EXPECT_EQ(spec.scale, static_cast<real>(1u << spec.frac_bits));
+    EXPECT_DOUBLE_EQ(spec.inv_scale2,
+                     1.0 / (static_cast<double>(spec.scale) *
+                            static_cast<double>(spec.scale)));
+    // Storage: the worst stored magnitude (with the 3 target headroom bits)
+    // still fits int16 without clamping.
+    const double bound =
+        std::max(static_cast<double>(spec.r_max_comp),
+                 static_cast<double>(spec.sym_bound)) *
+        8.0;
+    EXPECT_LE(std::lround(bound * spec.scale), kQuantMax);
+    // Accumulation: the worst level dot product stays under 2^30, so every
+    // int32 partial sum is exact with a guard bit to spare.
+    const double acc = static_cast<double>(spec.r_row_sum) *
+                       static_cast<double>(spec.sym_bound) *
+                       static_cast<double>(spec.scale) *
+                       static_cast<double>(spec.scale);
+    EXPECT_LT(acc, std::ldexp(1.0, 30));
+  }
+}
+
+TEST(QuantSpec, LargerChannelsGetSmallerScales) {
+  const CMat small = random_r(10, real{0.5}, 9);
+  const CMat large = random_r(10, real{8.0}, 9);
+  const int f_small = calibrate_quant_spec(small).frac_bits;
+  const int f_large = calibrate_quant_spec(large).frac_bits;
+  EXPECT_LE(f_large, f_small);
+}
+
+TEST(QuantSpec, QuantizeSatRoundsHalfAwayFromZeroAndClamps) {
+  QuantSpec spec;
+  spec.frac_bits = 4;
+  spec.scale = 16;
+  std::uint64_t clamps = 0;
+  EXPECT_EQ(quantize_sat(real{1.0}, spec, clamps), 16);
+  EXPECT_EQ(quantize_sat(real{0.03125}, spec, clamps), 1);   // 0.5 -> away
+  EXPECT_EQ(quantize_sat(real{-0.03125}, spec, clamps), -1); // -0.5 -> away
+  EXPECT_EQ(clamps, 0u);
+  EXPECT_EQ(quantize_sat(real{1e6}, spec, clamps), kQuantMax);
+  EXPECT_EQ(clamps, 1u);
+  EXPECT_EQ(quantize_sat(real{-1e6}, spec, clamps), -kQuantMax);
+  EXPECT_EQ(clamps, 2u);
+}
+
+TEST(QuantSpec, RequantizeRoundsHalfUpAndSaturates) {
+  std::uint64_t clamps = 0;
+  // f = 4: half = 8. 24 -> 2, 23 -> 1 (half rounds toward +inf), -8 -> 0.
+  EXPECT_EQ(requantize_sat(24, 4, clamps), 2);
+  EXPECT_EQ(requantize_sat(23, 4, clamps), 1);
+  EXPECT_EQ(requantize_sat(-8, 4, clamps), 0);
+  EXPECT_EQ(requantize_sat(-9, 4, clamps), -1);
+  EXPECT_EQ(clamps, 0u);
+  EXPECT_EQ(requantize_sat(std::int32_t{1} << 30, 4, clamps), kQuantMax);
+  EXPECT_EQ(clamps, 1u);
+  EXPECT_EQ(requantize_sat(-(std::int32_t{1} << 30), 4, clamps), -kQuantMax);
+  EXPECT_EQ(clamps, 2u);
+}
+
+TEST(QuantSpec, PdAddSaturatesInsteadOfWrapping) {
+  std::uint64_t overflows = 0;
+  EXPECT_EQ(pd_add_sat(5, 7, overflows), 12);
+  EXPECT_EQ(overflows, 0u);
+  EXPECT_EQ(pd_add_sat(kQuantPdMax - 1, 2, overflows), kQuantPdMax);
+  EXPECT_EQ(overflows, 1u);
+  EXPECT_EQ(pd_add_sat(kQuantPdMax, kQuantPdMax, overflows), kQuantPdMax);
+  EXPECT_EQ(overflows, 2u);
+}
+
+TEST(QuantPrep, QuantizeChannelPrepMatchesElementwiseQuantization) {
+  const CMat r = random_r(8, real{0.8}, 21);
+  QuantChannelPrep prep;
+  quantize_channel_prep(r, prep);
+  ASSERT_TRUE(prep.valid());
+  ASSERT_EQ(prep.r_re.rows(), 8);
+  ASSERT_EQ(prep.r_re.cols(), 8);
+  std::uint64_t clamps = 0;
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = 0; j < 8; ++j) {
+      if (j < i) {
+        EXPECT_EQ(prep.r_re(i, j), 0) << i << "," << j;
+        EXPECT_EQ(prep.r_im(i, j), 0) << i << "," << j;
+      } else {
+        EXPECT_EQ(prep.r_re(i, j),
+                  quantize_sat(r(i, j).real(), prep.spec, clamps));
+        EXPECT_EQ(prep.r_im(i, j),
+                  quantize_sat(r(i, j).imag(), prep.spec, clamps));
+      }
+    }
+  }
+  EXPECT_EQ(clamps, 0u) << "calibration must leave storage headroom";
+}
+
+/// Worst-case saturation drill: a max-amplitude alphabet against an R at the
+/// storage ceiling. The calibration must still produce clamp-free storage
+/// and an exactly-representable (int64 == int32) worst-case dot product.
+TEST(QuantKernel, WorstCaseAmplitudesStayExact) {
+  const index_t m = 10;
+  CMat r(m, m);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < m; ++j) {
+      r(i, j) = j >= i ? cplx{4, -4} : cplx{0, 0};  // harsh, uniform R
+    }
+  }
+  QuantChannelPrep prep;
+  quantize_channel_prep(r, prep);
+  ASSERT_TRUE(prep.valid());
+  std::uint64_t clamps = 0;
+  const std::int16_t qsym =
+      quantize_sat(kQuantSymbolBound, prep.spec, clamps);
+  ASSERT_EQ(clamps, 0u);
+
+  // Every symbol at the +-bound corner, worst alignment of signs.
+  I16Mat s_ri;
+  s_ri.reshape(m, 2);
+  for (index_t t = 0; t < m; ++t) {
+    s_ri(t, 0) = qsym;
+    s_ri(t, 1) = static_cast<std::int16_t>(-qsym);
+  }
+  I32Mat z_re, z_im;
+  qgemm_level_scalar(prep.r_re, prep.r_im, s_ri, z_re, z_im);
+
+  std::int64_t ref_re = 0, ref_im = 0;
+  for (index_t t = 0; t < m; ++t) {
+    const std::int64_t ar = prep.r_re(0, t), ai = prep.r_im(0, t);
+    const std::int64_t br = s_ri(t, 0), bi = s_ri(t, 1);
+    ref_re += br * ar + bi * -ai;
+    ref_im += br * ai + bi * ar;
+  }
+  // int64 == int32 proves the accumulation never wrapped.
+  EXPECT_EQ(ref_re, static_cast<std::int64_t>(z_re(0, 0)));
+  EXPECT_EQ(ref_im, static_cast<std::int64_t>(z_im(0, 0)));
+  EXPECT_LT(std::abs(ref_re), std::int64_t{1} << 31);
+  EXPECT_LT(std::abs(ref_im), std::int64_t{1} << 31);
+}
+
+TEST(QuantKernel, ScalarMatchesInt64Reference) {
+  const index_t zr = 3, k = 7, n = 13;
+  I16Mat a_re, a_im, s_ri;
+  random_i16(a_re, zr, k, 2500, 101);
+  random_i16(a_im, zr, k, 2500, 102);
+  random_i16(s_ri, k, 2 * n, 3000, 103);
+  I32Mat z_re, z_im;
+  qgemm_level_scalar(a_re, a_im, s_ri, z_re, z_im);
+  for (index_t i = 0; i < zr; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      std::int64_t rr = 0, ri = 0;
+      for (index_t t = 0; t < k; ++t) {
+        const std::int64_t ar = a_re(i, t), ai = a_im(i, t);
+        const std::int64_t br = s_ri(t, 2 * j), bi = s_ri(t, 2 * j + 1);
+        rr += br * ar - bi * ai;
+        ri += br * ai + bi * ar;
+      }
+      ASSERT_EQ(rr, static_cast<std::int64_t>(z_re(i, j))) << i << "," << j;
+      ASSERT_EQ(ri, static_cast<std::int64_t>(z_im(i, j))) << i << "," << j;
+    }
+  }
+}
+
+TEST(QuantKernel, Avx2MatchesScalarExactly) {
+  if (!qgemm_int16_available()) {
+    GTEST_SKIP() << "AVX2 int16 kernel unavailable on this host";
+  }
+  struct Shape {
+    index_t zr, k, n;
+  };
+  // Tail coverage: n % 8 in every class, k from 1 to the panel max, multi-row.
+  const Shape shapes[] = {{1, 10, 4096}, {1, 1, 7},   {1, 20, 15},
+                          {2, 5, 8},     {4, 9, 129}, {1, kQuantGemmMaxK, 33},
+                          {3, 3, 1}};
+  for (const Shape& sh : shapes) {
+    I16Mat a_re, a_im, s_ri;
+    const auto seed = static_cast<std::uint64_t>(500 + sh.zr + sh.k + sh.n);
+    random_i16(a_re, sh.zr, sh.k, 2800, seed);
+    random_i16(a_im, sh.zr, sh.k, 2800, seed + 1);
+    random_i16(s_ri, sh.k, 2 * sh.n, 3200, seed + 2);
+    I32Mat zs_re, zs_im, zv_re, zv_im;
+    qgemm_level_scalar(a_re, a_im, s_ri, zs_re, zs_im);
+    qgemm_level_avx2(a_re, a_im, s_ri, zv_re, zv_im);
+    for (index_t i = 0; i < sh.zr; ++i) {
+      for (index_t j = 0; j < sh.n; ++j) {
+        ASSERT_EQ(zs_re(i, j), zv_re(i, j))
+            << sh.zr << "x" << sh.n << "x" << sh.k << " at " << i << "," << j;
+        ASSERT_EQ(zs_im(i, j), zv_im(i, j))
+            << sh.zr << "x" << sh.n << "x" << sh.k << " at " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(QuantKernel, GroupedMatchesPerGroupSolo) {
+  const index_t k = 6;
+  // Three frames with distinct A blocks and column widths (complex columns).
+  const index_t widths[] = {5, 8, 3};
+  const index_t nblocks = 3;
+  index_t total = 0;
+  for (index_t w : widths) total += w;
+
+  I16Mat a_re, a_im, s_ri;
+  random_i16(a_re, 1, nblocks * k, 2000, 301);
+  random_i16(a_im, 1, nblocks * k, 2000, 302);
+  random_i16(s_ri, k, 2 * total, 2500, 303);
+
+  std::vector<GemmGroup> groups;
+  index_t col = 0;
+  for (index_t b = 0; b < nblocks; ++b) {
+    groups.push_back({b * k, col, widths[b]});
+    col += widths[b];
+  }
+
+  I32Mat zg_re, zg_im;
+  zg_re.reshape(1, total);
+  zg_im.reshape(1, total);
+  qgemm_level_grouped(a_re, a_im, k, s_ri, zg_re, zg_im, groups);
+
+  // Reference: run each group's block through the solo kernel.
+  for (usize g = 0; g < groups.size(); ++g) {
+    I16Mat ga_re, ga_im, gs_ri;
+    ga_re.reshape(1, k);
+    ga_im.reshape(1, k);
+    gs_ri.reshape(k, 2 * groups[g].cols);
+    for (index_t t = 0; t < k; ++t) {
+      ga_re(0, t) = a_re(0, groups[g].a_col + t);
+      ga_im(0, t) = a_im(0, groups[g].a_col + t);
+      for (index_t j = 0; j < 2 * groups[g].cols; ++j) {
+        gs_ri(t, j) = s_ri(t, 2 * groups[g].col + j);
+      }
+    }
+    I32Mat gz_re, gz_im;
+    qgemm_level(ga_re, ga_im, gs_ri, gz_re, gz_im);
+    for (index_t j = 0; j < groups[g].cols; ++j) {
+      ASSERT_EQ(gz_re(0, j), zg_re(0, groups[g].col + j)) << g << "," << j;
+      ASSERT_EQ(gz_im(0, j), zg_im(0, groups[g].col + j)) << g << "," << j;
+    }
+  }
+}
+
+TEST(QuantKernel, ShapeMismatchesThrow) {
+  I16Mat a_re, a_im, s_ri;
+  random_i16(a_re, 1, 4, 100, 401);
+  random_i16(a_im, 1, 4, 100, 402);
+  random_i16(s_ri, 5, 6, 100, 403);  // k mismatch (5 != 4)
+  I32Mat z_re, z_im;
+  EXPECT_THROW(qgemm_level(a_re, a_im, s_ri, z_re, z_im),
+               invalid_argument_error);
+  random_i16(s_ri, 4, 7, 100, 404);  // odd int16 column count
+  EXPECT_THROW(qgemm_level(a_re, a_im, s_ri, z_re, z_im),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace sd::quant

@@ -65,6 +65,44 @@ TEST(SpecParse, Options) {
   EXPECT_EQ(alpha.sd.radius_policy, RadiusPolicy::kNoiseScaled);
 }
 
+TEST(SpecParse, QuantPrecisionOption) {
+  EXPECT_FALSE(parse_decoder_spec("bfs").bfs.quantized);
+  EXPECT_TRUE(parse_decoder_spec("bfs:precision=int16").bfs.quantized);
+  EXPECT_FALSE(parse_decoder_spec("bfs:precision=fp32").bfs.quantized);
+  EXPECT_FALSE(parse_decoder_spec("bfs:precision=float").bfs.quantized);
+  const DecoderSpec combo =
+      parse_decoder_spec("bfs:precision=int16,frontier=512");
+  EXPECT_TRUE(combo.bfs.quantized);
+  EXPECT_EQ(combo.bfs.max_frontier, 512u);
+  // precision is a bfs-only option in the spec grammar...
+  EXPECT_THROW((void)parse_decoder_spec("sphere:precision=int16"),
+               invalid_argument_error);
+  EXPECT_THROW((void)parse_decoder_spec("bfs:precision=int8"),
+               invalid_argument_error);
+}
+
+TEST(SpecParse, QuantApplyPrecisionHelper) {
+  // ...and apply_precision is the --precision flag's path to the same state.
+  DecoderSpec bfs = parse_decoder_spec("bfs");
+  apply_precision(bfs, "int16");
+  EXPECT_TRUE(bfs.bfs.quantized);
+  EXPECT_EQ(decoder_precision_name(bfs), "int16");
+  apply_precision(bfs, "fp32");
+  EXPECT_FALSE(bfs.bfs.quantized);
+  EXPECT_EQ(decoder_precision_name(bfs), "fp32");
+
+  DecoderSpec sphere = parse_decoder_spec("sphere");
+  EXPECT_THROW(apply_precision(sphere, "int16"), invalid_argument_error);
+  EXPECT_THROW(apply_precision(sphere, "bf16"), invalid_argument_error);
+  apply_precision(sphere, "fp32");  // always a valid no-op
+  EXPECT_EQ(decoder_precision_name(sphere), "fp32");
+
+  const SystemConfig sys{4, 4, Modulation::kQam4};
+  auto det = make_detector(sys, parse_decoder_spec("bfs:precision=int16"));
+  ASSERT_NE(det, nullptr);
+  EXPECT_EQ(det->name(), "SD-GEMM-BFS-i16");
+}
+
 TEST(SpecParse, CombinedDeviceAndOptions) {
   const DecoderSpec spec =
       parse_decoder_spec("sphere@fpga:sorted,max-nodes=100,fp16");

@@ -48,10 +48,28 @@ before-miss gate applies: at 2x calibrated capacity the no-admission
 baseline must actually miss hard deadlines, and admission control must
 achieve a strictly lower hard-deadline miss rate.
 
+The quant_kernels artifact (name == "quant_kernels") is checked for a
+"kernels" series whose rows carry "kernel", "m", "n", "k" and "seconds",
+and — when config.gate_speedup is true (AVX2 int16 and float SoA kernels
+both available) — gated on the int16 AVX2 kernel beating the float SoA
+kernel by >= 1.5x at the largest shape (by m*n*k volume). The int16 path
+stores operands at half the width and fuses each complex MAC pair into one
+madd, so losing this margin means the fixed-point kernel regressed.
+
+The ablation_precision artifact (name == "ablation_precision") is checked
+for an "int16_ber" series whose rows carry "snr_db", "ber_fp32",
+"ber_int16" and "bits". When config.gate_ber is true the quantized-accuracy
+gate applies: at every measured SNR above the first, the int16 BER must be
+no worse than the float curve evaluated 0.2 dB back (log-linear
+interpolation between neighbouring SNR points), within a 2-error
+statistical allowance — the ISSUE acceptance criterion that quantization
+costs < 0.2 dB across the Fig. 7 operating points.
+
 Exit status is 0 iff every file validates. Stdlib only — no dependencies.
 """
 
 import json
+import math
 import os
 import sys
 
@@ -190,6 +208,10 @@ def validate_file(problems, path):
         check_coherent_batch(problems, path, doc)
     if name == "ingress":
         check_ingress(problems, path, doc)
+    if name == "quant_kernels":
+        check_quant_kernels(problems, path, doc)
+    if name == "ablation_precision":
+        check_ablation_precision(problems, path, doc)
 
 
 def check_dispatch(problems, path, doc):
@@ -455,6 +477,137 @@ def check_ingress(problems, path, doc):
             f"ingress: admission control did not reduce the hard-deadline "
             f"miss rate ({shed['hard_deadline_miss_rate']:.2%} with shed vs "
             f"{none['hard_deadline_miss_rate']:.2%} without)")
+
+
+def check_quant_kernels(problems, path, doc):
+    """Extra shape + perf-gate requirements for BENCH_quant_kernels.json."""
+    series = doc.get("series")
+    kernels = None
+    if isinstance(series, list):
+        for entry in series:
+            if isinstance(entry, dict) and entry.get("label") == "kernels":
+                kernels = entry
+    if kernels is None:
+        problems.report(path, "quant_kernels: missing 'kernels' series")
+        return
+
+    rows = kernels.get("rows")
+    rows = rows if isinstance(rows, list) else []
+    by_shape = {}  # (m, n, k) -> {kernel: seconds}
+    for j, row in enumerate(rows):
+        if not isinstance(row, dict):
+            continue
+        missing = [c for c in ("kernel", "m", "n", "k", "seconds")
+                   if c not in row]
+        if missing:
+            problems.report(
+                path, f"quant_kernels: kernels.rows[{j}] missing {missing}")
+            continue
+        shape = (row["m"], row["n"], row["k"])
+        by_shape.setdefault(shape, {})[row["kernel"]] = row["seconds"]
+
+    config = doc.get("config")
+    config = config if isinstance(config, dict) else {}
+    if not config.get("gate_speedup"):
+        return  # AVX2 int16 or float SoA kernel unavailable: nothing to gate
+
+    # Perf gate: at the largest row-0 level shape the int16 AVX2 kernel must
+    # beat the float SoA kernel by >= 1.5x. Half-width operands plus one madd
+    # per complex MAC pair make this the expected margin; losing it means the
+    # fixed-point kernel (or its packing layout) regressed.
+    paired = [(m * n * k, (m, n, k), secs)
+              for (m, n, k), secs in by_shape.items()
+              if "int16-avx2" in secs and "fp32-soa" in secs]
+    if not paired:
+        problems.report(
+            path, "quant_kernels: gate_speedup set but no int16-avx2/fp32-soa "
+            "row pairs")
+        return
+    _, shape, secs = max(paired)
+    if secs["int16-avx2"] <= 0:
+        problems.report(
+            path, f"quant_kernels: non-positive int16-avx2 time at {shape}")
+        return
+    speedup = secs["fp32-soa"] / secs["int16-avx2"]
+    if speedup < 1.5:
+        problems.report(
+            path,
+            f"quant_kernels: int16 AVX2 speedup {speedup:.2f}x < 1.5x over "
+            f"fp32 SoA at shape {shape} ({secs['int16-avx2']:.3e}s vs "
+            f"{secs['fp32-soa']:.3e}s)")
+
+
+def check_ablation_precision(problems, path, doc):
+    """Extra shape + BER-gate requirements for BENCH_ablation_precision.json."""
+    series = doc.get("series")
+    ber = None
+    if isinstance(series, list):
+        for entry in series:
+            if isinstance(entry, dict) and entry.get("label") == "int16_ber":
+                ber = entry
+    if ber is None:
+        problems.report(path, "ablation_precision: missing 'int16_ber' series")
+        return
+
+    points = []
+    for j, row in enumerate(ber.get("rows") or []):
+        if not isinstance(row, dict):
+            continue
+        missing = [c for c in ("snr_db", "ber_fp32", "ber_int16", "bits")
+                   if c not in row]
+        if missing:
+            problems.report(
+                path, f"ablation_precision: int16_ber.rows[{j}] missing "
+                f"{missing}")
+            continue
+        points.append(row)
+    points.sort(key=lambda r: r["snr_db"])
+    if len(points) < 2:
+        problems.report(
+            path, "ablation_precision: int16_ber needs >= 2 SNR points")
+        return
+
+    config = doc.get("config")
+    config = config if isinstance(config, dict) else {}
+    if not config.get("gate_ber"):
+        return  # smoke run: too few trials for a meaningful BER comparison
+
+    # Accuracy gate: quantization must cost < 0.2 dB. Operationally: at each
+    # SNR s (above the first), the int16 BER may be at most the float curve's
+    # BER at s - 0.2 dB — i.e. the int16 curve is the float curve shifted
+    # right by no more than 0.2 dB. The float curve between grid points is
+    # interpolated log-linearly (BER curves are ~exponential in SNR), and a
+    # 2-error statistical allowance absorbs binomial noise at high SNR where
+    # the measured error counts are small.
+    def fp32_at(snr):
+        lo = hi = None
+        for p in points:
+            if p["snr_db"] <= snr:
+                lo = p
+            if p["snr_db"] >= snr and hi is None:
+                hi = p
+        if lo is None or hi is None:
+            return None
+        if lo is hi or hi["snr_db"] == lo["snr_db"]:
+            return lo["ber_fp32"]
+        t = (snr - lo["snr_db"]) / (hi["snr_db"] - lo["snr_db"])
+        floor_ber = 0.5 / max(lo["bits"], 1)  # half an error: log-safe zero
+        a = max(lo["ber_fp32"], floor_ber)
+        b = max(hi["ber_fp32"], floor_ber)
+        return math.exp((1 - t) * math.log(a) + t * math.log(b))
+
+    for p in points[1:]:
+        budget = fp32_at(p["snr_db"] - 0.2)
+        if budget is None:
+            continue
+        allowance = 2.0 / max(p["bits"], 1)
+        if p["ber_int16"] > budget + allowance:
+            problems.report(
+                path,
+                f"ablation_precision: int16 BER {p['ber_int16']:.3e} at "
+                f"{p['snr_db']:g} dB exceeds the float curve 0.2 dB back "
+                f"({budget:.3e} + {allowance:.3e} allowance) — quantization "
+                f"is costing >= 0.2 dB")
 
 
 def main(argv):
