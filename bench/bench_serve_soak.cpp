@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   const double snr = cli.get_double_or("snr", 8.0);
   const usize frames = bench::trials_or(200);
   const auto coherence = static_cast<usize>(cli.get_int_or("coherence", 1));
+  // --cells=C interleaves C independent cells round-robin (different
+  // channels on consecutive arrivals), feeding the cross-lane former.
+  const auto cells = static_cast<usize>(cli.get_int_or("cells", 1));
   const SystemConfig sys{m, m, mod};
 
   bench::open_report("serve_soak");
@@ -112,6 +115,7 @@ int main(int argc, char** argv) {
       lo.snr_db = snr;
       lo.seed = 7;
       lo.coherence = coherence;
+      lo.cells = cells;
       LoadGenerator gen(sys, primary, so, lo);
       const LoadReport rep = gen.run();
       const ServerMetrics& mx = rep.metrics;
@@ -169,6 +173,7 @@ int main(int argc, char** argv) {
       lo.snr_db = snr;
       lo.seed = 7;
       lo.coherence = coherence;
+      lo.cells = cells;
       LoadGenerator gen(sys, spec, so, lo);
       const LoadReport rep = gen.run();
       const ServerMetrics& mx = rep.metrics;

@@ -6,7 +6,7 @@
 //
 //   ./uplink_server [--backend=sphere] [--precision=int16|fp32]
 //                   [--m=10] [--mod=4qam] [--snr=8]
-//                   [--frames=200] [--seed=1] [--coherence=1]
+//                   [--frames=200] [--seed=1] [--coherence=1] [--cells=1]
 //                   [--mode=closed|open] [--window=8] [--rate=500]
 //                   [--server=workers=4,batch=4,queue=64,policy=block,deadline-ms=10]
 //                   [--backends=cpu:4,fpga:2] [--placement=cost-aware]
@@ -27,7 +27,8 @@
 //   metrics/trace files are still written. A second signal force-exits.
 //
 // The --server= option list accepts: workers=N, batch=N, queue=N,
-// policy=block|reject|drop-oldest, deadline-ms=X, no-fallback, and the
+// policy=block|reject|drop-oldest, deadline-ms=X, no-fallback, the wide
+// former keys (wide-width=N, no-cross-lane-fuse), and the
 // dispatch keys (placement=, fpga-rtt-ms=, no-degrade, deterministic-cost).
 // --backends switches on the heterogeneous pool ("cpu:4,fpga:2:rtt-ms=1",
 // see DESIGN.md §8); the pool spec is comma-separated so it gets its own
@@ -298,6 +299,10 @@ int main(int argc, char** argv) {
   // which share one ChannelHandle. Feeds the backend prep cache and the
   // fused multi-frame decode path. Default 1 = i.i.d. channels.
   lo.coherence = static_cast<usize>(cli.get_int_or("coherence", 1));
+  // --cells=C: C independent cells multiplexed round-robin, so consecutive
+  // arrivals carry different channels — the interleaved shape the cross-lane
+  // wide-batch former (--server=wide-width=N / no-cross-lane-fuse) fuses.
+  lo.cells = static_cast<usize>(cli.get_int_or("cells", 1));
   // A SIGINT/SIGTERM stops submissions; in-flight frames still drain and
   // the metrics/trace outputs below are still written.
   lo.stop = &g_stop;

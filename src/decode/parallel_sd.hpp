@@ -9,6 +9,8 @@
 // best-first (sorted by their root PD), which front-loads radius shrinkage.
 #pragma once
 
+#include <utility>
+
 #include "decode/decode_scratch.hpp"
 #include "decode/detector.hpp"
 #include "decode/sphere_common.hpp"
@@ -46,6 +48,21 @@ class ParallelSdDetector final : public Detector {
   void decode_with(const PreprocessedChannel& prep, std::span<const cplx> y,
                    double sigma2, DecodeResult& out) override;
 
+  /// Fused same-channel batch: forwarded through decode_wide with every item
+  /// sharing one prep, so batches and cross-channel runs take one code path.
+  void decode_batch_with(const PreprocessedChannel& prep,
+                         std::span<BatchItem> items) override;
+
+  /// Cross-channel wide decode (DESIGN.md §16): every frame's sub-tree
+  /// partition is flattened into ONE work-unit list, interleaved round-robin
+  /// across frames in each frame's best-first rank order, and assigned
+  /// STATICALLY to workers (unit j -> worker j mod W). Each frame keeps its
+  /// own shared radius (lock-free monotone CAS-min, publication-only), and
+  /// per-(worker, frame) local bests are reduced after the join in worker
+  /// order — a deterministic reduction, so the detected indices and metric
+  /// are bit-identical to sequential decode_with() for any worker count.
+  void decode_wide(std::span<WideItem> items) override;
+
   /// Search on a preprocessed system (stats accumulate across workers).
   void search(const Preprocessed& pre, double sigma2, DecodeResult& result);
 
@@ -62,6 +79,28 @@ class ParallelSdDetector final : public Detector {
     std::vector<Level> levels;
   };
 
+  /// Per-frame state for decode_wide: the preprocessed system plus this
+  /// frame's flat sub-tree partition. Slots persist across calls so the
+  /// partition buffers are recycled.
+  struct WideSlot {
+    Preprocessed pre;
+    std::vector<index_t> prefix_flat;
+    std::vector<real> prefix_pd;
+    std::vector<usize> order;
+    usize count = 0;
+    index_t split = 0;
+    double sigma2 = 0.0;
+    DecodeResult* out = nullptr;
+  };
+
+  /// Shared partition phase: enumerates the |Omega|^split prefixes of `pre`
+  /// into `flat` (count x split, row-major) with PDs in `pd` and the
+  /// best-first sort permutation in `order`. Returns the sub-tree count and
+  /// accumulates partition-phase node counters into `stats`.
+  usize partition_prefixes(const Preprocessed& pre, index_t split,
+                           std::vector<index_t>& flat, std::vector<real>& pd,
+                           std::vector<usize>& order, DecodeStats& stats);
+
   const Constellation* c_;
   ParallelSdOptions opts_;
   DecodeScratch scratch_;  ///< preprocessing + best_path/layered reuse
@@ -76,6 +115,12 @@ class ParallelSdDetector final : public Detector {
   std::vector<usize> subtree_order_;
 
   std::vector<PeScratch> workers_;
+
+  // decode_wide state: per-frame slots, the interleaved (frame, rank) work
+  // units, and the BatchItem -> WideItem adapter for decode_batch_with.
+  std::vector<WideSlot> wide_slots_;
+  std::vector<std::pair<usize, usize>> wide_units_;
+  std::vector<WideItem> batch_wide_;
 };
 
 }  // namespace sd

@@ -52,9 +52,15 @@ Backend::Backend(SystemConfig system, BackendConfig config)
   SD_CHECK(cfg_.lane_queue_capacity >= 1, "lane queue capacity must be positive");
   SD_CHECK(cfg_.batch_size >= 1, "batch size must be positive");
   SD_CHECK(cfg_.rtt_s >= 0.0, "backend RTT must be non-negative");
+  SD_CHECK(cfg_.max_wide_width >= 1, "max wide width must be positive");
   // Fail fast on an unbuildable spec in the constructing thread instead of
-  // from inside a lane: build (and discard) one detector eagerly.
-  (void)make_lane_detector();
+  // from inside a lane: build (and discard) one detector eagerly. The probe
+  // also tells us whether the primary has a cacheable prep phase — without
+  // one there is nothing to fuse, so the cross-lane former stays off.
+  const PrepKind probe_kind = make_lane_detector()->prep_kind();
+  former_enabled_ = cfg_.cross_lane_former && cfg_.fuse_cross_channel &&
+                    !cfg_.pace_to_charged && cfg_.lanes > 1 &&
+                    probe_kind != PrepKind::kNone;
   // Which overload-ladder rungs this substrate can serve. A linear primary
   // has nothing cheaper to degrade to; fixed-complexity searches skip the
   // K-Best rung (they already are one).
@@ -158,14 +164,70 @@ Backend::Snapshot Backend::snapshot() const {
 bool Backend::next_batch(unsigned lane, std::vector<PlacedFrame>& out) {
   out.clear();
   bool stole = false;
+  usize gathered = 0;      // cross-lane claims (rebound + sink-notified)
+  usize own_extended = 0;  // own-queue frames widened past batch_size
+  bool former_eligible = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    ++hungry_;
     for (;;) {
       std::deque<PlacedFrame>& own = queues_[lane];
       if (!own.empty()) {
         while (!own.empty() && out.size() < cfg_.batch_size) {
           out.push_back(std::move(own.front()));
           own.pop_front();
+        }
+        // --- Wide-batch former (DESIGN.md §16): extend this pop with
+        // compatible frames claimed from the backend's OTHER queues — the
+        // lane's own queue beyond batch_size, and its siblings' — so fused
+        // width tracks the backend's total ready work instead of one lane's
+        // batch cap. The claim is the pop itself: removal under mu_, the
+        // same lock work stealing takes, so a gathered frame can never also
+        // be stolen or decoded twice. Width is capped at a fair share of the
+        // ready work divided across the lanes currently asking for work AND
+        // the lanes whose queues are empty (they will steal or go hungry
+        // next) — one returning lane must not drain the backend into a
+        // single serialized run — and gathering walks the queues round-robin
+        // (own first),
+        // taking queue FRONTS only (oldest first, same age discipline as
+        // stealing) while they match the tier of the run being extended.
+        // Own-queue extensions are NOT cross-lane claims: no sink
+        // notification, no rebinding, no former_gathered tick — the frame
+        // was this lane's already; it just rides a wider run. Without them,
+        // refill bursts leave per-lane remainders beyond batch_size that
+        // only drain as width-1 stragglers, collapsing the width p50 at
+        // saturation (the bench_coherent_batch cross_lane gate pins this).
+        if (former_enabled_) {
+          former_eligible = true;
+          usize ready = out.size() + own.size();
+          unsigned starving = 0;  // empty sibling queues: imminent stealers
+          for (unsigned l = 0; l < cfg_.lanes; ++l) {
+            if (l == lane) continue;
+            ready += queues_[l].size();
+            if (queues_[l].empty()) ++starving;
+          }
+          const unsigned claimants = hungry_ + starving;  // hungry_ >= 1: us
+          const usize fair = (ready + claimants - 1) / claimants;
+          const usize target =
+              std::min(cfg_.max_wide_width, std::max(out.size(), fair));
+          const serve::DecodeTier tier = out.back().tier;
+          bool progress = true;
+          while (out.size() < target && progress) {
+            progress = false;
+            for (unsigned off = 0;
+                 off < cfg_.lanes && out.size() < target; ++off) {
+              std::deque<PlacedFrame>& q = queues_[(lane + off) % cfg_.lanes];
+              if (q.empty() || q.front().tier != tier) continue;
+              out.push_back(std::move(q.front()));
+              q.pop_front();
+              if (off != 0) {
+                ++gathered;
+              } else {
+                ++own_extended;
+              }
+              progress = true;
+            }
+          }
         }
         break;
       }
@@ -188,9 +250,13 @@ bool Backend::next_batch(unsigned lane, std::vector<PlacedFrame>& out) {
           break;
         }
       }
-      if (closed_) return false;
+      if (closed_) {
+        --hungry_;
+        return false;
+      }
       not_empty_.wait(lock);
     }
+    --hungry_;
   }
   not_full_.notify_all();
   if (stole) {
@@ -205,6 +271,29 @@ bool Backend::next_batch(unsigned lane, std::vector<PlacedFrame>& out) {
     pf.global_worker = pf.global_worker - pf.lane + lane;
     pf.lane = lane;
     pf.stolen = true;
+  }
+  if (former_eligible) {
+    std::lock_guard<std::mutex> lock(acct_mu_);
+    if (gathered + own_extended > 0) {
+      ++acct_.former_runs;
+      acct_.former_gathered += gathered;
+    } else {
+      ++acct_.former_empty;
+    }
+  }
+  if (gathered > 0) {
+    // Gathered frames keep stolen=false — they were co-scheduled into a wide
+    // run, not rescued from an idle lane — but the dispatcher-side pending
+    // accounting rebinds exactly like a steal (default frame_gathered).
+    // Cross-lane claims are interleaved with own-queue extensions by the
+    // round-robin above, so they are found by lane, not position: a frame
+    // still carrying a sibling's lane id was gathered.
+    for (PlacedFrame& pf : out) {
+      if (pf.lane == lane) continue;
+      if (sink_ != nullptr) sink_->frame_gathered(pf, lane);
+      pf.global_worker = pf.global_worker - pf.lane + lane;
+      pf.lane = lane;
+    }
   }
   return true;
 }
@@ -550,6 +639,12 @@ namespace {
 
 }  // namespace
 
+// Measured lane-level speedup of the int16 BFS datapath over fp32 (see
+// EXPERIMENTS.md: bench_quant_kernels shows ~3x on the row-0 level-GEMM
+// shapes; whole-decode rates dilute that with the float preprocessing and
+// tree bookkeeping, so the prior uses a deliberately conservative ratio).
+constexpr double kInt16PriorSpeedup = 2.5;
+
 // Substrate-specific cost-model rate priors. Rough by design — calibration
 // overwrites them after a handful of observations; they only need to order
 // the substrates sensibly when the model is cold.
@@ -570,6 +665,15 @@ void apply_rate_priors(BackendConfig& cfg) {
       cfg.prior_overhead_s = 50e-6;
       break;
   }
+  // The int16 BFS datapath runs measurably faster than the fp32 kernels it
+  // replaces (bench_quant_kernels: ~3x on the level-GEMM, diluted by the
+  // non-kernel share of a decode). Seed its per-node rate from the fp32
+  // prior scaled by a conservative lane-level ratio, so a COLD cost model
+  // already orders int16 lanes cheaper than fp32 lanes instead of treating
+  // both substrates as identical until EWMA calibration catches up.
+  if (decoder_precision_name(cfg.decoder) == "int16") {
+    cfg.prior_seconds_per_node /= kInt16PriorSpeedup;
+  }
   if (cfg.pace_to_charged || cfg.kind == BackendKind::kFpga) {
     cfg.prior_overhead_s += cfg.rtt_s;
   }
@@ -589,6 +693,8 @@ BackendConfig parse_pool_entry(std::string_view entry,
   cfg.policy = defaults.policy;
   cfg.batch_size = defaults.batch_size;
   cfg.fuse_cross_channel = defaults.fuse_cross_channel;
+  cfg.cross_lane_former = defaults.cross_lane_former;
+  cfg.max_wide_width = defaults.max_wide_width;
   cfg.zf_fallback_on_expiry = defaults.zf_fallback_on_expiry;
 
   bool saw_rtt = false;
@@ -613,6 +719,13 @@ BackendConfig parse_pool_entry(std::string_view entry,
     } else if (key == "batch" && eq != std::string::npos) {
       SpecOption opt{std::string(key), f.substr(eq + 1)};
       cfg.batch_size = static_cast<usize>(spec_option_int(opt));
+    } else if (key == "wide-width" && eq != std::string::npos) {
+      SpecOption opt{std::string(key), f.substr(eq + 1)};
+      cfg.max_wide_width = static_cast<usize>(spec_option_int(opt));
+    } else if (f == "no-cross-lane-fuse") {
+      cfg.cross_lane_former = false;
+    } else if (f == "cross-lane-fuse") {
+      cfg.cross_lane_former = true;
     } else if (f == "no-steal") {
       cfg.allow_stealing = false;
     } else if (f == "steal") {

@@ -54,6 +54,16 @@ struct BackendConfig {
   /// consecutive frames sharing a channel fuse. The bit-exact result is the
   /// same either way; this is a perf/ablation knob.
   bool fuse_cross_channel = true;
+  /// Wide-batch former (DESIGN.md §16): when a lane pops work, it also drains
+  /// compatible frames (same tier, fusable prep) from its SIBLING lanes'
+  /// queues — up to a fair share of the backend's ready work — so the fused
+  /// width tracks system load instead of one lane's queue depth. Claims
+  /// happen under the same queue mutex as work stealing, so a claimed frame
+  /// can never be stolen or decoded twice. Requires fuse_cross_channel; no-op
+  /// for paced backends and single-lane backends.
+  bool cross_lane_former = true;
+  /// Hard cap on frames per formed wide run (own pop + cross-lane gather).
+  usize max_wide_width = 32;
   bool zf_fallback_on_expiry = true;
   /// Cost-model rate priors for this substrate (seconds per expanded node and
   /// fixed per-frame overhead including any RTT).
@@ -98,6 +108,14 @@ class LaneSink {
                              serve::FrameResult&& result) = 0;
   /// `placed` moved from lane `placed.lane` to `thief_lane` before decoding.
   virtual void frame_stolen(const PlacedFrame& placed, unsigned thief_lane) = 0;
+  /// The wide-batch former claimed `placed` from lane `placed.lane` into a
+  /// wide run executing on `gatherer_lane`. The dispatcher-side accounting
+  /// is the same rebinding a steal needs, so the default forwards there;
+  /// sinks that distinguish the two can override.
+  virtual void frame_gathered(const PlacedFrame& placed,
+                              unsigned gatherer_lane) {
+    frame_stolen(placed, gatherer_lane);
+  }
 };
 
 class Backend {
@@ -124,6 +142,13 @@ class Backend {
     std::uint64_t fused_runs = 0;
     std::uint64_t fused_frames = 0;
     std::vector<std::uint64_t> fused_width_counts;
+    /// Wide-batch former activity: pops the former widened (with cross-lane
+    /// claims and/or own-queue frames past batch_size), total CROSS-LANE
+    /// frames gathered, and eligible pops that found nothing compatible to
+    /// add (the former's idle/occupancy signal).
+    std::uint64_t former_runs = 0;
+    std::uint64_t former_gathered = 0;
+    std::uint64_t former_empty = 0;
     usize in_queue = 0;
     std::vector<serve::WorkerStats> lanes;  ///< utilization filled by caller
   };
@@ -207,10 +232,21 @@ class Backend {
   /// (instead of one per lane) lets a stolen or rebalanced frame still hit.
   ChannelPrepCache prep_cache_;
 
+  /// True when this backend's lanes may form cross-lane wide runs: the
+  /// config enables it, the substrate is not paced (device round trips are
+  /// per-frame), there are siblings to gather from, and the primary detector
+  /// has a cacheable prep phase (probed once at construction).
+  bool former_enabled_ = false;
+
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::vector<std::deque<PlacedFrame>> queues_;
+  /// Lanes currently inside next_batch (popping or blocked waiting) under
+  /// mu_. The former divides the backend's ready work by this count, so a
+  /// gathering lane takes a fair share instead of draining its siblings and
+  /// serializing the backend.
+  unsigned hungry_ = 0;
   bool closed_ = false;
 
   mutable std::mutex acct_mu_;
@@ -253,6 +289,8 @@ struct PoolDefaults {
   serve::BackpressurePolicy policy = serve::BackpressurePolicy::kBlock;
   usize batch_size = 1;
   bool fuse_cross_channel = true;
+  bool cross_lane_former = true;
+  usize max_wide_width = 32;
   bool zf_fallback_on_expiry = true;
   double fpga_rtt_s = 1e-3;        ///< default RTT for fpga entries
 };

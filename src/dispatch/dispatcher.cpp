@@ -54,6 +54,9 @@ void DispatchStats::export_counters(obs::CounterRegistry& registry,
     registry.set(p + "fused.width." + std::to_string(w),
                  fused_width_counts[w]);
   }
+  registry.set(p + "former.runs", former_runs);
+  registry.set(p + "former.gathered", former_gathered);
+  registry.set(p + "former.empty", former_empty);
 }
 
 namespace {
@@ -500,6 +503,12 @@ std::vector<BackendMetrics> Dispatcher::backend_metrics() const {
     bm.steals = snap.steals;
     bm.degraded_kbest = snap.degraded_kbest;
     bm.degraded_linear = snap.degraded_linear;
+    bm.fused_runs = snap.fused_runs;
+    bm.fused_frames = snap.fused_frames;
+    bm.fused_width_counts = snap.fused_width_counts;
+    bm.former_runs = snap.former_runs;
+    bm.former_gathered = snap.former_gathered;
+    bm.former_empty = snap.former_empty;
     std::lock_guard<std::mutex> lock(metrics_mu_);
     const PerBackend& pb = per_backend_[b];
     serve::ServerMetrics& m = bm.metrics;
@@ -539,6 +548,9 @@ DispatchStats Dispatcher::stats() const {
     s.prep_misses += snap.prep_misses;
     s.fused_runs += snap.fused_runs;
     s.fused_frames += snap.fused_frames;
+    s.former_runs += snap.former_runs;
+    s.former_gathered += snap.former_gathered;
+    s.former_empty += snap.former_empty;
     if (snap.fused_width_counts.size() > s.fused_width_counts.size()) {
       s.fused_width_counts.resize(snap.fused_width_counts.size(), 0);
     }

@@ -77,6 +77,15 @@ struct BackendMetrics {
   std::uint64_t steals = 0;
   std::uint64_t degraded_kbest = 0;
   std::uint64_t degraded_linear = 0;
+  /// Fused-width histogram of this backend's wide runs (index = frames per
+  /// run) plus the wide-batch former's activity counters — per backend, so a
+  /// mixed pool shows which substrate actually forms wide work.
+  std::uint64_t fused_runs = 0;
+  std::uint64_t fused_frames = 0;
+  std::vector<std::uint64_t> fused_width_counts;
+  std::uint64_t former_runs = 0;
+  std::uint64_t former_gathered = 0;
+  std::uint64_t former_empty = 0;
 };
 
 /// Dispatcher-level counters not tied to one backend.
@@ -102,6 +111,13 @@ struct DispatchStats {
   std::uint64_t fused_runs = 0;    ///< decode_batch_with calls covering >= 2 frames
   std::uint64_t fused_frames = 0;  ///< frames decoded inside fused runs
   std::vector<std::uint64_t> fused_width_counts;  ///< index = frames per run
+  /// Wide-batch former activity across the pool: pops the former widened
+  /// (cross-lane claims and/or own-queue frames past batch_size), cross-lane
+  /// frames gathered, and eligible pops that found nothing compatible to add
+  /// (the former's idle signal).
+  std::uint64_t former_runs = 0;
+  std::uint64_t former_gathered = 0;
+  std::uint64_t former_empty = 0;
 
   /// Pours the stats into the unified counter registry under "<prefix>.*",
   /// e.g. "dispatch.prediction.mean_rel_error".

@@ -34,32 +34,39 @@ LoadGenerator::LoadGenerator(SystemConfig system, DecoderSpec spec,
     SD_CHECK(load_.rate_fps > 0.0, "open-loop rate must be positive");
   }
   SD_CHECK(load_.coherence >= 1, "coherence block must be positive");
+  SD_CHECK(load_.cells >= 1, "cell count must be positive");
 }
 
 LoadReport LoadGenerator::run(const CompletionFn& observer,
                               const ServerHook& before_traffic) {
-  // Pre-generate every frame from the seeded scenario: identical runs see
+  // Pre-generate every frame from the seeded scenario(s): identical runs see
   // identical (h, y, sigma2) streams, and ground truth stays available for
-  // symbol-error accounting.
-  ScenarioConfig sc;
-  sc.num_tx = system_.num_tx;
-  sc.num_rx = system_.num_rx;
-  sc.modulation = system_.modulation;
-  sc.snr_db = load_.snr_db;
-  sc.seed = load_.seed;
-  sc.coherence_block = load_.coherence;
-  Scenario scenario(sc);
-  std::vector<Trial> trials;
-  trials.reserve(load_.num_frames);
-  for (usize i = 0; i < load_.num_frames; ++i) trials.push_back(scenario.next());
-
-  // One shared ChannelHandle per coherence block: every frame of a block
-  // points at the same immutable storage (and carries the same fingerprint),
-  // so nothing downstream ever copies or re-fingerprints H.
-  std::vector<ChannelHandle> channels(load_.num_frames);
-  for (usize i = 0; i < load_.num_frames; ++i) {
-    channels[i] = (i % load_.coherence == 0) ? ChannelHandle(trials[i].h)
-                                             : channels[i - 1];
+  // symbol-error accounting. With cells > 1, each cell owns an independent
+  // scenario (seed + cell) and the cells are multiplexed round-robin into
+  // the submission order — consecutive arrivals then carry different
+  // channels, the interleaved traffic shape the wide engine fuses across.
+  // One shared ChannelHandle per (cell, coherence block): every frame of a
+  // block points at the same immutable storage (and carries the same
+  // fingerprint), so nothing downstream ever copies or re-fingerprints H.
+  const usize n_total = load_.num_frames;
+  std::vector<Trial> trials(n_total);
+  std::vector<ChannelHandle> channels(n_total);
+  for (usize cell = 0; cell < load_.cells; ++cell) {
+    ScenarioConfig sc;
+    sc.num_tx = system_.num_tx;
+    sc.num_rx = system_.num_rx;
+    sc.modulation = system_.modulation;
+    sc.snr_db = load_.snr_db;
+    sc.seed = load_.seed + cell;
+    sc.coherence_block = load_.coherence;
+    Scenario scenario(sc);
+    usize k = 0;  // per-cell frame index, for the cell's coherence blocks
+    for (usize i = cell; i < n_total; i += load_.cells, ++k) {
+      trials[i] = scenario.next();
+      channels[i] = (k % load_.coherence == 0)
+                        ? ChannelHandle(trials[i].h)
+                        : channels[i - load_.cells];
+    }
   }
 
   struct Shared {

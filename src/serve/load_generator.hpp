@@ -44,6 +44,13 @@ struct LoadOptions {
   /// allocation, one fingerprint). 1 = i.i.d. channels, the original
   /// byte-identical stream.
   usize coherence = 1;
+  /// Independent cells multiplexed round-robin into one submission stream:
+  /// frame i belongs to cell i % cells, and each cell draws from its own
+  /// seeded scenario (seed + cell) with its own coherence blocks. With
+  /// cells > 1 consecutive arrivals carry DIFFERENT channels — the
+  /// interleaved multi-cell traffic the cross-channel wide engine and the
+  /// cross-lane former are built for. 1 = the original single-cell stream.
+  usize cells = 1;
   /// Optional cooperative stop flag (e.g. wired to a SIGINT handler). When
   /// it flips true, no further frames are submitted; run() still waits for
   /// every in-flight frame to reach a terminal state, drains the server,

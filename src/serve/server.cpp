@@ -31,6 +31,12 @@ ServerOptions parse_server_options(std::string_view text, ServerOptions base) {
       base.fuse_cross_channel = false;
     } else if (opt.key == "cross-fuse") {
       base.fuse_cross_channel = true;
+    } else if (opt.key == "no-cross-lane-fuse") {
+      base.cross_lane_former = false;
+    } else if (opt.key == "cross-lane-fuse") {
+      base.cross_lane_former = true;
+    } else if (opt.key == "wide-width") {
+      base.max_wide_width = static_cast<usize>(spec_option_int(opt));
     } else if (opt.key == "placement") {
       base.placement = dispatch::parse_placement_policy(opt.value);
     } else if (opt.key == "fpga-rtt-ms") {
@@ -50,7 +56,8 @@ ServerOptions parse_server_options(std::string_view text, ServerOptions base) {
       throw invalid_argument_error(
           "unknown server option '" + opt.key +
           "' (workers, batch, queue, policy, deadline-ms, no-fallback, "
-          "no-cross-fuse, placement, fpga-rtt-ms, no-degrade, "
+          "no-cross-fuse, no-cross-lane-fuse, wide-width, placement, "
+          "fpga-rtt-ms, no-degrade, "
           "deterministic-cost, emulate-device, rtt-ms)");
     }
   }
@@ -63,6 +70,7 @@ DetectionServer::DetectionServer(SystemConfig system, DecoderSpec spec,
   SD_CHECK(opts_.num_workers >= 1, "server needs at least one worker");
   SD_CHECK(opts_.batch_size >= 1, "batch size must be positive");
   SD_CHECK(opts_.queue_capacity >= 1, "queue capacity must be positive");
+  SD_CHECK(opts_.max_wide_width >= 1, "wide width must be positive");
   SD_CHECK(opts_.default_deadline_s >= 0.0, "deadline must be non-negative");
   SD_CHECK(opts_.emulated_rtt_s >= 0.0, "emulated RTT must be non-negative");
   SD_CHECK(opts_.fpga_rtt_s >= 0.0, "FPGA RTT must be non-negative");
@@ -89,6 +97,8 @@ DetectionServer::DetectionServer(SystemConfig system, DecoderSpec spec,
     cfg.policy = opts_.policy;
     cfg.batch_size = opts_.batch_size;
     cfg.fuse_cross_channel = opts_.fuse_cross_channel;
+    cfg.cross_lane_former = opts_.cross_lane_former;
+    cfg.max_wide_width = opts_.max_wide_width;
     cfg.zf_fallback_on_expiry = opts_.zf_fallback_on_expiry;
     dispatch::apply_rate_priors(cfg);
     configs.push_back(std::move(cfg));
@@ -99,6 +109,8 @@ DetectionServer::DetectionServer(SystemConfig system, DecoderSpec spec,
     defaults.policy = opts_.policy;
     defaults.batch_size = opts_.batch_size;
     defaults.fuse_cross_channel = opts_.fuse_cross_channel;
+    defaults.cross_lane_former = opts_.cross_lane_former;
+    defaults.max_wide_width = opts_.max_wide_width;
     defaults.zf_fallback_on_expiry = opts_.zf_fallback_on_expiry;
     defaults.fpga_rtt_s = opts_.fpga_rtt_s;
     configs = dispatch::parse_backend_pool(opts_.backends, defaults);

@@ -50,6 +50,12 @@ struct ServerOptions {
   /// block-diagonal decode. Off restores the classic same-channel-only
   /// fusion (ablation baseline); results are bit-identical either way.
   bool fuse_cross_channel = true;
+  /// Wide-batch former: lanes extend their pops with compatible frames from
+  /// sibling lanes' queues, so fused width tracks system load (DESIGN.md
+  /// §16). Results are bit-identical either way; off = per-lane fusion only.
+  bool cross_lane_former = true;
+  /// Hard cap on frames per formed wide run.
+  usize max_wide_width = 32;
   bool zf_fallback_on_expiry = true;
   /// DEPRECATED: use a `backends` pool spec with an fpga entry (or an
   /// `rtt-ms=` backend field) instead; FpgaBackend paces itself. Still
@@ -80,7 +86,8 @@ struct ServerOptions {
 };
 
 /// Parses "workers=4,batch=8,queue=64,policy=drop-oldest,deadline-ms=10,
-/// no-fallback,placement=cost-aware,fpga-rtt-ms=1,no-degrade,
+/// no-fallback,no-cross-lane-fuse,wide-width=32,placement=cost-aware,
+/// fpga-rtt-ms=1,no-degrade,
 /// deterministic-cost,emulate-device,rtt-ms=1" (any subset, any order) on
 /// top of `base`. The `backends` pool spec is itself comma-separated, so it
 /// cannot ride in this option string — set it directly or via a dedicated

@@ -13,6 +13,9 @@
 // and dispatch runtimes execute per lane.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "decode/sd_gemm.hpp"
 #include "decode/sd_gemm_bfs.hpp"
 #include "linalg/gemm.hpp"
@@ -151,6 +154,44 @@ TEST_F(AllocFree, QuantBfsCachedPrepDecodeIsAllocationFreeAfterWarmup) {
   opts.quantized = true;
   SdGemmBfsDetector det(Constellation::get(Modulation::kQam16), opts);
   expect_cached_prep_alloc_free(det, "SD-GEMM-BFS-i16/decode_with");
+}
+
+TEST_F(AllocFree, BfsWideDecodeIsAllocationFreeAfterWarmup) {
+  // The cross-lane former's product (DESIGN.md §16) is a wide run over
+  // DISTINCT channels; once warm, the block-diagonal wide engine must hold
+  // the same zero-allocation contract as the single-frame paths.
+  constexpr usize kWidth = 4;
+  SdGemmBfsDetector det(Constellation::get(Modulation::kQam16));
+  std::vector<std::shared_ptr<const PreprocessedChannel>> preps;
+  std::vector<CVec> ys;
+  std::vector<DecodeResult> results(kWidth);
+  for (usize i = 0; i < kWidth; ++i) {
+    preps.push_back(det.preprocess(
+        ChannelHandle(testing::random_cmat(kM, kM, 9100 + static_cast<int>(i)))));
+    ys.push_back(testing::random_cvec(kM, 9200 + static_cast<int>(i)));
+  }
+  std::vector<Detector::WideItem> items(kWidth);
+  const auto run = [&] {
+    for (usize i = 0; i < kWidth; ++i) {
+      items[i] = {preps[i].get(), ys[i], kSigma2, &results[i]};
+    }
+    det.decode_wide(items);
+  };
+  for (int warm = 0; warm < 3; ++warm) run();
+  const std::vector<DecodeResult> warm_results = results;
+
+  const obs::AllocCounts before = obs::alloc_counts();
+  for (int rep = 0; rep < 10; ++rep) run();
+  const obs::AllocCounts after = obs::alloc_counts();
+
+  EXPECT_EQ(after.allocations, before.allocations)
+      << "SD-GEMM-BFS/decode_wide: steady-state wide decode allocated ("
+      << (after.allocations - before.allocations) << " allocations over 10 "
+      << "wide runs)";
+  for (usize i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(results[i].indices, warm_results[i].indices);
+    EXPECT_EQ(results[i].metric, warm_results[i].metric);
+  }
 }
 
 TEST_F(AllocFree, ExportedCountersReflectTraffic) {

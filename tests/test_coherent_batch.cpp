@@ -380,6 +380,13 @@ TEST(WideBatch, DefaultDecodeWideLoopsDecodeWithAcrossZoo) {
   // Every detector accepts decode_wide(); those without a fused engine get
   // the base per-item loop — the contract the dispatcher's cross-channel
   // fusion relies on when the chosen detector is not the wide BFS.
+  //
+  // ParallelSd has its own fused wide engine (DESIGN.md §16): the detected
+  // indices/symbols/metric stay bit-identical per frame, but its pruning
+  // counters are schedule-dependent (each frame's shared radius shrinks
+  // while interleaved with other frames' sub-trees), so only the result is
+  // pinned for it — the per-worker-count pinning lives in
+  // tests/test_parallel_sd.cpp.
   for (NamedDetector& nd : detector_zoo()) {
     std::vector<std::shared_ptr<const PreprocessedChannel>> preps;
     std::vector<CVec> ys;
@@ -400,8 +407,19 @@ TEST(WideBatch, DefaultDecodeWideLoopsDecodeWithAcrossZoo) {
     }
     nd.oneshot->decode_wide(items);
     for (usize i = 0; i < 3; ++i) {
-      expect_bit_identical(expect[i], got[i],
-                           nd.label + " wide frame " + std::to_string(i));
+      const std::string what = nd.label + " wide frame " + std::to_string(i);
+      if (nd.label == "multipe") {
+        EXPECT_EQ(expect[i].indices, got[i].indices) << what;
+        ASSERT_EQ(expect[i].symbols.size(), got[i].symbols.size()) << what;
+        for (usize s = 0; s < expect[i].symbols.size(); ++s) {
+          EXPECT_EQ(expect[i].symbols[s], got[i].symbols[s]) << what;
+        }
+        EXPECT_EQ(expect[i].metric, got[i].metric) << what;
+        EXPECT_EQ(expect[i].stats.tree_levels, got[i].stats.tree_levels)
+            << what;
+        continue;
+      }
+      expect_bit_identical(expect[i], got[i], what);
     }
   }
 }

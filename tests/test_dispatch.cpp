@@ -156,6 +156,28 @@ TEST(DispatchOptions, ServerOptionsGainDispatchKeys) {
                invalid_argument_error);
 }
 
+TEST(DispatchOptions, WideFormerKeysParseEverywhere) {
+  // Server options, pool-entry options, and pool defaults all carry the
+  // cross-lane former knobs.
+  const serve::ServerOptions o =
+      serve::parse_server_options("wide-width=16,no-cross-lane-fuse");
+  EXPECT_EQ(o.max_wide_width, 16u);
+  EXPECT_FALSE(o.cross_lane_former);
+  const serve::ServerOptions d = serve::parse_server_options("cross-lane-fuse");
+  EXPECT_TRUE(d.cross_lane_former);
+  EXPECT_EQ(d.max_wide_width, 32u);  // default
+
+  PoolDefaults pd;
+  pd.primary = DecoderSpec{};
+  const std::vector<BackendConfig> pool = parse_backend_pool(
+      "cpu:4:wide-width=8:no-cross-lane-fuse,cpu:2:cross-lane-fuse", pd);
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool[0].max_wide_width, 8u);
+  EXPECT_FALSE(pool[0].cross_lane_former);
+  EXPECT_TRUE(pool[1].cross_lane_former);
+  EXPECT_EQ(pool[1].max_wide_width, 32u);
+}
+
 // ---------------------------------------------------------------------------
 // Cost model
 
@@ -318,6 +340,41 @@ TEST(DispatchCost, ImportsV1DocumentsAsPrepMissBuckets) {
   c.import_json(b.export_json());
   EXPECT_DOUBLE_EQ(c.predict(f, cpu, DecodeTier::kPrimary, false).nodes,
                    1234.0);
+}
+
+TEST(DispatchCost, Int16PriorSeedsColdModelCheaperThanFp32) {
+  // apply_rate_priors seeds int16 lanes from the fp32 prior scaled by the
+  // bench_quant_kernels lane-level ratio, so a FRESH cost model already
+  // orders the quantized substrate cheaper instead of treating both as
+  // identical until calibration warms up.
+  BackendConfig fp32;
+  fp32.kind = BackendKind::kCpu;
+  fp32.label = "bfs-fp32";
+  fp32.decoder = parse_decoder_spec("bfs");
+  apply_rate_priors(fp32);
+  BackendConfig int16 = fp32;
+  int16.label = "bfs-int16";
+  int16.decoder = parse_decoder_spec("bfs:precision=int16");
+  apply_rate_priors(int16);
+  EXPECT_LT(int16.prior_seconds_per_node, fp32.prior_seconds_per_node);
+  EXPECT_DOUBLE_EQ(int16.prior_seconds_per_node * 2.5,
+                   fp32.prior_seconds_per_node);
+
+  CostModel cm;
+  const int bf = cm.register_backend(fp32.label, fp32.prior_seconds_per_node,
+                                     fp32.prior_overhead_s);
+  const int bq = cm.register_backend(int16.label, int16.prior_seconds_per_node,
+                                     int16.prior_overhead_s);
+  FrameFeatures f;
+  f.num_tx = kM;
+  f.mod_order = 4;
+  f.snr_db = 8.0;
+  f.cond_proxy = 1.5;
+  const CostPrediction pf = cm.predict(f, bf, DecodeTier::kPrimary);
+  const CostPrediction pq = cm.predict(f, bq, DecodeTier::kPrimary);
+  EXPECT_FALSE(pf.warm);  // both predictions are pure prior
+  EXPECT_FALSE(pq.warm);
+  EXPECT_LT(pq.seconds, pf.seconds);
 }
 
 // ---------------------------------------------------------------------------
@@ -742,6 +799,158 @@ TEST(DispatchCoherent, InterleavedCellsFuseAcrossChannelBoundaries) {
     EXPECT_EQ(result.result.stats.nodes_expanded, want.stats.nodes_expanded)
         << "frame " << result.id;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-lane wide-batch former (DESIGN.md §16)
+
+// Interleaves kCells seeded single-cell streams round-robin: consecutive
+// frames carry DIFFERENT channels, the multi-cell traffic shape the former
+// is built to fuse across.
+std::vector<Trial> interleaved_cell_trials(usize cells, usize per_cell,
+                                           double snr_db) {
+  std::vector<Trial> trials(cells * per_cell);
+  for (usize cell = 0; cell < cells; ++cell) {
+    const std::vector<Trial> s = seeded_trials(per_cell, snr_db, kSeed + cell);
+    for (usize k = 0; k < per_cell; ++k) trials[cell + k * cells] = s[k];
+  }
+  return trials;
+}
+
+// Pre-loads `trials` round-robin across the backend's lanes, runs the pool
+// to drain, and returns every retirement plus the final snapshot.
+std::vector<std::pair<PlacedFrame, serve::FrameResult>> run_former_backend(
+    const std::string& pool_spec, bool former, const std::vector<Trial>& trials,
+    Backend::Snapshot& snap) {
+  PoolDefaults pd;
+  pd.primary = parse_decoder_spec("bfs");
+  pd.batch_size = 1;  // B=1: wide runs exist only if the former gathers them
+  pd.lane_queue_capacity = trials.size();
+  std::vector<BackendConfig> pool = parse_backend_pool(pool_spec, pd);
+  pool[0].cross_lane_former = former;
+  const unsigned lanes = pool[0].lanes;
+  auto backend = make_backend(test_system(), std::move(pool[0]));
+  for (usize i = 0; i < trials.size(); ++i) {
+    PlacedFrame pf;
+    pf.frame = make_frame(trials[i], i);
+    pf.frame.submit_time = serve::Clock::now();
+    pf.lane = static_cast<unsigned>(i % lanes);
+    EXPECT_EQ(backend->place(std::move(pf)).status,
+              serve::PushStatus::kAccepted);
+  }
+  CaptureSink sink;
+  backend->start(sink);
+  backend->close();
+  backend->join();
+  snap = backend->snapshot();
+  return sink.take();
+}
+
+TEST(DispatchFormer, WideFormationIsBitIdenticalAcrossConfigs) {
+  // The acceptance invariant of the whole feature: seeded multi-cell traffic
+  // through a 4-lane backend decodes to the same bits with the former off
+  // (sequential width-1 runs), the former on (cross-lane wide runs), and a
+  // ParallelSd backend whose wide runs are themselves partitioned across
+  // 1/2/4 PE workers. Every configuration is compared against the one-shot
+  // reference decode of its own detector family.
+  constexpr usize kCells = 4;
+  constexpr usize kPerCell = 10;
+  constexpr usize kFrames = kCells * kPerCell;
+  const std::vector<Trial> trials =
+      interleaved_cell_trials(kCells, kPerCell, 8.0);
+  const SystemConfig sys = test_system();
+
+  struct Config {
+    std::string pool;
+    bool former;
+    std::string reference;
+  };
+  const std::vector<Config> configs = {
+      {"bfs:4", false, "bfs"},
+      {"bfs:4", true, "bfs"},
+      {"multipe:4:threads=1", true, "multipe:threads=1"},
+      {"multipe:4:threads=2", true, "multipe:threads=1"},
+      {"multipe:4:threads=4", true, "multipe:threads=1"},
+  };
+  for (const Config& c : configs) {
+    Backend::Snapshot snap;
+    auto retired = run_former_backend(c.pool, c.former, trials, snap);
+    ASSERT_EQ(retired.size(), kFrames) << c.pool;
+    EXPECT_EQ(snap.completed, kFrames) << c.pool;
+    if (c.former) {
+      // With every lane backlogged and B=1, the former must actually form
+      // wide runs — a silently disabled former would still pass the bit
+      // checks below.
+      EXPECT_GT(snap.former_gathered, 0u) << c.pool;
+      EXPECT_GT(snap.fused_frames, 0u) << c.pool;
+    } else {
+      EXPECT_EQ(snap.former_gathered, 0u) << c.pool;
+      EXPECT_EQ(snap.fused_runs, 0u) << c.pool;
+    }
+    auto reference = make_detector(sys, parse_decoder_spec(c.reference));
+    for (const auto& [placed, result] : retired) {
+      EXPECT_EQ(result.status, serve::FrameStatus::kCompleted) << c.pool;
+      const Trial& t = trials[result.id];
+      const DecodeResult want = reference->decode(t.h, t.y, t.sigma2);
+      EXPECT_EQ(result.result.indices, want.indices)
+          << c.pool << " frame " << result.id;
+      EXPECT_DOUBLE_EQ(result.result.metric, want.metric)
+          << c.pool << " frame " << result.id;
+    }
+  }
+}
+
+TEST(DispatchFormer, GatherAndStealRetireEveryFrameExactlyOnce) {
+  // The claim-window regression for former + work stealing: both mechanisms
+  // remove frames under the same lock, so a frame can be claimed exactly
+  // once no matter how gathers and steals interleave. Frames pile onto
+  // lanes 0 and 1 only: those lanes pop-and-gather from each other while
+  // lanes 2 and 3 steal from them concurrently.
+  constexpr usize kFrames = 64;
+  const SystemConfig sys = test_system();
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kCpu;
+  cfg.label = "cpu";
+  cfg.lanes = 4;
+  cfg.decoder = parse_decoder_spec("bfs");
+  cfg.lane_queue_capacity = kFrames;
+  cfg.batch_size = 2;
+  cfg.allow_stealing = true;
+  cfg.cross_lane_former = true;
+  apply_rate_priors(cfg);
+  CpuBackend backend(sys, cfg);
+
+  const std::vector<Trial> trials = seeded_trials(kFrames, 6.0);
+  for (usize i = 0; i < kFrames; ++i) {
+    PlacedFrame pf;
+    pf.frame = make_frame(trials[i], i);
+    pf.frame.submit_time = serve::Clock::now();
+    pf.lane = static_cast<unsigned>(i % 2);
+    ASSERT_EQ(backend.place(std::move(pf)).status,
+              serve::PushStatus::kAccepted);
+  }
+  CaptureSink sink;
+  backend.start(sink);
+  backend.close();
+  backend.join();
+
+  auto retired = sink.take();
+  ASSERT_EQ(retired.size(), kFrames);
+  std::vector<int> seen(kFrames, 0);
+  for (const auto& [placed, result] : retired) {
+    ASSERT_LT(result.id, kFrames);
+    ++seen[result.id];
+  }
+  for (usize i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(seen[i], 1) << "frame " << i;  // no frame dropped or decoded twice
+  }
+  const Backend::Snapshot snap = backend.snapshot();
+  EXPECT_EQ(snap.frames, kFrames);
+  EXPECT_EQ(snap.completed, kFrames);
+  EXPECT_EQ(snap.in_queue, 0u);
+  // Gathered frames are not steals: the counters stay disjoint, and the sink
+  // hears about every rebinding through either channel.
+  EXPECT_EQ(sink.stolen(), snap.steals + snap.former_gathered);
 }
 
 }  // namespace

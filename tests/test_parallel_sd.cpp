@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "common/error.hpp"
+#include "decode/channel_prep.hpp"
 #include "decode/ml.hpp"
 #include "decode/sd_dfs.hpp"
 #include "mimo/scenario.hpp"
@@ -135,6 +139,84 @@ TEST(ParallelSd, RadiusPublicationUnderContention) {
     EXPECT_DOUBLE_EQ(got.metric, expect.metric) << "seed=" << seed;
     EXPECT_GE(got.stats.radius_updates, 1u) << "seed=" << seed;
   }
+}
+
+// ---- wide fused decode (DESIGN.md §16) ------------------------------------
+
+// decode_wide partitions EVERY frame's sub-trees into one global unit list,
+// interleaved round-robin in best-first rank order, and assigns unit j to
+// worker j mod W statically. Per-frame radii shrink via a publication-only
+// CAS-min and the per-worker bests are reduced in worker order after the
+// join, so which leaf wins never depends on thread timing: indices, symbols
+// and metric must be bit-identical to sequential decode_with() for any W.
+// (Work counters are schedule-dependent — a frame's radius tightens while
+// interleaved with other frames' sub-trees — and deliberately not pinned.)
+TEST(ParallelSd, WideDecodeMatchesSequentialForAnyWorkerCount) {
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  constexpr usize kWidth = 5;
+  ParallelSdOptions seq_opts;
+  seq_opts.num_threads = 1;
+  ParallelSdDetector seq(c, seq_opts);
+
+  // Mixed channels and SNRs: the 2 dB frames keep their spheres wide, so
+  // their radii are republished repeatedly while other frames' units run.
+  std::vector<Trial> trials;
+  std::vector<std::shared_ptr<const PreprocessedChannel>> preps;
+  for (usize i = 0; i < kWidth; ++i) {
+    trials.push_back(
+        make_trial(7, Modulation::kQam4, i % 2 == 0 ? 8.0 : 2.0, 100 + i));
+    preps.push_back(seq.preprocess(ChannelHandle(trials[i].h)));
+  }
+  std::vector<DecodeResult> expect(kWidth);
+  for (usize i = 0; i < kWidth; ++i) {
+    seq.decode_with(*preps[i], trials[i].y, trials[i].sigma2, expect[i]);
+  }
+
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ParallelSdOptions opts;
+    opts.num_threads = threads;
+    ParallelSdDetector wide(c, opts);
+    std::vector<DecodeResult> got(kWidth);
+    std::vector<Detector::WideItem> items;
+    for (usize i = 0; i < kWidth; ++i) {
+      items.push_back(
+          {preps[i].get(), trials[i].y, trials[i].sigma2, &got[i]});
+    }
+    wide.decode_wide(items);
+    for (usize i = 0; i < kWidth; ++i) {
+      EXPECT_EQ(got[i].indices, expect[i].indices)
+          << "threads=" << threads << " frame=" << i;
+      ASSERT_EQ(got[i].symbols.size(), expect[i].symbols.size());
+      for (usize k = 0; k < expect[i].symbols.size(); ++k) {
+        EXPECT_EQ(got[i].symbols[k], expect[i].symbols[k])
+            << "threads=" << threads << " frame=" << i << " symbol=" << k;
+      }
+      EXPECT_EQ(got[i].metric, expect[i].metric)
+          << "threads=" << threads << " frame=" << i;
+      EXPECT_EQ(got[i].stats.tree_levels, expect[i].stats.tree_levels);
+    }
+  }
+}
+
+TEST(ParallelSd, WideDecodeSingleItemFallsBackToSequential) {
+  // A one-frame wide batch takes the decode_with path verbatim, so even the
+  // work counters match the sequential decode exactly.
+  const Constellation& c = Constellation::get(Modulation::kQam4);
+  ParallelSdOptions opts;
+  opts.num_threads = 4;
+  ParallelSdDetector seq(c, opts);
+  ParallelSdDetector wide(c, opts);
+  const Trial t = make_trial(6, Modulation::kQam4, 8.0, 11);
+  auto prep = seq.preprocess(ChannelHandle(t.h));
+  DecodeResult expect;
+  seq.decode_with(*prep, t.y, t.sigma2, expect);
+  DecodeResult got;
+  std::vector<Detector::WideItem> items{{prep.get(), t.y, t.sigma2, &got}};
+  wide.decode_wide(items);
+  EXPECT_EQ(got.indices, expect.indices);
+  EXPECT_EQ(got.metric, expect.metric);
+  EXPECT_EQ(got.stats.nodes_expanded, expect.stats.nodes_expanded);
+  EXPECT_EQ(got.stats.radius_updates, expect.stats.radius_updates);
 }
 
 TEST(ParallelSd, RejectsBadSplitDepth) {

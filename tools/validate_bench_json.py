@@ -36,7 +36,11 @@ also carry a "cross_channel" series ("batch", "same_frames_per_s",
 "cross_frames_per_s", "speedup", "fused_frames"); under the same gate the
 B=8 row must have decoded fused frames (every frame has a distinct channel
 at L=1, so fusion there is the wide cross-channel engine) and show a
->= 1.25x speedup over the same-channel-only runtime.
+>= 1.25x speedup over the same-channel-only runtime. It must also carry a
+"cross_lane" series ("lanes", "former", "frames_per_s", "fused_width_p50",
+"offered_batch", "former_gathered"); under the same gate the 4-lane
+former-on row must have gathered frames, a fused-width p50 >= 0.75x the
+offered per-lane batch, and >= 1.15x the former-off pool's throughput.
 
 The ingress artifact (name == "ingress") is checked for a "transport"
 series ("transport", "m", "window", "frame_bytes", "frames_per_s",
@@ -395,6 +399,64 @@ def check_coherent_batch(problems, path, doc):
             f"{wide['speedup']:.2f}x < 1.25x over same-channel-only "
             f"({wide['cross_frames_per_s']:.0f} vs "
             f"{wide['same_frames_per_s']:.0f} frames/s)")
+
+    # Cross-lane former gate: interleaved multi-cell traffic at B=1 means
+    # every lane's own pop is a single frame, so wide runs only exist if the
+    # former gathered them. At 4 lanes the former must (a) form runs whose
+    # median width covers >= 75% of the offered per-lane share (window /
+    # lanes), and (b) beat the former-off pool by >= 1.15x — catching both a
+    # former that stopped gathering and one that gathers without a payoff.
+    lane = None
+    if isinstance(series, list):
+        for entry in series:
+            if isinstance(entry, dict) and entry.get("label") == "cross_lane":
+                lane = entry
+    if lane is None:
+        problems.report(path, "coherent_batch: missing 'cross_lane' series")
+        return
+    by_cell = {}
+    for j, row in enumerate(lane.get("rows") or []):
+        if not isinstance(row, dict):
+            continue
+        missing = [c for c in ("lanes", "former", "frames_per_s",
+                               "fused_width_p50", "offered_batch",
+                               "former_gathered")
+                   if c not in row]
+        if missing:
+            problems.report(
+                path, f"coherent_batch: cross_lane.rows[{j}] missing {missing}")
+            continue
+        by_cell[(row["lanes"], bool(row["former"]))] = row
+    on = by_cell.get((4, True))
+    off = by_cell.get((4, False))
+    if on is None or off is None:
+        problems.report(
+            path, "coherent_batch: gate_speedup set but cross_lane has no "
+            "4-lane former on/off pair")
+        return
+    if on["former_gathered"] <= 0:
+        problems.report(
+            path, "coherent_batch: cross_lane former-on 4-lane run gathered "
+            "no frames (former never engaged)")
+    if on["fused_width_p50"] < 0.75 * on["offered_batch"]:
+        problems.report(
+            path,
+            f"coherent_batch: cross_lane former-on 4-lane fused width p50 "
+            f"{on['fused_width_p50']} < 0.75x offered batch "
+            f"{on['offered_batch']}")
+    if off["frames_per_s"] <= 0:
+        problems.report(
+            path, "coherent_batch: cross_lane former-off 4-lane throughput "
+            "non-positive")
+        return
+    ratio = on["frames_per_s"] / off["frames_per_s"]
+    if ratio < 1.15:
+        problems.report(
+            path,
+            f"coherent_batch: cross_lane former on/off throughput ratio "
+            f"{ratio:.2f}x < 1.15x at 4 lanes "
+            f"({on['frames_per_s']:.0f} vs {off['frames_per_s']:.0f} "
+            f"frames/s)")
 
 
 def check_ingress(problems, path, doc):
