@@ -1,0 +1,230 @@
+// Massive-MIMO asymmetric fast path (DESIGN.md §17): served throughput and
+// BER of the Gram-domain MMSE-Neumann detector against the tree-search and
+// linear baselines across rectangular N_r x N_t geometries.
+//
+// Throughput is the serving shape: the channel-only prep (G = H^H H for the
+// MMSE family, QR for the tree searches) is built once per coherence block
+// and the timed loop runs decode_with() per frame, exactly what the dispatch
+// lanes charge. BER points come from the paired ExperimentRunner stream, so
+// every detector sees byte-identical trials.
+//
+// Acceptance gates (validated by tools/validate_bench_json.py when
+// gate_massive is set, i.e. at real trial counts): at 128x8 the k=3 Neumann
+// tier must serve >= 3x the frames/s of the best tree-search config while
+// staying within 0.2 dB of the exact MMSE solve (series BER at SNR no worse
+// than the exact solve's BER at SNR - 0.2 dB).
+//
+// Emits BENCH_massive_mimo.json.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/spec_parse.hpp"
+#include "decode/channel_prep.hpp"
+#include "mimo/scenario.hpp"
+
+namespace {
+
+using namespace sd;
+
+/// One rectangular operating point. The SNR is chosen so the exact MMSE
+/// solve lands in the 1e-3..1e-2 BER band (measurable at SD_TRIALS counts):
+/// the post-combining SNR of an N_r x N_t MMSE front end gains roughly
+/// (N_r - N_t + 1) / N_t over the per-antenna SNR, so the taller the array
+/// the lower the serving point.
+struct Geometry {
+  const char* label;
+  index_t num_rx;
+  index_t num_tx;
+  Modulation mod;
+  double snr_db;
+};
+
+constexpr Geometry kGeometries[] = {
+    {"32x4-qpsk", 32, 4, Modulation::kQam4, -4.0},
+    {"64x8-qpsk", 64, 8, Modulation::kQam4, -4.0},
+    {"128x8-qpsk", 128, 8, Modulation::kQam4, -8.0},
+    {"128x8-16qam", 128, 8, Modulation::kQam16, 0.0},
+};
+
+/// Detector roster: the Neumann ladder (k=0 is the exact Cholesky solve and
+/// doubles as the MMSE reference), the fixed-complexity and best-first tree
+/// searches, and the ZF floor.
+struct Entry {
+  const char* label;
+  const char* spec;
+  bool tree;  ///< counts toward "best tree-search" in the gate
+};
+
+constexpr Entry kEntries[] = {
+    {"mmse-neumann-k1", "mmse-neumann:k=1", false},
+    {"mmse-neumann-k2", "mmse-neumann:k=2", false},
+    {"mmse-neumann-k3", "mmse-neumann:k=3", false},
+    {"mmse-cholesky", "mmse-neumann:k=0", false},
+    {"kbest", "kbest:k=8", true},
+    {"sphere", "sphere", true},
+    {"zf", "zf", false},
+};
+
+/// Coherence blocks per throughput measurement; frames round-robin across
+/// them so the loop touches several cached preps like a serving lane does.
+constexpr usize kBlocks = 4;
+
+struct Throughput {
+  double frames_per_s = 0.0;
+  double seconds_per_frame = 0.0;
+  usize frames = 0;
+};
+
+/// Times decode_with() over pre-built channel preps: best-of-3 passes of
+/// `frames` decodes, warm-up pass first (reaches high-water scratch shapes).
+Throughput measure_throughput(Detector& det, const std::vector<Trial>& blocks,
+                              usize frames) {
+  std::vector<std::shared_ptr<const PreprocessedChannel>> preps;
+  preps.reserve(blocks.size());
+  for (const Trial& t : blocks) {
+    preps.push_back(det.preprocess(ChannelHandle{CMat(t.h)}));
+  }
+  DecodeResult out;
+  for (usize b = 0; b < blocks.size(); ++b) {
+    det.decode_with(*preps[b], blocks[b].y, blocks[b].sigma2, out);
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer timer;
+    for (usize i = 0; i < frames; ++i) {
+      const usize b = i % blocks.size();
+      det.decode_with(*preps[b], blocks[b].y, blocks[b].sigma2, out);
+    }
+    best = std::min(best, timer.elapsed_seconds());
+  }
+  Throughput r;
+  r.frames = frames;
+  r.seconds_per_frame = best / static_cast<double>(frames);
+  r.frames_per_s = 1.0 / r.seconds_per_frame;
+  return r;
+}
+
+std::vector<Trial> make_blocks(const Geometry& g, std::uint64_t seed) {
+  ScenarioConfig sc;
+  sc.num_tx = g.num_tx;
+  sc.num_rx = g.num_rx;
+  sc.modulation = g.mod;
+  sc.snr_db = g.snr_db;
+  sc.seed = seed;
+  Scenario s(sc);
+  std::vector<Trial> blocks;
+  blocks.reserve(kBlocks);
+  for (usize b = 0; b < kBlocks; ++b) blocks.push_back(s.next());
+  return blocks;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sd;
+
+  bench::open_report("massive_mimo");
+  const usize trials = bench::trials_or(64);
+  // Gates only bind at real Monte-Carlo counts; smoke runs record the same
+  // rows but the validator skips the thresholds.
+  const bool gate = trials >= 400;
+  bench::report().config("gate_massive", gate);
+  bench::report().config("blocks", static_cast<std::int64_t>(kBlocks));
+
+  bench::print_banner(
+      "Massive-MIMO fast path: MMSE-Neumann vs tree search",
+      "rectangular geometries, served throughput (cached preps) + paired BER",
+      trials);
+
+  struct Cell {
+    Throughput thru;
+    SweepPoint ber;
+  };
+
+  for (const Geometry& g : kGeometries) {
+    const SystemConfig sys{g.num_tx, g.num_rx, g.mod};
+    const std::vector<Trial> blocks = make_blocks(g, /*seed=*/7);
+    ExperimentRunner runner(sys, trials, /*seed=*/1);
+
+    std::vector<Cell> cells;
+    cells.reserve(std::size(kEntries));
+    double mmse_fps = 0.0, tree_fps = 0.0, ber_k3 = 0.0, ber_exact = 0.0;
+    for (const Entry& e : kEntries) {
+      auto det = make_detector(sys, parse_decoder_spec(e.spec));
+      Cell cell;
+      cell.thru = measure_throughput(*det, blocks, std::max<usize>(trials, 32));
+      cell.ber = runner.run_point(*det, g.snr_db);
+      cells.push_back(cell);
+
+      bench::report().row(
+          "throughput",
+          {{"geometry", g.label},
+           {"detector", e.label},
+           {"frames_per_s", cell.thru.frames_per_s},
+           {"us_per_frame", cell.thru.seconds_per_frame * 1e6},
+           {"frames", static_cast<std::int64_t>(cell.thru.frames)}});
+      bench::report().row("ber",
+                          {{"geometry", g.label},
+                           {"detector", e.label},
+                           {"snr_db", g.snr_db},
+                           {"ber", cell.ber.ber},
+                           {"ber_ci95", cell.ber.ber_ci95},
+                           {"trials", static_cast<std::int64_t>(trials)}});
+
+      const std::string label = e.label;
+      if (label == "mmse-neumann-k3") {
+        mmse_fps = cell.thru.frames_per_s;
+        ber_k3 = cell.ber.ber;
+      }
+      if (label == "mmse-cholesky") ber_exact = cell.ber.ber;
+      if (e.tree) tree_fps = std::max(tree_fps, cell.thru.frames_per_s);
+    }
+
+    Table t({"detector", "frames/s", "us/frame", "BER@" + fmt(g.snr_db, 1) +
+                                                     "dB"});
+    for (usize i = 0; i < cells.size(); ++i) {
+      t.add_row({kEntries[i].label, fmt(cells[i].thru.frames_per_s, 0),
+                 fmt(cells[i].thru.seconds_per_frame * 1e6, 2),
+                 fmt_sci(cells[i].ber.ber)});
+    }
+    bench::print_table(t, std::string("throughput.") + g.label);
+
+    // Gate rows for the 128x8 serving points: the 0.2 dB criterion compares
+    // the k=3 series BER at SNR against the exact solve rerun 0.2 dB lower
+    // (paired trial streams in both runs).
+    if (g.num_rx == 128) {
+      auto exact = make_detector(sys, parse_decoder_spec("mmse-neumann:k=0"));
+      const SweepPoint shifted = runner.run_point(*exact, g.snr_db - 0.2);
+      const double speedup = tree_fps > 0.0 ? mmse_fps / tree_fps : 0.0;
+      const bool throughput_ok = speedup >= 3.0;
+      const bool ber_ok = ber_k3 <= shifted.ber;
+      bench::report().row("gates",
+                          {{"geometry", g.label},
+                           {"mmse_fps", mmse_fps},
+                           {"best_tree_fps", tree_fps},
+                           {"speedup", speedup},
+                           {"ber_neumann_k3", ber_k3},
+                           {"ber_exact", ber_exact},
+                           {"ber_exact_shifted", shifted.ber},
+                           {"throughput_ok", throughput_ok},
+                           {"ber_ok", ber_ok}});
+      Table gt({"gate", "value", "ok"});
+      gt.add_row({"throughput (k=3 vs best tree)",
+                  fmt_factor(speedup) + " (need 3.0x)",
+                  throughput_ok ? "yes" : "no"});
+      gt.add_row({"BER within 0.2 dB of exact",
+                  fmt_sci(ber_k3) + " <= " + fmt_sci(shifted.ber),
+                  ber_ok ? "yes" : "no"});
+      bench::print_table(gt, std::string("gates.") + g.label);
+    }
+  }
+
+  return 0;
+}

@@ -99,6 +99,8 @@ DecoderSpec parse_decoder_spec(std::string_view text) {
     spec.strategy = Strategy::kFsd;
   } else if (name == "multipe") {
     spec.strategy = Strategy::kMultiPe;
+  } else if (name == "mmse-neumann") {
+    spec.strategy = Strategy::kMmseNeumann;
   } else {
     throw invalid_argument_error("unknown detector '" + std::string(name) +
                                  "'; " + std::string(decoder_spec_help()));
@@ -128,8 +130,14 @@ DecoderSpec parse_decoder_spec(std::string_view text) {
       spec.sd.max_nodes = static_cast<std::uint64_t>(spec_option_int(opt));
     } else if (opt.key == "fp16") {
       spec.fpga_precision = Precision::kFp16;
+    } else if (opt.key == "int16" && opt.value.empty()) {
+      spec.fpga_precision = Precision::kInt16;
     } else if (opt.key == "k" && spec.strategy == Strategy::kKBest) {
       spec.kbest.k = static_cast<usize>(spec_option_int(opt));
+    } else if (opt.key == "k" && spec.strategy == Strategy::kMmseNeumann) {
+      spec.mmse_neumann.k = static_cast<usize>(spec_option_int(opt));
+    } else if (opt.key == "tol" && spec.strategy == Strategy::kMmseNeumann) {
+      spec.mmse_neumann.residual_tol = spec_option_double(opt);
     } else if (opt.key == "levels" && spec.strategy == Strategy::kFsd) {
       spec.fsd.full_levels = static_cast<index_t>(spec_option_int(opt));
     } else if (opt.key == "threads" && spec.strategy == Strategy::kMultiPe) {
@@ -174,9 +182,10 @@ std::string_view decoder_precision_name(const DecoderSpec& spec) noexcept {
 
 std::string_view decoder_spec_help() noexcept {
   return "known detectors: sphere sphere-scalar dfs bfs ml zf mmse mrc "
-         "kbest:k=N fsd:levels=N multipe:threads=N,split=N; devices: "
+         "kbest:k=N fsd:levels=N multipe:threads=N,split=N "
+         "mmse-neumann:k=N,tol=X; devices: "
          "@cpu @fpga @fpga-base; common options: sorted, max-nodes=N, fp16, "
-         "bfs:precision=int16|fp32";
+         "int16, bfs:precision=int16|fp32";
 }
 
 }  // namespace sd

@@ -22,6 +22,7 @@ std::string_view strategy_name(Strategy s) noexcept {
     case Strategy::kFsd: return "FSD";
     case Strategy::kKBest: return "K-Best";
     case Strategy::kMultiPe: return "SD-MultiPE";
+    case Strategy::kMmseNeumann: return "MMSE-Neumann";
   }
   return "?";
 }
@@ -83,6 +84,8 @@ std::unique_ptr<Detector> make_detector(const SystemConfig& sys,
       return std::make_unique<KBestDetector>(c, spec.kbest);
     case Strategy::kMultiPe:
       return std::make_unique<ParallelSdDetector>(c, spec.multi_pe);
+    case Strategy::kMmseNeumann:
+      return std::make_unique<MmseNeumannDetector>(spec.mmse_neumann, c);
   }
   throw invalid_argument_error("unknown strategy");
 }

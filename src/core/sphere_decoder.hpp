@@ -13,6 +13,7 @@
 #include "decode/detector.hpp"
 #include "decode/fsd.hpp"
 #include "decode/kbest.hpp"
+#include "decode/mmse_neumann.hpp"
 #include "decode/parallel_sd.hpp"
 #include "decode/sd_gemm_bfs.hpp"
 #include "decode/sphere_common.hpp"
@@ -40,6 +41,7 @@ enum class Strategy : std::uint8_t {
   kFsd,           ///< fixed-complexity SD (related work)
   kKBest,         ///< K-Best (related work)
   kMultiPe,       ///< multi-threaded sub-tree SD (paper §V future work)
+  kMmseNeumann,   ///< Gram-domain MMSE, Neumann-series inverse (massive MIMO)
 };
 
 [[nodiscard]] std::string_view strategy_name(Strategy s) noexcept;
@@ -65,6 +67,7 @@ struct DecoderSpec {
   FsdOptions fsd = {};
   KBestOptions kbest = {};
   ParallelSdOptions multi_pe = {};
+  MmseNeumannOptions mmse_neumann = {};
   Precision fpga_precision = Precision::kFp32;
 };
 

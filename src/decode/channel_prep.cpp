@@ -74,6 +74,7 @@ std::string_view prep_kind_name(PrepKind kind) noexcept {
     case PrepKind::kZf: return "zf";
     case PrepKind::kQrPlainQuant: return "qr-i16";
     case PrepKind::kQrSortedQuant: return "sqrd-i16";
+    case PrepKind::kGramMmse: return "gram";
   }
   return "?";
 }
@@ -117,6 +118,9 @@ std::shared_ptr<const PreprocessedChannel> build_channel_prep(
       quant::quantize_channel_prep(prep->r, prep->qprep);
       break;
     }
+    case PrepKind::kGramMmse:
+      prep->g = gram(h);
+      break;
     case PrepKind::kNone:
       break;
   }

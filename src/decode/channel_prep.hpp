@@ -88,6 +88,8 @@ enum class PrepKind : std::uint8_t {
   // every existing cache key — are unchanged.
   kQrPlainQuant,   ///< kQrPlain + QuantSpec-calibrated int16 R
   kQrSortedQuant,  ///< kQrSorted + QuantSpec-calibrated int16 R
+  // Appended (cache keys mix the kind value, so existing keys are stable):
+  kGramMmse,  ///< Gram matrix G = H^H H for the Neumann/Cholesky MMSE tier
 };
 
 [[nodiscard]] std::string_view prep_kind_name(PrepKind kind) noexcept;
@@ -109,6 +111,11 @@ struct PreprocessedChannel {
 
   // kZf: the equalizer matrix.
   CMat w;
+
+  // kGramMmse: the Gram matrix G = H^H H (M x M, Hermitian PSD). sigma2 is a
+  // per-FRAME input, so the regularized A = G + sigma2 I and its factorization
+  // are formed per frame from this channel-only part (DESIGN.md §17).
+  CMat g;
 
   // kQrPlainQuant / kQrSortedQuant: the per-channel fixed-point calibration
   // and quantized R planes, derived from the float factorization above.

@@ -28,6 +28,9 @@ void DecodeStats::export_counters(obs::CounterRegistry& registry,
   registry.set(p + "quant_overflows", quant_overflows);
   registry.set(p + "quant_requants", quant_requants);
   registry.set(p + "quant_fallbacks", quant_fallbacks);
+  registry.set(p + "neumann_terms", neumann_terms);
+  registry.set(p + "neumann_exact_solves", neumann_exact_solves);
+  registry.set(p + "neumann_fallbacks", neumann_fallbacks);
   registry.set(p + "node_budget_hit", std::uint64_t{node_budget_hit ? 1u : 0u});
   registry.set(p + "preprocess_seconds", preprocess_seconds);
   registry.set(p + "search_seconds", search_seconds);

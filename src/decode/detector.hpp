@@ -42,6 +42,11 @@ struct DecodeStats {
   std::uint64_t quant_overflows = 0;    ///< int32 PD / radius saturations
   std::uint64_t quant_requants = 0;     ///< between-level Q(2f)->Q(f) narrowings
   std::uint64_t quant_fallbacks = 0;    ///< frames re-run on the float path
+  // Neumann-series MMSE counters (zero for every other detector): how the
+  // approximate-inversion tier resolved each frame.
+  std::uint64_t neumann_terms = 0;      ///< Jacobi/Neumann series terms applied
+  std::uint64_t neumann_exact_solves = 0;  ///< exact Cholesky solves (k=0 or fallback)
+  std::uint64_t neumann_fallbacks = 0;  ///< series residual exceeded tol -> exact re-solve
   bool node_budget_hit = false;       ///< search stopped by the node budget
   double preprocess_seconds = 0.0;    ///< measured QR / equalizer setup time
   double search_seconds = 0.0;        ///< measured search/slicing time

@@ -59,15 +59,19 @@ Backend::Backend(SystemConfig system, BackendConfig config)
   // one there is nothing to fuse, so the cross-lane former stays off.
   const PrepKind probe_kind = make_lane_detector()->prep_kind();
   former_enabled_ = cfg_.cross_lane_former && cfg_.fuse_cross_channel &&
-                    !cfg_.pace_to_charged && cfg_.lanes > 1 &&
-                    probe_kind != PrepKind::kNone;
+                    cfg_.lanes > 1 && probe_kind != PrepKind::kNone;
   // Which overload-ladder rungs this substrate can serve. A linear primary
   // has nothing cheaper to degrade to; fixed-complexity searches skip the
-  // K-Best rung (they already are one).
+  // K-Best rung (they already are one); an MMSE-Neumann primary skips its
+  // own rung and degrades straight to linear.
   ladder_.push_back(serve::DecodeTier::kPrimary);
   if (!is_linear_strategy(cfg_.decoder.strategy)) {
-    if (!is_fixed_complexity(cfg_.decoder.strategy)) {
+    if (!is_fixed_complexity(cfg_.decoder.strategy) &&
+        cfg_.decoder.strategy != Strategy::kMmseNeumann) {
       ladder_.push_back(serve::DecodeTier::kKBest);
+    }
+    if (cfg_.decoder.strategy != Strategy::kMmseNeumann) {
+      ladder_.push_back(serve::DecodeTier::kMmseApprox);
     }
     ladder_.push_back(serve::DecodeTier::kLinear);
   }
@@ -307,6 +311,7 @@ void Backend::lane_main(unsigned lane) {
   KBestOptions kb;
   kb.k = 8;
   KBestDetector kbest(constellation, kb);
+  MmseNeumannDetector mmse(MmseNeumannOptions{}, constellation);
   LinearDetector linear(LinearKind::kZf, constellation);
 
   std::vector<PlacedFrame> batch;
@@ -329,7 +334,7 @@ void Backend::lane_main(unsigned lane) {
               batch[j].frame.channel.same_storage(batch[i].frame.channel))) {
         ++j;
       }
-      process_run(lane, *primary, kbest, linear, batch, i, j);
+      process_run(lane, *primary, kbest, mmse, linear, batch, i, j);
       i = j;
     }
     std::lock_guard<std::mutex> lock(acct_mu_);
@@ -341,18 +346,22 @@ void Backend::lane_main(unsigned lane) {
 }
 
 void Backend::process_run(unsigned lane, Detector& primary, Detector& kbest,
-                          Detector& linear, std::vector<PlacedFrame>& batch,
-                          usize begin, usize end) {
-  Detector& chosen = batch[begin].tier == serve::DecodeTier::kPrimary ? primary
-                     : batch[begin].tier == serve::DecodeTier::kKBest ? kbest
-                                                                      : linear;
+                          Detector& mmse, Detector& linear,
+                          std::vector<PlacedFrame>& batch, usize begin,
+                          usize end) {
+  Detector& chosen =
+      batch[begin].tier == serve::DecodeTier::kPrimary      ? primary
+      : batch[begin].tier == serve::DecodeTier::kKBest      ? kbest
+      : batch[begin].tier == serve::DecodeTier::kMmseApprox ? mmse
+                                                            : linear;
   const PrepKind kind = chosen.prep_kind();
-  // Paced (device) backends model a per-frame host<->device round trip, so
-  // host-side prep reuse and fusion do not apply; detectors without a
-  // cacheable channel phase have nothing to share.
-  if (kind == PrepKind::kNone || cfg_.pace_to_charged) {
+  // Detectors without a cacheable channel phase have nothing to share, so
+  // their runs decode per frame. Paced (device) backends with a cacheable
+  // phase DO fuse: a gathered run ships as one device round trip, and
+  // process_fused paces to the run's summed charged time plus one RTT.
+  if (kind == PrepKind::kNone) {
     for (usize i = begin; i < end; ++i) {
-      process(lane, primary, kbest, linear, batch[i]);
+      process(lane, primary, kbest, mmse, linear, batch[i]);
     }
     return;
   }
@@ -386,7 +395,7 @@ void Backend::process_run(unsigned lane, Detector& primary, Detector& kbest,
   }
 
   if (end - begin == 1) {
-    process(lane, primary, kbest, linear, batch[begin], preps[0].get());
+    process(lane, primary, kbest, mmse, linear, batch[begin], preps[0].get());
     return;
   }
   process_fused(lane, chosen, linear, batch, begin, end, preps);
@@ -439,13 +448,33 @@ void Backend::process_fused(
     chosen.decode_wide(items);
   }
 
+  double charged_total = 0.0;
+  if (cfg_.pace_to_charged && !live.empty()) {
+    // Former-aware pacing: the gathered run ships as ONE device round trip.
+    // Charged device time sums over the run's frames, the RTT is paid once —
+    // this amortization is why the former stays on for paced backends.
+    charged_total = cfg_.rtt_s;
+    for (usize i : live) {
+      charged_total += results[i].result.stats.search_seconds;
+    }
+    const double spent = seconds_between(dequeued, serve::Clock::now());
+    if (charged_total > spent) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(charged_total - spent));
+    }
+  }
+
   const serve::Clock::time_point done = serve::Clock::now();
   const double service = seconds_between(dequeued, done);
   // Each frame's service spans the whole fused run (they finished together);
   // the lane occupancy the cost model calibrates against is the amortized
-  // share, which is the entire point of fusing.
+  // share, which is the entire point of fusing. Paced backends charge the
+  // simulated device occupancy instead of host wall time.
   const double charged_share =
-      live.empty() ? 0.0 : service / static_cast<double>(live.size());
+      live.empty()
+          ? 0.0
+          : (cfg_.pace_to_charged ? charged_total : service) /
+                static_cast<double>(live.size());
   {
     std::lock_guard<std::mutex> lock(acct_mu_);
     if (live.size() >= 2) {
@@ -463,6 +492,10 @@ void Backend::process_fused(
           ++acct_.completed;
           if (batch[begin + i].tier == serve::DecodeTier::kKBest) {
             ++acct_.degraded_kbest;
+          }
+          if (batch[begin + i].tier == serve::DecodeTier::kMmseApprox &&
+              cfg_.decoder.strategy != Strategy::kMmseNeumann) {
+            ++acct_.degraded_mmse;
           }
           if (batch[begin + i].tier == serve::DecodeTier::kLinear &&
               !is_linear_strategy(cfg_.decoder.strategy)) {
@@ -493,7 +526,7 @@ void Backend::process_fused(
 }
 
 void Backend::process(unsigned lane, Detector& primary, Detector& kbest,
-                      Detector& linear, PlacedFrame& pf,
+                      Detector& mmse, Detector& linear, PlacedFrame& pf,
                       const PreprocessedChannel* prep) {
   SD_TRACE_SPAN("dispatch.frame");
   const serve::Clock::time_point dequeued = serve::Clock::now();
@@ -522,9 +555,10 @@ void Backend::process(unsigned lane, Detector& primary, Detector& kbest,
     }
   } else {
     r.status = serve::FrameStatus::kCompleted;
-    Detector& chosen = pf.tier == serve::DecodeTier::kPrimary ? primary
-                       : pf.tier == serve::DecodeTier::kKBest ? kbest
-                                                              : linear;
+    Detector& chosen = pf.tier == serve::DecodeTier::kPrimary      ? primary
+                       : pf.tier == serve::DecodeTier::kKBest      ? kbest
+                       : pf.tier == serve::DecodeTier::kMmseApprox ? mmse
+                                                                   : linear;
     {
       SD_TRACE_SPAN("dispatch.decode");
       if (prep != nullptr && chosen.prep_kind() == prep->kind) {
@@ -564,6 +598,10 @@ void Backend::process(unsigned lane, Detector& primary, Detector& kbest,
       case serve::FrameStatus::kCompleted:
         ++acct_.completed;
         if (pf.tier == serve::DecodeTier::kKBest) ++acct_.degraded_kbest;
+        if (pf.tier == serve::DecodeTier::kMmseApprox &&
+            cfg_.decoder.strategy != Strategy::kMmseNeumann) {
+          ++acct_.degraded_mmse;
+        }
         if (pf.tier == serve::DecodeTier::kLinear &&
             !is_linear_strategy(cfg_.decoder.strategy)) {
           ++acct_.degraded_linear;

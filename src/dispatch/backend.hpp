@@ -60,7 +60,8 @@ struct BackendConfig {
   /// width tracks system load instead of one lane's queue depth. Claims
   /// happen under the same queue mutex as work stealing, so a claimed frame
   /// can never be stolen or decoded twice. Requires fuse_cross_channel; no-op
-  /// for paced backends and single-lane backends.
+  /// for single-lane backends. Paced backends gather too — the run pays one
+  /// RTT and sleeps to its summed charged time (see process_fused).
   bool cross_lane_former = true;
   /// Hard cap on frames per formed wide run (own pop + cross-lane gather).
   usize max_wide_width = 32;
@@ -133,6 +134,7 @@ class Backend {
     std::uint64_t expired_dropped = 0;
     std::uint64_t steals = 0;
     std::uint64_t degraded_kbest = 0;
+    std::uint64_t degraded_mmse = 0;
     std::uint64_t degraded_linear = 0;
     /// Coherence-block reuse: frames whose channel factorization was reused
     /// (cache or same popped run) vs rebuilt, fused multi-frame decode runs,
@@ -186,9 +188,10 @@ class Backend {
   [[nodiscard]] Snapshot snapshot() const;
 
   /// The overload-ladder tiers this backend can serve, cheapest last. Always
-  /// starts with kPrimary; SD-family decoders degrade through kKBest to
-  /// kLinear, fixed-complexity decoders only to kLinear, linear decoders
-  /// not at all.
+  /// starts with kPrimary; SD-family decoders degrade through kKBest and
+  /// kMmseApprox to kLinear, fixed-complexity decoders skip the kKBest rung,
+  /// an MMSE-Neumann primary degrades straight to kLinear, and linear
+  /// decoders not at all.
   [[nodiscard]] const std::vector<serve::DecodeTier>& ladder() const noexcept {
     return ladder_;
   }
@@ -209,18 +212,20 @@ class Backend {
   /// run fused (decode_wide) or falls back to per-frame process() when the
   /// detector has no cacheable phase.
   void process_run(unsigned lane, Detector& primary, Detector& kbest,
-                   Detector& linear, std::vector<PlacedFrame>& batch,
-                   usize begin, usize end);
+                   Detector& mmse, Detector& linear,
+                   std::vector<PlacedFrame>& batch, usize begin, usize end);
   /// Fused path: expired frames peel off to their usual fallback; the live
   /// remainder decodes through one decode_wide call, each frame against its
   /// own prep — bit-identical per frame to the sequential path. `preps` is
-  /// indexed parallel to [begin, end).
+  /// indexed parallel to [begin, end). Paced backends sleep to the run's
+  /// summed charged device time plus ONE round trip — the former's
+  /// amortization.
   void process_fused(
       unsigned lane, Detector& chosen, Detector& linear,
       std::vector<PlacedFrame>& batch, usize begin, usize end,
       const std::vector<std::shared_ptr<const PreprocessedChannel>>& preps);
   void process(unsigned lane, Detector& primary, Detector& kbest,
-               Detector& linear, PlacedFrame& pf,
+               Detector& mmse, Detector& linear, PlacedFrame& pf,
                const PreprocessedChannel* prep = nullptr);
 
   SystemConfig system_;
@@ -233,9 +238,10 @@ class Backend {
   ChannelPrepCache prep_cache_;
 
   /// True when this backend's lanes may form cross-lane wide runs: the
-  /// config enables it, the substrate is not paced (device round trips are
-  /// per-frame), there are siblings to gather from, and the primary detector
-  /// has a cacheable prep phase (probed once at construction).
+  /// config enables it, there are siblings to gather from, and the primary
+  /// detector has a cacheable prep phase (probed once at construction).
+  /// Paced backends qualify too: a gathered run pays ONE host<->device round
+  /// trip, so forming wide runs is exactly how a device amortizes its RTT.
   bool former_enabled_ = false;
 
   mutable std::mutex mu_;

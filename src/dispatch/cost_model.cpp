@@ -15,6 +15,7 @@ FrameFeatures FrameFeatures::extract(const CMat& h, double sigma2,
                                      index_t mod_order) {
   FrameFeatures f;
   f.num_tx = h.cols();
+  f.num_rx = h.rows();
   f.mod_order = mod_order;
   f.sigma2 = sigma2;
   f.snr_db = sigma2 > 0.0 && h.cols() > 0 ? sigma2_to_snr_db(sigma2, h.cols())
@@ -62,6 +63,19 @@ double CostModel::prior_nodes(const FrameFeatures& f, DecodeTier tier) {
       return m * m;  // equalize-and-slice: one small solve
     case DecodeTier::kKBest:
       return m * 8.0 * order;  // fixed-width survivor expansion
+    case DecodeTier::kMmseApprox: {
+      // Gram-domain MMSE with a Neumann-series inverse: a few m x m Jacobi
+      // sweeps — but the series only converges when A = G + sigma2 I is
+      // diagonally dominant, i.e. the channel is tall. The penalty diverges
+      // as N_r -> M (the residual guard would fall back to exact Cholesky
+      // per frame), so square channels route to tree search and tall
+      // massive-MIMO channels route here.
+      const double nr =
+          f.num_rx > 0 ? std::max(m, static_cast<double>(f.num_rx)) : m;
+      const double dominance = 1.0 - std::sqrt(m / nr);
+      const double penalty = 1.0 / std::max(1.0 / 64.0, dominance);
+      return 0.5 * m * m * penalty;
+    }
     case DecodeTier::kPrimary:
       break;
   }
@@ -82,8 +96,12 @@ std::string CostModel::bucket_key(const FrameFeatures& f, int backend,
       std::floor(std::log2(std::clamp(f.cond_proxy, 1.0, 16.0))));
   std::ostringstream key;
   key << 'b' << backend << ".t" << static_cast<int>(tier) << ".m" << f.num_tx
-      << ".q" << f.mod_order << ".s" << snr_bucket << ".c" << cond_bucket
-      << (prep_hit ? ".h1" : ".h0");
+      << ".q" << f.mod_order << ".s" << snr_bucket << ".c" << cond_bucket;
+  // Rectangular channels calibrate separately (a 128x8 decode costs nothing
+  // like an 8x8 one); square frames keep the historical key shape so v1-v3
+  // exports warm-start the same buckets they always did.
+  if (f.num_rx > 0 && f.num_rx != f.num_tx) key << ".r" << f.num_rx;
+  key << (prep_hit ? ".h1" : ".h0");
   // Non-fp32 datapaths calibrate separately; fp32/empty keeps the historical
   // key shape so v1/v2 exports warm-start the same buckets they always did.
   const std::string& precision = rates_[static_cast<usize>(backend)].precision;
@@ -156,7 +174,7 @@ std::string CostModel::export_json() const {
   obs::JsonWriter w;
   w.begin_object();
   w.key("schema").value("spheredec.costmodel");
-  w.key("schema_version").value(std::int64_t{2});
+  w.key("schema_version").value(std::int64_t{3});
   w.key("ewma_alpha").value(opts_.ewma_alpha);
   w.key("snr_bucket_db").value(opts_.snr_bucket_db);
   w.key("backends").begin_array();
@@ -299,7 +317,7 @@ void CostModel::import_json(std::string_view json) {
       schema_ok = true;
     } else if (key == "schema_version") {
       const double v = p.parse_number();
-      if (v != 1.0 && v != 2.0) p.fail("unsupported schema_version");
+      if (v != 1.0 && v != 2.0 && v != 3.0) p.fail("unsupported schema_version");
       version = static_cast<long>(v);
     } else if (key == "ewma_alpha" || key == "snr_bucket_db") {
       (void)p.parse_number();  // informational; options stay as constructed
@@ -384,6 +402,20 @@ void CostModel::import_json(std::string_view json) {
     // reused a cached factorization, so its buckets are prep-miss buckets.
     std::map<std::string, Bucket, std::less<>> upgraded;
     for (auto& [key, b] : buckets) upgraded.emplace(key + ".h0", b);
+    buckets = std::move(upgraded);
+  }
+  if (version < 3) {
+    // v3 renumbered the tier ladder to make room for kMmseApprox = 2: the
+    // old kLinear buckets (".t2") become ".t3". The tier component appears
+    // exactly once, right after the backend id, so a first-occurrence
+    // replace is safe.
+    std::map<std::string, Bucket, std::less<>> upgraded;
+    for (auto& [key, b] : buckets) {
+      std::string k = key;
+      const auto pos = k.find(".t2.");
+      if (pos != std::string::npos) k.replace(pos, 4, ".t3.");
+      upgraded.emplace(std::move(k), b);
+    }
     buckets = std::move(upgraded);
   }
 

@@ -39,6 +39,7 @@ using serve::DecodeTier;
 /// function of (h, sigma2, geometry) — deterministic across runs.
 struct FrameFeatures {
   index_t num_tx = 0;
+  index_t num_rx = 0;  ///< receive antennas; drives the tall-channel prior
   index_t mod_order = 0;
   double sigma2 = 0.0;
   double snr_db = 0.0;      ///< derived from sigma2 and num_tx
@@ -110,12 +111,17 @@ class CostModel {
   [[nodiscard]] std::uint64_t observations() const;
 
   /// Serializes rates and every calibrated bucket ("spheredec.costmodel"
-  /// schema, version 2: bucket keys carry a ".h0"/".h1" prep-hit suffix).
+  /// schema, version 3: tier numbers follow the four-rung ladder with
+  /// kMmseApprox = 2 and kLinear = 3; bucket keys carry a ".h0"/".h1"
+  /// prep-hit suffix and, for rectangular channels, an ".r<nr>" geometry
+  /// component).
   [[nodiscard]] std::string export_json() const;
 
-  /// Restores a model exported by export_json. Accepts schema version 2 and,
-  /// for warm-start continuity, version 1 (whose buckets predate the
-  /// prep-hit split and are imported as prep-miss ".h0" buckets). Backends
+  /// Restores a model exported by export_json. Accepts schema version 3 and,
+  /// for warm-start continuity, versions 1 and 2: their ".t2" (old kLinear)
+  /// buckets are remapped to ".t3", and v1 buckets — which predate the
+  /// prep-hit split — are additionally imported as prep-miss ".h0" buckets.
+  /// Backends
   /// must already be registered with matching labels (rates are
   /// overwritten). Throws sd::invalid_argument_error on malformed input or
   /// label mismatch.

@@ -37,6 +37,7 @@ void DispatchStats::export_counters(obs::CounterRegistry& registry,
   const std::string p = prefix.empty() ? "" : std::string(prefix) + ".";
   registry.set(p + "steals", steals);
   registry.set(p + "degraded.kbest", degraded_kbest);
+  registry.set(p + "degraded.mmse", degraded_mmse);
   registry.set(p + "degraded.linear", degraded_linear);
   registry.set(p + "prediction.count", predictions);
   registry.set(p + "prediction.samples", prediction_samples);
@@ -80,6 +81,8 @@ namespace {
     case Strategy::kKBest:
     case Strategy::kFsd:
       return serve::DecodeTier::kKBest;
+    case Strategy::kMmseNeumann:
+      return serve::DecodeTier::kMmseApprox;
     default:
       return serve::DecodeTier::kPrimary;
   }
@@ -207,7 +210,7 @@ Dispatcher::Placement Dispatcher::choose(const FrameFeatures& f,
       // restriction rather than dropping the frame.
       static constexpr serve::DecodeTier kTiers[] = {
           serve::DecodeTier::kPrimary, serve::DecodeTier::kKBest,
-          serve::DecodeTier::kLinear};
+          serve::DecodeTier::kMmseApprox, serve::DecodeTier::kLinear};
       bool chosen = false;
       for (int pass = 0; pass < 2 && !chosen; ++pass) {
       const serve::DecodeTier floor =
@@ -309,6 +312,7 @@ serve::SubmitStatus Dispatcher::submit(serve::FrameRequest frame) {
     PerBackend& pb = per_backend_[static_cast<usize>(p.backend)];
     ++pb.submitted;
     if (p.tier == serve::DecodeTier::kKBest) ++degraded_kbest_;
+    if (p.tier == serve::DecodeTier::kMmseApprox) ++degraded_mmse_;
     if (p.tier == serve::DecodeTier::kLinear) ++degraded_linear_;
     if (pushed.status == serve::PushStatus::kRejected) {
       ++rejected_;
@@ -375,6 +379,7 @@ void Dispatcher::frame_retired(const PlacedFrame& placed,
     // observed work and occupancy back into the matching bucket.
     FrameFeatures f;
     f.num_tx = system_.num_tx;
+    f.num_rx = placed.frame.h().rows();
     f.mod_order = mod_order_;
     f.sigma2 = placed.frame.sigma2;
     f.snr_db = placed.snr_db;
@@ -502,6 +507,7 @@ std::vector<BackendMetrics> Dispatcher::backend_metrics() const {
     bm.lanes = backends_[b]->lanes();
     bm.steals = snap.steals;
     bm.degraded_kbest = snap.degraded_kbest;
+    bm.degraded_mmse = snap.degraded_mmse;
     bm.degraded_linear = snap.degraded_linear;
     bm.fused_runs = snap.fused_runs;
     bm.fused_frames = snap.fused_frames;
@@ -560,6 +566,7 @@ DispatchStats Dispatcher::stats() const {
   }
   std::lock_guard<std::mutex> lock(metrics_mu_);
   s.degraded_kbest = degraded_kbest_;
+  s.degraded_mmse = degraded_mmse_;
   s.degraded_linear = degraded_linear_;
   s.predictions = predictions_;
   s.prediction_samples = prediction_samples_;

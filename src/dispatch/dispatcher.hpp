@@ -19,7 +19,8 @@
 // lane carries a running sum of the predicted seconds already queued on it,
 // and a frame goes where (pending + predicted) is smallest. When even the
 // best placement cannot meet the frame's deadline, the dispatcher degrades
-// the decode tier along the backend's ladder (SD -> K-Best -> linear) —
+// the decode tier along the backend's ladder (SD -> K-Best -> MMSE-Neumann
+// -> linear) —
 // shedding *work* instead of frames — before the queue-expiry ZF fallback
 // ever has to fire. Completed decodes feed their observed node counts and
 // charged seconds back into the cost model, closing the calibration loop.
@@ -76,6 +77,7 @@ struct BackendMetrics {
   serve::ServerMetrics metrics;
   std::uint64_t steals = 0;
   std::uint64_t degraded_kbest = 0;
+  std::uint64_t degraded_mmse = 0;
   std::uint64_t degraded_linear = 0;
   /// Fused-width histogram of this backend's wide runs (index = frames per
   /// run) plus the wide-batch former's activity counters — per backend, so a
@@ -92,6 +94,7 @@ struct BackendMetrics {
 struct DispatchStats {
   std::uint64_t steals = 0;          ///< frames rebound between lanes
   std::uint64_t degraded_kbest = 0;  ///< placements demoted to the K-Best tier
+  std::uint64_t degraded_mmse = 0;   ///< placements demoted to the MMSE tier
   std::uint64_t degraded_linear = 0; ///< placements demoted to the linear tier
   std::uint64_t predictions = 0;     ///< completed frames with a prediction
   std::uint64_t prediction_samples = 0;  ///< post-warmup samples in the mean
@@ -219,7 +222,7 @@ class Dispatcher final : public LaneSink {
   std::uint64_t submitted_ = 0, completed_ = 0, expired_fallback_ = 0,
                 expired_dropped_ = 0, evicted_ = 0, rejected_ = 0,
                 deadline_misses_ = 0;
-  std::uint64_t degraded_kbest_ = 0, degraded_linear_ = 0;
+  std::uint64_t degraded_kbest_ = 0, degraded_mmse_ = 0, degraded_linear_ = 0;
   std::uint64_t predictions_ = 0, prediction_samples_ = 0;
   double prediction_abs_rel_err_sum_ = 0.0;
   std::uint64_t prediction_samples_hit_ = 0, prediction_samples_miss_ = 0;

@@ -42,6 +42,11 @@ constexpr double kBaseUramPerP2 = 1.84;
 constexpr double kFp16DspScale = 0.5;
 constexpr double kFp16MemScale = 0.5;
 
+// Fixed point: two int16 MACs pack into one DSP48 and drop the fp adder
+// DSPs entirely; operand buffers shrink 2x like fp16.
+constexpr double kInt16DspScale = 0.4;
+constexpr double kInt16MemScale = 0.5;
+
 }  // namespace
 
 bool ResourceEstimate::second_pipeline_fits() const noexcept {
@@ -76,6 +81,10 @@ ResourceEstimate estimate_resources(const FpgaConfig& config) {
     est.dsps *= kFp16DspScale;
     est.bram18 *= kFp16MemScale;
     est.urams *= kFp16MemScale;
+  } else if (config.precision == Precision::kInt16) {
+    est.dsps *= kInt16DspScale;
+    est.bram18 *= kInt16MemScale;
+    est.urams *= kInt16MemScale;
   }
   return est;
 }

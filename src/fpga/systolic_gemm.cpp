@@ -20,15 +20,20 @@ std::uint64_t SystolicGemmEngine::cycles_for(index_t m, index_t n,
                                              index_t k) const noexcept {
   const auto tiles_m = static_cast<std::uint64_t>((m + rows_ - 1) / rows_);
   const auto tiles_n = static_cast<std::uint64_t>((n + cols_ - 1) / cols_);
+  // int16 datapath: two 16-bit MACs pack into one DSP48 (18x27 multiplier),
+  // so each mesh cell consumes the K stream two words per cycle. Calibrated
+  // against the measured CPU int16 kernel speedup (DESIGN.md §5).
+  const std::uint64_t k_eff =
+      precision_ == Precision::kInt16
+          ? (static_cast<std::uint64_t>(k) + 1) / 2
+          : static_cast<std::uint64_t>(k);
   if (rows_ == 1 && cols_ == 1) {
     // Baseline sequential MAC chain: one MAC per mac_ii cycles, no tiling.
     return static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
-               static_cast<std::uint64_t>(k) *
-               static_cast<std::uint64_t>(mac_ii_) +
+               k_eff * static_cast<std::uint64_t>(mac_ii_) +
            static_cast<std::uint64_t>(fill_);
   }
-  return tiles_m * tiles_n *
-         (static_cast<std::uint64_t>(k) + static_cast<std::uint64_t>(fill_));
+  return tiles_m * tiles_n * (k_eff + static_cast<std::uint64_t>(fill_));
 }
 
 std::uint64_t SystolicGemmEngine::run(const CMat& a, const CMat& b, CMat& c) {
@@ -39,7 +44,10 @@ std::uint64_t SystolicGemmEngine::run(const CMat& a, const CMat& b, CMat& c) {
   const index_t n = b.cols();
   const index_t k = a.cols();
 
-  if (precision_ == Precision::kFp32) {
+  if (precision_ != Precision::kFp16) {
+    // fp32 — and int16, whose functional arithmetic the measured fixed-point
+    // study (PR 8) showed BER-indistinguishable at the calibrated scales, so
+    // only its cycle model differs.
     gemm_naive(Op::kNone, cplx{1, 0}, a, b, cplx{0, 0}, c);
   } else {
     // Half-precision datapath: operands quantized at the BRAM boundary and

@@ -73,6 +73,51 @@ CVec cholesky_solve(const CMat& l, std::span<const cplx> b) {
   return back_substitute(lh, w);
 }
 
+void cholesky_into(const CMat& a, CMat& l) {
+  const index_t m = a.rows();
+  SD_CHECK(a.cols() == m, "Cholesky needs a square matrix");
+  l.reshape(m, m);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      cplx acc = a(i, j);
+      for (index_t k = 0; k < j; ++k) {
+        acc -= l(i, k) * std::conj(l(j, k));
+      }
+      if (i == j) {
+        SD_CHECK(acc.real() > real{0} &&
+                     std::abs(acc.imag()) < real{1e-3} * (real{1} + acc.real()),
+                 "matrix is not Hermitian positive definite");
+        l(i, i) = cplx{std::sqrt(acc.real()), 0};
+      } else {
+        l(i, j) = acc / l(j, j).real();
+      }
+    }
+  }
+}
+
+void cholesky_solve_in_place(const CMat& l, std::span<cplx> x) {
+  const index_t m = l.rows();
+  SD_CHECK(l.cols() == m, "Cholesky solve needs a square factor");
+  SD_CHECK(static_cast<index_t>(x.size()) == m, "rhs length mismatch");
+  // Forward solve L w = b in place.
+  for (index_t i = 0; i < m; ++i) {
+    cplx acc = x[static_cast<usize>(i)];
+    for (index_t j = 0; j < i; ++j) {
+      acc -= l(i, j) * x[static_cast<usize>(j)];
+    }
+    SD_CHECK(norm2(l(i, i)) > kPivotEps, "zero pivot in forward substitution");
+    x[static_cast<usize>(i)] = acc / l(i, i);
+  }
+  // Back solve L^H x = w in place; L^H(i, j) = conj(L(j, i)).
+  for (index_t i = m - 1; i >= 0; --i) {
+    cplx acc = x[static_cast<usize>(i)];
+    for (index_t j = i + 1; j < m; ++j) {
+      acc -= std::conj(l(j, i)) * x[static_cast<usize>(j)];
+    }
+    x[static_cast<usize>(i)] = acc / std::conj(l(i, i));
+  }
+}
+
 Lu lu_decompose(const CMat& a) {
   const index_t m = a.rows();
   SD_CHECK(a.cols() == m, "LU needs a square matrix");

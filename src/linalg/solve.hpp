@@ -22,6 +22,17 @@ namespace sd {
 /// Solves A x = b with A Hermitian positive definite via Cholesky.
 [[nodiscard]] CVec cholesky_solve(const CMat& l, std::span<const cplx> b);
 
+/// Allocation-free Cholesky: factors A = L L^H into caller-owned `l`
+/// (reshape()d to A's shape; only the lower triangle and diagonal are
+/// written). Same arithmetic and the same PD check as cholesky(). Intended
+/// for per-frame factorization in detector scratch arenas.
+void cholesky_into(const CMat& a, CMat& l);
+
+/// Allocation-free Cholesky solve: overwrites `x` (initially b) with the
+/// solution of L L^H x = b. The L^H back substitution reads the stored L
+/// conjugate-transposed instead of materializing hermitian(l).
+void cholesky_solve_in_place(const CMat& l, std::span<cplx> x);
+
 /// In-place partial-pivoting LU of a square matrix; returns the pivot
 /// permutation. Throws on singularity.
 struct Lu {

@@ -18,6 +18,7 @@ void AdmissionStats::export_counters(obs::CounterRegistry& registry,
   registry.set(p + "admitted", admitted);
   registry.set(p + "shed", shed);
   registry.set(p + "degraded.kbest", degraded_kbest);
+  registry.set(p + "degraded.mmse", degraded_mmse);
   registry.set(p + "degraded.linear", degraded_linear);
   for (std::uint8_t q = 0; q < kQosClassCount; ++q) {
     const std::string cls(qos_class_name(static_cast<QosClass>(q)));
@@ -68,7 +69,7 @@ AdmitDecision AdmissionController::decide(const CMat& h, double sigma2,
   if (opts_.enabled && d.budget_s > 0.0 && std::isfinite(d.budget_s)) {
     static constexpr serve::DecodeTier kTiers[] = {
         serve::DecodeTier::kPrimary, serve::DecodeTier::kKBest,
-        serve::DecodeTier::kLinear};
+        serve::DecodeTier::kMmseApprox, serve::DecodeTier::kLinear};
     d.action = AdmitAction::kShed;
     for (serve::DecodeTier tier : kTiers) {
       const double pred = cheapest(tier);
@@ -92,6 +93,7 @@ AdmitDecision AdmissionController::decide(const CMat& h, double sigma2,
     ++stats_.admitted;
     ++stats_.admitted_by_class[q];
     if (d.tier == serve::DecodeTier::kKBest) ++stats_.degraded_kbest;
+    if (d.tier == serve::DecodeTier::kMmseApprox) ++stats_.degraded_mmse;
     if (d.tier == serve::DecodeTier::kLinear) ++stats_.degraded_linear;
     ++outstanding_;
   } else {

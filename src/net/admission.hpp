@@ -78,6 +78,7 @@ struct AdmissionStats {
   std::uint64_t admitted = 0;
   std::uint64_t shed = 0;
   std::uint64_t degraded_kbest = 0;   ///< admitted with a K-Best floor
+  std::uint64_t degraded_mmse = 0;    ///< admitted with an MMSE floor
   std::uint64_t degraded_linear = 0;  ///< admitted with a linear floor
   std::array<std::uint64_t, kQosClassCount> admitted_by_class = {};
   std::array<std::uint64_t, kQosClassCount> shed_by_class = {};

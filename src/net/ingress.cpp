@@ -204,11 +204,14 @@ bool IngressServer::handle_frame(const std::shared_ptr<Connection>& conn,
   }
   // Dimension agreement with the served system is a protocol matter: the
   // dispatcher SD_CHECKs these and a throw on the IO thread would kill the
-  // server — exactly what hostile input must not be able to do.
+  // server — exactly what hostile input must not be able to do. The stream
+  // count (cols) must match the served system; the antenna count (rows) may
+  // exceed it — a massive-MIMO cell sends tall channels — but must stay
+  // determined (rows >= cols) and agree with the observation length.
   const SystemConfig& sys = shards_.shard(0).system();
-  if (channel.matrix().rows() != sys.num_rx ||
-      channel.matrix().cols() != sys.num_tx ||
-      static_cast<index_t>(wf.y.size()) != sys.num_rx)
+  const index_t rows = channel.matrix().rows();
+  if (channel.matrix().cols() != sys.num_tx || rows < sys.num_tx ||
+      static_cast<index_t>(wf.y.size()) != rows)
     return false;
 
   serve::FrameRequest frame;

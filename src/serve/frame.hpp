@@ -24,14 +24,17 @@ namespace sd::serve {
 using Clock = std::chrono::steady_clock;
 
 /// Which rung of the overload ladder decoded a frame. The dispatcher degrades
-/// placement along primary -> K-Best -> linear when the predicted completion
-/// time exceeds the frame's deadline — shedding *work*, not frames. kPrimary
-/// is whatever the backend's configured decoder is; the lower tiers are the
-/// progressively cheaper approximations every lane keeps on standby.
+/// placement along primary -> K-Best -> MMSE-Neumann -> linear when the
+/// predicted completion time exceeds the frame's deadline — shedding *work*,
+/// not frames. kPrimary is whatever the backend's configured decoder is; the
+/// lower tiers are the progressively cheaper approximations every lane keeps
+/// on standby. Values are wire-visible (src/net) and must stay dense and
+/// ordered cheapest-last.
 enum class DecodeTier : std::uint8_t {
-  kPrimary,  ///< the backend's configured decoder
-  kKBest,    ///< breadth-limited search (fixed complexity)
-  kLinear,   ///< equalize-and-slice (cheapest)
+  kPrimary = 0,     ///< the backend's configured decoder
+  kKBest = 1,       ///< breadth-limited search (fixed complexity)
+  kMmseApprox = 2,  ///< Gram-domain MMSE with Neumann-series inverse
+  kLinear = 3,      ///< equalize-and-slice (cheapest)
 };
 
 [[nodiscard]] std::string_view decode_tier_name(DecodeTier t) noexcept;

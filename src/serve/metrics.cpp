@@ -23,6 +23,7 @@ std::string_view decode_tier_name(DecodeTier t) noexcept {
   switch (t) {
     case DecodeTier::kPrimary: return "primary";
     case DecodeTier::kKBest: return "kbest";
+    case DecodeTier::kMmseApprox: return "mmse";
     case DecodeTier::kLinear: return "linear";
   }
   return "?";

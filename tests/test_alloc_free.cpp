@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "decode/mmse_neumann.hpp"
 #include "decode/sd_gemm.hpp"
 #include "decode/sd_gemm_bfs.hpp"
 #include "linalg/gemm.hpp"
@@ -192,6 +193,79 @@ TEST_F(AllocFree, BfsWideDecodeIsAllocationFreeAfterWarmup) {
     EXPECT_EQ(results[i].indices, warm_results[i].indices);
     EXPECT_EQ(results[i].metric, warm_results[i].metric);
   }
+}
+
+TEST_F(AllocFree, MmseNeumannDecodeIsAllocationFreeAfterWarmup) {
+  // Tall channel: the series path (matched filter + Jacobi sweeps). The
+  // guard never trips here, so this pins the pure-Neumann hot loop.
+  MmseNeumannDetector det(MmseNeumannOptions{}, Constellation::get(Modulation::kQam16));
+  const CMat h = testing::random_cmat(4 * kM, kM, 9001);
+  const CVec y = testing::random_cvec(4 * kM, 9002);
+  DecodeResult result;
+  for (int warm = 0; warm < 3; ++warm) det.decode_into(h, y, kSigma2, result);
+  const DecodeResult warm_result = result;
+
+  const obs::AllocCounts before = obs::alloc_counts();
+  for (int rep = 0; rep < 10; ++rep) det.decode_into(h, y, kSigma2, result);
+  const obs::AllocCounts after = obs::alloc_counts();
+
+  EXPECT_EQ(after.allocations, before.allocations)
+      << "MMSE-Neumann: steady-state decode_into allocated ("
+      << (after.allocations - before.allocations) << " allocations over 10 "
+      << "decodes)";
+  EXPECT_EQ(result.indices, warm_result.indices);
+  EXPECT_EQ(result.metric, warm_result.metric);
+  EXPECT_EQ(result.stats.neumann_fallbacks, 0u);
+}
+
+TEST_F(AllocFree, MmseNeumannFallbackDecodeIsAllocationFreeAfterWarmup) {
+  // Square channel: the residual guard trips and the frame re-solves via
+  // Cholesky — the fallback path must hold the same contract (l_ and the
+  // solve run entirely in the scratch arena).
+  MmseNeumannDetector det(MmseNeumannOptions{}, Constellation::get(Modulation::kQam16));
+  const CMat h = testing::random_cmat(kM, kM, 9001);
+  const CVec y = testing::random_cvec(kM, 9002);
+  DecodeResult result;
+  for (int warm = 0; warm < 3; ++warm) det.decode_into(h, y, kSigma2, result);
+  ASSERT_GT(result.stats.neumann_fallbacks, 0u)
+      << "fixture no longer exercises the fallback path";
+  const DecodeResult warm_result = result;
+
+  const obs::AllocCounts before = obs::alloc_counts();
+  for (int rep = 0; rep < 10; ++rep) det.decode_into(h, y, kSigma2, result);
+  const obs::AllocCounts after = obs::alloc_counts();
+
+  EXPECT_EQ(after.allocations, before.allocations)
+      << "MMSE-Neumann/fallback: steady-state decode_into allocated ("
+      << (after.allocations - before.allocations) << " allocations over 10 "
+      << "decodes)";
+  EXPECT_EQ(result.indices, warm_result.indices);
+  EXPECT_EQ(result.metric, warm_result.metric);
+}
+
+TEST_F(AllocFree, MmseNeumannCachedPrepDecodeIsAllocationFreeAfterWarmup) {
+  // The serving hot loop at a massive-MIMO cell: prep-cache hit on the Gram
+  // matrix, then decode_with per frame. The (channel, sigma2) system cache
+  // makes repeat frames skip even the A-assembly; none of it may allocate.
+  MmseNeumannDetector det(MmseNeumannOptions{}, Constellation::get(Modulation::kQam16));
+  const ChannelHandle channel(testing::random_cmat(4 * kM, kM, 9001));
+  const CVec y = testing::random_cvec(4 * kM, 9002);
+  auto prep = det.preprocess(channel);
+  DecodeResult result;
+  for (int warm = 0; warm < 3; ++warm)
+    det.decode_with(*prep, y, kSigma2, result);
+  const DecodeResult warm_result = result;
+
+  const obs::AllocCounts before = obs::alloc_counts();
+  for (int rep = 0; rep < 10; ++rep) det.decode_with(*prep, y, kSigma2, result);
+  const obs::AllocCounts after = obs::alloc_counts();
+
+  EXPECT_EQ(after.allocations, before.allocations)
+      << "MMSE-Neumann/decode_with: steady-state decode allocated ("
+      << (after.allocations - before.allocations) << " allocations over 10 "
+      << "decodes)";
+  EXPECT_EQ(result.indices, warm_result.indices);
+  EXPECT_EQ(result.metric, warm_result.metric);
 }
 
 TEST_F(AllocFree, ExportedCountersReflectTraffic) {

@@ -138,8 +138,12 @@ TEST(DispatchPool, LaddersMatchDecoderFamily) {
     std::vector<BackendConfig> pool = parse_backend_pool(spec, pd);
     return make_backend(sys, std::move(pool[0]))->ladder();
   };
-  EXPECT_EQ(ladder_of("cpu").size(), 3u);     // SD: primary > kbest > linear
-  EXPECT_EQ(ladder_of("kbest").size(), 2u);   // fixed complexity: no kbest rung
+  // SD: primary > kbest > mmse > linear
+  EXPECT_EQ(ladder_of("cpu").size(), 4u);
+  // Fixed complexity: no kbest rung, but mmse + linear remain.
+  EXPECT_EQ(ladder_of("kbest").size(), 3u);
+  // MMSE primary: degrading to the kbest/mmse rungs would be a promotion.
+  EXPECT_EQ(ladder_of("mmse-neumann").size(), 2u);
   EXPECT_EQ(ladder_of("zf").size(), 1u);      // nothing cheaper than linear
 }
 
@@ -196,7 +200,7 @@ TEST(DispatchCost, PriorCostMonotoneInSnr) {
     prev = nodes;
     EXPECT_DOUBLE_EQ(CostModel::prior_nodes(f, DecodeTier::kKBest),
                      CostModel::prior_nodes(
-                         FrameFeatures{10, 4, 0.0, 12.0, 2.0},
+                         FrameFeatures{10, 0, 4, 0.0, 12.0, 2.0},
                          DecodeTier::kKBest));
   }
 
@@ -318,10 +322,10 @@ TEST(DispatchCost, ImportsV1DocumentsAsPrepMissBuckets) {
   a.observe(f, cpu, DecodeTier::kPrimary, 1234, 5e-4, /*prep_hit=*/false);
   std::string v1 = a.export_json();
   // Rewrite the document into its v1 form: version tag 1, bare bucket keys.
-  const std::string v2_tag = "\"schema_version\":2";
-  const usize tag_at = v1.find(v2_tag);
+  const std::string cur_tag = "\"schema_version\":3";
+  const usize tag_at = v1.find(cur_tag);
   ASSERT_NE(tag_at, std::string::npos);
-  v1.replace(tag_at, v2_tag.size(), "\"schema_version\":1");
+  v1.replace(tag_at, cur_tag.size(), "\"schema_version\":1");
   usize h0;
   while ((h0 = v1.find(".h0\"")) != std::string::npos) v1.erase(h0, 3);
 
@@ -334,7 +338,8 @@ TEST(DispatchCost, ImportsV1DocumentsAsPrepMissBuckets) {
   EXPECT_TRUE(miss.warm);
   EXPECT_DOUBLE_EQ(miss.nodes, 1234.0);
   EXPECT_FALSE(b.predict(f, cpu, DecodeTier::kPrimary, true).warm);
-  // Re-export upgrades the document to v2 with the same calibration.
+  // Re-export upgrades the document to the current schema with the same
+  // calibration.
   CostModel c;
   (void)c.register_backend("cpu", 1.0, 1.0);
   c.import_json(b.export_json());
@@ -951,6 +956,109 @@ TEST(DispatchFormer, GatherAndStealRetireEveryFrameExactlyOnce) {
   // Gathered frames are not steals: the counters stay disjoint, and the sink
   // hears about every rebinding through either channel.
   EXPECT_EQ(sink.stolen(), snap.steals + snap.former_gathered);
+}
+
+TEST(DispatchPlacement, GeometryRoutesTallToMmseAndSquareToSd) {
+  // The massive-MIMO placement pin (PR 10): a mixed pool of a tree-search
+  // backend and an MMSE-Neumann backend, fed mixed square + tall traffic
+  // under the cost-aware policy with a cold, frozen model. The geometry term
+  // in the kMmseApprox prior must send every tall frame to the MMSE backend
+  // (diagonally dominant Gram, a couple of GEMVs) and every square frame to
+  // the tree search (the Neumann penalty diverges as N_r -> M).
+  constexpr usize kEach = 8;
+  const std::vector<Trial> square = seeded_trials(kEach, 10.0);
+  std::vector<Trial> tall;
+  {
+    ScenarioConfig sc;
+    sc.num_tx = kM;
+    sc.num_rx = 4 * kM;
+    sc.modulation = Modulation::kQam4;
+    sc.snr_db = 10.0;
+    sc.seed = kSeed + 99;
+    Scenario scenario(sc);
+    for (usize i = 0; i < kEach; ++i) tall.push_back(scenario.next());
+  }
+
+  Recorder rec;
+  DispatcherOptions dopts;
+  dopts.policy = PlacementPolicy::kCostAware;
+  dopts.cost.adapt_rates = false;  // frozen priors: placement is pure geometry
+  PoolDefaults pd;
+  pd.primary = DecoderSpec{};
+  std::vector<BackendConfig> pool =
+      parse_backend_pool("cpu:1:no-steal,mmse-neumann:1:no-steal", pd);
+  Dispatcher d(test_system(), std::move(pool), dopts,
+               [&rec](const serve::FrameResult& r) { rec.add(r); });
+  for (usize i = 0; i < kEach; ++i) {
+    EXPECT_EQ(d.submit(make_frame(square[i], i)),
+              serve::SubmitStatus::kAccepted);
+    EXPECT_EQ(d.submit(make_frame(tall[i], 100 + i)),
+              serve::SubmitStatus::kAccepted);
+    rec.wait_for(2 * (i + 1));  // window 1: placements see a drained pool
+  }
+  d.drain();
+
+  for (const serve::FrameResult& r : rec.take()) {
+    EXPECT_EQ(r.status, serve::FrameStatus::kCompleted);
+    EXPECT_EQ(r.tier, serve::DecodeTier::kPrimary);  // routed, not degraded
+    if (r.id < 100) {
+      EXPECT_EQ(r.backend_id, 0) << "square frame " << r.id;
+    } else {
+      EXPECT_EQ(r.backend_id, 1) << "tall frame " << r.id;
+    }
+  }
+  const std::vector<BackendMetrics> bms = d.backend_metrics();
+  ASSERT_EQ(bms.size(), 2u);
+  EXPECT_EQ(bms[0].label, "cpu");
+  EXPECT_EQ(bms[0].metrics.submitted, kEach);
+  EXPECT_EQ(bms[1].label, "mmse-neumann");
+  EXPECT_EQ(bms[1].metrics.submitted, kEach);
+  EXPECT_EQ(d.stats().degraded_mmse, 0u);  // primary routing, not the ladder
+}
+
+TEST(DispatchFormer, PacedBackendAmortizesRttAcrossGatheredRuns) {
+  // Former-aware pacing (PR 10 satellite): a paced backend's gathered run
+  // ships as ONE device round trip, so its pacing sleep charges
+  // rtt + sum(search) once per run instead of rtt per frame. With a 40 ms
+  // RTT and 8 frames per lane, the per-frame floor is ~320 ms of sleep per
+  // lane; the former must land far under it while decoding the same bits.
+  constexpr usize kFrames = 16;
+  const std::vector<Trial> trials = seeded_trials(kFrames, 10.0);
+
+  const auto timed = [&](bool former, Backend::Snapshot& snap, double& wall) {
+    const auto t0 = serve::Clock::now();
+    auto retired = run_former_backend("cpu:2:rtt-ms=40", former, trials, snap);
+    wall = std::chrono::duration<double>(serve::Clock::now() - t0).count();
+    return retired;
+  };
+
+  Backend::Snapshot paced_per_frame, paced_fused;
+  double wall_per_frame = 0.0, wall_fused = 0.0;
+  auto slow = timed(false, paced_per_frame, wall_per_frame);
+  auto fast = timed(true, paced_fused, wall_fused);
+  ASSERT_EQ(slow.size(), kFrames);
+  ASSERT_EQ(fast.size(), kFrames);
+  EXPECT_EQ(paced_fused.completed, kFrames);
+  EXPECT_GT(paced_fused.former_gathered, 0u);
+
+  // Width-1 runs pay the RTT per frame: 8 frames on each of 2 lanes.
+  EXPECT_GE(wall_per_frame, 0.3);
+  // Gathered runs pay it per run. Even a conservative gather (several runs
+  // per lane) halves the sleep; a full gather needs just one per lane.
+  EXPECT_LT(wall_fused, 0.5 * wall_per_frame);
+
+  // Pacing is a timing policy, never a result policy: both configurations
+  // decode bit-identically to the one-shot reference.
+  auto reference = make_detector(test_system(), parse_decoder_spec("bfs"));
+  for (const auto* retired : {&slow, &fast}) {
+    for (const auto& [placed, result] : *retired) {
+      EXPECT_EQ(result.status, serve::FrameStatus::kCompleted);
+      const Trial& t = trials[result.id];
+      const DecodeResult want = reference->decode(t.h, t.y, t.sigma2);
+      EXPECT_EQ(result.result.indices, want.indices) << "frame " << result.id;
+      EXPECT_DOUBLE_EQ(result.result.metric, want.metric);
+    }
+  }
 }
 
 }  // namespace

@@ -106,6 +106,20 @@ TEST(Resources, Fp16ShrinksDspAndMemory) {
   EXPECT_EQ(fp16.luts, fp32.luts);  // control logic unchanged
 }
 
+TEST(Resources, Int16ShrinksDspBelowFp16) {
+  // DSP48 packing fits two int16 MACs per slice, beating even fp16's
+  // footprint; memory shrinks to half-width operand planes.
+  FpgaConfig cfg = FpgaConfig::optimized_design(10, 10, Modulation::kQam16);
+  const auto fp32 = estimate_resources(cfg);
+  cfg.precision = Precision::kFp16;
+  const auto fp16 = estimate_resources(cfg);
+  cfg.precision = Precision::kInt16;
+  const auto i16 = estimate_resources(cfg);
+  EXPECT_LT(i16.dsps, fp16.dsps);
+  EXPECT_LT(i16.urams, fp32.urams);
+  EXPECT_EQ(i16.luts, fp32.luts);
+}
+
 TEST(FpgaPower, MatchesTableIIOperatingPoints) {
   expect_close(
       fpga_power_watts(FpgaConfig::optimized_design(10, 10, Modulation::kQam4)),

@@ -22,6 +22,8 @@ TEST(SpecParse, PlainNames) {
   EXPECT_EQ(parse_decoder_spec("kbest").strategy, Strategy::kKBest);
   EXPECT_EQ(parse_decoder_spec("fsd").strategy, Strategy::kFsd);
   EXPECT_EQ(parse_decoder_spec("multipe").strategy, Strategy::kMultiPe);
+  EXPECT_EQ(parse_decoder_spec("mmse-neumann").strategy,
+            Strategy::kMmseNeumann);
 }
 
 TEST(SpecParse, Devices) {
@@ -57,6 +59,13 @@ TEST(SpecParse, Options) {
 
   const DecoderSpec bfs = parse_decoder_spec("bfs:frontier=1024");
   EXPECT_EQ(bfs.bfs.max_frontier, 1024u);
+
+  const DecoderSpec i16 = parse_decoder_spec("sphere@fpga:int16");
+  EXPECT_EQ(i16.fpga_precision, Precision::kInt16);
+
+  const DecoderSpec neumann = parse_decoder_spec("mmse-neumann:k=2,tol=0.5");
+  EXPECT_EQ(neumann.mmse_neumann.k, 2u);
+  EXPECT_DOUBLE_EQ(neumann.mmse_neumann.residual_tol, 0.5);
 
   const DecoderSpec scalar = parse_decoder_spec("sphere:scalar");
   EXPECT_EQ(scalar.strategy, Strategy::kBestFsScalar);
@@ -114,8 +123,8 @@ TEST(SpecParse, CombinedDeviceAndOptions) {
 
 TEST(SpecParse, BuildsWorkingDetectors) {
   const SystemConfig sys{4, 4, Modulation::kQam4};
-  for (const char* text :
-       {"sphere", "sphere@fpga", "zf", "kbest:k=8", "fsd:levels=1"}) {
+  for (const char* text : {"sphere", "sphere@fpga", "zf", "kbest:k=8",
+                           "fsd:levels=1", "mmse-neumann:k=3"}) {
     auto det = make_detector(sys, parse_decoder_spec(text));
     EXPECT_NE(det, nullptr) << text;
   }
@@ -133,7 +142,8 @@ TEST(SpecParse, Rejections) {
 TEST(SpecParse, HelpMentionsEveryFamily) {
   const std::string help(decoder_spec_help());
   for (const char* token : {"sphere", "dfs", "bfs", "zf", "mmse", "kbest",
-                            "fsd", "multipe", "@fpga"}) {
+                            "fsd", "multipe", "mmse-neumann", "int16",
+                            "@fpga"}) {
     EXPECT_NE(help.find(token), std::string::npos) << token;
   }
 }

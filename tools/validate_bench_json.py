@@ -69,6 +69,16 @@ interpolation between neighbouring SNR points), within a 2-error
 statistical allowance — the ISSUE acceptance criterion that quantization
 costs < 0.2 dB across the Fig. 7 operating points.
 
+The massive_mimo artifact (name == "massive_mimo") is checked for
+"throughput" rows ("geometry", "detector", "frames_per_s", "us_per_frame",
+"frames"), "ber" rows ("geometry", "detector", "snr_db", "ber", "ber_ci95",
+"trials") and a "gates" series with one row per 128x8 serving point
+("128x8-qpsk" and "128x8-16qam"). When config.gate_massive is true (real
+trial counts) the asymmetric fast-path acceptance gates apply to every
+gates row: the k=3 MMSE-Neumann tier must serve >= 3x the frames/s of the
+best tree-search config, and its BER must be no worse than the exact MMSE
+solve rerun 0.2 dB lower — the PR 10 acceptance criteria (DESIGN.md §17).
+
 Exit status is 0 iff every file validates. Stdlib only — no dependencies.
 """
 
@@ -216,6 +226,8 @@ def validate_file(problems, path):
         check_quant_kernels(problems, path, doc)
     if name == "ablation_precision":
         check_ablation_precision(problems, path, doc)
+    if name == "massive_mimo":
+        check_massive_mimo(problems, path, doc)
 
 
 def check_dispatch(problems, path, doc):
@@ -669,6 +681,75 @@ def check_ablation_precision(problems, path, doc):
                 f"ablation_precision: int16 BER {p['ber_int16']:.3e} at "
                 f"{p['snr_db']:g} dB exceeds the float curve 0.2 dB back "
                 f"({budget:.3e} + {allowance:.3e} allowance) — quantization "
+                f"is costing >= 0.2 dB")
+
+
+def check_massive_mimo(problems, path, doc):
+    """Extra shape + fast-path acceptance gates for BENCH_massive_mimo.json."""
+    series = doc.get("series")
+    series = series if isinstance(series, list) else []
+    entries = {e.get("label"): e for e in series if isinstance(e, dict)}
+
+    for label, cols in (("throughput", ("geometry", "detector", "frames_per_s",
+                                        "us_per_frame", "frames")),
+                        ("ber", ("geometry", "detector", "snr_db", "ber",
+                                 "ber_ci95", "trials"))):
+        entry = entries.get(label)
+        if entry is None:
+            problems.report(path, f"massive_mimo: missing '{label}' series")
+            continue
+        for j, row in enumerate(entry.get("rows") or []):
+            if not isinstance(row, dict):
+                continue
+            missing = [c for c in cols if c not in row]
+            if missing:
+                problems.report(
+                    path, f"massive_mimo: {label}.rows[{j}] missing {missing}")
+
+    gates = entries.get("gates")
+    if gates is None:
+        problems.report(path, "massive_mimo: missing 'gates' series")
+        return
+    by_geometry = {}
+    for j, row in enumerate(gates.get("rows") or []):
+        if not isinstance(row, dict):
+            continue
+        missing = [c for c in ("geometry", "mmse_fps", "best_tree_fps",
+                               "speedup", "ber_neumann_k3", "ber_exact",
+                               "ber_exact_shifted", "throughput_ok", "ber_ok")
+                   if c not in row]
+        if missing:
+            problems.report(
+                path, f"massive_mimo: gates.rows[{j}] missing {missing}")
+            continue
+        by_geometry[row["geometry"]] = row
+    for want in ("128x8-qpsk", "128x8-16qam"):
+        if want not in by_geometry:
+            problems.report(path, f"massive_mimo: no gates row for '{want}'")
+
+    config = doc.get("config")
+    config = config if isinstance(config, dict) else {}
+    if not config.get("gate_massive"):
+        return  # smoke run: trial counts too small for the gates to bind
+
+    # Acceptance gates (ISSUE 10 / DESIGN.md §17): at both 128x8 serving
+    # points the k=3 Neumann tier must serve >= 3x the best tree-search
+    # config's frames/s, and its BER may be at most the exact MMSE solve's
+    # BER rerun 0.2 dB lower (paired trials) — i.e. the series costs < 0.2 dB.
+    for geometry, row in sorted(by_geometry.items()):
+        if row["speedup"] < 3.0 or not row["throughput_ok"]:
+            problems.report(
+                path,
+                f"massive_mimo: {geometry} MMSE tier speedup "
+                f"{row['speedup']:.2f}x < 3.0x over the best tree search "
+                f"({row['mmse_fps']:.0f} vs {row['best_tree_fps']:.0f} "
+                f"frames/s)")
+        if row["ber_neumann_k3"] > row["ber_exact_shifted"] or not row["ber_ok"]:
+            problems.report(
+                path,
+                f"massive_mimo: {geometry} k=3 Neumann BER "
+                f"{row['ber_neumann_k3']:.3e} exceeds the exact MMSE curve "
+                f"0.2 dB back ({row['ber_exact_shifted']:.3e}) — the series "
                 f"is costing >= 0.2 dB")
 
 
